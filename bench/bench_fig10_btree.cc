@@ -1,0 +1,93 @@
+// Figure 10: order-8 B-tree — insert / delete / search, 8 B keys and values,
+// across PMDK-like, Libpuddles, and Romulus. Expected shape: Puddles ≥ PMDK
+// everywhere, with the largest gap on search (paper: 3.1× from native
+// pointers); Romulus competitive.
+#include "bench/bench_env.h"
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/workloads/btree.h"
+
+namespace {
+
+using bench::Timer;
+
+struct Row {
+  const char* lib;
+  double insert_s;
+  double delete_s;
+  double search_s;
+};
+
+template <typename Adapter>
+Row RunBTree(const char* name, Adapter adapter, uint64_t ops) {
+  workloads::PersistentBTree<Adapter>::RegisterTypes();
+  workloads::PersistentBTree<Adapter> tree(adapter);
+  if (!tree.Init().ok()) {
+    std::abort();
+  }
+  // Shuffled key set (deterministic).
+  std::vector<uint64_t> keys(ops);
+  for (uint64_t i = 0; i < ops; ++i) {
+    keys[i] = i * 2654435761u + 1;
+  }
+
+  Row row{name, 0, 0, 0};
+  Timer timer;
+  for (uint64_t key : keys) {
+    (void)tree.Insert(key, key);
+  }
+  row.insert_s = timer.Seconds();
+
+  // Searches: ~2x ops random lookups.
+  puddles::Xoshiro256 rng(9);
+  timer.Reset();
+  uint64_t found = 0;
+  for (uint64_t i = 0; i < 2 * ops; ++i) {
+    uint64_t value;
+    found += tree.Search(keys[rng.Below(ops)], &value) ? 1 : 0;
+  }
+  row.search_s = timer.Seconds();
+  bench::DoNotOptimize(found);
+
+  timer.Reset();
+  for (uint64_t key : keys) {
+    (void)tree.Delete(key);
+  }
+  row.delete_s = timer.Seconds();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t ops = bench::Scaled(100000);
+  bench::PrintHeader("Figure 10: order-8 B-tree (insert / delete / search)",
+                     "paper Fig. 10, 8B keys+values");
+  std::printf("%-12s %14s %14s %14s\n", "library", "insert (s)", "delete (s)", "search (s)");
+
+  auto dir = bench::ScratchDir("fig10");
+  std::vector<Row> rows;
+  {
+    bench::BaselineEnv<fatptr::FatPool> env(dir, "pmdk");
+    rows.push_back(RunBTree("PMDK", workloads::FatPtrAdapter(env.pool.get()), ops));
+  }
+  {
+    bench::PuddlesEnv env(dir);
+    rows.push_back(RunBTree("Libpuddles", env.adapter(), ops));
+  }
+  {
+    bench::BaselineEnv<romulus::RomulusPool> env(dir, "romulus");
+    rows.push_back(RunBTree("Romulus", workloads::RomulusAdapter(env.pool.get()), ops));
+  }
+
+  for (const Row& row : rows) {
+    std::printf("%-12s %14.3f %14.3f %14.3f\n", row.lib, row.insert_s, row.delete_s,
+                row.search_s);
+  }
+  std::printf("\nPuddles vs PMDK search speedup: %.2fx (paper: 3.1x)\n",
+              rows[0].search_s / rows[1].search_s);
+  std::printf("keys: %llu, searches: %llu\n", static_cast<unsigned long long>(ops),
+              static_cast<unsigned long long>(2 * ops));
+  std::filesystem::remove_all(dir);
+  return 0;
+}

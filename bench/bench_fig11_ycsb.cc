@@ -1,0 +1,131 @@
+// Figure 11: KV store under YCSB A–G across five libraries (PMDK-like,
+// Libpuddles, go-pmem-like, Atlas-like, Romulus). The paper loads 1M keys and
+// runs 1M operations per workload; defaults here are scaled (see
+// EXPERIMENTS.md). Expected shape: Puddles at least as fast as PMDK (up to
+// 1.34×), Atlas slowest on write-heavy mixes, Romulus fastest on write-heavy.
+#include "bench/bench_env.h"
+#include "bench/bench_util.h"
+#include "src/workloads/kvstore.h"
+#include "src/workloads/ycsb.h"
+
+namespace {
+
+using bench::Timer;
+using workloads::YcsbOp;
+using workloads::YcsbStream;
+using workloads::YcsbWorkload;
+
+constexpr YcsbWorkload kWorkloads[] = {YcsbWorkload::kA, YcsbWorkload::kB, YcsbWorkload::kC,
+                                       YcsbWorkload::kD, YcsbWorkload::kE, YcsbWorkload::kF,
+                                       YcsbWorkload::kG};
+
+template <typename Adapter>
+std::vector<double> RunYcsb(Adapter adapter, uint64_t records, uint64_t ops) {
+  workloads::KvStore<Adapter>::RegisterTypes();
+  workloads::KvStore<Adapter> kv(adapter);
+  if (!kv.Init(1 << 16).ok()) {
+    std::abort();
+  }
+  // Load phase.
+  char value[workloads::kKvValueSize] = {};
+  for (uint64_t i = 0; i < records; ++i) {
+    std::snprintf(value, sizeof(value), "v%llu", static_cast<unsigned long long>(i));
+    if (!kv.Put(YcsbStream::KeyFor(i), value).ok()) {
+      std::abort();
+    }
+  }
+
+  std::vector<double> seconds;
+  char out[workloads::kKvValueSize];
+  for (YcsbWorkload workload : kWorkloads) {
+    YcsbStream stream(workload, records, 0xC0FFEE + static_cast<uint64_t>(workload));
+    uint64_t sink = 0;
+    Timer timer;
+    for (uint64_t i = 0; i < ops; ++i) {
+      workloads::YcsbRequest request = stream.Next();
+      const std::string key = YcsbStream::KeyFor(request.key_index);
+      switch (request.op) {
+        case YcsbOp::kRead:
+          sink += kv.Get(key, out) ? 1 : 0;
+          break;
+        case YcsbOp::kUpdate:
+        case YcsbOp::kInsert:
+          std::snprintf(value, sizeof(value), "u%llu",
+                        static_cast<unsigned long long>(i));
+          (void)kv.Put(key, value);
+          break;
+        case YcsbOp::kScan:
+          sink += kv.Scan(key, request.scan_length);
+          break;
+        case YcsbOp::kReadModifyWrite:
+          if (kv.Get(key, out)) {
+            out[0] ^= 1;
+            (void)kv.Put(key, out);
+          }
+          break;
+      }
+    }
+    bench::DoNotOptimize(sink);
+    seconds.push_back(timer.Seconds());
+  }
+  return seconds;
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t records = bench::Scaled(100000);
+  const uint64_t ops = bench::Scaled(100000);
+  bench::PrintHeader("Figure 11: KV store, YCSB A-G, five PM libraries",
+                     "paper Fig. 11, 1M keys load + 1M ops per workload");
+
+  auto dir = bench::ScratchDir("fig11");
+  std::vector<std::pair<const char*, std::vector<double>>> results;
+  {
+    bench::BaselineEnv<fatptr::FatPool> env(dir, "pmdk");
+    results.emplace_back("PMDK", RunYcsb(workloads::FatPtrAdapter(env.pool.get()), records, ops));
+  }
+  {
+    bench::PuddlesEnv env(dir);
+    results.emplace_back("Libpuddles", RunYcsb(env.adapter(), records, ops));
+  }
+  {
+    bench::BaselineEnv<gopmem::GoPmemPool> env(dir, "gopmem");
+    results.emplace_back("go-pmem",
+                         RunYcsb(workloads::GoPmemAdapter(env.pool.get()), records, ops));
+  }
+  {
+    bench::BaselineEnv<atlaspm::AtlasPool> env(dir, "atlas");
+    results.emplace_back("Atlas",
+                         RunYcsb(workloads::AtlasAdapter(env.pool.get()), records, ops));
+  }
+  {
+    bench::BaselineEnv<romulus::RomulusPool> env(dir, "romulus");
+    results.emplace_back("Romulus",
+                         RunYcsb(workloads::RomulusAdapter(env.pool.get()), records, ops));
+  }
+
+  std::printf("execution time in seconds (lower is better)\n");
+  std::printf("%-12s", "library");
+  for (YcsbWorkload workload : kWorkloads) {
+    std::printf("%9c", static_cast<char>(workload));
+  }
+  std::printf("\n");
+  for (const auto& [name, seconds] : results) {
+    std::printf("%-12s", name);
+    for (double s : seconds) {
+      std::printf("%9.3f", s);
+    }
+    std::printf("\n");
+  }
+  // Headline ratio: Puddles vs PMDK per workload.
+  std::printf("\nPMDK / Puddles ratio per workload (paper: 1.0x-1.34x): ");
+  for (size_t w = 0; w < std::size(kWorkloads); ++w) {
+    std::printf("%c=%.2fx ", static_cast<char>(kWorkloads[w]),
+                results[0].second[w] / results[1].second[w]);
+  }
+  std::printf("\nrecords=%llu ops=%llu per workload\n",
+              static_cast<unsigned long long>(records), static_cast<unsigned long long>(ops));
+  std::filesystem::remove_all(dir);
+  return 0;
+}

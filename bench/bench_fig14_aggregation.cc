@@ -1,0 +1,165 @@
+// Figure 14 (and Fig. 13's pipeline): sensor-network data aggregation.
+//
+// A home node distributes a pointer-rich state structure to N independent
+// sensor nodes (isolated puddle spaces, modeled as separate daemon roots —
+// DESIGN.md §1); each node mutates its copy transactionally and exports it;
+// the home node aggregates all copies.
+//
+//   * Puddles: import each exported copy — fresh UUIDs, conflicting bases are
+//     relocated and pointers rewritten on demand; aggregation walks the
+//     imported structure in place. Cost = constant import + pointer rewrite
+//     that scales with pointer count.
+//   * PMDK-like: copies cannot be opened (duplicate UUID / conflicting
+//     layout), so the home node must open each copy *sequentially* and
+//     deep-copy (reallocate + rebuild) every structure into its own pool —
+//     the 4.7×-10.1× penalty of the paper.
+#include "bench/bench_env.h"
+#include "bench/bench_util.h"
+#include "src/workloads/list.h"
+
+namespace {
+
+using bench::Timer;
+namespace fs = std::filesystem;
+
+// Sensor state: a linked list of state variables (pointer-rich by design).
+template <typename Adapter>
+using StateList = workloads::PersistentList<Adapter>;
+
+struct PuddlesBreakdown {
+  double total_s = 0;
+  double import_s = 0;
+  double rewrite_plus_walk_s = 0;
+};
+
+// ---- Puddles pipeline ----
+PuddlesBreakdown RunPuddles(const fs::path& dir, int nodes, uint64_t vars) {
+  PuddlesBreakdown breakdown;
+
+  // Home node publishes the initial state.
+  fs::path seed_export = dir / "seed";
+  {
+    bench::PuddlesEnv home(dir / "home_seed");
+    StateList<workloads::PuddlesAdapter>::RegisterTypes();
+    StateList<workloads::PuddlesAdapter> state{home.adapter()};
+    (void)state.Init();
+    for (uint64_t i = 0; i < vars; ++i) {
+      (void)state.InsertTail(1);
+    }
+    (void)home.runtime->ExportPool("bench", seed_export.string());
+  }
+
+  // Each sensor node: isolated puddle space (own daemon root), import the
+  // state, mutate every variable in transactions, export.
+  for (int node = 0; node < nodes; ++node) {
+    fs::path node_root = dir / ("node" + std::to_string(node));
+    auto daemon = puddled::Daemon::Start({.root_dir = (node_root / "puddled").string()});
+    auto runtime = puddles::Runtime::Create(
+        std::make_shared<puddled::EmbeddedDaemonClient>(daemon->get()));
+    auto pool = (*runtime)->ImportPool(seed_export.string(), "state");
+    StateList<workloads::PuddlesAdapter> state{workloads::PuddlesAdapter(*pool)};
+    (void)state.Init();
+    // Each node contributes its node id+1 to every state variable.
+    puddles::Pool& p = **pool;
+    auto* head = *p.Root<typename StateList<workloads::PuddlesAdapter>::Head>();
+    TX_BEGIN(p) {
+      for (auto* n = head->head; n != nullptr; n = n->next) {
+        TX_ADD(&n->value);
+        n->value += static_cast<uint64_t>(node) + 1;
+      }
+    }
+    TX_END;
+    (void)(*runtime)->ExportPool("state", (dir / ("export" + std::to_string(node))).string());
+  }
+
+  // Home node aggregates the N copies: imports (constant-time registration)
+  // then walks each imported structure in place; every touched puddle is
+  // relocated + pointer-rewritten on first access.
+  Timer total;
+  bench::PuddlesEnv home(dir / "home_agg");
+  StateList<workloads::PuddlesAdapter>::RegisterTypes();
+  std::vector<uint64_t> aggregate(vars, 0);
+  for (int node = 0; node < nodes; ++node) {
+    Timer import_timer;
+    auto import = home.runtime->client().ImportPool(
+        (dir / ("export" + std::to_string(node))).string(), "copy" + std::to_string(node));
+    breakdown.import_s += import_timer.Seconds();
+
+    Timer walk_timer;
+    auto pool = home.runtime->OpenPool("copy" + std::to_string(node));
+    auto* head = *(*pool)->Root<typename StateList<workloads::PuddlesAdapter>::Head>();
+    uint64_t index = 0;
+    for (auto* n = head->head; n != nullptr && index < vars; n = n->next, ++index) {
+      aggregate[index] += n->value;
+    }
+    breakdown.rewrite_plus_walk_s += walk_timer.Seconds();
+  }
+  bench::DoNotOptimize(aggregate[0]);
+  breakdown.total_s = total.Seconds();
+  return breakdown;
+}
+
+// ---- PMDK-like pipeline ----
+double RunPmdk(const fs::path& dir, int nodes, uint64_t vars) {
+  using Adapter = workloads::FatPtrAdapter;
+  // Node phase: each node keeps its own pool file with the state list.
+  for (int node = 0; node < nodes; ++node) {
+    auto pool = fatptr::FatPool::Create(
+        (dir / ("pmdk_node" + std::to_string(node))).string(), 64 << 20);
+    StateList<Adapter> state{Adapter(&*pool)};
+    (void)state.Init();
+    for (uint64_t i = 0; i < vars; ++i) {
+      (void)state.InsertTail(static_cast<uint64_t>(node) + 2);
+    }
+  }
+
+  // Aggregation: PMDK cannot open relocated copies in place — each node pool
+  // is opened sequentially and every element is reallocated (deep-copied)
+  // into the home pool before aggregating.
+  Timer total;
+  auto home = fatptr::FatPool::Create((dir / "pmdk_home").string(), 512 << 20);
+  StateList<Adapter> home_state{Adapter(&*home)};
+  (void)home_state.Init();
+  std::vector<uint64_t> aggregate(vars, 0);
+  for (int node = 0; node < nodes; ++node) {
+    auto pool = fatptr::FatPool::Open((dir / ("pmdk_node" + std::to_string(node))).string());
+    StateList<Adapter> state{Adapter(&*pool)};
+    (void)state.Init();
+    // Deep copy: rebuild the whole structure in the home pool (reallocation
+    // + per-element transactions), then aggregate.
+    StateList<Adapter> copy{Adapter(&*home)};
+    (void)copy.Init();
+    uint64_t index = 0;
+    auto* head = Adapter(&*pool).Root<typename StateList<Adapter>::Head>().get();
+    for (auto cursor = head->head; !cursor.is_null() && index < vars; ++index) {
+      auto* n = cursor.get();
+      (void)copy.InsertTail(n->value);
+      aggregate[index] += n->value;
+      cursor = n->next;
+    }
+  }
+  bench::DoNotOptimize(aggregate[0]);
+  return total.Seconds();
+}
+
+}  // namespace
+
+int main() {
+  const int nodes = static_cast<int>(bench::Scaled(20));  // Paper: 200 nodes.
+  bench::PrintHeader("Figure 14: sensor-network data aggregation",
+                     "paper Fig. 14 (200 nodes, 100-1600 vars; PMDK 4.7x-10.1x slower)");
+  std::printf("nodes=%d (paper: 200; PUDDLES_BENCH_SCALE=10 for paper size)\n\n", nodes);
+  std::printf("%12s %14s %14s %24s %10s\n", "state vars", "PMDK (s)", "Puddles (s)",
+              "Puddles import/walk (s)", "speedup");
+
+  for (uint64_t vars : {100, 200, 400, 800, 1600}) {
+    auto dir = bench::ScratchDir("fig14_" + std::to_string(vars));
+    PuddlesBreakdown puddles = RunPuddles(dir, nodes, vars);
+    double pmdk_s = RunPmdk(dir, nodes, vars);
+    std::printf("%12llu %14.3f %14.3f %14.3f/%8.3f %9.1fx\n",
+                static_cast<unsigned long long>(vars), pmdk_s, puddles.total_s,
+                puddles.import_s, puddles.rewrite_plus_walk_s, pmdk_s / puddles.total_s);
+    std::filesystem::remove_all(dir);
+  }
+  return 0;
+}

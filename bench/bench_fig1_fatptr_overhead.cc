@@ -1,0 +1,107 @@
+// Figure 1: fat-pointer vs native-pointer overhead on linked-list and binary
+// (B+-)tree create/traverse microbenchmarks. Paper setup: list length 2^16,
+// tree height 16 — we build a tree with 2^16 keys (equivalent population) and
+// report the fat-pointer overhead percentage per phase.
+#include "bench/bench_env.h"
+#include "bench/bench_util.h"
+#include "src/workloads/btree.h"
+#include "src/workloads/list.h"
+
+namespace {
+
+using bench::Timer;
+
+struct Phase {
+  double create_s;
+  double traverse_s;
+};
+
+template <typename Adapter>
+Phase RunListPhases(Adapter adapter, uint64_t n, uint64_t sweeps) {
+  workloads::PersistentList<Adapter>::RegisterTypes();
+  workloads::PersistentList<Adapter> list(adapter);
+  if (!list.Init().ok()) {
+    std::abort();
+  }
+  Phase phase{};
+  Timer timer;
+  for (uint64_t i = 0; i < n; ++i) {
+    (void)list.InsertTail(i);
+  }
+  phase.create_s = timer.Seconds();
+  timer.Reset();
+  for (uint64_t s = 0; s < sweeps; ++s) {
+    bench::DoNotOptimize(list.Sum());
+  }
+  phase.traverse_s = timer.Seconds();
+  return phase;
+}
+
+template <typename Adapter>
+Phase RunTreePhases(Adapter adapter, uint64_t n, uint64_t sweeps) {
+  workloads::PersistentBTree<Adapter>::RegisterTypes();
+  workloads::PersistentBTree<Adapter> tree(adapter);
+  if (!tree.Init().ok()) {
+    std::abort();
+  }
+  Phase phase{};
+  Timer timer;
+  for (uint64_t i = 0; i < n; ++i) {
+    (void)tree.Insert(i * 2654435761u + 1, i);
+  }
+  phase.create_s = timer.Seconds();
+  timer.Reset();
+  for (uint64_t s = 0; s < sweeps; ++s) {
+    bench::DoNotOptimize(tree.SumDepthFirst());  // Depth-first traversal (DF).
+  }
+  phase.traverse_s = timer.Seconds();
+  return phase;
+}
+
+double OverheadPct(double fat, double native) { return (fat / native - 1.0) * 100.0; }
+
+}  // namespace
+
+int main() {
+  const uint64_t n = 1 << 16;  // Paper: list length 2^16.
+  const uint64_t sweeps = bench::Scaled(50);
+  bench::PrintHeader("Figure 1: fat-pointer overhead vs native pointers (%)",
+                     "paper Fig. 1 (up to ~16% runtime overhead)");
+  auto dir = bench::ScratchDir("fig1");
+
+  // Native pointers = Puddles (same allocator + undo-log substrate as the
+  // fat-pointer build); fat pointers = the PMDK-like library. The traverse
+  // phases involve no logging at all, isolating pure pointer-format cost.
+  Phase native_list, fat_list, native_tree, fat_tree;
+  {
+    bench::PuddlesEnv env(dir, "native_list");
+    native_list = RunListPhases(env.adapter(), n, sweeps);
+  }
+  {
+    bench::BaselineEnv<fatptr::FatPool> env(dir, "fat_list");
+    fat_list = RunListPhases(workloads::FatPtrAdapter(env.pool.get()), n, sweeps);
+  }
+  {
+    bench::PuddlesEnv env(dir, "native_tree");
+    native_tree = RunTreePhases(env.adapter(), n, sweeps);
+  }
+  {
+    bench::BaselineEnv<fatptr::FatPool> env(dir, "fat_tree");
+    fat_tree = RunTreePhases(workloads::FatPtrAdapter(env.pool.get()), n, sweeps);
+  }
+
+  std::printf("%-24s %12s %15s\n", "workload", "create", "traverse");
+  std::printf("%-24s %11.1f%% %14.1f%%\n", "linked list (2^16)",
+              OverheadPct(fat_list.create_s, native_list.create_s),
+              OverheadPct(fat_list.traverse_s, native_list.traverse_s));
+  std::printf("%-24s %11.1f%% %14.1f%%\n", "binary tree (DF)",
+              OverheadPct(fat_tree.create_s, native_tree.create_s),
+              OverheadPct(fat_tree.traverse_s, native_tree.traverse_s));
+  std::printf("\n(raw: list create %.3f/%.3f s, list traverse %.3f/%.3f s, "
+              "tree create %.3f/%.3f s, tree traverse %.3f/%.3f s [fat/native])\n",
+              fat_list.create_s, native_list.create_s, fat_list.traverse_s,
+              native_list.traverse_s, fat_tree.create_s, native_tree.create_s,
+              fat_tree.traverse_s, native_tree.traverse_s);
+  std::filesystem::remove_all(dir);
+  return 0;
+}

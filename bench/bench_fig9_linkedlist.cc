@@ -1,0 +1,91 @@
+// Figure 9: singly linked list — insert tail / delete head / traversal (sum)
+// across PMDK-like, Libpuddles, and Romulus. The paper runs 10M operations;
+// the default here is scaled down (PUDDLES_BENCH_SCALE to raise). Expected
+// shape: all libraries comparable on insert; Puddles/Romulus far ahead of
+// PMDK on delete and traversal thanks to native pointers (paper: 13.4×
+// traversal advantage for Puddles over PMDK).
+#include "bench/bench_env.h"
+#include "bench/bench_util.h"
+#include "src/workloads/list.h"
+
+namespace {
+
+using bench::Timer;
+
+struct Row {
+  const char* lib;
+  double insert_s;
+  double delete_s;
+  double traverse_s;
+};
+
+template <typename Adapter>
+Row RunList(const char* name, Adapter adapter, uint64_t ops) {
+  workloads::PersistentList<Adapter>::RegisterTypes();
+  workloads::PersistentList<Adapter> list(adapter);
+  if (!list.Init().ok()) {
+    std::abort();
+  }
+
+  Row row{name, 0, 0, 0};
+  Timer timer;
+  for (uint64_t i = 0; i < ops; ++i) {
+    (void)list.InsertTail(i);
+  }
+  row.insert_s = timer.Seconds();
+
+  // Traversal: repeated full-list sums totalling ~10M node visits (the
+  // paper's per-op count), so the measurement is noise-free at any scale.
+  const uint64_t sweeps = std::max<uint64_t>(1, 10000000 / std::max<uint64_t>(ops, 1));
+  timer.Reset();
+  for (uint64_t s = 0; s < sweeps; ++s) {
+    bench::DoNotOptimize(list.Sum());
+  }
+  row.traverse_s = timer.Seconds();
+
+  timer.Reset();
+  for (uint64_t i = 0; i < ops; ++i) {
+    (void)list.DeleteHead();
+  }
+  row.delete_s = timer.Seconds();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t ops = bench::Scaled(200000);
+  bench::PrintHeader("Figure 9: linked list (insert / delete / traverse)",
+                     "paper Fig. 9, 10M ops each on Optane");
+  std::printf("%-12s %14s %14s %14s\n", "library", "insert (s)", "delete (s)",
+              "traverse (s)");
+
+  auto dir = bench::ScratchDir("fig9");
+  std::vector<Row> rows;
+  {
+    bench::BaselineEnv<fatptr::FatPool> env(dir, "pmdk");
+    rows.push_back(RunList("PMDK", workloads::FatPtrAdapter(env.pool.get()), ops));
+  }
+  {
+    bench::PuddlesEnv env(dir);
+    rows.push_back(RunList("Libpuddles", env.adapter(), ops));
+  }
+  {
+    bench::BaselineEnv<romulus::RomulusPool> env(dir, "romulus");
+    rows.push_back(RunList("Romulus", workloads::RomulusAdapter(env.pool.get()), ops));
+  }
+
+  for (const Row& row : rows) {
+    std::printf("%-12s %14.3f %14.3f %14.3f\n", row.lib, row.insert_s, row.delete_s,
+                row.traverse_s);
+  }
+  const Row& pmdk = rows[0];
+  const Row& puddles = rows[1];
+  std::printf("\nPuddles vs PMDK speedup: insert %.2fx, delete %.2fx, traverse %.2fx "
+              "(paper: traversal 13.4x)\n",
+              pmdk.insert_s / puddles.insert_s, pmdk.delete_s / puddles.delete_s,
+              pmdk.traverse_s / puddles.traverse_s);
+  std::printf("ops per series: %llu\n", static_cast<unsigned long long>(ops));
+  std::filesystem::remove_all(dir);
+  return 0;
+}

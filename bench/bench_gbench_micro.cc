@@ -1,0 +1,156 @@
+// google-benchmark microbenchmarks for the persistence substrate and core
+// primitives: flush/fence instruction cost, log append, pmhash ops, fat vs
+// native pointer dereference. Complements the table/figure binaries with
+// statistically robust per-op numbers.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/baselines/fatptr/fatptr.h"
+#include "src/common/rng.h"
+#include "src/pmem/flush.h"
+#include "src/pmhash/pmhash.h"
+#include "src/tx/log_format.h"
+
+namespace {
+
+void BM_FlushLine(benchmark::State& state) {
+  alignas(64) static uint8_t line[64];
+  for (auto _ : state) {
+    line[0]++;
+    pmem::Flush(line, 64);
+  }
+}
+BENCHMARK(BM_FlushLine);
+
+void BM_FlushFenceLine(benchmark::State& state) {
+  alignas(64) static uint8_t line[64];
+  for (auto _ : state) {
+    line[0]++;
+    pmem::FlushFence(line, 64);
+  }
+}
+BENCHMARK(BM_FlushFenceLine);
+
+void BM_LogAppend(benchmark::State& state) {
+  const size_t data_size = static_cast<size_t>(state.range(0));
+  std::vector<uint8_t> log_buffer(8 << 20);
+  (void)puddles::LogRegion::Format(log_buffer.data(), log_buffer.size());
+  auto log = puddles::LogRegion::Attach(log_buffer.data(), log_buffer.size());
+  std::vector<uint8_t> payload(data_size, 0xab);
+  for (auto _ : state) {
+    if (!log->Append(0x1000, payload.data(), static_cast<uint32_t>(data_size),
+                     puddles::kUndoSeq, puddles::ReplayOrder::kReverse)
+             .ok()) {
+      log->Reset(0, 2);
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * data_size));
+}
+BENCHMARK(BM_LogAppend)->Arg(8)->Arg(64)->Arg(4096);
+
+void BM_PmHashPut(benchmark::State& state) {
+  using Map = puddles::PersistentHashMap<uint64_t, uint64_t>;
+  std::vector<uint8_t> buffer(Map::RequiredBytes(1 << 16));
+  (void)Map::Format(buffer.data(), buffer.size(), 1 << 16);
+  auto map = Map::Attach(buffer.data(), buffer.size());
+  uint64_t key = 0;
+  for (auto _ : state) {
+    (void)map->Put(key++ % 50000, key);
+  }
+}
+BENCHMARK(BM_PmHashPut);
+
+void BM_PmHashGet(benchmark::State& state) {
+  using Map = puddles::PersistentHashMap<uint64_t, uint64_t>;
+  std::vector<uint8_t> buffer(Map::RequiredBytes(1 << 16));
+  (void)Map::Format(buffer.data(), buffer.size(), 1 << 16);
+  auto map = Map::Attach(buffer.data(), buffer.size());
+  for (uint64_t i = 0; i < 50000; ++i) {
+    (void)map->Put(i, i);
+  }
+  puddles::Xoshiro256 rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map->Get(rng.Below(50000)));
+  }
+}
+BENCHMARK(BM_PmHashGet);
+
+// Pointer-format microbenchmark: chase a chain of native vs fat pointers
+// through the same node layout (the Fig. 1 effect in isolation).
+struct NativeNode {
+  NativeNode* next;
+  uint64_t value;
+};
+
+void BM_NativePointerChase(benchmark::State& state) {
+  constexpr int kNodes = 1 << 14;
+  std::vector<NativeNode> nodes(kNodes);
+  puddles::Xoshiro256 rng(1);
+  // Random permutation chain (defeats prefetching, like real heaps).
+  std::vector<uint32_t> order(kNodes);
+  for (int i = 0; i < kNodes; ++i) {
+    order[i] = static_cast<uint32_t>(i);
+  }
+  for (int i = kNodes - 1; i > 0; --i) {
+    std::swap(order[i], order[rng.Below(static_cast<uint64_t>(i + 1))]);
+  }
+  for (int i = 0; i < kNodes - 1; ++i) {
+    nodes[order[i]].next = &nodes[order[i + 1]];
+    nodes[order[i]].value = i;
+  }
+  nodes[order[kNodes - 1]].next = nullptr;
+
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (NativeNode* n = &nodes[order[0]]; n != nullptr; n = n->next) {
+      sum += n->value;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * kNodes);
+}
+BENCHMARK(BM_NativePointerChase);
+
+struct FatNode {
+  fatptr::FatPtr<FatNode> next;
+  uint64_t value;
+};
+
+void BM_FatPointerChase(benchmark::State& state) {
+  constexpr int kNodes = 1 << 14;
+  // Register a fake pool so FatPtr::get() translates through the directory.
+  std::vector<FatNode> nodes(kNodes);
+  auto pool_id = fatptr::PoolDirectory::Instance().RegisterPool(
+      puddles::Uuid::Generate(), reinterpret_cast<uint8_t*>(nodes.data()));
+  puddles::Xoshiro256 rng(1);
+  std::vector<uint32_t> order(kNodes);
+  for (int i = 0; i < kNodes; ++i) {
+    order[i] = static_cast<uint32_t>(i);
+  }
+  for (int i = kNodes - 1; i > 0; --i) {
+    std::swap(order[i], order[rng.Below(static_cast<uint64_t>(i + 1))]);
+  }
+  for (int i = 0; i < kNodes - 1; ++i) {
+    nodes[order[i]].next =
+        fatptr::FatPtr<FatNode>{*pool_id, order[i + 1] * sizeof(FatNode)};
+    nodes[order[i]].value = i;
+  }
+  nodes[order[kNodes - 1]].next = fatptr::FatPtr<FatNode>::Null();
+
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (FatNode* n = &nodes[order[0]]; n != nullptr;) {
+      sum += n->value;
+      n = n->next.get();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * kNodes);
+  fatptr::PoolDirectory::Instance().UnregisterPool(*pool_id);
+}
+BENCHMARK(BM_FatPointerChase);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// §5.1 "Relocatability primitives": export cost vs data size, import cost,
+// and pointer-rewrite cost vs pointer count.
+#include "bench/bench_env.h"
+#include "bench/bench_util.h"
+#include "src/workloads/list.h"
+
+namespace {
+
+using bench::Timer;
+namespace fs = std::filesystem;
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Relocatability primitives (paper §5.1)",
+                     "export 0.3-0.5s; import ~1.5ms; rewrite 0.2ms/20 ptrs "
+                     "... 0.5s/2M ptrs");
+  auto dir = bench::ScratchDir("relocprim");
+
+  // ---- Export / import vs data size ----
+  std::printf("%-28s %12s %12s\n", "pool payload", "export (s)", "import (s)");
+  for (uint64_t bytes : {16ULL, 16ULL << 10, 1ULL << 20, 16ULL << 20}) {
+    fs::path pool_dir = dir / ("size" + std::to_string(bytes));
+    bench::PuddlesEnv env(pool_dir);
+    // Fill with raw byte objects.
+    uint64_t remaining = bytes;
+    while (remaining > 0) {
+      uint64_t chunk = std::min<uint64_t>(remaining, 64 << 10);
+      auto obj = env.pool->MallocBytes(chunk, puddles::kRawBytesTypeId);
+      if (!obj.ok()) {
+        break;
+      }
+      std::memset(*obj, 0x7e, chunk);
+      remaining -= chunk;
+    }
+    fs::path export_dir = pool_dir / "export";
+    Timer timer;
+    (void)env.runtime->ExportPool("bench", export_dir.string());
+    double export_s = timer.Seconds();
+
+    timer.Reset();
+    auto import = env.runtime->client().ImportPool(export_dir.string(), "copy");
+    double import_s = timer.Seconds();
+    if (!import.ok()) {
+      std::fprintf(stderr, "import failed: %s\n", import.status().ToString().c_str());
+    }
+    char label[64];
+    if (bytes < (1 << 20)) {
+      std::snprintf(label, sizeof(label), "%llu KiB",
+                    static_cast<unsigned long long>(bytes >> 10));
+    } else {
+      std::snprintf(label, sizeof(label), "%llu MiB",
+                    static_cast<unsigned long long>(bytes >> 20));
+    }
+    std::printf("%-28s %12.4f %12.4f\n", bytes == 16 ? "16 B" : label, export_s, import_s);
+    fs::remove_all(pool_dir);
+  }
+
+  // ---- Pointer rewrite cost vs pointer count ----
+  std::printf("\n%-28s %14s %16s\n", "pointers in pool", "rewrite (ms)", "(paper)");
+  const uint64_t max_ptrs = bench::Scaled(200000);
+  for (uint64_t pointers : std::initializer_list<uint64_t>{20, 2000, max_ptrs}) {
+    fs::path pool_dir = dir / ("ptr" + std::to_string(pointers));
+    double rewrite_ms = 0;
+    {
+      bench::PuddlesEnv env(pool_dir);
+      workloads::PersistentList<workloads::PuddlesAdapter>::RegisterTypes();
+      workloads::PersistentList<workloads::PuddlesAdapter> list(env.adapter());
+      (void)list.Init();
+      for (uint64_t i = 0; i < pointers; ++i) {
+        (void)list.InsertTail(i);
+      }
+      fs::path export_dir = pool_dir / "export";
+      (void)env.runtime->ExportPool("bench", export_dir.string());
+
+      // Import into the same space: conflicts force a full rewrite.
+      auto before = env.runtime->stats();
+      (void)env.runtime->client().ImportPool(export_dir.string(), "copy");
+      Timer timer;
+      auto copy = env.runtime->OpenPool("copy");  // Maps + rewrites eagerly/on demand.
+      if (copy.ok()) {
+        workloads::PuddlesAdapter copy_adapter(*copy);
+        workloads::PersistentList<workloads::PuddlesAdapter> copy_list(copy_adapter);
+        (void)copy_list.Init();
+        bench::DoNotOptimize(copy_list.Sum());  // Touch everything.
+      }
+      rewrite_ms = timer.Seconds() * 1e3;
+      auto after = env.runtime->stats();
+      std::printf("%-28llu %14.3f %16s (rewrote %llu ptrs)\n",
+                  static_cast<unsigned long long>(pointers), rewrite_ms,
+                  pointers == 20      ? "0.2 ms"
+                  : pointers == 2000  ? "1.6 ms"
+                                      : "0.5 s @2M",
+                  static_cast<unsigned long long>(after.pointers_rewritten -
+                                                  before.pointers_rewritten));
+    }
+    fs::remove_all(pool_dir);
+  }
+
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -1,0 +1,189 @@
+// Table 3: mean latency of Puddles vs PMDK-like API primitives —
+// TX NOP, TX_ADD (8 B / 4 KiB), malloc (8 B / 4 KiB), malloc+free.
+#include "bench/bench_env.h"
+#include "bench/bench_util.h"
+#include "src/tx/tx.h"
+
+namespace {
+
+using bench::Timer;
+
+double NsPerOp(uint64_t iterations, double seconds) {
+  return seconds * 1e9 / static_cast<double>(iterations);
+}
+
+struct Column {
+  double tx_nop;
+  double tx_add_8;
+  double tx_add_4k;
+  double malloc_8;
+  double malloc_4k;
+  double malloc_free_8;
+  double malloc_free_4k;
+};
+
+Column RunPuddles(bench::PuddlesEnv& env, uint64_t iters) {
+  Column col{};
+  puddles::Pool& pool = *env.pool;
+  Timer timer;
+
+  for (uint64_t i = 0; i < iters; ++i) {
+    TX_BEGIN(pool) {}
+    TX_END;
+  }
+  col.tx_nop = NsPerOp(iters, timer.Seconds());
+
+  alignas(64) static uint8_t small[8];
+  alignas(64) static uint8_t big[4096];
+  timer.Reset();
+  for (uint64_t i = 0; i < iters; ++i) {
+    TX_BEGIN(pool) { TX_ADD_RANGE(small, sizeof(small)); }
+    TX_END;
+  }
+  col.tx_add_8 = NsPerOp(iters, timer.Seconds());
+
+  timer.Reset();
+  for (uint64_t i = 0; i < iters / 4; ++i) {
+    TX_BEGIN(pool) { TX_ADD_RANGE(big, sizeof(big)); }
+    TX_END;
+  }
+  col.tx_add_4k = NsPerOp(iters / 4, timer.Seconds());
+
+  // malloc-only: allocate without freeing (fresh objects each time).
+  const uint64_t alloc_iters = iters / 8;
+  timer.Reset();
+  for (uint64_t i = 0; i < alloc_iters; ++i) {
+    TX_BEGIN(pool) { (void)pool.MallocBytes(8, puddles::kRawBytesTypeId); }
+    TX_END;
+  }
+  col.malloc_8 = NsPerOp(alloc_iters, timer.Seconds());
+
+  timer.Reset();
+  for (uint64_t i = 0; i < alloc_iters; ++i) {
+    TX_BEGIN(pool) { (void)pool.MallocBytes(4096, puddles::kRawBytesTypeId); }
+    TX_END;
+  }
+  col.malloc_4k = NsPerOp(alloc_iters, timer.Seconds());
+
+  timer.Reset();
+  for (uint64_t i = 0; i < alloc_iters; ++i) {
+    TX_BEGIN(pool) {
+      auto p = pool.MallocBytes(8, puddles::kRawBytesTypeId);
+      if (p.ok()) {
+        (void)pool.Free(*p);
+      }
+    }
+    TX_END;
+  }
+  col.malloc_free_8 = NsPerOp(alloc_iters, timer.Seconds());
+
+  timer.Reset();
+  for (uint64_t i = 0; i < alloc_iters; ++i) {
+    TX_BEGIN(pool) {
+      auto p = pool.MallocBytes(4096, puddles::kRawBytesTypeId);
+      if (p.ok()) {
+        (void)pool.Free(*p);
+      }
+    }
+    TX_END;
+  }
+  col.malloc_free_4k = NsPerOp(alloc_iters, timer.Seconds());
+  return col;
+}
+
+Column RunFatPtr(fatptr::FatPool& pool, uint64_t iters) {
+  Column col{};
+  Timer timer;
+  for (uint64_t i = 0; i < iters; ++i) {
+    (void)pool.TxBegin();
+    (void)pool.TxCommit();
+  }
+  col.tx_nop = NsPerOp(iters, timer.Seconds());
+
+  alignas(64) static uint8_t small[8];
+  alignas(64) static uint8_t big[4096];
+  timer.Reset();
+  for (uint64_t i = 0; i < iters; ++i) {
+    (void)pool.TxBegin();
+    (void)pool.TxAddRange(small, sizeof(small));
+    (void)pool.TxCommit();
+  }
+  col.tx_add_8 = NsPerOp(iters, timer.Seconds());
+
+  timer.Reset();
+  for (uint64_t i = 0; i < iters / 4; ++i) {
+    (void)pool.TxBegin();
+    (void)pool.TxAddRange(big, sizeof(big));
+    (void)pool.TxCommit();
+  }
+  col.tx_add_4k = NsPerOp(iters / 4, timer.Seconds());
+
+  const uint64_t alloc_iters = iters / 8;
+  timer.Reset();
+  for (uint64_t i = 0; i < alloc_iters; ++i) {
+    (void)pool.TxBegin();
+    (void)pool.AllocBytes(8, puddles::kRawBytesTypeId);
+    (void)pool.TxCommit();
+  }
+  col.malloc_8 = NsPerOp(alloc_iters, timer.Seconds());
+
+  timer.Reset();
+  for (uint64_t i = 0; i < alloc_iters; ++i) {
+    (void)pool.TxBegin();
+    (void)pool.AllocBytes(4096, puddles::kRawBytesTypeId);
+    (void)pool.TxCommit();
+  }
+  col.malloc_4k = NsPerOp(alloc_iters, timer.Seconds());
+
+  timer.Reset();
+  for (uint64_t i = 0; i < alloc_iters; ++i) {
+    (void)pool.TxBegin();
+    auto p = pool.AllocBytes(8, puddles::kRawBytesTypeId);
+    if (p.ok()) {
+      (void)pool.FreeBytes(*p);
+    }
+    (void)pool.TxCommit();
+  }
+  col.malloc_free_8 = NsPerOp(alloc_iters, timer.Seconds());
+
+  timer.Reset();
+  for (uint64_t i = 0; i < alloc_iters; ++i) {
+    (void)pool.TxBegin();
+    auto p = pool.AllocBytes(4096, puddles::kRawBytesTypeId);
+    if (p.ok()) {
+      (void)pool.FreeBytes(*p);
+    }
+    (void)pool.TxCommit();
+  }
+  col.malloc_free_4k = NsPerOp(alloc_iters, timer.Seconds());
+  return col;
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t iters = bench::Scaled(100000);
+  bench::PrintHeader("Table 3: API primitive latencies (mean ns)",
+                     "paper Table 3 (TX NOP 11ns vs 142ns etc.)");
+  auto dir = bench::ScratchDir("table3");
+
+  bench::PuddlesEnv puddles_env(dir);
+  Column puddles_col = RunPuddles(puddles_env, iters);
+
+  bench::BaselineEnv<fatptr::FatPool> fat_env(dir, "pmdk");
+  Column pmdk_col = RunFatPtr(*fat_env.pool, iters);
+
+  std::printf("%-22s %14s %14s\n", "operation", "Puddles", "PMDK");
+  auto row = [](const char* op, double a, double b) {
+    std::printf("%-22s %12.1f ns %12.1f ns\n", op, a, b);
+  };
+  row("TX NOP", puddles_col.tx_nop, pmdk_col.tx_nop);
+  row("TX_ADD 8B", puddles_col.tx_add_8, pmdk_col.tx_add_8);
+  row("TX_ADD 4kB", puddles_col.tx_add_4k, pmdk_col.tx_add_4k);
+  row("malloc 8B", puddles_col.malloc_8, pmdk_col.malloc_8);
+  row("malloc 4kB", puddles_col.malloc_4k, pmdk_col.malloc_4k);
+  row("malloc+free 8B", puddles_col.malloc_free_8, pmdk_col.malloc_free_8);
+  row("malloc+free 4kB", puddles_col.malloc_free_4k, pmdk_col.malloc_free_4k);
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -1,0 +1,270 @@
+#include "src/alloc/buddy.h"
+
+#include <cstring>
+
+#include "src/common/align.h"
+
+namespace puddles {
+
+size_t BuddyAllocator::MetaSize(size_t heap_size) {
+  return sizeof(Header) + (heap_size >> kMinBlockLog2);
+}
+
+uint32_t BuddyAllocator::OrderForSize(size_t size) {
+  if (size <= kMinBlockSize) {
+    return 0;
+  }
+  return static_cast<uint32_t>(Log2Ceil(size)) - kMinBlockLog2;
+}
+
+puddles::Status BuddyAllocator::Format(void* meta, void* heap, size_t heap_size) {
+  if (!IsPowerOfTwo(heap_size) || heap_size < kMinBlockSize) {
+    return InvalidArgumentError("buddy heap size must be a power of two >= 256");
+  }
+  auto* header = static_cast<Header*>(meta);
+  auto* state = reinterpret_cast<uint8_t*>(header + 1);
+  const size_t num_blocks = heap_size >> kMinBlockLog2;
+  const uint32_t num_orders = static_cast<uint32_t>(Log2Floor(heap_size) - kMinBlockLog2) + 1;
+  if (num_orders > kMaxOrders) {
+    return InvalidArgumentError("buddy heap too large");
+  }
+
+  header->magic = kMetaMagic;
+  header->heap_size = heap_size;
+  header->num_orders = num_orders;
+  header->reserved = 0;
+  header->free_bytes = heap_size;
+  for (auto& head : header->free_head) {
+    head = -1;
+  }
+  std::memset(state, kStateInterior, num_blocks);
+
+  // The whole heap starts as one free block of the top order.
+  state[0] = kStateFreeStart;
+  auto* node = reinterpret_cast<FreeNode*>(heap);
+  node->next = -1;
+  node->prev = -1;
+  node->order = num_orders - 1;
+  node->check = ~node->order;
+  header->free_head[num_orders - 1] = 0;
+  return OkStatus();
+}
+
+puddles::Result<BuddyAllocator> BuddyAllocator::Attach(void* meta, void* heap, size_t heap_size,
+                                                       LogSink sink) {
+  auto* header = static_cast<Header*>(meta);
+  if (header->magic != kMetaMagic) {
+    return DataLossError("buddy metadata magic mismatch");
+  }
+  if (header->heap_size != heap_size) {
+    return DataLossError("buddy heap size mismatch");
+  }
+  auto* state = reinterpret_cast<uint8_t*>(header + 1);
+  return BuddyAllocator(header, state, static_cast<uint8_t*>(heap), heap_size, sink);
+}
+
+void BuddyAllocator::SetState(size_t index, uint8_t value) {
+  sink_.WillWrite(&state_[index], 1);
+  state_[index] = value;
+}
+
+void BuddyAllocator::SetFreeBytes(uint64_t value) {
+  sink_.WillWrite(&header_->free_bytes, sizeof(header_->free_bytes));
+  header_->free_bytes = value;
+}
+
+void BuddyAllocator::PushFree(int64_t offset, uint32_t order) {
+  FreeNode* node = NodeAt(offset);
+  sink_.WillWrite(node, sizeof(FreeNode));
+  node->next = header_->free_head[order];
+  node->prev = -1;
+  node->order = order;
+  node->check = ~order;
+  if (header_->free_head[order] >= 0) {
+    FreeNode* head = NodeAt(header_->free_head[order]);
+    sink_.WillWrite(&head->prev, sizeof(head->prev));
+    head->prev = offset;
+  }
+  sink_.WillWrite(&header_->free_head[order], sizeof(int64_t));
+  header_->free_head[order] = offset;
+}
+
+void BuddyAllocator::RemoveFree(int64_t offset, uint32_t order) {
+  FreeNode* node = NodeAt(offset);
+  if (node->prev >= 0) {
+    FreeNode* prev = NodeAt(node->prev);
+    sink_.WillWrite(&prev->next, sizeof(prev->next));
+    prev->next = node->next;
+  } else {
+    sink_.WillWrite(&header_->free_head[order], sizeof(int64_t));
+    header_->free_head[order] = node->next;
+  }
+  if (node->next >= 0) {
+    FreeNode* next = NodeAt(node->next);
+    sink_.WillWrite(&next->prev, sizeof(next->prev));
+    next->prev = node->prev;
+  }
+}
+
+puddles::Result<int64_t> BuddyAllocator::Allocate(size_t size) {
+  if (size == 0 || size > heap_size_) {
+    return InvalidArgumentError("buddy allocation size out of range");
+  }
+  const uint32_t want = OrderForSize(size);
+  uint32_t order = want;
+  while (order < header_->num_orders && header_->free_head[order] < 0) {
+    ++order;
+  }
+  if (order >= header_->num_orders) {
+    return OutOfMemoryError("buddy heap exhausted");
+  }
+
+  int64_t offset = header_->free_head[order];
+  RemoveFree(offset, order);
+
+  // Split down to the requested order, pushing the upper buddy of each split.
+  while (order > want) {
+    --order;
+    int64_t buddy = offset + static_cast<int64_t>(OrderSize(order));
+    SetState(BlockIndex(buddy), kStateFreeStart);
+    PushFree(buddy, order);
+  }
+
+  SetState(BlockIndex(offset), static_cast<uint8_t>(want));
+  SetFreeBytes(header_->free_bytes - OrderSize(want));
+  return offset;
+}
+
+puddles::Status BuddyAllocator::Free(int64_t offset) {
+  if (offset < 0 || static_cast<size_t>(offset) >= heap_size_ ||
+      !IsAligned(static_cast<uint64_t>(offset), kMinBlockSize)) {
+    return InvalidArgumentError("buddy free: bad offset");
+  }
+  uint8_t state = state_[BlockIndex(offset)];
+  if (state >= kStateFreeStart) {
+    return FailedPreconditionError("buddy free: not an allocated block start");
+  }
+  uint32_t order = state;
+  const size_t freed = OrderSize(order);
+
+  // Coalesce with free buddies as far up as possible.
+  while (order + 1 < header_->num_orders) {
+    int64_t buddy = offset ^ static_cast<int64_t>(OrderSize(order));
+    if (static_cast<size_t>(buddy) >= heap_size_) {
+      break;
+    }
+    if (state_[BlockIndex(buddy)] != kStateFreeStart) {
+      break;
+    }
+    FreeNode* buddy_node = NodeAt(buddy);
+    if (buddy_node->order != order || buddy_node->check != ~order) {
+      break;
+    }
+    RemoveFree(buddy, order);
+    int64_t upper = offset > buddy ? offset : buddy;
+    SetState(BlockIndex(upper), kStateInterior);
+    offset = offset < buddy ? offset : buddy;
+    ++order;
+  }
+
+  SetState(BlockIndex(offset), kStateFreeStart);
+  PushFree(offset, order);
+  SetFreeBytes(header_->free_bytes + freed);
+  return OkStatus();
+}
+
+size_t BuddyAllocator::BlockSize(int64_t offset) const {
+  if (offset < 0 || static_cast<size_t>(offset) >= heap_size_ ||
+      !IsAligned(static_cast<uint64_t>(offset), kMinBlockSize)) {
+    return 0;
+  }
+  uint8_t state = state_[BlockIndex(offset)];
+  if (state >= kStateFreeStart) {
+    return 0;
+  }
+  return OrderSize(state);
+}
+
+bool BuddyAllocator::IsAllocatedStart(int64_t offset) const { return BlockSize(offset) != 0; }
+
+uint64_t BuddyAllocator::free_bytes() const { return header_->free_bytes; }
+
+void BuddyAllocator::ForEachAllocated(const std::function<void(int64_t, size_t)>& fn) const {
+  const size_t num_blocks = NumBlocks();
+  for (size_t i = 0; i < num_blocks;) {
+    uint8_t state = state_[i];
+    if (state < kStateFreeStart) {
+      const size_t size = OrderSize(state);
+      fn(static_cast<int64_t>(i << kMinBlockLog2), size);
+      i += size >> kMinBlockLog2;
+    } else if (state == kStateFreeStart) {
+      FreeNode* node = NodeAt(static_cast<int64_t>(i << kMinBlockLog2));
+      i += OrderSize(node->order) >> kMinBlockLog2;
+    } else {
+      ++i;  // Interior byte outside any block start: skip (shouldn't happen).
+    }
+  }
+}
+
+puddles::Status BuddyAllocator::Validate() const {
+  if (header_->magic != kMetaMagic) {
+    return DataLossError("validate: bad magic");
+  }
+  // Walk free lists; each node's state byte must agree.
+  uint64_t free_from_lists = 0;
+  for (uint32_t order = 0; order < header_->num_orders; ++order) {
+    int64_t prev = -1;
+    size_t guard = NumBlocks() + 1;
+    for (int64_t off = header_->free_head[order]; off >= 0;) {
+      if (guard-- == 0) {
+        return DataLossError("validate: free list cycle");
+      }
+      if (static_cast<size_t>(off) >= heap_size_) {
+        return DataLossError("validate: free offset out of range");
+      }
+      if (state_[BlockIndex(off)] != kStateFreeStart) {
+        return DataLossError("validate: free node without free state byte");
+      }
+      FreeNode* node = NodeAt(off);
+      if (node->order != order || node->check != ~order) {
+        return DataLossError("validate: free node order mismatch");
+      }
+      if (node->prev != prev) {
+        return DataLossError("validate: free list back-link mismatch");
+      }
+      free_from_lists += OrderSize(order);
+      prev = off;
+      off = node->next;
+    }
+  }
+  if (free_from_lists != header_->free_bytes) {
+    return DataLossError("validate: free byte accounting mismatch");
+  }
+  // Walk state bytes; starts must tile the heap exactly.
+  uint64_t covered = 0;
+  for (size_t i = 0; i < NumBlocks();) {
+    uint8_t state = state_[i];
+    size_t span;
+    if (state < kStateFreeStart) {
+      span = OrderSize(state) >> kMinBlockLog2;
+    } else if (state == kStateFreeStart) {
+      FreeNode* node = NodeAt(static_cast<int64_t>(i << kMinBlockLog2));
+      span = OrderSize(node->order) >> kMinBlockLog2;
+    } else {
+      return DataLossError("validate: interior byte at block boundary");
+    }
+    for (size_t j = 1; j < span; ++j) {
+      if (state_[i + j] != kStateInterior) {
+        return DataLossError("validate: block interior not marked interior");
+      }
+    }
+    covered += span << kMinBlockLog2;
+    i += span;
+  }
+  if (covered != heap_size_) {
+    return DataLossError("validate: heap not fully tiled");
+  }
+  return OkStatus();
+}
+
+}  // namespace puddles

@@ -1,0 +1,30 @@
+// Write-ahead hook connecting allocators to the transaction runtime.
+//
+// Paper §4.1/§4.5: allocator metadata updates are crash-consistent because the
+// allocator undo-logs every metadata word it is about to modify ("This new
+// node is automatically undo-logged by the allocator", Fig. 8). The allocator
+// itself stays logging-agnostic: it announces each impending write through a
+// LogSink, and the transaction runtime (src/tx/) records the undo entry.
+#ifndef SRC_ALLOC_LOG_SINK_H_
+#define SRC_ALLOC_LOG_SINK_H_
+
+#include <cstddef>
+
+namespace puddles {
+
+// Non-owning callback: `fn(ctx, addr, size)` is invoked before [addr,
+// addr+size) is modified, while it still holds the old value.
+struct LogSink {
+  void* ctx = nullptr;
+  void (*fn)(void* ctx, void* addr, size_t size) = nullptr;
+
+  void WillWrite(void* addr, size_t size) const {
+    if (fn != nullptr) {
+      fn(ctx, addr, size);
+    }
+  }
+};
+
+}  // namespace puddles
+
+#endif  // SRC_ALLOC_LOG_SINK_H_

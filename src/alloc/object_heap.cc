@@ -1,0 +1,134 @@
+#include "src/alloc/object_heap.h"
+
+#include <cstring>
+
+#include "src/common/align.h"
+
+namespace puddles {
+
+size_t ObjectHeap::MetaSize(size_t heap_size) {
+  return sizeof(Meta) + BuddyAllocator::MetaSize(heap_size);
+}
+
+puddles::Status ObjectHeap::Format(void* meta, void* heap, size_t heap_size) {
+  auto* m = static_cast<Meta*>(meta);
+  m->magic = kMetaMagic;
+  m->heap_size = heap_size;
+  SlabAllocator::FormatDirectory(&m->slab_dir);
+  return BuddyAllocator::Format(m + 1, heap, heap_size);
+}
+
+puddles::Result<ObjectHeap> ObjectHeap::Attach(void* meta, void* heap, size_t heap_size,
+                                               LogSink sink) {
+  auto* m = static_cast<Meta*>(meta);
+  if (m->magic != kMetaMagic) {
+    return DataLossError("object heap metadata magic mismatch");
+  }
+  if (m->heap_size != heap_size) {
+    return DataLossError("object heap size mismatch");
+  }
+  ASSIGN_OR_RETURN(BuddyAllocator buddy, BuddyAllocator::Attach(m + 1, heap, heap_size, sink));
+  return ObjectHeap(m, std::move(buddy), sink);
+}
+
+puddles::Result<void*> ObjectHeap::Allocate(size_t payload_size, TypeId type_id) {
+  if (payload_size == 0) {
+    return InvalidArgumentError("zero-size allocation");
+  }
+  const size_t total = payload_size + sizeof(ObjectHeader);
+  int64_t offset;
+  if (total <= kMaxSlabSlot) {
+    SlabAllocator slab = Slab();
+    ASSIGN_OR_RETURN(offset, slab.Allocate(total));
+  } else {
+    ASSIGN_OR_RETURN(offset, buddy_.Allocate(total));
+  }
+  auto* header = reinterpret_cast<ObjectHeader*>(static_cast<uint8_t*>(buddy_.heap()) + offset);
+  sink_.WillWrite(header, sizeof(ObjectHeader));
+  header->magic = kObjectMagic;
+  header->size = static_cast<uint32_t>(payload_size);
+  header->type_id = type_id;
+  return static_cast<void*>(header + 1);
+}
+
+const ObjectHeader* ObjectHeap::HeaderOf(const void* payload) const {
+  if (!InHeap(payload)) {
+    return nullptr;
+  }
+  const auto* header = static_cast<const ObjectHeader*>(payload) - 1;
+  if (!InHeap(header) || header->magic != kObjectMagic) {
+    return nullptr;
+  }
+  return header;
+}
+
+bool ObjectHeap::IsLiveObject(const void* payload) const {
+  const ObjectHeader* header = HeaderOf(payload);
+  if (header == nullptr) {
+    return false;
+  }
+  const int64_t header_off = OffsetOf(header);
+  if (buddy_.IsAllocatedStart(header_off)) {
+    return !Slab().IsSlabBlock(header_off);
+  }
+  // Must be a slot of a live slab.
+  const int64_t slab_off =
+      static_cast<int64_t>(AlignDown(static_cast<uint64_t>(header_off), kSlabBlockSize));
+  return Slab().IsSlabBlock(slab_off);
+}
+
+puddles::Status ObjectHeap::Free(void* payload) {
+  auto* header = static_cast<ObjectHeader*>(payload) - 1;
+  if (!InHeap(header) || header->magic != kObjectMagic) {
+    return FailedPreconditionError("free: not a live object");
+  }
+  const int64_t offset = OffsetOf(header);
+  sink_.WillWrite(&header->magic, sizeof(header->magic));
+  header->magic = 0;
+  if (buddy_.IsAllocatedStart(offset)) {
+    return buddy_.Free(offset);
+  }
+  return Slab().Free(offset);
+}
+
+void ObjectHeap::ForEachObject(const std::function<void(void*, const ObjectHeader&)>& fn) const {
+  auto* heap = static_cast<uint8_t*>(buddy_.heap());
+  SlabAllocator slab = Slab();
+  buddy_.ForEachAllocated([&](int64_t offset, size_t size) {
+    if (slab.IsSlabBlock(offset)) {
+      slab.ForEachSlot(offset, [&](int64_t slot_offset, size_t /*slot_size*/) {
+        auto* header = reinterpret_cast<ObjectHeader*>(heap + slot_offset);
+        if (header->magic == kObjectMagic) {
+          fn(header + 1, *header);
+        }
+      });
+      return;
+    }
+    auto* header = reinterpret_cast<ObjectHeader*>(heap + offset);
+    if (header->magic == kObjectMagic) {
+      fn(header + 1, *header);
+    }
+  });
+}
+
+puddles::Status ObjectHeap::Validate() const {
+  RETURN_IF_ERROR(buddy_.Validate());
+  RETURN_IF_ERROR(Slab().Validate());
+  // Every discovered object header must be well-formed and sized within its
+  // containing block.
+  puddles::Status status = OkStatus();
+  ForEachObject([&](void* payload, const ObjectHeader& header) {
+    if (!status.ok()) {
+      return;
+    }
+    if (header.size == 0) {
+      status = DataLossError("object with zero size");
+    }
+    if (!InHeap(static_cast<uint8_t*>(payload) + header.size - 1)) {
+      status = DataLossError("object extends past heap end");
+    }
+  });
+  return status;
+}
+
+}  // namespace puddles

@@ -1,0 +1,201 @@
+#include "src/alloc/slab.h"
+
+#include <cstring>
+
+#include "src/common/align.h"
+
+namespace puddles {
+
+void SlabAllocator::FormatDirectory(SlabDirectory* dir) {
+  dir->magic = kDirectoryMagic;
+  for (auto& head : dir->partial_head) {
+    head = -1;
+  }
+}
+
+int SlabAllocator::ClassForSize(size_t total) {
+  for (size_t i = 0; i < kNumSlabClasses; ++i) {
+    if (total <= kSlabSlotSizes[i]) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void SlabAllocator::PushPartial(int class_index, int64_t slab_offset) {
+  SlabHeader* slab = SlabAt(slab_offset);
+  sink_.WillWrite(&slab->next_partial, sizeof(int64_t) * 2);
+  slab->next_partial = dir_->partial_head[class_index];
+  slab->prev_partial = -1;
+  if (dir_->partial_head[class_index] >= 0) {
+    SlabHeader* head = SlabAt(dir_->partial_head[class_index]);
+    sink_.WillWrite(&head->prev_partial, sizeof(int64_t));
+    head->prev_partial = slab_offset;
+  }
+  sink_.WillWrite(&dir_->partial_head[class_index], sizeof(int64_t));
+  dir_->partial_head[class_index] = slab_offset;
+}
+
+void SlabAllocator::RemovePartial(int class_index, int64_t slab_offset) {
+  SlabHeader* slab = SlabAt(slab_offset);
+  if (slab->prev_partial >= 0) {
+    SlabHeader* prev = SlabAt(slab->prev_partial);
+    sink_.WillWrite(&prev->next_partial, sizeof(int64_t));
+    prev->next_partial = slab->next_partial;
+  } else {
+    sink_.WillWrite(&dir_->partial_head[class_index], sizeof(int64_t));
+    dir_->partial_head[class_index] = slab->next_partial;
+  }
+  if (slab->next_partial >= 0) {
+    SlabHeader* next = SlabAt(slab->next_partial);
+    sink_.WillWrite(&next->prev_partial, sizeof(int64_t));
+    next->prev_partial = slab->prev_partial;
+  }
+}
+
+puddles::Result<int64_t> SlabAllocator::Allocate(size_t total) {
+  int class_index = ClassForSize(total);
+  if (class_index < 0) {
+    return InvalidArgumentError("slab allocation too large");
+  }
+
+  int64_t slab_offset = dir_->partial_head[class_index];
+  if (slab_offset < 0) {
+    // No partial slab: carve a new one from the buddy allocator.
+    ASSIGN_OR_RETURN(slab_offset, buddy_->Allocate(kSlabBlockSize));
+    SlabHeader* slab = SlabAt(slab_offset);
+    sink_.WillWrite(slab, sizeof(SlabHeader));
+    std::memset(slab, 0, sizeof(SlabHeader));
+    slab->magic = kSlabMagic;
+    slab->class_index = static_cast<uint16_t>(class_index);
+    slab->num_slots = static_cast<uint16_t>(SlotsPerSlab(class_index));
+    slab->used = 0;
+    slab->next_partial = -1;
+    slab->prev_partial = -1;
+    PushPartial(class_index, slab_offset);
+  }
+
+  SlabHeader* slab = SlabAt(slab_offset);
+  // Find the first clear bit.
+  int slot = -1;
+  for (int word = 0; word < 2 && slot < 0; ++word) {
+    uint64_t bits = slab->bitmap[word];
+    if (bits != ~0ULL) {
+      int bit = __builtin_ctzll(~bits);
+      int candidate = word * 64 + bit;
+      if (candidate < slab->num_slots) {
+        slot = candidate;
+      }
+    }
+  }
+  if (slot < 0) {
+    return InternalError("partial slab with no free slot");
+  }
+
+  sink_.WillWrite(&slab->bitmap[slot / 64], sizeof(uint64_t));
+  slab->bitmap[slot / 64] |= 1ULL << (slot % 64);
+  sink_.WillWrite(&slab->used, sizeof(slab->used));
+  slab->used++;
+  if (slab->used == slab->num_slots) {
+    RemovePartial(class_index, slab_offset);
+    sink_.WillWrite(&slab->next_partial, sizeof(int64_t) * 2);
+    slab->next_partial = -1;
+    slab->prev_partial = -1;
+  }
+  return slab_offset + static_cast<int64_t>(sizeof(SlabHeader)) +
+         static_cast<int64_t>(slot) * kSlabSlotSizes[class_index];
+}
+
+puddles::Status SlabAllocator::Free(int64_t slot_offset) {
+  const int64_t slab_offset = static_cast<int64_t>(
+      AlignDown(static_cast<uint64_t>(slot_offset), kSlabBlockSize));
+  SlabHeader* slab = SlabAt(slab_offset);
+  if (slab->magic != kSlabMagic) {
+    return FailedPreconditionError("slab free: offset not inside a slab");
+  }
+  const int class_index = slab->class_index;
+  const int64_t slot_area = slot_offset - slab_offset - static_cast<int64_t>(sizeof(SlabHeader));
+  if (slot_area < 0 || slot_area % kSlabSlotSizes[class_index] != 0) {
+    return InvalidArgumentError("slab free: misaligned slot offset");
+  }
+  const int slot = static_cast<int>(slot_area / kSlabSlotSizes[class_index]);
+  if (slot >= slab->num_slots ||
+      (slab->bitmap[slot / 64] & (1ULL << (slot % 64))) == 0) {
+    return FailedPreconditionError("slab free: slot not allocated");
+  }
+
+  const bool was_full = slab->used == slab->num_slots;
+  sink_.WillWrite(&slab->bitmap[slot / 64], sizeof(uint64_t));
+  slab->bitmap[slot / 64] &= ~(1ULL << (slot % 64));
+  sink_.WillWrite(&slab->used, sizeof(slab->used));
+  slab->used--;
+
+  if (slab->used == 0) {
+    // Return the whole slab to the buddy allocator.
+    if (!was_full) {
+      RemovePartial(class_index, slab_offset);
+    }
+    sink_.WillWrite(&slab->magic, sizeof(slab->magic));
+    slab->magic = 0;
+    return buddy_->Free(slab_offset);
+  }
+  if (was_full) {
+    PushPartial(class_index, slab_offset);
+  }
+  return OkStatus();
+}
+
+bool SlabAllocator::IsSlabBlock(int64_t block_offset) const {
+  if (buddy_->BlockSize(block_offset) != kSlabBlockSize) {
+    return false;
+  }
+  return SlabAt(block_offset)->magic == kSlabMagic;
+}
+
+void SlabAllocator::ForEachSlot(int64_t block_offset,
+                                const std::function<void(int64_t, size_t)>& fn) const {
+  const SlabHeader* slab = SlabAt(block_offset);
+  const size_t slot_size = kSlabSlotSizes[slab->class_index];
+  for (int slot = 0; slot < slab->num_slots; ++slot) {
+    if (slab->bitmap[slot / 64] & (1ULL << (slot % 64))) {
+      fn(block_offset + static_cast<int64_t>(sizeof(SlabHeader)) +
+             static_cast<int64_t>(slot) * static_cast<int64_t>(slot_size),
+         slot_size);
+    }
+  }
+}
+
+puddles::Status SlabAllocator::Validate() const {
+  if (dir_->magic != kDirectoryMagic) {
+    return DataLossError("slab directory magic mismatch");
+  }
+  for (size_t cls = 0; cls < kNumSlabClasses; ++cls) {
+    int64_t prev = -1;
+    size_t guard = buddy_->heap_size() / kSlabBlockSize + 1;
+    for (int64_t off = dir_->partial_head[cls]; off >= 0;) {
+      if (guard-- == 0) {
+        return DataLossError("slab partial list cycle");
+      }
+      const SlabHeader* slab = SlabAt(off);
+      if (slab->magic != kSlabMagic || slab->class_index != cls) {
+        return DataLossError("slab partial list node corrupt");
+      }
+      if (slab->used >= slab->num_slots) {
+        return DataLossError("full slab on partial list");
+      }
+      if (slab->prev_partial != prev) {
+        return DataLossError("slab partial back-link mismatch");
+      }
+      int popcount = __builtin_popcountll(slab->bitmap[0]) +
+                     __builtin_popcountll(slab->bitmap[1]);
+      if (popcount != slab->used) {
+        return DataLossError("slab used count does not match bitmap");
+      }
+      prev = off;
+      off = slab->next_partial;
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace puddles

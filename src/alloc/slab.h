@@ -1,0 +1,108 @@
+// Size-class slab allocator for small objects (paper §4.5: "per-type slab
+// allocators manage small allocations (< 256 B)"; we key slabs by size class
+// and keep the type in the per-object header, which preserves the pointer
+// discoverability that the paper wants from per-type slabs while letting
+// classes be shared).
+//
+// Each slab is one 4 KiB block obtained from the puddle's buddy allocator:
+// a 64 B header (occupancy bitmap + partial-list links, offsets only) followed
+// by fixed-size slots. Slabs with free slots are chained per class from a
+// directory that lives in the puddle's metadata region.
+#ifndef SRC_ALLOC_SLAB_H_
+#define SRC_ALLOC_SLAB_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "src/alloc/buddy.h"
+#include "src/alloc/log_sink.h"
+#include "src/common/status.h"
+
+namespace puddles {
+
+inline constexpr uint32_t kSlabMagic = 0x534c4231;  // "SLB1"
+inline constexpr size_t kSlabBlockSize = 4096;
+
+// Slot sizes must cover ObjectHeader (16 B) + payload. Payloads above
+// kMaxSlabPayload go to the buddy allocator directly.
+inline constexpr std::array<uint16_t, 7> kSlabSlotSizes = {32, 48, 64, 96, 128, 192, 272};
+inline constexpr size_t kNumSlabClasses = kSlabSlotSizes.size();
+inline constexpr size_t kMaxSlabSlot = 272;
+
+struct SlabHeader {
+  uint32_t magic;
+  uint16_t class_index;
+  uint16_t num_slots;
+  uint16_t used;
+  uint16_t reserved0;
+  uint32_t reserved1;
+  int64_t next_partial;  // Heap offset of the next slab with free slots; -1.
+  int64_t prev_partial;
+  uint64_t bitmap[2];  // Bit i set = slot i allocated. ≤126 slots per slab.
+  uint64_t reserved2;
+  uint64_t reserved3;
+};
+static_assert(sizeof(SlabHeader) == 64, "slab header must be exactly one cache line");
+
+// Lives in the puddle metadata region next to the buddy metadata.
+struct SlabDirectory {
+  uint64_t magic;
+  int64_t partial_head[kNumSlabClasses];  // Heap offsets; -1 when empty.
+};
+
+class SlabAllocator {
+ public:
+  static constexpr uint64_t kDirectoryMagic = 0x50444c534c414231ULL;  // "PDLSLAB1"
+
+  static void FormatDirectory(SlabDirectory* dir);
+
+  // `dir` must point at a formatted SlabDirectory; `buddy` supplies 4 KiB
+  // blocks from the same heap.
+  SlabAllocator(SlabDirectory* dir, BuddyAllocator* buddy, LogSink sink = {})
+      : dir_(dir), buddy_(buddy), sink_(sink) {}
+
+  void set_log_sink(LogSink sink) { sink_ = sink; }
+
+  // Smallest class whose slot fits `total` bytes, or -1 if it needs the buddy.
+  static int ClassForSize(size_t total);
+
+  // Allocates one slot able to hold `total` bytes. Returns the heap offset of
+  // the slot start.
+  puddles::Result<int64_t> Allocate(size_t total);
+
+  // Frees the slot at `slot_offset`, which must lie inside a live slab.
+  puddles::Status Free(int64_t slot_offset);
+
+  // True if the allocated buddy block at `block_offset` is a slab.
+  bool IsSlabBlock(int64_t block_offset) const;
+
+  // Invokes `fn(slot_offset, slot_size)` for every live slot in the slab at
+  // `block_offset`.
+  void ForEachSlot(int64_t block_offset, const std::function<void(int64_t, size_t)>& fn) const;
+
+  // Cross-checks directory lists and slab bitmaps.
+  puddles::Status Validate() const;
+
+ private:
+  uint8_t* heap() const { return static_cast<uint8_t*>(buddy_->heap()); }
+  SlabHeader* SlabAt(int64_t offset) const {
+    return reinterpret_cast<SlabHeader*>(heap() + offset);
+  }
+
+  static size_t SlotsPerSlab(int class_index) {
+    return (kSlabBlockSize - sizeof(SlabHeader)) / kSlabSlotSizes[class_index];
+  }
+
+  void PushPartial(int class_index, int64_t slab_offset);
+  void RemovePartial(int class_index, int64_t slab_offset);
+
+  SlabDirectory* dir_;
+  BuddyAllocator* buddy_;
+  LogSink sink_;
+};
+
+}  // namespace puddles
+
+#endif  // SRC_ALLOC_SLAB_H_

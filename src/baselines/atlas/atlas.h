@@ -1,0 +1,156 @@
+// Atlas-like baseline (Chakrabarti, Boehm, Bhandari, OOPSLA'14): native
+// pointers, eager undo logging.
+//
+// Cost model reproduced for Fig. 11: Atlas persists each undo entry *before*
+// the corresponding store (log append + flush + fence per logged range, with
+// no batching at commit), which is why it trails PMDK/Puddles on write-heavy
+// YCSB mixes. Lock-delimited failure-atomic sections are modeled as explicit
+// TxBegin/TxCommit around the critical section.
+#ifndef SRC_BASELINES_ATLAS_ATLAS_H_
+#define SRC_BASELINES_ATLAS_ATLAS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/baselines/common/pmlib_base.h"
+#include "src/common/type_name.h"
+#include "src/tx/replay.h"
+
+namespace atlaspm {
+
+using baselines::PmPoolFile;
+using puddles::TypeIdOf;
+
+class AtlasPool {
+ public:
+  template <typename T>
+  using Ptr = T*;
+
+  static puddles::Result<AtlasPool> Create(const std::string& path, size_t heap_size) {
+    AtlasPool pool;
+    ASSIGN_OR_RETURN(pool.pool_, PmPoolFile::Create(path, heap_size, /*twin=*/false));
+    ASSIGN_OR_RETURN(pool.log_, pool.pool_.log());
+    return pool;
+  }
+
+  static puddles::Result<AtlasPool> Open(const std::string& path) {
+    AtlasPool pool;
+    ASSIGN_OR_RETURN(pool.pool_, PmPoolFile::Open(path));
+    ASSIGN_OR_RETURN(pool.log_, pool.pool_.log());
+    RETURN_IF_ERROR(pool.Recover());
+    return pool;
+  }
+
+  puddles::Status TxBegin() {
+    ++tx_depth_;
+    return puddles::OkStatus();
+  }
+
+  // Eager undo: the entry is durable (flushed + fenced by LogRegion::Append)
+  // before this returns; an extra fence models Atlas's per-store ordering.
+  puddles::Status TxAddRange(const void* addr, size_t size) {
+    RETURN_IF_ERROR(log_.Append(reinterpret_cast<uint64_t>(addr), addr,
+                                static_cast<uint32_t>(size), puddles::kUndoSeq,
+                                puddles::ReplayOrder::kReverse));
+    pmem::Fence();
+    undo_.emplace_back(addr, size);
+    return puddles::OkStatus();
+  }
+  template <typename T>
+  puddles::Status TxAdd(T* ptr) {
+    return TxAddRange(ptr, sizeof(T));
+  }
+
+  puddles::Status TxCommit() {
+    if (--tx_depth_ > 0) {
+      return puddles::OkStatus();
+    }
+    // Atlas flushes each modified location synchronously at section end.
+    for (const auto& [addr, size] : undo_) {
+      pmem::FlushFence(addr, size);
+    }
+    log_.Reset(0, 2);
+    undo_.clear();
+    return puddles::OkStatus();
+  }
+
+  puddles::Status TxAbort() {
+    tx_depth_ = 0;
+    puddles::RangeResolver resolver(reinterpret_cast<uint64_t>(pool_.heap()),
+                                    pool_.heap_size());
+    RETURN_IF_ERROR(puddles::ReplayLogChain({log_}, resolver).status());
+    log_.Reset(0, 2);
+    undo_.clear();
+    return puddles::OkStatus();
+  }
+
+  template <typename Fn>
+  puddles::Status TxRun(Fn&& fn) {
+    RETURN_IF_ERROR(TxBegin());
+    fn();
+    return TxCommit();
+  }
+
+  template <typename T>
+  puddles::Result<T*> Alloc(size_t count = 1) {
+    ASSIGN_OR_RETURN(void* payload, AllocBytes(sizeof(T) * count, TypeIdOf<T>()));
+    return static_cast<T*>(payload);
+  }
+  puddles::Result<void*> AllocBytes(size_t size, puddles::TypeId type_id) {
+    puddles::LogSink sink;
+    if (tx_depth_ > 0) {
+      sink = puddles::LogSink{this, [](void* ctx, void* addr, size_t len) {
+                                (void)static_cast<AtlasPool*>(ctx)->TxAddRange(addr, len);
+                              }};
+    }
+    ASSIGN_OR_RETURN(baselines::ObjectHeap heap, pool_.object_heap(sink));
+    ASSIGN_OR_RETURN(void* payload, heap.Allocate(size, type_id));
+    if (tx_depth_ == 0) {
+      pmem::FlushFence(pool_.At(pool_.header()->meta_offset),
+                       pool_.header()->heap_offset - pool_.header()->meta_offset);
+    }
+    return payload;
+  }
+  puddles::Status Free(void* payload) {
+    puddles::LogSink sink;
+    if (tx_depth_ > 0) {
+      sink = puddles::LogSink{this, [](void* ctx, void* addr, size_t len) {
+                                (void)static_cast<AtlasPool*>(ctx)->TxAddRange(addr, len);
+                              }};
+    }
+    ASSIGN_OR_RETURN(baselines::ObjectHeap heap, pool_.object_heap(sink));
+    return heap.Free(payload);
+  }
+
+  template <typename T>
+  T* Root() const {
+    uint64_t offset = pool_.root_offset();
+    return offset == 0 ? nullptr : reinterpret_cast<T*>(pool_.heap() + offset);
+  }
+  template <typename T>
+  void SetRoot(T* payload) {
+    pool_.SetRootOffset(reinterpret_cast<uint8_t*>(payload) - pool_.heap());
+  }
+
+  uint8_t* heap() const { return pool_.heap(); }
+
+ private:
+  AtlasPool() = default;
+
+  puddles::Status Recover() {
+    puddles::RangeResolver resolver(reinterpret_cast<uint64_t>(pool_.heap()),
+                                    pool_.heap_size());
+    RETURN_IF_ERROR(puddles::ReplayLogChain({log_}, resolver).status());
+    log_.Reset(0, 2);
+    return puddles::OkStatus();
+  }
+
+  PmPoolFile pool_;
+  puddles::LogRegion log_;
+  int tx_depth_ = 0;
+  std::vector<std::pair<const void*, size_t>> undo_;
+};
+
+}  // namespace atlaspm
+
+#endif  // SRC_BASELINES_ATLAS_ATLAS_H_

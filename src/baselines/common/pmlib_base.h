@@ -1,0 +1,125 @@
+// Shared single-file PM pool used by the baseline libraries (fatptr/PMDK-like,
+// Atlas-like, go-pmem-like, Romulus). Layout:
+//
+//   | Header page | log region | ObjectHeap metadata | heap ( | back heap ) |
+//
+// The baselines deliberately reuse this repo's allocator and log machinery so
+// that measured differences between libraries come from what the paper
+// analyzes — pointer representation and logging discipline — not from
+// incidental allocator quality (DESIGN.md §4).
+#ifndef SRC_BASELINES_COMMON_PMLIB_BASE_H_
+#define SRC_BASELINES_COMMON_PMLIB_BASE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/alloc/object_heap.h"
+#include "src/common/align.h"
+#include "src/pmem/flush.h"
+#include "src/common/status.h"
+#include "src/common/uuid.h"
+#include "src/pmem/mapped_file.h"
+#include "src/tx/log_format.h"
+
+namespace baselines {
+
+using puddles::ObjectHeap;
+using puddles::Uuid;
+
+inline constexpr uint64_t kPmPoolMagic = 0x4c4f4f504d505342ULL;  // "BSPMPOOL"
+
+struct PmPoolHeader {
+  uint64_t magic;
+  Uuid uuid;
+  uint64_t heap_size;
+  uint64_t log_offset;
+  uint64_t log_size;
+  uint64_t meta_offset;
+  uint64_t heap_offset;
+  uint64_t back_offset;  // Romulus twin copy; 0 if absent.
+  uint64_t root_offset;  // Heap offset of the root object payload; 0 = none.
+  uint32_t state;        // Library-specific recovery state word.
+  uint32_t reserved;
+};
+
+// A mapped single-file pool with a log region and a typed heap.
+class PmPoolFile {
+ public:
+  static constexpr size_t kLogSize = 1 << 20;
+
+  static size_t FileSizeFor(size_t heap_size, bool twin) {
+    return puddles::AlignUp(sizeof(PmPoolHeader), puddles::kPageSize) + kLogSize +
+           puddles::AlignUp(ObjectHeap::MetaSize(heap_size), puddles::kPageSize) +
+           heap_size * (twin ? 2 : 1);
+  }
+
+  static puddles::Result<PmPoolFile> Create(const std::string& path, size_t heap_size,
+                                            bool twin) {
+    PmPoolFile pool;
+    ASSIGN_OR_RETURN(pool.file_, pmem::PmemFile::Create(path, FileSizeFor(heap_size, twin)));
+    ASSIGN_OR_RETURN(void* base, pool.file_.Map());
+    auto* header = static_cast<PmPoolHeader*>(base);
+    header->magic = kPmPoolMagic;
+    header->uuid = Uuid::Generate();
+    header->heap_size = heap_size;
+    header->log_offset = puddles::AlignUp(sizeof(PmPoolHeader), puddles::kPageSize);
+    header->log_size = kLogSize;
+    header->meta_offset = header->log_offset + kLogSize;
+    header->heap_offset =
+        header->meta_offset + puddles::AlignUp(ObjectHeap::MetaSize(heap_size), puddles::kPageSize);
+    header->back_offset = twin ? header->heap_offset + heap_size : 0;
+    header->root_offset = 0;
+    header->state = 0;
+    RETURN_IF_ERROR(puddles::LogRegion::Format(pool.At(header->log_offset), kLogSize));
+    RETURN_IF_ERROR(
+        ObjectHeap::Format(pool.At(header->meta_offset), pool.At(header->heap_offset),
+                           heap_size));
+    pmem::FlushFence(header, sizeof(PmPoolHeader));
+    return pool;
+  }
+
+  static puddles::Result<PmPoolFile> Open(const std::string& path) {
+    PmPoolFile pool;
+    ASSIGN_OR_RETURN(pool.file_, pmem::PmemFile::Open(path));
+    ASSIGN_OR_RETURN(void* base, pool.file_.Map());
+    auto* header = static_cast<PmPoolHeader*>(base);
+    if (header->magic != kPmPoolMagic) {
+      return puddles::DataLossError("not a baseline PM pool");
+    }
+    return pool;
+  }
+
+  PmPoolHeader* header() const { return static_cast<PmPoolHeader*>(file_.data()); }
+  uint8_t* At(uint64_t offset) const { return static_cast<uint8_t*>(file_.data()) + offset; }
+  uint8_t* heap() const { return At(header()->heap_offset); }
+  uint8_t* back() const { return At(header()->back_offset); }
+  size_t heap_size() const { return header()->heap_size; }
+  const Uuid& uuid() const { return header()->uuid; }
+
+  puddles::Result<puddles::LogRegion> log() const {
+    return puddles::LogRegion::Attach(At(header()->log_offset), header()->log_size);
+  }
+
+  puddles::Result<ObjectHeap> object_heap(puddles::LogSink sink = {}) const {
+    return ObjectHeap::Attach(At(header()->meta_offset), heap(), heap_size(), sink);
+  }
+
+  void SetRootOffset(uint64_t offset) {
+    header()->root_offset = offset;
+    pmem::FlushFence(&header()->root_offset, sizeof(uint64_t));
+  }
+  uint64_t root_offset() const { return header()->root_offset; }
+
+  void SetState(uint32_t state) {
+    header()->state = state;
+    pmem::FlushFence(&header()->state, sizeof(uint32_t));
+  }
+  uint32_t state() const { return header()->state; }
+
+ private:
+  pmem::PmemFile file_;
+};
+
+}  // namespace baselines
+
+#endif  // SRC_BASELINES_COMMON_PMLIB_BASE_H_

@@ -1,0 +1,166 @@
+#include "src/baselines/fatptr/fatptr.h"
+
+namespace fatptr {
+
+uint8_t* g_pool_bases[1024] = {};
+
+PoolDirectory& PoolDirectory::Instance() {
+  static PoolDirectory* directory = new PoolDirectory();
+  return *directory;
+}
+
+puddles::Result<uint32_t> PoolDirectory::RegisterPool(const puddles::Uuid& uuid,
+                                                      uint8_t* heap_base) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t free_slot = 0;
+  for (uint32_t i = 1; i < kMaxPools; ++i) {
+    if (g_pool_bases[i] != nullptr && uuids_[i] == uuid) {
+      // "PMDK thus prevents users from opening multiple copies of a pool by
+      // checking if the UUID of the pool was already registered" (§2.3).
+      return puddles::AlreadyExistsError("pool UUID already open: " + uuid.ToString());
+    }
+    if (g_pool_bases[i] == nullptr && free_slot == 0) {
+      free_slot = i;
+    }
+  }
+  if (free_slot == 0) {
+    return puddles::OutOfMemoryError("pool directory full");
+  }
+  g_pool_bases[free_slot] = heap_base;
+  uuids_[free_slot] = uuid;
+  return free_slot;
+}
+
+void PoolDirectory::UnregisterPool(uint32_t pool_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pool_id > 0 && pool_id < kMaxPools) {
+    g_pool_bases[pool_id] = nullptr;
+    uuids_[pool_id] = puddles::Uuid::Nil();
+  }
+}
+
+puddles::Result<FatPool> FatPool::Create(const std::string& path, size_t heap_size) {
+  FatPool pool;
+  ASSIGN_OR_RETURN(pool.pool_, PmPoolFile::Create(path, heap_size, /*twin=*/false));
+  ASSIGN_OR_RETURN(pool.log_, pool.pool_.log());
+  ASSIGN_OR_RETURN(uint32_t id, PoolDirectory::Instance().RegisterPool(pool.pool_.uuid(),
+                                                                       pool.pool_.heap()));
+  pool.pool_id_ = id;
+  return pool;
+}
+
+puddles::Result<FatPool> FatPool::Open(const std::string& path) {
+  FatPool pool;
+  ASSIGN_OR_RETURN(pool.pool_, PmPoolFile::Open(path));
+  ASSIGN_OR_RETURN(pool.log_, pool.pool_.log());
+  ASSIGN_OR_RETURN(uint32_t id, PoolDirectory::Instance().RegisterPool(pool.pool_.uuid(),
+                                                                       pool.pool_.heap()));
+  pool.pool_id_ = id;
+  // PMDK-style recovery: happens only here, driven by the application
+  // re-opening the pool — the §2.1 brittleness Puddles removes.
+  puddles::Status recovered = pool.Recover();
+  if (!recovered.ok()) {
+    PoolDirectory::Instance().UnregisterPool(id);
+    return recovered;
+  }
+  return pool;
+}
+
+FatPool::~FatPool() {
+  if (pool_id_ != 0) {
+    PoolDirectory::Instance().UnregisterPool(static_cast<uint32_t>(pool_id_));
+  }
+}
+
+puddles::Status FatPool::Recover() {
+  if (log_.empty()) {
+    return puddles::OkStatus();
+  }
+  puddles::RangeResolver resolver(reinterpret_cast<uint64_t>(pool_.heap()),
+                                  pool_.heap_size());
+  auto stats = puddles::ReplayLogChain({log_}, resolver);
+  RETURN_IF_ERROR(stats.status());
+  log_.Reset(0, 2);
+  return puddles::OkStatus();
+}
+
+puddles::Status FatPool::TxBegin() {
+  if (tx_depth_ > 0) {
+    ++tx_depth_;  // Flat nesting, PMDK semantics.
+    return puddles::OkStatus();
+  }
+  tx_depth_ = 1;
+  tx_undo_.clear();
+  return puddles::OkStatus();
+}
+
+puddles::Status FatPool::TxAddRange(const void* addr, size_t size) {
+  if (tx_depth_ == 0) {
+    return puddles::FailedPreconditionError("no open transaction");
+  }
+  RETURN_IF_ERROR(log_.Append(reinterpret_cast<uint64_t>(addr), addr,
+                              static_cast<uint32_t>(size), puddles::kUndoSeq,
+                              puddles::ReplayOrder::kReverse));
+  tx_undo_.emplace_back(addr, size);
+  return puddles::OkStatus();
+}
+
+puddles::Result<uint64_t> FatPool::AllocBytes(size_t size, puddles::TypeId type_id) {
+  puddles::LogSink sink;
+  if (tx_depth_ > 0) {
+    sink = puddles::LogSink{this, [](void* ctx, void* addr, size_t len) {
+                              (void)static_cast<FatPool*>(ctx)->TxAddRange(addr, len);
+                            }};
+  }
+  ASSIGN_OR_RETURN(ObjectHeap heap, pool_.object_heap(sink));
+  ASSIGN_OR_RETURN(void* payload, heap.Allocate(size, type_id));
+  if (tx_depth_ == 0) {
+    pmem::FlushFence(pool_.At(pool_.header()->meta_offset),
+                     pool_.header()->heap_offset - pool_.header()->meta_offset);
+  }
+  return static_cast<uint64_t>(static_cast<uint8_t*>(payload) - pool_.heap());
+}
+
+puddles::Status FatPool::FreeBytes(uint64_t offset) {
+  puddles::LogSink sink;
+  if (tx_depth_ > 0) {
+    sink = puddles::LogSink{this, [](void* ctx, void* addr, size_t len) {
+                              (void)static_cast<FatPool*>(ctx)->TxAddRange(addr, len);
+                            }};
+  }
+  ASSIGN_OR_RETURN(ObjectHeap heap, pool_.object_heap(sink));
+  return heap.Free(pool_.heap() + offset);
+}
+
+puddles::Status FatPool::TxCommit() {
+  if (tx_depth_ == 0) {
+    return puddles::FailedPreconditionError("no open transaction");
+  }
+  if (--tx_depth_ > 0) {
+    return puddles::OkStatus();
+  }
+  // Stage 1: make all undo-logged locations durable; then drop the log.
+  for (const auto& [addr, size] : tx_undo_) {
+    pmem::Flush(addr, size);
+  }
+  pmem::Fence();
+  log_.Reset(0, 2);
+  tx_undo_.clear();
+  return puddles::OkStatus();
+}
+
+puddles::Status FatPool::TxAbort() {
+  if (tx_depth_ == 0) {
+    return puddles::FailedPreconditionError("no open transaction");
+  }
+  tx_depth_ = 0;
+  puddles::RangeResolver resolver(reinterpret_cast<uint64_t>(pool_.heap()),
+                                  pool_.heap_size());
+  auto stats = puddles::ReplayLogChain({log_}, resolver);
+  RETURN_IF_ERROR(stats.status());
+  log_.Reset(0, 2);
+  tx_undo_.clear();
+  return puddles::OkStatus();
+}
+
+}  // namespace fatptr

@@ -1,0 +1,150 @@
+// go-pmem-like baseline (George et al., ATC'20): native pointers, undo
+// logging batched at commit, Go-runtime allocation behaviour.
+//
+// Cost model reproduced for Fig. 11: transactions look like Puddles/PMDK undo
+// logging (batched flush at commit), but allocation is heavier — Go zeroes
+// every new object and tracks per-object type metadata for its GC, modeled
+// here as zero-fill plus a flushed type tag on every allocation.
+#ifndef SRC_BASELINES_GOPMEM_GOPMEM_H_
+#define SRC_BASELINES_GOPMEM_GOPMEM_H_
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/baselines/common/pmlib_base.h"
+#include "src/common/type_name.h"
+#include "src/tx/replay.h"
+
+namespace gopmem {
+
+using baselines::PmPoolFile;
+using puddles::TypeIdOf;
+
+class GoPmemPool {
+ public:
+  template <typename T>
+  using Ptr = T*;
+
+  static puddles::Result<GoPmemPool> Create(const std::string& path, size_t heap_size) {
+    GoPmemPool pool;
+    ASSIGN_OR_RETURN(pool.pool_, PmPoolFile::Create(path, heap_size, /*twin=*/false));
+    ASSIGN_OR_RETURN(pool.log_, pool.pool_.log());
+    return pool;
+  }
+
+  static puddles::Result<GoPmemPool> Open(const std::string& path) {
+    GoPmemPool pool;
+    ASSIGN_OR_RETURN(pool.pool_, PmPoolFile::Open(path));
+    ASSIGN_OR_RETURN(pool.log_, pool.pool_.log());
+    puddles::RangeResolver resolver(reinterpret_cast<uint64_t>(pool.pool_.heap()),
+                                    pool.pool_.heap_size());
+    RETURN_IF_ERROR(puddles::ReplayLogChain({pool.log_}, resolver).status());
+    pool.log_.Reset(0, 2);
+    return pool;
+  }
+
+  puddles::Status TxBegin() {
+    ++tx_depth_;
+    return puddles::OkStatus();
+  }
+
+  puddles::Status TxAddRange(const void* addr, size_t size) {
+    RETURN_IF_ERROR(log_.Append(reinterpret_cast<uint64_t>(addr), addr,
+                                static_cast<uint32_t>(size), puddles::kUndoSeq,
+                                puddles::ReplayOrder::kReverse));
+    undo_.emplace_back(addr, size);
+    return puddles::OkStatus();
+  }
+  template <typename T>
+  puddles::Status TxAdd(T* ptr) {
+    return TxAddRange(ptr, sizeof(T));
+  }
+
+  puddles::Status TxCommit() {
+    if (--tx_depth_ > 0) {
+      return puddles::OkStatus();
+    }
+    for (const auto& [addr, size] : undo_) {
+      pmem::Flush(addr, size);
+    }
+    pmem::Fence();
+    log_.Reset(0, 2);
+    undo_.clear();
+    return puddles::OkStatus();
+  }
+
+  puddles::Status TxAbort() {
+    tx_depth_ = 0;
+    puddles::RangeResolver resolver(reinterpret_cast<uint64_t>(pool_.heap()),
+                                    pool_.heap_size());
+    RETURN_IF_ERROR(puddles::ReplayLogChain({log_}, resolver).status());
+    log_.Reset(0, 2);
+    undo_.clear();
+    return puddles::OkStatus();
+  }
+
+  template <typename Fn>
+  puddles::Status TxRun(Fn&& fn) {
+    RETURN_IF_ERROR(TxBegin());
+    fn();
+    return TxCommit();
+  }
+
+  template <typename T>
+  puddles::Result<T*> Alloc(size_t count = 1) {
+    ASSIGN_OR_RETURN(void* payload, AllocBytes(sizeof(T) * count, TypeIdOf<T>()));
+    return static_cast<T*>(payload);
+  }
+  puddles::Result<void*> AllocBytes(size_t size, puddles::TypeId type_id) {
+    puddles::LogSink sink;
+    if (tx_depth_ > 0) {
+      sink = puddles::LogSink{this, [](void* ctx, void* addr, size_t len) {
+                                (void)static_cast<GoPmemPool*>(ctx)->TxAddRange(addr, len);
+                              }};
+    }
+    ASSIGN_OR_RETURN(baselines::ObjectHeap heap, pool_.object_heap(sink));
+    ASSIGN_OR_RETURN(void* payload, heap.Allocate(size, type_id));
+    // Go runtime behaviour: new objects are zeroed and their type metadata
+    // persisted for the (offline) GC to scan.
+    std::memset(payload, 0, size);
+    pmem::FlushFence(payload, size);
+    if (tx_depth_ == 0) {
+      pmem::FlushFence(pool_.At(pool_.header()->meta_offset),
+                       pool_.header()->heap_offset - pool_.header()->meta_offset);
+    }
+    return payload;
+  }
+  puddles::Status Free(void* payload) {
+    puddles::LogSink sink;
+    if (tx_depth_ > 0) {
+      sink = puddles::LogSink{this, [](void* ctx, void* addr, size_t len) {
+                                (void)static_cast<GoPmemPool*>(ctx)->TxAddRange(addr, len);
+                              }};
+    }
+    ASSIGN_OR_RETURN(baselines::ObjectHeap heap, pool_.object_heap(sink));
+    return heap.Free(payload);
+  }
+
+  template <typename T>
+  T* Root() const {
+    uint64_t offset = pool_.root_offset();
+    return offset == 0 ? nullptr : reinterpret_cast<T*>(pool_.heap() + offset);
+  }
+  template <typename T>
+  void SetRoot(T* payload) {
+    pool_.SetRootOffset(reinterpret_cast<uint8_t*>(payload) - pool_.heap());
+  }
+
+ private:
+  GoPmemPool() = default;
+
+  PmPoolFile pool_;
+  puddles::LogRegion log_;
+  int tx_depth_ = 0;
+  std::vector<std::pair<const void*, size_t>> undo_;
+};
+
+}  // namespace gopmem
+
+#endif  // SRC_BASELINES_GOPMEM_GOPMEM_H_

@@ -1,0 +1,67 @@
+#include "src/common/log.h"
+
+#include <cstdarg>
+#include <cstdlib>
+
+namespace puddles {
+namespace {
+
+LogLevel ReadLevelFromEnv() {
+  const char* env = std::getenv("PUDDLES_LOG_LEVEL");
+  if (env == nullptr) {
+    return LogLevel::kError;
+  }
+  int value = std::atoi(env);
+  if (value < 0) {
+    value = 0;
+  }
+  if (value > 4) {
+    value = 4;
+  }
+  return static_cast<LogLevel>(value);
+}
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kOff:
+      return "?";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel DiagLogLevel() {
+  static const LogLevel level = ReadLevelFromEnv();
+  return level;
+}
+
+bool DiagLogEnabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(DiagLogLevel());
+}
+
+void DiagLogWrite(LogLevel level, const char* file, int line, const char* format, ...) {
+  // Strip leading directories for compactness.
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') {
+      base = p + 1;
+    }
+  }
+  std::fprintf(stderr, "[puddles %s %s:%d] ", LevelTag(level), base, line);
+  va_list args;
+  va_start(args, format);
+  std::vfprintf(stderr, format, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace puddles

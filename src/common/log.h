@@ -1,0 +1,36 @@
+// Minimal leveled diagnostic logging. Controlled by the PUDDLES_LOG_LEVEL
+// environment variable (0=off, 1=error, 2=warn, 3=info, 4=debug; default 1).
+// This is *diagnostic* logging for humans — the persistence logs live in
+// src/tx/.
+#ifndef SRC_COMMON_LOG_H_
+#define SRC_COMMON_LOG_H_
+
+#include <cstdio>
+
+namespace puddles {
+
+enum class LogLevel : int { kOff = 0, kError = 1, kWarn = 2, kInfo = 3, kDebug = 4 };
+
+// Current threshold, read once from the environment.
+LogLevel DiagLogLevel();
+
+bool DiagLogEnabled(LogLevel level);
+
+void DiagLogWrite(LogLevel level, const char* file, int line, const char* format, ...)
+    __attribute__((format(printf, 4, 5)));
+
+#define PUD_LOG(level, ...)                                                     \
+  do {                                                                          \
+    if (::puddles::DiagLogEnabled(level)) {                                     \
+      ::puddles::DiagLogWrite(level, __FILE__, __LINE__, __VA_ARGS__);          \
+    }                                                                           \
+  } while (0)
+
+#define PUD_LOG_ERROR(...) PUD_LOG(::puddles::LogLevel::kError, __VA_ARGS__)
+#define PUD_LOG_WARN(...) PUD_LOG(::puddles::LogLevel::kWarn, __VA_ARGS__)
+#define PUD_LOG_INFO(...) PUD_LOG(::puddles::LogLevel::kInfo, __VA_ARGS__)
+#define PUD_LOG_DEBUG(...) PUD_LOG(::puddles::LogLevel::kDebug, __VA_ARGS__)
+
+}  // namespace puddles
+
+#endif  // SRC_COMMON_LOG_H_

@@ -1,0 +1,60 @@
+// Deterministic, fast pseudo-random generators for workloads and tests.
+// Workload generators (YCSB, crash-point sampling) must be reproducible from a
+// seed, so they use these rather than std::random_device-backed engines.
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace puddles {
+
+// xoshiro256**-style generator: tiny state, passes BigCrush, and satisfies
+// UniformRandomBitGenerator so it can drive <random> distributions.
+class Xoshiro256 {
+ public:
+  using result_type = uint64_t;
+
+  explicit Xoshiro256(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 expansion of the seed into the four state words.
+    uint64_t s = seed;
+    for (auto& word : state_) {
+      s += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = s;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  uint64_t operator()() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). Uses the widening-multiply trick (Lemire).
+  uint64_t Below(uint64_t bound) {
+    return static_cast<uint64_t>((static_cast<__uint128_t>((*this)()) * bound) >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace puddles
+
+#endif  // SRC_COMMON_RNG_H_

@@ -1,0 +1,146 @@
+// Lightweight Status / Result error-handling types used across the Puddles
+// codebase. Modeled on absl::Status but self-contained: fallible APIs return
+// Status (or Result<T>), and exceptions are reserved for unwinding user
+// transaction bodies on abort.
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace puddles {
+
+enum class StatusCode : int32_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kPermissionDenied = 4,
+  kOutOfMemory = 5,
+  kFailedPrecondition = 6,
+  kInternal = 7,
+  kUnavailable = 8,
+  kDataLoss = 9,
+  kIoError = 10,
+  kAborted = 11,
+  kOutOfRange = 12,
+  kUnimplemented = 13,
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy on the success path (no allocation
+// when OK). Error states carry a code and a human-readable message.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK.
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk && "error Status must carry a non-OK code");
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Renders "CODE: message" for diagnostics.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status(); }
+
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status PermissionDeniedError(std::string message);
+Status OutOfMemoryError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status InternalError(std::string message);
+Status UnavailableError(std::string message);
+Status DataLossError(std::string message);
+Status IoError(std::string message);
+Status AbortedError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnimplementedError(std::string message);
+
+// Builds an IoError that appends strerror(errno_value).
+Status ErrnoError(std::string_view prefix, int errno_value);
+
+// A value-or-error container. `Result<T> r = ...; if (!r.ok()) return r.status();`
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : value_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(value_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status ok_status;
+    if (ok()) {
+      return ok_status;
+    }
+    return std::get<Status>(value_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(value_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+// Propagates errors: `RETURN_IF_ERROR(DoThing());`
+#define RETURN_IF_ERROR(expr)                  \
+  do {                                         \
+    ::puddles::Status _st = (expr);            \
+    if (!_st.ok()) {                           \
+      return _st;                              \
+    }                                          \
+  } while (0)
+
+#define PUDDLES_CONCAT_INNER_(a, b) a##b
+#define PUDDLES_CONCAT_(a, b) PUDDLES_CONCAT_INNER_(a, b)
+
+// Unwraps a Result<T> into `lhs`, returning the error on failure:
+//   ASSIGN_OR_RETURN(auto fd, OpenFile(path));
+#define ASSIGN_OR_RETURN(lhs, expr)                                  \
+  auto PUDDLES_CONCAT_(_result_, __LINE__) = (expr);                 \
+  if (!PUDDLES_CONCAT_(_result_, __LINE__).ok()) {                   \
+    return PUDDLES_CONCAT_(_result_, __LINE__).status();             \
+  }                                                                  \
+  lhs = std::move(PUDDLES_CONCAT_(_result_, __LINE__)).value()
+
+}  // namespace puddles
+
+#endif  // SRC_COMMON_STATUS_H_

@@ -1,0 +1,80 @@
+// Compile-time type names and 64-bit type identifiers.
+//
+// Paper §4.2: "every allocation in Puddles is associated with a type ID,
+// stored as a 64-bit identifier in the allocator's metadata ... Every class or
+// struct with a unique name corresponds to a unique type in Puddles." The
+// paper derives IDs from the Itanium-ABI typeid; we derive them from the type
+// name embedded in __PRETTY_FUNCTION__, which is equally stable across
+// gcc/clang and additionally available at compile time (constexpr), so IDs can
+// be baked into allocation fast paths.
+#ifndef SRC_COMMON_TYPE_NAME_H_
+#define SRC_COMMON_TYPE_NAME_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/common/checksum.h"
+
+// Probe type used to calibrate the __PRETTY_FUNCTION__ decoration. It lives at
+// global scope because gcc renders types from the calibrating function's own
+// namespace unqualified, which would skew the measured prefix length.
+struct PuddlesTypeNameProbe;
+
+namespace puddles {
+
+using TypeId = uint64_t;
+
+constexpr TypeId kInvalidTypeId = 0;
+// Raw, untyped allocations (e.g. byte buffers) use this well-known ID; the
+// relocation engine knows they contain no pointers.
+constexpr TypeId kRawBytesTypeId = 1;
+
+namespace internal {
+
+template <typename T>
+constexpr std::string_view RawTypeName() {
+#if defined(__clang__) || defined(__GNUC__)
+  return __PRETTY_FUNCTION__;
+#else
+#error "unsupported compiler: TypeName requires gcc or clang"
+#endif
+}
+
+// Computes the prefix/suffix decoration lengths once, using the global probe
+// type whose rendered name we know exactly.
+constexpr std::string_view kProbeName = "PuddlesTypeNameProbe";
+
+constexpr size_t TypeNamePrefixLength() {
+  return RawTypeName<::PuddlesTypeNameProbe>().find(kProbeName);
+}
+
+constexpr size_t TypeNameSuffixLength() {
+  return RawTypeName<::PuddlesTypeNameProbe>().size() - TypeNamePrefixLength() -
+         kProbeName.size();
+}
+
+}  // namespace internal
+
+// The fully qualified name of T, e.g. "puddles::LogHeader".
+template <typename T>
+constexpr std::string_view TypeName() {
+  constexpr std::string_view raw = internal::RawTypeName<T>();
+  constexpr size_t prefix = internal::TypeNamePrefixLength();
+  constexpr size_t suffix = internal::TypeNameSuffixLength();
+  return raw.substr(prefix, raw.size() - prefix - suffix);
+}
+
+// 64-bit FNV-1a hash of the fully qualified type name. Stable across
+// translation units and across gcc/clang builds of the same source.
+template <typename T>
+constexpr TypeId TypeIdOf() {
+  constexpr std::string_view name = TypeName<T>();
+  constexpr TypeId id = Fnv1a64(name.data(), name.size());
+  // IDs 0 and 1 are reserved sentinels; a real type hashing onto them would be
+  // astronomically unlucky, but remap deterministically just in case.
+  return (id == kInvalidTypeId || id == kRawBytesTypeId) ? id + 2 : id;
+}
+
+}  // namespace puddles
+
+#endif  // SRC_COMMON_TYPE_NAME_H_

@@ -1,0 +1,102 @@
+#include "src/common/uuid.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <random>
+
+namespace puddles {
+namespace {
+
+// Process-wide generator state. Seeded lazily from std::random_device and the
+// address of a local (ASLR entropy); subsequent draws are splitmix64 steps,
+// which is plenty for identifier uniqueness.
+std::atomic<uint64_t> g_uuid_state{0};
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t NextRandom64() {
+  uint64_t state = g_uuid_state.load(std::memory_order_relaxed);
+  if (state == 0) {
+    std::random_device rd;
+    uint64_t seed = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+    seed ^= reinterpret_cast<uintptr_t>(&state);
+    g_uuid_state.compare_exchange_strong(state, seed | 1, std::memory_order_relaxed);
+    state = g_uuid_state.load(std::memory_order_relaxed);
+  }
+  uint64_t next;
+  uint64_t value;
+  do {
+    next = state;
+    value = SplitMix64(next);
+  } while (!g_uuid_state.compare_exchange_weak(state, next, std::memory_order_relaxed));
+  return value;
+}
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  if (c >= 'A' && c <= 'F') {
+    return c - 'A' + 10;
+  }
+  return -1;
+}
+
+}  // namespace
+
+Uuid Uuid::Generate() {
+  Uuid id;
+  id.hi = NextRandom64();
+  id.lo = NextRandom64();
+  // Stamp RFC 4122 version (4) and variant (10xx) bits so the rendering is a
+  // well-formed v4 UUID.
+  id.hi = (id.hi & ~0xf000ULL) | 0x4000ULL;
+  id.lo = (id.lo & ~(0xc0ULL << 56)) | (0x80ULL << 56);
+  return id;
+}
+
+std::string Uuid::ToString() const {
+  // Layout: hi = time_low(32) time_mid(16) time_hi_and_version(16),
+  //         lo = clock_seq(16) node(48), matching the textual 8-4-4-4-12 split.
+  char buf[37];
+  std::snprintf(buf, sizeof(buf), "%08x-%04x-%04x-%04x-%012llx",
+                static_cast<uint32_t>(hi >> 32), static_cast<uint32_t>((hi >> 16) & 0xffff),
+                static_cast<uint32_t>(hi & 0xffff), static_cast<uint32_t>(lo >> 48),
+                static_cast<unsigned long long>(lo & 0xffffffffffffULL));
+  return std::string(buf, 36);
+}
+
+std::optional<Uuid> Uuid::Parse(std::string_view text) {
+  if (text.size() != 36 || text[8] != '-' || text[13] != '-' || text[18] != '-' ||
+      text[23] != '-') {
+    return std::nullopt;
+  }
+  uint64_t words[2] = {0, 0};
+  int nibbles = 0;
+  for (char c : text) {
+    if (c == '-') {
+      continue;
+    }
+    int v = HexNibble(c);
+    if (v < 0) {
+      return std::nullopt;
+    }
+    words[nibbles / 16] = (words[nibbles / 16] << 4) | static_cast<uint64_t>(v);
+    ++nibbles;
+  }
+  if (nibbles != 32) {
+    return std::nullopt;
+  }
+  return Uuid{words[0], words[1]};
+}
+
+}  // namespace puddles

@@ -1,0 +1,49 @@
+// 128-bit universally unique identifiers. Every puddle, pool, and log space in
+// the system is identified by one (paper §4.3). Random UUIDs are v4-style,
+// generated from a per-process seeded xorshift stream mixed with entropy from
+// std::random_device.
+#ifndef SRC_COMMON_UUID_H_
+#define SRC_COMMON_UUID_H_
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace puddles {
+
+struct Uuid {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  static Uuid Nil() { return Uuid{}; }
+
+  // Generates a fresh random (version 4) UUID.
+  static Uuid Generate();
+
+  // Parses the canonical 8-4-4-4-12 hex form. Returns nullopt on malformed input.
+  static std::optional<Uuid> Parse(std::string_view text);
+
+  bool is_nil() const { return hi == 0 && lo == 0; }
+
+  // Canonical lowercase 8-4-4-4-12 rendering.
+  std::string ToString() const;
+
+  friend bool operator==(const Uuid& a, const Uuid& b) = default;
+  friend auto operator<=>(const Uuid& a, const Uuid& b) = default;
+};
+
+static_assert(sizeof(Uuid) == 16, "Uuid must be exactly 128 bits for on-PM layouts");
+
+struct UuidHash {
+  size_t operator()(const Uuid& id) const {
+    // hi/lo are already uniformly random for generated UUIDs; fold them.
+    return static_cast<size_t>(id.hi ^ (id.lo * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+}  // namespace puddles
+
+#endif  // SRC_COMMON_UUID_H_

@@ -1,0 +1,280 @@
+#include "src/daemon/protocol.h"
+
+#include <cstring>
+
+namespace puddled {
+
+using puddles::WireReader;
+using puddles::WireWriter;
+
+void EncodePuddleInfo(WireWriter* writer, const PuddleInfo& info) {
+  writer->PutUuid(info.uuid);
+  writer->PutUuid(info.pool_uuid);
+  writer->PutU32(info.kind);
+  writer->PutU64(info.base_addr);
+  writer->PutU64(info.file_size);
+  writer->PutU64(info.heap_size);
+  writer->PutU64(info.prev_base);
+  writer->PutU32(info.flags);
+}
+
+puddles::Status DecodePuddleInfo(WireReader* reader, PuddleInfo* info) {
+  RETURN_IF_ERROR(reader->GetUuid(&info->uuid));
+  RETURN_IF_ERROR(reader->GetUuid(&info->pool_uuid));
+  RETURN_IF_ERROR(reader->GetU32(&info->kind));
+  RETURN_IF_ERROR(reader->GetU64(&info->base_addr));
+  RETURN_IF_ERROR(reader->GetU64(&info->file_size));
+  RETURN_IF_ERROR(reader->GetU64(&info->heap_size));
+  RETURN_IF_ERROR(reader->GetU64(&info->prev_base));
+  return reader->GetU32(&info->flags);
+}
+
+void EncodePoolInfo(WireWriter* writer, const PoolInfo& info) {
+  writer->PutUuid(info.pool_uuid);
+  writer->PutUuid(info.meta_puddle);
+  writer->PutString(info.name);
+}
+
+puddles::Status DecodePoolInfo(WireReader* reader, PoolInfo* info) {
+  RETURN_IF_ERROR(reader->GetUuid(&info->pool_uuid));
+  RETURN_IF_ERROR(reader->GetUuid(&info->meta_puddle));
+  std::string name;
+  RETURN_IF_ERROR(reader->GetString(&name));
+  std::memset(info->name, 0, sizeof(info->name));
+  std::strncpy(info->name, name.c_str(), sizeof(info->name) - 1);
+  return puddles::OkStatus();
+}
+
+void EncodePtrMap(WireWriter* writer, const PtrMapRecord& record) {
+  writer->PutBytes(&record, sizeof(record));
+}
+
+puddles::Status DecodePtrMap(WireReader* reader, PtrMapRecord* record) {
+  std::vector<uint8_t> blob;
+  RETURN_IF_ERROR(reader->GetBytes(&blob));
+  if (blob.size() != sizeof(PtrMapRecord)) {
+    return puddles::DataLossError("pointer map blob size mismatch");
+  }
+  std::memcpy(record, blob.data(), sizeof(PtrMapRecord));
+  return puddles::OkStatus();
+}
+
+void EncodeImportResult(WireWriter* writer, const ImportResult& result) {
+  EncodePoolInfo(writer, result.pool);
+  writer->PutU32(result.members_imported);
+  writer->PutU32(result.members_relocated);
+}
+
+puddles::Status DecodeImportResult(WireReader* reader, ImportResult* result) {
+  RETURN_IF_ERROR(DecodePoolInfo(reader, &result->pool));
+  RETURN_IF_ERROR(reader->GetU32(&result->members_imported));
+  return reader->GetU32(&result->members_relocated);
+}
+
+namespace {
+
+// Builds an error-only response.
+std::vector<uint8_t> ErrorResponse(const puddles::Status& status) {
+  WireWriter writer;
+  writer.PutStatus(status);
+  return writer.Take();
+}
+
+}  // namespace
+
+DispatchResult DispatchRequest(Daemon& daemon, const Credentials& creds,
+                               const std::vector<uint8_t>& request) {
+  DispatchResult out;
+  WireReader reader(request);
+  uint32_t op_raw;
+  if (puddles::Status s = reader.GetU32(&op_raw); !s.ok()) {
+    out.response = ErrorResponse(s);
+    return out;
+  }
+  WireWriter writer;
+
+  switch (static_cast<Op>(op_raw)) {
+    case Op::kPing: {
+      writer.PutStatus(puddles::OkStatus());
+      break;
+    }
+    case Op::kCreatePuddle: {
+      uint32_t kind;
+      uint64_t heap_size;
+      Uuid pool_uuid;
+      uint32_t mode;
+      puddles::Status s = reader.GetU32(&kind);
+      if (s.ok()) s = reader.GetU64(&heap_size);
+      if (s.ok()) s = reader.GetUuid(&pool_uuid);
+      if (s.ok()) s = reader.GetU32(&mode);
+      if (!s.ok()) {
+        out.response = ErrorResponse(s);
+        return out;
+      }
+      auto result = daemon.CreatePuddle(static_cast<PuddleKind>(kind), heap_size, creds,
+                                        pool_uuid, mode);
+      writer.PutStatus(result.status());
+      if (result.ok()) {
+        EncodePuddleInfo(&writer, result->first);
+        out.fd = result->second;
+      }
+      break;
+    }
+    case Op::kGetPuddle: {
+      Uuid uuid;
+      uint8_t write;
+      puddles::Status s = reader.GetUuid(&uuid);
+      if (s.ok()) s = reader.GetU8(&write);
+      if (!s.ok()) {
+        out.response = ErrorResponse(s);
+        return out;
+      }
+      auto result = daemon.GetPuddle(uuid, creds, write != 0);
+      writer.PutStatus(result.status());
+      if (result.ok()) {
+        EncodePuddleInfo(&writer, result->first);
+        out.fd = result->second;
+      }
+      break;
+    }
+    case Op::kStatPuddle: {
+      Uuid uuid;
+      if (puddles::Status s = reader.GetUuid(&uuid); !s.ok()) {
+        out.response = ErrorResponse(s);
+        return out;
+      }
+      auto result = daemon.StatPuddle(uuid, creds);
+      writer.PutStatus(result.status());
+      if (result.ok()) {
+        EncodePuddleInfo(&writer, *result);
+      }
+      break;
+    }
+    case Op::kFindByAddr: {
+      uint64_t addr;
+      if (puddles::Status s = reader.GetU64(&addr); !s.ok()) {
+        out.response = ErrorResponse(s);
+        return out;
+      }
+      auto result = daemon.FindPuddleByAddr(addr, creds);
+      writer.PutStatus(result.status());
+      if (result.ok()) {
+        EncodePuddleInfo(&writer, *result);
+      }
+      break;
+    }
+    case Op::kDeletePuddle: {
+      Uuid uuid;
+      if (puddles::Status s = reader.GetUuid(&uuid); !s.ok()) {
+        out.response = ErrorResponse(s);
+        return out;
+      }
+      writer.PutStatus(daemon.DeletePuddle(uuid, creds));
+      break;
+    }
+    case Op::kCreatePool: {
+      std::string name;
+      uint32_t mode;
+      puddles::Status s = reader.GetString(&name);
+      if (s.ok()) s = reader.GetU32(&mode);
+      if (!s.ok()) {
+        out.response = ErrorResponse(s);
+        return out;
+      }
+      auto result = daemon.CreatePool(name, creds, mode);
+      writer.PutStatus(result.status());
+      if (result.ok()) {
+        EncodePoolInfo(&writer, *result);
+      }
+      break;
+    }
+    case Op::kOpenPool: {
+      std::string name;
+      if (puddles::Status s = reader.GetString(&name); !s.ok()) {
+        out.response = ErrorResponse(s);
+        return out;
+      }
+      auto result = daemon.OpenPool(name, creds);
+      writer.PutStatus(result.status());
+      if (result.ok()) {
+        EncodePoolInfo(&writer, *result);
+      }
+      break;
+    }
+    case Op::kRegisterLogSpace: {
+      Uuid uuid;
+      if (puddles::Status s = reader.GetUuid(&uuid); !s.ok()) {
+        out.response = ErrorResponse(s);
+        return out;
+      }
+      writer.PutStatus(daemon.RegisterLogSpace(uuid, creds));
+      break;
+    }
+    case Op::kRegisterPtrMap: {
+      PtrMapRecord record;
+      if (puddles::Status s = DecodePtrMap(&reader, &record); !s.ok()) {
+        out.response = ErrorResponse(s);
+        return out;
+      }
+      writer.PutStatus(daemon.RegisterPtrMap(record));
+      break;
+    }
+    case Op::kGetPtrMap: {
+      uint64_t type_id;
+      if (puddles::Status s = reader.GetU64(&type_id); !s.ok()) {
+        out.response = ErrorResponse(s);
+        return out;
+      }
+      auto result = daemon.GetPtrMap(type_id);
+      writer.PutStatus(result.status());
+      if (result.ok()) {
+        EncodePtrMap(&writer, *result);
+      }
+      break;
+    }
+    case Op::kCompleteRewrite: {
+      Uuid uuid;
+      if (puddles::Status s = reader.GetUuid(&uuid); !s.ok()) {
+        out.response = ErrorResponse(s);
+        return out;
+      }
+      writer.PutStatus(daemon.CompleteRewrite(uuid, creds));
+      break;
+    }
+    case Op::kExportPool: {
+      std::string name, dest;
+      puddles::Status s = reader.GetString(&name);
+      if (s.ok()) s = reader.GetString(&dest);
+      if (!s.ok()) {
+        out.response = ErrorResponse(s);
+        return out;
+      }
+      writer.PutStatus(daemon.ExportPool(name, dest, creds));
+      break;
+    }
+    case Op::kImportPool: {
+      std::string src, name;
+      uint32_t mode;
+      puddles::Status s = reader.GetString(&src);
+      if (s.ok()) s = reader.GetString(&name);
+      if (s.ok()) s = reader.GetU32(&mode);
+      if (!s.ok()) {
+        out.response = ErrorResponse(s);
+        return out;
+      }
+      auto result = daemon.ImportPool(src, name, creds, mode);
+      writer.PutStatus(result.status());
+      if (result.ok()) {
+        EncodeImportResult(&writer, *result);
+      }
+      break;
+    }
+    default:
+      writer.PutStatus(puddles::InvalidArgumentError("unknown op"));
+      break;
+  }
+  out.response = writer.Take();
+  return out;
+}
+
+}  // namespace puddled

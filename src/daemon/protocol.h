@@ -1,0 +1,54 @@
+// Wire protocol between Libpuddles and Puddled. Requests are one message
+// (op + fields); responses are one message (Status + fields), with puddle
+// fds riding SCM_RIGHTS.
+#ifndef SRC_DAEMON_PROTOCOL_H_
+#define SRC_DAEMON_PROTOCOL_H_
+
+#include <cstdint>
+
+#include "src/daemon/daemon.h"
+#include "src/daemon/types.h"
+#include "src/ipc/wire.h"
+
+namespace puddled {
+
+enum class Op : uint32_t {
+  kPing = 1,
+  kCreatePuddle = 2,
+  kGetPuddle = 3,
+  kStatPuddle = 4,
+  kFindByAddr = 5,
+  kDeletePuddle = 6,
+  kCreatePool = 7,
+  kOpenPool = 8,
+  kRegisterLogSpace = 9,
+  kRegisterPtrMap = 10,
+  kGetPtrMap = 11,
+  kCompleteRewrite = 12,
+  kExportPool = 13,
+  kImportPool = 14,
+};
+
+void EncodePuddleInfo(puddles::WireWriter* writer, const PuddleInfo& info);
+puddles::Status DecodePuddleInfo(puddles::WireReader* reader, PuddleInfo* info);
+void EncodePoolInfo(puddles::WireWriter* writer, const PoolInfo& info);
+puddles::Status DecodePoolInfo(puddles::WireReader* reader, PoolInfo* info);
+void EncodePtrMap(puddles::WireWriter* writer, const PtrMapRecord& record);
+puddles::Status DecodePtrMap(puddles::WireReader* reader, PtrMapRecord* record);
+void EncodeImportResult(puddles::WireWriter* writer, const ImportResult& result);
+puddles::Status DecodeImportResult(puddles::WireReader* reader, ImportResult* result);
+
+// Server side: executes one decoded request against the daemon, producing the
+// response payload and (possibly) an fd to attach. Used by the socket server
+// and directly by protocol tests.
+struct DispatchResult {
+  std::vector<uint8_t> response;
+  int fd = -1;  // Attached to the response when >= 0; ownership passes out.
+};
+
+DispatchResult DispatchRequest(Daemon& daemon, const Credentials& creds,
+                               const std::vector<uint8_t>& request);
+
+}  // namespace puddled
+
+#endif  // SRC_DAEMON_PROTOCOL_H_

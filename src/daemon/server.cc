@@ -1,0 +1,97 @@
+#include "src/daemon/server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "src/common/log.h"
+#include "src/daemon/protocol.h"
+
+namespace puddled {
+
+puddles::Result<std::unique_ptr<Server>> Server::Start(Daemon* daemon,
+                                                       const std::string& socket_path) {
+  std::unique_ptr<Server> server(new Server(daemon, socket_path));
+  ASSIGN_OR_RETURN(server->listener_, puddles::UnixSocketServer::Bind(socket_path));
+  server->accept_thread_ = std::thread([raw = server.get()] { raw->AcceptLoop(); });
+  return server;
+}
+
+Server::~Server() { Stop(); }
+
+void Server::Stop() {
+  if (stopping_.exchange(true)) {
+    return;
+  }
+  // Closing the listener unblocks accept().
+  listener_.Close();
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    threads.swap(connection_threads_);
+    // Unblock connection threads parked in recvmsg on still-open clients.
+    for (int fd : connection_fds_) {
+      ::shutdown(fd, SHUT_RDWR);
+    }
+    connection_fds_.clear();
+  }
+  for (std::thread& thread : threads) {
+    if (thread.joinable()) {
+      thread.join();
+    }
+  }
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load()) {
+    auto connection = listener_.Accept();
+    if (!connection.ok()) {
+      if (!stopping_.load()) {
+        PUD_LOG_WARN("accept failed: %s", connection.status().ToString().c_str());
+      }
+      return;
+    }
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    connection_fds_.push_back(connection->fd());
+    connection_threads_.emplace_back(
+        [this, socket = std::make_shared<puddles::UnixSocket>(std::move(*connection))]() mutable {
+          ServeConnection(std::move(*socket));
+        });
+  }
+}
+
+void Server::ServeConnection(puddles::UnixSocket socket) {
+  auto creds_result = socket.Credentials();
+  Credentials creds = Credentials::Self();
+  if (creds_result.ok()) {
+    creds.uid = creds_result->uid;
+    creds.gid = creds_result->gid;
+  }
+
+  while (!stopping_.load()) {
+    auto message = socket.Recv();
+    if (!message.ok()) {
+      return;  // Peer closed (or error): end this connection.
+    }
+    // Requests carry no fds; close any unexpected ones.
+    for (int fd : message->fds) {
+      ::close(fd);
+    }
+    DispatchResult result = DispatchRequest(*daemon_, creds, message->bytes);
+    std::vector<int> fds;
+    if (result.fd >= 0) {
+      fds.push_back(result.fd);
+    }
+    puddles::Status sent = socket.Send(result.response, fds);
+    if (result.fd >= 0) {
+      ::close(result.fd);  // The kernel duplicated it into the peer.
+    }
+    if (!sent.ok()) {
+      return;
+    }
+  }
+}
+
+}  // namespace puddled

@@ -1,0 +1,51 @@
+// The Puddled socket front end: accepts connections on a UNIX domain socket
+// and dispatches requests against a Daemon, authenticating each connection
+// via SO_PEERCRED (§4.6).
+#ifndef SRC_DAEMON_SERVER_H_
+#define SRC_DAEMON_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/daemon/daemon.h"
+#include "src/ipc/unix_socket.h"
+
+namespace puddled {
+
+class Server {
+ public:
+  // Binds `socket_path` and serves `daemon` until Stop(). The daemon must
+  // outlive the server.
+  static puddles::Result<std::unique_ptr<Server>> Start(Daemon* daemon,
+                                                        const std::string& socket_path);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  const std::string& socket_path() const { return socket_path_; }
+  void Stop();
+
+ private:
+  Server(Daemon* daemon, std::string socket_path)
+      : daemon_(daemon), socket_path_(std::move(socket_path)) {}
+
+  void AcceptLoop();
+  void ServeConnection(puddles::UnixSocket socket);
+
+  Daemon* daemon_;
+  std::string socket_path_;
+  puddles::UnixSocketServer listener_;
+  std::thread accept_thread_;
+  std::vector<std::thread> connection_threads_;
+  std::vector<int> connection_fds_;  // For shutdown() on Stop().
+  std::mutex threads_mu_;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace puddled
+
+#endif  // SRC_DAEMON_SERVER_H_

@@ -1,0 +1,119 @@
+// Bounds-checked binary serialization for the daemon protocol. Little-endian,
+// no alignment requirements, explicit lengths — a deliberately boring format.
+#ifndef SRC_IPC_WIRE_H_
+#define SRC_IPC_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/uuid.h"
+
+namespace puddles {
+
+class WireWriter {
+ public:
+  void PutU8(uint8_t v) { Append(&v, 1); }
+  void PutU16(uint16_t v) { Append(&v, 2); }
+  void PutU32(uint32_t v) { Append(&v, 4); }
+  void PutU64(uint64_t v) { Append(&v, 8); }
+  void PutUuid(const Uuid& id) {
+    PutU64(id.hi);
+    PutU64(id.lo);
+  }
+  void PutString(std::string_view s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    Append(s.data(), s.size());
+  }
+  void PutBytes(const void* data, size_t size) {
+    PutU32(static_cast<uint32_t>(size));
+    Append(data, size);
+  }
+  void PutStatus(const puddles::Status& status) {
+    PutU32(static_cast<uint32_t>(status.code()));
+    PutString(status.message());
+  }
+
+  const std::vector<uint8_t>& bytes() const { return buffer_; }
+  std::vector<uint8_t> Take() { return std::move(buffer_); }
+
+ private:
+  void Append(const void* data, size_t size) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    buffer_.insert(buffer_.end(), p, p + size);
+  }
+
+  std::vector<uint8_t> buffer_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(const std::vector<uint8_t>& bytes)
+      : data_(bytes.data()), size_(bytes.size()) {}
+  WireReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  puddles::Status GetU8(uint8_t* out) { return Read(out, 1); }
+  puddles::Status GetU16(uint16_t* out) { return Read(out, 2); }
+  puddles::Status GetU32(uint32_t* out) { return Read(out, 4); }
+  puddles::Status GetU64(uint64_t* out) { return Read(out, 8); }
+  puddles::Status GetUuid(Uuid* out) {
+    RETURN_IF_ERROR(GetU64(&out->hi));
+    return GetU64(&out->lo);
+  }
+  puddles::Status GetString(std::string* out) {
+    uint32_t size = 0;
+    RETURN_IF_ERROR(GetU32(&size));
+    if (size > remaining()) {
+      return DataLossError("wire: string length exceeds buffer");
+    }
+    out->assign(reinterpret_cast<const char*>(data_ + pos_), size);
+    pos_ += size;
+    return OkStatus();
+  }
+  puddles::Status GetBytes(std::vector<uint8_t>* out) {
+    uint32_t size = 0;
+    RETURN_IF_ERROR(GetU32(&size));
+    if (size > remaining()) {
+      return DataLossError("wire: byte length exceeds buffer");
+    }
+    out->assign(data_ + pos_, data_ + pos_ + size);
+    pos_ += size;
+    return OkStatus();
+  }
+  puddles::Status GetStatus(puddles::Status* out) {
+    uint32_t code = 0;
+    std::string message;
+    RETURN_IF_ERROR(GetU32(&code));
+    RETURN_IF_ERROR(GetString(&message));
+    if (code == 0) {
+      *out = OkStatus();
+    } else {
+      *out = puddles::Status(static_cast<StatusCode>(code), std::move(message));
+    }
+    return OkStatus();
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ == size_; }
+
+ private:
+  puddles::Status Read(void* out, size_t size) {
+    if (remaining() < size) {
+      return DataLossError("wire: truncated message");
+    }
+    std::memcpy(out, data_ + pos_, size);
+    pos_ += size;
+    return OkStatus();
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace puddles
+
+#endif  // SRC_IPC_WIRE_H_

@@ -1,0 +1,13 @@
+// Umbrella header for the Puddles client library: include this to use pools,
+// transactions (TX_BEGIN/TX_ADD/TX_REDO_SET/TX_END), typed allocation, and
+// relocation-aware mapping.
+#ifndef SRC_LIBPUDDLES_LIBPUDDLES_H_
+#define SRC_LIBPUDDLES_LIBPUDDLES_H_
+
+#include "src/daemon/client.h"
+#include "src/libpuddles/pool.h"
+#include "src/libpuddles/runtime.h"
+#include "src/libpuddles/type_registry.h"
+#include "src/tx/tx.h"
+
+#endif  // SRC_LIBPUDDLES_LIBPUDDLES_H_

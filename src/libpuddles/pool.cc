@@ -1,0 +1,146 @@
+#include "src/libpuddles/pool.h"
+
+#include "src/libpuddles/runtime.h"
+#include "src/pmem/flush.h"
+
+namespace puddles {
+namespace {
+
+// Connects allocator metadata writes to the active transaction's undo log
+// (Fig. 8: "This new node is automatically undo-logged by the allocator").
+LogSink CurrentTxSink() {
+  Transaction* tx = Transaction::Current();
+  if (tx == nullptr) {
+    return {};
+  }
+  return LogSink{tx, [](void* ctx, void* addr, size_t size) {
+                   (void)static_cast<Transaction*>(ctx)->AddUndo(addr, size);
+                 }};
+}
+
+}  // namespace
+
+puddles::Status Pool::AddDataPuddle() {
+  ASSIGN_OR_RETURN(auto created,
+                   runtime_->client().CreatePuddle(PuddleKind::kData, kDefaultHeapSize,
+                                                   info_.pool_uuid));
+  auto [info, fd] = created;
+  ASSIGN_OR_RETURN(Runtime::Entry * entry,
+                   runtime_->RegisterPuddle(info, fd, /*writable=*/true, &translator_));
+  RETURN_IF_ERROR(runtime_->EnsureMapped(info.uuid).status());
+  (void)entry;
+  RETURN_IF_ERROR(meta_.AddMember(info.uuid));
+  data_members_.push_back(info.uuid);
+  return OkStatus();
+}
+
+puddles::Result<void*> Pool::MallocBytes(size_t size, TypeId type_id) {
+  if (!writable_) {
+    return FailedPreconditionError("pool opened read-only");
+  }
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  LogSink sink = CurrentTxSink();
+
+  for (size_t attempt = 0; attempt <= data_members_.size(); ++attempt) {
+    if (alloc_cursor_ >= data_members_.size()) {
+      RETURN_IF_ERROR(AddDataPuddle());
+      alloc_cursor_ = data_members_.size() - 1;
+    }
+    ASSIGN_OR_RETURN(Runtime::Entry * entry,
+                     runtime_->EnsureMapped(data_members_[alloc_cursor_]));
+    ASSIGN_OR_RETURN(ObjectHeap heap, entry->view.object_heap(sink));
+    auto allocated = heap.Allocate(size, type_id);
+    if (allocated.ok()) {
+      if (sink.fn == nullptr) {
+        // Outside a transaction: persist the metadata state now. (Non-TX
+        // allocations are not crash-atomic — same contract as PMDK.)
+        pmem::FlushFence(reinterpret_cast<uint8_t*>(entry->view.header()) +
+                             entry->view.header()->meta_offset,
+                         entry->view.header()->meta_size);
+      }
+      return *allocated;
+    }
+    if (allocated.status().code() != StatusCode::kOutOfMemory) {
+      return allocated.status();
+    }
+    ++alloc_cursor_;  // This puddle is full; move on ("serviced from any
+                      // puddle in the pool with enough free space").
+  }
+  return OutOfMemoryError("pool exhausted");
+}
+
+puddles::Status Pool::Free(void* payload) {
+  if (!writable_) {
+    return FailedPreconditionError("pool opened read-only");
+  }
+  Runtime::Entry* entry = runtime_->FindEntryByAddr(reinterpret_cast<uintptr_t>(payload));
+  if (entry == nullptr || !entry->mapped) {
+    return InvalidArgumentError("pointer does not belong to a mapped puddle");
+  }
+  const Uuid uuid = entry->info.uuid;
+
+  Transaction* tx = Transaction::Current();
+  if (tx != nullptr) {
+    // Deferred to commit: freed blocks must not be reused within this
+    // transaction (rollback safety), and the allocator mutations become part
+    // of the transaction's undo log.
+    Runtime* runtime = runtime_;
+    tx->DeferFree([runtime, uuid, payload]() -> puddles::Status {
+      ASSIGN_OR_RETURN(Runtime::Entry * e, runtime->EnsureMapped(uuid));
+      ASSIGN_OR_RETURN(ObjectHeap heap, e->view.object_heap(CurrentTxSink()));
+      return heap.Free(payload);
+    });
+    return OkStatus();
+  }
+
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  ASSIGN_OR_RETURN(ObjectHeap heap, entry->view.object_heap());
+  RETURN_IF_ERROR(heap.Free(payload));
+  pmem::FlushFence(reinterpret_cast<uint8_t*>(entry->view.header()) +
+                       entry->view.header()->meta_offset,
+                   entry->view.header()->meta_size);
+  // Allocation may resume from this puddle.
+  for (size_t i = 0; i < data_members_.size(); ++i) {
+    if (data_members_[i] == uuid && i < alloc_cursor_) {
+      alloc_cursor_ = i;
+      break;
+    }
+  }
+  return OkStatus();
+}
+
+puddles::Result<void*> Pool::RootBytes() {
+  if (!meta_.has_root()) {
+    return NotFoundError("pool has no root object");
+  }
+  ASSIGN_OR_RETURN(Runtime::Entry * entry, runtime_->EnsureMapped(meta_.root_puddle()));
+  // "the object allocator always allocates the first object at a fixed
+  // offset ... Libpuddles can return its address using a simple base and
+  // offset calculation."
+  return reinterpret_cast<void*>(entry->info.base_addr + entry->view.header()->heap_offset +
+                                 meta_.root_offset());
+}
+
+puddles::Status Pool::SetRootBytes(void* payload) {
+  Runtime::Entry* entry = runtime_->FindEntryByAddr(reinterpret_cast<uintptr_t>(payload));
+  if (entry == nullptr || !entry->mapped) {
+    return InvalidArgumentError("root must live in a mapped puddle");
+  }
+  const uint64_t heap_addr = entry->info.base_addr + entry->view.header()->heap_offset;
+  const uint64_t offset = reinterpret_cast<uint64_t>(payload) - heap_addr;
+  if (offset >= entry->view.heap_size()) {
+    return InvalidArgumentError("root pointer outside puddle heap");
+  }
+  meta_.SetRoot(entry->info.uuid, offset);
+  return OkStatus();
+}
+
+puddles::Result<Transaction*> Pool::BeginTx() {
+  if (!writable_) {
+    return FailedPreconditionError("read-only pool cannot start transactions");
+  }
+  ASSIGN_OR_RETURN(TxTarget * target, runtime_->ThreadTxTarget());
+  return Transaction::BeginWith(target);
+}
+
+}  // namespace puddles

@@ -1,0 +1,97 @@
+// Pools: named collections of puddles with a malloc/free interface and a
+// designated root object (paper §3.1, §4.4).
+//
+// "Pools in the Puddle system are named collections of persistent memory and
+// act as the programmer's interface to allocate and deallocate objects on PM
+// ... Pools automatically acquire new memory for object allocation and
+// logging and free any unused memory to the system."
+#ifndef SRC_LIBPUDDLES_POOL_H_
+#define SRC_LIBPUDDLES_POOL_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/type_name.h"
+#include "src/daemon/types.h"
+#include "src/libpuddles/relocation.h"
+#include "src/puddles/pool_meta.h"
+#include "src/tx/transaction.h"
+
+namespace puddles {
+
+class Runtime;
+
+class Pool {
+ public:
+  const std::string& name() const { return name_; }
+  const puddled::PoolInfo& info() const { return info_; }
+  bool writable() const { return writable_; }
+  const Translator& translator() const { return translator_; }
+
+  // ---- Allocation (§4.5) ----
+  //
+  // "pool's malloc() API takes as input the object's type in addition to its
+  // size. Allocations using this API can be serviced from any puddle in the
+  // pool with enough free space."
+  puddles::Result<void*> MallocBytes(size_t size, TypeId type_id);
+
+  template <typename T>
+  puddles::Result<T*> Malloc(size_t count = 1) {
+    ASSIGN_OR_RETURN(void* raw, MallocBytes(sizeof(T) * count, TypeIdOf<T>()));
+    return static_cast<T*>(raw);
+  }
+
+  // Frees an object allocated from this pool. Inside a transaction the free
+  // is deferred to commit (no reuse within the transaction, so rollback can
+  // never resurrect recycled bytes).
+  puddles::Status Free(void* payload);
+
+  // ---- Root object ----
+  puddles::Result<void*> RootBytes();
+  puddles::Status SetRootBytes(void* payload);
+
+  template <typename T>
+  puddles::Result<T*> Root() {
+    ASSIGN_OR_RETURN(void* raw, RootBytes());
+    return static_cast<T*>(raw);
+  }
+  template <typename T>
+  puddles::Status SetRoot(T* payload) {
+    return SetRootBytes(payload);
+  }
+
+  // ---- Transactions ----
+  // Starts (or nests into) the calling thread's transaction using its cached
+  // log puddle. Used by the TX_BEGIN macro.
+  puddles::Result<Transaction*> BeginTx();
+
+  // Number of member data puddles (diagnostics / tests).
+  uint32_t member_count() const { return meta_.num_members(); }
+
+ private:
+  friend class Runtime;
+
+  Pool(Runtime* runtime, puddled::PoolInfo info, bool writable)
+      : runtime_(runtime), info_(info), name_(info.name), writable_(writable) {}
+
+  // Grows the pool by one data puddle.
+  puddles::Status AddDataPuddle();
+
+  Runtime* runtime_;
+  puddled::PoolInfo info_;
+  std::string name_;
+  bool writable_;
+
+  PoolMetaView meta_;
+  Translator translator_;
+
+  std::mutex alloc_mu_;
+  std::vector<Uuid> data_members_;
+  size_t alloc_cursor_ = 0;
+};
+
+}  // namespace puddles
+
+#endif  // SRC_LIBPUDDLES_POOL_H_

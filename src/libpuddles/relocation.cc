@@ -1,0 +1,66 @@
+#include "src/libpuddles/relocation.h"
+
+#include <cstring>
+
+#include "src/pmem/flush.h"
+
+namespace puddles {
+
+puddles::Result<RewriteStats> RewritePuddle(Puddle& puddle, const Translator& translator,
+                                            const TypeRegistry& registry) {
+  RewriteStats stats;
+  if (puddle.kind() != PuddleKind::kData) {
+    // Non-data puddles (logs, pool meta) hold no heap pointers by format.
+    puddle.CompleteRewrite();
+    return stats;
+  }
+  if (translator.empty()) {
+    puddle.CompleteRewrite();
+    return stats;
+  }
+
+  ASSIGN_OR_RETURN(ObjectHeap heap, puddle.object_heap());
+
+  heap.ForEachObject([&](void* payload, const ObjectHeader& header) {
+    ++stats.objects_visited;
+    if (header.type_id == kRawBytesTypeId) {
+      return;  // Raw byte buffers carry no pointers by contract.
+    }
+    auto map = registry.Lookup(header.type_id);
+    if (!map.ok()) {
+      ++stats.objects_without_map;
+      return;
+    }
+    if (map->num_fields == 0 || map->object_size == 0) {
+      return;
+    }
+    // Arrays of T stride by sizeof(T).
+    const uint32_t count = header.size / map->object_size;
+    auto* bytes = static_cast<uint8_t*>(payload);
+    for (uint32_t element = 0; element < count; ++element) {
+      for (uint32_t field = 0; field < map->num_fields; ++field) {
+        auto* slot = reinterpret_cast<uint64_t*>(
+            bytes + static_cast<size_t>(element) * map->object_size +
+            map->field_offsets[field]);
+        ++stats.pointers_visited;
+        const uint64_t value = *slot;
+        if (value == 0) {
+          continue;
+        }
+        uint64_t translated;
+        if (translator.Translate(value, &translated)) {
+          *slot = translated;
+          ++stats.pointers_rewritten;
+        }
+      }
+    }
+  });
+
+  // Persist the rewritten heap, then clear the rewrite obligation. Crashing
+  // before the flag clears re-runs the (idempotent) rewrite.
+  pmem::FlushFence(puddle.heap(), puddle.heap_size());
+  puddle.CompleteRewrite();
+  return stats;
+}
+
+}  // namespace puddles

@@ -1,0 +1,77 @@
+// Pointer translation for relocated puddles (paper §4.2).
+//
+// A Translator holds the pool's old-range → new-base mapping (one entry per
+// moved member). RewritePuddle walks every live object in a puddle's heap via
+// the allocator metadata, looks up each object's pointer map by its type ID,
+// and rewrites every pointer value that falls inside a moved old range.
+//
+// Idempotence under crashes: new bases are allocated from free address space,
+// so a pointer already rewritten into a new range matches no old range and a
+// re-run after a crash only translates the remaining stale pointers. The
+// needs-rewrite flag is cleared (flushed) only after the whole heap has been
+// rewritten and flushed.
+#ifndef SRC_LIBPUDDLES_RELOCATION_H_
+#define SRC_LIBPUDDLES_RELOCATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/libpuddles/type_registry.h"
+#include "src/puddles/format.h"
+
+namespace puddles {
+
+struct TranslationEntry {
+  uint64_t old_lo;  // Old file-base range [old_lo, old_hi).
+  uint64_t old_hi;
+  int64_t delta;  // new_base - old_base.
+};
+
+class Translator {
+ public:
+  void Add(uint64_t old_base, uint64_t size, uint64_t new_base) {
+    if (old_base == new_base) {
+      return;  // Identity: nothing to translate.
+    }
+    entries_.push_back({old_base, old_base + size,
+                        static_cast<int64_t>(new_base) - static_cast<int64_t>(old_base)});
+  }
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+  // Translates `addr` if it falls in a moved old range; returns false if the
+  // address is not covered (already-new or foreign pointers pass through).
+  bool Translate(uint64_t addr, uint64_t* out) const {
+    for (const TranslationEntry& entry : entries_) {
+      if (addr >= entry.old_lo && addr < entry.old_hi) {
+        *out = static_cast<uint64_t>(static_cast<int64_t>(addr) + entry.delta);
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::vector<TranslationEntry> entries_;
+};
+
+struct RewriteStats {
+  uint64_t objects_visited = 0;
+  uint64_t pointers_visited = 0;
+  uint64_t pointers_rewritten = 0;
+  uint64_t objects_without_map = 0;
+};
+
+// Rewrites all pointers in `puddle`'s heap (which must be mapped writable and
+// attached). Marks the puddle clean (CompleteRewrite) on success. The type
+// registry supplies pointer maps; unknown types are assumed pointer-free
+// (counted in stats so callers can warn).
+puddles::Result<RewriteStats> RewritePuddle(Puddle& puddle, const Translator& translator,
+                                            const TypeRegistry& registry);
+
+}  // namespace puddles
+
+#endif  // SRC_LIBPUDDLES_RELOCATION_H_

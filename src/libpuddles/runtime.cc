@@ -1,0 +1,361 @@
+#include "src/libpuddles/runtime.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <unordered_map>
+
+#include "src/common/log.h"
+#include "src/libpuddles/fault_router.h"
+#include "src/libpuddles/pool.h"
+#include "src/pmem/global_space.h"
+
+namespace puddles {
+
+puddles::Result<std::unique_ptr<Runtime>> Runtime::Create(
+    std::shared_ptr<puddled::DaemonClient> client) {
+  if (!pmem::GlobalPuddleSpace().reserved()) {
+    return UnavailableError("global puddle space reservation failed");
+  }
+  static std::atomic<uint64_t> next_generation{1};
+  std::unique_ptr<Runtime> runtime(new Runtime(std::move(client)));
+  runtime->generation_ = next_generation.fetch_add(1);
+  Runtime* raw = runtime.get();
+  runtime->resolver_id_ =
+      FaultRouter::Instance().AddResolver([raw](uintptr_t addr) { return raw->HandleFault(addr); });
+  return runtime;
+}
+
+Runtime::~Runtime() {
+  FaultRouter::Instance().RemoveResolver(resolver_id_);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& space = pmem::GlobalPuddleSpace();
+  for (auto& [base, entry] : entries_by_base_) {
+    if (entry->mapped) {
+      (void)space.UnmapToReserved(entry->info.base_addr, entry->info.file_size);
+    }
+    (void)space.FreeRange(entry->info.base_addr);
+    if (entry->fd >= 0) {
+      ::close(entry->fd);
+    }
+  }
+}
+
+puddles::Result<Runtime::Entry*> Runtime::RegisterPuddle(const puddled::PuddleInfo& info,
+                                                         int fd, bool writable,
+                                                         const Translator* translator) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = entries_by_uuid_.find(info.uuid); it != entries_by_uuid_.end()) {
+    ::close(fd);
+    return it->second;
+  }
+  auto& space = pmem::GlobalPuddleSpace();
+  puddles::Status claimed = space.ClaimRange(info.base_addr, info.file_size);
+  if (!claimed.ok()) {
+    ::close(fd);
+    return AlreadyExistsError(
+        "puddle address range conflicts with a mapped puddle — import a copy instead "
+        "(puddle " +
+        info.uuid.ToString() + ")");
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->info = info;
+  entry->fd = fd;
+  entry->writable = writable;
+  entry->translator = translator;
+  Entry* raw = entry.get();
+  entries_by_base_[info.base_addr] = std::move(entry);
+  entries_by_uuid_[info.uuid] = raw;
+  ++stats_.puddles_registered;
+  return raw;
+}
+
+puddles::Result<Runtime::Entry*> Runtime::FetchAndRegister(const Uuid& uuid, bool writable,
+                                                           const Translator* translator) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto it = entries_by_uuid_.find(uuid); it != entries_by_uuid_.end()) {
+      return it->second;
+    }
+  }
+  ASSIGN_OR_RETURN(auto fetched, client_->GetPuddle(uuid, writable));
+  return RegisterPuddle(fetched.first, fetched.second, writable, translator);
+}
+
+puddles::Status Runtime::MapEntryLocked(Entry* entry) {
+  if (entry->mapped) {
+    return OkStatus();
+  }
+  auto& space = pmem::GlobalPuddleSpace();
+  RETURN_IF_ERROR(space.MapFileAt(entry->fd, entry->info.base_addr, entry->info.file_size,
+                                  entry->writable));
+  auto view = Puddle::Attach(reinterpret_cast<void*>(entry->info.base_addr),
+                             entry->info.file_size);
+  if (!view.ok()) {
+    (void)space.UnmapToReserved(entry->info.base_addr, entry->info.file_size);
+    return view.status();
+  }
+  entry->view = *view;
+  entry->mapped = true;
+  ++stats_.puddles_mapped;
+
+  // Incremental relocation (§4.2): translate this puddle's pointers before
+  // the application can see them.
+  if (entry->view.needs_rewrite()) {
+    if (!entry->writable) {
+      return FailedPreconditionError("puddle needs pointer rewrite but is mapped read-only");
+    }
+    Translator identity;
+    const Translator* translator =
+        entry->translator != nullptr ? entry->translator : &identity;
+    auto rewrite = RewritePuddle(entry->view, *translator, TypeRegistry::Instance());
+    RETURN_IF_ERROR(rewrite.status());
+    ++stats_.rewrites;
+    stats_.pointers_rewritten += rewrite->pointers_rewritten;
+    // Tell the daemon this puddle is clean (frees the frontier hold).
+    (void)client_->CompleteRewrite(entry->info.uuid);
+  }
+  return OkStatus();
+}
+
+puddles::Result<Runtime::Entry*> Runtime::EnsureMapped(const Uuid& uuid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_by_uuid_.find(uuid);
+  if (it == entries_by_uuid_.end()) {
+    return NotFoundError("puddle not registered with this runtime");
+  }
+  RETURN_IF_ERROR(MapEntryLocked(it->second));
+  return it->second;
+}
+
+Runtime::Entry* Runtime::FindEntryByAddr(uintptr_t addr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_by_base_.upper_bound(addr);
+  if (it == entries_by_base_.begin()) {
+    return nullptr;
+  }
+  --it;
+  Entry* entry = it->second.get();
+  if (addr >= entry->info.base_addr + entry->info.file_size) {
+    return nullptr;
+  }
+  return entry;
+}
+
+Runtime::Entry* Runtime::FindEntryByUuid(const Uuid& uuid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_by_uuid_.find(uuid);
+  return it == entries_by_uuid_.end() ? nullptr : it->second;
+}
+
+bool Runtime::HandleFault(uintptr_t addr) {
+  Entry* entry = FindEntryByAddr(addr);
+  if (entry != nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entry->mapped) {
+      return false;  // Mapped but still faulting: a real protection error.
+    }
+    return MapEntryLocked(entry).ok();
+  }
+  // Unknown address inside puddle space: possibly a cross-pool pointer into a
+  // puddle we never fetched. Ask the daemon who owns it.
+  auto info = client_->FindPuddleByAddr(addr);
+  if (!info.ok()) {
+    return false;
+  }
+  auto fetched = client_->GetPuddle(info->uuid, /*write=*/true);
+  if (!fetched.ok()) {
+    return false;
+  }
+  auto registered = RegisterPuddle(fetched->first, fetched->second, /*writable=*/true, nullptr);
+  if (!registered.ok()) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return MapEntryLocked(*registered).ok();
+}
+
+puddles::Status Runtime::UploadPointerMaps() {
+  for (const puddled::PtrMapRecord& record : TypeRegistry::Instance().Snapshot()) {
+    RETURN_IF_ERROR(client_->RegisterPtrMap(record));
+  }
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Pools
+// ---------------------------------------------------------------------------
+
+puddles::Result<Pool*> Runtime::CreatePool(const std::string& name, uint32_t mode) {
+  ASSIGN_OR_RETURN(puddled::PoolInfo info, client_->CreatePool(name, mode));
+  return FinishOpenPool(info, /*writable=*/true);
+}
+
+puddles::Result<Pool*> Runtime::OpenPool(const std::string& name, bool writable) {
+  ASSIGN_OR_RETURN(puddled::PoolInfo info, client_->OpenPool(name));
+  return FinishOpenPool(info, writable);
+}
+
+puddles::Result<Pool*> Runtime::FinishOpenPool(const puddled::PoolInfo& info, bool writable) {
+  RETURN_IF_ERROR(UploadPointerMaps());
+
+  std::unique_ptr<Pool> pool(new Pool(this, info, writable));
+
+  // Map the pool metadata eagerly.
+  ASSIGN_OR_RETURN(Entry * meta_entry, FetchAndRegister(info.meta_puddle, writable, nullptr));
+  ASSIGN_OR_RETURN(Entry * mapped_meta, EnsureMapped(info.meta_puddle));
+  ASSIGN_OR_RETURN(pool->meta_, PoolMetaView::Attach(mapped_meta->view));
+  (void)meta_entry;
+
+  // Register all members (lazily mapped) and assemble the pool's relocation
+  // translation table from the pool meta's persistent old-base array.
+  const uint32_t members = pool->meta_.num_members();
+  struct Pending {
+    puddled::PuddleInfo info;
+    int fd;
+  };
+  std::vector<Pending> pending;
+  for (uint32_t i = 0; i < members; ++i) {
+    const Uuid member = pool->meta_.member(i);
+    pool->data_members_.push_back(member);
+    ASSIGN_OR_RETURN(auto fetched, client_->GetPuddle(member, writable));
+    pending.push_back({fetched.first, fetched.second});
+    const uint64_t old_base = pool->meta_.member_old_base(i);
+    if (old_base != 0) {
+      pool->translator_.Add(old_base, fetched.first.file_size, fetched.first.base_addr);
+    }
+  }
+  for (Pending& p : pending) {
+    RETURN_IF_ERROR(RegisterPuddle(p.info, p.fd, writable, &pool->translator_).status());
+  }
+
+  // "Puddles support relocation on import by first mapping the root puddle."
+  if (pool->meta_.has_root()) {
+    RETURN_IF_ERROR(EnsureMapped(pool->meta_.root_puddle()).status());
+  }
+
+  Pool* raw = pool.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  pools_.push_back(std::move(pool));
+  return raw;
+}
+
+puddles::Status Runtime::ExportPool(const std::string& name, const std::string& dest_dir) {
+  return client_->ExportPool(name, dest_dir);
+}
+
+puddles::Result<Pool*> Runtime::ImportPool(const std::string& src_dir,
+                                           const std::string& new_name) {
+  ASSIGN_OR_RETURN(puddled::ImportResult result, client_->ImportPool(src_dir, new_name));
+  return OpenPool(result.pool.name);
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread transaction logs (§4.1)
+// ---------------------------------------------------------------------------
+
+puddles::Status Runtime::EnsureLogSpace() {
+  if (log_space_entry_ != nullptr) {
+    return OkStatus();
+  }
+  ASSIGN_OR_RETURN(auto created, client_->CreatePuddle(PuddleKind::kLogSpace, 1 << 20));
+  auto [info, fd] = created;
+  ASSIGN_OR_RETURN(Entry * entry, RegisterPuddle(info, fd, /*writable=*/true, nullptr));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RETURN_IF_ERROR(MapEntryLocked(entry));
+  }
+  RETURN_IF_ERROR(LogSpaceView::Format(entry->view));
+  ASSIGN_OR_RETURN(log_space_, LogSpaceView::Attach(entry->view));
+  // Registration makes the daemon responsible for recovery from now on.
+  RETURN_IF_ERROR(client_->RegisterLogSpace(info.uuid));
+  log_space_entry_ = entry;
+  return OkStatus();
+}
+
+puddles::Result<Runtime::ThreadLog*> Runtime::ThreadLogForThisThread() {
+  // One cached log per (runtime, thread): "every thread caches the log puddle
+  // used on the first transaction of that thread and reuses it."
+  thread_local std::unordered_map<uint64_t, ThreadLog*> tls_logs;
+  if (auto it = tls_logs.find(generation_); it != tls_logs.end()) {
+    return it->second;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(thread_logs_mu_);
+    RETURN_IF_ERROR(EnsureLogSpace());
+  }
+
+  ASSIGN_OR_RETURN(auto created, client_->CreatePuddle(PuddleKind::kLog, kDefaultLogHeapSize));
+  auto [info, fd] = created;
+  ASSIGN_OR_RETURN(Entry * entry, RegisterPuddle(info, fd, /*writable=*/true, nullptr));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RETURN_IF_ERROR(MapEntryLocked(entry));
+  }
+  RETURN_IF_ERROR(LogRegion::Format(entry->view.heap(), entry->view.heap_size()));
+  ASSIGN_OR_RETURN(LogRegion region,
+                   LogRegion::Attach(entry->view.heap(), entry->view.heap_size()));
+
+  auto state = std::make_unique<ThreadLog>();
+  state->entry = entry;
+  state->region = region;
+  ThreadLog* raw = state.get();
+  {
+    std::lock_guard<std::mutex> lock(thread_logs_mu_);
+    RETURN_IF_ERROR(log_space_.AddLog(info.uuid));
+    thread_logs_.push_back(std::move(state));
+  }
+  tls_logs[generation_] = raw;
+  return raw;
+}
+
+puddles::Result<TxTarget*> Runtime::ThreadTxTarget() {
+  ASSIGN_OR_RETURN(ThreadLog * state, ThreadLogForThisThread());
+  if (state->cached_target.log != nullptr) {
+    return &state->cached_target;
+  }
+  TxTarget target;
+  target.log = &state->region;
+  target.grow = [this, state]() -> puddles::Result<std::pair<LogRegion*, Uuid>> {
+    // Reuse a spare grown log if available; otherwise allocate a fresh log
+    // puddle from the daemon (Fig. 5 chaining).
+    for (auto& [entry, region] : state->spares) {
+      if (region != nullptr) {
+        LogRegion* raw = region.release();
+        return std::make_pair(raw, entry->info.uuid);
+      }
+    }
+    ASSIGN_OR_RETURN(auto created, client_->CreatePuddle(PuddleKind::kLog, kDefaultLogHeapSize));
+    auto [info, fd] = created;
+    ASSIGN_OR_RETURN(Entry * entry, RegisterPuddle(info, fd, /*writable=*/true, nullptr));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      RETURN_IF_ERROR(MapEntryLocked(entry));
+    }
+    RETURN_IF_ERROR(LogRegion::Format(entry->view.heap(), entry->view.heap_size()));
+    auto region = LogRegion::Attach(entry->view.heap(), entry->view.heap_size());
+    RETURN_IF_ERROR(region.status());
+    state->spares.emplace_back(entry, nullptr);
+    return std::make_pair(new LogRegion(*region), info.uuid);
+  };
+  target.release = [state](LogRegion* region) {
+    region->Reset(0, 2);
+    for (auto& [entry, slot] : state->spares) {
+      if (slot == nullptr && entry->view.heap() == region->base()) {
+        slot.reset(region);
+        return;
+      }
+    }
+    delete region;
+  };
+  state->cached_target = std::move(target);
+  return &state->cached_target;
+}
+
+Runtime::Stats Runtime::stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace puddles

@@ -1,0 +1,130 @@
+// Libpuddles runtime: the per-process client of Puddled (paper §3.2).
+//
+// Owns the puddle mapping table over the global address-space reservation,
+// wires faults to on-demand mapping + incremental pointer rewriting, manages
+// pools, uploads pointer maps, and hands out per-thread transaction logs.
+#ifndef SRC_LIBPUDDLES_RUNTIME_H_
+#define SRC_LIBPUDDLES_RUNTIME_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/daemon/client.h"
+#include "src/libpuddles/relocation.h"
+#include "src/libpuddles/type_registry.h"
+#include "src/puddles/format.h"
+#include "src/tx/log_format.h"
+#include "src/tx/log_space.h"
+#include "src/tx/transaction.h"
+
+namespace puddles {
+
+class Pool;
+
+inline constexpr size_t kDefaultLogHeapSize = 256 * 1024;
+
+class Runtime {
+ public:
+  struct Stats {
+    uint64_t puddles_registered = 0;
+    uint64_t puddles_mapped = 0;
+    uint64_t rewrites = 0;
+    uint64_t pointers_rewritten = 0;
+  };
+
+  // One registered puddle: reserved address range + capability fd; mapping
+  // and rewriting happen on first touch (or eagerly via EnsureMapped).
+  struct Entry {
+    puddled::PuddleInfo info;
+    int fd = -1;
+    bool writable = true;
+    bool mapped = false;
+    Puddle view;                        // Valid when mapped.
+    const Translator* translator = nullptr;  // Pool translation table; may be null.
+  };
+
+  static puddles::Result<std::unique_ptr<Runtime>> Create(
+      std::shared_ptr<puddled::DaemonClient> client);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  puddled::DaemonClient& client() { return *client_; }
+
+  // ---- Pools ----
+  puddles::Result<Pool*> CreatePool(const std::string& name, uint32_t mode = 0600);
+  puddles::Result<Pool*> OpenPool(const std::string& name, bool writable = true);
+  puddles::Status ExportPool(const std::string& name, const std::string& dest_dir);
+  // Imports an exported pool directory under a new name and opens it.
+  puddles::Result<Pool*> ImportPool(const std::string& src_dir, const std::string& new_name);
+
+  // ---- Puddle mapping ----
+  puddles::Result<Entry*> RegisterPuddle(const puddled::PuddleInfo& info, int fd, bool writable,
+                                         const Translator* translator);
+  puddles::Result<Entry*> FetchAndRegister(const Uuid& uuid, bool writable,
+                                           const Translator* translator);
+  puddles::Result<Entry*> EnsureMapped(const Uuid& uuid);
+  Entry* FindEntryByAddr(uintptr_t addr);
+  Entry* FindEntryByUuid(const Uuid& uuid);
+
+  // Fault resolver (runs on the fault helper thread).
+  bool HandleFault(uintptr_t addr);
+
+  // ---- Transactions ----
+  // The thread's cached transaction log (§4.1), created and registered on
+  // first use. The returned target is owned by the runtime and stable for
+  // the thread's lifetime (allocation-free TX_BEGIN fast path).
+  puddles::Result<TxTarget*> ThreadTxTarget();
+
+  Stats stats();
+
+  // Uploads the process type registry to the daemon (done automatically on
+  // pool create/open; callable again after late registrations).
+  puddles::Status UploadPointerMaps();
+
+ private:
+  explicit Runtime(std::shared_ptr<puddled::DaemonClient> client)
+      : client_(std::move(client)) {}
+
+  // Monotonic, never recycled: thread-local log caches key on this so a new
+  // Runtime at a recycled heap address can never alias stale thread state.
+  uint64_t generation_ = 0;
+
+  puddles::Status MapEntryLocked(Entry* entry);
+  puddles::Result<Pool*> FinishOpenPool(const puddled::PoolInfo& info, bool writable);
+  puddles::Status EnsureLogSpace();
+
+  // Per-thread transaction log state (one log puddle per thread, cached).
+  struct ThreadLog {
+    Entry* entry = nullptr;
+    LogRegion region;
+    std::vector<std::pair<Entry*, std::unique_ptr<LogRegion>>> spares;  // Grown logs.
+    TxTarget cached_target;  // Built once; TX_BEGIN must stay allocation-free.
+  };
+  puddles::Result<ThreadLog*> ThreadLogForThisThread();
+
+  std::shared_ptr<puddled::DaemonClient> client_;
+  uint64_t resolver_id_ = 0;
+
+  std::mutex mu_;
+  std::map<uint64_t, std::unique_ptr<Entry>> entries_by_base_;
+  std::map<Uuid, Entry*> entries_by_uuid_;
+  std::vector<std::unique_ptr<Pool>> pools_;
+
+  // Log space (one per runtime/process).
+  Entry* log_space_entry_ = nullptr;
+  LogSpaceView log_space_;
+
+  std::mutex thread_logs_mu_;
+  std::vector<std::unique_ptr<ThreadLog>> thread_logs_;
+
+  Stats stats_;
+};
+
+}  // namespace puddles
+
+#endif  // SRC_LIBPUDDLES_RUNTIME_H_

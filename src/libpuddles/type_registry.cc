@@ -1,0 +1,45 @@
+#include "src/libpuddles/type_registry.h"
+
+#include <cstring>
+
+namespace puddles {
+
+TypeRegistry& TypeRegistry::Instance() {
+  static TypeRegistry* registry = new TypeRegistry();
+  return *registry;
+}
+
+puddles::Status TypeRegistry::Add(const puddled::PtrMapRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = maps_.emplace(record.type_id, record);
+  if (!inserted && std::memcmp(&it->second, &record, sizeof(record)) != 0) {
+    return AlreadyExistsError("conflicting pointer map for type");
+  }
+  return OkStatus();
+}
+
+puddles::Result<puddled::PtrMapRecord> TypeRegistry::Lookup(TypeId type_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = maps_.find(type_id);
+  if (it == maps_.end()) {
+    return NotFoundError("no pointer map registered for type");
+  }
+  return it->second;
+}
+
+bool TypeRegistry::Contains(TypeId type_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return maps_.find(type_id) != maps_.end();
+}
+
+std::vector<puddled::PtrMapRecord> TypeRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<puddled::PtrMapRecord> out;
+  out.reserve(maps_.size());
+  for (const auto& [id, record] : maps_) {
+    out.push_back(record);
+  }
+  return out;
+}
+
+}  // namespace puddles

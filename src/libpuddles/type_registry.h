@@ -1,0 +1,83 @@
+// Per-process registry of pointer maps (paper §4.2).
+//
+// "Puddles solve this problem by requiring the application to register
+// pointer maps with Puddled for each persistent type used by the application.
+// These pointer maps are simply a list, where each element contains the
+// offset of a pointer within the object."
+//
+// Types register once per process (usually at static-init or startup); the
+// Runtime uploads the registry to Puddled when pools are created or opened,
+// so the daemon can export maps alongside pools and relocation can find every
+// pointer.
+#ifndef SRC_LIBPUDDLES_TYPE_REGISTRY_H_
+#define SRC_LIBPUDDLES_TYPE_REGISTRY_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/type_name.h"
+#include "src/daemon/types.h"
+
+namespace puddles {
+
+class TypeRegistry {
+ public:
+  static TypeRegistry& Instance();
+
+  // Registers T with the byte offsets of its pointer fields. Offsets come
+  // from offsetof(); every field must hold a native pointer into puddle
+  // space (or null). Re-registration with identical content is a no-op.
+  template <typename T>
+  puddles::Status Register(std::initializer_list<size_t> pointer_offsets) {
+    static_assert(std::is_standard_layout_v<T>,
+                  "persistent types must be standard-layout for offsetof maps");
+    puddled::PtrMapRecord record{};
+    record.type_id = TypeIdOf<T>();
+    record.object_size = sizeof(T);
+    record.num_fields = 0;
+    for (size_t offset : pointer_offsets) {
+      if (record.num_fields >= puddled::kMaxPtrFields) {
+        return InvalidArgumentError("too many pointer fields for one type");
+      }
+      if (offset + sizeof(void*) > sizeof(T)) {
+        return InvalidArgumentError("pointer field offset outside object");
+      }
+      record.field_offsets[record.num_fields++] = static_cast<uint32_t>(offset);
+    }
+    return Add(record);
+  }
+
+  // A leaf type: no pointers. Registering leaves is optional but lets
+  // relocation distinguish "no pointers" from "unknown type".
+  template <typename T>
+  puddles::Status RegisterLeaf() {
+    puddled::PtrMapRecord record{};
+    record.type_id = TypeIdOf<T>();
+    record.object_size = sizeof(T);
+    record.num_fields = 0;
+    return Add(record);
+  }
+
+  puddles::Status Add(const puddled::PtrMapRecord& record);
+  puddles::Result<puddled::PtrMapRecord> Lookup(TypeId type_id) const;
+  bool Contains(TypeId type_id) const;
+
+  std::vector<puddled::PtrMapRecord> Snapshot() const;
+
+  // Merges records fetched from the daemon (e.g. after import).
+  puddles::Status Merge(const puddled::PtrMapRecord& record) { return Add(record); }
+
+ private:
+  TypeRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::unordered_map<TypeId, puddled::PtrMapRecord> maps_;
+};
+
+}  // namespace puddles
+
+#endif  // SRC_LIBPUDDLES_TYPE_REGISTRY_H_

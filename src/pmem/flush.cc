@@ -1,0 +1,160 @@
+#include "src/pmem/flush.h"
+
+#if defined(__x86_64__)
+#include <cpuid.h>
+#endif
+
+#include "src/common/align.h"
+#include "src/pmem/shadow.h"
+
+namespace pmem {
+namespace {
+
+std::atomic<uint64_t> g_flushed_lines{0};
+std::atomic<uint64_t> g_flush_calls{0};
+std::atomic<uint64_t> g_fences{0};
+
+#if defined(__x86_64__)
+
+// clwb is encoded as 66 0F AE /6 — i.e. xsaveopt with a 66 prefix — and
+// clflushopt as 66 0F AE /7 — clflush with a 66 prefix. Using the prefixed
+// aliases avoids requiring -mclwb/-mclflushopt at compile time while still
+// emitting the genuine instructions (the same trick PMDK uses).
+inline void ClwbLine(const void* p) {
+  asm volatile(".byte 0x66; xsaveopt %0"
+               : "+m"(*static_cast<volatile char*>(const_cast<void*>(p))));
+}
+
+inline void ClflushOptLine(const void* p) {
+  asm volatile(".byte 0x66; clflush %0"
+               : "+m"(*static_cast<volatile char*>(const_cast<void*>(p))));
+}
+
+inline void ClflushLine(const void* p) {
+  asm volatile("clflush %0" : "+m"(*static_cast<volatile char*>(const_cast<void*>(p))));
+}
+
+FlushInstruction DetectFlushInstruction() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+    if (ebx & (1u << 24)) {
+      return FlushInstruction::kClwb;
+    }
+    if (ebx & (1u << 23)) {
+      return FlushInstruction::kClflushOpt;
+    }
+  }
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) && (edx & (1u << 19))) {
+    return FlushInstruction::kClflush;
+  }
+  return FlushInstruction::kNoop;
+}
+
+#else
+
+FlushInstruction DetectFlushInstruction() { return FlushInstruction::kNoop; }
+
+#endif  // __x86_64__
+
+FlushInstruction CachedFlushInstruction() {
+  static const FlushInstruction instruction = DetectFlushInstruction();
+  return instruction;
+}
+
+}  // namespace
+
+namespace internal {
+std::atomic<bool> g_shadow_active{false};
+}  // namespace internal
+
+FlushInstruction ActiveFlushInstruction() { return CachedFlushInstruction(); }
+
+const char* FlushInstructionName(FlushInstruction instruction) {
+  switch (instruction) {
+    case FlushInstruction::kClwb:
+      return "clwb";
+    case FlushInstruction::kClflushOpt:
+      return "clflushopt";
+    case FlushInstruction::kClflush:
+      return "clflush";
+    case FlushInstruction::kNoop:
+      return "noop";
+  }
+  return "?";
+}
+
+void Flush(const void* addr, size_t size) {
+  if (size == 0) {
+    return;
+  }
+  const uintptr_t start = puddles::AlignDown(reinterpret_cast<uintptr_t>(addr),
+                                             puddles::kCacheLineSize);
+  const uintptr_t end = reinterpret_cast<uintptr_t>(addr) + size;
+  uint64_t lines = 0;
+#if defined(__x86_64__)
+  switch (CachedFlushInstruction()) {
+    case FlushInstruction::kClwb:
+      for (uintptr_t line = start; line < end; line += puddles::kCacheLineSize, ++lines) {
+        ClwbLine(reinterpret_cast<const void*>(line));
+      }
+      break;
+    case FlushInstruction::kClflushOpt:
+      for (uintptr_t line = start; line < end; line += puddles::kCacheLineSize, ++lines) {
+        ClflushOptLine(reinterpret_cast<const void*>(line));
+      }
+      break;
+    case FlushInstruction::kClflush:
+      for (uintptr_t line = start; line < end; line += puddles::kCacheLineSize, ++lines) {
+        ClflushLine(reinterpret_cast<const void*>(line));
+      }
+      break;
+    case FlushInstruction::kNoop:
+      lines = (end - start + puddles::kCacheLineSize - 1) / puddles::kCacheLineSize;
+      std::atomic_thread_fence(std::memory_order_release);
+      break;
+  }
+#else
+  lines = (end - start + puddles::kCacheLineSize - 1) / puddles::kCacheLineSize;
+  std::atomic_thread_fence(std::memory_order_release);
+#endif
+  g_flushed_lines.fetch_add(lines, std::memory_order_relaxed);
+  g_flush_calls.fetch_add(1, std::memory_order_relaxed);
+  if (internal::g_shadow_active.load(std::memory_order_acquire)) {
+    ShadowRegistry::Instance().OnFlush(addr, size);
+  }
+}
+
+void Fence() {
+#if defined(__x86_64__)
+  asm volatile("sfence" ::: "memory");
+#else
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+  g_fences.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FlushFence(const void* addr, size_t size) {
+  Flush(addr, size);
+  Fence();
+}
+
+void PersistStore64(uint64_t* dst, uint64_t value) {
+  *dst = value;
+  FlushFence(dst, sizeof(*dst));
+}
+
+PersistStats ReadPersistStats() {
+  PersistStats stats;
+  stats.flushed_lines = g_flushed_lines.load(std::memory_order_relaxed);
+  stats.flush_calls = g_flush_calls.load(std::memory_order_relaxed);
+  stats.fences = g_fences.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void ResetPersistStats() {
+  g_flushed_lines.store(0, std::memory_order_relaxed);
+  g_flush_calls.store(0, std::memory_order_relaxed);
+  g_fences.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace pmem

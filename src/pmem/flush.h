@@ -1,0 +1,57 @@
+// Persistence primitives over emulated persistent memory.
+//
+// The paper runs on Optane DC-PMM where durability is: store, clwb (or
+// clflushopt), sfence. We emulate PM with mmap'd files (DESIGN.md §1), so the
+// primitives below (a) execute the real x86 flush instructions when available,
+// preserving the instruction-level cost structure, (b) maintain counters so
+// tests can assert ordering discipline, and (c) feed the ShadowHeap crash
+// simulator: a cache line only becomes part of the post-crash durable image
+// once it has been Flush()ed before the simulated failure.
+#ifndef SRC_PMEM_FLUSH_H_
+#define SRC_PMEM_FLUSH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace pmem {
+
+// Which flush instruction the host supports (best one is selected at startup).
+enum class FlushInstruction { kClwb, kClflushOpt, kClflush, kNoop };
+
+FlushInstruction ActiveFlushInstruction();
+const char* FlushInstructionName(FlushInstruction instruction);
+
+// Write-back every cache line overlapping [addr, addr+size). Does not order
+// subsequent stores; pair with Fence().
+void Flush(const void* addr, size_t size);
+
+// Store fence (sfence). Orders all preceding flushes/non-temporal stores.
+void Fence();
+
+// Flush + Fence, the common "persist this range now" idiom.
+void FlushFence(const void* addr, size_t size);
+
+// Store `value` to `*dst` and persist it: store, flush line, fence. The
+// canonical primitive for publishing a commit marker.
+void PersistStore64(uint64_t* dst, uint64_t value);
+
+// Persistence traffic counters (relaxed; cheap enough to keep always-on).
+// Tests use them to assert that code paths emit the expected flush/fence
+// pattern; benches report them as derived metrics.
+struct PersistStats {
+  uint64_t flushed_lines = 0;
+  uint64_t flush_calls = 0;
+  uint64_t fences = 0;
+};
+
+PersistStats ReadPersistStats();
+void ResetPersistStats();
+
+namespace internal {
+extern std::atomic<bool> g_shadow_active;  // Set by the ShadowHeap registry.
+}  // namespace internal
+
+}  // namespace pmem
+
+#endif  // SRC_PMEM_FLUSH_H_

@@ -1,0 +1,42 @@
+#include "src/pmem/global_space.h"
+
+#include <cstdlib>
+
+#include "src/common/log.h"
+
+namespace pmem {
+namespace {
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') {
+    return fallback;
+  }
+  return std::strtoull(value, nullptr, 0);
+}
+
+}  // namespace
+
+uint64_t ConfiguredSpaceBase() {
+  static const uint64_t base = EnvU64("PUDDLES_SPACE_BASE", kDefaultPuddleSpaceBase);
+  return base;
+}
+
+uint64_t ConfiguredSpaceSize() {
+  static const uint64_t size = EnvU64("PUDDLES_SPACE_SIZE", kDefaultPuddleSpaceSize);
+  return size;
+}
+
+AddressReservation& GlobalPuddleSpace() {
+  static AddressReservation* reservation = [] {
+    auto* r = new AddressReservation();
+    puddles::Status status = r->Reserve(ConfiguredSpaceBase(), ConfiguredSpaceSize());
+    if (!status.ok()) {
+      PUD_LOG_ERROR("failed to reserve global puddle space: %s", status.ToString().c_str());
+    }
+    return r;
+  }();
+  return *reservation;
+}
+
+}  // namespace pmem

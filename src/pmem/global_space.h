@@ -1,0 +1,24 @@
+// Process-wide singleton reservation of the global puddle address space
+// (§3.4). Both Puddled (for recovery/import mappings) and client runtimes
+// (for application mappings) use this one reservation, so embedded-mode
+// tests — daemon and application in one process — share a consistent view.
+//
+// Base and size can be overridden before first use with the environment
+// variables PUDDLES_SPACE_BASE / PUDDLES_SPACE_SIZE (bytes, decimal or hex).
+#ifndef SRC_PMEM_GLOBAL_SPACE_H_
+#define SRC_PMEM_GLOBAL_SPACE_H_
+
+#include "src/pmem/reservation.h"
+
+namespace pmem {
+
+AddressReservation& GlobalPuddleSpace();
+
+// The configured (env or default) geometry — what base assignments are made
+// against, independent of whether the local reservation got its hint.
+uint64_t ConfiguredSpaceBase();
+uint64_t ConfiguredSpaceSize();
+
+}  // namespace pmem
+
+#endif  // SRC_PMEM_GLOBAL_SPACE_H_

@@ -1,0 +1,131 @@
+#include "src/pmem/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace pmem {
+
+PmemFile::~PmemFile() {
+  Unmap();
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+PmemFile::PmemFile(PmemFile&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      size_(std::exchange(other.size_, 0)),
+      map_base_(std::exchange(other.map_base_, nullptr)),
+      writable_(other.writable_),
+      path_(std::move(other.path_)) {}
+
+PmemFile& PmemFile::operator=(PmemFile&& other) noexcept {
+  if (this != &other) {
+    Unmap();
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+    fd_ = std::exchange(other.fd_, -1);
+    size_ = std::exchange(other.size_, 0);
+    map_base_ = std::exchange(other.map_base_, nullptr);
+    writable_ = other.writable_;
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+puddles::Result<PmemFile> PmemFile::Create(const std::string& path, size_t size) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_EXCL, 0600);
+  if (fd < 0) {
+    return puddles::ErrnoError("create " + path, errno);
+  }
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    int saved = errno;
+    ::close(fd);
+    ::unlink(path.c_str());
+    return puddles::ErrnoError("ftruncate " + path, saved);
+  }
+  PmemFile file;
+  file.fd_ = fd;
+  file.size_ = size;
+  file.writable_ = true;
+  file.path_ = path;
+  return file;
+}
+
+puddles::Result<PmemFile> PmemFile::Open(const std::string& path, bool writable) {
+  int fd = ::open(path.c_str(), writable ? O_RDWR : O_RDONLY);
+  if (fd < 0) {
+    return puddles::ErrnoError("open " + path, errno);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    int saved = errno;
+    ::close(fd);
+    return puddles::ErrnoError("fstat " + path, saved);
+  }
+  PmemFile file;
+  file.fd_ = fd;
+  file.size_ = static_cast<size_t>(st.st_size);
+  file.writable_ = writable;
+  file.path_ = path;
+  return file;
+}
+
+puddles::Result<PmemFile> PmemFile::FromFd(int fd, bool writable) {
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    return puddles::ErrnoError("fstat fd", errno);
+  }
+  PmemFile file;
+  file.fd_ = fd;
+  file.size_ = static_cast<size_t>(st.st_size);
+  file.writable_ = writable;
+  return file;
+}
+
+puddles::Result<void*> PmemFile::Map(void* fixed_addr) {
+  if (fd_ < 0) {
+    return puddles::FailedPreconditionError("PmemFile not open");
+  }
+  if (map_base_ != nullptr) {
+    return puddles::FailedPreconditionError("PmemFile already mapped");
+  }
+  int prot = PROT_READ | (writable_ ? PROT_WRITE : 0);
+  int flags = MAP_SHARED | (fixed_addr != nullptr ? MAP_FIXED : 0);
+  void* base = ::mmap(fixed_addr, size_, prot, flags, fd_, 0);
+  if (base == MAP_FAILED) {
+    return puddles::ErrnoError("mmap " + path_, errno);
+  }
+  map_base_ = base;
+  return base;
+}
+
+void PmemFile::Unmap() {
+  if (map_base_ != nullptr) {
+    ::munmap(map_base_, size_);
+    map_base_ = nullptr;
+  }
+}
+
+puddles::Status PmemFile::Sync() {
+  if (map_base_ == nullptr) {
+    return puddles::FailedPreconditionError("PmemFile not mapped");
+  }
+  if (::msync(map_base_, size_, MS_SYNC) != 0) {
+    return puddles::ErrnoError("msync " + path_, errno);
+  }
+  return puddles::OkStatus();
+}
+
+int PmemFile::ReleaseFd() {
+  Unmap();
+  return std::exchange(fd_, -1);
+}
+
+}  // namespace pmem

@@ -1,0 +1,161 @@
+#include "src/pmem/reservation.h"
+
+#include <sys/mman.h>
+
+#include <cerrno>
+
+#include "src/common/align.h"
+#include "src/common/log.h"
+
+namespace pmem {
+
+AddressReservation::~AddressReservation() { Release(); }
+
+puddles::Status AddressReservation::Reserve(uintptr_t base_hint, size_t size) {
+  if (reserved()) {
+    return puddles::FailedPreconditionError("address space already reserved");
+  }
+  if (!puddles::IsAligned(base_hint, puddles::kPageSize) ||
+      !puddles::IsAligned(size, puddles::kPageSize)) {
+    return puddles::InvalidArgumentError("reservation base/size must be page aligned");
+  }
+  // Try the fixed hint first without clobbering existing mappings.
+  void* base = ::mmap(reinterpret_cast<void*>(base_hint), size, PROT_NONE,
+                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE | MAP_FIXED_NOREPLACE, -1, 0);
+  if (base == MAP_FAILED) {
+    PUD_LOG_WARN("puddle space hint %p unavailable (%d); falling back to kernel placement",
+                 reinterpret_cast<void*>(base_hint), errno);
+    base = ::mmap(nullptr, size, PROT_NONE, MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    if (base == MAP_FAILED) {
+      return puddles::ErrnoError("reserve puddle space", errno);
+    }
+  }
+  base_ = reinterpret_cast<uintptr_t>(base);
+  size_ = size;
+  return puddles::OkStatus();
+}
+
+void AddressReservation::Release() {
+  if (reserved()) {
+    ::munmap(reinterpret_cast<void*>(base_), size_);
+    base_ = 0;
+    size_ = 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    claimed_.clear();
+  }
+}
+
+puddles::Result<uintptr_t> AddressReservation::AllocateRange(size_t size) {
+  if (!reserved()) {
+    return puddles::FailedPreconditionError("no reservation");
+  }
+  size = puddles::AlignUp(size, puddles::kPageSize);
+  std::lock_guard<std::mutex> lock(mu_);
+  // First fit over the gaps between claimed ranges.
+  uintptr_t cursor = base_;
+  for (const auto& [start, len] : claimed_) {
+    if (start - cursor >= size) {
+      claimed_[cursor] = size;
+      return cursor;
+    }
+    cursor = start + len;
+  }
+  if (base_ + size_ - cursor >= size) {
+    claimed_[cursor] = size;
+    return cursor;
+  }
+  return puddles::OutOfMemoryError("puddle address space exhausted");
+}
+
+puddles::Status AddressReservation::ClaimRange(uintptr_t addr, size_t size) {
+  if (!reserved()) {
+    return puddles::FailedPreconditionError("no reservation");
+  }
+  size = puddles::AlignUp(size, puddles::kPageSize);
+  if (!Contains(addr) || addr + size > base_ + size_) {
+    return puddles::OutOfRangeError("range outside puddle space");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // Check overlap against the neighbor below and every range starting inside.
+  auto it = claimed_.upper_bound(addr);
+  if (it != claimed_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second > addr) {
+      return puddles::AlreadyExistsError("range overlaps existing claim");
+    }
+  }
+  if (it != claimed_.end() && it->first < addr + size) {
+    return puddles::AlreadyExistsError("range overlaps existing claim");
+  }
+  claimed_[addr] = size;
+  return puddles::OkStatus();
+}
+
+bool AddressReservation::RangeFree(uintptr_t addr, size_t size) const {
+  if (!Contains(addr) || addr + size > base_ + size_) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = claimed_.upper_bound(addr);
+  if (it != claimed_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second > addr) {
+      return false;
+    }
+  }
+  return it == claimed_.end() || it->first >= addr + size;
+}
+
+puddles::Status AddressReservation::FreeRange(uintptr_t addr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = claimed_.find(addr);
+  if (it == claimed_.end()) {
+    return puddles::NotFoundError("range not claimed");
+  }
+  // Return the pages to PROT_NONE so stray pointers fault rather than read
+  // stale puddle contents.
+  void* remapped = ::mmap(reinterpret_cast<void*>(addr), it->second, PROT_NONE,
+                          MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE | MAP_FIXED, -1, 0);
+  if (remapped == MAP_FAILED) {
+    return puddles::ErrnoError("remap range to PROT_NONE", errno);
+  }
+  claimed_.erase(it);
+  return puddles::OkStatus();
+}
+
+puddles::Status AddressReservation::MapFileAt(int fd, uintptr_t addr, size_t size,
+                                              bool writable) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = claimed_.upper_bound(addr);
+    if (it == claimed_.begin()) {
+      return puddles::FailedPreconditionError("mapping target not claimed");
+    }
+    auto range = std::prev(it);
+    if (addr < range->first || addr + size > range->first + range->second) {
+      return puddles::FailedPreconditionError("mapping exceeds claimed range");
+    }
+  }
+  int prot = PROT_READ | (writable ? PROT_WRITE : 0);
+  void* base = ::mmap(reinterpret_cast<void*>(addr), size, prot, MAP_SHARED | MAP_FIXED, fd, 0);
+  if (base == MAP_FAILED) {
+    return puddles::ErrnoError("map puddle file", errno);
+  }
+  return puddles::OkStatus();
+}
+
+puddles::Status AddressReservation::UnmapToReserved(uintptr_t addr, size_t size) {
+  void* remapped = ::mmap(reinterpret_cast<void*>(addr), size, PROT_NONE,
+                          MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE | MAP_FIXED, -1, 0);
+  if (remapped == MAP_FAILED) {
+    return puddles::ErrnoError("unmap to reserved", errno);
+  }
+  return puddles::OkStatus();
+}
+
+size_t AddressReservation::claimed_ranges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return claimed_.size();
+}
+
+}  // namespace pmem

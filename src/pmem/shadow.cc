@@ -1,0 +1,107 @@
+#include "src/pmem/shadow.h"
+
+#include <cstring>
+
+#include "src/common/align.h"
+#include "src/common/rng.h"
+#include "src/pmem/flush.h"
+
+namespace pmem {
+
+ShadowRegistry& ShadowRegistry::Instance() {
+  static ShadowRegistry* registry = new ShadowRegistry();
+  return *registry;
+}
+
+void ShadowRegistry::Attach(void* base, size_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Region region;
+  region.base = static_cast<uint8_t*>(base);
+  region.size = size;
+  region.shadow = std::make_unique<uint8_t[]>(size);
+  std::memcpy(region.shadow.get(), base, size);
+  regions_.push_back(std::move(region));
+  internal::g_shadow_active.store(true, std::memory_order_release);
+}
+
+void ShadowRegistry::Detach(void* base) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < regions_.size(); ++i) {
+    if (regions_[i].base == base) {
+      regions_.erase(regions_.begin() + static_cast<ptrdiff_t>(i));
+      break;
+    }
+  }
+  if (regions_.empty()) {
+    internal::g_shadow_active.store(false, std::memory_order_release);
+  }
+}
+
+void ShadowRegistry::DetachAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  regions_.clear();
+  internal::g_shadow_active.store(false, std::memory_order_release);
+}
+
+bool ShadowRegistry::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !regions_.empty();
+}
+
+void ShadowRegistry::OnFlush(const void* addr, size_t size) {
+  const uintptr_t flush_start =
+      puddles::AlignDown(reinterpret_cast<uintptr_t>(addr), puddles::kCacheLineSize);
+  const uintptr_t flush_end = puddles::AlignUp(reinterpret_cast<uintptr_t>(addr) + size,
+                                               puddles::kCacheLineSize);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Region& region : regions_) {
+    const uintptr_t region_start = reinterpret_cast<uintptr_t>(region.base);
+    const uintptr_t region_end = region_start + region.size;
+    const uintptr_t lo = flush_start > region_start ? flush_start : region_start;
+    const uintptr_t hi = flush_end < region_end ? flush_end : region_end;
+    if (lo >= hi) {
+      continue;
+    }
+    std::memcpy(region.shadow.get() + (lo - region_start), reinterpret_cast<void*>(lo), hi - lo);
+  }
+}
+
+ShadowCrashReport ShadowRegistry::SimulateCrash(const ShadowCrashOptions& options) {
+  ShadowCrashReport report;
+  puddles::Xoshiro256 rng(options.seed);
+  std::lock_guard<std::mutex> lock(mu_);
+  report.regions = regions_.size();
+  for (Region& region : regions_) {
+    for (size_t offset = 0; offset < region.size; offset += puddles::kCacheLineSize) {
+      const size_t line_size = std::min(puddles::kCacheLineSize, region.size - offset);
+      uint8_t* live = region.base + offset;
+      uint8_t* durable = region.shadow.get() + offset;
+      if (std::memcmp(live, durable, line_size) == 0) {
+        continue;
+      }
+      ++report.dirty_lines;
+      const bool evicted =
+          options.evict_random_lines && rng.NextDouble() < options.eviction_probability;
+      if (evicted) {
+        // The cache happened to evict this line before power was lost: the
+        // unflushed store is durable after all.
+        std::memcpy(durable, live, line_size);
+        ++report.evicted_lines;
+      } else {
+        // The store never reached PM: roll the live memory back to the
+        // durable image.
+        std::memcpy(live, durable, line_size);
+      }
+    }
+  }
+  return report;
+}
+
+void ShadowRegistry::SyncAllToLive() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Region& region : regions_) {
+    std::memcpy(region.shadow.get(), region.base, region.size);
+  }
+}
+
+}  // namespace pmem

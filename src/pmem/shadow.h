@@ -1,0 +1,100 @@
+// ShadowHeap — the crash simulator for the §5.1 correctness checks.
+//
+// On real PM, a store becomes durable either when explicitly flushed or when
+// the cache arbitrarily evicts its line. We model both:
+//   * Each registered PM region keeps a DRAM shadow ("durable image").
+//   * pmem::Flush() copies the flushed byte range live → shadow.
+//   * SimulateCrash() overwrites the live mapping with the shadow, i.e. every
+//     store that was never flushed is lost — the strictest failure model.
+//   * With eviction enabled, a seeded random subset of the *dirty* (differing)
+//     cache lines is retained instead of rolled back, modeling arbitrary
+//     cache eviction. Recovery must succeed under every subset.
+//
+// Tests attach shadows around transaction runs, trigger a crash at an injected
+// point, call SimulateCrash(), then run daemon recovery over the same mapping
+// and assert application invariants.
+#ifndef SRC_PMEM_SHADOW_H_
+#define SRC_PMEM_SHADOW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace pmem {
+
+struct ShadowCrashOptions {
+  // If true, each dirty (unflushed) cache line independently survives the
+  // crash with probability `eviction_probability`.
+  bool evict_random_lines = false;
+  double eviction_probability = 0.5;
+  uint64_t seed = 1;
+};
+
+struct ShadowCrashReport {
+  uint64_t dirty_lines = 0;     // Lines that differed live vs. shadow at crash.
+  uint64_t evicted_lines = 0;   // Dirty lines that survived via simulated eviction.
+  uint64_t regions = 0;
+};
+
+class ShadowRegistry {
+ public:
+  static ShadowRegistry& Instance();
+
+  // Begins shadowing [base, base+size). The shadow is initialized from the
+  // current live contents (i.e. the region is assumed durable at attach time).
+  void Attach(void* base, size_t size);
+
+  // Stops shadowing the region starting at `base`. No-op if not attached.
+  void Detach(void* base);
+
+  // Drops all shadows and deactivates the simulator.
+  void DetachAll();
+
+  bool active() const;
+
+  // Called from pmem::Flush() for every flushed range.
+  void OnFlush(const void* addr, size_t size);
+
+  // Replaces live contents of every shadowed region with the durable image,
+  // optionally retaining randomly "evicted" dirty lines. The shadow is then
+  // re-synced to the (new) live contents so recovery code may keep running
+  // under the simulator.
+  ShadowCrashReport SimulateCrash(const ShadowCrashOptions& options = {});
+
+  // Copies live → shadow for every region (declares everything durable).
+  // Useful to establish a clean baseline mid-test.
+  void SyncAllToLive();
+
+ private:
+  struct Region {
+    uint8_t* base = nullptr;
+    size_t size = 0;
+    std::unique_ptr<uint8_t[]> shadow;
+  };
+
+  ShadowRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::vector<Region> regions_;
+};
+
+// RAII convenience: attaches on construction, detaches on destruction.
+class ScopedShadow {
+ public:
+  ScopedShadow(void* base, size_t size) : base_(base) {
+    ShadowRegistry::Instance().Attach(base, size);
+  }
+  ~ScopedShadow() { ShadowRegistry::Instance().Detach(base_); }
+
+  ScopedShadow(const ScopedShadow&) = delete;
+  ScopedShadow& operator=(const ScopedShadow&) = delete;
+
+ private:
+  void* base_;
+};
+
+}  // namespace pmem
+
+#endif  // SRC_PMEM_SHADOW_H_

@@ -1,0 +1,9 @@
+#include "src/pmhash/pmhash.h"
+
+namespace puddles {
+namespace pmhash_internal {
+
+void (*g_after_fence_hook)() = nullptr;
+
+}  // namespace pmhash_internal
+}  // namespace puddles

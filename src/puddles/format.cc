@@ -1,0 +1,106 @@
+#include "src/puddles/format.h"
+
+#include <cstring>
+
+#include "src/common/align.h"
+#include "src/pmem/flush.h"
+
+namespace puddles {
+namespace {
+
+bool KindUsesObjectHeap(PuddleKind kind) { return kind == PuddleKind::kData; }
+
+}  // namespace
+
+size_t Puddle::FileSizeFor(PuddleKind kind, size_t heap_size) {
+  size_t meta = KindUsesObjectHeap(kind)
+                    ? AlignUp(ObjectHeap::MetaSize(heap_size), kPageSize)
+                    : 0;
+  return kPuddleHeaderPage + meta + heap_size;
+}
+
+puddles::Status Puddle::Format(void* base, size_t file_size, const PuddleParams& params) {
+  if (!IsPowerOfTwo(params.heap_size)) {
+    return InvalidArgumentError("puddle heap size must be a power of two");
+  }
+  if (params.uuid.is_nil()) {
+    return InvalidArgumentError("puddle needs a UUID");
+  }
+  const size_t expected = FileSizeFor(params.kind, params.heap_size);
+  if (file_size != expected) {
+    return InvalidArgumentError("puddle file size does not match geometry");
+  }
+
+  auto* header = static_cast<PuddleHeader*>(base);
+  std::memset(header, 0, sizeof(PuddleHeader));
+  header->magic = kPuddleMagic;
+  header->version = kPuddleVersion;
+  header->kind = params.kind;
+  header->uuid = params.uuid;
+  header->pool_uuid = params.pool_uuid;
+  header->file_size = file_size;
+  header->heap_size = params.heap_size;
+  header->base_addr = params.base_addr;
+  header->prev_base_addr = 0;
+  header->flags = 0;
+
+  const size_t meta_size = KindUsesObjectHeap(params.kind)
+                               ? AlignUp(ObjectHeap::MetaSize(params.heap_size), kPageSize)
+                               : 0;
+  header->meta_offset = meta_size != 0 ? kPuddleHeaderPage : 0;
+  header->meta_size = meta_size;
+  header->heap_offset = kPuddleHeaderPage + meta_size;
+
+  auto* bytes = static_cast<uint8_t*>(base);
+  if (KindUsesObjectHeap(params.kind)) {
+    RETURN_IF_ERROR(ObjectHeap::Format(bytes + header->meta_offset,
+                                       bytes + header->heap_offset, params.heap_size));
+  }
+  pmem::FlushFence(base, kPuddleHeaderPage + meta_size);
+  return OkStatus();
+}
+
+puddles::Result<Puddle> Puddle::Attach(void* base, size_t file_size) {
+  auto* header = static_cast<PuddleHeader*>(base);
+  if (header->magic != kPuddleMagic) {
+    return DataLossError("not a puddle: bad magic");
+  }
+  if (header->version != kPuddleVersion) {
+    return DataLossError("puddle format version mismatch");
+  }
+  if (header->file_size != file_size) {
+    return DataLossError("puddle file size mismatch");
+  }
+  if (header->heap_offset + header->heap_size > file_size) {
+    return DataLossError("puddle heap extends past file end");
+  }
+  return Puddle(header);
+}
+
+puddles::Result<ObjectHeap> Puddle::object_heap(LogSink sink) const {
+  if (header_->kind != PuddleKind::kData) {
+    return FailedPreconditionError("only data puddles have object heaps");
+  }
+  auto* bytes = reinterpret_cast<uint8_t*>(header_);
+  return ObjectHeap::Attach(bytes + header_->meta_offset, bytes + header_->heap_offset,
+                            header_->heap_size, sink);
+}
+
+void Puddle::AssignNewBase(uint64_t new_base) {
+  // Ordering: record the old base and the rewrite obligation *before* the new
+  // assignment becomes durable, so a crash can never leave a puddle claiming
+  // a base its pointers do not match without the rewrite flag set.
+  header_->prev_base_addr = header_->base_addr;
+  header_->flags |= kPuddleNeedsRewrite;
+  pmem::FlushFence(header_, sizeof(PuddleHeader));
+  header_->base_addr = new_base;
+  pmem::FlushFence(&header_->base_addr, sizeof(header_->base_addr));
+}
+
+void Puddle::CompleteRewrite() {
+  header_->flags &= ~kPuddleNeedsRewrite;
+  header_->prev_base_addr = 0;
+  pmem::FlushFence(header_, sizeof(PuddleHeader));
+}
+
+}  // namespace puddles

@@ -1,0 +1,125 @@
+// On-PM puddle layout (paper §4.3).
+//
+// A puddle is one file: | PuddleHeader page | allocator metadata | heap |.
+// "A puddle has two parts, a header, and a heap. The header stores the
+// puddle's metadata information like the puddle's UUID, its size, and
+// allocation metadata." Everything in the header is offset/UUID-based so a
+// puddle file can be copied between machines byte-for-byte; only heap
+// *pointers* need rewriting, and those are found through the allocator
+// metadata plus pointer maps.
+#ifndef SRC_PUDDLES_FORMAT_H_
+#define SRC_PUDDLES_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/alloc/object_heap.h"
+#include "src/common/status.h"
+#include "src/common/uuid.h"
+
+namespace puddles {
+
+inline constexpr uint64_t kPuddleMagic = 0x454c44445550ULL;  // "PUDDLE"
+inline constexpr uint32_t kPuddleVersion = 1;
+
+// Default geometry: 4 KiB header page; 2 MiB heap (paper §4.3 configures
+// "4 KiB of header space for every 2 MiB of heap"; our allocator metadata is
+// byte-per-256B so the metadata region scales with the heap — ~0.4 %
+// overhead, documented in DESIGN.md).
+inline constexpr size_t kDefaultHeapSize = 2ULL << 20;
+inline constexpr size_t kPuddleHeaderPage = 4096;
+
+enum class PuddleKind : uint32_t {
+  kData = 1,      // Object heap managed by ObjectHeap.
+  kLog = 2,       // Crash-consistency log (raw heap, src/tx/log_format.h).
+  kLogSpace = 3,  // Directory of logs (raw heap).
+  kPoolMeta = 4,  // Pool membership metadata (raw heap).
+};
+
+// Relocation / recovery state bits.
+enum PuddleFlags : uint32_t {
+  // The heap still contains pointers expressed relative to prev_base_addr;
+  // they must be rewritten to base_addr before the application may see the
+  // puddle (frontier state, §4.2).
+  kPuddleNeedsRewrite = 1u << 0,
+};
+
+struct PuddleHeader {
+  uint64_t magic;
+  uint32_t version;
+  PuddleKind kind;
+  Uuid uuid;
+  Uuid pool_uuid;  // Nil when the puddle is not part of a pool.
+  uint64_t file_size;
+  uint64_t heap_size;
+  uint64_t meta_offset;  // Allocator metadata region (0 for raw-heap kinds).
+  uint64_t meta_size;
+  uint64_t heap_offset;
+  // Current address of the *file start* in the global puddle space. The heap
+  // lives at base_addr + heap_offset. Pointers in this puddle's heap are
+  // meaningful relative to this assignment.
+  uint64_t base_addr;
+  // During relocation: the address the heap's embedded pointers still assume.
+  uint64_t prev_base_addr;
+  uint32_t flags;
+  uint32_t reserved;
+};
+static_assert(sizeof(PuddleHeader) <= kPuddleHeaderPage, "header must fit its page");
+
+struct PuddleParams {
+  PuddleKind kind = PuddleKind::kData;
+  size_t heap_size = kDefaultHeapSize;
+  Uuid uuid;       // Required.
+  Uuid pool_uuid;  // Optional.
+  uint64_t base_addr = 0;
+};
+
+// A mapped view over one puddle file.
+class Puddle {
+ public:
+  // Total file size for a puddle with the given heap (power of two).
+  static size_t FileSizeFor(PuddleKind kind, size_t heap_size);
+
+  // Formats a freshly created file mapping of `file_size` bytes.
+  static puddles::Status Format(void* base, size_t file_size, const PuddleParams& params);
+
+  // Validates and attaches to an existing mapping.
+  static puddles::Result<Puddle> Attach(void* base, size_t file_size);
+
+  Puddle() = default;
+
+  PuddleHeader* header() const { return header_; }
+  const Uuid& uuid() const { return header_->uuid; }
+  PuddleKind kind() const { return header_->kind; }
+  uint8_t* heap() const {
+    return reinterpret_cast<uint8_t*>(header_) + header_->heap_offset;
+  }
+  size_t heap_size() const { return header_->heap_size; }
+  uint64_t base_addr() const { return header_->base_addr; }
+  size_t file_size() const { return header_->file_size; }
+
+  // The heap's address when mapped at `base_addr` (even if this view is
+  // mapped elsewhere, e.g. inside the daemon).
+  uint64_t heap_addr_at_base() const { return header_->base_addr + header_->heap_offset; }
+
+  bool needs_rewrite() const { return (header_->flags & kPuddleNeedsRewrite) != 0; }
+
+  // Object allocator over this puddle's heap (data puddles only).
+  puddles::Result<ObjectHeap> object_heap(LogSink sink = {}) const;
+
+  // Updates the persistent base-address assignment, recording the previous
+  // one and setting the needs-rewrite flag (relocation step 1, §4.2).
+  void AssignNewBase(uint64_t new_base);
+
+  // Clears the rewrite state after all pointers were translated.
+  void CompleteRewrite();
+
+ private:
+  explicit Puddle(PuddleHeader* header) : header_(header) {}
+
+  PuddleHeader* header_ = nullptr;
+};
+
+}  // namespace puddles
+
+#endif  // SRC_PUDDLES_FORMAT_H_

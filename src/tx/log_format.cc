@@ -1,0 +1,134 @@
+#include "src/tx/log_format.h"
+
+#include <cstring>
+
+#include "src/common/align.h"
+#include "src/common/checksum.h"
+#include "src/pmem/flush.h"
+
+namespace puddles {
+
+size_t LogRegion::EntrySpan(uint32_t size) {
+  return AlignUp(sizeof(LogEntryHeader) + size, 8);
+}
+
+uint32_t LogRegion::EntryChecksum(const LogEntryHeader& entry, const void* data) {
+  // Checksum covers everything after the checksum field, then the data.
+  uint32_t crc = Crc32c(reinterpret_cast<const uint8_t*>(&entry) + sizeof(uint32_t),
+                        sizeof(LogEntryHeader) - sizeof(uint32_t));
+  return Crc32c(data, entry.size, crc);
+}
+
+puddles::Status LogRegion::Format(void* base, size_t capacity) {
+  if (capacity < sizeof(LogHeader) + 64) {
+    return InvalidArgumentError("log region too small");
+  }
+  auto* header = static_cast<LogHeader*>(base);
+  std::memset(header, 0, sizeof(LogHeader));
+  header->magic = kLogMagic;
+  header->seq_lo = 0;
+  header->seq_hi = 2;  // Undo entries (seq 1) are live from the first append.
+  header->next_free = sizeof(LogHeader);
+  header->last_entry = 0;
+  header->capacity = capacity;
+  header->num_entries = 0;
+  header->next_log = Uuid::Nil();
+  pmem::FlushFence(header, sizeof(LogHeader));
+  return OkStatus();
+}
+
+puddles::Result<LogRegion> LogRegion::Attach(void* base, size_t capacity) {
+  auto* header = static_cast<LogHeader*>(base);
+  if (header->magic != kLogMagic) {
+    return DataLossError("log region: bad magic");
+  }
+  if (header->capacity != capacity) {
+    return DataLossError("log region: capacity mismatch");
+  }
+  if (header->next_free < sizeof(LogHeader) || header->next_free > capacity) {
+    return DataLossError("log region: corrupt next_free");
+  }
+  return LogRegion(header);
+}
+
+puddles::Status LogRegion::Append(uint64_t addr, const void* data, uint32_t size, uint32_t seq,
+                                  ReplayOrder order, uint8_t flags) {
+  const size_t span = EntrySpan(size);
+  if (header_->next_free + span > header_->capacity) {
+    return OutOfMemoryError("log region full");
+  }
+  const uint64_t offset = header_->next_free;
+  auto* bytes = reinterpret_cast<uint8_t*>(header_);
+  auto* entry = reinterpret_cast<LogEntryHeader*>(bytes + offset);
+  entry->size = size;
+  entry->addr = addr;
+  entry->seq = seq;
+  entry->order = static_cast<uint8_t>(order);
+  entry->flags = flags;
+  entry->reserved = 0;
+  std::memcpy(entry + 1, data, size);
+  entry->checksum = EntryChecksum(*entry, data);
+  pmem::Flush(entry, sizeof(LogEntryHeader) + size);
+
+  // Publish: header update persists together with the entry under one fence;
+  // the caller may touch the target location only after we return.
+  header_->next_free = offset + span;
+  header_->last_entry = offset;
+  header_->num_entries++;
+  pmem::Flush(header_, sizeof(LogHeader));
+  pmem::Fence();
+  return OkStatus();
+}
+
+void LogRegion::SetSeqRange(uint32_t lo, uint32_t hi) {
+  header_->seq_lo = lo;
+  header_->seq_hi = hi;
+  pmem::FlushFence(&header_->seq_lo, sizeof(uint32_t) * 2);
+}
+
+void LogRegion::Reset(uint32_t lo, uint32_t hi) {
+  // First close the range so no stale entry can be considered valid, then
+  // clear allocation state, then open the new range.
+  SetSeqRange(hi, hi);
+  header_->next_free = sizeof(LogHeader);
+  header_->last_entry = 0;
+  header_->num_entries = 0;
+  header_->next_log = Uuid::Nil();
+  pmem::FlushFence(header_, sizeof(LogHeader));
+  SetSeqRange(lo, hi);
+}
+
+void LogRegion::SetNextLog(const Uuid& uuid) {
+  header_->next_log = uuid;
+  pmem::FlushFence(&header_->next_log, sizeof(Uuid));
+}
+
+bool LogRegion::IsValid(const LogEntryHeader& entry) const {
+  return entry.seq > header_->seq_lo && entry.seq < header_->seq_hi;
+}
+
+bool LogRegion::ForEachEntry(const std::function<void(const EntryView&)>& fn) const {
+  const auto* bytes = reinterpret_cast<const uint8_t*>(header_);
+  uint64_t offset = sizeof(LogHeader);
+  for (uint32_t i = 0; i < header_->num_entries; ++i) {
+    if (offset + sizeof(LogEntryHeader) > header_->next_free) {
+      return false;  // Truncated: header claims more entries than bytes.
+    }
+    const auto* entry = reinterpret_cast<const LogEntryHeader*>(bytes + offset);
+    const size_t span = EntrySpan(entry->size);
+    if (offset + span > header_->next_free) {
+      return false;  // Corrupt size field.
+    }
+    EntryView view;
+    view.header = entry;
+    view.data = reinterpret_cast<const uint8_t*>(entry + 1);
+    view.offset = offset;
+    view.checksum_ok = EntryChecksum(*entry, view.data) == entry->checksum;
+    view.valid = view.checksum_ok && IsValid(*entry);
+    fn(view);
+    offset += span;
+  }
+  return true;
+}
+
+}  // namespace puddles

@@ -1,0 +1,133 @@
+// Puddles' log and log-entry format (paper Fig. 6).
+//
+// A log lives in the raw heap of a log puddle. Its header carries:
+//   * the sequence range — entries are *valid* iff seq_lo < seq < seq_hi,
+//     letting the committer atomically enable/disable whole classes of
+//     entries (undo seq=1, redo seq=3; Fig. 7 drives the range through
+//     (0,2) → (2,4) → (4,4)),
+//   * next-free / last-entry pointers for allocation,
+//   * an optional link to a continuation log puddle (Fig. 5: "the application
+//     [can] link multiple puddles to a log when it runs out of space").
+// Each entry records checksum, target address, size, sequence number, replay
+// order (undo entries replay in reverse), flags (volatile entries are ignored
+// by post-crash recovery), and the data to copy. Applying an entry is always
+// a plain memcpy to the address — old data for undo, new data for redo.
+//
+// Append ordering contract: Append() persists the entry and the header and
+// fences before returning, so an undo-logging caller may modify the target
+// location immediately afterwards.
+#ifndef SRC_TX_LOG_FORMAT_H_
+#define SRC_TX_LOG_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "src/common/status.h"
+#include "src/common/uuid.h"
+
+namespace puddles {
+
+inline constexpr uint64_t kLogMagic = 0x31474f4c44555000ULL;  // "\0PUDLOG1"
+
+enum class ReplayOrder : uint8_t {
+  kForward = 0,  // Redo semantics: replay in append order.
+  kReverse = 1,  // Undo semantics: replay newest-first.
+};
+
+enum LogEntryFlags : uint8_t {
+  // Target is volatile memory: applied on in-process abort to keep DRAM state
+  // consistent with PM, but skipped by post-crash recovery (§4.1).
+  kLogEntryVolatile = 1u << 0,
+};
+
+// Sequence numbers used by the hybrid commit protocol (Fig. 7).
+inline constexpr uint32_t kUndoSeq = 1;
+inline constexpr uint32_t kRedoSeq = 3;
+
+struct LogHeader {
+  uint64_t magic;
+  uint32_t seq_lo;  // Valid entries: seq_lo < seq < seq_hi.
+  uint32_t seq_hi;
+  uint64_t next_free;   // Offset of the next free byte (starts at sizeof(LogHeader)).
+  uint64_t last_entry;  // Offset of the most recently appended entry; 0 = none.
+  uint64_t capacity;
+  uint32_t num_entries;
+  uint32_t reserved;
+  Uuid next_log;  // Continuation log puddle; nil if none.
+};
+
+struct LogEntryHeader {
+  uint32_t checksum;  // CRC-32C over the fields below plus the data bytes.
+  uint32_t size;      // Data bytes.
+  uint64_t addr;      // Target virtual address in the global puddle space.
+  uint32_t seq;
+  uint8_t order;  // ReplayOrder.
+  uint8_t flags;
+  uint16_t reserved;
+  // size bytes of data follow; entries are 8-byte aligned.
+};
+
+// View over one log region (a log puddle's heap).
+class LogRegion {
+ public:
+  static puddles::Status Format(void* base, size_t capacity);
+  static puddles::Result<LogRegion> Attach(void* base, size_t capacity);
+
+  LogRegion() = default;
+
+  // Appends an entry and persists it (entry bytes, then header, one fence).
+  // Returns kOutOfMemory when the entry does not fit.
+  puddles::Status Append(uint64_t addr, const void* data, uint32_t size, uint32_t seq,
+                         ReplayOrder order, uint8_t flags = 0);
+
+  // Persistently updates the sequence range (flush + fence): the atomic
+  // stage-switch primitive of the commit protocol.
+  void SetSeqRange(uint32_t lo, uint32_t hi);
+  std::pair<uint32_t, uint32_t> seq_range() const {
+    return {header_->seq_lo, header_->seq_hi};
+  }
+
+  // Empties the log and re-opens the given range, ordered so a crash at any
+  // point leaves either the old-but-invalidated or the new-and-empty state.
+  void Reset(uint32_t lo, uint32_t hi);
+
+  // Persistently links a continuation log.
+  void SetNextLog(const Uuid& uuid);
+  const Uuid& next_log() const { return header_->next_log; }
+
+  struct EntryView {
+    const LogEntryHeader* header;
+    const uint8_t* data;
+    uint64_t offset;
+    bool valid;          // seq within range and checksum OK.
+    bool checksum_ok;
+  };
+
+  // Iterates entries in append order; stops early (returning false) if a
+  // corrupt length field would walk out of bounds.
+  bool ForEachEntry(const std::function<void(const EntryView&)>& fn) const;
+
+  bool IsValid(const LogEntryHeader& entry) const;
+
+  size_t free_bytes() const { return header_->capacity - header_->next_free; }
+  uint32_t num_entries() const { return header_->num_entries; }
+  bool empty() const { return header_->num_entries == 0; }
+  uint64_t capacity() const { return header_->capacity; }
+  void* base() const { return header_; }
+
+  // Bytes an entry with `size` data bytes occupies.
+  static size_t EntrySpan(uint32_t size);
+
+ private:
+  explicit LogRegion(LogHeader* header) : header_(header) {}
+
+  static uint32_t EntryChecksum(const LogEntryHeader& entry, const void* data);
+
+  LogHeader* header_ = nullptr;
+};
+
+}  // namespace puddles
+
+#endif  // SRC_TX_LOG_FORMAT_H_

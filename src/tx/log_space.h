@@ -1,0 +1,110 @@
+// Log space: the directory of a process's crash-consistency logs (Fig. 5).
+//
+// "Puddles organize logs using a directory, called a log space, that tracks
+// all the active crash-consistency logs ... the log space puddle is a list of
+// log space entries, each identifying a log puddle that the application is
+// using to store a log. For instance, an application might have one log
+// puddle per thread." Once registered with Puddled, the application updates
+// the log space without further daemon involvement.
+#ifndef SRC_TX_LOG_SPACE_H_
+#define SRC_TX_LOG_SPACE_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+#include "src/common/uuid.h"
+#include "src/pmem/flush.h"
+#include "src/puddles/format.h"
+
+namespace puddles {
+
+inline constexpr uint64_t kLogSpaceMagic = 0x435053474f4c5000ULL;  // "\0PLOGSPC"
+
+struct LogSpaceHeader {
+  uint64_t magic;
+  uint32_t num_entries;
+  uint32_t reserved;
+  // LogSpaceEntry[] follows.
+};
+
+struct LogSpaceEntry {
+  Uuid log_puddle;  // Head of one log chain.
+};
+
+class LogSpaceView {
+ public:
+  static puddles::Status Format(const Puddle& puddle);
+  static puddles::Result<LogSpaceView> Attach(const Puddle& puddle);
+
+  LogSpaceView() = default;
+
+  uint32_t num_entries() const { return header_->num_entries; }
+  const Uuid& entry(uint32_t i) const { return entries_[i].log_puddle; }
+  uint32_t capacity() const { return capacity_; }
+
+  // Registers a new log chain head (crash-safe publish ordering).
+  puddles::Status AddLog(const Uuid& log_puddle);
+
+  bool Contains(const Uuid& log_puddle) const;
+
+ private:
+  LogSpaceView(LogSpaceHeader* header, LogSpaceEntry* entries, uint32_t capacity)
+      : header_(header), entries_(entries), capacity_(capacity) {}
+
+  LogSpaceHeader* header_ = nullptr;
+  LogSpaceEntry* entries_ = nullptr;
+  uint32_t capacity_ = 0;
+};
+
+inline puddles::Status LogSpaceView::Format(const Puddle& puddle) {
+  if (puddle.kind() != PuddleKind::kLogSpace) {
+    return InvalidArgumentError("log space must live in a kLogSpace puddle");
+  }
+  auto* header = reinterpret_cast<LogSpaceHeader*>(puddle.heap());
+  header->magic = kLogSpaceMagic;
+  header->num_entries = 0;
+  header->reserved = 0;
+  pmem::FlushFence(header, sizeof(LogSpaceHeader));
+  return OkStatus();
+}
+
+inline puddles::Result<LogSpaceView> LogSpaceView::Attach(const Puddle& puddle) {
+  if (puddle.kind() != PuddleKind::kLogSpace) {
+    return InvalidArgumentError("not a log space puddle");
+  }
+  auto* header = reinterpret_cast<LogSpaceHeader*>(puddle.heap());
+  if (header->magic != kLogSpaceMagic) {
+    return DataLossError("log space: bad magic");
+  }
+  auto* entries = reinterpret_cast<LogSpaceEntry*>(header + 1);
+  const uint32_t capacity = static_cast<uint32_t>(
+      (puddle.heap_size() - sizeof(LogSpaceHeader)) / sizeof(LogSpaceEntry));
+  if (header->num_entries > capacity) {
+    return DataLossError("log space: entry count exceeds capacity");
+  }
+  return LogSpaceView(header, entries, capacity);
+}
+
+inline puddles::Status LogSpaceView::AddLog(const Uuid& log_puddle) {
+  if (header_->num_entries >= capacity_) {
+    return OutOfMemoryError("log space full");
+  }
+  entries_[header_->num_entries].log_puddle = log_puddle;
+  pmem::FlushFence(&entries_[header_->num_entries], sizeof(LogSpaceEntry));
+  header_->num_entries++;
+  pmem::FlushFence(&header_->num_entries, sizeof(header_->num_entries));
+  return OkStatus();
+}
+
+inline bool LogSpaceView::Contains(const Uuid& log_puddle) const {
+  for (uint32_t i = 0; i < header_->num_entries; ++i) {
+    if (entries_[i].log_puddle == log_puddle) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace puddles
+
+#endif  // SRC_TX_LOG_SPACE_H_

@@ -1,0 +1,107 @@
+#include "src/tx/replay.h"
+
+#include <cstring>
+
+#include "src/pmem/flush.h"
+
+namespace puddles {
+
+puddles::Result<ReplayStats> ReplayLogChain(const std::vector<LogRegion>& chain,
+                                            AddressResolver& resolver,
+                                            const ReplayOptions& options) {
+  ReplayStats stats;
+
+  struct PendingEntry {
+    uint64_t addr;
+    const uint8_t* data;
+    uint32_t size;
+    ReplayOrder order;
+  };
+  std::vector<PendingEntry> reverse_entries;  // Undo-style.
+  std::vector<PendingEntry> forward_entries;  // Redo-style.
+
+  if (chain.empty()) {
+    return stats;
+  }
+  // A chained log is *one* log: the head region's sequence range governs
+  // validity for every region in the chain (the range is the single word the
+  // committer toggles to switch stages atomically).
+  const auto [seq_lo, seq_hi] = chain.front().seq_range();
+
+  for (const LogRegion& region : chain) {
+    bool intact = region.ForEachEntry([&](const LogRegion::EntryView& view) {
+      if (!view.checksum_ok) {
+        // Torn append: the entry never finished persisting before the crash,
+        // so it was by construction never acted upon. Skip it.
+        ++stats.skipped_checksum;
+        return;
+      }
+      if (!(view.header->seq > seq_lo && view.header->seq < seq_hi)) {
+        ++stats.skipped_out_of_range;
+        return;
+      }
+      if ((view.header->flags & kLogEntryVolatile) != 0 && !options.include_volatile) {
+        ++stats.skipped_volatile;
+        return;
+      }
+      PendingEntry entry{view.header->addr, view.data, view.header->size,
+                         static_cast<ReplayOrder>(view.header->order)};
+      if (entry.order == ReplayOrder::kReverse) {
+        reverse_entries.push_back(entry);
+      } else {
+        forward_entries.push_back(entry);
+      }
+    });
+    if (!intact) {
+      // A corrupt length field ended iteration early; everything before the
+      // corruption was parsed and is safe to use, the tail never persisted.
+      break;
+    }
+  }
+
+  // Resolve everything first so a permission failure can poison the log
+  // before any byte is copied.
+  auto resolve_all = [&](std::vector<PendingEntry>& entries,
+                         std::vector<void*>& targets) -> puddles::Status {
+    targets.reserve(entries.size());
+    for (const PendingEntry& entry : entries) {
+      void* target = resolver.Resolve(entry.addr, entry.size);
+      if (target == nullptr) {
+        ++stats.unresolvable;
+        if (options.fail_on_unresolvable) {
+          return PermissionDeniedError("log entry targets unwritable address");
+        }
+      }
+      targets.push_back(target);
+    }
+    return OkStatus();
+  };
+
+  std::vector<void*> reverse_targets;
+  std::vector<void*> forward_targets;
+  RETURN_IF_ERROR(resolve_all(reverse_entries, reverse_targets));
+  RETURN_IF_ERROR(resolve_all(forward_entries, forward_targets));
+
+  // Roll back: undo entries newest-first (Fig. 7 recovery stage 1).
+  for (size_t i = reverse_entries.size(); i-- > 0;) {
+    if (reverse_targets[i] == nullptr) {
+      continue;
+    }
+    std::memcpy(reverse_targets[i], reverse_entries[i].data, reverse_entries[i].size);
+    pmem::Flush(reverse_targets[i], reverse_entries[i].size);
+    ++stats.applied;
+  }
+  // Roll forward: redo entries oldest-first (Fig. 7 recovery stage 2).
+  for (size_t i = 0; i < forward_entries.size(); ++i) {
+    if (forward_targets[i] == nullptr) {
+      continue;
+    }
+    std::memcpy(forward_targets[i], forward_entries[i].data, forward_entries[i].size);
+    pmem::Flush(forward_targets[i], forward_entries[i].size);
+    ++stats.applied;
+  }
+  pmem::Fence();
+  return stats;
+}
+
+}  // namespace puddles

@@ -1,0 +1,245 @@
+#include "src/tx/transaction.h"
+
+#include <cstring>
+
+#include "src/pmem/flush.h"
+
+namespace puddles {
+namespace {
+
+thread_local Transaction* tls_transaction = nullptr;
+
+void (*g_stage_hook)(const char* stage) = nullptr;
+
+}  // namespace
+
+void Transaction::SetStageHook(void (*hook)(const char* stage)) { g_stage_hook = hook; }
+
+void Transaction::StageHook(const char* stage) {
+  if (g_stage_hook != nullptr) {
+    g_stage_hook(stage);
+  }
+}
+
+Transaction* Transaction::Current() {
+  return (tls_transaction != nullptr && tls_transaction->active()) ? tls_transaction : nullptr;
+}
+
+void Transaction::AbandonCurrentForTesting() {
+  if (tls_transaction != nullptr) {
+    tls_transaction->ResetState();
+  }
+}
+
+puddles::Result<Transaction*> Transaction::BeginWith(const TxTarget* target) {
+  if (tls_transaction == nullptr) {
+    tls_transaction = new Transaction();  // Thread-lifetime singleton.
+  }
+  Transaction* tx = tls_transaction;
+  if (tx->depth_ > 0) {
+    // Flat nesting (PMDK semantics): the inner transaction joins the outer.
+    if (target != nullptr && target->log != nullptr && target->log != tx->target_->log) {
+      return FailedPreconditionError("nested transaction with a different log");
+    }
+    ++tx->depth_;
+    return tx;
+  }
+  if (target == nullptr || target->log == nullptr) {
+    return InvalidArgumentError("transaction needs a log");
+  }
+  auto [lo, hi] = target->log->seq_range();
+  if (!target->log->empty() || lo != 0 || hi != 2) {
+    return FailedPreconditionError("transaction log not empty/armed");
+  }
+  tx->target_ = target;
+  tx->chain_.clear();
+  tx->chain_.push_back(target->log);
+  tx->depth_ = 1;
+  return tx;
+}
+
+puddles::Result<Transaction*> Transaction::Begin(const TxTarget& target) {
+  if (tls_transaction != nullptr && tls_transaction->depth_ > 0) {
+    return BeginWith(&target);  // Nesting: target identity checked, not stored.
+  }
+  if (tls_transaction == nullptr) {
+    tls_transaction = new Transaction();
+  }
+  tls_transaction->owned_target_ = target;
+  return BeginWith(&tls_transaction->owned_target_);
+}
+
+const uint8_t* Transaction::EntryData(const EntryRef& ref) const {
+  return static_cast<const uint8_t*>(ref.region->base()) + ref.offset + sizeof(LogEntryHeader);
+}
+
+puddles::Status Transaction::AppendEntry(uint64_t addr, const void* data, uint32_t size,
+                                         uint32_t seq, ReplayOrder order, uint8_t flags) {
+  if (!active()) {
+    return FailedPreconditionError("no active transaction");
+  }
+  LogRegion* region = chain_.back();
+  puddles::Status status = region->Append(addr, data, size, seq, order, flags);
+  if (status.code() == StatusCode::kOutOfMemory) {
+    if (!target_->grow) {
+      return status;
+    }
+    // Chain a continuation log puddle (Fig. 5). The link persists before any
+    // entry lands in the new region, so recovery can always follow it.
+    ASSIGN_OR_RETURN(auto grown, target_->grow());
+    auto [new_region, uuid] = grown;
+    region->SetNextLog(uuid);
+    chain_.push_back(new_region);
+    region = new_region;
+    status = region->Append(addr, data, size, seq, order, flags);
+  }
+  RETURN_IF_ERROR(status);
+  EntryRef ref;
+  ref.region = region;
+  ref.offset = region->capacity() - region->free_bytes() - LogRegion::EntrySpan(size);
+  ref.addr = addr;
+  ref.size = size;
+  ref.seq = seq;
+  ref.flags = flags;
+  entries_.push_back(ref);
+  return OkStatus();
+}
+
+puddles::Status Transaction::AddUndo(void* addr, size_t size) {
+  return AppendEntry(reinterpret_cast<uint64_t>(addr), addr, static_cast<uint32_t>(size),
+                     kUndoSeq, ReplayOrder::kReverse, 0);
+}
+
+puddles::Status Transaction::AddVolatileUndo(void* addr, size_t size) {
+  return AppendEntry(reinterpret_cast<uint64_t>(addr), addr, static_cast<uint32_t>(size),
+                     kUndoSeq, ReplayOrder::kReverse, kLogEntryVolatile);
+}
+
+puddles::Status Transaction::RedoWrite(void* dst, const void* src, uint32_t size) {
+  return AppendEntry(reinterpret_cast<uint64_t>(dst), src, size, kRedoSeq,
+                     ReplayOrder::kForward, 0);
+}
+
+void Transaction::DeferFree(std::function<puddles::Status()> op) {
+  deferred_frees_.push_back(std::move(op));
+}
+
+puddles::Status Transaction::Commit() {
+  if (!active()) {
+    return FailedPreconditionError("no active transaction");
+  }
+  if (depth_ > 1) {
+    --depth_;
+    return OkStatus();
+  }
+  return CommitOutermost();
+}
+
+puddles::Status Transaction::CommitOutermost() {
+  // Deferred frees run first, while undo logging is live: their metadata
+  // mutations become part of this transaction.
+  for (auto& op : deferred_frees_) {
+    RETURN_IF_ERROR(op());
+  }
+
+  LogRegion* head = chain_.front();
+
+  // ---- Stage 1: make every undo-logged location durable (Fig. 7a). ----
+  // Undo entries hold the *old* values; the locations now hold new values
+  // that must be on PM before redo application starts.
+  bool has_redo = false;
+  for (const EntryRef& entry : entries_) {
+    if (entry.seq == kUndoSeq && (entry.flags & kLogEntryVolatile) == 0) {
+      pmem::Flush(reinterpret_cast<void*>(entry.addr), entry.size);
+    } else if (entry.seq == kRedoSeq) {
+      has_redo = true;
+    }
+  }
+  pmem::Fence();
+  StageHook("s1_flushed");
+
+  // Undo-only fast path: with no redo entries, stages 2/3 degenerate — the
+  // commit point is the log reset itself (a crash before it rolls back via
+  // the still-valid undo entries, which is correct for an uncommitted tx).
+  if (!has_redo) {
+    head->Reset(0, 2);
+    StageHook("reset_done");
+    for (size_t i = 1; i < chain_.size(); ++i) {
+      if (target_->release) {
+        target_->release(chain_[i]);
+      }
+    }
+    ResetState();
+    return OkStatus();
+  }
+
+  head->SetSeqRange(2, 4);  // Undo replay off, redo replay on.
+  StageHook("range_24");
+
+  // ---- Stage 2: apply the redo log (Fig. 7b). ----
+  for (const EntryRef& entry : entries_) {
+    if (entry.seq != kRedoSeq) {
+      continue;
+    }
+    std::memcpy(reinterpret_cast<void*>(entry.addr), EntryData(entry), entry.size);
+    if ((entry.flags & kLogEntryVolatile) == 0) {
+      pmem::Flush(reinterpret_cast<void*>(entry.addr), entry.size);
+    }
+    StageHook("redo_applied_one");
+  }
+  pmem::Fence();
+  StageHook("s2_applied");
+
+  head->SetSeqRange(4, 4);  // Nothing replays: the transaction is committed.
+  StageHook("s3_marked");
+
+  // ---- Stage 3: drop the log. ----
+  head->Reset(0, 2);
+  StageHook("reset_done");
+
+  for (size_t i = 1; i < chain_.size(); ++i) {
+    if (target_->release) {
+      target_->release(chain_[i]);
+    }
+  }
+  ResetState();
+  return OkStatus();
+}
+
+puddles::Status Transaction::Abort() {
+  if (!active()) {
+    return FailedPreconditionError("no active transaction");
+  }
+  // Roll back by applying undo entries newest-first; volatile entries are
+  // included so DRAM state tracks the PM rollback (§4.1).
+  for (size_t i = entries_.size(); i-- > 0;) {
+    const EntryRef& entry = entries_[i];
+    if (entry.seq != kUndoSeq) {
+      continue;  // Redo entries were never applied; nothing to undo.
+    }
+    std::memcpy(reinterpret_cast<void*>(entry.addr), EntryData(entry), entry.size);
+    if ((entry.flags & kLogEntryVolatile) == 0) {
+      pmem::Flush(reinterpret_cast<void*>(entry.addr), entry.size);
+    }
+  }
+  pmem::Fence();
+
+  chain_.front()->Reset(0, 2);
+  for (size_t i = 1; i < chain_.size(); ++i) {
+    if (target_->release) {
+      target_->release(chain_[i]);
+    }
+  }
+  ResetState();
+  return OkStatus();
+}
+
+void Transaction::ResetState() {
+  entries_.clear();
+  deferred_frees_.clear();
+  chain_.clear();
+  target_ = nullptr;
+  depth_ = 0;
+}
+
+}  // namespace puddles

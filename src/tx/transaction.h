@@ -1,0 +1,130 @@
+// Failure-atomic transactions over Puddles logs (paper §4.1, Figs. 7 & 8).
+//
+// Thread-local, PMDK-style flat-nested transactions. The runtime writes undo
+// entries (TX_ADD) before locations are modified and redo entries
+// (TX_REDO_SET) holding deferred new values; commit walks the three hybrid
+// stages of Fig. 7, driving the log's sequence range through
+// (0,2) → (2,4) → (4,4):
+//   Stage 1  flush every undo-logged location            [crash ⇒ roll back]
+//   Stage 2  apply + flush every redo entry              [crash ⇒ roll forward]
+//   Stage 3  invalidate and reset the log                [crash ⇒ nothing to do]
+//
+// "Puddles' transactions are thread-local ... they support writing to any
+// arbitrary PM data and are not limited to a single pool" — the transaction
+// only knows its log; targets may live in any mapped puddle.
+#ifndef SRC_TX_TRANSACTION_H_
+#define SRC_TX_TRANSACTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/tx/log_format.h"
+
+namespace puddles {
+
+// Everything a transaction needs from its environment. Pools build one of
+// these from the thread's cached log puddle (§4.1: "every thread caches the
+// log puddle used on the first transaction of that thread").
+struct TxTarget {
+  // Head log region; must be formatted and empty with range (0,2).
+  LogRegion* log = nullptr;
+  // Grows the log with a continuation region when full (Fig. 5). Returns the
+  // new region plus its puddle UUID (persisted into the chain link). May be
+  // null, in which case a full log aborts the transaction.
+  std::function<puddles::Result<std::pair<LogRegion*, Uuid>>()> grow;
+  // Returns a grown region after commit/abort (reuse/cleanup). May be null.
+  std::function<void(LogRegion*)> release;
+};
+
+// Thrown by stage hooks in crash-injection tests; never thrown in production.
+struct SimulatedCrash {
+  const char* stage;
+};
+
+class Transaction {
+ public:
+  // The active transaction of this thread, or nullptr.
+  static Transaction* Current();
+
+  // Starts (or flat-nests into) the thread's transaction. The by-reference
+  // overload copies the target; BeginWith borrows a caller-owned target that
+  // must outlive the transaction (the allocation-free fast path used by
+  // Pool::BeginTx with the thread's cached target).
+  static puddles::Result<Transaction*> Begin(const TxTarget& target);
+  static puddles::Result<Transaction*> BeginWith(const TxTarget* target);
+
+  // Undo-logs [addr, addr+size): the current contents are captured and the
+  // caller may modify the range immediately after return (TX_ADD).
+  puddles::Status AddUndo(void* addr, size_t size);
+
+  // Undo-logs a volatile (DRAM) range: restored on abort, ignored by
+  // post-crash recovery.
+  puddles::Status AddVolatileUndo(void* addr, size_t size);
+
+  // Redo-logs a deferred write: `*dst` keeps its old value until commit
+  // stage 2 copies the new bytes in (TX_REDO_SET).
+  puddles::Status RedoWrite(void* dst, const void* src, uint32_t size);
+
+  template <typename T>
+  puddles::Status RedoSet(T* dst, const T& value) {
+    return RedoWrite(dst, &value, sizeof(T));
+  }
+
+  // Queues an operation (typically an allocator free) to run at the head of
+  // commit, while undo logging is still active. Deferring frees to commit
+  // keeps freed blocks out of reuse within the transaction, so rollback can
+  // never resurrect an object whose bytes were recycled (DESIGN.md §3).
+  void DeferFree(std::function<puddles::Status()> op);
+
+  // Commits (outermost) or pops one nesting level.
+  puddles::Status Commit();
+
+  // Rolls back everything (all nesting levels) via the undo entries, newest
+  // first, including volatile entries.
+  puddles::Status Abort();
+
+  int depth() const { return depth_; }
+  bool active() const { return depth_ > 0; }
+  size_t entry_count() const { return entries_.size(); }
+
+  // Test-only: invoked at named commit points ("s1_flushed", "s2_applied",
+  // "s3_marked", "reset_done"); may throw SimulatedCrash.
+  static void SetStageHook(void (*hook)(const char* stage));
+
+  // Drops all in-flight transaction state without touching PM — what process
+  // death does. Crash-injection tests call this after SimulateCrash(); real
+  // recovery then happens through ReplayLogChain, not through this object.
+  static void AbandonCurrentForTesting();
+
+ private:
+  struct EntryRef {
+    LogRegion* region;
+    uint64_t offset;  // Offset of the LogEntryHeader within the region.
+    uint64_t addr;
+    uint32_t size;
+    uint32_t seq;
+    uint8_t flags;
+  };
+
+  Transaction() = default;
+
+  puddles::Status AppendEntry(uint64_t addr, const void* data, uint32_t size, uint32_t seq,
+                              ReplayOrder order, uint8_t flags);
+  const uint8_t* EntryData(const EntryRef& ref) const;
+  puddles::Status CommitOutermost();
+  void ResetState();
+  static void StageHook(const char* stage);
+
+  TxTarget owned_target_;            // Storage for the by-value Begin path.
+  const TxTarget* target_ = nullptr;  // Active target (owned or borrowed).
+  std::vector<LogRegion*> chain_;  // chain_[0] == target_->log.
+  std::vector<EntryRef> entries_;  // Append order.
+  std::vector<std::function<puddles::Status()>> deferred_frees_;
+  int depth_ = 0;
+};
+
+}  // namespace puddles
+
+#endif  // SRC_TX_TRANSACTION_H_

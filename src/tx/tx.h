@@ -1,0 +1,90 @@
+// PMDK-style transaction macros (paper Figs. 4 & 8):
+//
+//   TX_BEGIN(pool) {
+//     node_t* node = pool.Malloc<node_t>();
+//     node->data = val;
+//     TX_ADD(&list->tail->next);
+//     list->tail->next = node;
+//     TX_REDO_SET(&list->tail, node);
+//   } TX_END;
+//
+// `pool` is anything with a `BeginTx()` returning Result<Transaction*> —
+// libpuddles::Pool in production, a test fixture in tests. A C++ exception
+// escaping the body aborts the transaction (rolls back via the undo log) and
+// rethrows. TxAbort() aborts explicitly.
+#ifndef SRC_TX_TX_H_
+#define SRC_TX_TX_H_
+
+#include <exception>
+#include <stdexcept>
+
+#include "src/tx/transaction.h"
+
+namespace puddles {
+
+// Thrown by TxAbort() to unwind the transaction body.
+struct TxAbortRequested {};
+
+inline void TxAbort() { throw TxAbortRequested{}; }
+
+namespace tx_internal {
+
+// Commits on clean scope exit; aborts when unwinding on an exception.
+class TxScope {
+ public:
+  explicit TxScope(Transaction* tx) : tx_(tx) {}
+
+  ~TxScope() noexcept(false) {
+    if (tx_ == nullptr) {
+      return;
+    }
+    if (std::uncaught_exceptions() > exceptions_on_entry_) {
+      (void)tx_->Abort();
+    } else {
+      puddles::Status status = tx_->Commit();
+      if (!status.ok()) {
+        (void)tx_->Abort();
+        throw std::runtime_error("transaction commit failed: " + status.ToString());
+      }
+    }
+  }
+
+  TxScope(const TxScope&) = delete;
+  TxScope& operator=(const TxScope&) = delete;
+
+ private:
+  Transaction* tx_;
+  int exceptions_on_entry_ = std::uncaught_exceptions();
+};
+
+}  // namespace tx_internal
+}  // namespace puddles
+
+#define TX_BEGIN(pool_like)                                                         \
+  {                                                                                 \
+    auto _puddles_tx_result = (pool_like).BeginTx();                                \
+    if (!_puddles_tx_result.ok()) {                                                 \
+      throw std::runtime_error("TX_BEGIN failed: " +                                \
+                               _puddles_tx_result.status().ToString());             \
+    }                                                                               \
+    try {                                                                           \
+      ::puddles::tx_internal::TxScope _puddles_tx_scope(*_puddles_tx_result);
+
+#define TX_END                                                                      \
+    }                                                                               \
+    catch (const ::puddles::TxAbortRequested&) { /* rolled back by TxScope */ }     \
+  }
+
+// Undo-log `*ptr` (whole object) before modifying it.
+#define TX_ADD(ptr)                                                                 \
+  (void)::puddles::Transaction::Current()->AddUndo((void*)(ptr), sizeof(*(ptr)))
+
+// Undo-log an explicit byte range.
+#define TX_ADD_RANGE(ptr, size)                                                     \
+  (void)::puddles::Transaction::Current()->AddUndo((void*)(ptr), (size))
+
+// Redo-log `*ptr = value`; the store lands at commit.
+#define TX_REDO_SET(ptr, value)                                                     \
+  (void)::puddles::Transaction::Current()->RedoSet((ptr), (value))
+
+#endif  // SRC_TX_TX_H_

@@ -1,0 +1,214 @@
+// Library adapters: one uniform surface over Puddles and the four baseline
+// PM libraries, so each workload (list, B-tree, KV store) is written once and
+// instantiated per library — guaranteeing the Figs. 9–11 comparisons measure
+// the libraries, not five different data-structure implementations.
+//
+// Adapter concept:
+//   template <typename T> using Handle     — stored pointer representation
+//   T* Get(Handle<T>)                      — translate to a native pointer
+//   Handle<T> Null()                       — null handle
+//   Result<Handle<T>> Alloc<T>(count)      — typed allocation
+//   Status Free(Handle<T>)
+//   Status Log(T* p) / LogRange(p, n)      — undo-log before modify
+//   Status TxRun(fn)                       — run fn failure-atomically
+//   Handle<T> Root<T>() / SetRoot(Handle)  — root object
+//   static void RegisterType<T>(offsets)   — pointer map (Puddles only)
+#ifndef SRC_WORKLOADS_ADAPTERS_H_
+#define SRC_WORKLOADS_ADAPTERS_H_
+
+#include <initializer_list>
+
+#include "src/baselines/atlas/atlas.h"
+#include "src/baselines/fatptr/fatptr.h"
+#include "src/baselines/gopmem/gopmem.h"
+#include "src/baselines/romulus/romulus.h"
+#include "src/libpuddles/libpuddles.h"
+
+namespace workloads {
+
+// ---- Puddles (native pointers, system-supported recovery) ----
+class PuddlesAdapter {
+ public:
+  static constexpr const char* kName = "Libpuddles";
+
+  template <typename T>
+  using Handle = T*;
+
+  explicit PuddlesAdapter(puddles::Pool* pool) : pool_(pool) {}
+
+  template <typename T>
+  T* Get(T* handle) const {
+    return handle;
+  }
+  template <typename T>
+  static T* Null() {
+    return nullptr;
+  }
+
+  template <typename T>
+  puddles::Result<T*> Alloc(size_t count = 1) {
+    return pool_->Malloc<T>(count);
+  }
+  template <typename T>
+  puddles::Status Free(T* handle) {
+    return pool_->Free(handle);
+  }
+
+  template <typename T>
+  puddles::Status Log(T* p) {
+    return puddles::Transaction::Current()->AddUndo(p, sizeof(T));
+  }
+  puddles::Status LogRange(void* p, size_t n) {
+    return puddles::Transaction::Current()->AddUndo(p, n);
+  }
+
+  template <typename Fn>
+  puddles::Status TxRun(Fn&& fn) {
+    ASSIGN_OR_RETURN(puddles::Transaction * tx, pool_->BeginTx());
+    fn();
+    return tx->Commit();
+  }
+
+  template <typename T>
+  T* Root() {
+    auto root = pool_->Root<T>();
+    return root.ok() ? *root : nullptr;
+  }
+  template <typename T>
+  puddles::Status SetRoot(T* handle) {
+    return pool_->SetRoot(handle);
+  }
+
+  template <typename T>
+  static void RegisterType(std::initializer_list<size_t> offsets) {
+    (void)puddles::TypeRegistry::Instance().Register<T>(offsets);
+  }
+
+ private:
+  puddles::Pool* pool_;
+};
+
+// ---- PMDK-like (fat pointers) ----
+class FatPtrAdapter {
+ public:
+  static constexpr const char* kName = "PMDK";
+
+  template <typename T>
+  using Handle = fatptr::FatPtr<T>;
+
+  explicit FatPtrAdapter(fatptr::FatPool* pool) : pool_(pool) {}
+
+  template <typename T>
+  T* Get(fatptr::FatPtr<T> handle) const {
+    return handle.get();  // The translated dereference of Fig. 1.
+  }
+  template <typename T>
+  static fatptr::FatPtr<T> Null() {
+    return fatptr::FatPtr<T>::Null();
+  }
+
+  template <typename T>
+  puddles::Result<fatptr::FatPtr<T>> Alloc(size_t count = 1) {
+    return pool_->Alloc<T>(count);
+  }
+  template <typename T>
+  puddles::Status Free(fatptr::FatPtr<T> handle) {
+    return pool_->Free(handle);
+  }
+
+  template <typename T>
+  puddles::Status Log(T* p) {
+    return pool_->TxAddRange(p, sizeof(T));
+  }
+  puddles::Status LogRange(void* p, size_t n) { return pool_->TxAddRange(p, n); }
+
+  template <typename Fn>
+  puddles::Status TxRun(Fn&& fn) {
+    return pool_->TxRun(std::forward<Fn>(fn));
+  }
+
+  template <typename T>
+  fatptr::FatPtr<T> Root() {
+    return pool_->Root<T>();
+  }
+  template <typename T>
+  puddles::Status SetRoot(fatptr::FatPtr<T> handle) {
+    pool_->SetRoot(handle);
+    return puddles::OkStatus();
+  }
+
+  template <typename T>
+  static void RegisterType(std::initializer_list<size_t>) {}
+
+ private:
+  fatptr::FatPool* pool_;
+};
+
+// ---- Generic native-pointer adapter over Romulus / Atlas / go-pmem ----
+template <typename PoolT, const char* Name>
+class NativeAdapter {
+ public:
+  static constexpr const char* kName = Name;
+
+  template <typename T>
+  using Handle = T*;
+
+  explicit NativeAdapter(PoolT* pool) : pool_(pool) {}
+
+  template <typename T>
+  T* Get(T* handle) const {
+    return handle;
+  }
+  template <typename T>
+  static T* Null() {
+    return nullptr;
+  }
+
+  template <typename T>
+  puddles::Result<T*> Alloc(size_t count = 1) {
+    return pool_->template Alloc<T>(count);
+  }
+  template <typename T>
+  puddles::Status Free(T* handle) {
+    return pool_->Free(handle);
+  }
+
+  template <typename T>
+  puddles::Status Log(T* p) {
+    return pool_->TxAddRange(p, sizeof(T));
+  }
+  puddles::Status LogRange(void* p, size_t n) { return pool_->TxAddRange(p, n); }
+
+  template <typename Fn>
+  puddles::Status TxRun(Fn&& fn) {
+    return pool_->TxRun(std::forward<Fn>(fn));
+  }
+
+  template <typename T>
+  T* Root() {
+    return pool_->template Root<T>();
+  }
+  template <typename T>
+  puddles::Status SetRoot(T* handle) {
+    pool_->SetRoot(handle);
+    return puddles::OkStatus();
+  }
+
+  template <typename T>
+  static void RegisterType(std::initializer_list<size_t>) {}
+
+ private:
+  PoolT* pool_;
+};
+
+inline constexpr char kRomulusName[] = "Romulus";
+inline constexpr char kAtlasName[] = "Atlas";
+inline constexpr char kGoPmemName[] = "go-pmem";
+
+using RomulusAdapter = NativeAdapter<romulus::RomulusPool, kRomulusName>;
+using AtlasAdapter = NativeAdapter<atlaspm::AtlasPool, kAtlasName>;
+using GoPmemAdapter = NativeAdapter<gopmem::GoPmemPool, kGoPmemName>;
+
+}  // namespace workloads
+
+#endif  // SRC_WORKLOADS_ADAPTERS_H_

@@ -1,0 +1,292 @@
+// Order-8 B+-tree workload (paper Fig. 10): 8-byte keys and values, insert /
+// delete / search, one implementation instantiated per PM library.
+//
+// Data lives only in leaves; internal nodes hold routing separators. Deletion
+// removes the entry from its leaf without rebalancing (underflowed or empty
+// leaves are permitted; separators remain valid split points), which keeps
+// deletes strictly leaf-local — a common simplification in PM benchmarks,
+// documented in DESIGN.md. All libraries run the identical code.
+#ifndef SRC_WORKLOADS_BTREE_H_
+#define SRC_WORKLOADS_BTREE_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+
+namespace workloads {
+
+inline constexpr int kBTreeOrder = 8;  // Max children per node (paper: order 8).
+inline constexpr int kBTreeMaxKeys = kBTreeOrder - 1;
+
+template <typename Adapter>
+class PersistentBTree {
+ public:
+  struct Node;
+  using NodeHandle = typename Adapter::template Handle<Node>;
+
+  struct Node {
+    NodeHandle children[kBTreeOrder];  // Internal nodes only.
+    uint64_t keys[kBTreeMaxKeys];      // Leaf: stored keys; internal: separators.
+    uint64_t values[kBTreeMaxKeys];    // Leaf only.
+    uint16_t num_keys;
+    uint16_t is_leaf;
+    uint32_t reserved;
+  };
+
+  struct Root {
+    NodeHandle root;
+    uint64_t size;
+  };
+
+  static void RegisterTypes() {
+    Adapter::template RegisterType<Node>({
+        offsetof(Node, children) + 0 * sizeof(NodeHandle),
+        offsetof(Node, children) + 1 * sizeof(NodeHandle),
+        offsetof(Node, children) + 2 * sizeof(NodeHandle),
+        offsetof(Node, children) + 3 * sizeof(NodeHandle),
+        offsetof(Node, children) + 4 * sizeof(NodeHandle),
+        offsetof(Node, children) + 5 * sizeof(NodeHandle),
+        offsetof(Node, children) + 6 * sizeof(NodeHandle),
+        offsetof(Node, children) + 7 * sizeof(NodeHandle),
+    });
+    Adapter::template RegisterType<Root>({offsetof(Root, root)});
+  }
+
+  explicit PersistentBTree(Adapter adapter) : adapter_(adapter) {}
+
+  puddles::Status Init() {
+    using RootHandle = typename Adapter::template Handle<Root>;
+    RootHandle existing = adapter_.template Root<Root>();
+    if (!(existing == Adapter::template Null<Root>())) {
+      root_ = adapter_.Get(existing);
+      return puddles::OkStatus();
+    }
+    puddles::Status status = puddles::OkStatus();
+    RETURN_IF_ERROR(adapter_.TxRun([&] {
+      auto allocated = adapter_.template Alloc<Root>();
+      if (!allocated.ok()) {
+        status = allocated.status();
+        return;
+      }
+      Root* root = adapter_.Get(*allocated);
+      root->root = Adapter::template Null<Node>();
+      root->size = 0;
+      status = adapter_.SetRoot(*allocated);
+    }));
+    RETURN_IF_ERROR(status);
+    root_ = adapter_.Get(adapter_.template Root<Root>());
+    return puddles::OkStatus();
+  }
+
+  // Fig. 10 "Search": pointer-chasing descent, read-only.
+  bool Search(uint64_t key, uint64_t* value_out) const {
+    NodeHandle cursor = root_->root;
+    while (!IsNull(cursor)) {
+      const Node* node = adapter_.Get(cursor);
+      if (node->is_leaf) {
+        for (int i = 0; i < node->num_keys; ++i) {
+          if (node->keys[i] == key) {
+            if (value_out != nullptr) {
+              *value_out = node->values[i];
+            }
+            return true;
+          }
+        }
+        return false;
+      }
+      cursor = node->children[RouteIndex(node, key)];
+    }
+    return false;
+  }
+
+  puddles::Status Insert(uint64_t key, uint64_t value) {
+    puddles::Status status = puddles::OkStatus();
+    RETURN_IF_ERROR(adapter_.TxRun([&] { status = InsertInTx(key, value); }));
+    return status;
+  }
+
+  puddles::Status Delete(uint64_t key) {
+    puddles::Status status = puddles::OkStatus();
+    RETURN_IF_ERROR(adapter_.TxRun([&] { status = DeleteInTx(key); }));
+    return status;
+  }
+
+  uint64_t size() const { return root_->size; }
+
+  // Depth-first sum of all leaf values (the Fig. 1 DF-traversal microbench).
+  uint64_t SumDepthFirst() const { return SumSubtree(root_->root); }
+
+ private:
+  static bool IsNull(const NodeHandle& handle) {
+    return handle == Adapter::template Null<Node>();
+  }
+
+  // Child index for `key` in an internal node: first separator > key wins.
+  static int RouteIndex(const Node* node, uint64_t key) {
+    int i = 0;
+    while (i < node->num_keys && key >= node->keys[i]) {
+      ++i;
+    }
+    return i;
+  }
+
+  puddles::Result<NodeHandle> NewNode(bool leaf) {
+    ASSIGN_OR_RETURN(NodeHandle handle, adapter_.template Alloc<Node>());
+    Node* node = adapter_.Get(handle);
+    node->num_keys = 0;
+    node->is_leaf = leaf ? 1 : 0;
+    node->reserved = 0;
+    for (auto& child : node->children) {
+      child = Adapter::template Null<Node>();
+    }
+    return handle;
+  }
+
+  // Splits full child `index` of `parent` (caller logged the parent).
+  puddles::Status SplitChild(Node* parent, int index) {
+    NodeHandle left_handle = parent->children[index];
+    Node* left = adapter_.Get(left_handle);
+    ASSIGN_OR_RETURN(NodeHandle right_handle, NewNode(left->is_leaf != 0));
+    Node* right = adapter_.Get(right_handle);
+    (void)adapter_.Log(left);
+
+    constexpr int kMid = kBTreeMaxKeys / 2;  // 3 for order 8.
+    uint64_t separator;
+    if (left->is_leaf) {
+      // B+-tree leaf split: right keeps [kMid, end); separator = its first key.
+      right->num_keys = static_cast<uint16_t>(kBTreeMaxKeys - kMid);
+      for (int i = 0; i < right->num_keys; ++i) {
+        right->keys[i] = left->keys[kMid + i];
+        right->values[i] = left->values[kMid + i];
+      }
+      left->num_keys = kMid;
+      separator = right->keys[0];
+    } else {
+      // Internal split: the median separator moves up.
+      separator = left->keys[kMid];
+      right->num_keys = static_cast<uint16_t>(kBTreeMaxKeys - kMid - 1);
+      for (int i = 0; i < right->num_keys; ++i) {
+        right->keys[i] = left->keys[kMid + 1 + i];
+      }
+      for (int i = 0; i <= right->num_keys; ++i) {
+        right->children[i] = left->children[kMid + 1 + i];
+      }
+      left->num_keys = kMid;
+    }
+
+    for (int i = parent->num_keys; i > index; --i) {
+      parent->keys[i] = parent->keys[i - 1];
+      parent->children[i + 1] = parent->children[i];
+    }
+    parent->keys[index] = separator;
+    parent->children[index + 1] = right_handle;
+    parent->num_keys++;
+    return puddles::OkStatus();
+  }
+
+  puddles::Status InsertInTx(uint64_t key, uint64_t value) {
+    (void)adapter_.Log(root_);
+    if (IsNull(root_->root)) {
+      ASSIGN_OR_RETURN(NodeHandle leaf, NewNode(true));
+      Node* node = adapter_.Get(leaf);
+      node->keys[0] = key;
+      node->values[0] = value;
+      node->num_keys = 1;
+      root_->root = leaf;
+      root_->size = 1;
+      return puddles::OkStatus();
+    }
+
+    if (adapter_.Get(root_->root)->num_keys == kBTreeMaxKeys) {
+      ASSIGN_OR_RETURN(NodeHandle new_root_handle, NewNode(false));
+      Node* new_root = adapter_.Get(new_root_handle);
+      new_root->children[0] = root_->root;
+      RETURN_IF_ERROR(SplitChild(new_root, 0));
+      root_->root = new_root_handle;
+    }
+
+    NodeHandle cursor = root_->root;
+    while (true) {
+      Node* node = adapter_.Get(cursor);
+      if (node->is_leaf) {
+        (void)adapter_.Log(node);
+        int i = 0;
+        while (i < node->num_keys && key > node->keys[i]) {
+          ++i;
+        }
+        if (i < node->num_keys && node->keys[i] == key) {
+          node->values[i] = value;  // Update in place.
+          return puddles::OkStatus();
+        }
+        for (int j = node->num_keys; j > i; --j) {
+          node->keys[j] = node->keys[j - 1];
+          node->values[j] = node->values[j - 1];
+        }
+        node->keys[i] = key;
+        node->values[i] = value;
+        node->num_keys++;
+        root_->size++;
+        return puddles::OkStatus();
+      }
+      int i = RouteIndex(node, key);
+      if (adapter_.Get(node->children[i])->num_keys == kBTreeMaxKeys) {
+        (void)adapter_.Log(node);
+        RETURN_IF_ERROR(SplitChild(node, i));
+        if (key >= node->keys[i]) {
+          ++i;
+        }
+      }
+      cursor = node->children[i];
+    }
+  }
+
+  puddles::Status DeleteInTx(uint64_t key) {
+    NodeHandle cursor = root_->root;
+    while (!IsNull(cursor)) {
+      Node* node = adapter_.Get(cursor);
+      if (node->is_leaf) {
+        for (int i = 0; i < node->num_keys; ++i) {
+          if (node->keys[i] == key) {
+            (void)adapter_.Log(node);
+            for (int j = i; j + 1 < node->num_keys; ++j) {
+              node->keys[j] = node->keys[j + 1];
+              node->values[j] = node->values[j + 1];
+            }
+            node->num_keys--;
+            (void)adapter_.Log(root_);
+            root_->size--;
+            return puddles::OkStatus();
+          }
+        }
+        return puddles::NotFoundError("key not in tree");
+      }
+      cursor = node->children[RouteIndex(node, key)];
+    }
+    return puddles::NotFoundError("key not in tree");
+  }
+
+  uint64_t SumSubtree(NodeHandle handle) const {
+    if (IsNull(handle)) {
+      return 0;
+    }
+    const Node* node = adapter_.Get(handle);
+    uint64_t sum = 0;
+    if (node->is_leaf) {
+      for (int i = 0; i < node->num_keys; ++i) {
+        sum += node->values[i];
+      }
+      return sum;
+    }
+    for (int i = 0; i <= node->num_keys; ++i) {
+      sum += SumSubtree(node->children[i]);
+    }
+    return sum;
+  }
+
+  Adapter adapter_;
+  Root* root_ = nullptr;
+};
+
+}  // namespace workloads
+
+#endif  // SRC_WORKLOADS_BTREE_H_

@@ -1,0 +1,199 @@
+// KV store workload (paper Fig. 11): PMDK-simplekv-style hash map —
+// fixed bucket array, chained entries, fixed-size string keys and values —
+// driven by the YCSB generator. "uses fewer pointers per request by making
+// extensive use of hash map and vectors" (paper §5.2), so the fat-pointer
+// penalty is smaller here than in the list/tree workloads.
+#ifndef SRC_WORKLOADS_KVSTORE_H_
+#define SRC_WORKLOADS_KVSTORE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+#include "src/common/checksum.h"
+#include "src/common/status.h"
+
+namespace workloads {
+
+inline constexpr size_t kKvKeyMax = 24;
+inline constexpr size_t kKvValueSize = 64;
+
+template <typename Adapter>
+class KvStore {
+ public:
+  struct Entry;
+  using EntryHandle = typename Adapter::template Handle<Entry>;
+
+  struct Entry {
+    EntryHandle next;
+    uint64_t key_hash;
+    char key[kKvKeyMax];
+    char value[kKvValueSize];
+  };
+
+  struct BucketArray {
+    EntryHandle slots[1];  // Variable length (allocated num_buckets slots).
+  };
+  using BucketArrayHandle = typename Adapter::template Handle<BucketArray>;
+
+  struct Table {
+    BucketArrayHandle buckets;
+    uint64_t num_buckets;
+    uint64_t size;
+  };
+
+  static void RegisterTypes() {
+    Adapter::template RegisterType<Entry>({offsetof(Entry, next)});
+    // Bucket arrays are arrays-of-handles; register as an array of one-handle
+    // elements so relocation strides correctly.
+    Adapter::template RegisterType<BucketArray>({0});
+    Adapter::template RegisterType<Table>({offsetof(Table, buckets)});
+  }
+
+  explicit KvStore(Adapter adapter) : adapter_(adapter) {}
+
+  puddles::Status Init(uint64_t num_buckets = 1 << 16) {
+    using TableHandle = typename Adapter::template Handle<Table>;
+    TableHandle existing = adapter_.template Root<Table>();
+    if (!(existing == Adapter::template Null<Table>())) {
+      table_ = adapter_.Get(existing);
+      buckets_ = adapter_.Get(table_->buckets);
+      return puddles::OkStatus();
+    }
+    puddles::Status status = puddles::OkStatus();
+    RETURN_IF_ERROR(adapter_.TxRun([&] {
+      auto table = adapter_.template Alloc<Table>();
+      if (!table.ok()) {
+        status = table.status();
+        return;
+      }
+      auto buckets = adapter_.template Alloc<BucketArray>(num_buckets);
+      if (!buckets.ok()) {
+        status = buckets.status();
+        return;
+      }
+      Table* t = adapter_.Get(*table);
+      t->buckets = *buckets;
+      t->num_buckets = num_buckets;
+      t->size = 0;
+      BucketArray* b = adapter_.Get(*buckets);
+      for (uint64_t i = 0; i < num_buckets; ++i) {
+        b->slots[i] = Adapter::template Null<Entry>();
+      }
+      status = adapter_.SetRoot(*table);
+    }));
+    RETURN_IF_ERROR(status);
+    table_ = adapter_.Get(adapter_.template Root<Table>());
+    buckets_ = adapter_.Get(table_->buckets);
+    return puddles::OkStatus();
+  }
+
+  // Insert-or-update (YCSB INSERT and UPDATE both land here).
+  puddles::Status Put(std::string_view key, const char* value) {
+    const uint64_t hash = puddles::Fnv1a64(key.data(), key.size());
+    const uint64_t bucket = hash % table_->num_buckets;
+    puddles::Status status = puddles::OkStatus();
+    RETURN_IF_ERROR(adapter_.TxRun([&] {
+      // Update in place if present.
+      for (EntryHandle cursor = buckets_->slots[bucket]; !IsNull(cursor);) {
+        Entry* entry = adapter_.Get(cursor);
+        if (entry->key_hash == hash && key == entry->key) {
+          (void)adapter_.LogRange(entry->value, kKvValueSize);
+          std::memcpy(entry->value, value, kKvValueSize);
+          return;
+        }
+        cursor = entry->next;
+      }
+      // Insert at the bucket head.
+      auto allocated = adapter_.template Alloc<Entry>();
+      if (!allocated.ok()) {
+        status = allocated.status();
+        return;
+      }
+      Entry* entry = adapter_.Get(*allocated);
+      entry->key_hash = hash;
+      std::memset(entry->key, 0, kKvKeyMax);
+      std::memcpy(entry->key, key.data(), std::min(key.size(), kKvKeyMax - 1));
+      std::memcpy(entry->value, value, kKvValueSize);
+      (void)adapter_.LogRange(&buckets_->slots[bucket], sizeof(EntryHandle));
+      entry->next = buckets_->slots[bucket];
+      buckets_->slots[bucket] = *allocated;
+      (void)adapter_.LogRange(&table_->size, sizeof(uint64_t));
+      table_->size++;
+    }));
+    return status;
+  }
+
+  bool Get(std::string_view key, char* value_out) const {
+    const uint64_t hash = puddles::Fnv1a64(key.data(), key.size());
+    for (EntryHandle cursor = buckets_->slots[hash % table_->num_buckets]; !IsNull(cursor);) {
+      const Entry* entry = adapter_.Get(cursor);
+      if (entry->key_hash == hash && key == entry->key) {
+        if (value_out != nullptr) {
+          std::memcpy(value_out, entry->value, kKvValueSize);
+        }
+        return true;
+      }
+      cursor = entry->next;
+    }
+    return false;
+  }
+
+  puddles::Status Delete(std::string_view key) {
+    const uint64_t hash = puddles::Fnv1a64(key.data(), key.size());
+    const uint64_t bucket = hash % table_->num_buckets;
+    puddles::Status status = puddles::NotFoundError("key absent");
+    RETURN_IF_ERROR(adapter_.TxRun([&] {
+      EntryHandle* link = &buckets_->slots[bucket];
+      for (EntryHandle cursor = *link; !IsNull(cursor);) {
+        Entry* entry = adapter_.Get(cursor);
+        if (entry->key_hash == hash && key == entry->key) {
+          (void)adapter_.LogRange(link, sizeof(EntryHandle));
+          *link = entry->next;
+          (void)adapter_.LogRange(&table_->size, sizeof(uint64_t));
+          table_->size--;
+          status = adapter_.Free(cursor);
+          return;
+        }
+        link = &entry->next;
+        cursor = entry->next;
+      }
+    }));
+    return status;
+  }
+
+  // YCSB SCAN: read up to `count` entries starting at the key's bucket
+  // (hash maps have no order; PMDK's simplekv benchmarks scan this way).
+  uint64_t Scan(std::string_view start_key, int count) const {
+    const uint64_t hash = puddles::Fnv1a64(start_key.data(), start_key.size());
+    uint64_t bucket = hash % table_->num_buckets;
+    uint64_t touched = 0;
+    int remaining = count;
+    while (remaining > 0 && bucket < table_->num_buckets) {
+      for (EntryHandle cursor = buckets_->slots[bucket];
+           !IsNull(cursor) && remaining > 0;) {
+        const Entry* entry = adapter_.Get(cursor);
+        touched += entry->value[0];
+        --remaining;
+        cursor = entry->next;
+      }
+      ++bucket;
+    }
+    return touched;
+  }
+
+  uint64_t size() const { return table_->size; }
+
+ private:
+  static bool IsNull(const EntryHandle& handle) {
+    return handle == Adapter::template Null<Entry>();
+  }
+
+  Adapter adapter_;
+  Table* table_ = nullptr;
+  BucketArray* buckets_ = nullptr;
+};
+
+}  // namespace workloads
+
+#endif  // SRC_WORKLOADS_KVSTORE_H_

@@ -1,0 +1,135 @@
+// Singly linked list workload (paper Fig. 9): insert a new tail node, delete
+// the head node, and sum the values of all nodes, each failure-atomic.
+#ifndef SRC_WORKLOADS_LIST_H_
+#define SRC_WORKLOADS_LIST_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+
+namespace workloads {
+
+template <typename Adapter>
+class PersistentList {
+ public:
+  struct Node;
+  using NodeHandle = typename Adapter::template Handle<Node>;
+
+  struct Node {
+    NodeHandle next;
+    uint64_t value;
+  };
+
+  struct Head {
+    NodeHandle head;
+    NodeHandle tail;
+    uint64_t count;
+  };
+
+  static void RegisterTypes() {
+    Adapter::template RegisterType<Node>({offsetof(Node, next)});
+    Adapter::template RegisterType<Head>({offsetof(Head, head), offsetof(Head, tail)});
+  }
+
+  using HeadHandle = typename Adapter::template Handle<Head>;
+
+  explicit PersistentList(Adapter adapter) : adapter_(adapter) {}
+
+  // Creates (or reopens) the list head as the pool root.
+  puddles::Status Init() {
+    HeadHandle existing = adapter_.template Root<Head>();
+    if (!(existing == Adapter::template Null<Head>())) {
+      head_ = adapter_.Get(existing);
+      return puddles::OkStatus();
+    }
+    puddles::Status status = puddles::OkStatus();
+    RETURN_IF_ERROR(adapter_.TxRun([&] {
+      auto allocated = adapter_.template Alloc<Head>();
+      if (!allocated.ok()) {
+        status = allocated.status();
+        return;
+      }
+      Head* head = adapter_.Get(*allocated);
+      head->head = Adapter::template Null<Node>();
+      head->tail = Adapter::template Null<Node>();
+      head->count = 0;
+      status = adapter_.SetRoot(*allocated);
+    }));
+    RETURN_IF_ERROR(status);
+    head_ = adapter_.Get(adapter_.template Root<Head>());
+    return puddles::OkStatus();
+  }
+
+  // Fig. 9 "Insert": append a new tail node.
+  puddles::Status InsertTail(uint64_t value) {
+    puddles::Status status = puddles::OkStatus();
+    RETURN_IF_ERROR(adapter_.TxRun([&] {
+      auto allocated = adapter_.template Alloc<Node>();
+      if (!allocated.ok()) {
+        status = allocated.status();
+        return;
+      }
+      NodeHandle handle = *allocated;
+      Node* node = adapter_.Get(handle);
+      node->value = value;
+      node->next = Adapter::template Null<Node>();
+      (void)adapter_.Log(head_);
+      if (IsNull(head_->tail)) {
+        head_->head = handle;
+      } else {
+        Node* tail = adapter_.Get(head_->tail);
+        (void)adapter_.LogRange(&tail->next, sizeof(NodeHandle));
+        tail->next = handle;
+      }
+      head_->tail = handle;
+      head_->count++;
+    }));
+    return status;
+  }
+
+  // Fig. 9 "Delete": remove the head node.
+  puddles::Status DeleteHead() {
+    if (IsNull(head_->head)) {
+      return puddles::FailedPreconditionError("list empty");
+    }
+    puddles::Status status = puddles::OkStatus();
+    RETURN_IF_ERROR(adapter_.TxRun([&] {
+      NodeHandle victim = head_->head;
+      Node* node = adapter_.Get(victim);
+      (void)adapter_.Log(head_);
+      head_->head = node->next;
+      if (IsNull(head_->head)) {
+        head_->tail = Adapter::template Null<Node>();
+      }
+      head_->count--;
+      status = adapter_.Free(victim);
+    }));
+    return status;
+  }
+
+  // Fig. 9 "Traversal": sum every node's value. Pure pointer chasing — where
+  // native pointers beat fat pointers by the paper's 13.4×.
+  uint64_t Sum() const {
+    uint64_t sum = 0;
+    for (NodeHandle cursor = head_->head; !IsNull(cursor);) {
+      Node* node = adapter_.Get(cursor);
+      sum += node->value;
+      cursor = node->next;
+    }
+    return sum;
+  }
+
+  uint64_t count() const { return head_->count; }
+
+ private:
+  static bool IsNull(const NodeHandle& handle) {
+    return handle == Adapter::template Null<Node>();
+  }
+
+  Adapter adapter_;
+  Head* head_ = nullptr;
+};
+
+}  // namespace workloads
+
+#endif  // SRC_WORKLOADS_LIST_H_

@@ -1,0 +1,63 @@
+#include "src/common/align.h"
+
+#include <gtest/gtest.h>
+
+namespace puddles {
+namespace {
+
+TEST(AlignTest, PowerOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_TRUE(IsPowerOfTwo(1ULL << 40));
+  EXPECT_FALSE(IsPowerOfTwo((1ULL << 40) + 1));
+}
+
+TEST(AlignTest, AlignUpDown) {
+  EXPECT_EQ(AlignUp(0, 64), 0u);
+  EXPECT_EQ(AlignUp(1, 64), 64u);
+  EXPECT_EQ(AlignUp(64, 64), 64u);
+  EXPECT_EQ(AlignUp(65, 64), 128u);
+  EXPECT_EQ(AlignDown(0, 64), 0u);
+  EXPECT_EQ(AlignDown(63, 64), 0u);
+  EXPECT_EQ(AlignDown(64, 64), 64u);
+  EXPECT_EQ(AlignDown(127, 64), 64u);
+}
+
+TEST(AlignTest, IsAligned) {
+  EXPECT_TRUE(IsAligned(uint64_t{0}, 4096));
+  EXPECT_TRUE(IsAligned(uint64_t{8192}, 4096));
+  EXPECT_FALSE(IsAligned(uint64_t{8193}, 4096));
+  int x;
+  alignas(64) char aligned_buf[64];
+  EXPECT_TRUE(IsAligned(static_cast<const void*>(aligned_buf), 64));
+  (void)x;
+}
+
+TEST(AlignTest, Log2) {
+  EXPECT_EQ(Log2Floor(1), 0);
+  EXPECT_EQ(Log2Floor(2), 1);
+  EXPECT_EQ(Log2Floor(3), 1);
+  EXPECT_EQ(Log2Floor(1ULL << 35), 35);
+  EXPECT_EQ(Log2Ceil(1), 0);
+  EXPECT_EQ(Log2Ceil(3), 2);
+  EXPECT_EQ(Log2Ceil(4), 2);
+  EXPECT_EQ(Log2Ceil(5), 3);
+}
+
+TEST(AlignTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(255), 256u);
+  EXPECT_EQ(NextPowerOfTwo(257), 512u);
+}
+
+TEST(AlignTest, Constants) {
+  EXPECT_EQ(kCacheLineSize, 64u);
+  EXPECT_EQ(kPageSize, 4096u);
+}
+
+}  // namespace
+}  // namespace puddles

@@ -1,0 +1,85 @@
+#include "src/pmem/flush.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pmem {
+namespace {
+
+TEST(FlushTest, InstructionDetected) {
+  FlushInstruction instr = ActiveFlushInstruction();
+  // On x86-64 at least clflush must be available.
+#if defined(__x86_64__)
+  EXPECT_NE(instr, FlushInstruction::kNoop);
+#endif
+  EXPECT_NE(FlushInstructionName(instr), nullptr);
+}
+
+TEST(FlushTest, FlushDoesNotCorruptData) {
+  std::vector<uint8_t> buffer(4096);
+  for (size_t i = 0; i < buffer.size(); ++i) {
+    buffer[i] = static_cast<uint8_t>(i * 13);
+  }
+  Flush(buffer.data(), buffer.size());
+  Fence();
+  for (size_t i = 0; i < buffer.size(); ++i) {
+    EXPECT_EQ(buffer[i], static_cast<uint8_t>(i * 13));
+  }
+}
+
+TEST(FlushTest, CountersTrackLines) {
+  ResetPersistStats();
+  alignas(64) char data[256];
+  Flush(data, 256);  // Exactly 4 lines, aligned.
+  PersistStats stats = ReadPersistStats();
+  EXPECT_EQ(stats.flushed_lines, 4u);
+  EXPECT_EQ(stats.flush_calls, 1u);
+}
+
+TEST(FlushTest, UnalignedRangeCoversAllTouchedLines) {
+  ResetPersistStats();
+  alignas(64) char data[256];
+  // [63, 65) straddles two cache lines.
+  Flush(data + 63, 2);
+  PersistStats stats = ReadPersistStats();
+  EXPECT_EQ(stats.flushed_lines, 2u);
+}
+
+TEST(FlushTest, ZeroSizeIsNoop) {
+  ResetPersistStats();
+  char c;
+  Flush(&c, 0);
+  PersistStats stats = ReadPersistStats();
+  EXPECT_EQ(stats.flush_calls, 0u);
+  EXPECT_EQ(stats.flushed_lines, 0u);
+}
+
+TEST(FlushTest, FenceCounts) {
+  ResetPersistStats();
+  Fence();
+  Fence();
+  EXPECT_EQ(ReadPersistStats().fences, 2u);
+}
+
+TEST(FlushTest, FlushFenceDoesBoth) {
+  ResetPersistStats();
+  alignas(64) char data[64];
+  FlushFence(data, 64);
+  PersistStats stats = ReadPersistStats();
+  EXPECT_EQ(stats.flushed_lines, 1u);
+  EXPECT_EQ(stats.fences, 1u);
+}
+
+TEST(FlushTest, PersistStore64WritesAndPersists) {
+  ResetPersistStats();
+  alignas(64) uint64_t slot = 0;
+  PersistStore64(&slot, 0xdeadbeefULL);
+  EXPECT_EQ(slot, 0xdeadbeefULL);
+  PersistStats stats = ReadPersistStats();
+  EXPECT_EQ(stats.flushed_lines, 1u);
+  EXPECT_EQ(stats.fences, 1u);
+}
+
+}  // namespace
+}  // namespace pmem

@@ -1,0 +1,162 @@
+#include "src/tx/log_format.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace puddles {
+namespace {
+
+class LogFormatTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kCapacity = 64 * 1024;
+
+  void SetUp() override {
+    buffer_.resize(kCapacity);
+    ASSERT_TRUE(LogRegion::Format(buffer_.data(), kCapacity).ok());
+    auto log = LogRegion::Attach(buffer_.data(), kCapacity);
+    ASSERT_TRUE(log.ok());
+    log_ = *log;
+  }
+
+  std::vector<uint8_t> buffer_;
+  LogRegion log_;
+};
+
+TEST_F(LogFormatTest, FreshLogArmedForUndo) {
+  EXPECT_TRUE(log_.empty());
+  EXPECT_EQ(log_.seq_range(), (std::pair<uint32_t, uint32_t>{0, 2}));
+  EXPECT_EQ(log_.num_entries(), 0u);
+  EXPECT_TRUE(log_.next_log().is_nil());
+}
+
+TEST_F(LogFormatTest, AppendAndIterate) {
+  uint64_t value1 = 0x1111;
+  uint64_t value2 = 0x2222;
+  ASSERT_TRUE(log_.Append(0xA000, &value1, 8, kUndoSeq, ReplayOrder::kReverse).ok());
+  ASSERT_TRUE(log_.Append(0xB000, &value2, 8, kRedoSeq, ReplayOrder::kForward).ok());
+  EXPECT_EQ(log_.num_entries(), 2u);
+
+  std::vector<LogRegion::EntryView> views;
+  ASSERT_TRUE(log_.ForEachEntry([&](const LogRegion::EntryView& v) { views.push_back(v); }));
+  ASSERT_EQ(views.size(), 2u);
+
+  EXPECT_EQ(views[0].header->addr, 0xA000u);
+  EXPECT_EQ(views[0].header->seq, kUndoSeq);
+  EXPECT_EQ(views[0].header->order, static_cast<uint8_t>(ReplayOrder::kReverse));
+  EXPECT_TRUE(views[0].checksum_ok);
+  EXPECT_TRUE(views[0].valid) << "undo entry valid under range (0,2)";
+  EXPECT_EQ(std::memcmp(views[0].data, &value1, 8), 0);
+
+  EXPECT_EQ(views[1].header->seq, kRedoSeq);
+  EXPECT_TRUE(views[1].checksum_ok);
+  EXPECT_FALSE(views[1].valid) << "redo entry invalid under range (0,2)";
+}
+
+TEST_F(LogFormatTest, SeqRangeControlsValidity) {
+  uint64_t v = 1;
+  ASSERT_TRUE(log_.Append(0xA000, &v, 8, kUndoSeq, ReplayOrder::kReverse).ok());
+  ASSERT_TRUE(log_.Append(0xB000, &v, 8, kRedoSeq, ReplayOrder::kForward).ok());
+
+  auto validity = [&]() {
+    std::vector<bool> valid;
+    log_.ForEachEntry([&](const LogRegion::EntryView& view) { valid.push_back(view.valid); });
+    return valid;
+  };
+
+  log_.SetSeqRange(0, 2);  // Stage 1: undo only.
+  EXPECT_EQ(validity(), (std::vector<bool>{true, false}));
+  log_.SetSeqRange(2, 4);  // Stage 2: redo only.
+  EXPECT_EQ(validity(), (std::vector<bool>{false, true}));
+  log_.SetSeqRange(4, 4);  // Stage 3: nothing.
+  EXPECT_EQ(validity(), (std::vector<bool>{false, false}));
+  log_.SetSeqRange(0, 4);  // Hypothetical: everything.
+  EXPECT_EQ(validity(), (std::vector<bool>{true, true}));
+}
+
+TEST_F(LogFormatTest, ChecksumDetectsTornData) {
+  std::vector<uint8_t> payload(256, 0xee);
+  ASSERT_TRUE(
+      log_.Append(0xC000, payload.data(), payload.size(), kUndoSeq, ReplayOrder::kReverse).ok());
+  // Corrupt one data byte (as a torn write would).
+  buffer_[sizeof(LogHeader) + sizeof(LogEntryHeader) + 100] ^= 0xff;
+  log_.ForEachEntry([&](const LogRegion::EntryView& view) {
+    EXPECT_FALSE(view.checksum_ok);
+    EXPECT_FALSE(view.valid);
+  });
+}
+
+TEST_F(LogFormatTest, FillToCapacityThenOutOfMemory) {
+  std::vector<uint8_t> payload(1024, 0xab);
+  size_t appended = 0;
+  while (true) {
+    auto status =
+        log_.Append(0xD000, payload.data(), payload.size(), kUndoSeq, ReplayOrder::kReverse);
+    if (!status.ok()) {
+      EXPECT_EQ(status.code(), StatusCode::kOutOfMemory);
+      break;
+    }
+    ++appended;
+  }
+  EXPECT_GT(appended, 50u);
+  EXPECT_LT(log_.free_bytes(), LogRegion::EntrySpan(1024));
+}
+
+TEST_F(LogFormatTest, ResetEmptiesAndRearms) {
+  uint64_t v = 7;
+  ASSERT_TRUE(log_.Append(0xA000, &v, 8, kUndoSeq, ReplayOrder::kReverse).ok());
+  log_.SetNextLog(Uuid::Generate());
+  log_.Reset(0, 2);
+  EXPECT_TRUE(log_.empty());
+  EXPECT_EQ(log_.seq_range(), (std::pair<uint32_t, uint32_t>{0, 2}));
+  EXPECT_TRUE(log_.next_log().is_nil());
+  int count = 0;
+  log_.ForEachEntry([&](const LogRegion::EntryView&) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST_F(LogFormatTest, AttachValidates) {
+  EXPECT_FALSE(LogRegion::Attach(buffer_.data(), kCapacity / 2).ok());
+  buffer_[0] ^= 1;
+  EXPECT_FALSE(LogRegion::Attach(buffer_.data(), kCapacity).ok());
+}
+
+TEST_F(LogFormatTest, AttachSeesPersistedEntries) {
+  uint64_t v = 0xfeed;
+  ASSERT_TRUE(log_.Append(0xA000, &v, 8, kUndoSeq, ReplayOrder::kReverse).ok());
+  auto reattached = LogRegion::Attach(buffer_.data(), kCapacity);
+  ASSERT_TRUE(reattached.ok());
+  EXPECT_EQ(reattached->num_entries(), 1u);
+  reattached->ForEachEntry([&](const LogRegion::EntryView& view) {
+    EXPECT_EQ(std::memcmp(view.data, &v, 8), 0);
+  });
+}
+
+TEST_F(LogFormatTest, NextLogLinkPersists) {
+  Uuid next = Uuid::Generate();
+  log_.SetNextLog(next);
+  auto reattached = LogRegion::Attach(buffer_.data(), kCapacity);
+  ASSERT_TRUE(reattached.ok());
+  EXPECT_EQ(reattached->next_log(), next);
+}
+
+TEST_F(LogFormatTest, VolatileFlagRoundTrips) {
+  uint64_t v = 3;
+  ASSERT_TRUE(log_.Append(reinterpret_cast<uint64_t>(&v), &v, 8, kUndoSeq,
+                          ReplayOrder::kReverse, kLogEntryVolatile)
+                  .ok());
+  log_.ForEachEntry([&](const LogRegion::EntryView& view) {
+    EXPECT_TRUE(view.header->flags & kLogEntryVolatile);
+  });
+}
+
+TEST_F(LogFormatTest, EntrySpanAligns) {
+  EXPECT_EQ(LogRegion::EntrySpan(0), sizeof(LogEntryHeader));
+  EXPECT_EQ(LogRegion::EntrySpan(1), sizeof(LogEntryHeader) + 8);
+  EXPECT_EQ(LogRegion::EntrySpan(8), sizeof(LogEntryHeader) + 8);
+  EXPECT_EQ(LogRegion::EntrySpan(9), sizeof(LogEntryHeader) + 16);
+}
+
+}  // namespace
+}  // namespace puddles

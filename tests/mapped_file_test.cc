@@ -1,0 +1,122 @@
+#include "src/pmem/mapped_file.h"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+namespace pmem {
+namespace {
+
+class MappedFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("pmemfile_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(MappedFileTest, CreateMapWriteReopen) {
+  constexpr size_t kSize = 64 * 1024;
+  {
+    auto file = PmemFile::Create(Path("a.pud"), kSize);
+    ASSERT_TRUE(file.ok()) << file.status().ToString();
+    auto base = file->Map();
+    ASSERT_TRUE(base.ok()) << base.status().ToString();
+    std::memset(*base, 0x5a, kSize);
+    ASSERT_TRUE(file->Sync().ok());
+  }
+  auto reopened = PmemFile::Open(Path("a.pud"));
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->size(), kSize);
+  auto base = reopened->Map();
+  ASSERT_TRUE(base.ok());
+  auto* bytes = static_cast<uint8_t*>(*base);
+  for (size_t i = 0; i < kSize; i += 997) {
+    EXPECT_EQ(bytes[i], 0x5a);
+  }
+}
+
+TEST_F(MappedFileTest, CreateFailsIfExists) {
+  ASSERT_TRUE(PmemFile::Create(Path("dup.pud"), 4096).ok());
+  auto second = PmemFile::Create(Path("dup.pud"), 4096);
+  EXPECT_FALSE(second.ok());
+}
+
+TEST_F(MappedFileTest, OpenMissingFails) {
+  auto missing = PmemFile::Open(Path("missing.pud"));
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), puddles::StatusCode::kIoError);
+}
+
+TEST_F(MappedFileTest, ReadOnlyMappingIsReadable) {
+  {
+    auto file = PmemFile::Create(Path("ro.pud"), 4096);
+    ASSERT_TRUE(file.ok());
+    auto base = file->Map();
+    ASSERT_TRUE(base.ok());
+    static_cast<uint8_t*>(*base)[0] = 0x77;
+    ASSERT_TRUE(file->Sync().ok());
+  }
+  auto file = PmemFile::Open(Path("ro.pud"), /*writable=*/false);
+  ASSERT_TRUE(file.ok());
+  EXPECT_FALSE(file->writable());
+  auto base = file->Map();
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(static_cast<const uint8_t*>(*base)[0], 0x77);
+}
+
+TEST_F(MappedFileTest, FromFdAdoptsDescriptor) {
+  ASSERT_TRUE(PmemFile::Create(Path("fd.pud"), 8192).ok());
+  int fd = ::open(Path("fd.pud").c_str(), O_RDWR);
+  ASSERT_GE(fd, 0);
+  auto file = PmemFile::FromFd(fd);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(file->size(), 8192u);
+  auto base = file->Map();
+  ASSERT_TRUE(base.ok());
+  static_cast<uint8_t*>(*base)[100] = 1;  // Must be writable through the fd.
+}
+
+TEST_F(MappedFileTest, ReleaseFdTransfersOwnership) {
+  auto file = PmemFile::Create(Path("rel.pud"), 4096);
+  ASSERT_TRUE(file.ok());
+  int fd = file->ReleaseFd();
+  ASSERT_GE(fd, 0);
+  // The PmemFile destructor must not close it; prove by using it afterwards.
+  {
+    PmemFile discard = std::move(*file);
+  }
+  EXPECT_EQ(::write(fd, "x", 1), 1);
+  ::close(fd);
+}
+
+TEST_F(MappedFileTest, DoubleMapFails) {
+  auto file = PmemFile::Create(Path("dm.pud"), 4096);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file->Map().ok());
+  EXPECT_FALSE(file->Map().ok());
+}
+
+TEST_F(MappedFileTest, MoveTransfersMapping) {
+  auto file = PmemFile::Create(Path("mv.pud"), 4096);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file->Map().ok());
+  void* base = file->data();
+  PmemFile moved = std::move(*file);
+  EXPECT_EQ(moved.data(), base);
+  EXPECT_TRUE(moved.mapped());
+}
+
+}  // namespace
+}  // namespace pmem

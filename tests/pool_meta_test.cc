@@ -1,0 +1,170 @@
+#include "src/puddles/pool_meta.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/tx/log_space.h"
+
+namespace puddles {
+namespace {
+
+class PoolMetaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    params_.kind = PuddleKind::kPoolMeta;
+    params_.heap_size = 1 << 20;
+    params_.uuid = Uuid::Generate();
+    params_.base_addr = 0x20000000000ULL;
+    size_t file_size = Puddle::FileSizeFor(params_.kind, params_.heap_size);
+    file_.resize(file_size);
+    ASSERT_TRUE(Puddle::Format(file_.data(), file_size, params_).ok());
+    auto puddle = Puddle::Attach(file_.data(), file_size);
+    ASSERT_TRUE(puddle.ok());
+    puddle_ = *puddle;
+  }
+
+  PuddleParams params_;
+  std::vector<uint8_t> file_;
+  Puddle puddle_;
+};
+
+TEST_F(PoolMetaTest, FormatAttachRoundTrip) {
+  Uuid pool_uuid = Uuid::Generate();
+  ASSERT_TRUE(PoolMetaView::Format(puddle_, pool_uuid, "accounts").ok());
+  auto meta = PoolMetaView::Attach(puddle_);
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta->pool_uuid(), pool_uuid);
+  EXPECT_STREQ(meta->name(), "accounts");
+  EXPECT_EQ(meta->num_members(), 0u);
+  EXPECT_FALSE(meta->has_root());
+  EXPECT_GT(meta->capacity(), 1000u);
+}
+
+TEST_F(PoolMetaTest, RejectsWrongKind) {
+  PuddleParams data_params = params_;
+  data_params.kind = PuddleKind::kData;
+  data_params.uuid = Uuid::Generate();
+  size_t file_size = Puddle::FileSizeFor(data_params.kind, data_params.heap_size);
+  std::vector<uint8_t> data_file(file_size);
+  ASSERT_TRUE(Puddle::Format(data_file.data(), file_size, data_params).ok());
+  auto puddle = Puddle::Attach(data_file.data(), file_size);
+  ASSERT_TRUE(puddle.ok());
+  EXPECT_FALSE(PoolMetaView::Format(*puddle, Uuid::Generate(), "x").ok());
+  EXPECT_FALSE(PoolMetaView::Attach(*puddle).ok());
+}
+
+TEST_F(PoolMetaTest, RejectsOverlongName) {
+  std::string long_name(kPoolNameMax + 10, 'x');
+  EXPECT_FALSE(PoolMetaView::Format(puddle_, Uuid::Generate(), long_name.c_str()).ok());
+}
+
+TEST_F(PoolMetaTest, MembersAppendAndReplace) {
+  ASSERT_TRUE(PoolMetaView::Format(puddle_, Uuid::Generate(), "p").ok());
+  auto meta = PoolMetaView::Attach(puddle_);
+  ASSERT_TRUE(meta.ok());
+
+  std::vector<Uuid> members;
+  for (int i = 0; i < 10; ++i) {
+    members.push_back(Uuid::Generate());
+    ASSERT_TRUE(meta->AddMember(members.back()).ok());
+  }
+  EXPECT_EQ(meta->num_members(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(meta->member(i), members[i]);
+    EXPECT_TRUE(meta->HasMember(members[i]));
+    EXPECT_EQ(meta->member_old_base(i), 0u);
+  }
+  EXPECT_FALSE(meta->HasMember(Uuid::Generate()));
+
+  Uuid replacement = Uuid::Generate();
+  ASSERT_TRUE(meta->ReplaceMember(3, replacement).ok());
+  EXPECT_EQ(meta->member(3), replacement);
+  EXPECT_FALSE(meta->HasMember(members[3]));
+  EXPECT_FALSE(meta->ReplaceMember(99, replacement).ok());
+}
+
+TEST_F(PoolMetaTest, RootDesignation) {
+  ASSERT_TRUE(PoolMetaView::Format(puddle_, Uuid::Generate(), "p").ok());
+  auto meta = PoolMetaView::Attach(puddle_);
+  ASSERT_TRUE(meta.ok());
+  Uuid root_puddle = Uuid::Generate();
+  meta->SetRoot(root_puddle, 4096);
+  EXPECT_TRUE(meta->has_root());
+  EXPECT_EQ(meta->root_puddle(), root_puddle);
+  EXPECT_EQ(meta->root_offset(), 4096u);
+
+  // Persists across reattach.
+  auto reattached = PoolMetaView::Attach(puddle_);
+  ASSERT_TRUE(reattached.ok());
+  EXPECT_EQ(reattached->root_puddle(), root_puddle);
+}
+
+TEST_F(PoolMetaTest, TranslationTable) {
+  ASSERT_TRUE(PoolMetaView::Format(puddle_, Uuid::Generate(), "p").ok());
+  auto meta = PoolMetaView::Attach(puddle_);
+  ASSERT_TRUE(meta.ok());
+  ASSERT_TRUE(meta->AddMember(Uuid::Generate()).ok());
+  ASSERT_TRUE(meta->AddMember(Uuid::Generate()).ok());
+
+  EXPECT_FALSE(meta->HasTranslations());
+  meta->SetMemberOldBase(1, 0x30000000000ULL);
+  EXPECT_TRUE(meta->HasTranslations());
+  EXPECT_EQ(meta->member_old_base(0), 0u);
+  EXPECT_EQ(meta->member_old_base(1), 0x30000000000ULL);
+
+  meta->ClearTranslationTable();
+  EXPECT_FALSE(meta->HasTranslations());
+}
+
+// ---- Log space (Fig. 5 directory) ----
+
+class LogSpaceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PuddleParams params;
+    params.kind = PuddleKind::kLogSpace;
+    params.heap_size = 1 << 20;
+    params.uuid = Uuid::Generate();
+    size_t file_size = Puddle::FileSizeFor(params.kind, params.heap_size);
+    file_.resize(file_size);
+    ASSERT_TRUE(Puddle::Format(file_.data(), file_size, params).ok());
+    auto puddle = Puddle::Attach(file_.data(), file_size);
+    ASSERT_TRUE(puddle.ok());
+    puddle_ = *puddle;
+  }
+
+  std::vector<uint8_t> file_;
+  Puddle puddle_;
+};
+
+TEST_F(LogSpaceTest, FormatAndAddLogs) {
+  ASSERT_TRUE(LogSpaceView::Format(puddle_).ok());
+  auto view = LogSpaceView::Attach(puddle_);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->num_entries(), 0u);
+
+  std::vector<Uuid> logs;
+  for (int i = 0; i < 16; ++i) {
+    logs.push_back(Uuid::Generate());
+    ASSERT_TRUE(view->AddLog(logs.back()).ok());
+  }
+  EXPECT_EQ(view->num_entries(), 16u);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(view->entry(i), logs[i]);
+    EXPECT_TRUE(view->Contains(logs[i]));
+  }
+  EXPECT_FALSE(view->Contains(Uuid::Generate()));
+
+  // Reattach preserves entries (the directory the daemon reads at recovery).
+  auto reattached = LogSpaceView::Attach(puddle_);
+  ASSERT_TRUE(reattached.ok());
+  EXPECT_EQ(reattached->num_entries(), 16u);
+}
+
+TEST_F(LogSpaceTest, AttachRejectsUnformatted) {
+  EXPECT_FALSE(LogSpaceView::Attach(puddle_).ok());
+}
+
+}  // namespace
+}  // namespace puddles

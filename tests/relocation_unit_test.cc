@@ -1,0 +1,233 @@
+// Unit tests for the pieces of the relocation engine: range bookkeeping
+// (RangeAllocator), address translation (Translator), and the pointer-rewrite
+// pass over a puddle heap — including idempotence, the property crash-resumed
+// rewrites rely on (§4.2).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/range_allocator.h"
+#include "src/libpuddles/relocation.h"
+#include "src/libpuddles/type_registry.h"
+
+namespace puddles {
+
+struct RelNode {
+  RelNode* next;
+  RelNode* prev;
+  uint64_t payload;
+};
+
+namespace {
+
+TEST(RangeAllocatorTest, AllocateClaimFreeCycle) {
+  RangeAllocator alloc(0x1000000, 0x100000);
+  auto a = alloc.Allocate(0x10000);
+  ASSERT_TRUE(a.ok());
+  EXPECT_GE(*a, 0x1000000u);
+  auto b = alloc.Allocate(0x10000);
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*a, *b);
+  EXPECT_FALSE(alloc.IsFree(*a, 0x10000));
+  ASSERT_TRUE(alloc.Free(*a).ok());
+  EXPECT_TRUE(alloc.IsFree(*a, 0x10000));
+  // First-fit reuses the freed hole.
+  auto c = alloc.Allocate(0x10000);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, *a);
+}
+
+TEST(RangeAllocatorTest, ClaimRejectsOverlap) {
+  RangeAllocator alloc(0, 0x100000);
+  ASSERT_TRUE(alloc.Claim(0x10000, 0x10000).ok());
+  EXPECT_FALSE(alloc.Claim(0x10000, 0x1000).ok());
+  EXPECT_FALSE(alloc.Claim(0x18000, 0x10000).ok());
+  EXPECT_FALSE(alloc.Claim(0x8000, 0x10000).ok());
+  EXPECT_TRUE(alloc.Claim(0x20000, 0x1000).ok());
+  EXPECT_FALSE(alloc.Claim(0x200000, 0x1000).ok()) << "outside managed range";
+}
+
+TEST(RangeAllocatorTest, ContainingLookup) {
+  RangeAllocator alloc(0, 0x100000);
+  ASSERT_TRUE(alloc.Claim(0x10000, 0x10000).ok());
+  auto hit = alloc.Containing(0x15000);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit->first, 0x10000u);
+  EXPECT_EQ(hit->second, 0x10000u);
+  EXPECT_FALSE(alloc.Containing(0x20000).ok());
+  EXPECT_FALSE(alloc.Containing(0xfff).ok());
+}
+
+TEST(RangeAllocatorTest, Exhaustion) {
+  RangeAllocator alloc(0, 0x3000);
+  ASSERT_TRUE(alloc.Allocate(0x1000).ok());
+  ASSERT_TRUE(alloc.Allocate(0x1000).ok());
+  ASSERT_TRUE(alloc.Allocate(0x1000).ok());
+  EXPECT_FALSE(alloc.Allocate(0x1000).ok());
+}
+
+TEST(TranslatorTest, TranslatesOnlyOldRanges) {
+  Translator translator;
+  translator.Add(/*old_base=*/0x1000, /*size=*/0x1000, /*new_base=*/0x9000);
+  translator.Add(0x5000, 0x1000, 0x2000);  // Negative delta.
+
+  uint64_t out = 0;
+  EXPECT_TRUE(translator.Translate(0x1000, &out));
+  EXPECT_EQ(out, 0x9000u);
+  EXPECT_TRUE(translator.Translate(0x1fff, &out));
+  EXPECT_EQ(out, 0x9fffu);
+  EXPECT_TRUE(translator.Translate(0x5800, &out));
+  EXPECT_EQ(out, 0x2800u);
+  EXPECT_FALSE(translator.Translate(0x2000, &out)) << "one past end";
+  EXPECT_FALSE(translator.Translate(0x9000, &out)) << "new range not translated";
+  EXPECT_FALSE(translator.Translate(0, &out));
+}
+
+TEST(TranslatorTest, IdentityEntriesElided) {
+  Translator translator;
+  translator.Add(0x1000, 0x1000, 0x1000);
+  EXPECT_TRUE(translator.empty());
+}
+
+class RewriteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    (void)TypeRegistry::Instance().Register<RelNode>(
+        {offsetof(RelNode, next), offsetof(RelNode, prev)});
+    params_.kind = PuddleKind::kData;
+    params_.heap_size = 1 << 20;
+    params_.uuid = Uuid::Generate();
+    params_.base_addr = 0x40000000000ULL;
+    size_t file_size = Puddle::FileSizeFor(params_.kind, params_.heap_size);
+    file_.resize(file_size);
+    EXPECT_TRUE(Puddle::Format(file_.data(), file_size, params_).ok());
+    auto puddle = Puddle::Attach(file_.data(), file_size);
+    EXPECT_TRUE(puddle.ok());
+    puddle_ = *puddle;
+  }
+
+  PuddleParams params_;
+  std::vector<uint8_t> file_;
+  Puddle puddle_;
+};
+
+TEST_F(RewriteTest, RewritesRegisteredPointerFields) {
+  auto heap = puddle_.object_heap();
+  ASSERT_TRUE(heap.ok());
+  auto node = heap->AllocateTyped<RelNode>();
+  ASSERT_TRUE(node.ok());
+  // Pointers into a pretend old range [0x1000, 0x2000); payload must not move.
+  (*node)->next = reinterpret_cast<RelNode*>(0x1100);
+  (*node)->prev = reinterpret_cast<RelNode*>(0x1f00);
+  (*node)->payload = 0x1500;  // Looks like an old-range address but is data.
+
+  Translator translator;
+  translator.Add(0x1000, 0x1000, 0x100000);
+  puddle_.AssignNewBase(puddle_.base_addr() + 0x1000000);  // Mark needs-rewrite.
+
+  auto stats = RewritePuddle(puddle_, translator, TypeRegistry::Instance());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->pointers_rewritten, 2u);
+  EXPECT_EQ((*node)->next, reinterpret_cast<RelNode*>(0x100100));
+  EXPECT_EQ((*node)->prev, reinterpret_cast<RelNode*>(0x100f00));
+  EXPECT_EQ((*node)->payload, 0x1500u) << "non-pointer field untouched (pointer maps!)";
+  EXPECT_FALSE(puddle_.needs_rewrite());
+}
+
+TEST_F(RewriteTest, RewriteIsIdempotent) {
+  auto heap = puddle_.object_heap();
+  ASSERT_TRUE(heap.ok());
+  auto node = heap->AllocateTyped<RelNode>();
+  ASSERT_TRUE(node.ok());
+  (*node)->next = reinterpret_cast<RelNode*>(0x1100);
+  (*node)->prev = nullptr;
+
+  Translator translator;
+  translator.Add(0x1000, 0x1000, 0x100000);
+
+  // Run the rewrite twice — as after a crash mid-rewrite. The second pass
+  // must not double-translate (new range is outside every old range).
+  ASSERT_TRUE(RewritePuddle(puddle_, translator, TypeRegistry::Instance()).ok());
+  EXPECT_EQ((*node)->next, reinterpret_cast<RelNode*>(0x100100));
+  ASSERT_TRUE(RewritePuddle(puddle_, translator, TypeRegistry::Instance()).ok());
+  EXPECT_EQ((*node)->next, reinterpret_cast<RelNode*>(0x100100));
+}
+
+TEST_F(RewriteTest, ArraysStrideByElementSize) {
+  auto heap = puddle_.object_heap();
+  ASSERT_TRUE(heap.ok());
+  auto arr = heap->AllocateTyped<RelNode>(8);
+  ASSERT_TRUE(arr.ok());
+  for (int i = 0; i < 8; ++i) {
+    (*arr)[i].next = reinterpret_cast<RelNode*>(0x1000 + i * 8);
+    (*arr)[i].prev = nullptr;
+    (*arr)[i].payload = static_cast<uint64_t>(i);
+  }
+  Translator translator;
+  translator.Add(0x1000, 0x1000, 0x200000);
+  auto stats = RewritePuddle(puddle_, translator, TypeRegistry::Instance());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->pointers_rewritten, 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ((*arr)[i].next, reinterpret_cast<RelNode*>(0x200000 + i * 8)) << i;
+    EXPECT_EQ((*arr)[i].payload, static_cast<uint64_t>(i));
+  }
+}
+
+TEST_F(RewriteTest, RawBytesNeverTouched) {
+  auto heap = puddle_.object_heap();
+  ASSERT_TRUE(heap.ok());
+  auto raw = heap->Allocate(64, kRawBytesTypeId);
+  ASSERT_TRUE(raw.ok());
+  auto* words = static_cast<uint64_t*>(*raw);
+  words[0] = 0x1100;  // Would translate if treated as a pointer.
+
+  Translator translator;
+  translator.Add(0x1000, 0x1000, 0x300000);
+  auto stats = RewritePuddle(puddle_, translator, TypeRegistry::Instance());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->pointers_rewritten, 0u);
+  EXPECT_EQ(words[0], 0x1100u);
+}
+
+TEST_F(RewriteTest, UnknownTypesCountedNotTouched) {
+  auto heap = puddle_.object_heap();
+  ASSERT_TRUE(heap.ok());
+  auto obj = heap->Allocate(32, /*type_id=*/0xdeadbeefcafeULL);  // Unregistered.
+  ASSERT_TRUE(obj.ok());
+  auto* words = static_cast<uint64_t*>(*obj);
+  words[0] = 0x1100;
+
+  Translator translator;
+  translator.Add(0x1000, 0x1000, 0x300000);
+  auto stats = RewritePuddle(puddle_, translator, TypeRegistry::Instance());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->objects_without_map, 1u);
+  EXPECT_EQ(words[0], 0x1100u);
+}
+
+TEST(TypeRegistryTest, RegistrationAndConflicts) {
+  auto& registry = TypeRegistry::Instance();
+  struct Fresh {
+    Fresh* link;
+    uint64_t v;
+  };
+  ASSERT_TRUE(registry.Register<Fresh>({offsetof(Fresh, link)}).ok());
+  EXPECT_TRUE(registry.Contains(TypeIdOf<Fresh>()));
+  auto map = registry.Lookup(TypeIdOf<Fresh>());
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(map->num_fields, 1u);
+  EXPECT_EQ(map->object_size, sizeof(Fresh));
+
+  // Identical re-registration is a no-op; conflicting one is rejected.
+  EXPECT_TRUE(registry.Register<Fresh>({offsetof(Fresh, link)}).ok());
+  EXPECT_FALSE(registry.Register<Fresh>({offsetof(Fresh, v)}).ok());
+  // Offsets out of range rejected.
+  struct Tiny {
+    uint32_t x;
+  };
+  EXPECT_FALSE(registry.Register<Tiny>({0}).ok()) << "no room for a pointer";
+}
+
+}  // namespace
+}  // namespace puddles

@@ -1,0 +1,81 @@
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace puddles {
+namespace {
+
+TEST(XoshiroTest, DeterministicFromSeed) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(XoshiroTest, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) {
+      ++equal;
+    }
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(XoshiroTest, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.Below(bound), bound);
+    }
+  }
+}
+
+TEST(XoshiroTest, BelowIsRoughlyUniform) {
+  Xoshiro256 rng(42);
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) {
+    counts[rng.Below(kBuckets)]++;
+  }
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  for (int b = 0; b < kBuckets; ++b) {
+    // 5-sigma band for a binomial with p=0.1.
+    EXPECT_NEAR(counts[b], expected, 5 * std::sqrt(expected * 0.9)) << "bucket " << b;
+  }
+}
+
+TEST(XoshiroTest, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(9);
+  double sum = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(XoshiroTest, WorksWithStdDistributions) {
+  Xoshiro256 rng(11);
+  std::uniform_int_distribution<int> dist(1, 6);
+  int counts[7] = {};
+  for (int i = 0; i < 60000; ++i) {
+    counts[dist(rng)]++;
+  }
+  for (int face = 1; face <= 6; ++face) {
+    EXPECT_NEAR(counts[face], 10000, 600) << "face " << face;
+  }
+}
+
+}  // namespace
+}  // namespace puddles

@@ -1,0 +1,346 @@
+// End-to-end tests of the Libpuddles runtime over an embedded daemon: pools,
+// typed allocation, roots, PMDK-style transactions (Fig. 4a / Fig. 8),
+// persistence across process "restarts", cross-pool transactions, and
+// on-demand fault mapping.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "src/libpuddles/fault_router.h"
+#include "src/libpuddles/libpuddles.h"
+#include "src/pmem/global_space.h"
+
+namespace puddles {
+
+struct ListNode {
+  ListNode* next;
+  uint64_t value;
+};
+
+struct ListHead {
+  ListNode* head;
+  ListNode* tail;
+  uint64_t count;
+};
+
+void RegisterListTypes() {
+  static bool done = [] {
+    (void)TypeRegistry::Instance().Register<ListNode>({offsetof(ListNode, next)});
+    (void)TypeRegistry::Instance().Register<ListHead>(
+        {offsetof(ListHead, head), offsetof(ListHead, tail)});
+    return true;
+  }();
+  (void)done;
+}
+
+namespace {
+
+namespace fs = std::filesystem;
+
+class RuntimePoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RegisterListTypes();
+    root_ = fs::temp_directory_path() /
+            ("runtime_test_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(root_);
+    StartStack();
+  }
+
+  void TearDown() override {
+    runtime_.reset();
+    daemon_.reset();
+    fs::remove_all(root_);
+  }
+
+  void StartStack() {
+    auto daemon = puddled::Daemon::Start({.root_dir = root_.string()});
+    ASSERT_TRUE(daemon.ok()) << daemon.status().ToString();
+    daemon_ = std::move(*daemon);
+    auto runtime = Runtime::Create(
+        std::make_shared<puddled::EmbeddedDaemonClient>(daemon_.get()));
+    ASSERT_TRUE(runtime.ok()) << runtime.status().ToString();
+    runtime_ = std::move(*runtime);
+  }
+
+  // Simulates a clean process restart: tear down client state and daemon,
+  // then bring both back over the same root.
+  void RestartStack() {
+    runtime_.reset();
+    daemon_.reset();
+    StartStack();
+  }
+
+  fs::path root_;
+  std::unique_ptr<puddled::Daemon> daemon_;
+  std::unique_ptr<Runtime> runtime_;
+};
+
+TEST_F(RuntimePoolTest, CreatePoolAndAllocate) {
+  auto pool = runtime_->CreatePool("p1");
+  ASSERT_TRUE(pool.ok()) << pool.status().ToString();
+
+  auto node = (*pool)->Malloc<ListNode>();
+  ASSERT_TRUE(node.ok()) << node.status().ToString();
+  (*node)->value = 42;
+  (*node)->next = nullptr;
+  EXPECT_GE(reinterpret_cast<uintptr_t>(*node), pmem::GlobalPuddleSpace().base());
+  EXPECT_EQ((*pool)->member_count(), 1u);
+}
+
+TEST_F(RuntimePoolTest, RootSurvivesRestart) {
+  {
+    auto pool = runtime_->CreatePool("p1");
+    ASSERT_TRUE(pool.ok());
+    auto head = (*pool)->Malloc<ListHead>();
+    ASSERT_TRUE(head.ok());
+    (*head)->head = nullptr;
+    (*head)->tail = nullptr;
+    (*head)->count = 7;
+    pmem::FlushFence(*head, sizeof(ListHead));
+    ASSERT_TRUE((*pool)->SetRoot(*head).ok());
+  }
+  RestartStack();
+  auto pool = runtime_->OpenPool("p1");
+  ASSERT_TRUE(pool.ok()) << pool.status().ToString();
+  auto root = (*pool)->Root<ListHead>();
+  ASSERT_TRUE(root.ok()) << root.status().ToString();
+  EXPECT_EQ((*root)->count, 7u);
+}
+
+TEST_F(RuntimePoolTest, TransactionalListAppend) {
+  auto pool_result = runtime_->CreatePool("list");
+  ASSERT_TRUE(pool_result.ok());
+  Pool& pool = **pool_result;
+
+  // Build the list head inside a transaction (Fig. 8 pattern).
+  TX_BEGIN(pool) {
+    ListHead* head = *pool.Malloc<ListHead>();
+    head->head = nullptr;
+    head->tail = nullptr;
+    head->count = 0;
+    ASSERT_TRUE(pool.SetRoot(head).ok());
+  }
+  TX_END;
+
+  for (uint64_t i = 0; i < 100; ++i) {
+    TX_BEGIN(pool) {
+      ListHead* head = *pool.Root<ListHead>();
+      ListNode* node = *pool.Malloc<ListNode>();
+      node->value = i;
+      node->next = nullptr;
+      TX_ADD(head);
+      if (head->tail == nullptr) {
+        head->head = node;
+      } else {
+        TX_ADD(&head->tail->next);
+        head->tail->next = node;
+      }
+      head->tail = node;
+      head->count++;
+    }
+    TX_END;
+  }
+
+  ListHead* head = *pool.Root<ListHead>();
+  EXPECT_EQ(head->count, 100u);
+  uint64_t sum = 0, expected = 0, n = 0;
+  for (ListNode* node = head->head; node != nullptr; node = node->next) {
+    sum += node->value;
+    ++n;
+  }
+  for (uint64_t i = 0; i < 100; ++i) {
+    expected += i;
+  }
+  EXPECT_EQ(n, 100u);
+  EXPECT_EQ(sum, expected);
+}
+
+TEST_F(RuntimePoolTest, AbortRollsBackListMutation) {
+  auto pool_result = runtime_->CreatePool("list");
+  ASSERT_TRUE(pool_result.ok());
+  Pool& pool = **pool_result;
+
+  TX_BEGIN(pool) {
+    ListHead* head = *pool.Malloc<ListHead>();
+    head->head = nullptr;
+    head->tail = nullptr;
+    head->count = 5;
+    ASSERT_TRUE(pool.SetRoot(head).ok());
+  }
+  TX_END;
+
+  TX_BEGIN(pool) {
+    ListHead* head = *pool.Root<ListHead>();
+    TX_ADD(head);
+    head->count = 999;
+    TxAbort();
+  }
+  TX_END;
+
+  EXPECT_EQ((*pool.Root<ListHead>())->count, 5u);
+}
+
+TEST_F(RuntimePoolTest, FreeInsideTxIsDeferredAndRollbackSafe) {
+  auto pool_result = runtime_->CreatePool("p");
+  ASSERT_TRUE(pool_result.ok());
+  Pool& pool = **pool_result;
+
+  ListNode* node = *pool.Malloc<ListNode>();
+  node->value = 123;
+  pmem::FlushFence(node, sizeof(*node));
+
+  // Aborted free: object must survive with contents intact.
+  TX_BEGIN(pool) {
+    ASSERT_TRUE(pool.Free(node).ok());
+    EXPECT_EQ(node->value, 123u) << "free is deferred: bytes untouched inside tx";
+    TxAbort();
+  }
+  TX_END;
+  EXPECT_EQ(node->value, 123u);
+
+  // Committed free: object is gone; allocation can reuse the slot.
+  TX_BEGIN(pool) { ASSERT_TRUE(pool.Free(node).ok()); }
+  TX_END;
+  ListNode* reused = *pool.Malloc<ListNode>();
+  EXPECT_EQ(reused, node) << "slab slot should be reusable after committed free";
+}
+
+TEST_F(RuntimePoolTest, PoolGrowsAcrossPuddles) {
+  auto pool_result = runtime_->CreatePool("big");
+  ASSERT_TRUE(pool_result.ok());
+  Pool& pool = **pool_result;
+
+  // Allocate far more than one 2 MiB puddle of 1 KiB objects.
+  constexpr int kCount = 4000;
+  std::vector<void*> objects;
+  for (int i = 0; i < kCount; ++i) {
+    auto obj = pool.MallocBytes(1024, kRawBytesTypeId);
+    ASSERT_TRUE(obj.ok()) << "allocation " << i << ": " << obj.status().ToString();
+    objects.push_back(*obj);
+  }
+  EXPECT_GT(pool.member_count(), 1u) << "pool must span puddles (§3.1)";
+
+  // All objects distinct and writable.
+  std::sort(objects.begin(), objects.end());
+  EXPECT_EQ(std::adjacent_find(objects.begin(), objects.end()), objects.end());
+  std::memset(objects[kCount / 2], 0xaa, 1024);
+}
+
+TEST_F(RuntimePoolTest, OnDemandMappingViaFault) {
+  Uuid second_puddle;
+  uintptr_t probe_addr = 0;
+  {
+    auto pool_result = runtime_->CreatePool("lazy");
+    ASSERT_TRUE(pool_result.ok());
+    Pool& pool = **pool_result;
+    // Force a second puddle and remember an address inside it.
+    std::vector<void*> objs;
+    while (pool.member_count() < 2) {
+      auto obj = pool.MallocBytes(64 * 1024, kRawBytesTypeId);
+      ASSERT_TRUE(obj.ok());
+      objs.push_back(*obj);
+    }
+    void* last = objs.back();
+    std::memset(last, 0x5d, 64 * 1024);
+    probe_addr = reinterpret_cast<uintptr_t>(last);
+  }
+
+  RestartStack();
+  auto pool = runtime_->OpenPool("lazy");
+  ASSERT_TRUE(pool.ok());
+
+  auto before = FaultRouter::Instance().stats();
+  // Touch the address directly: the puddle is registered but unmapped, so
+  // this access faults and the router maps it on demand (§4.2).
+  auto* bytes = reinterpret_cast<volatile uint8_t*>(probe_addr);
+  EXPECT_EQ(bytes[0], 0x5d);
+  EXPECT_EQ(bytes[100], 0x5d);
+  auto after = FaultRouter::Instance().stats();
+  EXPECT_GT(after.faults_handled, before.faults_handled)
+      << "access must have been served by the fault router";
+  (void)second_puddle;
+}
+
+TEST_F(RuntimePoolTest, CrossPoolTransaction) {
+  // "unlike PMDK, they support writing to any arbitrary PM data and are not
+  // limited to a single pool" (§3.6).
+  auto pool_a = runtime_->CreatePool("a");
+  auto pool_b = runtime_->CreatePool("b");
+  ASSERT_TRUE(pool_a.ok() && pool_b.ok());
+
+  ListNode* in_a = *(*pool_a)->Malloc<ListNode>();
+  ListNode* in_b = *(*pool_b)->Malloc<ListNode>();
+  in_a->value = 1;
+  in_b->value = 2;
+  pmem::FlushFence(in_a, sizeof(*in_a));
+  pmem::FlushFence(in_b, sizeof(*in_b));
+
+  TX_BEGIN(**pool_a) {
+    TX_ADD(in_a);
+    TX_ADD(in_b);  // Data from a different pool, same transaction.
+    in_a->value = 10;
+    in_b->value = 20;
+    // Cross-pool pointer (§3.4: single persistent space makes this legal).
+    TX_ADD(&in_a->next);
+    in_a->next = in_b;
+  }
+  TX_END;
+
+  EXPECT_EQ(in_a->value, 10u);
+  EXPECT_EQ(in_b->value, 20u);
+  EXPECT_EQ(in_a->next, in_b);
+
+  // Abort path across pools.
+  TX_BEGIN(**pool_b) {
+    TX_ADD(in_a);
+    TX_ADD(in_b);
+    in_a->value = 111;
+    in_b->value = 222;
+    TxAbort();
+  }
+  TX_END;
+  EXPECT_EQ(in_a->value, 10u);
+  EXPECT_EQ(in_b->value, 20u);
+}
+
+TEST_F(RuntimePoolTest, ReadOnlyOpenRejectsWrites) {
+  {
+    auto pool = runtime_->CreatePool("ro", 0644);
+    ASSERT_TRUE(pool.ok());
+    ListNode* n = *(*pool)->Malloc<ListNode>();
+    n->value = 9;
+    pmem::FlushFence(n, sizeof(*n));
+    ASSERT_TRUE((*pool)->SetRoot(n).ok());
+  }
+  RestartStack();
+  auto pool = runtime_->OpenPool("ro", /*writable=*/false);
+  ASSERT_TRUE(pool.ok()) << pool.status().ToString();
+  auto root = (*pool)->Root<ListNode>();
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ((*root)->value, 9u);
+  EXPECT_FALSE((*pool)->Malloc<ListNode>().ok());
+  EXPECT_FALSE((*pool)->BeginTx().ok());
+}
+
+TEST_F(RuntimePoolTest, RedoSetAppliesAtCommit) {
+  auto pool_result = runtime_->CreatePool("redo");
+  ASSERT_TRUE(pool_result.ok());
+  Pool& pool = **pool_result;
+
+  ListHead* head = *pool.Malloc<ListHead>();
+  head->count = 1;
+  pmem::FlushFence(head, sizeof(*head));
+
+  TX_BEGIN(pool) {
+    TX_REDO_SET(&head->count, uint64_t{2});
+    EXPECT_EQ(head->count, 1u) << "redo defers until commit (Fig. 7)";
+  }
+  TX_END;
+  EXPECT_EQ(head->count, 2u);
+}
+
+}  // namespace
+}  // namespace puddles

@@ -1,0 +1,145 @@
+// Tests for the crash simulator: the durable image must reflect exactly the
+// flushed state, and simulated eviction must only ever persist dirty lines.
+#include "src/pmem/shadow.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/pmem/flush.h"
+
+namespace pmem {
+namespace {
+
+class ShadowTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ShadowRegistry::Instance().DetachAll(); }
+};
+
+TEST_F(ShadowTest, UnflushedStoresAreLostOnCrash) {
+  alignas(64) std::vector<uint8_t> region(4096, 0xaa);
+  ScopedShadow shadow(region.data(), region.size());
+
+  region[100] = 0xbb;  // Store, never flushed.
+  ShadowCrashReport report = ShadowRegistry::Instance().SimulateCrash();
+  EXPECT_EQ(report.dirty_lines, 1u);
+  EXPECT_EQ(region[100], 0xaa) << "unflushed store must not survive the crash";
+}
+
+TEST_F(ShadowTest, FlushedStoresSurviveCrash) {
+  alignas(64) std::vector<uint8_t> region(4096, 0);
+  ScopedShadow shadow(region.data(), region.size());
+
+  region[200] = 0x42;
+  Flush(&region[200], 1);
+  Fence();
+  ShadowRegistry::Instance().SimulateCrash();
+  EXPECT_EQ(region[200], 0x42);
+}
+
+TEST_F(ShadowTest, FlushGranularityIsCacheLines) {
+  alignas(64) std::vector<uint8_t> region(4096, 0);
+  ScopedShadow shadow(region.data(), region.size());
+
+  // Two stores on the same cache line; flushing one byte persists the line.
+  region[0] = 1;
+  region[63] = 2;
+  Flush(&region[0], 1);
+  Fence();
+  // A store on a different line stays volatile.
+  region[128] = 3;
+  ShadowRegistry::Instance().SimulateCrash();
+  EXPECT_EQ(region[0], 1);
+  EXPECT_EQ(region[63], 2) << "same-line store persists with the flushed byte";
+  EXPECT_EQ(region[128], 0) << "other-line store must be lost";
+}
+
+TEST_F(ShadowTest, CrashIsRepeatableAfterSync) {
+  alignas(64) std::vector<uint8_t> region(4096, 0);
+  ScopedShadow shadow(region.data(), region.size());
+
+  region[10] = 9;
+  ShadowRegistry::Instance().SimulateCrash();
+  EXPECT_EQ(region[10], 0);
+
+  // After the crash the shadow tracks the rolled-back live state, so new
+  // flushed writes persist across a second crash.
+  region[10] = 7;
+  FlushFence(&region[10], 1);
+  region[20] = 8;  // Unflushed.
+  ShadowRegistry::Instance().SimulateCrash();
+  EXPECT_EQ(region[10], 7);
+  EXPECT_EQ(region[20], 0);
+}
+
+TEST_F(ShadowTest, EvictionPersistsSomeDirtyLines) {
+  alignas(64) std::vector<uint8_t> region(64 * 100, 0);
+  ScopedShadow shadow(region.data(), region.size());
+
+  for (int line = 0; line < 100; ++line) {
+    region[static_cast<size_t>(line) * 64] = 0xcc;  // 100 dirty lines, none flushed.
+  }
+  ShadowCrashOptions options;
+  options.evict_random_lines = true;
+  options.eviction_probability = 0.5;
+  options.seed = 12345;
+  ShadowCrashReport report = ShadowRegistry::Instance().SimulateCrash(options);
+  EXPECT_EQ(report.dirty_lines, 100u);
+  EXPECT_GT(report.evicted_lines, 20u);
+  EXPECT_LT(report.evicted_lines, 80u);
+
+  size_t survived = 0;
+  for (int line = 0; line < 100; ++line) {
+    if (region[static_cast<size_t>(line) * 64] == 0xcc) {
+      ++survived;
+    }
+  }
+  EXPECT_EQ(survived, report.evicted_lines);
+}
+
+TEST_F(ShadowTest, EvictionIsDeterministicPerSeed) {
+  auto run = [](uint64_t seed) {
+    alignas(64) std::vector<uint8_t> region(64 * 50, 0);
+    ScopedShadow shadow(region.data(), region.size());
+    for (int line = 0; line < 50; ++line) {
+      region[static_cast<size_t>(line) * 64] = 1;
+    }
+    ShadowCrashOptions options;
+    options.evict_random_lines = true;
+    options.seed = seed;
+    ShadowRegistry::Instance().SimulateCrash(options);
+    std::vector<uint8_t> result(region.begin(), region.end());
+    ShadowRegistry::Instance().Detach(region.data());
+    return result;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST_F(ShadowTest, MultipleRegionsTrackedIndependently) {
+  alignas(64) std::vector<uint8_t> a(4096, 0);
+  alignas(64) std::vector<uint8_t> b(4096, 0);
+  ScopedShadow sa(a.data(), a.size());
+  ScopedShadow sb(b.data(), b.size());
+
+  a[0] = 1;
+  FlushFence(&a[0], 1);
+  b[0] = 2;  // Unflushed.
+  ShadowRegistry::Instance().SimulateCrash();
+  EXPECT_EQ(a[0], 1);
+  EXPECT_EQ(b[0], 0);
+}
+
+TEST_F(ShadowTest, InactiveWithoutRegions) {
+  EXPECT_FALSE(ShadowRegistry::Instance().active());
+  {
+    std::vector<uint8_t> region(64, 0);
+    ScopedShadow shadow(region.data(), region.size());
+    EXPECT_TRUE(ShadowRegistry::Instance().active());
+  }
+  EXPECT_FALSE(ShadowRegistry::Instance().active());
+}
+
+}  // namespace
+}  // namespace pmem

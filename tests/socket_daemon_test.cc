@@ -1,0 +1,164 @@
+// The production transport: Puddled behind a UNIX domain socket, clients
+// authenticated via SO_PEERCRED, puddle fds delivered via SCM_RIGHTS.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "src/daemon/server.h"
+#include "src/libpuddles/libpuddles.h"
+
+namespace puddles {
+namespace {
+
+namespace fs = std::filesystem;
+
+class SocketDaemonTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("socket_daemon_test_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(root_);
+    socket_path_ = "/tmp/puddled_test_" + std::to_string(::getpid()) + "_" +
+                   ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".sock";
+
+    auto daemon = puddled::Daemon::Start({.root_dir = root_.string()});
+    ASSERT_TRUE(daemon.ok());
+    daemon_ = std::move(*daemon);
+    auto server = puddled::Server::Start(daemon_.get(), socket_path_);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    server_ = std::move(*server);
+  }
+
+  void TearDown() override {
+    server_.reset();
+    daemon_.reset();
+    fs::remove_all(root_);
+  }
+
+  fs::path root_;
+  std::string socket_path_;
+  std::unique_ptr<puddled::Daemon> daemon_;
+  std::unique_ptr<puddled::Server> server_;
+};
+
+TEST_F(SocketDaemonTest, PingRoundTrip) {
+  auto client = puddled::SocketDaemonClient::Connect(socket_path_);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  EXPECT_TRUE((*client)->Ping().ok());
+}
+
+TEST_F(SocketDaemonTest, CreatePuddleDeliversFdOverSocket) {
+  auto client = puddled::SocketDaemonClient::Connect(socket_path_);
+  ASSERT_TRUE(client.ok());
+  auto created = (*client)->CreatePuddle(PuddleKind::kData, 1 << 20, Uuid::Nil(), 0600);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto [info, fd] = *created;
+  EXPECT_GE(fd, 0);
+
+  // The fd is a live capability on the puddle file.
+  auto file = pmem::PmemFile::FromFd(fd);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(file->size(), info.file_size);
+  auto mapped = file->Map();
+  ASSERT_TRUE(mapped.ok());
+  auto puddle = Puddle::Attach(*mapped, file->size());
+  ASSERT_TRUE(puddle.ok());
+  EXPECT_EQ(puddle->uuid(), info.uuid);
+}
+
+TEST_F(SocketDaemonTest, ErrorsPropagateOverWire) {
+  auto client = puddled::SocketDaemonClient::Connect(socket_path_);
+  ASSERT_TRUE(client.ok());
+  auto missing = (*client)->GetPuddle(Uuid::Generate(), false);
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  auto pool = (*client)->OpenPool("missing-pool");
+  EXPECT_EQ(pool.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SocketDaemonTest, PtrMapsOverWire) {
+  auto client = puddled::SocketDaemonClient::Connect(socket_path_);
+  ASSERT_TRUE(client.ok());
+  puddled::PtrMapRecord record{};
+  record.type_id = 42;
+  record.object_size = 16;
+  record.num_fields = 1;
+  record.field_offsets[0] = 8;
+  ASSERT_TRUE((*client)->RegisterPtrMap(record).ok());
+  auto fetched = (*client)->GetPtrMap(42);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched->field_offsets[0], 8u);
+}
+
+TEST_F(SocketDaemonTest, FullRuntimeOverSocketTransport) {
+  // The complete Libpuddles stack working over the socket, exactly as a real
+  // deployment would: pool, transactions, reopen.
+  auto client = puddled::SocketDaemonClient::Connect(socket_path_);
+  ASSERT_TRUE(client.ok());
+  auto runtime = Runtime::Create(std::move(*client));
+  ASSERT_TRUE(runtime.ok()) << runtime.status().ToString();
+
+  auto pool = (*runtime)->CreatePool("over-socket");
+  ASSERT_TRUE(pool.ok()) << pool.status().ToString();
+
+  struct Counter {
+    uint64_t value;
+  };
+  Counter* counter = reinterpret_cast<Counter*>(
+      *(*pool)->MallocBytes(sizeof(Counter), kRawBytesTypeId));
+  counter->value = 0;
+  pmem::FlushFence(counter, sizeof(Counter));
+  ASSERT_TRUE((*pool)->SetRootBytes(counter).ok());
+
+  for (int i = 0; i < 10; ++i) {
+    TX_BEGIN(**pool) {
+      TX_ADD(&counter->value);
+      counter->value++;
+    }
+    TX_END;
+  }
+  EXPECT_EQ(counter->value, 10u);
+
+  // A second client sees the same data.
+  auto client2 = puddled::SocketDaemonClient::Connect(socket_path_);
+  ASSERT_TRUE(client2.ok());
+  auto info = (*client2)->OpenPool("over-socket");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->pool_uuid, (*pool)->info().pool_uuid);
+}
+
+TEST_F(SocketDaemonTest, ConcurrentClients) {
+  constexpr int kClients = 4;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([this, c, &failures] {
+      auto client = puddled::SocketDaemonClient::Connect(socket_path_);
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      for (int i = 0; i < 20; ++i) {
+        if (!(*client)->Ping().ok()) {
+          ++failures;
+        }
+        auto created = (*client)->CreatePuddle(PuddleKind::kData, 1 << 20, Uuid::Nil(), 0600);
+        if (!created.ok()) {
+          ++failures;
+        } else {
+          ::close(created->second);
+        }
+      }
+      (void)c;
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(daemon_->puddle_count(), kClients * 20u);
+}
+
+}  // namespace
+}  // namespace puddles

@@ -1,0 +1,440 @@
+// Transaction runtime tests, including the paper's §5.1 correctness check:
+// "we inject crashes into Puddles' runtime and run system-supported recovery
+// ... for undo and redo logging and find that Puddles recover application
+// data to a consistent and correct state every time."
+#include "src/tx/transaction.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/pmem/shadow.h"
+#include "src/tx/replay.h"
+#include "src/tx/tx.h"
+
+namespace puddles {
+namespace {
+
+// Buffer-backed transaction environment standing in for a Pool.
+class TxEnv {
+ public:
+  explicit TxEnv(size_t log_capacity = 64 * 1024) : log_buffer_(log_capacity) {
+    EXPECT_TRUE(LogRegion::Format(log_buffer_.data(), log_buffer_.size()).ok());
+    auto log = LogRegion::Attach(log_buffer_.data(), log_buffer_.size());
+    EXPECT_TRUE(log.ok());
+    log_ = *log;
+  }
+
+  puddles::Result<Transaction*> BeginTx() {
+    TxTarget target;
+    target.log = &log_;
+    target.grow = [this]() -> puddles::Result<std::pair<LogRegion*, Uuid>> {
+      grown_buffers_.push_back(std::make_unique<std::vector<uint8_t>>(log_buffer_.size()));
+      auto& buf = *grown_buffers_.back();
+      RETURN_IF_ERROR(LogRegion::Format(buf.data(), buf.size()));
+      auto region = LogRegion::Attach(buf.data(), buf.size());
+      RETURN_IF_ERROR(region.status());
+      grown_regions_.push_back(std::make_unique<LogRegion>(*region));
+      return std::make_pair(grown_regions_.back().get(), Uuid::Generate());
+    };
+    target.release = [this](LogRegion* region) { ++released_; };
+    return Transaction::Begin(target);
+  }
+
+  LogRegion& log() { return log_; }
+  std::vector<LogRegion> Chain() {
+    std::vector<LogRegion> chain{log_};
+    for (auto& region : grown_regions_) {
+      chain.push_back(*region);
+    }
+    return chain;
+  }
+  int released() const { return released_; }
+
+ private:
+  std::vector<uint8_t> log_buffer_;
+  LogRegion log_;
+  std::vector<std::unique_ptr<std::vector<uint8_t>>> grown_buffers_;
+  std::vector<std::unique_ptr<LogRegion>> grown_regions_;
+  int released_ = 0;
+};
+
+class IdentityResolver : public AddressResolver {
+ public:
+  void* Resolve(uint64_t addr, uint32_t size) override {
+    return reinterpret_cast<void*>(addr);
+  }
+};
+
+class TransactionTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    Transaction::SetStageHook(nullptr);
+    pmem::ShadowRegistry::Instance().DetachAll();
+    if (Transaction* tx = Transaction::Current()) {
+      (void)tx->Abort();
+    }
+  }
+};
+
+TEST_F(TransactionTest, CommitMakesUndoChangesStick) {
+  TxEnv env;
+  alignas(64) uint64_t slot = 1;
+
+  auto tx = env.BeginTx();
+  ASSERT_TRUE(tx.ok());
+  ASSERT_TRUE((*tx)->AddUndo(&slot, sizeof(slot)).ok());
+  slot = 2;
+  ASSERT_TRUE((*tx)->Commit().ok());
+
+  EXPECT_EQ(slot, 2u);
+  EXPECT_TRUE(env.log().empty()) << "log must be reset after commit";
+  EXPECT_EQ(env.log().seq_range(), (std::pair<uint32_t, uint32_t>{0, 2}));
+}
+
+TEST_F(TransactionTest, AbortRollsBackUndoChanges) {
+  TxEnv env;
+  alignas(64) uint64_t slot = 1;
+
+  auto tx = env.BeginTx();
+  ASSERT_TRUE(tx.ok());
+  ASSERT_TRUE((*tx)->AddUndo(&slot, sizeof(slot)).ok());
+  slot = 2;
+  ASSERT_TRUE((*tx)->Abort().ok());
+  EXPECT_EQ(slot, 1u);
+  EXPECT_EQ(Transaction::Current(), nullptr);
+}
+
+TEST_F(TransactionTest, RedoDefersUntilCommit) {
+  TxEnv env;
+  alignas(64) uint64_t slot = 1;
+
+  auto tx = env.BeginTx();
+  ASSERT_TRUE(tx.ok());
+  ASSERT_TRUE((*tx)->RedoSet(&slot, uint64_t{99}).ok());
+  EXPECT_EQ(slot, 1u) << "redo writes must not be visible before commit";
+  ASSERT_TRUE((*tx)->Commit().ok());
+  EXPECT_EQ(slot, 99u);
+}
+
+TEST_F(TransactionTest, RedoDiscardedOnAbort) {
+  TxEnv env;
+  alignas(64) uint64_t slot = 1;
+  auto tx = env.BeginTx();
+  ASSERT_TRUE(tx.ok());
+  ASSERT_TRUE((*tx)->RedoSet(&slot, uint64_t{99}).ok());
+  ASSERT_TRUE((*tx)->Abort().ok());
+  EXPECT_EQ(slot, 1u);
+}
+
+TEST_F(TransactionTest, HybridUndoThenRedoOnSameTx) {
+  TxEnv env;
+  alignas(64) uint64_t a = 1, b = 2;
+  auto tx = env.BeginTx();
+  ASSERT_TRUE(tx.ok());
+  ASSERT_TRUE((*tx)->AddUndo(&a, sizeof(a)).ok());
+  a = 10;
+  ASSERT_TRUE((*tx)->RedoSet(&b, uint64_t{20}).ok());
+  ASSERT_TRUE((*tx)->Commit().ok());
+  EXPECT_EQ(a, 10u);
+  EXPECT_EQ(b, 20u);
+}
+
+TEST_F(TransactionTest, VolatileUndoRestoredOnAbort) {
+  TxEnv env;
+  uint64_t dram = 5;  // Conceptually volatile state.
+  auto tx = env.BeginTx();
+  ASSERT_TRUE(tx.ok());
+  ASSERT_TRUE((*tx)->AddVolatileUndo(&dram, sizeof(dram)).ok());
+  dram = 6;
+  ASSERT_TRUE((*tx)->Abort().ok());
+  EXPECT_EQ(dram, 5u);
+}
+
+TEST_F(TransactionTest, FlatNesting) {
+  TxEnv env;
+  alignas(64) uint64_t slot = 1;
+  auto outer = env.BeginTx();
+  ASSERT_TRUE(outer.ok());
+  EXPECT_EQ((*outer)->depth(), 1);
+  auto inner = env.BeginTx();
+  ASSERT_TRUE(inner.ok());
+  EXPECT_EQ(*inner, *outer) << "flat nesting joins the outer transaction";
+  EXPECT_EQ((*inner)->depth(), 2);
+  ASSERT_TRUE((*inner)->AddUndo(&slot, sizeof(slot)).ok());
+  slot = 3;
+  ASSERT_TRUE((*inner)->Commit().ok());
+  EXPECT_EQ(slot, 3u) << "inner commit must not publish yet";
+  EXPECT_NE(Transaction::Current(), nullptr);
+  ASSERT_TRUE((*outer)->Commit().ok());
+  EXPECT_EQ(Transaction::Current(), nullptr);
+}
+
+TEST_F(TransactionTest, DeferredFreeRunsAtCommitOnly) {
+  TxEnv env;
+  int ran = 0;
+  {
+    auto tx = env.BeginTx();
+    ASSERT_TRUE(tx.ok());
+    (*tx)->DeferFree([&]() {
+      ++ran;
+      return OkStatus();
+    });
+    EXPECT_EQ(ran, 0);
+    ASSERT_TRUE((*tx)->Commit().ok());
+    EXPECT_EQ(ran, 1);
+  }
+  {
+    auto tx = env.BeginTx();
+    ASSERT_TRUE(tx.ok());
+    (*tx)->DeferFree([&]() {
+      ++ran;
+      return OkStatus();
+    });
+    ASSERT_TRUE((*tx)->Abort().ok());
+    EXPECT_EQ(ran, 1) << "aborted transaction must drop deferred frees";
+  }
+}
+
+TEST_F(TransactionTest, LogGrowsIntoChain) {
+  TxEnv env(4096);  // Tiny head log.
+  std::vector<uint8_t> blob(1024, 0x5c);
+  alignas(64) uint8_t targets[8][1024] = {};
+
+  auto tx = env.BeginTx();
+  ASSERT_TRUE(tx.ok());
+  for (int i = 0; i < 8; ++i) {
+    std::memcpy(targets[i], blob.data(), blob.size());
+    ASSERT_TRUE((*tx)->AddUndo(targets[i], 1024).ok()) << "append " << i;
+  }
+  EXPECT_FALSE(env.log().next_log().is_nil()) << "head must link a continuation";
+  ASSERT_TRUE((*tx)->Commit().ok());
+  EXPECT_GT(env.released(), 0) << "grown regions returned after commit";
+}
+
+TEST_F(TransactionTest, TxMacrosCommitAndAbort) {
+  TxEnv env;
+  alignas(64) uint64_t slot = 1;
+
+  TX_BEGIN(env) {
+    TX_ADD(&slot);
+    slot = 42;
+  }
+  TX_END;
+  EXPECT_EQ(slot, 42u);
+
+  TX_BEGIN(env) {
+    TX_ADD(&slot);
+    slot = 77;
+    TxAbort();
+  }
+  TX_END;
+  EXPECT_EQ(slot, 42u) << "TxAbort must roll back";
+
+  // A user exception aborts and propagates.
+  bool caught = false;
+  try {
+    TX_BEGIN(env) {
+      TX_ADD(&slot);
+      slot = 99;
+      throw std::string("boom");
+    }
+    TX_END;
+  } catch (const std::string&) {
+    caught = true;
+  }
+  EXPECT_TRUE(caught);
+  EXPECT_EQ(slot, 42u);
+}
+
+TEST_F(TransactionTest, BeginRequiresArmedLog) {
+  TxEnv env;
+  env.log().SetSeqRange(2, 4);
+  auto tx = env.BeginTx();
+  EXPECT_FALSE(tx.ok());
+}
+
+// ---- Crash injection at every commit stage (paper §5.1 correctness). ----
+//
+// The scenario mirrors Fig. 7: location A is undo-logged and modified in
+// place; location B is redo-logged. Atomicity demands the post-crash state
+// after recovery is either (A=old, B=old) or (A=new, B=new).
+
+struct CrashPlan {
+  const char* stage;   // Stage hook at which to crash.
+  int countdown;       // Crash at the n-th occurrence of that stage.
+};
+
+class CommitCrashTest : public ::testing::TestWithParam<CrashPlan> {
+ protected:
+  void TearDown() override {
+    Transaction::SetStageHook(nullptr);
+    pmem::ShadowRegistry::Instance().DetachAll();
+    // The crashed transaction state is abandoned, as after a real crash.
+    Transaction::AbandonCurrentForTesting();
+  }
+};
+
+const char* g_crash_stage = nullptr;
+int g_crash_countdown = 0;
+
+void CrashingHook(const char* stage) {
+  if (g_crash_stage != nullptr && std::strcmp(stage, g_crash_stage) == 0 &&
+      g_crash_countdown-- == 0) {
+    throw SimulatedCrash{stage};
+  }
+}
+
+TEST_P(CommitCrashTest, RecoveryRestoresAtomicity) {
+  // PM state: one log region + one data region, both shadowed.
+  std::vector<uint8_t> log_buffer(32 * 1024, 0);
+  alignas(64) uint64_t data[8] = {};
+  data[0] = 100;  // A: undo-logged.
+  data[1] = 200;  // B: redo-logged.
+
+  ASSERT_TRUE(LogRegion::Format(log_buffer.data(), log_buffer.size()).ok());
+  auto log = LogRegion::Attach(log_buffer.data(), log_buffer.size());
+  ASSERT_TRUE(log.ok());
+
+  pmem::ScopedShadow log_shadow(log_buffer.data(), log_buffer.size());
+  pmem::ScopedShadow data_shadow(data, sizeof(data));
+
+  g_crash_stage = GetParam().stage;
+  g_crash_countdown = GetParam().countdown;
+  Transaction::SetStageHook(&CrashingHook);
+
+  TxTarget target;
+  target.log = &*log;
+  auto tx = Transaction::Begin(target);
+  ASSERT_TRUE(tx.ok());
+
+  bool crashed = false;
+  try {
+    ASSERT_TRUE((*tx)->AddUndo(&data[0], 8).ok());
+    data[0] = 101;
+    ASSERT_TRUE((*tx)->RedoSet(&data[1], uint64_t{201}).ok());
+    ASSERT_TRUE((*tx)->Commit().ok());
+  } catch (const SimulatedCrash&) {
+    crashed = true;
+  }
+  Transaction::SetStageHook(nullptr);
+
+  // Power failure: unflushed lines are lost.
+  pmem::ShadowRegistry::Instance().SimulateCrash();
+
+  // System-supported recovery, exactly what Puddled does on reboot.
+  auto recovered_log = LogRegion::Attach(log_buffer.data(), log_buffer.size());
+  ASSERT_TRUE(recovered_log.ok());
+  IdentityResolver resolver;
+  auto stats = ReplayLogChain({*recovered_log}, resolver);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  recovered_log->Reset(0, 2);
+
+  const bool old_state = data[0] == 100 && data[1] == 200;
+  const bool new_state = data[0] == 101 && data[1] == 201;
+  EXPECT_TRUE(old_state || new_state)
+      << "atomicity violated at stage " << GetParam().stage << ": A=" << data[0]
+      << " B=" << data[1] << " crashed=" << crashed;
+  if (!crashed) {
+    EXPECT_TRUE(new_state) << "committed transaction must survive the crash";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Stages, CommitCrashTest,
+    ::testing::Values(CrashPlan{"s1_flushed", 0}, CrashPlan{"range_24", 0},
+                      CrashPlan{"redo_applied_one", 0}, CrashPlan{"s2_applied", 0},
+                      CrashPlan{"s3_marked", 0}, CrashPlan{"reset_done", 0}),
+    [](const ::testing::TestParamInfo<CrashPlan>& info) {
+      return std::string(info.param.stage) + "_" + std::to_string(info.param.countdown);
+    });
+
+// Randomized multi-transaction crash torture with adversarial cache eviction:
+// a linked-list-like structure of counters must stay consistent (sum
+// invariant) across random crash points.
+class CrashTortureTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void TearDown() override {
+    Transaction::SetStageHook(nullptr);
+    pmem::ShadowRegistry::Instance().DetachAll();
+    if (Transaction* tx = Transaction::Current()) {
+      (void)tx->Abort();
+    }
+  }
+};
+
+int g_fence_crash_countdown = -1;
+
+void CountdownHook(const char* stage) {
+  if (g_fence_crash_countdown >= 0 && g_fence_crash_countdown-- == 0) {
+    throw SimulatedCrash{stage};
+  }
+}
+
+TEST_P(CrashTortureTest, TransferInvariantHolds) {
+  // Two accounts; every transaction moves a random amount between them with
+  // undo logging (and occasionally redo for the second account). Total must
+  // stay constant no matter where the crash lands.
+  constexpr uint64_t kTotal = 1000;
+  std::vector<uint8_t> log_buffer(32 * 1024, 0);
+  alignas(64) uint64_t accounts[2] = {kTotal, 0};
+
+  ASSERT_TRUE(LogRegion::Format(log_buffer.data(), log_buffer.size()).ok());
+
+  pmem::ScopedShadow log_shadow(log_buffer.data(), log_buffer.size());
+  pmem::ScopedShadow data_shadow(accounts, sizeof(accounts));
+
+  Xoshiro256 rng(GetParam());
+  Transaction::SetStageHook(&CountdownHook);
+
+  for (int round = 0; round < 40; ++round) {
+    auto log = LogRegion::Attach(log_buffer.data(), log_buffer.size());
+    ASSERT_TRUE(log.ok());
+
+    g_fence_crash_countdown = static_cast<int>(rng.Below(8));  // Crash point.
+    TxTarget target;
+    target.log = &*log;
+    auto tx = Transaction::Begin(target);
+    ASSERT_TRUE(tx.ok());
+    try {
+      uint64_t amount = rng.Below(accounts[0] + 1);
+      ASSERT_TRUE((*tx)->AddUndo(&accounts[0], 8).ok());
+      accounts[0] -= amount;
+      if (rng.Below(2) == 0) {
+        ASSERT_TRUE((*tx)->AddUndo(&accounts[1], 8).ok());
+        accounts[1] += amount;
+      } else {
+        ASSERT_TRUE((*tx)->RedoSet(&accounts[1], accounts[1] + amount).ok());
+      }
+      ASSERT_TRUE((*tx)->Commit().ok());
+    } catch (const SimulatedCrash&) {
+      // Crash: lose unflushed lines (with random eviction), then recover.
+      pmem::ShadowCrashOptions options;
+      options.evict_random_lines = true;
+      options.seed = rng();
+      pmem::ShadowRegistry::Instance().SimulateCrash(options);
+
+      auto recovered = LogRegion::Attach(log_buffer.data(), log_buffer.size());
+      ASSERT_TRUE(recovered.ok()) << "log header must survive any crash";
+      IdentityResolver resolver;
+      auto stats = ReplayLogChain({*recovered}, resolver);
+      ASSERT_TRUE(stats.ok());
+      recovered->Reset(0, 2);
+      // Abandon the in-flight transaction state (the process "died").
+      Transaction::AbandonCurrentForTesting();
+    }
+    // The invariant must hold after every round, crashed or not.
+    ASSERT_EQ(accounts[0] + accounts[1], kTotal)
+        << "round " << round << ": " << accounts[0] << " + " << accounts[1];
+    g_fence_crash_countdown = -1;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrashTortureTest,
+                         ::testing::Values(1, 7, 42, 1337, 9999));
+
+}  // namespace
+}  // namespace puddles

@@ -1,0 +1,59 @@
+#include "src/common/type_name.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace puddles {
+
+struct ListNode {
+  ListNode* next;
+  int64_t value;
+};
+
+namespace testing_inner {
+struct ListNode {  // Same short name, different namespace: must get its own ID.
+  int x;
+};
+}  // namespace testing_inner
+
+namespace {
+
+TEST(TypeNameTest, SimpleTypes) {
+  EXPECT_EQ(TypeName<int>(), "int");
+  EXPECT_EQ(TypeName<double>(), "double");
+}
+
+TEST(TypeNameTest, QualifiedNames) {
+  EXPECT_EQ(TypeName<ListNode>(), "puddles::ListNode");
+  EXPECT_EQ(TypeName<testing_inner::ListNode>(), "puddles::testing_inner::ListNode");
+}
+
+TEST(TypeIdTest, StableAndConstexpr) {
+  constexpr TypeId id1 = TypeIdOf<ListNode>();
+  constexpr TypeId id2 = TypeIdOf<ListNode>();
+  static_assert(id1 == id2, "type IDs must be compile-time stable");
+  EXPECT_EQ(id1, id2);
+}
+
+TEST(TypeIdTest, DistinctTypesDistinctIds) {
+  EXPECT_NE(TypeIdOf<int>(), TypeIdOf<long>());
+  EXPECT_NE(TypeIdOf<ListNode>(), TypeIdOf<testing_inner::ListNode>());
+  EXPECT_NE(TypeIdOf<ListNode>(), TypeIdOf<ListNode*>());
+}
+
+TEST(TypeIdTest, AvoidsReservedSentinels) {
+  EXPECT_NE(TypeIdOf<int>(), kInvalidTypeId);
+  EXPECT_NE(TypeIdOf<int>(), kRawBytesTypeId);
+  EXPECT_NE(TypeIdOf<ListNode>(), kInvalidTypeId);
+}
+
+TEST(TypeIdTest, MatchesDirectHashOfName) {
+  // The ID must be exactly the FNV-1a of the rendered name (the on-PM format
+  // contract: a reader on another machine can recompute IDs from names).
+  constexpr std::string_view name = TypeName<ListNode>();
+  EXPECT_EQ(TypeIdOf<ListNode>(), Fnv1a64(name.data(), name.size()));
+}
+
+}  // namespace
+}  // namespace puddles

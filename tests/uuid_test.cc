@@ -1,0 +1,103 @@
+#include "src/common/uuid.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace puddles {
+namespace {
+
+TEST(UuidTest, NilIsNil) {
+  EXPECT_TRUE(Uuid::Nil().is_nil());
+  EXPECT_FALSE(Uuid::Generate().is_nil());
+}
+
+TEST(UuidTest, GenerateIsUnique) {
+  std::set<std::pair<uint64_t, uint64_t>> seen;
+  for (int i = 0; i < 10000; ++i) {
+    Uuid id = Uuid::Generate();
+    EXPECT_TRUE(seen.insert({id.hi, id.lo}).second) << "duplicate UUID at iteration " << i;
+  }
+}
+
+TEST(UuidTest, VersionAndVariantBits) {
+  for (int i = 0; i < 100; ++i) {
+    Uuid id = Uuid::Generate();
+    std::string s = id.ToString();
+    EXPECT_EQ(s[14], '4') << s;  // Version nibble.
+    EXPECT_TRUE(s[19] == '8' || s[19] == '9' || s[19] == 'a' || s[19] == 'b') << s;
+  }
+}
+
+TEST(UuidTest, RoundTripsThroughString) {
+  for (int i = 0; i < 100; ++i) {
+    Uuid id = Uuid::Generate();
+    std::string text = id.ToString();
+    ASSERT_EQ(text.size(), 36u);
+    auto parsed = Uuid::Parse(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_EQ(*parsed, id);
+  }
+}
+
+TEST(UuidTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Uuid::Parse("").has_value());
+  EXPECT_FALSE(Uuid::Parse("not-a-uuid").has_value());
+  EXPECT_FALSE(Uuid::Parse("00000000-0000-0000-0000-00000000000").has_value());   // Short.
+  EXPECT_FALSE(Uuid::Parse("00000000-0000-0000-0000-0000000000000").has_value()); // Long.
+  EXPECT_FALSE(Uuid::Parse("00000000x0000-0000-0000-000000000000").has_value());  // Bad dash.
+  EXPECT_FALSE(Uuid::Parse("0000000g-0000-0000-0000-000000000000").has_value());  // Bad hex.
+}
+
+TEST(UuidTest, ParseAcceptsUppercase) {
+  auto parsed = Uuid::Parse("DEADBEEF-CAFE-4001-8002-AABBCCDDEEFF");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->ToString(), "deadbeef-cafe-4001-8002-aabbccddeeff");
+}
+
+TEST(UuidTest, OrderingIsConsistent) {
+  Uuid a{1, 2};
+  Uuid b{1, 3};
+  Uuid c{2, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (Uuid{1, 2}));
+}
+
+TEST(UuidTest, ConcurrentGenerationStaysUnique) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::vector<Uuid>> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&results, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        results[t].push_back(Uuid::Generate());
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  std::set<std::pair<uint64_t, uint64_t>> seen;
+  for (const auto& batch : results) {
+    for (const Uuid& id : batch) {
+      EXPECT_TRUE(seen.insert({id.hi, id.lo}).second);
+    }
+  }
+}
+
+TEST(UuidHashTest, DistinctHashes) {
+  UuidHash hash;
+  std::set<size_t> hashes;
+  for (int i = 0; i < 1000; ++i) {
+    hashes.insert(hash(Uuid::Generate()));
+  }
+  // Collisions in 1000 random 64-bit hashes are essentially impossible.
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace puddles

@@ -1,0 +1,373 @@
+// One behavioural test suite instantiated over every PM library adapter:
+// proves the shared workload implementations (list, B-tree, KV store) behave
+// identically on Puddles, PMDK-like, Romulus, Atlas, and go-pmem — the
+// precondition for the Figs. 9–11 comparisons to be apples-to-apples.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <map>
+
+#include "src/common/rng.h"
+#include "src/workloads/adapters.h"
+#include "src/workloads/btree.h"
+#include "src/workloads/kvstore.h"
+#include "src/workloads/list.h"
+#include "src/workloads/ycsb.h"
+
+namespace workloads {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Per-library environment: owns pool/daemon state and yields an adapter.
+template <typename Adapter>
+struct LibEnv;
+
+fs::path TestDir() {
+  auto dir = fs::temp_directory_path() /
+             ("workloads_test_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name());
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+constexpr size_t kHeap = 64 << 20;
+
+template <>
+struct LibEnv<FatPtrAdapter> {
+  LibEnv() : dir(TestDir()) {
+    auto created = fatptr::FatPool::Create((dir / "pool").string(), kHeap);
+    EXPECT_TRUE(created.ok()) << created.status().ToString();
+    pool = std::make_unique<fatptr::FatPool>(std::move(*created));
+  }
+  ~LibEnv() { fs::remove_all(dir); }
+  FatPtrAdapter adapter() { return FatPtrAdapter(pool.get()); }
+  fs::path dir;
+  std::unique_ptr<fatptr::FatPool> pool;
+};
+
+template <>
+struct LibEnv<RomulusAdapter> {
+  LibEnv() : dir(TestDir()) {
+    auto created = romulus::RomulusPool::Create((dir / "pool").string(), kHeap);
+    EXPECT_TRUE(created.ok()) << created.status().ToString();
+    pool = std::make_unique<romulus::RomulusPool>(std::move(*created));
+  }
+  ~LibEnv() { fs::remove_all(dir); }
+  RomulusAdapter adapter() { return RomulusAdapter(pool.get()); }
+  fs::path dir;
+  std::unique_ptr<romulus::RomulusPool> pool;
+};
+
+template <>
+struct LibEnv<AtlasAdapter> {
+  LibEnv() : dir(TestDir()) {
+    auto created = atlaspm::AtlasPool::Create((dir / "pool").string(), kHeap);
+    EXPECT_TRUE(created.ok()) << created.status().ToString();
+    pool = std::make_unique<atlaspm::AtlasPool>(std::move(*created));
+  }
+  ~LibEnv() { fs::remove_all(dir); }
+  AtlasAdapter adapter() { return AtlasAdapter(pool.get()); }
+  fs::path dir;
+  std::unique_ptr<atlaspm::AtlasPool> pool;
+};
+
+template <>
+struct LibEnv<GoPmemAdapter> {
+  LibEnv() : dir(TestDir()) {
+    auto created = gopmem::GoPmemPool::Create((dir / "pool").string(), kHeap);
+    EXPECT_TRUE(created.ok()) << created.status().ToString();
+    pool = std::make_unique<gopmem::GoPmemPool>(std::move(*created));
+  }
+  ~LibEnv() { fs::remove_all(dir); }
+  GoPmemAdapter adapter() { return GoPmemAdapter(pool.get()); }
+  fs::path dir;
+  std::unique_ptr<gopmem::GoPmemPool> pool;
+};
+
+template <>
+struct LibEnv<PuddlesAdapter> {
+  LibEnv() : dir(TestDir()) {
+    auto started = puddled::Daemon::Start({.root_dir = (dir / "root").string()});
+    EXPECT_TRUE(started.ok());
+    daemon = std::move(*started);
+    auto rt = puddles::Runtime::Create(
+        std::make_shared<puddled::EmbeddedDaemonClient>(daemon.get()));
+    EXPECT_TRUE(rt.ok());
+    runtime = std::move(*rt);
+    auto created = runtime->CreatePool("workload");
+    EXPECT_TRUE(created.ok());
+    pool = *created;
+  }
+  ~LibEnv() {
+    runtime.reset();
+    daemon.reset();
+    fs::remove_all(dir);
+  }
+  PuddlesAdapter adapter() { return PuddlesAdapter(pool); }
+  fs::path dir;
+  std::unique_ptr<puddled::Daemon> daemon;
+  std::unique_ptr<puddles::Runtime> runtime;
+  puddles::Pool* pool = nullptr;
+};
+
+template <typename Adapter>
+class WorkloadTest : public ::testing::Test {
+ protected:
+  LibEnv<Adapter> env_;
+};
+
+using AllAdapters = ::testing::Types<PuddlesAdapter, FatPtrAdapter, RomulusAdapter,
+                                     AtlasAdapter, GoPmemAdapter>;
+
+class AdapterNames {
+ public:
+  template <typename T>
+  static std::string GetName(int) {
+    return T::kName;
+  }
+};
+
+TYPED_TEST_SUITE(WorkloadTest, AllAdapters, AdapterNames);
+
+TYPED_TEST(WorkloadTest, ListInsertTraverseDelete) {
+  PersistentList<TypeParam>::RegisterTypes();
+  PersistentList<TypeParam> list(this->env_.adapter());
+  ASSERT_TRUE(list.Init().ok());
+
+  constexpr uint64_t kN = 500;
+  uint64_t expected = 0;
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(list.InsertTail(i).ok());
+    expected += i;
+  }
+  EXPECT_EQ(list.count(), kN);
+  EXPECT_EQ(list.Sum(), expected);
+
+  for (uint64_t i = 0; i < kN / 2; ++i) {
+    ASSERT_TRUE(list.DeleteHead().ok());
+    expected -= i;
+  }
+  EXPECT_EQ(list.count(), kN / 2);
+  EXPECT_EQ(list.Sum(), expected);
+}
+
+TYPED_TEST(WorkloadTest, BTreeInsertSearchDelete) {
+  PersistentBTree<TypeParam>::RegisterTypes();
+  PersistentBTree<TypeParam> tree(this->env_.adapter());
+  ASSERT_TRUE(tree.Init().ok());
+
+  // Insert shuffled keys; search everything; delete half; verify.
+  constexpr uint64_t kN = 2000;
+  std::vector<uint64_t> keys(kN);
+  for (uint64_t i = 0; i < kN; ++i) {
+    keys[i] = i * 7 + 1;
+  }
+  puddles::Xoshiro256 rng(42);
+  for (size_t i = kN; i > 1; --i) {
+    std::swap(keys[i - 1], keys[rng.Below(i)]);
+  }
+  for (uint64_t key : keys) {
+    ASSERT_TRUE(tree.Insert(key, key * 2).ok()) << key;
+  }
+  EXPECT_EQ(tree.size(), kN);
+
+  uint64_t value = 0;
+  for (uint64_t key : keys) {
+    ASSERT_TRUE(tree.Search(key, &value)) << key;
+    EXPECT_EQ(value, key * 2);
+  }
+  EXPECT_FALSE(tree.Search(3, nullptr));  // 3 ≡ not of form 7i+1.
+
+  for (size_t i = 0; i < kN / 2; ++i) {
+    ASSERT_TRUE(tree.Delete(keys[i]).ok()) << keys[i];
+  }
+  EXPECT_EQ(tree.size(), kN / 2);
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(tree.Search(keys[i], nullptr), i >= kN / 2) << keys[i];
+  }
+
+  EXPECT_FALSE(tree.Delete(999999).ok());
+}
+
+TYPED_TEST(WorkloadTest, BTreeUpdateInPlace) {
+  PersistentBTree<TypeParam>::RegisterTypes();
+  PersistentBTree<TypeParam> tree(this->env_.adapter());
+  ASSERT_TRUE(tree.Init().ok());
+  ASSERT_TRUE(tree.Insert(5, 50).ok());
+  ASSERT_TRUE(tree.Insert(5, 55).ok());
+  EXPECT_EQ(tree.size(), 1u);
+  uint64_t value;
+  ASSERT_TRUE(tree.Search(5, &value));
+  EXPECT_EQ(value, 55u);
+}
+
+TYPED_TEST(WorkloadTest, KvStorePutGetDelete) {
+  KvStore<TypeParam>::RegisterTypes();
+  KvStore<TypeParam> kv(this->env_.adapter());
+  ASSERT_TRUE(kv.Init(1 << 10).ok());
+
+  char value[kKvValueSize] = {};
+  char out[kKvValueSize] = {};
+  for (int i = 0; i < 300; ++i) {
+    std::snprintf(value, sizeof(value), "value-%d", i);
+    ASSERT_TRUE(kv.Put(YcsbStream::KeyFor(i), value).ok());
+  }
+  EXPECT_EQ(kv.size(), 300u);
+
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(kv.Get(YcsbStream::KeyFor(i), out)) << i;
+    std::snprintf(value, sizeof(value), "value-%d", i);
+    EXPECT_STREQ(out, value);
+  }
+  EXPECT_FALSE(kv.Get("user-missing", out));
+
+  // Update.
+  std::snprintf(value, sizeof(value), "updated");
+  ASSERT_TRUE(kv.Put(YcsbStream::KeyFor(7), value).ok());
+  ASSERT_TRUE(kv.Get(YcsbStream::KeyFor(7), out));
+  EXPECT_STREQ(out, "updated");
+  EXPECT_EQ(kv.size(), 300u);
+
+  // Delete.
+  ASSERT_TRUE(kv.Delete(YcsbStream::KeyFor(7)).ok());
+  EXPECT_FALSE(kv.Get(YcsbStream::KeyFor(7), out));
+  EXPECT_FALSE(kv.Delete(YcsbStream::KeyFor(7)).ok());
+  EXPECT_EQ(kv.size(), 299u);
+
+  EXPECT_GE(kv.Scan(YcsbStream::KeyFor(1), 10), 0u);
+}
+
+// ---- YCSB generator sanity ----
+
+TEST(YcsbTest, ZipfianIsSkewed) {
+  ZipfianGenerator zipf(1000);
+  puddles::Xoshiro256 rng(7);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) {
+    counts[zipf.Next(rng)]++;
+  }
+  // The most popular item must dominate (zipfian 0.99 → item 0 gets ~7-10%+).
+  int max_count = 0;
+  for (const auto& [item, count] : counts) {
+    max_count = std::max(max_count, count);
+  }
+  EXPECT_GT(max_count, 5000) << "distribution not skewed";
+  // All draws in range.
+  EXPECT_LT(counts.rbegin()->first, 1000u);
+}
+
+TEST(YcsbTest, WorkloadMixesMatchSpecs) {
+  auto mix_of = [](YcsbWorkload workload) {
+    YcsbStream stream(workload, 1000, 3);
+    std::map<YcsbOp, int> mix;
+    for (int i = 0; i < 20000; ++i) {
+      mix[stream.Next().op]++;
+    }
+    return mix;
+  };
+
+  auto a = mix_of(YcsbWorkload::kA);
+  EXPECT_NEAR(a[YcsbOp::kRead], 10000, 500);
+  EXPECT_NEAR(a[YcsbOp::kUpdate], 10000, 500);
+
+  auto b = mix_of(YcsbWorkload::kB);
+  EXPECT_NEAR(b[YcsbOp::kRead], 19000, 400);
+
+  auto c = mix_of(YcsbWorkload::kC);
+  EXPECT_EQ(c[YcsbOp::kRead], 20000);
+
+  auto d = mix_of(YcsbWorkload::kD);
+  EXPECT_NEAR(d[YcsbOp::kInsert], 1000, 300);
+
+  auto e = mix_of(YcsbWorkload::kE);
+  EXPECT_NEAR(e[YcsbOp::kScan], 19000, 400);
+
+  auto f = mix_of(YcsbWorkload::kF);
+  EXPECT_NEAR(f[YcsbOp::kReadModifyWrite], 10000, 500);
+
+  auto g = mix_of(YcsbWorkload::kG);
+  EXPECT_NEAR(g[YcsbOp::kUpdate], 19000, 400);
+}
+
+TEST(YcsbTest, KeysAreStable) {
+  EXPECT_EQ(YcsbStream::KeyFor(1), "user0000000000000001");
+  EXPECT_EQ(YcsbStream::KeyFor(1), YcsbStream::KeyFor(1));
+  EXPECT_NE(YcsbStream::KeyFor(1), YcsbStream::KeyFor(2));
+}
+
+// ---- Library-specific behaviours ----
+
+TEST(FatPtrTest, DuplicateUuidOpenRefused) {
+  auto dir = TestDir();
+  {
+    auto pool = fatptr::FatPool::Create((dir / "pool").string(), 1 << 20);
+    ASSERT_TRUE(pool.ok());
+    // Copy the pool file while open.
+    fs::copy_file(dir / "pool", dir / "pool_copy");
+    // PMDK restriction: the copy has the same UUID ⇒ refused while open.
+    auto copy = fatptr::FatPool::Open((dir / "pool_copy").string());
+    EXPECT_EQ(copy.status().code(), puddles::StatusCode::kAlreadyExists)
+        << "fat-pointer pools must refuse duplicate-UUID opens (§2.3)";
+  }
+  // After the original closes, the copy can open (but never both at once).
+  auto copy = fatptr::FatPool::Open((dir / "pool_copy").string());
+  EXPECT_TRUE(copy.ok());
+  fs::remove_all(dir);
+}
+
+TEST(RomulusTest, AbortRestoresFromTwin) {
+  auto dir = TestDir();
+  auto pool = romulus::RomulusPool::Create((dir / "pool").string(), 1 << 20);
+  ASSERT_TRUE(pool.ok());
+  auto obj = pool->Alloc<uint64_t>();
+  ASSERT_TRUE(obj.ok());
+  **obj = 10;
+  ASSERT_TRUE(pool->TxRun([&] {
+    (void)pool->TxAdd(*obj);
+    **obj = 11;
+  }).ok());
+  EXPECT_EQ(**obj, 11u);
+
+  ASSERT_TRUE(pool->TxBegin().ok());
+  ASSERT_TRUE(pool->TxAdd(*obj).ok());
+  **obj = 99;
+  ASSERT_TRUE(pool->TxAbort().ok());
+  EXPECT_EQ(**obj, 11u) << "abort must restore from the back region";
+  fs::remove_all(dir);
+}
+
+TEST(RomulusTest, RecoveryFromMutatingState) {
+  auto dir = TestDir();
+  {
+    auto pool = romulus::RomulusPool::Create((dir / "pool").string(), 1 << 20);
+    ASSERT_TRUE(pool.ok());
+    auto allocated = pool->Alloc<uint64_t>();
+    ASSERT_TRUE(allocated.ok());
+    uint64_t* obj = *allocated;
+    pool->SetRoot(obj);
+    *obj = 7;
+    pmem::FlushFence(obj, sizeof(*obj));
+    ASSERT_TRUE(pool->TxRun([&] {
+      (void)pool->TxAdd(obj);
+      *obj = 8;
+    }).ok());
+    // Crash mid-transaction: leave state = MUTATING with a torn main.
+    ASSERT_TRUE(pool->TxBegin().ok());
+    ASSERT_TRUE(pool->TxAdd(obj).ok());
+    *obj = 1234;  // Never committed.
+    pmem::FlushFence(obj, sizeof(*obj));
+    // Pool destroyed here without commit: state word stays MUTATING.
+  }
+  auto reopened = romulus::RomulusPool::Open((dir / "pool").string());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  uint64_t* obj = reopened->Root<uint64_t>();
+  ASSERT_NE(obj, nullptr);
+  EXPECT_EQ(*obj, 8u) << "MUTATING recovery must restore main from back";
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace workloads

@@ -1,0 +1,61 @@
+// Standalone Puddled daemon binary (paper §3.2): owns the machine's puddles,
+// serves clients over a UNIX domain socket, and runs application-independent
+// recovery at startup — "Puddled starts before any other process in the
+// system and controls access to PM data" (§4.6).
+//
+// Usage: puddled --root <dir> [--socket <path>] [--no-recovery]
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+#include "src/daemon/server.h"
+
+namespace {
+volatile std::sig_atomic_t g_shutdown = 0;
+void HandleSignal(int) { g_shutdown = 1; }
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::string socket_path = "/tmp/puddled.sock";
+  bool recovery = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    } else if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--no-recovery") == 0) {
+      recovery = false;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s --root <dir> [--socket <path>] [--no-recovery]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (root.empty()) {
+    std::fprintf(stderr, "error: --root is required\n");
+    return 2;
+  }
+
+  auto daemon = puddled::Daemon::Start({.root_dir = root, .run_recovery = recovery});
+  if (!daemon.ok()) {
+    std::fprintf(stderr, "puddled: %s\n", daemon.status().ToString().c_str());
+    return 1;
+  }
+  auto server = puddled::Server::Start(daemon->get(), socket_path);
+  if (!server.ok()) {
+    std::fprintf(stderr, "puddled: %s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("puddled: serving %s on %s (%llu puddles registered)\n", root.c_str(),
+              socket_path.c_str(), static_cast<unsigned long long>((*daemon)->puddle_count()));
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_shutdown) {
+    ::pause();
+  }
+  std::printf("puddled: shutting down\n");
+  server->get()->Stop();
+  return 0;
+}
