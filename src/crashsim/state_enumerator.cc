@@ -1,0 +1,103 @@
+#include "src/crashsim/state_enumerator.h"
+
+#include <algorithm>
+
+#include "src/common/align.h"
+#include "src/common/rng.h"
+
+namespace crashsim {
+namespace {
+
+// Splits `seed` per (epoch, subset) so every spec's eviction choices are
+// independent and reproducible in isolation.
+uint64_t DeriveSeed(uint64_t seed, uint64_t epoch, uint32_t subset) {
+  uint64_t z = seed ^ (epoch * 0x9e3779b97f4a7c15ULL) ^ (uint64_t{subset} << 32);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::string CrashStateSpec::ToString() const {
+  std::string s = "epoch=" + std::to_string(epoch);
+  if (evict) {
+    s += " evict(seed=" + std::to_string(eviction_seed) +
+         ",p=" + std::to_string(eviction_probability) + ")";
+  } else {
+    s += " fence-boundary";
+  }
+  return s;
+}
+
+std::vector<CrashStateSpec> EnumerateCrashStates(const Trace& trace,
+                                                 const EnumerationOptions& options) {
+  std::vector<CrashStateSpec> specs;
+  for (uint64_t epoch = 0; epoch <= trace.epochs.size(); ++epoch) {
+    CrashStateSpec boundary;
+    boundary.epoch = epoch;
+    specs.push_back(boundary);
+    if (epoch == trace.epochs.size()) {
+      break;  // Complete run: nothing in flight to evict.
+    }
+    const Epoch& open = trace.epochs[epoch];
+    if (open.deltas.empty() && open.dirty_at_close.empty()) {
+      continue;
+    }
+    for (uint32_t subset = 0; subset < options.eviction_subsets_per_epoch; ++subset) {
+      CrashStateSpec spec;
+      spec.epoch = epoch;
+      spec.evict = true;
+      spec.eviction_seed = DeriveSeed(options.seed, epoch, subset);
+      spec.eviction_probability = options.eviction_probability;
+      specs.push_back(spec);
+    }
+  }
+  if (options.max_states != 0 && specs.size() > options.max_states) {
+    // Deterministic stride sampling: keep coverage spread across the run. The
+    // final spec (the complete-run image, where recovery must be a no-op) is
+    // always retained.
+    std::vector<CrashStateSpec> sampled;
+    sampled.reserve(options.max_states);
+    for (uint64_t i = 0; i + 1 < options.max_states; ++i) {
+      sampled.push_back(specs[i * specs.size() / options.max_states]);
+    }
+    sampled.push_back(specs.back());
+    specs = std::move(sampled);
+  }
+  return specs;
+}
+
+void MaterializeCrashState(const Trace& trace, const CrashStateSpec& spec, const ApplyFn& apply) {
+  const uint64_t closed = std::min<uint64_t>(spec.epoch, trace.epochs.size());
+  for (uint64_t e = 0; e < closed; ++e) {
+    for (const FlushDelta& delta : trace.epochs[e].deltas) {
+      apply(delta.region, delta.offset, delta.bytes.data(), delta.bytes.size());
+    }
+  }
+  if (!spec.evict || spec.epoch >= trace.epochs.size()) {
+    return;
+  }
+  // Open epoch: each in-flight flushed line and each dirty line survives
+  // independently. Deltas are walked in issue order, line by line, so a line
+  // flushed twice in the epoch can surface either write-back; dirty-line
+  // content (captured at the closing fence) is applied last and wins when
+  // both were chosen, modeling the later eviction.
+  puddles::Xoshiro256 rng(spec.eviction_seed);
+  const Epoch& open = trace.epochs[spec.epoch];
+  for (const FlushDelta& delta : open.deltas) {
+    for (size_t off = 0; off < delta.bytes.size(); off += puddles::kCacheLineSize) {
+      const size_t line = std::min(puddles::kCacheLineSize, delta.bytes.size() - off);
+      if (rng.NextDouble() < spec.eviction_probability) {
+        apply(delta.region, delta.offset + off, delta.bytes.data() + off, line);
+      }
+    }
+  }
+  for (const DirtyLine& dirty : open.dirty_at_close) {
+    if (rng.NextDouble() < spec.eviction_probability) {
+      apply(dirty.region, dirty.offset, dirty.live.data(), dirty.live.size());
+    }
+  }
+}
+
+}  // namespace crashsim

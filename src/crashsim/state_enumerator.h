@@ -1,0 +1,65 @@
+// Crash-state enumeration: from a persist trace, generate the legal
+// post-crash durable images, bounded by a budget.
+//
+// The crash model (DESIGN.md §5, after the faulty-PM model of Ben-David et
+// al. and Pathfinder-style systematic testing): power may fail just before
+// any fence retires. At that point
+//   * every flush from an earlier, fence-closed epoch is durable,
+//   * each flush issued inside the open epoch is independently maybe-durable
+//     (write-back may have completed before the failure), at cache-line
+//     granularity, and
+//   * each stored-but-unflushed dirty line is independently maybe-durable
+//     (the cache may have evicted it).
+// A CrashStateSpec names one member of this space: a crash epoch plus an
+// optional seeded subset of the maybe-durable lines. Enumeration emits, per
+// epoch, the strictest state (nothing in flight survives) and a configurable
+// number of seeded eviction subsets, then down-samples deterministically to
+// the state budget.
+#ifndef SRC_CRASHSIM_STATE_ENUMERATOR_H_
+#define SRC_CRASHSIM_STATE_ENUMERATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/crashsim/trace.h"
+
+namespace crashsim {
+
+struct EnumerationOptions {
+  // Hard cap on generated states (deterministic stride down-sampling).
+  uint64_t max_states = 512;
+  // Seeded random eviction subsets generated per epoch with in-flight lines.
+  uint32_t eviction_subsets_per_epoch = 2;
+  // Probability that a maybe-durable line is included in a subset.
+  double eviction_probability = 0.5;
+  uint64_t seed = 1;
+};
+
+struct CrashStateSpec {
+  // Crash point: the closing fence of trace.epochs[epoch] has NOT retired;
+  // epochs [0, epoch) are fully durable. epoch == trace.epochs.size() is the
+  // complete run (everything durable) — recovery must be a no-op.
+  uint64_t epoch = 0;
+  // If true, a seeded subset of the open epoch's in-flight flushes and dirty
+  // lines is additionally durable.
+  bool evict = false;
+  uint64_t eviction_seed = 0;
+  double eviction_probability = 0.5;
+
+  std::string ToString() const;
+};
+
+std::vector<CrashStateSpec> EnumerateCrashStates(const Trace& trace,
+                                                 const EnumerationOptions& options);
+
+// Emits the durable image of `spec` as writes on top of the trace-start
+// baseline. Deterministic for a given (trace, spec).
+using ApplyFn =
+    std::function<void(uint32_t region, uint64_t offset, const uint8_t* data, size_t size)>;
+void MaterializeCrashState(const Trace& trace, const CrashStateSpec& spec, const ApplyFn& apply);
+
+}  // namespace crashsim
+
+#endif  // SRC_CRASHSIM_STATE_ENUMERATOR_H_

@@ -1,0 +1,116 @@
+#include "src/crashsim/trace.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/align.h"
+
+namespace crashsim {
+
+uint64_t Trace::TotalDeltaBytes() const {
+  uint64_t total = 0;
+  for (const Epoch& epoch : epochs) {
+    for (const FlushDelta& delta : epoch.deltas) {
+      total += delta.bytes.size();
+    }
+  }
+  return total;
+}
+
+TraceRecorder::~TraceRecorder() {
+  if (active()) {
+    (void)Stop();
+  }
+}
+
+void TraceRecorder::Start(std::vector<TracedRegion> regions) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trace_ = Trace{};
+  trace_.regions = std::move(regions);
+  open_ = Epoch{};
+  durable_.clear();
+  durable_.reserve(trace_.regions.size());
+  for (const TracedRegion& region : trace_.regions) {
+    const uint8_t* live = reinterpret_cast<const uint8_t*>(region.base);
+    durable_.emplace_back(live, live + region.size);
+  }
+  active_ = true;
+  pmem::SetPersistObserver(this);
+}
+
+Trace TraceRecorder::Stop() {
+  pmem::SetPersistObserver(nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_) {
+    CloseEpochLocked();
+    active_ = false;
+  }
+  durable_.clear();
+  return std::move(trace_);
+}
+
+bool TraceRecorder::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+void TraceRecorder::OnFlushRange(const void* addr, size_t size) {
+  const uintptr_t flush_lo = reinterpret_cast<uintptr_t>(addr);
+  const uintptr_t flush_hi = flush_lo + size;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!active_) {
+    return;
+  }
+  ++trace_.flush_calls;
+  for (uint32_t i = 0; i < trace_.regions.size(); ++i) {
+    const TracedRegion& region = trace_.regions[i];
+    // Expand to whole region-relative cache lines (the write-back unit), the
+    // same granularity the ShadowHeap uses.
+    const puddles::LineSpan span =
+        puddles::ClampToRegionLines(region.base, region.size, flush_lo, flush_hi);
+    if (span.length == 0) {
+      continue;
+    }
+    FlushDelta delta;
+    delta.region = i;
+    delta.offset = span.offset;
+    const uint8_t* live = reinterpret_cast<const uint8_t*>(region.base + span.offset);
+    delta.bytes.assign(live, live + span.length);
+    // The flushed lines are now (pending-)durable: fold them into the model so
+    // the fence-time dirty scan reports only never-flushed lines.
+    std::memcpy(durable_[i].data() + span.offset, delta.bytes.data(), delta.bytes.size());
+    open_.deltas.push_back(std::move(delta));
+  }
+}
+
+void TraceRecorder::OnFence() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!active_) {
+    return;
+  }
+  ++trace_.fences;
+  CloseEpochLocked();
+}
+
+void TraceRecorder::CloseEpochLocked() {
+  for (uint32_t i = 0; i < trace_.regions.size(); ++i) {
+    const TracedRegion& region = trace_.regions[i];
+    const uint8_t* live = reinterpret_cast<const uint8_t*>(region.base);
+    const uint8_t* durable = durable_[i].data();
+    for (size_t offset = 0; offset < region.size; offset += puddles::kCacheLineSize) {
+      const size_t line = std::min(puddles::kCacheLineSize, region.size - offset);
+      if (std::memcmp(live + offset, durable + offset, line) == 0) {
+        continue;
+      }
+      DirtyLine dirty;
+      dirty.region = i;
+      dirty.offset = offset;
+      dirty.live.assign(live + offset, live + offset + line);
+      open_.dirty_at_close.push_back(std::move(dirty));
+    }
+  }
+  trace_.epochs.push_back(std::move(open_));
+  open_ = Epoch{};
+}
+
+}  // namespace crashsim

@@ -1,0 +1,114 @@
+// Persist-trace recording for systematic crash-state enumeration.
+//
+// A TraceRecorder observes the persistence instruction stream (every
+// pmem::Flush and pmem::Fence) over a set of registered PM regions and builds
+// an epoch-delimited trace: epoch k is the interval between the (k-1)-th and
+// k-th fences. Within an epoch the recorder captures
+//   * flush deltas — the line-expanded byte ranges written back by Flush();
+//     they are guaranteed durable once the epoch's closing fence retires, and
+//     only maybe-durable before it (a write-back can complete any time after
+//     the flush instruction issues), and
+//   * dirty lines at the closing fence — lines stored but never flushed; on
+//     real hardware the cache may evict such a line at any moment, so each is
+//     independently maybe-durable.
+// From a trace, the state enumerator (state_enumerator.h) generates every
+// legal post-crash durable image within a budget. See DESIGN.md §5.
+//
+// The recorder keeps its own model of the durable image (initialized from
+// live contents at Start), so it works with or without the ShadowHeap
+// simulator attached.
+#ifndef SRC_CRASHSIM_TRACE_H_
+#define SRC_CRASHSIM_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/pmem/flush.h"
+
+namespace crashsim {
+
+// One PM region under observation. `file_path` names the backing puddle file
+// so the harness can materialize crash images onto disk after teardown.
+struct TracedRegion {
+  uintptr_t base = 0;
+  size_t size = 0;
+  std::string file_path;
+  std::string label;
+};
+
+// A flushed, region-relative, line-expanded byte range and its content at
+// flush time.
+struct FlushDelta {
+  uint32_t region = 0;  // Index into Trace::regions.
+  uint64_t offset = 0;  // Region-relative, cache-line aligned.
+  std::vector<uint8_t> bytes;
+};
+
+// A stored-but-unflushed cache line observed when an epoch closed, holding
+// the content the cache would have written back on eviction.
+struct DirtyLine {
+  uint32_t region = 0;
+  uint64_t offset = 0;  // Region-relative, cache-line aligned.
+  std::vector<uint8_t> live;
+};
+
+// One fence-delimited interval.
+struct Epoch {
+  std::vector<FlushDelta> deltas;
+  std::vector<DirtyLine> dirty_at_close;
+};
+
+struct Trace {
+  std::vector<TracedRegion> regions;
+  // epochs[k] is closed by the k-th observed fence; the final epoch is closed
+  // by TraceRecorder::Stop() (covering stores issued after the last fence).
+  std::vector<Epoch> epochs;
+  uint64_t flush_calls = 0;
+  uint64_t fences = 0;
+
+  uint64_t TotalDeltaBytes() const;
+};
+
+// Records the persist trace of the calling process. At most one recorder may
+// be active at a time (it installs itself as the process persist observer).
+// Thread-safe: flushes/fences from any thread are serialized into one trace.
+class TraceRecorder : public pmem::PersistObserver {
+ public:
+  TraceRecorder() = default;
+  ~TraceRecorder() override;
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // Begins recording. The live contents of `regions` form the epoch-0 durable
+  // baseline (everything before Start is assumed durable).
+  void Start(std::vector<TracedRegion> regions);
+
+  // Closes the trailing epoch (final dirty scan), uninstalls the observer,
+  // and returns the trace.
+  Trace Stop();
+
+  bool active() const;
+
+  // pmem::PersistObserver:
+  void OnFlushRange(const void* addr, size_t size) override;
+  void OnFence() override;
+
+ private:
+  void CloseEpochLocked();
+
+  mutable std::mutex mu_;
+  bool active_ = false;
+  Trace trace_;
+  Epoch open_;
+  // Per-region durable-image model, advanced by flush deltas; diffed against
+  // live memory at each fence to find dirty (evictable) lines.
+  std::vector<std::vector<uint8_t>> durable_;
+};
+
+}  // namespace crashsim
+
+#endif  // SRC_CRASHSIM_TRACE_H_

@@ -1,0 +1,466 @@
+#include "src/crashsim/workload_drivers.h"
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "src/common/align.h"
+#include "src/common/rng.h"
+#include "src/libpuddles/libpuddles.h"
+#include "src/pmem/mapped_file.h"
+#include "src/pmhash/pmhash.h"
+#include "src/workloads/adapters.h"
+#include "src/workloads/btree.h"
+#include "src/workloads/kvstore.h"
+#include "src/workloads/list.h"
+
+namespace crashsim {
+namespace {
+
+bool OkOrNotFound(const puddles::Status& status) {
+  return status.ok() || status.code() == puddles::StatusCode::kNotFound;
+}
+
+// ---- Base for workloads running on the full Puddles stack ----
+//
+// Owns the daemon/runtime/pool lifecycle; subclasses own one data structure.
+// The traced regions are every puddle the runtime has registered (data, pool
+// meta, log space, thread log), so all persist traffic during ops lands in
+// the trace.
+class PoolCrashDriver : public WorkloadDriver {
+ public:
+  PoolCrashDriver(std::string name, const DriverOptions& options)
+      : name_(std::move(name)), options_(options) {}
+
+  std::string name() const override { return name_; }
+  int num_ops() const override { return options_.ops; }
+
+  puddles::Result<std::vector<TracedRegion>> Setup(const std::string& root) override {
+    ASSIGN_OR_RETURN(auto daemon, puddled::Daemon::Start({.root_dir = root}));
+    daemon_ = std::move(daemon);
+    auto runtime = puddles::Runtime::Create(
+        std::make_shared<puddled::EmbeddedDaemonClient>(daemon_.get()));
+    if (!runtime.ok()) {
+      Teardown();
+      return runtime.status();
+    }
+    runtime_ = std::move(*runtime);
+    auto pool = runtime_->CreatePool("crashsim");
+    if (!pool.ok()) {
+      Teardown();
+      return pool.status();
+    }
+    pool_ = *pool;
+    rng_ = puddles::Xoshiro256(options_.seed);
+    puddles::Status init = InitStructure();
+    if (!init.ok()) {
+      Teardown();
+      return init;
+    }
+    // Map every registered puddle now so all op-phase persists hit traced
+    // regions (mapping is otherwise lazy, on first fault).
+    std::vector<TracedRegion> regions;
+    for (puddles::Runtime::Entry* entry : runtime_->Entries()) {
+      auto mapped = runtime_->EnsureMapped(entry->info.uuid);
+      if (!mapped.ok()) {
+        Teardown();
+        return mapped.status();
+      }
+    }
+    for (puddles::Runtime::Entry* entry : runtime_->Entries()) {
+      if (!entry->writable) {
+        continue;
+      }
+      TracedRegion region;
+      region.base = entry->info.base_addr;
+      region.size = entry->info.file_size;
+      region.file_path = daemon_->PuddlePath(entry->info.uuid);
+      region.label = name_ + "/" + entry->info.uuid.ToString().substr(0, 8);
+      regions.push_back(std::move(region));
+    }
+    traced_puddles_ = runtime_->Entries().size();
+    return regions;
+  }
+
+  puddles::Status RunOp(int i) override {
+    RETURN_IF_ERROR(DoOp(i));
+    // A new puddle mid-run (pool/log growth) would persist outside the traced
+    // regions and silently invalidate the enumerated images — fail loudly.
+    if (runtime_->Entries().size() != traced_puddles_) {
+      return puddles::FailedPreconditionError(
+          "crashsim: new puddles appeared during the traced run; increase heap/log sizes");
+    }
+    return puddles::OkStatus();
+  }
+
+  puddles::Result<std::string> Fingerprint() override { return ComputeFingerprint(); }
+
+  void Teardown() override {
+    ReleaseStructure();
+    pool_ = nullptr;
+    runtime_.reset();
+    daemon_.reset();
+  }
+
+  puddles::Result<std::string> RecoverAndFingerprint(const std::string& root) override {
+    Teardown();
+    // Reboot: run the application-independent recovery explicitly (instead of
+    // Daemon::Start's implicit pass) so the replay stats are reportable.
+    ASSIGN_OR_RETURN(auto daemon,
+                     puddled::Daemon::Start({.root_dir = root, .run_recovery = false}));
+    daemon_ = std::move(daemon);
+    auto recovery = daemon_->RunRecovery();
+    if (!recovery.ok()) {
+      last_recovery_info_ = "recovery errored";
+      Teardown();
+      return recovery.status();
+    }
+    std::ostringstream info;
+    info << "logs_scanned=" << recovery->logs_scanned << " logs_replayed="
+         << recovery->logs_replayed << " entries_applied=" << recovery->entries_applied
+         << " marked_invalid=" << recovery->logs_marked_invalid;
+    last_recovery_info_ = info.str();
+    auto finish = [&]() -> puddles::Result<std::string> {
+      auto runtime = puddles::Runtime::Create(
+          std::make_shared<puddled::EmbeddedDaemonClient>(daemon_.get()));
+      if (!runtime.ok()) {
+        return runtime.status();
+      }
+      runtime_ = std::move(*runtime);
+      ASSIGN_OR_RETURN(pool_, runtime_->OpenPool("crashsim"));
+      RETURN_IF_ERROR(AttachStructure());
+      ASSIGN_OR_RETURN(std::string fingerprint, ComputeFingerprint());
+      if (options_.probe_after_recovery) {
+        puddles::Status probe = ProbeOp();
+        if (!probe.ok()) {
+          return puddles::InternalError("post-recovery probe failed: " + probe.ToString());
+        }
+      }
+      return fingerprint;
+    };
+    puddles::Result<std::string> result = finish();
+    Teardown();
+    return result;
+  }
+
+  std::string LastRecoveryInfo() const override { return last_recovery_info_; }
+
+ protected:
+  // Creates + preloads the structure (must run at least one transaction so
+  // the thread log puddle exists before tracing starts).
+  virtual puddles::Status InitStructure() = 0;
+  // Re-attaches to an existing structure after reopen.
+  virtual puddles::Status AttachStructure() = 0;
+  virtual void ReleaseStructure() = 0;
+  virtual puddles::Status DoOp(int i) = 0;
+  virtual puddles::Result<std::string> ComputeFingerprint() = 0;
+  // One mutate-and-undo transaction over the recovered structure.
+  virtual puddles::Status ProbeOp() = 0;
+
+  std::string name_;
+  DriverOptions options_;
+  std::unique_ptr<puddled::Daemon> daemon_;
+  std::unique_ptr<puddles::Runtime> runtime_;
+  puddles::Pool* pool_ = nullptr;
+  puddles::Xoshiro256 rng_{0};
+  size_t traced_puddles_ = 0;
+  std::string last_recovery_info_;
+};
+
+// ---- Linked list (workloads/list.h) ----
+class ListCrashDriver : public PoolCrashDriver {
+ public:
+  using PoolCrashDriver::PoolCrashDriver;
+
+ protected:
+  using List = workloads::PersistentList<workloads::PuddlesAdapter>;
+
+  puddles::Status InitStructure() override {
+    List::RegisterTypes();
+    list_.emplace(workloads::PuddlesAdapter(pool_));
+    RETURN_IF_ERROR(list_->Init());
+    for (int i = 0; i < options_.preload; ++i) {
+      RETURN_IF_ERROR(list_->InsertTail(1'000'000 + static_cast<uint64_t>(i)));
+    }
+    return puddles::OkStatus();
+  }
+
+  puddles::Status AttachStructure() override {
+    list_.emplace(workloads::PuddlesAdapter(pool_));
+    return list_->Init();
+  }
+
+  void ReleaseStructure() override { list_.reset(); }
+
+  puddles::Status DoOp(int i) override {
+    if (list_->count() == 0 || rng_.NextDouble() < 0.7) {
+      return list_->InsertTail(2'000'000 + static_cast<uint64_t>(i));
+    }
+    return list_->DeleteHead();
+  }
+
+  puddles::Result<std::string> ComputeFingerprint() override {
+    std::ostringstream out;
+    out << "n=" << list_->count();
+    list_->ForEachValue([&](uint64_t value) { out << ";" << value; });
+    return out.str();
+  }
+
+  puddles::Status ProbeOp() override {
+    RETURN_IF_ERROR(list_->InsertTail(999'999'999));
+    // The probe must leave the fingerprint unchanged only for its own check;
+    // state is discarded after this call, so a tail insert suffices.
+    return puddles::OkStatus();
+  }
+
+ private:
+  std::optional<List> list_;
+};
+
+// ---- B+-tree (workloads/btree.h) ----
+class BtreeCrashDriver : public PoolCrashDriver {
+ public:
+  using PoolCrashDriver::PoolCrashDriver;
+
+ protected:
+  using Tree = workloads::PersistentBTree<workloads::PuddlesAdapter>;
+  static constexpr uint64_t kKeyUniverse = 48;
+
+  puddles::Status InitStructure() override {
+    Tree::RegisterTypes();
+    tree_.emplace(workloads::PuddlesAdapter(pool_));
+    RETURN_IF_ERROR(tree_->Init());
+    // Preload with spread keys so the tree already has internal nodes and
+    // op-phase inserts exercise splits.
+    for (int i = 0; i < options_.preload; ++i) {
+      const uint64_t key = 1 + (static_cast<uint64_t>(i) * 7) % kKeyUniverse;
+      RETURN_IF_ERROR(tree_->Insert(key, 1'000'000 + static_cast<uint64_t>(i)));
+    }
+    return puddles::OkStatus();
+  }
+
+  puddles::Status AttachStructure() override {
+    tree_.emplace(workloads::PuddlesAdapter(pool_));
+    return tree_->Init();
+  }
+
+  void ReleaseStructure() override { tree_.reset(); }
+
+  puddles::Status DoOp(int i) override {
+    const uint64_t key = 1 + rng_.Below(kKeyUniverse);
+    if (rng_.NextDouble() < 0.7) {
+      return tree_->Insert(key, 2'000'000 + static_cast<uint64_t>(i));
+    }
+    puddles::Status status = tree_->Delete(key);
+    return OkOrNotFound(status) ? puddles::OkStatus() : status;
+  }
+
+  puddles::Result<std::string> ComputeFingerprint() override {
+    std::ostringstream out;
+    out << "n=" << tree_->size();
+    for (uint64_t key = 1; key <= kKeyUniverse; ++key) {
+      uint64_t value = 0;
+      if (tree_->Search(key, &value)) {
+        out << ";" << key << "=" << value;
+      }
+    }
+    return out.str();
+  }
+
+  puddles::Status ProbeOp() override {
+    RETURN_IF_ERROR(tree_->Insert(kKeyUniverse + 1, 999'999'999));
+    return tree_->Delete(kKeyUniverse + 1);
+  }
+
+ private:
+  std::optional<Tree> tree_;
+};
+
+// ---- KV store (workloads/kvstore.h) ----
+class KvstoreCrashDriver : public PoolCrashDriver {
+ public:
+  using PoolCrashDriver::PoolCrashDriver;
+
+ protected:
+  using Store = workloads::KvStore<workloads::PuddlesAdapter>;
+  static constexpr uint64_t kKeyUniverse = 24;
+  static constexpr uint64_t kBuckets = 64;
+
+  static std::string KeyAt(uint64_t k) { return "key" + std::to_string(k); }
+
+  static void FillValue(char (&value)[workloads::kKvValueSize], uint64_t tag) {
+    std::memset(value, 0, sizeof(value));
+    std::snprintf(value, sizeof(value), "v%llu", static_cast<unsigned long long>(tag));
+  }
+
+  puddles::Status InitStructure() override {
+    Store::RegisterTypes();
+    store_.emplace(workloads::PuddlesAdapter(pool_));
+    RETURN_IF_ERROR(store_->Init(kBuckets));
+    char value[workloads::kKvValueSize];
+    for (int i = 0; i < options_.preload; ++i) {
+      FillValue(value, 1'000'000 + static_cast<uint64_t>(i));
+      RETURN_IF_ERROR(store_->Put(KeyAt(static_cast<uint64_t>(i) % kKeyUniverse), value));
+    }
+    return puddles::OkStatus();
+  }
+
+  puddles::Status AttachStructure() override {
+    store_.emplace(workloads::PuddlesAdapter(pool_));
+    return store_->Init(kBuckets);
+  }
+
+  void ReleaseStructure() override { store_.reset(); }
+
+  puddles::Status DoOp(int i) override {
+    const std::string key = KeyAt(rng_.Below(kKeyUniverse));
+    if (rng_.NextDouble() < 0.7) {
+      char value[workloads::kKvValueSize];
+      FillValue(value, 2'000'000 + static_cast<uint64_t>(i));
+      return store_->Put(key, value);
+    }
+    puddles::Status status = store_->Delete(key);
+    return OkOrNotFound(status) ? puddles::OkStatus() : status;
+  }
+
+  puddles::Result<std::string> ComputeFingerprint() override {
+    std::ostringstream out;
+    out << "n=" << store_->size();
+    char value[workloads::kKvValueSize];
+    for (uint64_t k = 0; k < kKeyUniverse; ++k) {
+      if (store_->Get(KeyAt(k), value)) {
+        value[workloads::kKvValueSize - 1] = '\0';
+        out << ";" << KeyAt(k) << "=" << value;
+      }
+    }
+    return out.str();
+  }
+
+  puddles::Status ProbeOp() override {
+    char value[workloads::kKvValueSize];
+    FillValue(value, 999'999'999);
+    RETURN_IF_ERROR(store_->Put("probe", value));
+    return store_->Delete("probe");
+  }
+
+ private:
+  std::optional<Store> store_;
+};
+
+// ---- PersistentHashMap (src/pmhash) ----
+//
+// No daemon, no transactions: pmhash carries its own slot-level protocol
+// (publish bits, update journal, CRC scrubbing on Attach), so this driver
+// verifies that protocol under the same exhaustive crash model.
+class PmhashCrashDriver : public WorkloadDriver {
+ public:
+  explicit PmhashCrashDriver(const DriverOptions& options) : options_(options) {}
+
+  std::string name() const override { return "pmhash"; }
+  int num_ops() const override { return options_.ops; }
+
+  puddles::Result<std::vector<TracedRegion>> Setup(const std::string& root) override {
+    path_ = root + "/pmhash.pud";
+    const size_t bytes = puddles::AlignUp(Map::RequiredBytes(kCapacity), size_t{4096});
+    ASSIGN_OR_RETURN(auto file, pmem::PmemFile::Create(path_, bytes));
+    file_ = std::move(file);
+    ASSIGN_OR_RETURN(void* mem, file_.Map());
+    RETURN_IF_ERROR(Map::Format(mem, file_.size(), kCapacity));
+    ASSIGN_OR_RETURN(auto map, Map::Attach(mem, file_.size()));
+    map_.emplace(std::move(map));
+    rng_ = puddles::Xoshiro256(options_.seed);
+    for (int i = 0; i < options_.preload; ++i) {
+      RETURN_IF_ERROR(map_->Put(static_cast<uint64_t>(i) % kKeyUniverse,
+                                1'000'000 + static_cast<uint64_t>(i)));
+    }
+    TracedRegion region;
+    region.base = reinterpret_cast<uintptr_t>(mem);
+    region.size = file_.size();
+    region.file_path = path_;
+    region.label = "pmhash";
+    return std::vector<TracedRegion>{std::move(region)};
+  }
+
+  puddles::Status RunOp(int i) override {
+    const uint64_t key = rng_.Below(kKeyUniverse);
+    if (rng_.NextDouble() < 0.6) {
+      return map_->Put(key, 2'000'000 + static_cast<uint64_t>(i));
+    }
+    puddles::Status status = map_->Erase(key);
+    return OkOrNotFound(status) ? puddles::OkStatus() : status;
+  }
+
+  puddles::Result<std::string> Fingerprint() override {
+    std::map<uint64_t, uint64_t> contents;
+    map_->ForEach([&](const uint64_t& key, const uint64_t& value) { contents[key] = value; });
+    std::ostringstream out;
+    out << "n=" << contents.size();
+    for (const auto& [key, value] : contents) {
+      out << ";" << key << "=" << value;
+    }
+    return out.str();
+  }
+
+  void Teardown() override {
+    map_.reset();
+    file_ = pmem::PmemFile();
+  }
+
+  puddles::Result<std::string> RecoverAndFingerprint(const std::string& root) override {
+    Teardown();
+    path_ = root + "/pmhash.pud";
+    ASSIGN_OR_RETURN(auto file, pmem::PmemFile::Open(path_));
+    file_ = std::move(file);
+    auto finish = [&]() -> puddles::Result<std::string> {
+      ASSIGN_OR_RETURN(void* mem, file_.Map());
+      // Attach IS the recovery path: journal replay + torn-slot scrubbing.
+      ASSIGN_OR_RETURN(auto map, Map::Attach(mem, file_.size()));
+      map_.emplace(std::move(map));
+      ASSIGN_OR_RETURN(std::string fingerprint, Fingerprint());
+      if (options_.probe_after_recovery) {
+        RETURN_IF_ERROR(map_->Put(kKeyUniverse + 1, 999'999'999));
+        RETURN_IF_ERROR(map_->Erase(kKeyUniverse + 1));
+      }
+      return fingerprint;
+    };
+    puddles::Result<std::string> result = finish();
+    Teardown();
+    return result;
+  }
+
+ private:
+  using Map = puddles::PersistentHashMap<uint64_t, uint64_t>;
+  static constexpr uint64_t kCapacity = 256;
+  static constexpr uint64_t kKeyUniverse = 32;
+
+  DriverOptions options_;
+  std::string path_;
+  pmem::PmemFile file_;
+  std::optional<Map> map_;
+  puddles::Xoshiro256 rng_{0};
+};
+
+}  // namespace
+
+std::unique_ptr<WorkloadDriver> MakeDriver(const std::string& name,
+                                           const DriverOptions& options) {
+  if (name == "list") {
+    return std::make_unique<ListCrashDriver>("list", options);
+  }
+  if (name == "btree") {
+    return std::make_unique<BtreeCrashDriver>("btree", options);
+  }
+  if (name == "kvstore") {
+    return std::make_unique<KvstoreCrashDriver>("kvstore", options);
+  }
+  if (name == "pmhash") {
+    return std::make_unique<PmhashCrashDriver>(options);
+  }
+  return nullptr;
+}
+
+std::vector<std::string> DriverNames() { return {"list", "btree", "kvstore", "pmhash"}; }
+
+}  // namespace crashsim

@@ -1,0 +1,36 @@
+// Crashsim drivers for the repo's workloads: the linked list, B+-tree, and
+// KV store from src/workloads (running on the full Puddles stack — daemon,
+// runtime, pool, transactions) and the daemon's own PersistentHashMap
+// (src/pmhash, which carries its own crash-consistency protocol).
+//
+// Each driver performs a deterministic seeded op sequence; op i's written
+// values encode i, so distinct op-boundary states fingerprint distinctly and
+// the harness membership oracle is sharp.
+#ifndef SRC_CRASHSIM_WORKLOAD_DRIVERS_H_
+#define SRC_CRASHSIM_WORKLOAD_DRIVERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/crashsim/harness.h"
+
+namespace crashsim {
+
+struct DriverOptions {
+  int ops = 24;
+  uint64_t seed = 42;
+  int preload = 8;  // Elements inserted before tracing starts (part of the baseline).
+  // After each recovery + fingerprint, run one insert+erase probe transaction
+  // to prove the recovered heap and logs are still usable, not just readable.
+  bool probe_after_recovery = true;
+};
+
+// Supported names: "list", "btree", "kvstore", "pmhash".
+std::unique_ptr<WorkloadDriver> MakeDriver(const std::string& name,
+                                           const DriverOptions& options = {});
+std::vector<std::string> DriverNames();
+
+}  // namespace crashsim
+
+#endif  // SRC_CRASHSIM_WORKLOAD_DRIVERS_H_

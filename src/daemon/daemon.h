@@ -127,6 +127,11 @@ class Daemon {
   const std::string& root_dir() const { return options_.root_dir; }
   uint64_t puddle_count();
 
+  // On-disk backing file of a puddle. The daemon owns the naming scheme;
+  // tools that touch puddle files directly (crashsim image materialization)
+  // must ask rather than re-derive it.
+  std::string PuddlePath(const Uuid& uuid) const;
+
   // UNIX-like permission check (public: shared with the recovery resolver and
   // exercised directly by tests).
   static puddles::Status CheckAccess(uint32_t owner_uid, uint32_t owner_gid, uint32_t mode,
@@ -143,8 +148,6 @@ class Daemon {
   puddles::Status Initialize();
   puddles::Status OpenTables();
   puddles::Status RebuildAddressMap();
-
-  std::string PuddlePath(const Uuid& uuid) const;
 
   puddles::Result<PuddleRecord> LookupPuddle(const Uuid& uuid);
   puddles::Status UpdatePuddleRecord(const PuddleRecord& record);

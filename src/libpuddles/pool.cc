@@ -57,6 +57,10 @@ puddles::Result<void*> Pool::MallocBytes(size_t size, TypeId type_id) {
         pmem::FlushFence(reinterpret_cast<uint8_t*>(entry->view.header()) +
                              entry->view.header()->meta_offset,
                          entry->view.header()->meta_size);
+      } else {
+        // Inside a transaction: the caller's stores into the fresh object are
+        // part of the transaction, so commit must flush them (stage 1).
+        Transaction::Current()->NoteFreshRange(*allocated, size);
       }
       return *allocated;
     }

@@ -148,6 +148,16 @@ Runtime::Entry* Runtime::FindEntryByUuid(const Uuid& uuid) {
   return it == entries_by_uuid_.end() ? nullptr : it->second;
 }
 
+std::vector<Runtime::Entry*> Runtime::Entries() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry*> entries;
+  entries.reserve(entries_by_base_.size());
+  for (auto& [base, entry] : entries_by_base_) {
+    entries.push_back(entry.get());
+  }
+  return entries;
+}
+
 bool Runtime::HandleFault(uintptr_t addr) {
   Entry* entry = FindEntryByAddr(addr);
   if (entry != nullptr) {

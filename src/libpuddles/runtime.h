@@ -71,6 +71,10 @@ class Runtime {
   Entry* FindEntryByAddr(uintptr_t addr);
   Entry* FindEntryByUuid(const Uuid& uuid);
 
+  // All registered puddle entries (crashsim uses this to discover the PM
+  // regions to trace). Pointers stay valid for the runtime's lifetime.
+  std::vector<Entry*> Entries();
+
   // Fault resolver (runs on the fault helper thread).
   bool HandleFault(uintptr_t addr);
 

@@ -13,6 +13,26 @@ namespace {
 std::atomic<uint64_t> g_flushed_lines{0};
 std::atomic<uint64_t> g_flush_calls{0};
 std::atomic<uint64_t> g_fences{0};
+std::atomic<PersistObserver*> g_observer{nullptr};
+std::atomic<int> g_observer_inflight{0};
+
+// Invokes the observer under an in-flight count so SetPersistObserver(nullptr)
+// can drain concurrent callers before the observer is destroyed. The
+// increment and the re-load must be seq_cst to pair with the clearing
+// thread's seq_cst null store: with weaker orders the classic store-buffering
+// outcome lets the drain read inflight==0 while this thread still reads the
+// old observer pointer.
+template <typename Fn>
+inline void NotifyObserver(Fn&& fn) {
+  if (g_observer.load(std::memory_order_acquire) == nullptr) {
+    return;
+  }
+  g_observer_inflight.fetch_add(1, std::memory_order_seq_cst);
+  if (PersistObserver* observer = g_observer.load(std::memory_order_seq_cst)) {
+    fn(observer);
+  }
+  g_observer_inflight.fetch_sub(1, std::memory_order_release);
+}
 
 #if defined(__x86_64__)
 
@@ -122,6 +142,7 @@ void Flush(const void* addr, size_t size) {
   if (internal::g_shadow_active.load(std::memory_order_acquire)) {
     ShadowRegistry::Instance().OnFlush(addr, size);
   }
+  NotifyObserver([&](PersistObserver* observer) { observer->OnFlushRange(addr, size); });
 }
 
 void Fence() {
@@ -131,6 +152,17 @@ void Fence() {
   std::atomic_thread_fence(std::memory_order_seq_cst);
 #endif
   g_fences.fetch_add(1, std::memory_order_relaxed);
+  NotifyObserver([](PersistObserver* observer) { observer->OnFence(); });
+}
+
+void SetPersistObserver(PersistObserver* observer) {
+  g_observer.store(observer, std::memory_order_seq_cst);
+  if (observer == nullptr) {
+    // Drain in-flight callbacks so the caller may destroy the observer the
+    // moment this returns, even with other threads mid-Flush/Fence.
+    while (g_observer_inflight.load(std::memory_order_seq_cst) != 0) {
+    }
+  }
 }
 
 void FlushFence(const void* addr, size_t size) {

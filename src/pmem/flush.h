@@ -48,6 +48,21 @@ struct PersistStats {
 PersistStats ReadPersistStats();
 void ResetPersistStats();
 
+// Observer of the persistence instruction stream. The crashsim trace recorder
+// implements this to build epoch-delimited persist traces; callbacks run on
+// the persisting thread, after the flush/fence has taken effect (and after the
+// ShadowHeap update, so the observer sees the post-flush durable image).
+class PersistObserver {
+ public:
+  virtual ~PersistObserver() = default;
+  virtual void OnFlushRange(const void* addr, size_t size) = 0;
+  virtual void OnFence() = 0;
+};
+
+// Installs the process-wide observer (nullptr to clear). At most one observer
+// may be active; the caller must keep it alive until cleared.
+void SetPersistObserver(PersistObserver* observer);
+
 namespace internal {
 extern std::atomic<bool> g_shadow_active;  // Set by the ShadowHeap registry.
 }  // namespace internal

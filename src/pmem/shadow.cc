@@ -1,5 +1,6 @@
 #include "src/pmem/shadow.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/common/align.h"
@@ -49,20 +50,19 @@ bool ShadowRegistry::active() const {
 }
 
 void ShadowRegistry::OnFlush(const void* addr, size_t size) {
-  const uintptr_t flush_start =
-      puddles::AlignDown(reinterpret_cast<uintptr_t>(addr), puddles::kCacheLineSize);
-  const uintptr_t flush_end = puddles::AlignUp(reinterpret_cast<uintptr_t>(addr) + size,
-                                               puddles::kCacheLineSize);
+  const uintptr_t flush_start = reinterpret_cast<uintptr_t>(addr);
+  const uintptr_t flush_end = flush_start + size;
   std::lock_guard<std::mutex> lock(mu_);
   for (Region& region : regions_) {
-    const uintptr_t region_start = reinterpret_cast<uintptr_t>(region.base);
-    const uintptr_t region_end = region_start + region.size;
-    const uintptr_t lo = flush_start > region_start ? flush_start : region_start;
-    const uintptr_t hi = flush_end < region_end ? flush_end : region_end;
-    if (lo >= hi) {
+    // Cache-line granularity is modeled relative to the region base, matching
+    // SimulateCrash's line walk (mmap'd PM regions are line-aligned anyway;
+    // test buffers need not be, and the two walks must agree — DESIGN.md §2).
+    const puddles::LineSpan span = puddles::ClampToRegionLines(
+        reinterpret_cast<uintptr_t>(region.base), region.size, flush_start, flush_end);
+    if (span.length == 0) {
       continue;
     }
-    std::memcpy(region.shadow.get() + (lo - region_start), reinterpret_cast<void*>(lo), hi - lo);
+    std::memcpy(region.shadow.get() + span.offset, region.base + span.offset, span.length);
   }
 }
 

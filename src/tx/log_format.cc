@@ -12,10 +12,15 @@ size_t LogRegion::EntrySpan(uint32_t size) {
   return AlignUp(sizeof(LogEntryHeader) + size, 8);
 }
 
-uint32_t LogRegion::EntryChecksum(const LogEntryHeader& entry, const void* data) {
-  // Checksum covers everything after the checksum field, then the data.
-  uint32_t crc = Crc32c(reinterpret_cast<const uint8_t*>(&entry) + sizeof(uint32_t),
-                        sizeof(LogEntryHeader) - sizeof(uint32_t));
+uint32_t LogRegion::EntryChecksum(const LogEntryHeader& entry, const void* data,
+                                  uint32_t generation) {
+  // Checksum covers the log generation, everything after the checksum field,
+  // then the data. Binding the generation means entries validate only in the
+  // log incarnation that wrote them — a slot's stale previous-generation
+  // content can never masquerade as a fresh append.
+  uint32_t crc = Crc32c(&generation, sizeof(generation));
+  crc = Crc32c(reinterpret_cast<const uint8_t*>(&entry) + sizeof(uint32_t),
+               sizeof(LogEntryHeader) - sizeof(uint32_t), crc);
   return Crc32c(data, entry.size, crc);
 }
 
@@ -32,6 +37,7 @@ puddles::Status LogRegion::Format(void* base, size_t capacity) {
   header->last_entry = 0;
   header->capacity = capacity;
   header->num_entries = 0;
+  header->generation = 1;
   header->next_log = Uuid::Nil();
   pmem::FlushFence(header, sizeof(LogHeader));
   return OkStatus();
@@ -67,7 +73,7 @@ puddles::Status LogRegion::Append(uint64_t addr, const void* data, uint32_t size
   entry->flags = flags;
   entry->reserved = 0;
   std::memcpy(entry + 1, data, size);
-  entry->checksum = EntryChecksum(*entry, data);
+  entry->checksum = EntryChecksum(*entry, data, header_->generation);
   pmem::Flush(entry, sizeof(LogEntryHeader) + size);
 
   // Publish: header update persists together with the entry under one fence;
@@ -93,6 +99,10 @@ void LogRegion::Reset(uint32_t lo, uint32_t hi) {
   header_->next_free = sizeof(LogHeader);
   header_->last_entry = 0;
   header_->num_entries = 0;
+  // New incarnation: entries the dead transaction left behind (and any stale
+  // bytes beyond next_free) can never checksum-validate again. Durable before
+  // the range reopens, so no fresh append can race it.
+  header_->generation++;
   header_->next_log = Uuid::Nil();
   pmem::FlushFence(header_, sizeof(LogHeader));
   SetSeqRange(lo, hi);
@@ -123,7 +133,7 @@ bool LogRegion::ForEachEntry(const std::function<void(const EntryView&)>& fn) co
     view.header = entry;
     view.data = reinterpret_cast<const uint8_t*>(entry + 1);
     view.offset = offset;
-    view.checksum_ok = EntryChecksum(*entry, view.data) == entry->checksum;
+    view.checksum_ok = EntryChecksum(*entry, view.data, header_->generation) == entry->checksum;
     view.valid = view.checksum_ok && IsValid(*entry);
     fn(view);
     offset += span;

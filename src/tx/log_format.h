@@ -29,7 +29,10 @@
 
 namespace puddles {
 
-inline constexpr uint64_t kLogMagic = 0x31474f4c44555000ULL;  // "\0PUDLOG1"
+// Format version 2: entry checksums are bound to LogHeader::generation.
+// Version-1 logs (whose entries checksum without the generation prefix) must
+// be rejected at Attach, not silently invalidated entry-by-entry at recovery.
+inline constexpr uint64_t kLogMagic = 0x32474f4c44555000ULL;  // "\0PUDLOG2"
 
 enum class ReplayOrder : uint8_t {
   kForward = 0,  // Redo semantics: replay in append order.
@@ -54,7 +57,13 @@ struct LogHeader {
   uint64_t last_entry;  // Offset of the most recently appended entry; 0 = none.
   uint64_t capacity;
   uint32_t num_entries;
-  uint32_t reserved;
+  // Bumped by every Reset and mixed into each entry's checksum, so a stale
+  // entry from a previous log incarnation can never validate. Without it, a
+  // crash that persists an Append's header update (num_entries++) but not the
+  // entry bytes resurrects the complete, checksum-valid entry a *previous*
+  // transaction left at that offset — found by crashsim eviction-subset
+  // exploration (DESIGN.md §3).
+  uint32_t generation;
   Uuid next_log;  // Continuation log puddle; nil if none.
 };
 
@@ -123,7 +132,8 @@ class LogRegion {
  private:
   explicit LogRegion(LogHeader* header) : header_(header) {}
 
-  static uint32_t EntryChecksum(const LogEntryHeader& entry, const void* data);
+  static uint32_t EntryChecksum(const LogEntryHeader& entry, const void* data,
+                                uint32_t generation);
 
   LogHeader* header_ = nullptr;
 };

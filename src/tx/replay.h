@@ -30,7 +30,10 @@ class RangeResolver : public AddressResolver {
  public:
   RangeResolver(uint64_t base, uint64_t size) : base_(base), size_(size) {}
   void* Resolve(uint64_t addr, uint32_t size) override {
-    if (addr < base_ || addr + size > base_ + size_) {
+    // Overflow-safe bounds check: a hostile/corrupt log entry with addr near
+    // UINT64_MAX must not wrap addr+size around and pass (§4.6 — the daemon
+    // replays logs it did not write).
+    if (addr < base_ || size > size_ || addr - base_ > size_ - size) {
       return nullptr;
     }
     return reinterpret_cast<void*>(addr);

@@ -124,6 +124,10 @@ void Transaction::DeferFree(std::function<puddles::Status()> op) {
   deferred_frees_.push_back(std::move(op));
 }
 
+void Transaction::NoteFreshRange(void* addr, size_t size) {
+  fresh_ranges_.emplace_back(addr, size);
+}
+
 puddles::Status Transaction::Commit() {
   if (!active()) {
     return FailedPreconditionError("no active transaction");
@@ -154,6 +158,11 @@ puddles::Status Transaction::CommitOutermost() {
     } else if (entry.seq == kRedoSeq) {
       has_redo = true;
     }
+  }
+  // Fresh allocations carry no undo entries but their contents are part of
+  // the transaction's writes; persist them under the same fence.
+  for (const auto& [addr, size] : fresh_ranges_) {
+    pmem::Flush(addr, size);
   }
   pmem::Fence();
   StageHook("s1_flushed");
@@ -236,6 +245,7 @@ puddles::Status Transaction::Abort() {
 
 void Transaction::ResetState() {
   entries_.clear();
+  fresh_ranges_.clear();
   deferred_frees_.clear();
   chain_.clear();
   target_ = nullptr;

@@ -78,6 +78,14 @@ class Transaction {
   // never resurrect an object whose bytes were recycled (DESIGN.md §3).
   void DeferFree(std::function<puddles::Status()> op);
 
+  // Registers a freshly allocated payload range. Fresh objects need no undo
+  // data (abort rolls the allocation itself back via the allocator-metadata
+  // undo entries), but their contents are plain stores that nothing else
+  // flushes — commit stage 1 must persist them, or a committed transaction's
+  // new objects hold garbage after a crash (found by crashsim fence-boundary
+  // exploration; PMDK's tx_alloc tracks new objects the same way).
+  void NoteFreshRange(void* addr, size_t size);
+
   // Commits (outermost) or pops one nesting level.
   puddles::Status Commit();
 
@@ -121,6 +129,7 @@ class Transaction {
   const TxTarget* target_ = nullptr;  // Active target (owned or borrowed).
   std::vector<LogRegion*> chain_;  // chain_[0] == target_->log.
   std::vector<EntryRef> entries_;  // Append order.
+  std::vector<std::pair<void*, size_t>> fresh_ranges_;  // Flushed at commit stage 1.
   std::vector<std::function<puddles::Status()>> deferred_frees_;
   int depth_ = 0;
 };

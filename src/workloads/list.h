@@ -121,6 +121,17 @@ class PersistentList {
 
   uint64_t count() const { return head_->count; }
 
+  // Visits every node's value head-to-tail (crashsim fingerprints need the
+  // exact sequence, not just the Sum() aggregate).
+  template <typename Fn>
+  void ForEachValue(Fn&& fn) const {
+    for (NodeHandle cursor = head_->head; !IsNull(cursor);) {
+      Node* node = adapter_.Get(cursor);
+      fn(node->value);
+      cursor = node->next;
+    }
+  }
+
  private:
   static bool IsNull(const NodeHandle& handle) {
     return handle == Adapter::template Null<Node>();

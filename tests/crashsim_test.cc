@@ -1,0 +1,287 @@
+// crashsim: systematic crash-state enumeration and recovery verification.
+//
+// The acceptance bar for the subsystem: for the btree and kvstore workloads,
+// every enumerated crash state (>= 100 per workload at the default budget)
+// must recover through the application-independent replay path with all
+// invariants holding, with both fence-boundary and eviction-subset states
+// explored. Plus unit coverage for the trace recorder, the enumerator's
+// determinism and budgeting, and the ShadowHeap's seeded-eviction
+// reproducibility (crashsim replayability depends on it).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "src/crashsim/harness.h"
+#include "src/crashsim/state_enumerator.h"
+#include "src/crashsim/trace.h"
+#include "src/crashsim/workload_drivers.h"
+#include "src/pmem/flush.h"
+#include "src/pmem/shadow.h"
+
+namespace crashsim {
+namespace {
+
+// ---- Full-stack recovery verification per workload ----
+
+HarnessReport RunWorkload(const std::string& name, int ops = 24) {
+  DriverOptions driver_options;
+  driver_options.ops = ops;
+  auto driver = MakeDriver(name, driver_options);
+  EXPECT_NE(driver, nullptr) << name;
+  HarnessOptions options;
+  Harness harness(*driver, options);
+  auto report = harness.Run();
+  EXPECT_TRUE(report.ok()) << name << ": " << report.status().ToString();
+  return report.ok() ? *report : HarnessReport{};
+}
+
+void ExpectFullRecovery(const HarnessReport& report, uint64_t min_states) {
+  EXPECT_GE(report.states_enumerated, min_states);
+  EXPECT_GT(report.fence_boundary_states, 0u);
+  EXPECT_GT(report.eviction_states, 0u);
+  EXPECT_EQ(report.recovery_failures, 0u);
+  for (const std::string& failure : report.failures) {
+    ADD_FAILURE() << report.workload << ": " << failure;
+  }
+  EXPECT_EQ(report.invariant_failures, 0u);
+  EXPECT_EQ(report.recoveries_ok, report.states_enumerated);
+  // The run must actually traverse distinct committed states, or the
+  // membership oracle is vacuous.
+  EXPECT_GT(report.distinct_outcomes, 2u);
+  EXPECT_GT(report.epochs, 0u);
+  EXPECT_GT(report.flush_calls, 0u);
+  EXPECT_GT(report.fences, 0u);
+}
+
+TEST(CrashsimWorkloads, BtreeRecoversFromEveryEnumeratedState) {
+  ExpectFullRecovery(RunWorkload("btree"), 100);
+}
+
+TEST(CrashsimWorkloads, KvstoreRecoversFromEveryEnumeratedState) {
+  ExpectFullRecovery(RunWorkload("kvstore"), 100);
+}
+
+TEST(CrashsimWorkloads, ListRecoversFromEveryEnumeratedState) {
+  ExpectFullRecovery(RunWorkload("list"), 100);
+}
+
+TEST(CrashsimWorkloads, PmhashRecoversFromEveryEnumeratedState) {
+  ExpectFullRecovery(RunWorkload("pmhash", 16), 40);
+}
+
+// ---- Trace recorder ----
+
+TEST(CrashsimTrace, RecordsEpochsFlushDeltasAndDirtyLines) {
+  alignas(64) static uint8_t region[512];
+  std::memset(region, 0, sizeof(region));
+
+  TraceRecorder recorder;
+  recorder.Start({TracedRegion{reinterpret_cast<uintptr_t>(region), sizeof(region), "", "r"}});
+
+  region[0] = 1;
+  pmem::Flush(&region[0], 1);
+  pmem::Fence();  // Epoch 0: one delta, no dirty lines.
+
+  region[64] = 2;
+  pmem::Flush(&region[64], 1);  // In-flight flush.
+  region[128] = 3;              // Dirty, never flushed.
+  pmem::Fence();                // Epoch 1: one delta, one dirty line.
+
+  region[256] = 4;  // Dirty when Stop closes the trailing epoch.
+  Trace trace = recorder.Stop();
+
+  ASSERT_EQ(trace.epochs.size(), 3u);
+  EXPECT_EQ(trace.fences, 2u);
+  EXPECT_EQ(trace.flush_calls, 2u);
+
+  ASSERT_EQ(trace.epochs[0].deltas.size(), 1u);
+  EXPECT_EQ(trace.epochs[0].deltas[0].offset, 0u);
+  EXPECT_EQ(trace.epochs[0].deltas[0].bytes.size(), 64u);
+  EXPECT_EQ(trace.epochs[0].deltas[0].bytes[0], 1);
+  EXPECT_TRUE(trace.epochs[0].dirty_at_close.empty());
+
+  ASSERT_EQ(trace.epochs[1].deltas.size(), 1u);
+  EXPECT_EQ(trace.epochs[1].deltas[0].offset, 64u);
+  ASSERT_EQ(trace.epochs[1].dirty_at_close.size(), 1u);
+  EXPECT_EQ(trace.epochs[1].dirty_at_close[0].offset, 128u);
+  EXPECT_EQ(trace.epochs[1].dirty_at_close[0].live[0], 3);
+
+  // The trailing epoch sees both still-dirty lines (128 stays unflushed).
+  ASSERT_EQ(trace.epochs[2].dirty_at_close.size(), 2u);
+  EXPECT_EQ(trace.epochs[2].dirty_at_close[0].offset, 128u);
+  EXPECT_EQ(trace.epochs[2].dirty_at_close[1].offset, 256u);
+}
+
+TEST(CrashsimTrace, IgnoresFlushesOutsideTracedRegions) {
+  alignas(64) static uint8_t traced[128];
+  alignas(64) static uint8_t untraced[128];
+  std::memset(traced, 0, sizeof(traced));
+  std::memset(untraced, 0, sizeof(untraced));
+
+  TraceRecorder recorder;
+  recorder.Start({TracedRegion{reinterpret_cast<uintptr_t>(traced), sizeof(traced), "", "t"}});
+  untraced[0] = 9;
+  pmem::FlushFence(&untraced[0], 1);
+  Trace trace = recorder.Stop();
+  ASSERT_EQ(trace.epochs.size(), 2u);
+  EXPECT_TRUE(trace.epochs[0].deltas.empty());
+  EXPECT_TRUE(trace.epochs[0].dirty_at_close.empty());
+}
+
+// ---- State enumerator ----
+
+Trace MakeSyntheticTrace(size_t num_epochs) {
+  Trace trace;
+  trace.regions.push_back(TracedRegion{0, 4096, "", "synthetic"});
+  for (size_t e = 0; e < num_epochs; ++e) {
+    Epoch epoch;
+    FlushDelta delta;
+    delta.region = 0;
+    delta.offset = (e % 8) * 64;
+    delta.bytes.assign(64, static_cast<uint8_t>(e + 1));
+    epoch.deltas.push_back(std::move(delta));
+    DirtyLine dirty;
+    dirty.region = 0;
+    dirty.offset = 512 + (e % 4) * 64;
+    dirty.live.assign(64, static_cast<uint8_t>(0x80 + e));
+    epoch.dirty_at_close.push_back(std::move(dirty));
+    trace.epochs.push_back(std::move(epoch));
+  }
+  trace.fences = num_epochs;
+  trace.flush_calls = num_epochs;
+  return trace;
+}
+
+TEST(CrashsimEnumerator, CoversEveryFenceBoundaryPlusEvictionSubsets) {
+  Trace trace = MakeSyntheticTrace(10);
+  EnumerationOptions options;
+  options.eviction_subsets_per_epoch = 3;
+  options.max_states = 0;  // Unbounded.
+  std::vector<CrashStateSpec> specs = EnumerateCrashStates(trace, options);
+  // 10 epochs with in-flight lines: (1 boundary + 3 subsets) each, plus the
+  // complete-run state.
+  ASSERT_EQ(specs.size(), 10u * 4u + 1u);
+  uint64_t boundaries = 0, evictions = 0;
+  for (const CrashStateSpec& spec : specs) {
+    spec.evict ? ++evictions : ++boundaries;
+  }
+  EXPECT_EQ(boundaries, 11u);
+  EXPECT_EQ(evictions, 30u);
+}
+
+TEST(CrashsimEnumerator, BudgetDownsamplesDeterministically) {
+  Trace trace = MakeSyntheticTrace(50);
+  EnumerationOptions options;
+  options.max_states = 40;
+  std::vector<CrashStateSpec> a = EnumerateCrashStates(trace, options);
+  std::vector<CrashStateSpec> b = EnumerateCrashStates(trace, options);
+  ASSERT_EQ(a.size(), 40u);
+  ASSERT_EQ(b.size(), 40u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].epoch, b[i].epoch);
+    EXPECT_EQ(a[i].evict, b[i].evict);
+    EXPECT_EQ(a[i].eviction_seed, b[i].eviction_seed);
+  }
+  // Sampling spans the whole run, not just a prefix.
+  EXPECT_EQ(a.front().epoch, 0u);
+  EXPECT_GT(a.back().epoch, 40u);
+}
+
+TEST(CrashsimEnumerator, MaterializationIsDeterministicAndOrdered) {
+  Trace trace = MakeSyntheticTrace(6);
+  EnumerationOptions options;
+  options.max_states = 0;
+  std::vector<CrashStateSpec> specs = EnumerateCrashStates(trace, options);
+
+  auto materialize = [&](const CrashStateSpec& spec) {
+    std::vector<uint8_t> image(4096, 0);
+    MaterializeCrashState(trace, spec,
+                          [&](uint32_t region, uint64_t offset, const uint8_t* data,
+                              size_t size) {
+                            ASSERT_EQ(region, 0u);
+                            ASSERT_LE(offset + size, image.size());
+                            std::memcpy(image.data() + offset, data, size);
+                          });
+    return image;
+  };
+
+  for (const CrashStateSpec& spec : specs) {
+    EXPECT_EQ(materialize(spec), materialize(spec)) << spec.ToString();
+  }
+
+  // A fence-boundary state at epoch k contains exactly the deltas of epochs
+  // < k and nothing from the open epoch.
+  CrashStateSpec at3;
+  at3.epoch = 3;
+  std::vector<uint8_t> image = materialize(at3);
+  EXPECT_EQ(image[0 * 64], 1);  // Epoch 0 delta.
+  EXPECT_EQ(image[2 * 64], 3);  // Epoch 2 delta.
+  EXPECT_EQ(image[3 * 64], 0);  // Epoch 3 delta is in flight: excluded.
+  EXPECT_EQ(image[512], 0);     // Dirty lines excluded without eviction.
+}
+
+TEST(CrashsimEnumerator, EvictionSubsetsDifferAcrossSeedsAndIncludeDirtyLines) {
+  Trace trace = MakeSyntheticTrace(4);
+  EnumerationOptions options;
+  options.max_states = 0;
+  options.eviction_subsets_per_epoch = 8;
+  options.eviction_probability = 0.5;
+  std::vector<CrashStateSpec> specs = EnumerateCrashStates(trace, options);
+
+  std::map<std::vector<uint8_t>, int> images;
+  int dirty_included = 0;
+  for (const CrashStateSpec& spec : specs) {
+    if (!spec.evict || spec.epoch != 2) {
+      continue;
+    }
+    std::vector<uint8_t> image(4096, 0);
+    MaterializeCrashState(trace, spec,
+                          [&](uint32_t, uint64_t offset, const uint8_t* data, size_t size) {
+                            std::memcpy(image.data() + offset, data, size);
+                          });
+    if (image[512 + 2 * 64] != 0) {
+      ++dirty_included;  // Epoch 2's dirty line made it into this subset.
+    }
+    images[image]++;
+  }
+  EXPECT_GT(images.size(), 1u) << "all eviction subsets produced the same image";
+  EXPECT_GT(dirty_included, 0) << "dirty lines never included in any subset";
+}
+
+// ---- ShadowHeap seeded-eviction determinism (crashsim replayability) ----
+
+TEST(CrashsimShadowDeterminism, SeededEvictionYieldsByteIdenticalDurableImages) {
+  auto run = [](uint64_t seed) {
+    alignas(64) static uint8_t region[64 * 64];
+    for (size_t i = 0; i < sizeof(region); ++i) {
+      region[i] = static_cast<uint8_t>(i * 7);
+    }
+    pmem::ShadowRegistry::Instance().Attach(region, sizeof(region));
+    // Dirty a spread of lines with varied content, flush a few.
+    for (int line = 0; line < 64; line += 2) {
+      region[static_cast<size_t>(line) * 64 + 3] = static_cast<uint8_t>(0xc0 + line);
+    }
+    for (int line = 0; line < 64; line += 8) {
+      pmem::Flush(&region[static_cast<size_t>(line) * 64], 1);
+    }
+    pmem::Fence();
+    pmem::ShadowCrashOptions options;
+    options.evict_random_lines = true;
+    options.eviction_probability = 0.4;
+    options.seed = seed;
+    pmem::ShadowRegistry::Instance().SimulateCrash(options);
+    std::vector<uint8_t> image(region, region + sizeof(region));
+    pmem::ShadowRegistry::Instance().Detach(region);
+    return image;
+  };
+
+  // Byte-identical across runs for a fixed seed; different across seeds.
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_EQ(run(1234), run(1234));
+  EXPECT_NE(run(7), run(8));
+}
+
+}  // namespace
+}  // namespace crashsim

@@ -188,5 +188,32 @@ TEST_F(ReplayTest, EmptyChainIsNoop) {
   EXPECT_EQ(stats->applied, 0u);
 }
 
+TEST(RangeResolverTest, InRangeResolves) {
+  alignas(8) static uint8_t buffer[256];
+  const uint64_t base = reinterpret_cast<uint64_t>(buffer);
+  RangeResolver resolver(base, sizeof(buffer));
+  EXPECT_EQ(resolver.Resolve(base, 1), buffer);
+  EXPECT_EQ(resolver.Resolve(base + 128, 128), buffer + 128);
+  EXPECT_EQ(resolver.Resolve(base + 255, 1), buffer + 255);
+  EXPECT_EQ(resolver.Resolve(base + 256, 1), nullptr);
+  EXPECT_EQ(resolver.Resolve(base - 1, 1), nullptr);
+  EXPECT_EQ(resolver.Resolve(base + 255, 2), nullptr);
+}
+
+TEST(RangeResolverTest, AddrNearUint64MaxDoesNotWrapPastBoundsCheck) {
+  // An adversarial/corrupt log entry can carry any addr/size. With the old
+  // `addr + size > base + size` check, addr near UINT64_MAX wrapped around
+  // and resolved — handing the replayer a wild write target (§4.6).
+  alignas(8) static uint8_t buffer[256];
+  const uint64_t base = reinterpret_cast<uint64_t>(buffer);
+  RangeResolver resolver(base, sizeof(buffer));
+  EXPECT_EQ(resolver.Resolve(UINT64_MAX, 1), nullptr);
+  EXPECT_EQ(resolver.Resolve(UINT64_MAX - 3, 8), nullptr);
+  EXPECT_EQ(resolver.Resolve(UINT64_MAX - 255, UINT32_MAX), nullptr);
+  // A resolver spanning the top of the address space must also stay safe.
+  RangeResolver top(UINT64_MAX - 1024, 1024);
+  EXPECT_EQ(top.Resolve(UINT64_MAX - 512, 1024), nullptr);
+}
+
 }  // namespace
 }  // namespace puddles
