@@ -1,13 +1,77 @@
 // §5.1 "Relocatability primitives": export cost vs data size, import cost,
-// and pointer-rewrite cost vs pointer count.
+// pointer-rewrite cost vs pointer count, and the translate hot path itself —
+// ns/pointer for the sorted interval table (binary search + MRU cache)
+// against the linear reference scan, across moved-range counts.
 #include "bench/bench_env.h"
 #include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/libpuddles/relocation.h"
 #include "src/workloads/list.h"
 
 namespace {
 
 using bench::Timer;
 namespace fs = std::filesystem;
+
+// Rewrite-shaped address stream: mostly hits with pointer locality (runs of
+// consecutive addresses inside one range, as a heap walk produces), plus a
+// tail of misses (already-new / foreign pointers passing through).
+std::vector<uint64_t> TranslateWorkload(const std::vector<std::pair<uint64_t, uint64_t>>& ranges,
+                                        size_t count) {
+  puddles::Xoshiro256 rng(0xbeef);
+  std::vector<uint64_t> addrs;
+  addrs.reserve(count);
+  while (addrs.size() < count) {
+    if (rng.NextDouble() < 0.85) {
+      const auto& [lo, size] = ranges[rng.Below(ranges.size())];
+      uint64_t addr = lo + rng.Below(size);
+      for (int run = 0; run < 16 && addrs.size() < count; ++run) {
+        addrs.push_back(addr);
+        addr = lo + (addr - lo + 64) % size;
+      }
+    } else {
+      addrs.push_back(0x7f0000000000ULL + rng.Below(1ULL << 30));  // Miss.
+    }
+  }
+  return addrs;
+}
+
+void BenchTranslate() {
+  std::printf("\n%-16s %16s %16s %10s\n", "moved ranges", "linear (ns/ptr)",
+              "indexed (ns/ptr)", "speedup");
+  const size_t lookups = bench::Scaled(2'000'000);
+  for (size_t num_ranges : {1u, 8u, 64u, 512u}) {
+    puddles::Translator translator;
+    std::vector<std::pair<uint64_t, uint64_t>> ranges;
+    uint64_t cursor = 0x10000000000ULL;
+    for (size_t i = 0; i < num_ranges; ++i) {
+      const uint64_t size = 2ULL << 20;
+      (void)translator.Add(cursor, size, 0x40000000000ULL + i * (4ULL << 20));
+      ranges.push_back({cursor, size});
+      cursor += size + (4ULL << 20);
+    }
+    std::vector<uint64_t> addrs = TranslateWorkload(ranges, lookups);
+
+    auto run = [&](auto&& translate) {
+      uint64_t checksum = 0;
+      Timer timer;
+      for (uint64_t addr : addrs) {
+        uint64_t out;
+        if (translate(addr, &out)) {
+          checksum ^= out;
+        }
+      }
+      bench::DoNotOptimize(checksum);
+      return timer.Nanos() / static_cast<double>(addrs.size());
+    };
+    const double linear_ns =
+        run([&](uint64_t a, uint64_t* o) { return translator.TranslateLinear(a, o); });
+    const double indexed_ns =
+        run([&](uint64_t a, uint64_t* o) { return translator.Translate(a, o); });
+    std::printf("%-16zu %16.2f %16.2f %9.1fx\n", num_ranges, linear_ns, indexed_ns,
+                linear_ns / indexed_ns);
+  }
+}
 
 }  // namespace
 
@@ -96,6 +160,9 @@ int main() {
     }
     fs::remove_all(pool_dir);
   }
+
+  // ---- Translate hot path: linear scan vs interval table ----
+  BenchTranslate();
 
   std::filesystem::remove_all(dir);
   return 0;

@@ -91,22 +91,23 @@ puddles::Status ObjectHeap::Free(void* payload) {
   return Slab().Free(offset);
 }
 
-void ObjectHeap::ForEachObject(const std::function<void(void*, const ObjectHeader&)>& fn) const {
+void ObjectHeap::ForEachObject(
+    const std::function<void(void*, const ObjectHeader&, size_t)>& fn) const {
   auto* heap = static_cast<uint8_t*>(buddy_.heap());
   SlabAllocator slab = Slab();
   buddy_.ForEachAllocated([&](int64_t offset, size_t size) {
     if (slab.IsSlabBlock(offset)) {
-      slab.ForEachSlot(offset, [&](int64_t slot_offset, size_t /*slot_size*/) {
+      slab.ForEachSlot(offset, [&](int64_t slot_offset, size_t slot_size) {
         auto* header = reinterpret_cast<ObjectHeader*>(heap + slot_offset);
         if (header->magic == kObjectMagic) {
-          fn(header + 1, *header);
+          fn(header + 1, *header, slot_size - sizeof(ObjectHeader));
         }
       });
       return;
     }
     auto* header = reinterpret_cast<ObjectHeader*>(heap + offset);
     if (header->magic == kObjectMagic) {
-      fn(header + 1, *header);
+      fn(header + 1, *header, size - sizeof(ObjectHeader));
     }
   });
 }
@@ -117,12 +118,15 @@ puddles::Status ObjectHeap::Validate() const {
   // Every discovered object header must be well-formed and sized within its
   // containing block.
   puddles::Status status = OkStatus();
-  ForEachObject([&](void* payload, const ObjectHeader& header) {
+  ForEachObject([&](void* payload, const ObjectHeader& header, size_t capacity) {
     if (!status.ok()) {
       return;
     }
     if (header.size == 0) {
       status = DataLossError("object with zero size");
+    }
+    if (header.size > capacity) {
+      status = DataLossError("object size exceeds its slot/block capacity");
     }
     if (!InHeap(static_cast<uint8_t*>(payload) + header.size - 1)) {
       status = DataLossError("object extends past heap end");

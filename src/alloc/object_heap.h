@@ -68,8 +68,13 @@ class ObjectHeap {
   // True if `payload` points at the start of a live allocation.
   bool IsLiveObject(const void* payload) const;
 
-  // Iterates every live object in address order: fn(payload, header).
-  void ForEachObject(const std::function<void(void*, const ObjectHeader&)>& fn) const;
+  // Iterates every live object in address order: fn(payload, header,
+  // capacity). `capacity` is the payload space the containing slab slot or
+  // buddy block actually provides — callers that walk an object by
+  // header.size must bound the walk by it, so a corrupt or inflated size can
+  // never send them scanning allocator slack or a neighboring slot.
+  void ForEachObject(
+      const std::function<void(void*, const ObjectHeader&, size_t)>& fn) const;
 
   uint64_t free_bytes() const { return buddy_.free_bytes(); }
   size_t heap_size() const { return buddy_.heap_size(); }

@@ -1,5 +1,7 @@
 #include "src/crashsim/workload_drivers.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -9,6 +11,7 @@
 #include "src/common/align.h"
 #include "src/common/rng.h"
 #include "src/libpuddles/libpuddles.h"
+#include "src/pmem/global_space.h"
 #include "src/pmem/mapped_file.h"
 #include "src/pmhash/pmhash.h"
 #include "src/workloads/adapters.h"
@@ -442,6 +445,374 @@ class PmhashCrashDriver : public WorkloadDriver {
   puddles::Xoshiro256 rng_{0};
 };
 
+// ---- Pool import + relocation rewrite (§4.2, DESIGN.md §7) ----
+//
+// Traced run: a source pool holding a linked list is exported, its values are
+// then mutated (tripwire — see below), and the export is imported back into
+// the same daemon, so every copied puddle conflicts with its original and is
+// relocated (needs-rewrite flag, zeroed frontier). Each traced op then drives
+// the streaming rewrite of one imported puddle — small batches, so the
+// frontier/flag protocol persists often and the enumerator crosses every
+// protocol edge. Recovery opens the copy through the stock Runtime::OpenPool
+// path, whose rewrite-on-map must resume from the persisted frontier.
+//
+// Oracle sharpness: the copy is a byte clone, so a recovered copy that chased
+// a STALE pointer back into source memory would read value-identical bytes —
+// invisible to a fingerprint. Mutating the source after the export makes the
+// two diverge: any untranslated pointer surviving recovery reads mutated
+// source values and fails the membership check.
+class ImportCrashDriver : public WorkloadDriver {
+ public:
+  struct ImpNode {
+    ImpNode* next;
+    uint64_t value;
+  };
+  struct ImpRoot {
+    ImpNode* head;
+    ImpNode* tail;
+    uint64_t count;
+  };
+
+  explicit ImportCrashDriver(const DriverOptions& options) : options_(options) {}
+
+  std::string name() const override { return "import"; }
+  // One traced op per imported puddle (read by the harness after Setup).
+  int num_ops() const override { return static_cast<int>(members_.size()); }
+
+  puddles::Result<std::vector<TracedRegion>> Setup(const std::string& root) override {
+    RegisterTypes();
+    ASSIGN_OR_RETURN(auto daemon, puddled::Daemon::Start({.root_dir = root}));
+    daemon_ = std::move(daemon);
+    auto finish = [&]() -> puddles::Result<std::vector<TracedRegion>> {
+      ASSIGN_OR_RETURN(auto runtime,
+                       puddles::Runtime::Create(std::make_shared<puddled::EmbeddedDaemonClient>(
+                           daemon_.get())));
+      runtime_ = std::move(runtime);
+      ASSIGN_OR_RETURN(src_pool_, runtime_->CreatePool("src"));
+      RETURN_IF_ERROR(BuildList(*src_pool_, NumNodes()));
+
+      const std::string export_dir = root + "/export";
+      RETURN_IF_ERROR(runtime_->ExportPool("src", export_dir));
+      // Tripwire: diverge the source from the exported bytes (see above).
+      RETURN_IF_ERROR(MutateSource(*src_pool_));
+
+      ASSIGN_OR_RETURN(puddled::ImportResult import,
+                       runtime_->client().ImportPool(export_dir, "copy"));
+      if (import.members_relocated == 0) {
+        return puddles::InternalError(
+            "import crash driver needs base conflicts; none occurred");
+      }
+
+      // Map every imported puddle at its assigned base (outside the runtime:
+      // the stock rewrite-on-map path would consume the protocol before
+      // tracing starts) and assemble the pool translation table. The meta
+      // puddle goes first — the same order the runtime maps in — and its
+      // traced op exercises the non-data CompleteRewrite fast path.
+      ASSIGN_OR_RETURN(Mapped meta, MapPuddle(import.pool.meta_puddle));
+      members_.push_back(meta);
+      ASSIGN_OR_RETURN(puddles::PoolMetaView meta_view,
+                       puddles::PoolMetaView::Attach(members_[0].view));
+      for (uint32_t i = 0; i < meta_view.num_members(); ++i) {
+        ASSIGN_OR_RETURN(Mapped member, MapPuddle(meta_view.member(i)));
+        members_.push_back(member);
+        const uint64_t old_base = meta_view.member_old_base(i);
+        if (old_base != 0) {
+          RETURN_IF_ERROR(
+              translator_.Add(old_base, member.info.file_size, member.info.base_addr));
+        }
+      }
+      copy_root_puddle_ = meta_view.root_puddle();
+      copy_root_offset_ = meta_view.root_offset();
+
+      std::vector<TracedRegion> regions;
+      for (const Mapped& member : members_) {
+        TracedRegion region;
+        region.base = member.info.base_addr;
+        region.size = member.info.file_size;
+        region.file_path = daemon_->PuddlePath(member.info.uuid);
+        region.label = "import/" + member.info.uuid.ToString().substr(0, 8);
+        regions.push_back(std::move(region));
+      }
+      return regions;
+    };
+    auto result = finish();
+    if (!result.ok()) {
+      Teardown();
+    }
+    return result;
+  }
+
+  puddles::Status RunOp(int i) override {
+    Mapped& member = members_[static_cast<size_t>(i)];
+    puddles::RewriteOptions rewrite_options;
+    rewrite_options.batch_objects = options_.rewrite_batch_objects;
+    ASSIGN_OR_RETURN(puddles::RewriteStats stats,
+                     puddles::RewritePuddle(member.view, translator_,
+                                            puddles::TypeRegistry::Instance(),
+                                            rewrite_options));
+    (void)stats;
+    return runtime_->client().CompleteRewrite(member.info.uuid);
+  }
+
+  puddles::Result<std::string> Fingerprint() override {
+    std::ostringstream out;
+    ASSIGN_OR_RETURN(ImpRoot * src_root, src_pool_->Root<ImpRoot>());
+    out << "src{";
+    RETURN_IF_ERROR(WalkList(src_root, /*canonical=*/false, out));
+    out << "};copy{";
+    RETURN_IF_ERROR(WalkCopyRaw(out));
+    out << "}";
+    return out.str();
+  }
+
+  void Teardown() override {
+    src_pool_ = nullptr;
+    runtime_.reset();
+    auto& space = pmem::GlobalPuddleSpace();
+    for (Mapped& member : members_) {
+      if (member.mapped) {
+        (void)space.UnmapToReserved(member.info.base_addr, member.info.file_size);
+        (void)space.FreeRange(member.info.base_addr);
+        member.mapped = false;
+      }
+      if (member.fd >= 0) {
+        ::close(member.fd);
+        member.fd = -1;
+      }
+    }
+    daemon_.reset();
+  }
+
+  puddles::Result<std::string> RecoverAndFingerprint(const std::string& root) override {
+    Teardown();
+    // Reset per state: a failure before the stats are gathered must not report
+    // the previous crash state's diagnostics.
+    last_recovery_info_ = "recovery errored before replay stats";
+    ASSIGN_OR_RETURN(auto daemon,
+                     puddled::Daemon::Start({.root_dir = root, .run_recovery = false}));
+    daemon_ = std::move(daemon);
+    auto finish = [&]() -> puddles::Result<std::string> {
+      ASSIGN_OR_RETURN(auto recovery, daemon_->RunRecovery());
+      std::ostringstream info;
+      info << "entries_applied=" << recovery.entries_applied
+           << " marked_invalid=" << recovery.logs_marked_invalid;
+      ASSIGN_OR_RETURN(auto runtime,
+                       puddles::Runtime::Create(std::make_shared<puddled::EmbeddedDaemonClient>(
+                           daemon_.get())));
+      runtime_ = std::move(runtime);
+      // The stock open path: translator from pool meta, rewrite-on-map with
+      // frontier resume for every member that still carries the flag.
+      ASSIGN_OR_RETURN(puddles::Pool * src, runtime_->OpenPool("src"));
+      ASSIGN_OR_RETURN(puddles::Pool * copy, runtime_->OpenPool("copy"));
+      auto stats = runtime_->stats();
+      info << " rewrites=" << stats.rewrites
+           << " pointers_rewritten=" << stats.pointers_rewritten;
+      last_recovery_info_ = info.str();
+      std::ostringstream out;
+      ASSIGN_OR_RETURN(ImpRoot * src_root, src->Root<ImpRoot>());
+      out << "src{";
+      RETURN_IF_ERROR(WalkList(src_root, /*canonical=*/false, out));
+      out << "};copy{";
+      ASSIGN_OR_RETURN(ImpRoot * copy_root, copy->Root<ImpRoot>());
+      RETURN_IF_ERROR(WalkList(copy_root, /*canonical=*/false, out));
+      out << "}";
+      if (options_.probe_after_recovery) {
+        puddles::Status probe = ProbeAppend(*copy);
+        if (!probe.ok()) {
+          return puddles::InternalError("post-recovery probe failed: " + probe.ToString());
+        }
+      }
+      return out.str();
+    };
+    puddles::Result<std::string> result = finish();
+    Teardown();
+    return result;
+  }
+
+  std::string LastRecoveryInfo() const override { return last_recovery_info_; }
+
+ private:
+  struct Mapped {
+    puddled::PuddleInfo info;
+    int fd = -1;
+    bool mapped = false;
+    puddles::Puddle view;
+  };
+
+  static constexpr uint64_t kSrcMutationDelta = 1'000'000;
+
+  uint64_t NumNodes() const { return options_.ops < 1 ? 1 : static_cast<uint64_t>(options_.ops); }
+
+  static void RegisterTypes() {
+    (void)puddles::TypeRegistry::Instance().Register<ImpNode>({offsetof(ImpNode, next)});
+    (void)puddles::TypeRegistry::Instance().Register<ImpRoot>(
+        {offsetof(ImpRoot, head), offsetof(ImpRoot, tail)});
+  }
+
+  // Exception-free TX_BEGIN/TX_END: the harness calls drivers with no
+  // try/catch, so throwing macros are off limits here. A body that reports
+  // failure is rolled back, not committed.
+  template <typename Fn>
+  static puddles::Status TxRun(puddles::Pool& pool, Fn&& fn) {
+    ASSIGN_OR_RETURN(puddles::Transaction * tx, pool.BeginTx());
+    puddles::Status status = puddles::OkStatus();
+    fn(status);
+    if (!status.ok()) {
+      (void)tx->Abort();
+      return status;
+    }
+    return tx->Commit();
+  }
+
+  static puddles::Status AppendNode(puddles::Pool& pool, uint64_t value) {
+    return TxRun(pool, [&](puddles::Status& status) {
+      auto root_result = pool.Root<ImpRoot>();
+      auto node_result = pool.Malloc<ImpNode>();
+      if (!root_result.ok() || !node_result.ok()) {
+        status = root_result.ok() ? node_result.status() : root_result.status();
+        return;
+      }
+      ImpRoot* root = *root_result;
+      ImpNode* node = *node_result;
+      node->value = value;
+      node->next = nullptr;
+      TX_ADD(root);
+      if (root->tail == nullptr) {
+        root->head = node;
+      } else {
+        TX_ADD(&root->tail->next);
+        root->tail->next = node;
+      }
+      root->tail = node;
+      root->count++;
+    });
+  }
+
+  static puddles::Status BuildList(puddles::Pool& pool, uint64_t nodes) {
+    RETURN_IF_ERROR(TxRun(pool, [&](puddles::Status& status) {
+      auto root_result = pool.Malloc<ImpRoot>();
+      if (!root_result.ok()) {
+        status = root_result.status();
+        return;
+      }
+      ImpRoot* root = *root_result;
+      root->head = nullptr;
+      root->tail = nullptr;
+      root->count = 0;
+      status = pool.SetRoot(root);
+    }));
+    for (uint64_t i = 0; i < nodes; ++i) {
+      RETURN_IF_ERROR(AppendNode(pool, i));
+    }
+    return puddles::OkStatus();
+  }
+
+  static puddles::Status MutateSource(puddles::Pool& pool) {
+    return TxRun(pool, [&](puddles::Status& status) {
+      auto root_result = pool.Root<ImpRoot>();
+      if (!root_result.ok()) {
+        status = root_result.status();
+        return;
+      }
+      for (ImpNode* node = (*root_result)->head; node != nullptr; node = node->next) {
+        TX_ADD(&node->value);
+        node->value += kSrcMutationDelta;
+      }
+    });
+  }
+
+  static puddles::Status ProbeAppend(puddles::Pool& pool) {
+    return AppendNode(pool, 999'999'999);
+  }
+
+  puddles::Result<Mapped> MapPuddle(const puddles::Uuid& uuid) {
+    ASSIGN_OR_RETURN(auto fetched, runtime_->client().GetPuddle(uuid, /*write=*/true));
+    Mapped member;
+    member.info = fetched.first;
+    member.fd = fetched.second;
+    auto& space = pmem::GlobalPuddleSpace();
+    puddles::Status claimed = space.ClaimRange(member.info.base_addr, member.info.file_size);
+    if (!claimed.ok()) {
+      ::close(member.fd);
+      return claimed;
+    }
+    puddles::Status mapped = space.MapFileAt(member.fd, member.info.base_addr,
+                                             member.info.file_size, /*writable=*/true);
+    if (!mapped.ok()) {
+      (void)space.FreeRange(member.info.base_addr);
+      ::close(member.fd);
+      return mapped;
+    }
+    auto view = puddles::Puddle::Attach(reinterpret_cast<void*>(member.info.base_addr),
+                                        member.info.file_size);
+    if (!view.ok()) {
+      (void)space.UnmapToReserved(member.info.base_addr, member.info.file_size);
+      (void)space.FreeRange(member.info.base_addr);
+      ::close(member.fd);
+      return view.status();
+    }
+    member.view = *view;
+    member.mapped = true;
+    return member;
+  }
+
+  // Walks a list. With canonical=true, every pointer is first passed through
+  // the translation table — the logical view of a copy whose rewrite has not
+  // (fully) run yet, without ever dereferencing an old address.
+  puddles::Status WalkList(const ImpRoot* root, bool canonical, std::ostringstream& out) {
+    auto canon = [&](const ImpNode* node) -> const ImpNode* {
+      if (!canonical) {
+        return node;
+      }
+      uint64_t translated;
+      if (translator_.Translate(reinterpret_cast<uint64_t>(node), &translated)) {
+        return reinterpret_cast<const ImpNode*>(translated);
+      }
+      return node;
+    };
+    out << "n=" << root->count;
+    uint64_t remaining = root->count + 16;  // Corruption guard: no cycles.
+    for (const ImpNode* node = canon(root->head); node != nullptr;
+         node = canon(node->next)) {
+      if (remaining-- == 0) {
+        return puddles::DataLossError("list walk exceeded expected length (cycle?)");
+      }
+      out << ";" << node->value;
+    }
+    return puddles::OkStatus();
+  }
+
+  // Logical contents of the imported copy read straight from its mapped
+  // puddles, mid-rewrite safe (manual translation, no reliance on the
+  // rewrite having run).
+  puddles::Status WalkCopyRaw(std::ostringstream& out) {
+    const Mapped* root_member = nullptr;
+    for (const Mapped& member : members_) {
+      if (member.info.uuid == copy_root_puddle_) {
+        root_member = &member;
+        break;
+      }
+    }
+    if (root_member == nullptr || !root_member->mapped) {
+      return puddles::InternalError("copy root puddle is not mapped");
+    }
+    const auto* root = reinterpret_cast<const ImpRoot*>(
+        root_member->info.base_addr + root_member->view.header()->heap_offset +
+        copy_root_offset_);
+    return WalkList(root, /*canonical=*/true, out);
+  }
+
+  DriverOptions options_;
+  std::unique_ptr<puddled::Daemon> daemon_;
+  std::unique_ptr<puddles::Runtime> runtime_;
+  puddles::Pool* src_pool_ = nullptr;
+  puddles::Translator translator_;
+  std::vector<Mapped> members_;
+  puddles::Uuid copy_root_puddle_;
+  uint64_t copy_root_offset_ = 0;
+  std::string last_recovery_info_;
+};
+
 }  // namespace
 
 std::unique_ptr<WorkloadDriver> MakeDriver(const std::string& name,
@@ -458,9 +829,14 @@ std::unique_ptr<WorkloadDriver> MakeDriver(const std::string& name,
   if (name == "pmhash") {
     return std::make_unique<PmhashCrashDriver>(options);
   }
+  if (name == "import") {
+    return std::make_unique<ImportCrashDriver>(options);
+  }
   return nullptr;
 }
 
-std::vector<std::string> DriverNames() { return {"list", "btree", "kvstore", "pmhash"}; }
+std::vector<std::string> DriverNames() {
+  return {"list", "btree", "kvstore", "pmhash", "import"};
+}
 
 }  // namespace crashsim

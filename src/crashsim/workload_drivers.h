@@ -1,11 +1,16 @@
 // Crashsim drivers for the repo's workloads: the linked list, B+-tree, and
 // KV store from src/workloads (running on the full Puddles stack — daemon,
-// runtime, pool, transactions) and the daemon's own PersistentHashMap
-// (src/pmhash, which carries its own crash-consistency protocol).
+// runtime, pool, transactions), the daemon's own PersistentHashMap
+// (src/pmhash, which carries its own crash-consistency protocol), and the
+// pool import/relocation path (export → import-with-base-conflict → streaming
+// pointer rewrite under the frontier/flag protocol, DESIGN.md §7).
 //
 // Each driver performs a deterministic seeded op sequence; op i's written
 // values encode i, so distinct op-boundary states fingerprint distinctly and
-// the harness membership oracle is sharp.
+// the harness membership oracle is sharp. The import driver instead mutates
+// the *source* pool after exporting, so any stale (untranslated) pointer a
+// recovered copy chases back into the source surfaces as a fingerprint
+// mismatch rather than silently reading identical clone bytes.
 #ifndef SRC_CRASHSIM_WORKLOAD_DRIVERS_H_
 #define SRC_CRASHSIM_WORKLOAD_DRIVERS_H_
 
@@ -18,15 +23,22 @@
 namespace crashsim {
 
 struct DriverOptions {
+  // For the structure workloads: traced mutation count. For "import": the
+  // node count of the exported list (the traced ops are one per imported
+  // puddle; crash-state density comes from the rewrite batches within them).
   int ops = 24;
   uint64_t seed = 42;
   int preload = 8;  // Elements inserted before tracing starts (part of the baseline).
   // After each recovery + fingerprint, run one insert+erase probe transaction
   // to prove the recovered heap and logs are still usable, not just readable.
   bool probe_after_recovery = true;
+  // "import" only: RewriteOptions::batch_objects for the traced rewrite.
+  // Small batches persist the frontier often, widening the explored protocol
+  // state space.
+  uint32_t rewrite_batch_objects = 4;
 };
 
-// Supported names: "list", "btree", "kvstore", "pmhash".
+// Supported names: "list", "btree", "kvstore", "pmhash", "import".
 std::unique_ptr<WorkloadDriver> MakeDriver(const std::string& name,
                                            const DriverOptions& options = {});
 std::vector<std::string> DriverNames();

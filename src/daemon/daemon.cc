@@ -104,6 +104,8 @@ puddles::Status Daemon::RebuildAddressMap() {
   addr_alloc_ = puddles::RangeAllocator(pmem::ConfiguredSpaceBase(),
                                         pmem::ConfiguredSpaceSize());
   by_base_.clear();
+  // Pass 1: real base assignments. These must all claim cleanly — an actual
+  // overlap between two live puddles is registry corruption.
   puddles::Status status = puddles::OkStatus();
   puddles_->ForEach([&](const Uuid& uuid, const PuddleRecord& record) {
     if (!status.ok()) {
@@ -116,8 +118,16 @@ puddles::Status Daemon::RebuildAddressMap() {
       return;
     }
     by_base_[record.base_addr] = uuid;
-    // Hold the frontier: an unfinished relocation keeps its old range
-    // reserved so stale pointers can never alias a new puddle (§4.2).
+  });
+  RETURN_IF_ERROR(status);
+  // Pass 2: frontier holds. An unfinished relocation keeps its old range
+  // reserved so stale pointers can never alias a new puddle (§4.2). Best
+  // effort: when the conflict that forced the relocation is a live puddle
+  // (the import-next-to-original case), its base claim from pass 1 already
+  // covers the range — a hold claimed in hash order before that puddle's own
+  // record would make pass 1 falsely report corruption, which is exactly the
+  // restart-after-crashed-import bug crashsim found.
+  puddles_->ForEach([&](const Uuid&, const PuddleRecord& record) {
     if (record.prev_base != 0 && record.prev_base != record.base_addr) {
       (void)addr_alloc_.Claim(record.prev_base, record.file_size);
     }
@@ -757,6 +767,11 @@ puddles::Result<ImportResult> Daemon::ImportPool(const std::string& src_dir,
       ASSIGN_OR_RETURN(puddles::Puddle puddle, puddles::Puddle::Attach(base, file->size()));
       puddle.header()->flags |= puddles::kPuddleNeedsRewrite;
       puddle.header()->prev_base_addr = puddle.base_addr();  // Identity translation.
+      // Arming the flag must also restart the walk: an export taken from a
+      // puddle whose CompleteRewrite tore between its two fences carries a
+      // stale (flag-clear, frontier = count) header, and resuming from it
+      // here would skip the whole rewrite.
+      puddle.header()->rewrite_frontier = 0;
       pmem::FlushFence(puddle.header(), sizeof(puddles::PuddleHeader));
       entry.record.flags = puddle.header()->flags;
       entry.record.prev_base = puddle.header()->prev_base_addr;

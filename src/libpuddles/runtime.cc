@@ -232,7 +232,8 @@ puddles::Result<Pool*> Runtime::FinishOpenPool(const puddled::PoolInfo& info, bo
     pending.push_back({fetched.first, fetched.second});
     const uint64_t old_base = pool->meta_.member_old_base(i);
     if (old_base != 0) {
-      pool->translator_.Add(old_base, fetched.first.file_size, fetched.first.base_addr);
+      RETURN_IF_ERROR(
+          pool->translator_.Add(old_base, fetched.first.file_size, fetched.first.base_addr));
     }
   }
   for (Pending& p : pending) {

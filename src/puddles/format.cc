@@ -42,6 +42,7 @@ puddles::Status Puddle::Format(void* base, size_t file_size, const PuddleParams&
   header->heap_size = params.heap_size;
   header->base_addr = params.base_addr;
   header->prev_base_addr = 0;
+  header->rewrite_frontier = 0;
   header->flags = 0;
 
   const size_t meta_size = KindUsesObjectHeap(params.kind)
@@ -87,19 +88,33 @@ puddles::Result<ObjectHeap> Puddle::object_heap(LogSink sink) const {
 }
 
 void Puddle::AssignNewBase(uint64_t new_base) {
-  // Ordering: record the old base and the rewrite obligation *before* the new
-  // assignment becomes durable, so a crash can never leave a puddle claiming
-  // a base its pointers do not match without the rewrite flag set.
+  // Ordering: record the old base, the rewrite obligation, and a zeroed
+  // frontier *before* the new assignment becomes durable, so a crash can
+  // never leave a puddle claiming a base its pointers do not match without
+  // (flag set, frontier = 0) forcing a full rewrite against it.
   header_->prev_base_addr = header_->base_addr;
+  header_->rewrite_frontier = 0;
   header_->flags |= kPuddleNeedsRewrite;
   pmem::FlushFence(header_, sizeof(PuddleHeader));
   header_->base_addr = new_base;
   pmem::FlushFence(&header_->base_addr, sizeof(header_->base_addr));
 }
 
+void Puddle::AdvanceRewriteFrontier(uint64_t next_index) {
+  header_->rewrite_frontier = next_index;
+  pmem::FlushFence(&header_->rewrite_frontier, sizeof(header_->rewrite_frontier));
+}
+
 void Puddle::CompleteRewrite() {
+  // The flag must clear durably before the frontier resets: a crash between
+  // the two fences leaves a clean puddle with a stale (ignored) frontier,
+  // whereas the reverse order could leave (flag set, frontier = 0) after a
+  // finished rewrite and force a full — possibly no-longer-idempotent —
+  // re-translation.
   header_->flags &= ~kPuddleNeedsRewrite;
+  pmem::FlushFence(&header_->flags, sizeof(header_->flags));
   header_->prev_base_addr = 0;
+  header_->rewrite_frontier = 0;
   pmem::FlushFence(header_, sizeof(PuddleHeader));
 }
 

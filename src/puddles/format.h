@@ -20,7 +20,10 @@
 namespace puddles {
 
 inline constexpr uint64_t kPuddleMagic = 0x454c44445550ULL;  // "PUDDLE"
-inline constexpr uint32_t kPuddleVersion = 1;
+// Version 2 added rewrite_frontier (resumable streaming relocation, DESIGN.md
+// §7). Version-1 files predate any persisted deployment of this codebase, so
+// Attach rejects them instead of upgrading in place.
+inline constexpr uint32_t kPuddleVersion = 2;
 
 // Default geometry: 4 KiB header page; 2 MiB heap (paper §4.3 configures
 // "4 KiB of header space for every 2 MiB of heap"; our allocator metadata is
@@ -61,6 +64,14 @@ struct PuddleHeader {
   uint64_t base_addr;
   // During relocation: the address the heap's embedded pointers still assume.
   uint64_t prev_base_addr;
+  // Rewrite frontier (§4.2, DESIGN.md §7): while kPuddleNeedsRewrite is set,
+  // every live heap object with walk index < rewrite_frontier has been fully
+  // translated AND its dirtied lines fenced durable. A crash mid-rewrite
+  // resumes from here instead of re-walking the whole heap; the index is over
+  // ObjectHeap::ForEachObject's address-ordered walk, which is stable because
+  // the heap is quiesced during relocation. Meaningless when the flag is
+  // clear.
+  uint64_t rewrite_frontier;
   uint32_t flags;
   uint32_t reserved;
 };
@@ -103,15 +114,26 @@ class Puddle {
   uint64_t heap_addr_at_base() const { return header_->base_addr + header_->heap_offset; }
 
   bool needs_rewrite() const { return (header_->flags & kPuddleNeedsRewrite) != 0; }
+  uint64_t rewrite_frontier() const { return header_->rewrite_frontier; }
 
   // Object allocator over this puddle's heap (data puddles only).
   puddles::Result<ObjectHeap> object_heap(LogSink sink = {}) const;
 
   // Updates the persistent base-address assignment, recording the previous
-  // one and setting the needs-rewrite flag (relocation step 1, §4.2).
+  // one, setting the needs-rewrite flag, and resetting the rewrite frontier
+  // (relocation step 1, §4.2).
   void AssignNewBase(uint64_t new_base);
 
-  // Clears the rewrite state after all pointers were translated.
+  // Persists rewrite progress: all objects with walk index < next_index are
+  // translated. The caller must have fenced every heap line it dirtied for
+  // those objects BEFORE calling — the frontier may never claim more progress
+  // than is durable.
+  void AdvanceRewriteFrontier(uint64_t next_index);
+
+  // Clears the rewrite state after all pointers were translated. Ordering:
+  // the flag clears durably before the frontier resets, so a crash inside
+  // this call either leaves (flag set, frontier = final) — a resume that
+  // skips everything — or a clean puddle; never (flag set, frontier = 0).
   void CompleteRewrite();
 
  private:

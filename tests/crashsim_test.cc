@@ -71,6 +71,38 @@ TEST(CrashsimWorkloads, PmhashRecoversFromEveryEnumeratedState) {
   ExpectFullRecovery(RunWorkload("pmhash", 16), 40);
 }
 
+// Import/relocation path (§4.2, DESIGN.md §7): export → import with base
+// conflicts → streaming rewrite under the frontier/flag protocol, recovered
+// through the stock rewrite-on-map resume. The acceptance bar for the
+// subsystem: ≥300 distinct crash states on this path, all recovering with the
+// copy's logical contents intact (the driver's source-mutation tripwire makes
+// any stale pointer chased back into source memory a fingerprint mismatch).
+TEST(CrashsimWorkloads, ImportRewriteRecoversFromEveryEnumeratedState) {
+  DriverOptions driver_options;
+  driver_options.ops = 160;               // Exported list nodes.
+  driver_options.rewrite_batch_objects = 2;  // Dense frontier persists.
+  auto driver = MakeDriver("import", driver_options);
+  ASSERT_NE(driver, nullptr);
+  HarnessOptions options;
+  Harness harness(*driver, options);
+  auto report = harness.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GE(report->states_enumerated, 300u);
+  EXPECT_GT(report->fence_boundary_states, 0u);
+  EXPECT_GT(report->eviction_states, 0u);
+  EXPECT_EQ(report->recovery_failures, 0u);
+  for (const std::string& failure : report->failures) {
+    ADD_FAILURE() << report->workload << ": " << failure;
+  }
+  EXPECT_EQ(report->invariant_failures, 0u);
+  EXPECT_EQ(report->recoveries_ok, report->states_enumerated);
+  // The rewrite never changes logical content, so every crash state on this
+  // path must recover to the ONE legal fingerprint (unlike the mutation
+  // workloads, where each op boundary is distinct).
+  EXPECT_EQ(report->distinct_outcomes, 1u);
+  EXPECT_GT(report->epochs, 100u) << "batched frontier protocol should persist often";
+}
+
 // ---- Trace recorder ----
 
 TEST(CrashsimTrace, RecordsEpochsFlushDeltasAndDirtyLines) {

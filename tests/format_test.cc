@@ -118,6 +118,51 @@ TEST(PuddleFormatTest, AssignNewBaseRecordsRelocationState) {
   EXPECT_EQ(puddle->base_addr(), new_base);
 }
 
+TEST(PuddleFormatTest, RewriteFrontierLifecycle) {
+  PuddleParams params = DataParams();
+  size_t file_size = Puddle::FileSizeFor(params.kind, params.heap_size);
+  std::vector<uint8_t> file(file_size);
+  ASSERT_TRUE(Puddle::Format(file.data(), file_size, params).ok());
+  auto puddle = Puddle::Attach(file.data(), file_size);
+  ASSERT_TRUE(puddle.ok());
+  EXPECT_EQ(puddle->rewrite_frontier(), 0u) << "fresh puddles start at zero";
+
+  puddle->AssignNewBase(puddle->base_addr() + (16 << 20));
+  EXPECT_EQ(puddle->rewrite_frontier(), 0u);
+  puddle->AdvanceRewriteFrontier(42);
+  EXPECT_EQ(puddle->rewrite_frontier(), 42u);
+  EXPECT_TRUE(puddle->needs_rewrite()) << "advancing progress keeps the obligation";
+
+  // A second relocation (re-import of a mid-rewrite export) restarts the walk.
+  puddle->AssignNewBase(puddle->base_addr() + (32 << 20));
+  EXPECT_EQ(puddle->rewrite_frontier(), 0u);
+
+  puddle->AdvanceRewriteFrontier(7);
+  puddle->CompleteRewrite();
+  EXPECT_FALSE(puddle->needs_rewrite());
+  EXPECT_EQ(puddle->rewrite_frontier(), 0u) << "completion resets the frontier";
+
+  // The frontier survives a detach/attach cycle (it is header state, not
+  // process state).
+  puddle->AssignNewBase(puddle->base_addr() + (48 << 20));
+  puddle->AdvanceRewriteFrontier(9);
+  auto reattached = Puddle::Attach(file.data(), file_size);
+  ASSERT_TRUE(reattached.ok());
+  EXPECT_TRUE(reattached->needs_rewrite());
+  EXPECT_EQ(reattached->rewrite_frontier(), 9u);
+}
+
+TEST(PuddleFormatTest, AttachRejectsVersionMismatch) {
+  PuddleParams params = DataParams();
+  size_t file_size = Puddle::FileSizeFor(params.kind, params.heap_size);
+  std::vector<uint8_t> file(file_size);
+  ASSERT_TRUE(Puddle::Format(file.data(), file_size, params).ok());
+  auto* header = reinterpret_cast<PuddleHeader*>(file.data());
+  EXPECT_EQ(header->version, kPuddleVersion);
+  header->version = 1;  // Pre-frontier layout: no in-place upgrade.
+  EXPECT_FALSE(Puddle::Attach(file.data(), file_size).ok());
+}
+
 TEST(PuddleFormatTest, HeapAddrAtBaseUsesAssignedBase) {
   PuddleParams params = DataParams();
   size_t file_size = Puddle::FileSizeFor(params.kind, params.heap_size);

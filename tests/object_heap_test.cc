@@ -97,8 +97,10 @@ TEST_F(ObjectHeapTest, ForEachObjectSeesMixedSizes) {
   ASSERT_TRUE(small.ok() && big.ok() && raw.ok());
 
   std::map<void*, TypeId> seen;
-  heap_.ForEachObject(
-      [&](void* payload, const ObjectHeader& header) { seen[payload] = header.type_id; });
+  heap_.ForEachObject([&](void* payload, const ObjectHeader& header, size_t capacity) {
+    EXPECT_GE(capacity, header.size) << "slot/block must hold the requested payload";
+    seen[payload] = header.type_id;
+  });
   ASSERT_EQ(seen.size(), 3u);
   EXPECT_EQ(seen[*small], TypeIdOf<TestNode>());
   EXPECT_EQ(seen[*big], TypeIdOf<BigRecord>());
@@ -111,7 +113,8 @@ TEST_F(ObjectHeapTest, ForEachSkipsFreedObjects) {
   ASSERT_TRUE(a.ok() && b.ok());
   ASSERT_TRUE(heap_.Free(*a).ok());
   std::set<void*> seen;
-  heap_.ForEachObject([&](void* payload, const ObjectHeader&) { seen.insert(payload); });
+  heap_.ForEachObject(
+      [&](void* payload, const ObjectHeader&, size_t) { seen.insert(payload); });
   EXPECT_EQ(seen.size(), 1u);
   EXPECT_TRUE(seen.count(*b));
 }
@@ -125,7 +128,7 @@ TEST_F(ObjectHeapTest, ReattachSeesSameObjects) {
   auto reattached = ObjectHeap::Attach(meta_.data(), heap_buf_.data(), kHeapSize);
   ASSERT_TRUE(reattached.ok());
   int count = 0;
-  reattached->ForEachObject([&](void* payload, const ObjectHeader& header) {
+  reattached->ForEachObject([&](void* payload, const ObjectHeader& header, size_t) {
     ++count;
     EXPECT_EQ(header.type_id, TypeIdOf<TestNode>());
     EXPECT_EQ(static_cast<TestNode*>(payload)->value, 77u);
@@ -196,7 +199,8 @@ TEST_P(ObjectHeapPropertyTest, TortureWithIterationCrossCheck) {
     if (step % 500 == 0) {
       // Iteration must see exactly the live set.
       std::set<void*> seen;
-      heap.ForEachObject([&](void* payload, const ObjectHeader&) { seen.insert(payload); });
+      heap.ForEachObject(
+          [&](void* payload, const ObjectHeader&, size_t) { seen.insert(payload); });
       ASSERT_EQ(seen.size(), live.size()) << "step " << step;
       for (const auto& [payload, meta_info] : live) {
         ASSERT_TRUE(seen.count(payload)) << "live object missing from iteration";

@@ -9,6 +9,8 @@
 
 #include "src/libpuddles/fault_router.h"
 #include "src/libpuddles/libpuddles.h"
+#include "src/pmem/flush.h"
+#include "src/pmem/mapped_file.h"
 
 namespace puddles {
 
@@ -222,6 +224,92 @@ TEST_F(RelocationTest, MultiPuddleListRelocatesOnDemand) {
   EXPECT_GT(after.faults_handled, before.faults_handled)
       << "traversal must fault-map the non-root puddles on demand";
   EXPECT_EQ(SumList(*source), expected) << "original undisturbed";
+}
+
+TEST_F(RelocationTest, StaleExportedFrontierStillRewritesIdentityImports) {
+  // An export taken from a puddle whose CompleteRewrite tore between its two
+  // fences carries (flag clear, frontier = count) — harmless at home, but a
+  // member imported WITHOUT a base conflict is armed for rewrite by the
+  // identity branch of Daemon::ImportPool, and resuming from the stale
+  // frontier there would skip the whole rewrite and leave its inter-member
+  // pointers targeting the source pool's memory.
+  constexpr uint64_t kNodes = 90000;  // Multi-puddle pool: mixed-conflict import.
+  Pool* source = BuildListPool("source", kNodes);
+  ASSERT_GT(source->member_count(), 1u);
+  const uint64_t expected = SumList(*source);
+  ASSERT_TRUE(runtime_->ExportPool("source", (base_ / "export").string()).ok());
+
+  // To get a MIXED import (some identity, some conflicting) the freed holes
+  // must not be re-captured by first-fit relocation of earlier-imported
+  // members: free the meta puddle and every data member except the LAST —
+  // imports claim bases in manifest order, so all identity claims land
+  // before the surviving member forces a relocation.
+  std::vector<Uuid> victims;  // Source members to delete, in base order.
+  victims.push_back(source->info().meta_puddle);
+  std::vector<Uuid> data_members;
+  for (Runtime::Entry* entry : runtime_->Entries()) {  // Base-ordered.
+    if (entry->info.pool_uuid == source->info().pool_uuid &&
+        entry->info.kind == static_cast<uint32_t>(PuddleKind::kData)) {
+      data_members.push_back(entry->info.uuid);
+    }
+  }
+  ASSERT_GT(data_members.size(), 1u);
+  victims.insert(victims.end(), data_members.begin(), data_members.end() - 1);
+
+  // Plant the torn-completion header state in every exported data member.
+  for (const auto& dirent : fs::directory_iterator(base_ / "export")) {
+    if (dirent.path().extension() != ".pud") {
+      continue;
+    }
+    auto file = pmem::PmemFile::Open(dirent.path().string());
+    ASSERT_TRUE(file.ok());
+    auto mapped = file->Map();
+    ASSERT_TRUE(mapped.ok());
+    auto puddle = Puddle::Attach(*mapped, file->size());
+    ASSERT_TRUE(puddle.ok());
+    if (puddle->kind() == PuddleKind::kData) {
+      puddle->header()->rewrite_frontier = 1'000'000;
+      pmem::FlushFence(puddle->header(), sizeof(PuddleHeader));
+    }
+  }
+
+  // Reboot so the victim's range is genuinely free to claim, then delete it:
+  // the import now sees one conflict-free (identity) member among conflicts.
+  runtime_.reset();
+  daemon_.reset();
+  auto daemon = puddled::Daemon::Start({.root_dir = (base_ / "root").string()});
+  ASSERT_TRUE(daemon.ok()) << daemon.status().ToString();
+  daemon_ = std::move(*daemon);
+  auto runtime =
+      Runtime::Create(std::make_shared<puddled::EmbeddedDaemonClient>(daemon_.get()));
+  ASSERT_TRUE(runtime.ok());
+  runtime_ = std::move(*runtime);
+  for (const Uuid& victim : victims) {
+    ASSERT_TRUE(runtime_->client().DeletePuddle(victim).ok());
+  }
+
+  auto import = runtime_->client().ImportPool((base_ / "export").string(), "copy");
+  ASSERT_TRUE(import.ok()) << import.status().ToString();
+  EXPECT_GT(import->members_relocated, 0u);
+  EXPECT_LT(import->members_relocated, import->members_imported)
+      << "test needs at least one identity (conflict-free) data member";
+
+  auto copy = runtime_->OpenPool("copy");
+  ASSERT_TRUE(copy.ok()) << copy.status().ToString();
+  EXPECT_EQ(SumList(**copy), expected);
+  // Every recovered pointer must resolve inside the copy — a stale pointer
+  // surviving the skipped rewrite would land in a source member instead.
+  RelocHead* head = *(*copy)->Root<RelocHead>();
+  uint64_t checked = 0;
+  for (RelocNode* node = head->head; node != nullptr; node = node->next) {
+    Runtime::Entry* entry =
+        runtime_->FindEntryByAddr(reinterpret_cast<uintptr_t>(node));
+    ASSERT_NE(entry, nullptr);
+    ASSERT_EQ(entry->info.pool_uuid, (*copy)->info().pool_uuid)
+        << "node " << checked << " still points into the source pool";
+    ++checked;
+  }
+  EXPECT_EQ(checked, kNodes);
 }
 
 TEST_F(RelocationTest, RewriteStatsCountPointers) {

@@ -1,12 +1,16 @@
 // Unit tests for the pieces of the relocation engine: range bookkeeping
-// (RangeAllocator), address translation (Translator), and the pointer-rewrite
-// pass over a puddle heap — including idempotence, the property crash-resumed
-// rewrites rely on (§4.2).
+// (RangeAllocator), address translation (Translator — the sorted interval
+// table, its hardened Add, and its equivalence with the linear reference
+// scan), and the streaming pointer-rewrite pass over a puddle heap —
+// including frontier resume and byte-stability, the properties crash-resumed
+// rewrites rely on (§4.2, DESIGN.md §7).
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <vector>
 
 #include "src/common/range_allocator.h"
+#include "src/common/rng.h"
 #include "src/libpuddles/relocation.h"
 #include "src/libpuddles/type_registry.h"
 
@@ -68,8 +72,8 @@ TEST(RangeAllocatorTest, Exhaustion) {
 
 TEST(TranslatorTest, TranslatesOnlyOldRanges) {
   Translator translator;
-  translator.Add(/*old_base=*/0x1000, /*size=*/0x1000, /*new_base=*/0x9000);
-  translator.Add(0x5000, 0x1000, 0x2000);  // Negative delta.
+  ASSERT_TRUE(translator.Add(/*old_base=*/0x1000, /*size=*/0x1000, /*new_base=*/0x9000).ok());
+  ASSERT_TRUE(translator.Add(0x5000, 0x1000, 0x2000).ok());  // Negative delta.
 
   uint64_t out = 0;
   EXPECT_TRUE(translator.Translate(0x1000, &out));
@@ -85,8 +89,82 @@ TEST(TranslatorTest, TranslatesOnlyOldRanges) {
 
 TEST(TranslatorTest, IdentityEntriesElided) {
   Translator translator;
-  translator.Add(0x1000, 0x1000, 0x1000);
+  ASSERT_TRUE(translator.Add(0x1000, 0x1000, 0x1000).ok());
   EXPECT_TRUE(translator.empty());
+}
+
+TEST(TranslatorTest, AddRejectsWraparoundAndZeroSize) {
+  Translator translator;
+  // old_base + size wraps past UINT64_MAX: accepting it would make [old_lo,
+  // old_hi) swallow nearly every address (same hazard as the
+  // RangeResolver::Resolve overflow fix, §4.6).
+  EXPECT_FALSE(translator.Add(~uint64_t{0} - 0x100, 0x1000, 0x9000).ok());
+  EXPECT_FALSE(translator.Add(0x1000, 0, 0x9000).ok());
+  EXPECT_TRUE(translator.empty());
+  uint64_t out = 0;
+  EXPECT_FALSE(translator.Translate(0x10, &out));
+  EXPECT_FALSE(translator.Translate(~uint64_t{0} - 0x50, &out));
+}
+
+TEST(TranslatorTest, AddRejectsOverlappingAndDuplicateRanges) {
+  Translator translator;
+  ASSERT_TRUE(translator.Add(0x10000, 0x1000, 0x90000).ok());
+  EXPECT_FALSE(translator.Add(0x10000, 0x1000, 0xa0000).ok()) << "duplicate";
+  EXPECT_FALSE(translator.Add(0x10800, 0x1000, 0xa0000).ok()) << "overlaps tail";
+  EXPECT_FALSE(translator.Add(0xf800, 0x1000, 0xa0000).ok()) << "overlaps head";
+  EXPECT_FALSE(translator.Add(0xf000, 0x4000, 0xa0000).ok()) << "encloses";
+  EXPECT_FALSE(translator.Add(0x10400, 0x100, 0xa0000).ok()) << "contained";
+  EXPECT_EQ(translator.size(), 1u);
+  // Adjacent, non-overlapping ranges are fine.
+  EXPECT_TRUE(translator.Add(0x11000, 0x1000, 0xb0000).ok());
+  EXPECT_TRUE(translator.Add(0xf000, 0x1000, 0xc0000).ok());
+  uint64_t out = 0;
+  EXPECT_TRUE(translator.Translate(0x10500, &out));
+  EXPECT_EQ(out, 0x90500u) << "rejected Adds must not disturb the table";
+}
+
+TEST(TranslatorTest, BinarySearchMatchesLinearOnRandomizedInputs) {
+  // Differential test for the interval table + MRU cache against the O(E)
+  // reference scan, across entry counts bracketing the bench configurations.
+  for (size_t num_entries : {1u, 8u, 64u, 512u}) {
+    Translator translator;
+    Xoshiro256 rng(0x5eed + num_entries);
+    std::vector<std::pair<uint64_t, uint64_t>> ranges;  // {lo, size}
+    uint64_t cursor = 0x100000;
+    for (size_t i = 0; i < num_entries; ++i) {
+      cursor += 0x1000 + rng.Below(0x40000);  // Random gaps keep ranges disjoint.
+      const uint64_t size = 0x1000 * (1 + rng.Below(16));
+      ASSERT_TRUE(translator.Add(cursor, size, 0x4000000000ULL + i * 0x1000000).ok());
+      ranges.push_back({cursor, size});
+      cursor += size;
+    }
+    for (int probe = 0; probe < 20000; ++probe) {
+      uint64_t addr;
+      switch (rng.Below(4)) {
+        case 0: {  // Inside a range (with locality runs the MRU serves).
+          auto& [lo, size] = ranges[rng.Below(ranges.size())];
+          addr = lo + rng.Below(size);
+          break;
+        }
+        case 1: {  // Boundary probes: lo-1, lo, hi-1, hi.
+          auto& [lo, size] = ranges[rng.Below(ranges.size())];
+          const uint64_t edges[4] = {lo - 1, lo, lo + size - 1, lo + size};
+          addr = edges[rng.Below(4)];
+          break;
+        }
+        default:
+          addr = rng();
+          break;
+      }
+      uint64_t indexed = 0, linear = 0;
+      const bool indexed_hit = translator.Translate(addr, &indexed);
+      const bool linear_hit = translator.TranslateLinear(addr, &linear);
+      ASSERT_EQ(indexed_hit, linear_hit) << "addr=" << std::hex << addr;
+      if (indexed_hit) {
+        ASSERT_EQ(indexed, linear) << "addr=" << std::hex << addr;
+      }
+    }
+  }
 }
 
 class RewriteTest : public ::testing::Test {
@@ -122,7 +200,7 @@ TEST_F(RewriteTest, RewritesRegisteredPointerFields) {
   (*node)->payload = 0x1500;  // Looks like an old-range address but is data.
 
   Translator translator;
-  translator.Add(0x1000, 0x1000, 0x100000);
+  ASSERT_TRUE(translator.Add(0x1000, 0x1000, 0x100000).ok());
   puddle_.AssignNewBase(puddle_.base_addr() + 0x1000000);  // Mark needs-rewrite.
 
   auto stats = RewritePuddle(puddle_, translator, TypeRegistry::Instance());
@@ -143,7 +221,7 @@ TEST_F(RewriteTest, RewriteIsIdempotent) {
   (*node)->prev = nullptr;
 
   Translator translator;
-  translator.Add(0x1000, 0x1000, 0x100000);
+  ASSERT_TRUE(translator.Add(0x1000, 0x1000, 0x100000).ok());
 
   // Run the rewrite twice — as after a crash mid-rewrite. The second pass
   // must not double-translate (new range is outside every old range).
@@ -164,7 +242,7 @@ TEST_F(RewriteTest, ArraysStrideByElementSize) {
     (*arr)[i].payload = static_cast<uint64_t>(i);
   }
   Translator translator;
-  translator.Add(0x1000, 0x1000, 0x200000);
+  ASSERT_TRUE(translator.Add(0x1000, 0x1000, 0x200000).ok());
   auto stats = RewritePuddle(puddle_, translator, TypeRegistry::Instance());
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats->pointers_rewritten, 8u);
@@ -183,7 +261,7 @@ TEST_F(RewriteTest, RawBytesNeverTouched) {
   words[0] = 0x1100;  // Would translate if treated as a pointer.
 
   Translator translator;
-  translator.Add(0x1000, 0x1000, 0x300000);
+  ASSERT_TRUE(translator.Add(0x1000, 0x1000, 0x300000).ok());
   auto stats = RewritePuddle(puddle_, translator, TypeRegistry::Instance());
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats->pointers_rewritten, 0u);
@@ -199,11 +277,134 @@ TEST_F(RewriteTest, UnknownTypesCountedNotTouched) {
   words[0] = 0x1100;
 
   Translator translator;
-  translator.Add(0x1000, 0x1000, 0x300000);
+  ASSERT_TRUE(translator.Add(0x1000, 0x1000, 0x300000).ok());
   auto stats = RewritePuddle(puddle_, translator, TypeRegistry::Instance());
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats->objects_without_map, 1u);
   EXPECT_EQ(words[0], 0x1100u);
+}
+
+TEST_F(RewriteTest, ResumesFromPersistedFrontier) {
+  auto heap = puddle_.object_heap();
+  ASSERT_TRUE(heap.ok());
+  // 12 nodes, each pointing into the old range; the walk visits them in
+  // address order, so node i has walk index i.
+  constexpr int kNodes = 12;
+  std::vector<RelNode*> nodes;
+  for (int i = 0; i < kNodes; ++i) {
+    auto node = heap->AllocateTyped<RelNode>();
+    ASSERT_TRUE(node.ok());
+    (*node)->next = reinterpret_cast<RelNode*>(0x1000 + i * 16);
+    (*node)->prev = nullptr;
+    (*node)->payload = static_cast<uint64_t>(i);
+    nodes.push_back(*node);
+  }
+
+  Translator translator;
+  ASSERT_TRUE(translator.Add(0x1000, 0x1000, 0x100000).ok());
+
+  // Simulate a crash mid-rewrite: the frontier says the first 5 objects are
+  // durably translated. Reflect that in the heap (they WERE translated before
+  // the crash) and run the resume.
+  puddle_.AssignNewBase(puddle_.base_addr() + 0x1000000);
+  EXPECT_EQ(puddle_.rewrite_frontier(), 0u) << "new assignment restarts the rewrite";
+  constexpr uint64_t kFrontier = 5;
+  for (uint64_t i = 0; i < kFrontier; ++i) {
+    nodes[i]->next = reinterpret_cast<RelNode*>(0x100000 + i * 16);
+  }
+  puddle_.AdvanceRewriteFrontier(kFrontier);
+
+  RewriteOptions options;
+  options.batch_objects = 3;  // Force several frontier advances.
+  auto stats = RewritePuddle(puddle_, translator, TypeRegistry::Instance(), options);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->objects_skipped_resume, kFrontier);
+  EXPECT_EQ(stats->objects_visited, static_cast<uint64_t>(kNodes) - kFrontier);
+  EXPECT_EQ(stats->pointers_rewritten, static_cast<uint64_t>(kNodes) - kFrontier);
+  EXPECT_GE(stats->frontier_advances, 2u) << "batch=3 over 7 objects persists progress";
+  for (int i = 0; i < kNodes; ++i) {
+    EXPECT_EQ(nodes[i]->next, reinterpret_cast<RelNode*>(0x100000 + i * 16)) << i;
+  }
+  EXPECT_FALSE(puddle_.needs_rewrite());
+  EXPECT_EQ(puddle_.rewrite_frontier(), 0u) << "CompleteRewrite resets the frontier";
+}
+
+TEST_F(RewriteTest, FrontierMakesHeapFlushToFlagClearGapByteStable) {
+  // The satellite-3 crash window: everything is translated and flushed, the
+  // final frontier is durable, but the crash hits before the needs-rewrite
+  // flag clears. The re-run must leave the heap byte-identical EVEN when a
+  // new base coincidentally lands inside another member's old range — the
+  // case where re-translation is NOT idempotent: here member A's old range
+  // [0x1000,0x2000) maps into [0x5000,0x6000), which is member B's old
+  // range, so a second pass would bounce A's pointers on into 0x9xxx.
+  auto heap = puddle_.object_heap();
+  ASSERT_TRUE(heap.ok());
+  auto node = heap->AllocateTyped<RelNode>();
+  ASSERT_TRUE(node.ok());
+  (*node)->next = reinterpret_cast<RelNode*>(0x1100);
+  (*node)->prev = reinterpret_cast<RelNode*>(0x5f00);  // Straight into B's old range.
+  (*node)->payload = 7;
+
+  Translator translator;
+  ASSERT_TRUE(translator.Add(0x1000, 0x1000, 0x5000).ok());  // A: new == B's old.
+  ASSERT_TRUE(translator.Add(0x5000, 0x1000, 0x9000).ok());  // B.
+
+  puddle_.AssignNewBase(puddle_.base_addr() + 0x1000000);
+  ASSERT_TRUE(RewritePuddle(puddle_, translator, TypeRegistry::Instance()).ok());
+  EXPECT_EQ((*node)->next, reinterpret_cast<RelNode*>(0x5100));
+  EXPECT_EQ((*node)->prev, reinterpret_cast<RelNode*>(0x9f00));
+
+  // Crash: the flag-clear did not persist, but the final frontier did.
+  // Reconstruct that durable state and re-run recovery's rewrite.
+  puddle_.header()->flags |= kPuddleNeedsRewrite;
+  puddle_.header()->rewrite_frontier = 1;  // One live object, fully processed.
+  std::vector<uint8_t> before(puddle_.heap(), puddle_.heap() + puddle_.heap_size());
+  auto stats = RewritePuddle(puddle_, translator, TypeRegistry::Instance());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->objects_skipped_resume, 1u);
+  EXPECT_EQ(stats->pointers_rewritten, 0u);
+  EXPECT_EQ(std::memcmp(before.data(), puddle_.heap(), before.size()), 0)
+      << "re-run must not double-translate 0x5100 into 0x9100";
+  EXPECT_EQ((*node)->next, reinterpret_cast<RelNode*>(0x5100));
+  EXPECT_FALSE(puddle_.needs_rewrite());
+}
+
+TEST_F(RewriteTest, InflatedObjectSizeCannotScanAllocatorSlack) {
+  // Regression for the array-stride over-scan: an object whose recorded size
+  // exceeds its slab slot's capacity must not have the walk stride into the
+  // slot padding / neighboring slot, where garbage that happens to fall in a
+  // moved old range would get "translated".
+  auto heap = puddle_.object_heap();
+  ASSERT_TRUE(heap.ok());
+  auto node = heap->AllocateTyped<RelNode>();  // 24 B payload → 48 B slab slot.
+  ASSERT_TRUE(node.ok());
+  auto neighbor = heap->AllocateTyped<RelNode>();  // Adjacent slot in the slab.
+  ASSERT_TRUE(neighbor.ok());
+  (*node)->next = reinterpret_cast<RelNode*>(0x1100);
+  (*node)->prev = nullptr;
+  (*node)->payload = 1;
+  (*neighbor)->next = nullptr;
+  (*neighbor)->prev = nullptr;
+  (*neighbor)->payload = 2;
+  // Plant an old-range-looking value in the slot slack right after the
+  // payload — exactly where element 1 of a phantom array would sit.
+  auto* slack = reinterpret_cast<uint64_t*>(reinterpret_cast<uint8_t*>(*node) +
+                                            sizeof(RelNode));
+  *slack = 0x1200;
+  // Corrupt the header: size now claims two elements (48 B > the slot's
+  // payload capacity).
+  auto* header = const_cast<ObjectHeader*>(heap->HeaderOf(*node));
+  ASSERT_NE(header, nullptr);
+  header->size = 2 * sizeof(RelNode);
+
+  Translator translator;
+  ASSERT_TRUE(translator.Add(0x1000, 0x1000, 0x700000).ok());
+  auto stats = RewritePuddle(puddle_, translator, TypeRegistry::Instance());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ((*node)->next, reinterpret_cast<RelNode*>(0x700100)) << "element 0 rewritten";
+  EXPECT_EQ(*slack, 0x1200u) << "slack byte walked as a phantom element";
+  EXPECT_EQ((*neighbor)->payload, 2u);
+  header->size = sizeof(RelNode);  // Restore before the heap is validated.
 }
 
 TEST(TypeRegistryTest, RegistrationAndConflicts) {

@@ -7,9 +7,13 @@
 // coverage report.
 //
 // Usage:
-//   crashsim [--workloads=list,btree,kvstore,pmhash] [--ops=N] [--seed=N]
+//   crashsim [--workloads=list,btree,kvstore,pmhash,import] [--ops=N] [--seed=N]
 //            [--max-states=N] [--subsets-per-epoch=N] [--evict-probability=P]
-//            [--scratch=DIR] [--log-states] [--verbose]
+//            [--rewrite-batch=N] [--scratch=DIR] [--log-states] [--verbose]
+//
+// For the "import" workload, --ops is the exported list's node count and
+// --rewrite-batch is the streaming rewrite's frontier batch size (smaller =
+// denser crash-state coverage of the relocation protocol).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -55,9 +59,10 @@ bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--workloads=list,btree,kvstore,pmhash] [--ops=N] [--seed=N]\n"
-               "          [--max-states=N] [--subsets-per-epoch=N] [--evict-probability=P]\n"
-               "          [--scratch=DIR] [--log-states] [--verbose]\n",
+               "usage: %s [--workloads=list,btree,kvstore,pmhash,import] [--ops=N]\n"
+               "          [--seed=N] [--max-states=N] [--subsets-per-epoch=N]\n"
+               "          [--evict-probability=P] [--rewrite-batch=N] [--scratch=DIR]\n"
+               "          [--log-states] [--verbose]\n",
                argv0);
   return 2;
 }
@@ -83,6 +88,8 @@ int main(int argc, char** argv) {
           static_cast<uint32_t>(std::atoi(value.c_str()));
     } else if (ParseFlag(arg, "evict-probability", &value)) {
       options.harness.enumerate.eviction_probability = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "rewrite-batch", &value)) {
+      options.driver.rewrite_batch_objects = static_cast<uint32_t>(std::atoi(value.c_str()));
     } else if (ParseFlag(arg, "scratch", &value)) {
       options.harness.scratch_dir = value;
     } else if (arg == "--log-states") {
