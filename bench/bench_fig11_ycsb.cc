@@ -5,6 +5,8 @@
 // 1.34×), Atlas slowest on write-heavy mixes, Romulus fastest on write-heavy.
 #include "bench/bench_env.h"
 #include "bench/bench_util.h"
+#include "src/workloads/art.h"
+#include "src/workloads/btree.h"
 #include "src/workloads/kvstore.h"
 #include "src/workloads/ycsb.h"
 
@@ -71,6 +73,38 @@ std::vector<double> RunYcsb(Adapter adapter, uint64_t records, uint64_t ops) {
   return seconds;
 }
 
+// YCSB-E (95% short ordered range scan / 5% insert) over the two ordered
+// indexes on Libpuddles: the adaptive radix tree vs the order-8 B+-tree.
+// Scans are read-only in both (no ordering points); the interesting delta is
+// pointer-chasing depth and node fan-out on the scan path.
+template <typename Index>
+std::pair<double, double> RunOrderedE(Index& index, uint64_t records, uint64_t ops) {
+  Timer load_timer;
+  for (uint64_t i = 0; i < records; ++i) {
+    if (!index.Insert(i, i * 2 + 1).ok()) {
+      std::abort();
+    }
+  }
+  const double load_seconds = load_timer.Seconds();
+
+  YcsbStream stream(YcsbWorkload::kE, records, 0xC0FFEE + 'E');
+  std::vector<std::pair<uint64_t, uint64_t>> buffer;
+  buffer.reserve(128);
+  uint64_t sink = 0;
+  Timer timer;
+  for (uint64_t i = 0; i < ops; ++i) {
+    workloads::YcsbRequest request = stream.Next();
+    if (request.op == YcsbOp::kScan) {
+      buffer.clear();
+      sink += index.Scan(request.key_index, request.scan_length, &buffer);
+    } else {
+      (void)index.Insert(request.key_index, i);
+    }
+  }
+  bench::DoNotOptimize(sink);
+  return {load_seconds, timer.Seconds()};
+}
+
 }  // namespace
 
 int main() {
@@ -126,6 +160,34 @@ int main() {
   }
   std::printf("\nrecords=%llu ops=%llu per workload\n",
               static_cast<unsigned long long>(records), static_cast<unsigned long long>(ops));
+
+  // ---- YCSB-E: ordered indexes (ART vs B+-tree) on Libpuddles ----
+  std::pair<double, double> art_e, btree_e;
+  {
+    bench::PuddlesEnv env(dir, "art");
+    workloads::ArtIndex<workloads::PuddlesAdapter>::RegisterTypes();
+    workloads::ArtIndex<workloads::PuddlesAdapter> art(env.adapter());
+    if (!art.Init().ok()) {
+      std::abort();
+    }
+    art_e = RunOrderedE(art, records, ops);
+  }
+  {
+    bench::PuddlesEnv env(dir, "btree");
+    workloads::PersistentBTree<workloads::PuddlesAdapter>::RegisterTypes();
+    workloads::PersistentBTree<workloads::PuddlesAdapter> btree(env.adapter());
+    if (!btree.Init().ok()) {
+      std::abort();
+    }
+    btree_e = RunOrderedE(btree, records, ops);
+  }
+  std::printf("\nYCSB-E, ordered indexes on Libpuddles (95%% scan / 5%% insert)\n");
+  std::printf("%-12s %10s %10s %14s\n", "index", "load (s)", "E (s)", "E ops/s");
+  std::printf("%-12s %10.3f %10.3f %14.0f\n", "ART", art_e.first, art_e.second,
+              static_cast<double>(ops) / art_e.second);
+  std::printf("%-12s %10.3f %10.3f %14.0f\n", "B+-tree", btree_e.first, btree_e.second,
+              static_cast<double>(ops) / btree_e.second);
+  std::printf("B+-tree / ART time ratio on E: %.2fx\n", btree_e.second / art_e.second);
   std::filesystem::remove_all(dir);
   return 0;
 }

@@ -15,6 +15,7 @@
 #include "src/pmem/mapped_file.h"
 #include "src/pmhash/pmhash.h"
 #include "src/workloads/adapters.h"
+#include "src/workloads/art.h"
 #include "src/workloads/btree.h"
 #include "src/workloads/kvstore.h"
 #include "src/workloads/list.h"
@@ -279,6 +280,98 @@ class BtreeCrashDriver : public PoolCrashDriver {
 
  private:
   std::optional<Tree> tree_;
+};
+
+// ---- Adaptive radix tree (workloads/art.h) ----
+//
+// Key mix: a dense last-byte run (fans one inner node through every variant
+// up to Node256 as inserts accumulate) plus sparse high-byte stems (force
+// prefix splits, multi-level structure, and collapse-on-erase). Preload stops
+// just short of the Node48 -> Node256 boundary so traced ops cross it, and
+// the erase share drives demotions — every structural mutation lands inside
+// the traced window. The fingerprint is the ordered scan, so recovery is
+// checked through the range-scan path, not just point lookups.
+class ArtCrashDriver : public PoolCrashDriver {
+ public:
+  using PoolCrashDriver::PoolCrashDriver;
+
+ protected:
+  using Art = workloads::ArtIndex<workloads::PuddlesAdapter>;
+  static constexpr uint64_t kDenseUniverse = 96;
+  static constexpr uint64_t kSparseStems = 4;
+  static constexpr uint64_t kSparseUniverse = 8;
+
+  uint64_t DenseKey(uint64_t i) const { return i % kDenseUniverse; }
+  // Stem from the high digits, offset from the low ones, so the full
+  // kSparseStems x kSparseUniverse cross product is reachable.
+  uint64_t SparseKey(uint64_t i) const {
+    return 0x0101000000000000ULL * (1 + (i / kSparseUniverse) % kSparseStems) +
+           i % kSparseUniverse;
+  }
+
+  puddles::Status InitStructure() override {
+    Art::RegisterTypes();
+    art_.emplace(workloads::PuddlesAdapter(pool_));
+    RETURN_IF_ERROR(art_->Init());
+    for (int i = 0; i < options_.preload; ++i) {
+      RETURN_IF_ERROR(
+          art_->Insert(DenseKey(static_cast<uint64_t>(i)), 1'000'000 + static_cast<uint64_t>(i)));
+    }
+    return puddles::OkStatus();
+  }
+
+  puddles::Status AttachStructure() override {
+    art_.emplace(workloads::PuddlesAdapter(pool_));
+    return art_->Init();
+  }
+
+  void ReleaseStructure() override { art_.reset(); }
+
+  puddles::Status DoOp(int i) override {
+    const double dice = rng_.NextDouble();
+    if (dice < 0.55 || art_->size() == 0) {
+      return art_->Insert(DenseKey(rng_.Below(kDenseUniverse)),
+                          2'000'000 + static_cast<uint64_t>(i));
+    }
+    if (dice < 0.70) {
+      return art_->Insert(SparseKey(rng_.Below(kSparseStems * kSparseUniverse)),
+                          3'000'000 + static_cast<uint64_t>(i));
+    }
+    const uint64_t victim = rng_.NextDouble() < 0.75
+                                ? DenseKey(rng_.Below(kDenseUniverse))
+                                : SparseKey(rng_.Below(kSparseStems * kSparseUniverse));
+    puddles::Status status = art_->Erase(victim);
+    return OkOrNotFound(status) ? puddles::OkStatus() : status;
+  }
+
+  puddles::Result<std::string> ComputeFingerprint() override {
+    std::ostringstream out;
+    out << "n=" << art_->size();
+    std::vector<std::pair<uint64_t, uint64_t>> scanned;
+    art_->Scan(0, static_cast<int>(art_->size()) + 16, &scanned);
+    if (scanned.size() != art_->size()) {
+      return puddles::DataLossError("art scan disagrees with size counter");
+    }
+    uint64_t previous = 0;
+    bool first = true;
+    for (const auto& [key, value] : scanned) {
+      if (!first && key <= previous) {
+        return puddles::DataLossError("art scan out of order");
+      }
+      first = false;
+      previous = key;
+      out << ";" << key << "=" << value;
+    }
+    return out.str();
+  }
+
+  puddles::Status ProbeOp() override {
+    RETURN_IF_ERROR(art_->Insert(~uint64_t{0} - 1, 999'999'999));
+    return art_->Erase(~uint64_t{0} - 1);
+  }
+
+ private:
+  std::optional<Art> art_;
 };
 
 // ---- KV store (workloads/kvstore.h) ----
@@ -823,6 +916,9 @@ std::unique_ptr<WorkloadDriver> MakeDriver(const std::string& name,
   if (name == "btree") {
     return std::make_unique<BtreeCrashDriver>("btree", options);
   }
+  if (name == "art") {
+    return std::make_unique<ArtCrashDriver>("art", options);
+  }
   if (name == "kvstore") {
     return std::make_unique<KvstoreCrashDriver>("kvstore", options);
   }
@@ -836,7 +932,7 @@ std::unique_ptr<WorkloadDriver> MakeDriver(const std::string& name,
 }
 
 std::vector<std::string> DriverNames() {
-  return {"list", "btree", "kvstore", "pmhash", "import"};
+  return {"list", "btree", "art", "kvstore", "pmhash", "import"};
 }
 
 }  // namespace crashsim

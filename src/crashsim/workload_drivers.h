@@ -1,6 +1,8 @@
-// Crashsim drivers for the repo's workloads: the linked list, B+-tree, and
-// KV store from src/workloads (running on the full Puddles stack — daemon,
-// runtime, pool, transactions), the daemon's own PersistentHashMap
+// Crashsim drivers for the repo's workloads: the linked list, B+-tree,
+// adaptive radix tree, and KV store from src/workloads (running on the full
+// Puddles stack — daemon, runtime, pool, transactions; the ART driver's key
+// mix walks every node promotion/demotion and prefix split inside the traced
+// window, and fingerprints via the ordered scan), the daemon's own PersistentHashMap
 // (src/pmhash, which carries its own crash-consistency protocol), and the
 // pool import/relocation path (export → import-with-base-conflict → streaming
 // pointer rewrite under the frontier/flag protocol, DESIGN.md §7).
@@ -38,7 +40,7 @@ struct DriverOptions {
   uint32_t rewrite_batch_objects = 4;
 };
 
-// Supported names: "list", "btree", "kvstore", "pmhash", "import".
+// Supported names: "list", "btree", "art", "kvstore", "pmhash", "import".
 std::unique_ptr<WorkloadDriver> MakeDriver(const std::string& name,
                                            const DriverOptions& options = {});
 std::vector<std::string> DriverNames();

@@ -338,6 +338,11 @@ puddles::Status Daemon::RegisterPtrMap(const PtrMapRecord& record) {
   if (record.num_fields > kMaxPtrFields) {
     return puddles::InvalidArgumentError("too many pointer fields");
   }
+  if (record.repeat_count != 0 &&
+      (record.repeat_offset + static_cast<uint64_t>(record.repeat_count) * sizeof(uint64_t) >
+       record.object_size)) {
+    return puddles::InvalidArgumentError("pointer-array region outside object");
+  }
   return ptrmaps_->Put(record.type_id, record);
 }
 

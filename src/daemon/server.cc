@@ -22,11 +22,14 @@ void Server::Stop() {
   if (stopping_.exchange(true)) {
     return;
   }
-  // Closing the listener unblocks accept().
-  listener_.Close();
+  // Shutdown unblocks the accept loop but keeps the fd alive until the
+  // thread is joined — closing first would race Accept() against fd reuse
+  // (caught by ThreadSanitizer on the socket_daemon tests).
+  listener_.Shutdown();
   if (accept_thread_.joinable()) {
     accept_thread_.join();
   }
+  listener_.Close();
   std::vector<std::thread> threads;
   {
     std::lock_guard<std::mutex> lock(threads_mu_);

@@ -57,6 +57,11 @@ struct PtrMapRecord {
   uint32_t num_fields;
   uint32_t object_size;  // sizeof(T): pointer discovery in arrays strides by this.
   uint32_t field_offsets[kMaxPtrFields];
+  // Optional homogeneous pointer-array region, for wide nodes whose fan-out
+  // exceeds kMaxPtrFields (e.g. an ART Node256's 256 child slots): pointers
+  // additionally live at repeat_offset + i*8 for i in [0, repeat_count).
+  uint32_t repeat_offset;
+  uint32_t repeat_count;  // 0 = no repeat region.
 };
 
 struct LogSpaceRecord {

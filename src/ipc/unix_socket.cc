@@ -223,9 +223,17 @@ UnixSocketServer& UnixSocketServer::operator=(UnixSocketServer&& other) noexcept
   return *this;
 }
 
+void UnixSocketServer::Shutdown() {
+  if (fd_ >= 0) {
+    // shutdown() unblocks a concurrent accept() (plain close() does not) and
+    // leaves fd_ untouched, so a racing Accept() can never run on a recycled
+    // fd number.
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
 void UnixSocketServer::Close() {
   if (fd_ >= 0) {
-    // shutdown() unblocks a concurrent accept() (plain close() does not).
     ::shutdown(fd_, SHUT_RDWR);
     ::close(fd_);
     ::unlink(path_.c_str());

@@ -76,6 +76,12 @@ class UnixSocketServer {
 
   bool valid() const { return fd_ >= 0; }
   const std::string& path() const { return path_; }
+
+  // Unblocks a concurrent Accept() without invalidating the fd: safe to call
+  // while another thread is inside Accept(). Close() is not — it recycles the
+  // fd number, so it must only run after the accepting thread has exited
+  // (Shutdown first, join, then Close).
+  void Shutdown();
   void Close();
 
  private:

@@ -89,9 +89,23 @@ puddles::Result<RewriteStats> RewritePuddle(Puddle& puddle, const Translator& tr
         ++stats.objects_without_map;
         return;
       }
-      if (map->num_fields == 0 || map->object_size == 0) {
+      if ((map->num_fields == 0 && map->repeat_count == 0) || map->object_size == 0) {
         return;
       }
+      auto translate_slot = [&](uint64_t* slot) {
+        ++stats.pointers_visited;
+        const uint64_t value = *slot;
+        if (value == 0) {
+          return;
+        }
+        uint64_t translated;
+        if (!translator.Translate(value, &translated)) {
+          return;
+        }
+        *slot = translated;
+        ++stats.pointers_rewritten;
+        note_dirty(slot);
+      };
       // Arrays of T stride by sizeof(T). Bound the walk by the container's
       // real capacity as well as the recorded size: a corrupt or inflated
       // header.size must not send the walk into allocator slack or a
@@ -101,25 +115,23 @@ puddles::Result<RewriteStats> RewritePuddle(Puddle& puddle, const Translator& tr
       const uint64_t count = extent / map->object_size;
       auto* bytes = static_cast<uint8_t*>(payload);
       for (uint64_t element = 0; element < count; ++element) {
+        uint8_t* element_bytes = bytes + static_cast<size_t>(element) * map->object_size;
         for (uint32_t field = 0; field < map->num_fields; ++field) {
           if (map->field_offsets[field] + sizeof(uint64_t) > map->object_size) {
             continue;  // Corrupt map: field would read past its element.
           }
-          auto* slot = reinterpret_cast<uint64_t*>(
-              bytes + static_cast<size_t>(element) * map->object_size +
-              map->field_offsets[field]);
-          ++stats.pointers_visited;
-          const uint64_t value = *slot;
-          if (value == 0) {
-            continue;
+          translate_slot(
+              reinterpret_cast<uint64_t*>(element_bytes + map->field_offsets[field]));
+        }
+        // Homogeneous pointer-array region (wide nodes past kMaxPtrFields).
+        if (map->repeat_count != 0 &&
+            map->repeat_offset +
+                    static_cast<uint64_t>(map->repeat_count) * sizeof(uint64_t) <=
+                map->object_size) {
+          for (uint32_t r = 0; r < map->repeat_count; ++r) {
+            translate_slot(reinterpret_cast<uint64_t*>(element_bytes + map->repeat_offset +
+                                                       r * sizeof(uint64_t)));
           }
-          uint64_t translated;
-          if (!translator.Translate(value, &translated)) {
-            continue;
-          }
-          *slot = translated;
-          ++stats.pointers_rewritten;
-          note_dirty(slot);
         }
       }
     };

@@ -33,6 +33,16 @@ class TypeRegistry {
   // space (or null). Re-registration with identical content is a no-op.
   template <typename T>
   puddles::Status Register(std::initializer_list<size_t> pointer_offsets) {
+    return RegisterWithArray<T>(pointer_offsets, 0, 0);
+  }
+
+  // Like Register, plus a homogeneous pointer-array region: `array_count`
+  // consecutive pointer slots starting at byte `array_offset`. This is how
+  // wide nodes whose fan-out exceeds kMaxPtrFields (ART Node48/Node256) stay
+  // relocatable without bloating every record to the widest fan-out.
+  template <typename T>
+  puddles::Status RegisterWithArray(std::initializer_list<size_t> pointer_offsets,
+                                    size_t array_offset, size_t array_count) {
     static_assert(std::is_standard_layout_v<T>,
                   "persistent types must be standard-layout for offsetof maps");
     puddled::PtrMapRecord record{};
@@ -47,6 +57,13 @@ class TypeRegistry {
         return InvalidArgumentError("pointer field offset outside object");
       }
       record.field_offsets[record.num_fields++] = static_cast<uint32_t>(offset);
+    }
+    if (array_count != 0) {
+      if (array_offset + array_count * sizeof(void*) > sizeof(T)) {
+        return InvalidArgumentError("pointer-array region outside object");
+      }
+      record.repeat_offset = static_cast<uint32_t>(array_offset);
+      record.repeat_count = static_cast<uint32_t>(array_count);
     }
     return Add(record);
   }

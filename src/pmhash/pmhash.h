@@ -52,7 +52,10 @@ class PersistentHashMap {
   static_assert(std::is_trivially_copyable_v<V>, "values must be trivially copyable");
 
  public:
-  static constexpr uint64_t kMagic = 0x50444d4150303144ULL;  // "PDMAP01D"
+  // "PDMAP02D": v2 added Header::slot_size so a value-layout change (e.g.
+  // PtrMapRecord growing its repeat region) is an explicit format error at
+  // Attach, not a misleading capacity failure. v1 files are rejected.
+  static constexpr uint64_t kMagic = 0x50444d4150303244ULL;  // "PDMAP02D"
 
   static constexpr size_t RequiredBytes(uint64_t capacity) {
     return sizeof(Header) + capacity * sizeof(Slot);
@@ -69,6 +72,7 @@ class PersistentHashMap {
     std::memset(mem, 0, RequiredBytes(capacity));
     header->magic = kMagic;
     header->capacity = capacity;
+    header->slot_size = sizeof(Slot);
     header->journal.valid = 0;
     pmem::FlushFence(mem, RequiredBytes(capacity));
     return OkStatus();
@@ -79,7 +83,10 @@ class PersistentHashMap {
   static puddles::Result<PersistentHashMap> Attach(void* mem, size_t bytes) {
     auto* header = static_cast<Header*>(mem);
     if (header->magic != kMagic) {
-      return DataLossError("pmhash: bad magic");
+      return DataLossError("pmhash: bad magic (or pre-v2 table; reformat)");
+    }
+    if (header->slot_size != sizeof(Slot)) {
+      return DataLossError("pmhash: slot size mismatch — key/value layout changed");
     }
     if (bytes < RequiredBytes(header->capacity)) {
       return DataLossError("pmhash: buffer smaller than recorded capacity");
@@ -192,6 +199,7 @@ class PersistentHashMap {
   struct Header {
     uint64_t magic;
     uint64_t capacity;
+    uint64_t slot_size;  // sizeof(Slot); layout drift is detected at Attach.
     Journal journal;
   };
 

@@ -13,6 +13,11 @@
 //   Status TxRun(fn)                       — run fn failure-atomically
 //   Handle<T> Root<T>() / SetRoot(Handle)  — root object
 //   static void RegisterType<T>(offsets)   — pointer map (Puddles only)
+//   static void RegisterTypeArray<T>(offsets, array_offset, array_count)
+//                                          — pointer map with a homogeneous
+//                                            pointer-array region (wide nodes)
+//   static Handle<To> HandleCast<To>(Handle<From>) — reinterpret a handle
+//       (for variant node types sharing a common header, e.g. the ART)
 #ifndef SRC_WORKLOADS_ADAPTERS_H_
 #define SRC_WORKLOADS_ADAPTERS_H_
 
@@ -83,6 +88,17 @@ class PuddlesAdapter {
   static void RegisterType(std::initializer_list<size_t> offsets) {
     (void)puddles::TypeRegistry::Instance().Register<T>(offsets);
   }
+  template <typename T>
+  static void RegisterTypeArray(std::initializer_list<size_t> offsets, size_t array_offset,
+                                size_t array_count) {
+    (void)puddles::TypeRegistry::Instance().RegisterWithArray<T>(offsets, array_offset,
+                                                                 array_count);
+  }
+
+  template <typename To, typename From>
+  static To* HandleCast(From* handle) {
+    return reinterpret_cast<To*>(handle);
+  }
 
  private:
   puddles::Pool* pool_;
@@ -139,6 +155,13 @@ class FatPtrAdapter {
 
   template <typename T>
   static void RegisterType(std::initializer_list<size_t>) {}
+  template <typename T>
+  static void RegisterTypeArray(std::initializer_list<size_t>, size_t, size_t) {}
+
+  template <typename To, typename From>
+  static fatptr::FatPtr<To> HandleCast(fatptr::FatPtr<From> handle) {
+    return fatptr::FatPtr<To>{handle.pool_id, handle.offset};
+  }
 
  private:
   fatptr::FatPool* pool_;
@@ -196,6 +219,13 @@ class NativeAdapter {
 
   template <typename T>
   static void RegisterType(std::initializer_list<size_t>) {}
+  template <typename T>
+  static void RegisterTypeArray(std::initializer_list<size_t>, size_t, size_t) {}
+
+  template <typename To, typename From>
+  static To* HandleCast(From* handle) {
+    return reinterpret_cast<To*>(handle);
+  }
 
  private:
   PoolT* pool_;

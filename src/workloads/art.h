@@ -1,0 +1,921 @@
+// Transactional persistent adaptive radix tree (Leis et al., ICDE'13) over
+// the library-adapter surface: the repo's first ordered index with
+// variable-sized nodes and range scans.
+//
+// Keys are 8-byte integers compared in big-endian byte order, so radix order
+// equals numeric order. Four inner-node variants (Node4/16/48/256) grow and
+// shrink as fan-out changes, and single-child paths are collapsed into the
+// child's inline prefix (path compression). Leaves hold the full key, so
+// lookups never reconstruct keys from the path and lazy expansion is safe.
+//
+// Allocation spread is deliberate: leaves, Node4 and Node16 fit the slab
+// classes; Node48 (~660 B) and Node256 (~2 KiB) go to the buddy allocator —
+// one index exercises both halves of the object heap. Node48/Node256 child
+// arrays exceed the pointer map's kMaxPtrFields, so they register through
+// RegisterTypeArray (PtrMapRecord repeat regions) and stay relocatable.
+//
+// Crash protocol: every mutation runs inside one transaction. Structural
+// changes (leaf split, prefix split, node promotion/demotion, path collapse)
+// build the replacement node in fresh allocations — which need no undo data —
+// and publish it with a single undo-logged store of the parent's child slot
+// (or the root handle). In-place mutations (sorted insert into a non-full
+// node, child removal) undo-log the touched ranges first. Scans are
+// read-only: they add no ordering points at all (cf. MOD) — recovery
+// correctness never depends on scan-side fences.
+#ifndef SRC_WORKLOADS_ART_H_
+#define SRC_WORKLOADS_ART_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace workloads {
+
+inline constexpr uint32_t kArtKeyBytes = 8;
+// A compressed prefix never exceeds 7 bytes for 8-byte keys (an inner node
+// always leaves at least one decision byte below it).
+inline constexpr uint32_t kArtMaxPrefixLen = 8;
+
+enum ArtNodeType : uint16_t {
+  kArtNode4 = 1,
+  kArtNode16 = 2,
+  kArtNode48 = 3,
+  kArtNode256 = 4,
+  kArtLeaf = 5,
+};
+
+template <typename Adapter>
+class ArtIndex {
+ public:
+  // Common header, first member of every node variant (type tag at offset 0
+  // lets a child handle be resolved before its variant is known).
+  struct NodeBase {
+    uint16_t type;
+    uint16_t num_children;
+    uint16_t prefix_len;
+    uint8_t prefix[kArtMaxPrefixLen];
+    uint8_t reserved[2];
+  };
+  static_assert(sizeof(NodeBase) == 16, "node header must stay 16 bytes");
+
+  using NodeHandle = typename Adapter::template Handle<NodeBase>;
+
+  struct Node4 {
+    NodeBase base;
+    uint8_t keys[4];  // Sorted; parallel to children.
+    uint8_t pad[4];
+    NodeHandle children[4];
+  };
+  struct Node16 {
+    NodeBase base;
+    uint8_t keys[16];  // Sorted; parallel to children.
+    NodeHandle children[16];
+  };
+  struct Node48 {
+    NodeBase base;
+    uint8_t child_index[256];  // Key byte -> slot in children; 0xFF = empty.
+    NodeHandle children[48];
+  };
+  struct Node256 {
+    NodeBase base;
+    NodeHandle children[256];  // Indexed directly by key byte.
+  };
+  struct Leaf {
+    NodeBase base;
+    uint64_t key;
+    uint64_t value;
+  };
+  struct Root {
+    NodeHandle root;
+    uint64_t size;
+  };
+
+  static constexpr uint8_t kEmptySlot = 0xFF;
+
+  static void RegisterTypes() {
+    Adapter::template RegisterType<Root>({offsetof(Root, root)});
+    Adapter::template RegisterType<Leaf>({});
+    // Every variant's child array is a homogeneous pointer run, so they all
+    // register as repeat regions — for Node48/Node256 the explicit-field form
+    // is impossible anyway (fan-out past kMaxPtrFields).
+    Adapter::template RegisterTypeArray<Node4>({}, offsetof(Node4, children), 4);
+    Adapter::template RegisterTypeArray<Node16>({}, offsetof(Node16, children), 16);
+    Adapter::template RegisterTypeArray<Node48>({}, offsetof(Node48, children), 48);
+    Adapter::template RegisterTypeArray<Node256>({}, offsetof(Node256, children), 256);
+  }
+
+  explicit ArtIndex(Adapter adapter) : adapter_(adapter) {}
+
+  puddles::Status Init() {
+    using RootHandle = typename Adapter::template Handle<Root>;
+    RootHandle existing = adapter_.template Root<Root>();
+    if (!(existing == Adapter::template Null<Root>())) {
+      root_ = adapter_.Get(existing);
+      return puddles::OkStatus();
+    }
+    puddles::Status status = puddles::OkStatus();
+    RETURN_IF_ERROR(adapter_.TxRun([&] {
+      auto allocated = adapter_.template Alloc<Root>();
+      if (!allocated.ok()) {
+        status = allocated.status();
+        return;
+      }
+      Root* root = adapter_.Get(*allocated);
+      root->root = NullNode();
+      root->size = 0;
+      status = adapter_.SetRoot(*allocated);
+    }));
+    RETURN_IF_ERROR(status);
+    root_ = adapter_.Get(adapter_.template Root<Root>());
+    return puddles::OkStatus();
+  }
+
+  bool Search(uint64_t key, uint64_t* value_out) const {
+    NodeHandle cursor = root_->root;
+    uint32_t depth = 0;
+    while (!IsNull(cursor)) {
+      const NodeBase* node = adapter_.Get(cursor);
+      if (node->type == kArtLeaf) {
+        const Leaf* leaf = reinterpret_cast<const Leaf*>(node);
+        if (leaf->key != key) {
+          return false;
+        }
+        if (value_out != nullptr) {
+          *value_out = leaf->value;
+        }
+        return true;
+      }
+      if (PrefixMismatch(node, key, depth) < node->prefix_len) {
+        return false;
+      }
+      depth += node->prefix_len;
+      const NodeHandle* slot = FindChild(node, KeyByte(key, depth));
+      if (slot == nullptr) {
+        return false;
+      }
+      cursor = *slot;
+      ++depth;
+    }
+    return false;
+  }
+
+  puddles::Status Insert(uint64_t key, uint64_t value) {
+    puddles::Status status = puddles::OkStatus();
+    RETURN_IF_ERROR(adapter_.TxRun([&] { status = InsertInTx(key, value); }));
+    return status;
+  }
+
+  puddles::Status Erase(uint64_t key) {
+    puddles::Status status = puddles::OkStatus();
+    RETURN_IF_ERROR(adapter_.TxRun([&] { status = EraseInTx(key); }));
+    return status;
+  }
+
+  uint64_t size() const { return root_->size; }
+
+  // Ordered range scan: appends up to `count` (key, value) pairs with
+  // key >= start_key, in ascending key order. Returns the number appended.
+  size_t Scan(uint64_t start_key, int count,
+              std::vector<std::pair<uint64_t, uint64_t>>* out) const {
+    return ScanRange(start_key, ~uint64_t{0}, count, out);
+  }
+
+  // All keys sharing the top `prefix_bytes` bytes of `prefix_key`, in order.
+  size_t ScanPrefix(uint64_t prefix_key, uint32_t prefix_bytes, int count,
+                    std::vector<std::pair<uint64_t, uint64_t>>* out) const {
+    if (prefix_bytes == 0 || prefix_bytes > kArtKeyBytes) {
+      return ScanRange(0, ~uint64_t{0}, count, out);
+    }
+    const uint64_t mask = SuffixMask(prefix_bytes);
+    const uint64_t lo = prefix_key & ~mask;
+    return ScanRange(lo, lo | mask, count, out);
+  }
+
+  size_t ScanRange(uint64_t lo, uint64_t hi, int count,
+                   std::vector<std::pair<uint64_t, uint64_t>>* out) const {
+    if (count <= 0 || lo > hi) {
+      return 0;
+    }
+    const size_t before = out->size();
+    size_t remaining = static_cast<size_t>(count);
+    CollectRange(root_->root, 0, 0, lo, hi, &remaining, out);
+    return out->size() - before;
+  }
+
+  // Debug/test introspection: node population and shape of the tree.
+  struct Stats {
+    uint64_t node4 = 0;
+    uint64_t node16 = 0;
+    uint64_t node48 = 0;
+    uint64_t node256 = 0;
+    uint64_t leaves = 0;
+    uint64_t prefix_bytes = 0;  // Total path-compressed bytes.
+    uint32_t max_depth = 0;     // Key bytes consumed on the deepest path.
+  };
+  Stats CollectStats() const {
+    Stats stats;
+    CollectStatsFrom(root_->root, 0, &stats);
+    return stats;
+  }
+
+ private:
+  static bool IsNull(const NodeHandle& handle) {
+    return handle == Adapter::template Null<NodeBase>();
+  }
+  static NodeHandle NullNode() { return Adapter::template Null<NodeBase>(); }
+
+  static uint8_t KeyByte(uint64_t key, uint32_t depth) {
+    return static_cast<uint8_t>(key >> (56 - 8 * depth));
+  }
+
+  // Bits below the top `fixed_bytes` bytes.
+  static uint64_t SuffixMask(uint32_t fixed_bytes) {
+    return fixed_bytes >= kArtKeyBytes ? 0 : (~uint64_t{0} >> (8 * fixed_bytes));
+  }
+
+  // First index in [0, prefix_len) where the node's prefix disagrees with
+  // `key` at byte position depth+i; prefix_len when fully matched.
+  static uint32_t PrefixMismatch(const NodeBase* node, uint64_t key, uint32_t depth) {
+    for (uint32_t i = 0; i < node->prefix_len; ++i) {
+      if (node->prefix[i] != KeyByte(key, depth + i)) {
+        return i;
+      }
+    }
+    return node->prefix_len;
+  }
+
+  static void InitBase(NodeBase* base, uint16_t type, const uint8_t* prefix,
+                       uint32_t prefix_len) {
+    base->type = type;
+    base->num_children = 0;
+    base->prefix_len = static_cast<uint16_t>(prefix_len);
+    std::memset(base->prefix, 0, sizeof(base->prefix));
+    if (prefix_len != 0) {
+      std::memcpy(base->prefix, prefix, prefix_len);
+    }
+    std::memset(base->reserved, 0, sizeof(base->reserved));
+  }
+
+  puddles::Result<NodeHandle> NewLeaf(uint64_t key, uint64_t value) {
+    ASSIGN_OR_RETURN(auto handle, adapter_.template Alloc<Leaf>());
+    Leaf* leaf = adapter_.Get(handle);
+    InitBase(&leaf->base, kArtLeaf, nullptr, 0);
+    leaf->key = key;
+    leaf->value = value;
+    return Adapter::template HandleCast<NodeBase>(handle);
+  }
+
+  puddles::Result<NodeHandle> NewNode4(const uint8_t* prefix, uint32_t prefix_len) {
+    ASSIGN_OR_RETURN(auto handle, adapter_.template Alloc<Node4>());
+    Node4* node = adapter_.Get(handle);
+    InitBase(&node->base, kArtNode4, prefix, prefix_len);
+    std::memset(node->keys, 0, sizeof(node->keys));
+    std::memset(node->pad, 0, sizeof(node->pad));
+    for (auto& child : node->children) {
+      child = NullNode();
+    }
+    return Adapter::template HandleCast<NodeBase>(handle);
+  }
+
+  NodeBase* Base(NodeHandle handle) const { return adapter_.Get(handle); }
+
+  // Frees a node already unlinked from the tree. A failure here can only
+  // leak the node — never un-publish it — so it must not turn a completed
+  // mutation into an error after tree state was modified (the adapters'
+  // TxRun commits regardless of the body's status).
+  void FreeDetached(NodeHandle handle) { (void)adapter_.Free(handle); }
+
+  // Slot holding the child for `byte`, or nullptr. Non-const twin below.
+  const NodeHandle* FindChild(const NodeBase* node, uint8_t byte) const {
+    switch (node->type) {
+      case kArtNode4: {
+        const Node4* n = reinterpret_cast<const Node4*>(node);
+        for (uint16_t i = 0; i < node->num_children; ++i) {
+          if (n->keys[i] == byte) {
+            return &n->children[i];
+          }
+        }
+        return nullptr;
+      }
+      case kArtNode16: {
+        const Node16* n = reinterpret_cast<const Node16*>(node);
+        for (uint16_t i = 0; i < node->num_children; ++i) {
+          if (n->keys[i] == byte) {
+            return &n->children[i];
+          }
+        }
+        return nullptr;
+      }
+      case kArtNode48: {
+        const Node48* n = reinterpret_cast<const Node48*>(node);
+        if (n->child_index[byte] == kEmptySlot) {
+          return nullptr;
+        }
+        return &n->children[n->child_index[byte]];
+      }
+      case kArtNode256: {
+        const Node256* n = reinterpret_cast<const Node256*>(node);
+        return IsNull(n->children[byte]) ? nullptr : &n->children[byte];
+      }
+      default:
+        return nullptr;
+    }
+  }
+  NodeHandle* FindChild(NodeBase* node, uint8_t byte) {
+    return const_cast<NodeHandle*>(
+        FindChild(static_cast<const NodeBase*>(node), byte));
+  }
+
+  // Publishes `child` as the replacement for the edge `byte` under `parent`
+  // (or as the new root when parent is null) with one undo-logged store.
+  puddles::Status ReplaceChild(NodeHandle parent, uint8_t byte, NodeHandle child) {
+    if (IsNull(parent)) {
+      (void)adapter_.LogRange(&root_->root, sizeof(NodeHandle));
+      root_->root = child;
+      return puddles::OkStatus();
+    }
+    NodeBase* node = Base(parent);
+    NodeHandle* slot = FindChild(node, byte);
+    if (slot == nullptr) {
+      return puddles::InternalError("art: parent slot vanished during replace");
+    }
+    (void)adapter_.LogRange(slot, sizeof(NodeHandle));
+    *slot = child;
+    return puddles::OkStatus();
+  }
+
+  // Sorted insert into a Node4/Node16 key/child pair (caller logged `node`
+  // or owns it fresh).
+  template <typename NodeT>
+  static void InsertSorted(NodeT* node, uint8_t byte, NodeHandle child) {
+    int pos = 0;
+    while (pos < node->base.num_children && node->keys[pos] < byte) {
+      ++pos;
+    }
+    for (int i = node->base.num_children; i > pos; --i) {
+      node->keys[i] = node->keys[i - 1];
+      node->children[i] = node->children[i - 1];
+    }
+    node->keys[pos] = byte;
+    node->children[pos] = child;
+    node->base.num_children++;
+  }
+
+  // Adds `child` under edge `byte`, promoting the node to the next variant
+  // when full (4 -> 16 -> 48 -> 256). The promoted copy is fresh; the old
+  // node is published out via the parent slot and freed.
+  puddles::Status AddChild(NodeHandle node_handle, NodeHandle parent, uint8_t parent_byte,
+                           uint8_t byte, NodeHandle child) {
+    NodeBase* node = Base(node_handle);
+    switch (node->type) {
+      case kArtNode4: {
+        Node4* n = reinterpret_cast<Node4*>(node);
+        if (node->num_children < 4) {
+          (void)adapter_.Log(n);
+          InsertSorted(n, byte, child);
+          return puddles::OkStatus();
+        }
+        ASSIGN_OR_RETURN(auto grown, adapter_.template Alloc<Node16>());
+        Node16* g = adapter_.Get(grown);
+        InitBase(&g->base, kArtNode16, node->prefix, node->prefix_len);
+        std::memset(g->keys, 0, sizeof(g->keys));
+        for (auto& c : g->children) {
+          c = NullNode();
+        }
+        for (uint16_t i = 0; i < 4; ++i) {
+          g->keys[i] = n->keys[i];
+          g->children[i] = n->children[i];
+        }
+        g->base.num_children = 4;
+        InsertSorted(g, byte, child);
+        RETURN_IF_ERROR(ReplaceChild(parent, parent_byte,
+                                     Adapter::template HandleCast<NodeBase>(grown)));
+        FreeDetached(node_handle);
+        return puddles::OkStatus();
+      }
+      case kArtNode16: {
+        Node16* n = reinterpret_cast<Node16*>(node);
+        if (node->num_children < 16) {
+          (void)adapter_.Log(n);
+          InsertSorted(n, byte, child);
+          return puddles::OkStatus();
+        }
+        ASSIGN_OR_RETURN(auto grown, adapter_.template Alloc<Node48>());
+        Node48* g = adapter_.Get(grown);
+        InitBase(&g->base, kArtNode48, node->prefix, node->prefix_len);
+        std::memset(g->child_index, kEmptySlot, sizeof(g->child_index));
+        for (auto& c : g->children) {
+          c = NullNode();
+        }
+        for (uint16_t i = 0; i < 16; ++i) {
+          g->child_index[n->keys[i]] = static_cast<uint8_t>(i);
+          g->children[i] = n->children[i];
+        }
+        g->child_index[byte] = 16;
+        g->children[16] = child;
+        g->base.num_children = 17;
+        RETURN_IF_ERROR(ReplaceChild(parent, parent_byte,
+                                     Adapter::template HandleCast<NodeBase>(grown)));
+        FreeDetached(node_handle);
+        return puddles::OkStatus();
+      }
+      case kArtNode48: {
+        Node48* n = reinterpret_cast<Node48*>(node);
+        if (node->num_children < 48) {
+          (void)adapter_.LogRange(&n->base, sizeof(NodeBase));
+          (void)adapter_.LogRange(&n->child_index[byte], 1);
+          (void)adapter_.LogRange(&n->children[node->num_children], sizeof(NodeHandle));
+          n->children[node->num_children] = child;
+          n->child_index[byte] = static_cast<uint8_t>(node->num_children);
+          n->base.num_children++;
+          return puddles::OkStatus();
+        }
+        ASSIGN_OR_RETURN(auto grown, adapter_.template Alloc<Node256>());
+        Node256* g = adapter_.Get(grown);
+        InitBase(&g->base, kArtNode256, node->prefix, node->prefix_len);
+        for (auto& c : g->children) {
+          c = NullNode();
+        }
+        for (int b = 0; b < 256; ++b) {
+          if (n->child_index[b] != kEmptySlot) {
+            g->children[b] = n->children[n->child_index[b]];
+          }
+        }
+        g->children[byte] = child;
+        g->base.num_children = 49;
+        RETURN_IF_ERROR(ReplaceChild(parent, parent_byte,
+                                     Adapter::template HandleCast<NodeBase>(grown)));
+        FreeDetached(node_handle);
+        return puddles::OkStatus();
+      }
+      case kArtNode256: {
+        Node256* n = reinterpret_cast<Node256*>(node);
+        (void)adapter_.LogRange(&n->base, sizeof(NodeBase));
+        (void)adapter_.LogRange(&n->children[byte], sizeof(NodeHandle));
+        n->children[byte] = child;
+        n->base.num_children++;
+        return puddles::OkStatus();
+      }
+      default:
+        return puddles::InternalError("art: add child on a leaf");
+    }
+  }
+
+  puddles::Status InsertInTx(uint64_t key, uint64_t value) {
+    if (IsNull(root_->root)) {
+      ASSIGN_OR_RETURN(NodeHandle leaf, NewLeaf(key, value));
+      (void)adapter_.Log(root_);
+      root_->root = leaf;
+      root_->size = 1;
+      return puddles::OkStatus();
+    }
+
+    NodeHandle parent = NullNode();
+    uint8_t parent_byte = 0;
+    NodeHandle cursor = root_->root;
+    uint32_t depth = 0;
+    while (true) {
+      NodeBase* node = Base(cursor);
+      if (node->type == kArtLeaf) {
+        Leaf* leaf = reinterpret_cast<Leaf*>(node);
+        if (leaf->key == key) {
+          (void)adapter_.LogRange(&leaf->value, sizeof(uint64_t));
+          leaf->value = value;
+          return puddles::OkStatus();
+        }
+        // Lazy-expansion split: a Node4 carrying the keys' common prefix
+        // from `depth`, with the old and new leaves below it.
+        uint32_t common = 0;
+        while (KeyByte(leaf->key, depth + common) == KeyByte(key, depth + common)) {
+          ++common;
+        }
+        uint8_t prefix[kArtMaxPrefixLen] = {};
+        for (uint32_t i = 0; i < common; ++i) {
+          prefix[i] = KeyByte(key, depth + i);
+        }
+        ASSIGN_OR_RETURN(NodeHandle split, NewNode4(prefix, common));
+        ASSIGN_OR_RETURN(NodeHandle new_leaf, NewLeaf(key, value));
+        Node4* s = reinterpret_cast<Node4*>(Base(split));
+        InsertSorted(s, KeyByte(leaf->key, depth + common), cursor);
+        InsertSorted(s, KeyByte(key, depth + common), new_leaf);
+        RETURN_IF_ERROR(ReplaceChild(parent, parent_byte, split));
+        (void)adapter_.LogRange(&root_->size, sizeof(uint64_t));
+        root_->size++;
+        return puddles::OkStatus();
+      }
+
+      const uint32_t mismatch = PrefixMismatch(node, key, depth);
+      if (mismatch < node->prefix_len) {
+        // Prefix split: new Node4 keeps the matched part; the old node keeps
+        // the remainder past the diverging byte (which becomes its edge).
+        // Publish before shrinking the old node's prefix: every step that
+        // can fail (allocation, slot lookup) runs before the first in-place
+        // mutation, so an error never commits a half-split.
+        ASSIGN_OR_RETURN(NodeHandle split, NewNode4(node->prefix, mismatch));
+        ASSIGN_OR_RETURN(NodeHandle new_leaf, NewLeaf(key, value));
+        const uint8_t edge = node->prefix[mismatch];
+        Node4* s = reinterpret_cast<Node4*>(Base(split));
+        InsertSorted(s, edge, cursor);
+        InsertSorted(s, KeyByte(key, depth + mismatch), new_leaf);
+        RETURN_IF_ERROR(ReplaceChild(parent, parent_byte, split));
+        (void)adapter_.LogRange(node, sizeof(NodeBase));
+        const uint32_t remainder = node->prefix_len - mismatch - 1;
+        std::memmove(node->prefix, node->prefix + mismatch + 1, remainder);
+        std::memset(node->prefix + remainder, 0, kArtMaxPrefixLen - remainder);
+        node->prefix_len = static_cast<uint16_t>(remainder);
+        (void)adapter_.LogRange(&root_->size, sizeof(uint64_t));
+        root_->size++;
+        return puddles::OkStatus();
+      }
+
+      depth += node->prefix_len;
+      const uint8_t byte = KeyByte(key, depth);
+      NodeHandle* slot = FindChild(node, byte);
+      if (slot != nullptr) {
+        parent = cursor;
+        parent_byte = byte;
+        cursor = *slot;
+        ++depth;
+        continue;
+      }
+      ASSIGN_OR_RETURN(NodeHandle new_leaf, NewLeaf(key, value));
+      RETURN_IF_ERROR(AddChild(cursor, parent, parent_byte, byte, new_leaf));
+      (void)adapter_.LogRange(&root_->size, sizeof(uint64_t));
+      root_->size++;
+      return puddles::OkStatus();
+    }
+  }
+
+  // Demotion fill helpers: copy the (post-removal) source into a target the
+  // caller allocated *before* mutating the source, so an allocation failure
+  // can never strand a half-removed node (the adapters' TxRun commits the
+  // body regardless of its status).
+  void FillDemoted(Node4* d, const Node16* n) {
+    InitBase(&d->base, kArtNode4, n->base.prefix, n->base.prefix_len);
+    std::memset(d->keys, 0, sizeof(d->keys));
+    std::memset(d->pad, 0, sizeof(d->pad));
+    for (auto& c : d->children) {
+      c = NullNode();
+    }
+    for (uint16_t i = 0; i < n->base.num_children; ++i) {
+      d->keys[i] = n->keys[i];
+      d->children[i] = n->children[i];
+    }
+    d->base.num_children = n->base.num_children;
+  }
+
+  void FillDemoted(Node16* d, const Node48* n) {
+    InitBase(&d->base, kArtNode16, n->base.prefix, n->base.prefix_len);
+    std::memset(d->keys, 0, sizeof(d->keys));
+    for (auto& c : d->children) {
+      c = NullNode();
+    }
+    uint16_t out = 0;
+    for (int b = 0; b < 256; ++b) {
+      if (n->child_index[b] != kEmptySlot) {
+        d->keys[out] = static_cast<uint8_t>(b);
+        d->children[out] = n->children[n->child_index[b]];
+        ++out;
+      }
+    }
+    d->base.num_children = out;
+  }
+
+  void FillDemoted(Node48* d, const Node256* n) {
+    InitBase(&d->base, kArtNode48, n->base.prefix, n->base.prefix_len);
+    std::memset(d->child_index, kEmptySlot, sizeof(d->child_index));
+    for (auto& c : d->children) {
+      c = NullNode();
+    }
+    uint16_t out = 0;
+    for (int b = 0; b < 256; ++b) {
+      if (!IsNull(n->children[b])) {
+        d->child_index[b] = static_cast<uint8_t>(out);
+        d->children[out] = n->children[b];
+        ++out;
+      }
+    }
+    d->base.num_children = out;
+  }
+
+  // Collapses a single-child Node4 into its child: a leaf is hoisted as-is;
+  // an inner child absorbs (node prefix + edge byte) at the front of its own
+  // prefix. Publishes the survivor under `parent` and frees the node.
+  puddles::Status CollapseNode4(NodeHandle node_handle, NodeHandle parent,
+                                uint8_t parent_byte) {
+    Node4* n = reinterpret_cast<Node4*>(Base(node_handle));
+    const uint8_t edge = n->keys[0];
+    NodeHandle survivor = n->children[0];
+    NodeBase* child = Base(survivor);
+    if (child->type != kArtLeaf) {
+      const uint32_t shift = n->base.prefix_len + 1;
+      if (child->prefix_len + shift > kArtMaxPrefixLen) {
+        return puddles::InternalError("art: merged prefix exceeds the key length");
+      }
+      (void)adapter_.LogRange(child, sizeof(NodeBase));
+      std::memmove(child->prefix + shift, child->prefix, child->prefix_len);
+      std::memcpy(child->prefix, n->base.prefix, n->base.prefix_len);
+      child->prefix[n->base.prefix_len] = edge;
+      child->prefix_len = static_cast<uint16_t>(child->prefix_len + shift);
+    }
+    RETURN_IF_ERROR(ReplaceChild(parent, parent_byte, survivor));
+    FreeDetached(node_handle);
+    return puddles::OkStatus();
+  }
+
+  // Removes the child under `byte`, demoting when occupancy drops well below
+  // the next smaller variant (hysteresis) and collapsing single-child Node4s.
+  puddles::Status RemoveChild(NodeHandle node_handle, NodeHandle parent,
+                              uint8_t parent_byte, uint8_t byte) {
+    NodeBase* node = Base(node_handle);
+    switch (node->type) {
+      case kArtNode4: {
+        Node4* n = reinterpret_cast<Node4*>(node);
+        int pos = 0;
+        while (pos < node->num_children && n->keys[pos] != byte) {
+          ++pos;
+        }
+        if (pos == node->num_children) {
+          return puddles::InternalError("art: removed edge missing from Node4");
+        }
+        (void)adapter_.Log(n);
+        for (int i = pos; i + 1 < node->num_children; ++i) {
+          n->keys[i] = n->keys[i + 1];
+          n->children[i] = n->children[i + 1];
+        }
+        node->num_children--;
+        if (node->num_children == 1) {
+          return CollapseNode4(node_handle, parent, parent_byte);
+        }
+        return puddles::OkStatus();
+      }
+      case kArtNode16: {
+        Node16* n = reinterpret_cast<Node16*>(node);
+        int pos = 0;
+        while (pos < node->num_children && n->keys[pos] != byte) {
+          ++pos;
+        }
+        if (pos == node->num_children) {
+          return puddles::InternalError("art: removed edge missing from Node16");
+        }
+        const bool demote = node->num_children == 4;  // 3 after removal.
+        typename Adapter::template Handle<Node4> shrunk{};
+        if (demote) {
+          ASSIGN_OR_RETURN(shrunk, adapter_.template Alloc<Node4>());
+        }
+        (void)adapter_.Log(n);
+        for (int i = pos; i + 1 < node->num_children; ++i) {
+          n->keys[i] = n->keys[i + 1];
+          n->children[i] = n->children[i + 1];
+        }
+        node->num_children--;
+        if (demote) {
+          FillDemoted(adapter_.Get(shrunk), n);
+          RETURN_IF_ERROR(ReplaceChild(parent, parent_byte,
+                                       Adapter::template HandleCast<NodeBase>(shrunk)));
+          FreeDetached(node_handle);
+        }
+        return puddles::OkStatus();
+      }
+      case kArtNode48: {
+        Node48* n = reinterpret_cast<Node48*>(node);
+        if (n->child_index[byte] == kEmptySlot) {
+          return puddles::InternalError("art: removed edge missing from Node48");
+        }
+        const bool demote = node->num_children == 13;  // 12 after removal.
+        typename Adapter::template Handle<Node16> shrunk{};
+        if (demote) {
+          ASSIGN_OR_RETURN(shrunk, adapter_.template Alloc<Node16>());
+        }
+        (void)adapter_.Log(n);
+        const uint8_t slot = n->child_index[byte];
+        const uint8_t last = static_cast<uint8_t>(node->num_children - 1);
+        if (slot != last) {
+          // Keep slots dense: move the last slot into the hole.
+          n->children[slot] = n->children[last];
+          for (int b = 0; b < 256; ++b) {
+            if (n->child_index[b] == last) {
+              n->child_index[b] = slot;
+              break;
+            }
+          }
+        }
+        n->children[last] = NullNode();
+        n->child_index[byte] = kEmptySlot;
+        node->num_children--;
+        if (demote) {
+          FillDemoted(adapter_.Get(shrunk), n);
+          RETURN_IF_ERROR(ReplaceChild(parent, parent_byte,
+                                       Adapter::template HandleCast<NodeBase>(shrunk)));
+          FreeDetached(node_handle);
+        }
+        return puddles::OkStatus();
+      }
+      case kArtNode256: {
+        Node256* n = reinterpret_cast<Node256*>(node);
+        const bool demote = node->num_children == 41;  // 40 after removal.
+        typename Adapter::template Handle<Node48> shrunk{};
+        if (demote) {
+          ASSIGN_OR_RETURN(shrunk, adapter_.template Alloc<Node48>());
+        }
+        (void)adapter_.LogRange(&n->base, sizeof(NodeBase));
+        (void)adapter_.LogRange(&n->children[byte], sizeof(NodeHandle));
+        n->children[byte] = NullNode();
+        node->num_children--;
+        if (demote) {
+          FillDemoted(adapter_.Get(shrunk), n);
+          RETURN_IF_ERROR(ReplaceChild(parent, parent_byte,
+                                       Adapter::template HandleCast<NodeBase>(shrunk)));
+          FreeDetached(node_handle);
+        }
+        return puddles::OkStatus();
+      }
+      default:
+        return puddles::InternalError("art: remove child on a leaf");
+    }
+  }
+
+  puddles::Status EraseInTx(uint64_t key) {
+    NodeHandle grand = NullNode();
+    uint8_t grand_byte = 0;
+    NodeHandle parent = NullNode();
+    uint8_t parent_byte = 0;
+    NodeHandle cursor = root_->root;
+    uint32_t depth = 0;
+    while (!IsNull(cursor)) {
+      NodeBase* node = Base(cursor);
+      if (node->type == kArtLeaf) {
+        Leaf* leaf = reinterpret_cast<Leaf*>(node);
+        if (leaf->key != key) {
+          return puddles::NotFoundError("key not in tree");
+        }
+        if (IsNull(parent)) {
+          (void)adapter_.Log(root_);
+          root_->root = NullNode();
+          root_->size--;
+          FreeDetached(cursor);
+          return puddles::OkStatus();
+        }
+        RETURN_IF_ERROR(RemoveChild(parent, grand, grand_byte, parent_byte));
+        (void)adapter_.LogRange(&root_->size, sizeof(uint64_t));
+        root_->size--;
+        FreeDetached(cursor);
+        return puddles::OkStatus();
+      }
+      if (PrefixMismatch(node, key, depth) < node->prefix_len) {
+        return puddles::NotFoundError("key not in tree");
+      }
+      depth += node->prefix_len;
+      const uint8_t byte = KeyByte(key, depth);
+      NodeHandle* slot = FindChild(node, byte);
+      if (slot == nullptr) {
+        return puddles::NotFoundError("key not in tree");
+      }
+      grand = parent;
+      grand_byte = parent_byte;
+      parent = cursor;
+      parent_byte = byte;
+      cursor = *slot;
+      ++depth;
+    }
+    return puddles::NotFoundError("key not in tree");
+  }
+
+  // In-order collection of [lo, hi], pruning subtrees by their key bounds.
+  // `acc` carries the key bytes fixed so far (top `depth` bytes).
+  void CollectRange(NodeHandle handle, uint32_t depth, uint64_t acc, uint64_t lo,
+                    uint64_t hi, size_t* remaining,
+                    std::vector<std::pair<uint64_t, uint64_t>>* out) const {
+    if (IsNull(handle) || *remaining == 0) {
+      return;
+    }
+    const NodeBase* node = adapter_.Get(handle);
+    if (node->type == kArtLeaf) {
+      const Leaf* leaf = reinterpret_cast<const Leaf*>(node);
+      if (leaf->key >= lo && leaf->key <= hi) {
+        out->emplace_back(leaf->key, leaf->value);
+        --*remaining;
+      }
+      return;
+    }
+    for (uint32_t i = 0; i < node->prefix_len; ++i) {
+      acc |= static_cast<uint64_t>(node->prefix[i]) << (56 - 8 * depth);
+      ++depth;
+    }
+    if (acc > hi || (acc | SuffixMask(depth)) < lo) {
+      return;  // Subtree bounds miss the range.
+    }
+    auto visit = [&](uint8_t byte, NodeHandle child) {
+      if (*remaining == 0) {
+        return;
+      }
+      const uint64_t child_acc = acc | (static_cast<uint64_t>(byte) << (56 - 8 * depth));
+      if (child_acc > hi || (child_acc | SuffixMask(depth + 1)) < lo) {
+        return;
+      }
+      CollectRange(child, depth + 1, child_acc, lo, hi, remaining, out);
+    };
+    switch (node->type) {
+      case kArtNode4: {
+        const Node4* n = reinterpret_cast<const Node4*>(node);
+        for (uint16_t i = 0; i < node->num_children; ++i) {
+          visit(n->keys[i], n->children[i]);
+        }
+        break;
+      }
+      case kArtNode16: {
+        const Node16* n = reinterpret_cast<const Node16*>(node);
+        for (uint16_t i = 0; i < node->num_children; ++i) {
+          visit(n->keys[i], n->children[i]);
+        }
+        break;
+      }
+      case kArtNode48: {
+        const Node48* n = reinterpret_cast<const Node48*>(node);
+        for (int b = 0; b < 256; ++b) {
+          if (n->child_index[b] != kEmptySlot) {
+            visit(static_cast<uint8_t>(b), n->children[n->child_index[b]]);
+          }
+        }
+        break;
+      }
+      case kArtNode256: {
+        const Node256* n = reinterpret_cast<const Node256*>(node);
+        for (int b = 0; b < 256; ++b) {
+          if (!IsNull(n->children[b])) {
+            visit(static_cast<uint8_t>(b), n->children[b]);
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  void CollectStatsFrom(NodeHandle handle, uint32_t depth, Stats* stats) const {
+    if (IsNull(handle)) {
+      return;
+    }
+    const NodeBase* node = adapter_.Get(handle);
+    if (node->type == kArtLeaf) {
+      stats->leaves++;
+      stats->max_depth = std::max(stats->max_depth, depth);
+      return;
+    }
+    stats->prefix_bytes += node->prefix_len;
+    const uint32_t below = depth + node->prefix_len + 1;
+    auto recurse = [&](NodeHandle child) { CollectStatsFrom(child, below, stats); };
+    switch (node->type) {
+      case kArtNode4: {
+        stats->node4++;
+        const Node4* n = reinterpret_cast<const Node4*>(node);
+        for (uint16_t i = 0; i < node->num_children; ++i) {
+          recurse(n->children[i]);
+        }
+        break;
+      }
+      case kArtNode16: {
+        stats->node16++;
+        const Node16* n = reinterpret_cast<const Node16*>(node);
+        for (uint16_t i = 0; i < node->num_children; ++i) {
+          recurse(n->children[i]);
+        }
+        break;
+      }
+      case kArtNode48: {
+        stats->node48++;
+        const Node48* n = reinterpret_cast<const Node48*>(node);
+        for (int b = 0; b < 256; ++b) {
+          if (n->child_index[b] != kEmptySlot) {
+            recurse(n->children[n->child_index[b]]);
+          }
+        }
+        break;
+      }
+      case kArtNode256: {
+        stats->node256++;
+        const Node256* n = reinterpret_cast<const Node256*>(node);
+        for (int b = 0; b < 256; ++b) {
+          if (!IsNull(n->children[b])) {
+            recurse(n->children[b]);
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  Adapter adapter_;
+  Root* root_ = nullptr;
+};
+
+}  // namespace workloads
+
+#endif  // SRC_WORKLOADS_ART_H_

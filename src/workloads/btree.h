@@ -10,6 +10,8 @@
 #define SRC_WORKLOADS_BTREE_H_
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "src/common/status.h"
 
@@ -115,6 +117,21 @@ class PersistentBTree {
 
   // Depth-first sum of all leaf values (the Fig. 1 DF-traversal microbench).
   uint64_t SumDepthFirst() const { return SumSubtree(root_->root); }
+
+  // Ordered range scan (YCSB-E): appends up to `count` (key, value) pairs
+  // with key >= start_key in ascending order. Returns the number appended.
+  // Leaves carry no sibling links, so the scan is an in-order descent pruned
+  // by the routing separators.
+  size_t Scan(uint64_t start_key, int count,
+              std::vector<std::pair<uint64_t, uint64_t>>* out) const {
+    if (count <= 0) {
+      return 0;
+    }
+    const size_t before = out->size();
+    size_t remaining = static_cast<size_t>(count);
+    CollectGE(root_->root, start_key, &remaining, out);
+    return out->size() - before;
+  }
 
  private:
   static bool IsNull(const NodeHandle& handle) {
@@ -263,6 +280,27 @@ class PersistentBTree {
       cursor = node->children[RouteIndex(node, key)];
     }
     return puddles::NotFoundError("key not in tree");
+  }
+
+  void CollectGE(NodeHandle handle, uint64_t start_key, size_t* remaining,
+                 std::vector<std::pair<uint64_t, uint64_t>>* out) const {
+    if (IsNull(handle) || *remaining == 0) {
+      return;
+    }
+    const Node* node = adapter_.Get(handle);
+    if (node->is_leaf) {
+      for (int i = 0; i < node->num_keys && *remaining != 0; ++i) {
+        if (node->keys[i] >= start_key) {
+          out->emplace_back(node->keys[i], node->values[i]);
+          --*remaining;
+        }
+      }
+      return;
+    }
+    for (int i = RouteIndex(node, start_key); i <= node->num_keys && *remaining != 0;
+         ++i) {
+      CollectGE(node->children[i], start_key, remaining, out);
+    }
   }
 
   uint64_t SumSubtree(NodeHandle handle) const {

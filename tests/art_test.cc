@@ -1,0 +1,324 @@
+// Persistent adaptive radix tree over the full Puddles stack: node
+// promotions (4 -> 16 -> 48 -> 256) and demotions back down, path
+// compression (lazy expansion, prefix splits, collapse on erase), ordered
+// range/prefix scans, and durability of all of it across a daemon restart
+// through the application-independent recovery path.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/workloads/adapters.h"
+#include "src/workloads/art.h"
+
+namespace workloads {
+namespace {
+
+namespace fs = std::filesystem;
+
+using Art = ArtIndex<PuddlesAdapter>;
+
+class ArtTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("art_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    Start(/*create=*/true);
+  }
+
+  void TearDown() override {
+    art_.reset();
+    runtime_.reset();
+    daemon_.reset();
+    fs::remove_all(dir_);
+  }
+
+  void Start(bool create) {
+    auto started = puddled::Daemon::Start({.root_dir = (dir_ / "root").string()});
+    ASSERT_TRUE(started.ok()) << started.status().ToString();
+    daemon_ = std::move(*started);
+    auto rt = puddles::Runtime::Create(
+        std::make_shared<puddled::EmbeddedDaemonClient>(daemon_.get()));
+    ASSERT_TRUE(rt.ok()) << rt.status().ToString();
+    runtime_ = std::move(*rt);
+    auto pool = create ? runtime_->CreatePool("art") : runtime_->OpenPool("art");
+    ASSERT_TRUE(pool.ok()) << pool.status().ToString();
+    Art::RegisterTypes();
+    art_.emplace(PuddlesAdapter(*pool));
+    ASSERT_TRUE(art_->Init().ok());
+  }
+
+  // Daemon restart: everything durable must survive; recovery runs on Start.
+  void Reopen() {
+    art_.reset();
+    runtime_.reset();
+    daemon_.reset();
+    Start(/*create=*/false);
+  }
+
+  fs::path dir_;
+  std::unique_ptr<puddled::Daemon> daemon_;
+  std::unique_ptr<puddles::Runtime> runtime_;
+  std::optional<Art> art_;
+};
+
+TEST_F(ArtTest, InsertLookupEraseBasics) {
+  EXPECT_EQ(art_->size(), 0u);
+  EXPECT_FALSE(art_->Search(1, nullptr));
+  EXPECT_FALSE(art_->Erase(1).ok());
+
+  ASSERT_TRUE(art_->Insert(42, 100).ok());
+  uint64_t value = 0;
+  ASSERT_TRUE(art_->Search(42, &value));
+  EXPECT_EQ(value, 100u);
+  EXPECT_EQ(art_->size(), 1u);
+
+  // Update in place keeps size.
+  ASSERT_TRUE(art_->Insert(42, 200).ok());
+  ASSERT_TRUE(art_->Search(42, &value));
+  EXPECT_EQ(value, 200u);
+  EXPECT_EQ(art_->size(), 1u);
+
+  ASSERT_TRUE(art_->Erase(42).ok());
+  EXPECT_EQ(art_->size(), 0u);
+  EXPECT_FALSE(art_->Search(42, nullptr));
+
+  // The tree is reusable after going empty.
+  ASSERT_TRUE(art_->Insert(7, 70).ok());
+  ASSERT_TRUE(art_->Search(7, &value));
+  EXPECT_EQ(value, 70u);
+}
+
+// All four promotions on the way up, all demotions (and the final collapse
+// back to a bare leaf) on the way down, verified via node-population stats.
+TEST_F(ArtTest, NodePromotionsAndDemotions) {
+  auto count_of = [&](uint64_t n4, uint64_t n16, uint64_t n48, uint64_t n256) {
+    Art::Stats stats = art_->CollectStats();
+    EXPECT_EQ(stats.node4, n4);
+    EXPECT_EQ(stats.node16, n16);
+    EXPECT_EQ(stats.node48, n48);
+    EXPECT_EQ(stats.node256, n256);
+  };
+
+  // Keys 0..N-1 share the top 7 bytes: one inner node fans out by last byte.
+  ASSERT_TRUE(art_->Insert(0, 0).ok());
+  count_of(0, 0, 0, 0);  // A single leaf, no inner node yet (lazy expansion).
+  for (uint64_t key = 1; key < 4; ++key) {
+    ASSERT_TRUE(art_->Insert(key, key).ok());
+  }
+  count_of(1, 0, 0, 0);
+  ASSERT_TRUE(art_->Insert(4, 4).ok());  // 5th child: Node4 -> Node16.
+  count_of(0, 1, 0, 0);
+  for (uint64_t key = 5; key < 16; ++key) {
+    ASSERT_TRUE(art_->Insert(key, key).ok());
+  }
+  count_of(0, 1, 0, 0);
+  ASSERT_TRUE(art_->Insert(16, 16).ok());  // 17th child: Node16 -> Node48.
+  count_of(0, 0, 1, 0);
+  for (uint64_t key = 17; key < 48; ++key) {
+    ASSERT_TRUE(art_->Insert(key, key).ok());
+  }
+  count_of(0, 0, 1, 0);
+  ASSERT_TRUE(art_->Insert(48, 48).ok());  // 49th child: Node48 -> Node256.
+  count_of(0, 0, 0, 1);
+  for (uint64_t key = 49; key < 80; ++key) {
+    ASSERT_TRUE(art_->Insert(key, key).ok());
+  }
+  EXPECT_EQ(art_->size(), 80u);
+
+  // Every key still reachable after the promotions.
+  uint64_t value = 0;
+  for (uint64_t key = 0; key < 80; ++key) {
+    ASSERT_TRUE(art_->Search(key, &value)) << key;
+    EXPECT_EQ(value, key);
+  }
+
+  // Erase back down: demotion thresholds carry hysteresis (40 / 12 / 3).
+  for (uint64_t key = 79; key >= 41; --key) {
+    ASSERT_TRUE(art_->Erase(key).ok()) << key;
+  }
+  count_of(0, 0, 0, 1);
+  ASSERT_TRUE(art_->Erase(40).ok());  // 40 children left: Node256 -> Node48.
+  count_of(0, 0, 1, 0);
+  for (uint64_t key = 39; key >= 13; --key) {
+    ASSERT_TRUE(art_->Erase(key).ok()) << key;
+  }
+  ASSERT_TRUE(art_->Erase(12).ok());  // 12 left: Node48 -> Node16.
+  count_of(0, 1, 0, 0);
+  for (uint64_t key = 11; key >= 4; --key) {
+    ASSERT_TRUE(art_->Erase(key).ok()) << key;
+  }
+  ASSERT_TRUE(art_->Erase(3).ok());  // 3 left: Node16 -> Node4.
+  count_of(1, 0, 0, 0);
+  ASSERT_TRUE(art_->Erase(2).ok());
+  ASSERT_TRUE(art_->Erase(1).ok());  // 1 left: Node4 collapses into the leaf.
+  count_of(0, 0, 0, 0);
+  EXPECT_EQ(art_->size(), 1u);
+  ASSERT_TRUE(art_->Search(0, &value));
+  EXPECT_EQ(value, 0u);
+}
+
+TEST_F(ArtTest, PathCompressionSplitAndCollapse) {
+  // Two keys sharing 7 bytes: one Node4 holding the whole stem as prefix.
+  ASSERT_TRUE(art_->Insert(0xAA00000000000001, 1).ok());
+  ASSERT_TRUE(art_->Insert(0xAA00000000000002, 2).ok());
+  Art::Stats stats = art_->CollectStats();
+  EXPECT_EQ(stats.node4, 1u);
+  EXPECT_EQ(stats.prefix_bytes, 7u);
+  EXPECT_EQ(stats.leaves, 2u);
+
+  // A key diverging at byte 0 splits the prefix: new root keeps 0 bytes, the
+  // old node keeps the 6 bytes past its (now explicit) 0xAA edge.
+  ASSERT_TRUE(art_->Insert(0xAB00000000000001, 3).ok());
+  stats = art_->CollectStats();
+  EXPECT_EQ(stats.node4, 2u);
+  EXPECT_EQ(stats.prefix_bytes, 6u);
+  EXPECT_EQ(stats.leaves, 3u);
+  uint64_t value = 0;
+  ASSERT_TRUE(art_->Search(0xAA00000000000001, &value));
+  EXPECT_EQ(value, 1u);
+  ASSERT_TRUE(art_->Search(0xAB00000000000001, &value));
+  EXPECT_EQ(value, 3u);
+  EXPECT_FALSE(art_->Search(0xAC00000000000001, nullptr));
+  // Prefix mismatch must also reject keys diverging mid-prefix.
+  EXPECT_FALSE(art_->Search(0xAA00010000000001, nullptr));
+
+  // Erasing the diverging key collapses the root back into the old node,
+  // which re-absorbs (edge + remainder) = the original 7-byte prefix.
+  ASSERT_TRUE(art_->Erase(0xAB00000000000001).ok());
+  stats = art_->CollectStats();
+  EXPECT_EQ(stats.node4, 1u);
+  EXPECT_EQ(stats.prefix_bytes, 7u);
+  ASSERT_TRUE(art_->Search(0xAA00000000000001, &value));
+  EXPECT_EQ(value, 1u);
+  ASSERT_TRUE(art_->Search(0xAA00000000000002, &value));
+  EXPECT_EQ(value, 2u);
+}
+
+TEST_F(ArtTest, OrderedScansAndPrefixScans) {
+  std::vector<uint64_t> keys;
+  for (uint64_t i = 0; i < 64; ++i) {
+    keys.push_back(0x1000 + i * 3);
+    keys.push_back(0xBB00000000000000ULL + i);
+  }
+  puddles::Xoshiro256 rng(5);
+  for (size_t i = keys.size(); i > 1; --i) {
+    std::swap(keys[i - 1], keys[rng.Below(i)]);
+  }
+  for (uint64_t key : keys) {
+    ASSERT_TRUE(art_->Insert(key, key + 1).ok());
+  }
+  std::sort(keys.begin(), keys.end());
+
+  // Full ordered scan.
+  std::vector<std::pair<uint64_t, uint64_t>> scanned;
+  EXPECT_EQ(art_->Scan(0, 1000, &scanned), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(scanned[i].first, keys[i]);
+    EXPECT_EQ(scanned[i].second, keys[i] + 1);
+  }
+
+  // Short scan from the middle (the YCSB-E shape): starts at the first key
+  // >= start and respects the count.
+  scanned.clear();
+  EXPECT_EQ(art_->Scan(0x1001, 10, &scanned), 10u);
+  EXPECT_EQ(scanned.front().first, 0x1003u);  // First key of the stride-3 run >= 0x1001.
+  for (size_t i = 1; i < scanned.size(); ++i) {
+    EXPECT_LT(scanned[i - 1].first, scanned[i].first);
+  }
+
+  // Inclusive range bounds.
+  scanned.clear();
+  EXPECT_EQ(art_->ScanRange(0x1000, 0x1006, 100, &scanned), 3u);
+
+  // Prefix scan: only the 0xBB stem, in order.
+  scanned.clear();
+  EXPECT_EQ(art_->ScanPrefix(0xBB00000000000000ULL, 1, 1000, &scanned), 64u);
+  for (size_t i = 0; i < scanned.size(); ++i) {
+    EXPECT_EQ(scanned[i].first, 0xBB00000000000000ULL + i);
+  }
+}
+
+TEST_F(ArtTest, ContentsAndScansSurviveReopen) {
+  // A population wide enough to persist every node variant.
+  std::vector<uint64_t> keys;
+  for (uint64_t i = 0; i < 60; ++i) {
+    keys.push_back(i);  // Dense stem -> Node256.
+  }
+  for (uint64_t i = 0; i < 10; ++i) {
+    keys.push_back(0xCC00000000000000ULL + i * 17);  // Sparse stem.
+  }
+  for (uint64_t key : keys) {
+    ASSERT_TRUE(art_->Insert(key, key * 2).ok());
+  }
+  Art::Stats before = art_->CollectStats();
+  EXPECT_GT(before.node256, 0u);
+  std::vector<std::pair<uint64_t, uint64_t>> expected;
+  ASSERT_EQ(art_->Scan(0, 1000, &expected), keys.size());
+
+  Reopen();
+
+  // Same shape, same contents, same order.
+  Art::Stats after = art_->CollectStats();
+  EXPECT_EQ(after.node4, before.node4);
+  EXPECT_EQ(after.node16, before.node16);
+  EXPECT_EQ(after.node48, before.node48);
+  EXPECT_EQ(after.node256, before.node256);
+  EXPECT_EQ(after.leaves, before.leaves);
+  EXPECT_EQ(art_->size(), keys.size());
+  std::vector<std::pair<uint64_t, uint64_t>> recovered;
+  ASSERT_EQ(art_->Scan(0, 1000, &recovered), expected.size());
+  EXPECT_EQ(recovered, expected);
+
+  // The recovered tree is fully usable: mutate through every path again.
+  uint64_t value = 0;
+  ASSERT_TRUE(art_->Search(13, &value));
+  EXPECT_EQ(value, 26u);
+  ASSERT_TRUE(art_->Insert(0xDD00000000000001ULL, 999).ok());
+  ASSERT_TRUE(art_->Erase(13).ok());
+  Reopen();
+  EXPECT_FALSE(art_->Search(13, nullptr));
+  ASSERT_TRUE(art_->Search(0xDD00000000000001ULL, &value));
+  EXPECT_EQ(value, 999u);
+}
+
+// Randomized mirror test: thousands of mixed ops checked against a std::map,
+// with full-scan order compared at checkpoints.
+TEST_F(ArtTest, RandomizedMirrorsStdMap) {
+  std::map<uint64_t, uint64_t> mirror;
+  puddles::Xoshiro256 rng(1234);
+  for (int op = 0; op < 4000; ++op) {
+    const uint64_t stem = rng.Below(4) * 0x0101000000000000ULL;
+    const uint64_t key = stem + rng.Below(300);
+    if (rng.NextDouble() < 0.65) {
+      ASSERT_TRUE(art_->Insert(key, key ^ op).ok());
+      mirror[key] = key ^ op;
+    } else {
+      puddles::Status status = art_->Erase(key);
+      EXPECT_EQ(status.ok(), mirror.erase(key) == 1) << key;
+    }
+    if (op % 1000 == 999) {
+      ASSERT_EQ(art_->size(), mirror.size());
+      std::vector<std::pair<uint64_t, uint64_t>> scanned;
+      art_->Scan(0, static_cast<int>(mirror.size()) + 10, &scanned);
+      ASSERT_EQ(scanned.size(), mirror.size());
+      size_t i = 0;
+      for (const auto& [key2, value2] : mirror) {
+        ASSERT_EQ(scanned[i].first, key2);
+        ASSERT_EQ(scanned[i].second, value2);
+        ++i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace workloads

@@ -71,6 +71,35 @@ TEST(CrashsimWorkloads, PmhashRecoversFromEveryEnumeratedState) {
   ExpectFullRecovery(RunWorkload("pmhash", 16), 40);
 }
 
+// Adaptive radix tree: the acceptance bar for the index subsystem is ≥300
+// explored states with zero recovery failures. The driver preloads to just
+// under the Node48 -> Node256 boundary and mixes dense inserts, sparse-stem
+// inserts, and erases, so lazy expansion, prefix splits, every promotion and
+// demotion, and path collapse all mutate inside the traced window; the
+// fingerprint is the ordered scan, so recovery is verified through the
+// range-scan path as well as structure membership.
+TEST(CrashsimWorkloads, ArtRecoversFromEveryEnumeratedState) {
+  DriverOptions driver_options;
+  driver_options.ops = 40;
+  driver_options.preload = 44;  // 44 dense children: traced ops cross 48.
+  auto driver = MakeDriver("art", driver_options);
+  ASSERT_NE(driver, nullptr);
+  HarnessOptions options;
+  Harness harness(*driver, options);
+  auto report = harness.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GE(report->states_enumerated, 300u);
+  EXPECT_GT(report->fence_boundary_states, 0u);
+  EXPECT_GT(report->eviction_states, 0u);
+  EXPECT_EQ(report->recovery_failures, 0u);
+  for (const std::string& failure : report->failures) {
+    ADD_FAILURE() << report->workload << ": " << failure;
+  }
+  EXPECT_EQ(report->invariant_failures, 0u);
+  EXPECT_EQ(report->recoveries_ok, report->states_enumerated);
+  EXPECT_GT(report->distinct_outcomes, 2u);
+}
+
 // Import/relocation path (§4.2, DESIGN.md §7): export → import with base
 // conflicts → streaming rewrite under the frontier/flag protocol, recovered
 // through the stock rewrite-on-map resume. The acceptance bar for the

@@ -138,6 +138,26 @@ TEST_F(PmHashTest, UuidKeysWork) {
   EXPECT_FALSE(map->Contains(Uuid::Generate()));
 }
 
+// A table formatted with one value layout must refuse to attach as another:
+// the header records sizeof(Slot), so schema drift (a grown record type,
+// e.g. PtrMapRecord's repeat region) is an explicit format error rather
+// than silent slot misinterpretation or a misleading capacity failure.
+TEST_F(PmHashTest, AttachRejectsValueLayoutDrift) {
+  struct WideRecord {
+    uint64_t a;
+    uint64_t b;
+    uint64_t c;
+  };
+  using WideMap = PersistentHashMap<uint64_t, WideRecord>;
+  using NarrowMap = PersistentHashMap<uint64_t, uint64_t>;
+  std::vector<uint8_t> buf(WideMap::RequiredBytes(64));
+  ASSERT_TRUE(NarrowMap::Format(buf.data(), buf.size(), 64).ok());
+  ASSERT_TRUE(NarrowMap::Attach(buf.data(), buf.size()).ok());
+  auto wide = WideMap::Attach(buf.data(), buf.size());
+  ASSERT_FALSE(wide.ok());
+  EXPECT_EQ(wide.status().code(), StatusCode::kDataLoss);
+}
+
 // ---- Crash atomicity ----
 //
 // Runs every mutation under the ShadowHeap simulator and injects a crash

@@ -10,6 +10,7 @@
 
 #include "src/common/rng.h"
 #include "src/workloads/adapters.h"
+#include "src/workloads/art.h"
 #include "src/workloads/btree.h"
 #include "src/workloads/kvstore.h"
 #include "src/workloads/list.h"
@@ -238,6 +239,63 @@ TYPED_TEST(WorkloadTest, KvStorePutGetDelete) {
   EXPECT_EQ(kv.size(), 299u);
 
   EXPECT_GE(kv.Scan(YcsbStream::KeyFor(1), 10), 0u);
+}
+
+// ART behaves identically across libraries: same insert/search/erase results
+// and the same ordered scans (the adapter HandleCast + variable-node paths
+// are exercised per library).
+TYPED_TEST(WorkloadTest, ArtInsertSearchEraseScan) {
+  ArtIndex<TypeParam>::RegisterTypes();
+  ArtIndex<TypeParam> art(this->env_.adapter());
+  ASSERT_TRUE(art.Init().ok());
+
+  // Shuffled keys spanning several radix levels (dense low bytes plus sparse
+  // high stems) so every node variant and prefix split occurs.
+  constexpr uint64_t kN = 600;
+  std::vector<uint64_t> keys;
+  for (uint64_t i = 0; i < kN / 2; ++i) {
+    keys.push_back(i);  // Dense: fans one subtree out to Node256.
+  }
+  for (uint64_t i = 0; i < kN / 2; ++i) {
+    keys.push_back(0x0101010101010100ULL * ((i % 5) + 1) + i);  // Sparse stems.
+  }
+  puddles::Xoshiro256 rng(99);
+  for (size_t i = keys.size(); i > 1; --i) {
+    std::swap(keys[i - 1], keys[rng.Below(i)]);
+  }
+  for (uint64_t key : keys) {
+    ASSERT_TRUE(art.Insert(key, key ^ 0xABCD).ok()) << key;
+  }
+  EXPECT_EQ(art.size(), kN);
+
+  uint64_t value = 0;
+  for (uint64_t key : keys) {
+    ASSERT_TRUE(art.Search(key, &value)) << key;
+    EXPECT_EQ(value, key ^ 0xABCD);
+  }
+  EXPECT_FALSE(art.Search(kN, nullptr));  // Gap between dense and sparse runs.
+
+  // Ordered full scan returns every key, sorted.
+  std::vector<std::pair<uint64_t, uint64_t>> scanned;
+  EXPECT_EQ(art.Scan(0, static_cast<int>(kN + 10), &scanned), kN);
+  std::vector<uint64_t> sorted_keys = keys;
+  std::sort(sorted_keys.begin(), sorted_keys.end());
+  ASSERT_EQ(scanned.size(), kN);
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(scanned[i].first, sorted_keys[i]) << i;
+  }
+
+  // Erase half; the rest stays intact and scans shrink accordingly.
+  for (size_t i = 0; i < kN / 2; ++i) {
+    ASSERT_TRUE(art.Erase(keys[i]).ok()) << keys[i];
+  }
+  EXPECT_EQ(art.size(), kN / 2);
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(art.Search(keys[i], nullptr), i >= kN / 2) << keys[i];
+  }
+  EXPECT_FALSE(art.Erase(keys[0]).ok());
+  scanned.clear();
+  EXPECT_EQ(art.Scan(0, static_cast<int>(kN), &scanned), kN / 2);
 }
 
 // ---- YCSB generator sanity ----

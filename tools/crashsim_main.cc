@@ -7,7 +7,7 @@
 // coverage report.
 //
 // Usage:
-//   crashsim [--workloads=list,btree,kvstore,pmhash,import] [--ops=N] [--seed=N]
+//   crashsim [--workloads=list,btree,art,kvstore,pmhash,import] [--ops=N] [--seed=N]
 //            [--max-states=N] [--subsets-per-epoch=N] [--evict-probability=P]
 //            [--rewrite-batch=N] [--scratch=DIR] [--log-states] [--verbose]
 //
@@ -59,7 +59,7 @@ bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--workloads=list,btree,kvstore,pmhash,import] [--ops=N]\n"
+               "usage: %s [--workloads=list,btree,art,kvstore,pmhash,import] [--ops=N]\n"
                "          [--seed=N] [--max-states=N] [--subsets-per-epoch=N]\n"
                "          [--evict-probability=P] [--rewrite-batch=N] [--scratch=DIR]\n"
                "          [--log-states] [--verbose]\n",
