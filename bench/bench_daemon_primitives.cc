@@ -95,11 +95,11 @@ int main() {
       }
     });
     try {
-      TX_BEGIN(*env.pool) {
-        TX_ADD(cell);
+      (void)env.pool->Run([&](puddles::Tx& tx) -> puddles::Status {
+        RETURN_IF_ERROR(tx.Log(cell));
         *cell = 2;
-      }
-      TX_END;
+        return puddles::OkStatus();
+      });
     } catch (const puddles::SimulatedCrash&) {
     }
     puddles::Transaction::SetStageHook(nullptr);

@@ -34,15 +34,15 @@ double RunThreads(bench::PuddlesEnv& env, std::vector<double*>& segments, int th
       for (size_t s = begin; s < end; ++s) {
         double* array = segments[s];
         for (uint64_t i = 0; i < kSegmentDoubles; i += kChunk) {
-          TX_BEGIN(pool) {
-            TX_ADD_RANGE(&array[i], kChunk * sizeof(double));
+          (void)pool.Run([&](puddles::Tx& tx) -> puddles::Status {
+            RETURN_IF_ERROR(tx.LogRange(&array[i], kChunk * sizeof(double)));
             for (uint64_t j = i; j < i + kChunk; ++j) {
               // Euler's identity: e^{i*pi} + 1 (≈ 0), folded into the cell.
               std::complex<double> e = std::exp(std::complex<double>(0.0, M_PI));
               array[j] += e.real() + 1.0;
             }
-          }
-          TX_END;
+            return puddles::OkStatus();
+          });
         }
       }
     });

@@ -61,14 +61,15 @@ PuddlesBreakdown RunPuddles(const fs::path& dir, int nodes, uint64_t vars) {
     (void)state.Init();
     // Each node contributes its node id+1 to every state variable.
     puddles::Pool& p = **pool;
+    using Node = typename StateList<workloads::PuddlesAdapter>::Node;
     auto* head = *p.Root<typename StateList<workloads::PuddlesAdapter>::Head>();
-    TX_BEGIN(p) {
+    (void)p.Run([&](puddles::Tx& tx) -> puddles::Status {
       for (auto* n = head->head; n != nullptr; n = n->next) {
-        TX_ADD(&n->value);
+        RETURN_IF_ERROR(tx.LogField(n, &Node::value));
         n->value += static_cast<uint64_t>(node) + 1;
       }
-    }
-    TX_END;
+      return puddles::OkStatus();
+    });
     (void)(*runtime)->ExportPool("state", (dir / ("export" + std::to_string(node))).string());
   }
 

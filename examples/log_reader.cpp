@@ -29,7 +29,7 @@ int main() {
   auto daemon = puddled::Daemon::Start({.root_dir = (workdir / "root").string()});
   auto server = puddled::Server::Start(daemon->get(), socket_path);
 
-  (void)puddles::TypeRegistry::Instance().Register<EventLog>({});
+  PUDDLES_TYPE(EventLog);  // Leaf type: no embedded pointers.
 
   // --- Writer application: connects over the socket, owns the data ---
   {
@@ -39,24 +39,25 @@ int main() {
 
     constexpr uint64_t kCapacity = 64;
     EventLog* log = nullptr;
-    TX_BEGIN(*pool) {
-      log = static_cast<EventLog*>(*pool->MallocBytes(
-          sizeof(EventLog) + kCapacity * sizeof(EventRecord), puddles::kRawBytesTypeId));
+    (void)pool->Run([&](puddles::Tx& tx) -> puddles::Status {
+      ASSIGN_OR_RETURN(void* raw,
+                       tx.AllocBytes(sizeof(EventLog) + kCapacity * sizeof(EventRecord),
+                                     puddles::kRawBytesTypeId));
+      log = static_cast<EventLog*>(raw);
       log->num_events = 0;
-      (void)pool->SetRootBytes(log);
-    }
-    TX_END;
+      return pool->SetRootBytes(log);
+    });
 
     for (int i = 0; i < 5; ++i) {
-      TX_BEGIN(*pool) {
-        TX_ADD_RANGE(log, sizeof(EventLog));
+      (void)pool->Run([&](puddles::Tx& tx) -> puddles::Status {
+        RETURN_IF_ERROR(tx.LogRange(log, sizeof(EventLog)));
         EventRecord& record = log->events[log->num_events];
-        TX_ADD_RANGE(&record, sizeof(record));
+        RETURN_IF_ERROR(tx.LogRange(&record, sizeof(record)));
         record.sequence = log->num_events;
         std::snprintf(record.message, sizeof(record.message), "database event %d", i);
         log->num_events++;
-      }
-      TX_END;
+        return puddles::OkStatus();
+      });
     }
     std::printf("writer: appended %llu events, exiting\n",
                 static_cast<unsigned long long>(log->num_events));

@@ -1,6 +1,6 @@
 // Quickstart: create a pool, build a persistent linked list in transactions,
-// crash nothing, reopen, and read it back — the Fig. 4(a)/Fig. 8 programming
-// model end to end over an embedded Puddled.
+// crash nothing, reopen, and read it back — the typed transaction-context
+// programming model (DESIGN.md §9) end to end over an embedded Puddled.
 //
 // Run: ./quickstart [workdir]   (state persists across runs; rerun to see
 // the list grow from the previous run's data.)
@@ -25,9 +25,12 @@ struct TodoList {
 int main(int argc, char** argv) {
   std::filesystem::path workdir = argc > 1 ? argv[1] : "/tmp/puddles_quickstart";
 
-  // 1. Pointer maps: one registration per persistent type.
-  (void)puddles::TypeRegistry::Instance().Register<TodoItem>({offsetof(TodoItem, next)});
-  (void)puddles::TypeRegistry::Instance().Register<TodoList>({offsetof(TodoList, head)});
+  // 1. Pointer maps: one declarative registration per persistent type. The
+  //    offsets come from the member pointers themselves — there is no
+  //    hand-written offsetof list to drift when the struct changes, and a
+  //    non-pointer member would fail to compile.
+  PUDDLES_TYPE(TodoItem, &TodoItem::next);
+  PUDDLES_TYPE(TodoList, &TodoList::head);
 
   // 2. Start (or reattach to) the system: daemon + runtime. The daemon runs
   //    recovery for any interrupted transactions *before* we can touch data.
@@ -46,37 +49,46 @@ int main(int argc, char** argv) {
   }
   puddles::Pool& pool = **pool_result;
 
-  // 4. Find or create the root object.
+  // 4. Find or create the root object. `pool.Run` hands the callback an
+  //    explicit transaction context; returning OkStatus() commits, returning
+  //    an error (or throwing) rolls back.
   TodoList* list = nullptr;
   if (auto root = pool.Root<TodoList>(); root.ok()) {
     list = *root;
     std::printf("reopened pool: %llu existing items\n",
                 static_cast<unsigned long long>(list->count));
   } else {
-    TX_BEGIN(pool) {
-      list = *pool.Malloc<TodoList>();
+    auto created = pool.Run([&](puddles::Tx& tx) -> puddles::Status {
+      ASSIGN_OR_RETURN(list, tx.Alloc<TodoList>());
       list->head = nullptr;
       list->count = 0;
-      (void)pool.SetRoot(list);
+      return pool.SetRoot(list);
+    });
+    if (!created.ok()) {
+      std::fprintf(stderr, "init: %s\n", created.ToString().c_str());
+      return 1;
     }
-    TX_END;
     std::printf("created a fresh pool\n");
   }
 
-  // 5. Append three items failure-atomically. Native pointers, PMDK-style
-  //    macros: undo-log what you modify, write normally.
+  // 5. Append three items failure-atomically. Native pointers, typed
+  //    logging: undo-log what you modify (tx.Log), write normally.
   for (int i = 0; i < 3; ++i) {
-    TX_BEGIN(pool) {
-      TodoItem* item = *pool.Malloc<TodoItem>();
+    auto appended = pool.Run([&](puddles::Tx& tx) -> puddles::Status {
+      ASSIGN_OR_RETURN(TodoItem * item, tx.Alloc<TodoItem>());
       item->id = list->count;
       std::snprintf(item->text, sizeof(item->text), "todo #%llu",
                     static_cast<unsigned long long>(list->count));
-      TX_ADD(list);
+      RETURN_IF_ERROR(tx.Log(list));
       item->next = list->head;
       list->head = item;
       list->count++;
+      return puddles::OkStatus();
+    });
+    if (!appended.ok()) {
+      std::fprintf(stderr, "append: %s\n", appended.ToString().c_str());
+      return 1;
     }
-    TX_END;
   }
 
   // 6. Plain pointer traversal — no smart-pointer decoding, any code that

@@ -24,9 +24,8 @@ namespace fs = std::filesystem;
 namespace {
 
 void RegisterTypes() {
-  (void)puddles::TypeRegistry::Instance().Register<Reading>({offsetof(Reading, next)});
-  (void)puddles::TypeRegistry::Instance().Register<SensorState>(
-      {offsetof(SensorState, readings)});
+  PUDDLES_TYPE(Reading, &Reading::next);
+  PUDDLES_TYPE(SensorState, &SensorState::readings);
 }
 
 struct Node {
@@ -55,20 +54,19 @@ int main(int argc, char** argv) {
   {
     Node home(workdir / "home");
     auto pool = *home.runtime->CreatePool("state");
-    TX_BEGIN(*pool) {
-      SensorState* state = *pool->Malloc<SensorState>();
+    (void)pool->Run([&](puddles::Tx& tx) -> puddles::Status {
+      ASSIGN_OR_RETURN(SensorState * state, tx.Alloc<SensorState>());
       state->readings = nullptr;
       state->num_readings = 0;
       for (uint64_t i = 0; i < kVars; ++i) {
-        Reading* reading = *pool->Malloc<Reading>();
+        ASSIGN_OR_RETURN(Reading * reading, tx.Alloc<Reading>());
         reading->sensor_value = 0;
         reading->next = state->readings;
         state->readings = reading;
         state->num_readings++;
       }
-      (void)pool->SetRoot(state);
-    }
-    TX_END;
+      return pool->SetRoot(state);
+    });
     (void)home.runtime->ExportPool("state", (workdir / "distribute").string());
   }
 
@@ -77,13 +75,13 @@ int main(int argc, char** argv) {
     Node sensor(workdir / ("node" + std::to_string(n)));
     auto pool = *sensor.runtime->ImportPool((workdir / "distribute").string(), "state");
     SensorState* state = *pool->Root<SensorState>();
-    TX_BEGIN(*pool) {
+    (void)pool->Run([&](puddles::Tx& tx) -> puddles::Status {
       for (Reading* r = state->readings; r != nullptr; r = r->next) {
-        TX_ADD(&r->sensor_value);
+        RETURN_IF_ERROR(tx.LogField(r, &Reading::sensor_value));
         r->sensor_value += static_cast<uint64_t>(n + 1);  // This node's "measurement".
       }
-    }
-    TX_END;
+      return puddles::OkStatus();
+    });
     (void)sensor.runtime->ExportPool("state",
                                      (workdir / ("upload" + std::to_string(n))).string());
     std::printf("node %d: measured and uploaded\n", n);

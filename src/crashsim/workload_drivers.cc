@@ -737,62 +737,39 @@ class ImportCrashDriver : public WorkloadDriver {
   uint64_t NumNodes() const { return options_.ops < 1 ? 1 : static_cast<uint64_t>(options_.ops); }
 
   static void RegisterTypes() {
-    (void)puddles::TypeRegistry::Instance().Register<ImpNode>({offsetof(ImpNode, next)});
-    (void)puddles::TypeRegistry::Instance().Register<ImpRoot>(
-        {offsetof(ImpRoot, head), offsetof(ImpRoot, tail)});
+    (void)puddles::TypeRegistry::Instance().Register<ImpNode>(&ImpNode::next);
+    (void)puddles::TypeRegistry::Instance().Register<ImpRoot>(&ImpRoot::head,
+                                                              &ImpRoot::tail);
   }
 
-  // Exception-free TX_BEGIN/TX_END: the harness calls drivers with no
-  // try/catch, so throwing macros are off limits here. A body that reports
-  // failure is rolled back, not committed.
-  template <typename Fn>
-  static puddles::Status TxRun(puddles::Pool& pool, Fn&& fn) {
-    ASSIGN_OR_RETURN(puddles::Transaction * tx, pool.BeginTx());
-    puddles::Status status = puddles::OkStatus();
-    fn(status);
-    if (!status.ok()) {
-      (void)tx->Abort();
-      return status;
-    }
-    return tx->Commit();
-  }
-
+  // pool.Run fits the harness exactly: drivers are called with no try/catch,
+  // and a body that reports failure is rolled back, not committed.
   static puddles::Status AppendNode(puddles::Pool& pool, uint64_t value) {
-    return TxRun(pool, [&](puddles::Status& status) {
-      auto root_result = pool.Root<ImpRoot>();
-      auto node_result = pool.Malloc<ImpNode>();
-      if (!root_result.ok() || !node_result.ok()) {
-        status = root_result.ok() ? node_result.status() : root_result.status();
-        return;
-      }
-      ImpRoot* root = *root_result;
-      ImpNode* node = *node_result;
+    return pool.Run([&](puddles::Tx& tx) -> puddles::Status {
+      ASSIGN_OR_RETURN(ImpRoot * root, pool.Root<ImpRoot>());
+      ASSIGN_OR_RETURN(ImpNode * node, tx.Alloc<ImpNode>());
       node->value = value;
       node->next = nullptr;
-      TX_ADD(root);
+      RETURN_IF_ERROR(tx.Log(root));
       if (root->tail == nullptr) {
         root->head = node;
       } else {
-        TX_ADD(&root->tail->next);
+        RETURN_IF_ERROR(tx.LogField(root->tail, &ImpNode::next));
         root->tail->next = node;
       }
       root->tail = node;
       root->count++;
+      return puddles::OkStatus();
     });
   }
 
   static puddles::Status BuildList(puddles::Pool& pool, uint64_t nodes) {
-    RETURN_IF_ERROR(TxRun(pool, [&](puddles::Status& status) {
-      auto root_result = pool.Malloc<ImpRoot>();
-      if (!root_result.ok()) {
-        status = root_result.status();
-        return;
-      }
-      ImpRoot* root = *root_result;
+    RETURN_IF_ERROR(pool.Run([&](puddles::Tx& tx) -> puddles::Status {
+      ASSIGN_OR_RETURN(ImpRoot * root, tx.Alloc<ImpRoot>());
       root->head = nullptr;
       root->tail = nullptr;
       root->count = 0;
-      status = pool.SetRoot(root);
+      return pool.SetRoot(root);
     }));
     for (uint64_t i = 0; i < nodes; ++i) {
       RETURN_IF_ERROR(AppendNode(pool, i));
@@ -801,16 +778,13 @@ class ImportCrashDriver : public WorkloadDriver {
   }
 
   static puddles::Status MutateSource(puddles::Pool& pool) {
-    return TxRun(pool, [&](puddles::Status& status) {
-      auto root_result = pool.Root<ImpRoot>();
-      if (!root_result.ok()) {
-        status = root_result.status();
-        return;
-      }
-      for (ImpNode* node = (*root_result)->head; node != nullptr; node = node->next) {
-        TX_ADD(&node->value);
+    return pool.Run([&](puddles::Tx& tx) -> puddles::Status {
+      ASSIGN_OR_RETURN(ImpRoot * root, pool.Root<ImpRoot>());
+      for (ImpNode* node = root->head; node != nullptr; node = node->next) {
+        RETURN_IF_ERROR(tx.LogField(node, &ImpNode::value));
         node->value += kSrcMutationDelta;
       }
+      return puddles::OkStatus();
     });
   }
 

@@ -1,6 +1,7 @@
 // Umbrella header for the Puddles client library: include this to use pools,
-// transactions (TX_BEGIN/TX_ADD/TX_REDO_SET/TX_END), typed allocation, and
-// relocation-aware mapping.
+// typed transaction contexts (pool.Run + puddles::Tx), declarative pointer
+// maps (PUDDLES_TYPE), typed allocation, relocation-aware mapping, and the
+// deprecated legacy macros (TX_BEGIN/TX_ADD/TX_REDO_SET/TX_END).
 #ifndef SRC_LIBPUDDLES_LIBPUDDLES_H_
 #define SRC_LIBPUDDLES_LIBPUDDLES_H_
 

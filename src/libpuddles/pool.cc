@@ -2,14 +2,16 @@
 
 #include "src/libpuddles/runtime.h"
 #include "src/pmem/flush.h"
+#include "src/pmem/global_space.h"
 
 namespace puddles {
 namespace {
 
-// Connects allocator metadata writes to the active transaction's undo log
+// Connects allocator metadata writes to the given transaction's undo log
 // (Fig. 8: "This new node is automatically undo-logged by the allocator").
-LogSink CurrentTxSink() {
-  Transaction* tx = Transaction::Current();
+// The transaction is threaded explicitly — the allocator never consults
+// thread-local state.
+LogSink TxSink(Transaction* tx) {
   if (tx == nullptr) {
     return {};
   }
@@ -34,12 +36,32 @@ puddles::Status Pool::AddDataPuddle() {
   return OkStatus();
 }
 
+bool Pool::CoversPmRange(const void* addr, size_t size) const {
+  // Lock-free bounds check against the global puddle-space reservation
+  // (§3.4): rejects the real misuse — DRAM/stack/heap pointers entering the
+  // persistent log — without taking the runtime mutex on every tx.Log. A
+  // still-unmapped (lazily faulted) puddle inside the reservation is a legal
+  // target, so a per-entry map lookup would also be wrong, not just slow.
+  const uint64_t base = pmem::ConfiguredSpaceBase();
+  const uint64_t space = pmem::ConfiguredSpaceSize();
+  const uint64_t start = reinterpret_cast<uint64_t>(addr);
+  // Overflow-safe: `start + size` could wrap for adversarial sizes (the
+  // Translator::Add hardening of PR 2 guards the same way).
+  return start >= base && size <= space && start - base <= space - size;
+}
+
 puddles::Result<void*> Pool::MallocBytes(size_t size, TypeId type_id) {
+  // Legacy implicit-context path: join the thread's open TX_BEGIN
+  // transaction, if any, through the src/tx bridge.
+  return MallocBytes(size, type_id, tx_internal::ImplicitTransaction());
+}
+
+puddles::Result<void*> Pool::MallocBytes(size_t size, TypeId type_id, Transaction* tx) {
   if (!writable_) {
     return FailedPreconditionError("pool opened read-only");
   }
   std::lock_guard<std::mutex> lock(alloc_mu_);
-  LogSink sink = CurrentTxSink();
+  LogSink sink = TxSink(tx);
 
   for (size_t attempt = 0; attempt <= data_members_.size(); ++attempt) {
     if (alloc_cursor_ >= data_members_.size()) {
@@ -51,7 +73,7 @@ puddles::Result<void*> Pool::MallocBytes(size_t size, TypeId type_id) {
     ASSIGN_OR_RETURN(ObjectHeap heap, entry->view.object_heap(sink));
     auto allocated = heap.Allocate(size, type_id);
     if (allocated.ok()) {
-      if (sink.fn == nullptr) {
+      if (tx == nullptr) {
         // Outside a transaction: persist the metadata state now. (Non-TX
         // allocations are not crash-atomic — same contract as PMDK.)
         pmem::FlushFence(reinterpret_cast<uint8_t*>(entry->view.header()) +
@@ -60,7 +82,7 @@ puddles::Result<void*> Pool::MallocBytes(size_t size, TypeId type_id) {
       } else {
         // Inside a transaction: the caller's stores into the fresh object are
         // part of the transaction, so commit must flush them (stage 1).
-        Transaction::Current()->NoteFreshRange(*allocated, size);
+        tx->NoteFreshRange(*allocated, size);
       }
       return *allocated;
     }
@@ -74,6 +96,10 @@ puddles::Result<void*> Pool::MallocBytes(size_t size, TypeId type_id) {
 }
 
 puddles::Status Pool::Free(void* payload) {
+  return Free(payload, tx_internal::ImplicitTransaction());
+}
+
+puddles::Status Pool::Free(void* payload, Transaction* tx) {
   if (!writable_) {
     return FailedPreconditionError("pool opened read-only");
   }
@@ -83,15 +109,14 @@ puddles::Status Pool::Free(void* payload) {
   }
   const Uuid uuid = entry->info.uuid;
 
-  Transaction* tx = Transaction::Current();
   if (tx != nullptr) {
     // Deferred to commit: freed blocks must not be reused within this
     // transaction (rollback safety), and the allocator mutations become part
     // of the transaction's undo log.
     Runtime* runtime = runtime_;
-    tx->DeferFree([runtime, uuid, payload]() -> puddles::Status {
+    tx->DeferFree([runtime, uuid, payload, tx]() -> puddles::Status {
       ASSIGN_OR_RETURN(Runtime::Entry * e, runtime->EnsureMapped(uuid));
-      ASSIGN_OR_RETURN(ObjectHeap heap, e->view.object_heap(CurrentTxSink()));
+      ASSIGN_OR_RETURN(ObjectHeap heap, e->view.object_heap(TxSink(tx)));
       return heap.Free(payload);
     });
     return OkStatus();

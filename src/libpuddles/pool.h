@@ -1,5 +1,6 @@
-// Pools: named collections of puddles with a malloc/free interface and a
-// designated root object (paper §3.1, §4.4).
+// Pools: named collections of puddles with a malloc/free interface, a
+// designated root object (paper §3.1, §4.4), and the typed transaction
+// entry point `Pool::Run` (DESIGN.md §9).
 //
 // "Pools in the Puddle system are named collections of persistent memory and
 // act as the programmer's interface to allocate and deallocate objects on PM
@@ -10,6 +11,8 @@
 
 #include <mutex>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "src/common/status.h"
@@ -22,6 +25,7 @@
 namespace puddles {
 
 class Runtime;
+class Tx;
 
 class Pool {
  public:
@@ -35,6 +39,15 @@ class Pool {
   // "pool's malloc() API takes as input the object's type in addition to its
   // size. Allocations using this API can be serviced from any puddle in the
   // pool with enough free space."
+  //
+  // The explicit-context form: `tx` is the transaction the allocation joins
+  // (allocator-metadata mutations become undo entries; fresh contents are
+  // flushed at commit stage 1), or nullptr for a non-transactional
+  // allocation (persisted immediately; not crash-atomic, as in PMDK).
+  puddles::Result<void*> MallocBytes(size_t size, TypeId type_id, Transaction* tx);
+
+  // Legacy implicit-context form: joins the thread's open TX_BEGIN
+  // transaction if any (via the src/tx legacy bridge). Prefer tx.Alloc<T>().
   puddles::Result<void*> MallocBytes(size_t size, TypeId type_id);
 
   template <typename T>
@@ -45,7 +58,9 @@ class Pool {
 
   // Frees an object allocated from this pool. Inside a transaction the free
   // is deferred to commit (no reuse within the transaction, so rollback can
-  // never resurrect recycled bytes).
+  // never resurrect recycled bytes). Explicit-context and legacy
+  // implicit-context forms, as with MallocBytes.
+  puddles::Status Free(void* payload, Transaction* tx);
   puddles::Status Free(void* payload);
 
   // ---- Root object ----
@@ -63,8 +78,26 @@ class Pool {
   }
 
   // ---- Transactions ----
-  // Starts (or nests into) the calling thread's transaction using its cached
-  // log puddle. Used by the TX_BEGIN macro.
+  //
+  // Runs `fn` failure-atomically with an explicit typed context:
+  //
+  //   puddles::Status s = pool.Run([&](puddles::Tx& tx) -> puddles::Status {
+  //     RETURN_IF_ERROR(tx.Log(head));
+  //     head->count++;
+  //     return puddles::OkStatus();
+  //   });
+  //
+  // Commit/abort is decided by the callback's return value: OK commits
+  // (Fig. 7 hybrid stages), non-OK aborts via the undo log and that status is
+  // returned. An exception escaping `fn` aborts and rethrows. Run does not
+  // nest — a Run (or open legacy transaction) already on this thread returns
+  // FailedPrecondition, keeping every ordering point visible at exactly one
+  // level (cf. MOD's explicit ordering points).
+  template <typename Fn>
+  puddles::Status Run(Fn&& fn);
+
+  // Starts (or flat-nests into) the calling thread's transaction using its
+  // cached log puddle. The legacy TX_BEGIN entry point; Run builds on it.
   puddles::Result<Transaction*> BeginTx();
 
   // Number of member data puddles (diagnostics / tests).
@@ -72,12 +105,19 @@ class Pool {
 
  private:
   friend class Runtime;
+  friend class Tx;
 
   Pool(Runtime* runtime, puddled::PoolInfo info, bool writable)
       : runtime_(runtime), info_(info), name_(info.name), writable_(writable) {}
 
   // Grows the pool by one data puddle.
   puddles::Status AddDataPuddle();
+
+  // True iff [addr, addr+size) lies inside a puddle this runtime has mapped
+  // (any pool — cross-pool transactions are legal, §3.6). The typed Tx uses
+  // this to reject DRAM/stack pointers at the logging call instead of
+  // letting them corrupt recovery.
+  bool CoversPmRange(const void* addr, size_t size) const;
 
   Runtime* runtime_;
   puddled::PoolInfo info_;
@@ -91,6 +131,159 @@ class Pool {
   std::vector<Uuid> data_members_;
   size_t alloc_cursor_ = 0;
 };
+
+// The typed transaction context handed to Pool::Run callbacks — the only way
+// to log, allocate, or free inside a transaction under the redesigned API.
+// Every operation returns Status/Result (nothing throws), and every
+// operation re-checks liveness: a Tx copied out of its Run (or used after
+// its transaction committed) fails with FailedPrecondition instead of
+// touching freed state, even if the thread has since begun an unrelated
+// transaction (epoch check). Tx is a small value handle — copying it is
+// cheap and safe; a default-constructed Tx is dead.
+class Tx {
+ public:
+  Tx() = default;  // Dead handle: every operation returns FailedPrecondition.
+
+  // Undo-logs the whole object before in-place modification.
+  template <typename T>
+  puddles::Status Log(T* object) {
+    return LogRange(object, sizeof(T));
+  }
+
+  // Undo-logs an explicit byte range.
+  puddles::Status LogRange(void* addr, size_t size) {
+    RETURN_IF_ERROR(CheckUsable(addr, size));
+    return tx_->AddUndo(addr, size);
+  }
+
+  // Undo-logs a single member — `tx.LogField(node, &Node::next)` — the
+  // typed, drift-proof replacement for TX_ADD_RANGE(&node->next, 8).
+  template <typename T, typename M>
+  puddles::Status LogField(T* object, M T::*field) {
+    return LogRange(&(object->*field), sizeof(M));
+  }
+
+  // Redo-logs `*dst = value`: dst keeps its old bytes until commit stage 2.
+  template <typename T>
+  puddles::Status Set(T* dst, const T& value) {
+    RETURN_IF_ERROR(CheckUsable(dst, sizeof(T)));
+    return tx_->RedoSet(dst, value);
+  }
+
+  // Undo-logs a volatile (DRAM) range: restored on abort, ignored by
+  // post-crash recovery. The one deliberate escape from the PM-range check —
+  // but not from the null/empty validation.
+  puddles::Status LogVolatile(void* addr, size_t size) {
+    RETURN_IF_ERROR(CheckLive());
+    if (addr == nullptr || size == 0) {
+      return InvalidArgumentError("Tx: null/empty range");
+    }
+    return tx_->AddVolatileUndo(addr, size);
+  }
+
+  // Typed allocation joining this transaction: metadata undo-logged, fresh
+  // contents flushed at commit stage 1, rolled back wholesale on abort.
+  template <typename T>
+  puddles::Result<T*> Alloc(size_t count = 1) {
+    ASSIGN_OR_RETURN(void* raw, AllocBytes(sizeof(T) * count, TypeIdOf<T>()));
+    return static_cast<T*>(raw);
+  }
+
+  puddles::Result<void*> AllocBytes(size_t size, TypeId type_id) {
+    RETURN_IF_ERROR(CheckLive());
+    return pool_->MallocBytes(size, type_id, tx_);
+  }
+
+  // Frees `payload` at commit (deferred; see Pool::Free). After Free, further
+  // Log/Set calls overlapping the object are rejected — the freed-object
+  // misuse the old macro API could not detect. The typed form knows the
+  // object's extent; FreeBytes tracks at least the first byte.
+  template <typename T>
+  puddles::Status Free(T* payload) {
+    return FreeSized(payload, sizeof(T));
+  }
+
+  puddles::Status FreeBytes(void* payload) { return FreeSized(payload, 1); }
+
+  puddles::Status FreeSized(void* payload, size_t size) {
+    RETURN_IF_ERROR(CheckLive());
+    RETURN_IF_ERROR(pool_->Free(payload, tx_));
+    tx_->NoteFreedRange(payload, size);
+    return puddles::OkStatus();
+  }
+
+  // The pool this context was opened on (allocation target; logging may
+  // still reach any mapped puddle — transactions are not pool-local, §3.6).
+  Pool& pool() const { return *pool_; }
+
+  bool alive() const {
+    return tx_ != nullptr && tx_->active() && tx_->epoch() == epoch_;
+  }
+
+ private:
+  friend class Pool;
+
+  Tx(Pool* pool, Transaction* tx) : pool_(pool), tx_(tx), epoch_(tx->epoch()) {}
+
+  puddles::Status CheckLive() const {
+    if (!alive()) {
+      return FailedPreconditionError(
+          "Tx used outside its pool.Run scope (stale or completed transaction context)");
+    }
+    return puddles::OkStatus();
+  }
+
+  puddles::Status CheckUsable(const void* addr, size_t size) const {
+    RETURN_IF_ERROR(CheckLive());
+    if (addr == nullptr || size == 0) {
+      return InvalidArgumentError("Tx: null/empty range");
+    }
+    if (!pool_->CoversPmRange(addr, size)) {
+      return InvalidArgumentError(
+          "Tx: address is not in mapped puddle space (DRAM pointer? unmapped pool?)");
+    }
+    if (tx_->IntersectsFreedRange(addr, size)) {
+      return FailedPreconditionError("Tx: object was freed earlier in this transaction");
+    }
+    return puddles::OkStatus();
+  }
+
+  Pool* pool_ = nullptr;
+  Transaction* tx_ = nullptr;
+  uint64_t epoch_ = 0;
+};
+
+template <typename Fn>
+puddles::Status Pool::Run(Fn&& fn) {
+  static_assert(std::is_invocable_r_v<puddles::Status, Fn, Tx&>,
+                "pool.Run callback must be invocable as Status(puddles::Tx&) — "
+                "return OkStatus() to commit, any error to roll back");
+  ASSIGN_OR_RETURN(Transaction * raw, BeginTx());
+  if (raw->depth() > 1) {
+    // BeginTx flat-nested into an already-open transaction; pop the level we
+    // just pushed and refuse. (Commit at depth > 1 only decrements.)
+    (void)raw->Commit();
+    return FailedPreconditionError(
+        "pool.Run does not nest: a transaction is already open on this thread");
+  }
+  Tx tx(this, raw);
+  puddles::Status body = puddles::OkStatus();
+  try {
+    body = fn(tx);
+  } catch (...) {
+    (void)raw->Abort();  // Abort-on-unwind, as with the legacy macros.
+    throw;
+  }
+  if (!body.ok()) {
+    (void)raw->Abort();
+    return body;
+  }
+  puddles::Status committed = raw->Commit();
+  if (!committed.ok()) {
+    (void)raw->Abort();
+  }
+  return committed;
+}
 
 }  // namespace puddles
 

@@ -81,7 +81,8 @@ class Runtime {
   // ---- Transactions ----
   // The thread's cached transaction log (§4.1), created and registered on
   // first use. The returned target is owned by the runtime and stable for
-  // the thread's lifetime (allocation-free TX_BEGIN fast path).
+  // the thread's lifetime (the allocation-free fast path under pool.Run and
+  // the legacy TX_BEGIN shim alike).
   puddles::Result<TxTarget*> ThreadTxTarget();
 
   Stats stats();
@@ -107,7 +108,7 @@ class Runtime {
     Entry* entry = nullptr;
     LogRegion region;
     std::vector<std::pair<Entry*, std::unique_ptr<LogRegion>>> spares;  // Grown logs.
-    TxTarget cached_target;  // Built once; TX_BEGIN must stay allocation-free.
+    TxTarget cached_target;  // Built once; Pool::BeginTx must stay allocation-free.
   };
   puddles::Result<ThreadLog*> ThreadLogForThisThread();
 

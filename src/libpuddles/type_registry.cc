@@ -9,7 +9,40 @@ TypeRegistry& TypeRegistry::Instance() {
   return *registry;
 }
 
+namespace {
+
+// Structural validation shared by every ingest path (typed registration,
+// offset lists, daemon merge): a malformed record must be rejected here, not
+// discovered later as an out-of-bounds read during relocation.
+puddles::Status ValidateRecord(const puddled::PtrMapRecord& record) {
+  if (record.object_size == 0) {
+    return InvalidArgumentError("pointer map: object_size must be non-zero");
+  }
+  if (record.num_fields > puddled::kMaxPtrFields) {
+    return InvalidArgumentError("pointer map: too many pointer fields");
+  }
+  const uint64_t capacity = record.object_size / sizeof(void*);
+  if (record.num_fields + static_cast<uint64_t>(record.repeat_count) > capacity) {
+    return InvalidArgumentError(
+        "pointer map: field arity exceeds what sizeof(T) can hold");
+  }
+  for (uint32_t i = 0; i < record.num_fields; ++i) {
+    if (record.field_offsets[i] + sizeof(void*) > record.object_size) {
+      return InvalidArgumentError("pointer map: field offset outside object");
+    }
+  }
+  if (record.repeat_count != 0 &&
+      record.repeat_offset + static_cast<uint64_t>(record.repeat_count) * sizeof(void*) >
+          record.object_size) {
+    return InvalidArgumentError("pointer map: pointer-array region outside object");
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
 puddles::Status TypeRegistry::Add(const puddled::PtrMapRecord& record) {
+  RETURN_IF_ERROR(ValidateRecord(record));
   std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = maps_.emplace(record.type_id, record);
   if (!inserted && std::memcmp(&it->second, &record, sizeof(record)) != 0) {

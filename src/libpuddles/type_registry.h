@@ -9,12 +9,25 @@
 // Runtime uploads the registry to Puddled when pools are created or opened,
 // so the daemon can export maps alongside pools and relocation can find every
 // pointer.
+//
+// The declarative surface (DESIGN.md §9) derives offsets from member
+// pointers, so maps cannot drift from the struct they describe:
+//
+//   PUDDLES_TYPE(Node, &Node::next, &Node::prev);   // scalar pointer fields
+//   PUDDLES_TYPE(Node16, &Node16::children);        // pointer array ⇒ repeat
+//                                                   // region, extent deduced
+//
+// A non-pointer member is a compile error; array extents come from the
+// member's type, never a hand-typed count. The initializer_list-of-offsets
+// overloads remain as the wire-level escape hatch (daemon Merge, tests).
 #ifndef SRC_LIBPUDDLES_TYPE_REGISTRY_H_
 #define SRC_LIBPUDDLES_TYPE_REGISTRY_H_
 
 #include <cstddef>
 #include <initializer_list>
+#include <memory>
 #include <mutex>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
@@ -24,13 +37,48 @@
 
 namespace puddles {
 
+// Byte offset of a member designated by pointer-to-member, the declarative
+// replacement for offsetof() in pointer maps. (Materializes the offset from
+// suitably aligned storage; valid for the standard-layout types the registry
+// requires.)
+template <typename T, typename M>
+size_t MemberOffset(M T::*field) {
+  alignas(T) static const unsigned char storage[sizeof(T)] = {};
+  const T* object = reinterpret_cast<const T*>(storage);
+  return static_cast<size_t>(
+      reinterpret_cast<const unsigned char*>(std::addressof(object->*field)) - storage);
+}
+
+// One normalized pointer-map field: a scalar pointer member
+// (repeat_count == 0) or a homogeneous pointer-array member.
+struct PtrFieldSpec {
+  size_t offset = 0;
+  size_t repeat_count = 0;
+};
+
 class TypeRegistry {
  public:
   static TypeRegistry& Instance();
 
+  // ---- Declarative registration (preferred) ----
+  //
+  // Register<T>(&T::a, &T::b, ...): each argument is a pointer-to-member of
+  // T. Plain members must be native pointers (compile-checked); a member of
+  // array-of-pointer type becomes the record's repeat region with the array
+  // extent as its count. Register<T>() with no fields declares a leaf.
+  template <typename T, typename... M>
+  puddles::Status Register(M T::*... fields) {
+    static_assert(std::is_standard_layout_v<T>,
+                  "persistent types must be standard-layout for pointer maps");
+    return RegisterSpecs<T>({NormalizeField<T>(fields)...});
+  }
+
+  // ---- Offset-list registration (wire-level escape hatch) ----
+  //
   // Registers T with the byte offsets of its pointer fields. Offsets come
   // from offsetof(); every field must hold a native pointer into puddle
   // space (or null). Re-registration with identical content is a no-op.
+  // Prefer the member-pointer overload above: hand-written offsets drift.
   template <typename T>
   puddles::Status Register(std::initializer_list<size_t> pointer_offsets) {
     return RegisterWithArray<T>(pointer_offsets, 0, 0);
@@ -79,6 +127,9 @@ class TypeRegistry {
     return Add(record);
   }
 
+  // Validates the record (field/repeat bounds vs object_size, kMaxPtrFields,
+  // arity vs sizeof) and inserts it. Registering a conflicting map for an
+  // already-registered type is AlreadyExists; an identical map is a no-op.
   puddles::Status Add(const puddled::PtrMapRecord& record);
   puddles::Result<puddled::PtrMapRecord> Lookup(TypeId type_id) const;
   bool Contains(TypeId type_id) const;
@@ -91,10 +142,63 @@ class TypeRegistry {
  private:
   TypeRegistry() = default;
 
+  // Normalizes one member designator: scalar pointer member or
+  // array-of-pointer member (⇒ repeat region with the deduced extent).
+  template <typename T, typename M>
+  static PtrFieldSpec NormalizeField(M T::*field) {
+    if constexpr (std::is_array_v<M>) {
+      static_assert(std::is_pointer_v<std::remove_extent_t<M>>,
+                    "pointer-map array fields must be arrays of native pointers");
+      return PtrFieldSpec{MemberOffset(field), std::extent_v<M>};
+    } else {
+      static_assert(std::is_pointer_v<M>,
+                    "pointer-map fields must be native pointers (did you pass a "
+                    "non-pointer member to PUDDLES_TYPE / Register<T>?)");
+      return PtrFieldSpec{MemberOffset(field), 0};
+    }
+  }
+
+  template <typename T>
+  puddles::Status RegisterSpecs(std::initializer_list<PtrFieldSpec> specs) {
+    puddled::PtrMapRecord record{};
+    record.type_id = TypeIdOf<T>();
+    record.object_size = sizeof(T);
+    record.num_fields = 0;
+    for (const PtrFieldSpec& spec : specs) {
+      if (spec.repeat_count != 0) {
+        if (record.repeat_count != 0) {
+          return InvalidArgumentError("a pointer map holds at most one pointer-array region");
+        }
+        record.repeat_offset = static_cast<uint32_t>(spec.offset);
+        record.repeat_count = static_cast<uint32_t>(spec.repeat_count);
+        continue;
+      }
+      if (record.num_fields >= puddled::kMaxPtrFields) {
+        return InvalidArgumentError("too many pointer fields for one type");
+      }
+      record.field_offsets[record.num_fields++] = static_cast<uint32_t>(spec.offset);
+    }
+    return Add(record);
+  }
+
   mutable std::mutex mu_;
   std::unordered_map<TypeId, puddled::PtrMapRecord> maps_;
 };
 
 }  // namespace puddles
+
+// Declarative pointer-map registration for application code:
+//
+//   PUDDLES_TYPE(TodoItem, &TodoItem::next);
+//   PUDDLES_TYPE(Node256, &Node256::children);  // array ⇒ repeat region
+//   PUDDLES_TYPE(Blob);                         // leaf: no pointers
+//
+// Every field is a pointer-to-member: offsets are derived, arity and bounds
+// are validated against sizeof(T), and a non-pointer member fails to
+// compile. Registration errors (e.g. conflicting re-registration) are
+// swallowed here — use TypeRegistry::Instance().Register<T>(...) directly
+// when the Status matters.
+#define PUDDLES_TYPE(T, ...) \
+  (void)::puddles::TypeRegistry::Instance().Register<T>(__VA_ARGS__)
 
 #endif  // SRC_LIBPUDDLES_TYPE_REGISTRY_H_

@@ -25,6 +25,14 @@ Transaction* Transaction::Current() {
   return (tls_transaction != nullptr && tls_transaction->active()) ? tls_transaction : nullptr;
 }
 
+namespace tx_internal {
+
+Transaction* ImplicitTransaction() {
+  return (tls_transaction != nullptr && tls_transaction->active()) ? tls_transaction : nullptr;
+}
+
+}  // namespace tx_internal
+
 void Transaction::AbandonCurrentForTesting() {
   if (tls_transaction != nullptr) {
     tls_transaction->ResetState();
@@ -55,6 +63,7 @@ puddles::Result<Transaction*> Transaction::BeginWith(const TxTarget* target) {
   tx->chain_.clear();
   tx->chain_.push_back(target->log);
   tx->depth_ = 1;
+  ++tx->epoch_;  // New outermost transaction: invalidate stale Tx handles.
   return tx;
 }
 
@@ -106,11 +115,19 @@ puddles::Status Transaction::AppendEntry(uint64_t addr, const void* data, uint32
 }
 
 puddles::Status Transaction::AddUndo(void* addr, size_t size) {
+  // Entry sizes are 32-bit on media; a silent truncation here would return
+  // OK while logging a fraction (or none) of the range.
+  if (size > UINT32_MAX) {
+    return InvalidArgumentError("undo range exceeds the 4 GiB log-entry limit");
+  }
   return AppendEntry(reinterpret_cast<uint64_t>(addr), addr, static_cast<uint32_t>(size),
                      kUndoSeq, ReplayOrder::kReverse, 0);
 }
 
 puddles::Status Transaction::AddVolatileUndo(void* addr, size_t size) {
+  if (size > UINT32_MAX) {
+    return InvalidArgumentError("undo range exceeds the 4 GiB log-entry limit");
+  }
   return AppendEntry(reinterpret_cast<uint64_t>(addr), addr, static_cast<uint32_t>(size),
                      kUndoSeq, ReplayOrder::kReverse, kLogEntryVolatile);
 }
@@ -126,6 +143,22 @@ void Transaction::DeferFree(std::function<puddles::Status()> op) {
 
 void Transaction::NoteFreshRange(void* addr, size_t size) {
   fresh_ranges_.emplace_back(addr, size);
+}
+
+void Transaction::NoteFreedRange(const void* addr, size_t size) {
+  freed_ranges_.emplace_back(addr, size);
+}
+
+bool Transaction::IntersectsFreedRange(const void* addr, size_t size) const {
+  const uintptr_t lo = reinterpret_cast<uintptr_t>(addr);
+  const uintptr_t hi = lo + size;
+  for (const auto& [dead, dead_size] : freed_ranges_) {
+    const uintptr_t dead_lo = reinterpret_cast<uintptr_t>(dead);
+    if (lo < dead_lo + dead_size && dead_lo < hi) {
+      return true;
+    }
+  }
+  return false;
 }
 
 puddles::Status Transaction::Commit() {
@@ -246,6 +279,7 @@ puddles::Status Transaction::Abort() {
 void Transaction::ResetState() {
   entries_.clear();
   fresh_ranges_.clear();
+  freed_ranges_.clear();
   deferred_frees_.clear();
   chain_.clear();
   target_ = nullptr;

@@ -46,6 +46,13 @@ struct SimulatedCrash {
 class Transaction {
  public:
   // The active transaction of this thread, or nullptr.
+  //
+  // Deprecated: the thread-local singleton is the legacy TX_BEGIN bridge.
+  // New code receives its transaction context explicitly — `pool.Run`
+  // hands the callback a typed `puddles::Tx` (src/libpuddles/pool.h) and
+  // never consults thread-local state. Call sites outside src/tx/ are
+  // rejected by the CI api-gate.
+  [[deprecated("use pool.Run(fn(Tx&)) — explicit contexts instead of the TLS singleton")]]
   static Transaction* Current();
 
   // Starts (or flat-nests into) the thread's transaction. The by-reference
@@ -86,6 +93,12 @@ class Transaction {
   // exploration; PMDK's tx_alloc tracks new objects the same way).
   void NoteFreshRange(void* addr, size_t size);
 
+  // Records a payload freed (deferred) in this transaction, so the typed Tx
+  // can reject later logging of the dead object (use-after-free inside one
+  // transaction). Cleared with the rest of the state at commit/abort.
+  void NoteFreedRange(const void* addr, size_t size);
+  bool IntersectsFreedRange(const void* addr, size_t size) const;
+
   // Commits (outermost) or pops one nesting level.
   puddles::Status Commit();
 
@@ -96,6 +109,12 @@ class Transaction {
   int depth() const { return depth_; }
   bool active() const { return depth_ > 0; }
   size_t entry_count() const { return entries_.size(); }
+
+  // Monotonic count of outermost Begins served by this thread's transaction
+  // object. A typed `Tx` handle captures the epoch at Run-entry so a handle
+  // that outlives its transaction is detected (FailedPrecondition) instead of
+  // silently joining a later transaction that reuses this object.
+  uint64_t epoch() const { return epoch_; }
 
   // Test-only: invoked at named commit points ("s1_flushed", "s2_applied",
   // "s3_marked", "reset_done"); may throw SimulatedCrash.
@@ -130,9 +149,24 @@ class Transaction {
   std::vector<LogRegion*> chain_;  // chain_[0] == target_->log.
   std::vector<EntryRef> entries_;  // Append order.
   std::vector<std::pair<void*, size_t>> fresh_ranges_;  // Flushed at commit stage 1.
+  std::vector<std::pair<const void*, size_t>> freed_ranges_;  // Rejected from logging.
   std::vector<std::function<puddles::Status()>> deferred_frees_;
   int depth_ = 0;
+  uint64_t epoch_ = 0;
 };
+
+namespace tx_internal {
+
+// The one sanctioned read of the thread-local transaction slot outside the
+// Transaction class itself: the bridge that lets the deprecated TX_* macros
+// and the implicit-join allocation overloads (`pool.Malloc<T>()` inside
+// TX_BEGIN) find the open transaction. Returns nullptr when no transaction
+// is active. Everything under src/libpuddles and above threads the
+// transaction explicitly; only this legacy bridge — which lives in src/tx by
+// design — touches the singleton.
+Transaction* ImplicitTransaction();
+
+}  // namespace tx_internal
 
 }  // namespace puddles
 

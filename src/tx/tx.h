@@ -1,17 +1,39 @@
-// PMDK-style transaction macros (paper Figs. 4 & 8):
+// Legacy PMDK-style transaction macros — deprecated shims over the typed
+// transaction-context API (DESIGN.md §9).
+//
+// New code uses the explicit, Status-returning form (src/libpuddles/pool.h):
+//
+//   puddles::Status s = pool.Run([&](puddles::Tx& tx) -> puddles::Status {
+//     ASSIGN_OR_RETURN(node_t* node, tx.Alloc<node_t>());
+//     node->data = val;
+//     RETURN_IF_ERROR(tx.LogField(list->tail, &node_t::next));
+//     list->tail->next = node;
+//     RETURN_IF_ERROR(tx.Set(&list->tail, node));
+//     return puddles::OkStatus();
+//   });
+//
+// Commit happens iff the callback returns OK; a non-OK return (or an escaping
+// exception) rolls back via the undo log. Nothing is thread-local: the `Tx`
+// handle is the only way to reach the transaction, so "logging outside a
+// transaction" is unrepresentable instead of a nullptr dereference.
+//
+// The macros below keep out-of-tree PMDK-era code compiling:
 //
 //   TX_BEGIN(pool) {
-//     node_t* node = pool.Malloc<node_t>();
-//     node->data = val;
+//     node_t* node = pool.Malloc<node_t>();   // joins the open transaction
 //     TX_ADD(&list->tail->next);
 //     list->tail->next = node;
 //     TX_REDO_SET(&list->tail, node);
 //   } TX_END;
 //
-// `pool` is anything with a `BeginTx()` returning Result<Transaction*> —
-// libpuddles::Pool in production, a test fixture in tests. A C++ exception
-// escaping the body aborts the transaction (rolls back via the undo log) and
-// rethrows. TxAbort() aborts explicitly.
+// `pool` is anything with a `BeginTx()` returning Result<Transaction*>. A
+// C++ exception escaping the body aborts (rolls back) and rethrows; TxAbort()
+// aborts explicitly. Unlike the pre-redesign macros, the shims are hardened:
+//   * TX_ADD / TX_ADD_RANGE / TX_REDO_SET outside an open transaction return
+//     FailedPrecondition (they used to dereference a null thread-local).
+//   * ~TxScope never throws. A commit failure rolls back and is recorded in
+//     tx_internal::LastLegacyCommitStatus() for callers that need it.
+// Building with -DPUDDLES_STRICT_API poisons the macros entirely.
 #ifndef SRC_TX_TX_H_
 #define SRC_TX_TX_H_
 
@@ -22,31 +44,67 @@
 
 namespace puddles {
 
-// Thrown by TxAbort() to unwind the transaction body.
+// Thrown by TxAbort() to unwind the legacy transaction body.
 struct TxAbortRequested {};
 
 inline void TxAbort() { throw TxAbortRequested{}; }
 
 namespace tx_internal {
 
-// Commits on clean scope exit; aborts when unwinding on an exception.
+// The commit status of the most recent TX_END on this thread. ~TxScope is
+// noexcept, so a failed commit (which rolls back) surfaces here instead of a
+// throw from a destructor.
+inline thread_local puddles::Status tls_last_legacy_commit = puddles::OkStatus();
+
+inline const puddles::Status& LastLegacyCommitStatus() { return tls_last_legacy_commit; }
+
+// Null-safe macro targets: resolve the implicit (thread-local) transaction
+// and fail cleanly when none is open.
+inline puddles::Status LegacyAddUndo(void* addr, size_t size) {
+  Transaction* tx = ImplicitTransaction();
+  if (tx == nullptr) {
+    return FailedPreconditionError("TX_ADD outside an open transaction");
+  }
+  return tx->AddUndo(addr, size);
+}
+
+inline puddles::Status LegacyRedoWrite(void* dst, const void* src, uint32_t size) {
+  Transaction* tx = ImplicitTransaction();
+  if (tx == nullptr) {
+    return FailedPreconditionError("TX_REDO_SET outside an open transaction");
+  }
+  return tx->RedoWrite(dst, src, size);
+}
+
+template <typename T>
+puddles::Status LegacyRedoSet(T* dst, const T& value) {
+  return LegacyRedoWrite(dst, &value, sizeof(T));
+}
+
+// Commits on clean scope exit; aborts when unwinding on an exception. The
+// destructor is noexcept: commit failure aborts (undo rollback) and lands in
+// LastLegacyCommitStatus() rather than throwing mid-unwind.
 class TxScope {
  public:
   explicit TxScope(Transaction* tx) : tx_(tx) {}
 
-  ~TxScope() noexcept(false) {
+  ~TxScope() {
     if (tx_ == nullptr) {
       return;
     }
     if (std::uncaught_exceptions() > exceptions_on_entry_) {
       (void)tx_->Abort();
-    } else {
-      puddles::Status status = tx_->Commit();
-      if (!status.ok()) {
-        (void)tx_->Abort();
-        throw std::runtime_error("transaction commit failed: " + status.ToString());
-      }
+      // The contract is "status of the most recent TX_END": an unwound
+      // (TxAbort or exception) scope must not leave the previous
+      // transaction's commit status dangling as if this one committed.
+      tls_last_legacy_commit = AbortedError("transaction unwound without commit");
+      return;
     }
+    puddles::Status status = tx_->Commit();
+    if (!status.ok()) {
+      (void)tx_->Abort();
+    }
+    tls_last_legacy_commit = std::move(status);
   }
 
   TxScope(const TxScope&) = delete;
@@ -59,6 +117,14 @@ class TxScope {
 
 }  // namespace tx_internal
 }  // namespace puddles
+
+#ifdef PUDDLES_STRICT_API
+
+// Strict builds reject the legacy macro surface outright: any expansion is a
+// hard compile error naming the replacement.
+#pragma GCC poison TX_BEGIN TX_END TX_ADD TX_ADD_RANGE TX_REDO_SET
+
+#else  // !PUDDLES_STRICT_API
 
 #define TX_BEGIN(pool_like)                                                         \
   {                                                                                 \
@@ -77,14 +143,16 @@ class TxScope {
 
 // Undo-log `*ptr` (whole object) before modifying it.
 #define TX_ADD(ptr)                                                                 \
-  (void)::puddles::Transaction::Current()->AddUndo((void*)(ptr), sizeof(*(ptr)))
+  (void)::puddles::tx_internal::LegacyAddUndo((void*)(ptr), sizeof(*(ptr)))
 
 // Undo-log an explicit byte range.
 #define TX_ADD_RANGE(ptr, size)                                                     \
-  (void)::puddles::Transaction::Current()->AddUndo((void*)(ptr), (size))
+  (void)::puddles::tx_internal::LegacyAddUndo((void*)(ptr), (size))
 
 // Redo-log `*ptr = value`; the store lands at commit.
 #define TX_REDO_SET(ptr, value)                                                     \
-  (void)::puddles::Transaction::Current()->RedoSet((ptr), (value))
+  (void)::puddles::tx_internal::LegacyRedoSet((ptr), (value))
+
+#endif  // PUDDLES_STRICT_API
 
 #endif  // SRC_TX_TX_H_

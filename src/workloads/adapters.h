@@ -1,27 +1,36 @@
 // Library adapters: one uniform surface over Puddles and the four baseline
-// PM libraries, so each workload (list, B-tree, KV store) is written once and
-// instantiated per library — guaranteeing the Figs. 9–11 comparisons measure
-// the libraries, not five different data-structure implementations.
+// PM libraries, so each workload (list, B-tree, KV store, ART) is written
+// once and instantiated per library — guaranteeing the Figs. 9–11
+// comparisons measure the libraries, not five different data-structure
+// implementations.
 //
-// Adapter concept:
+// Adapter concept (typed transaction-context API, DESIGN.md §9):
 //   template <typename T> using Handle     — stored pointer representation
 //   T* Get(Handle<T>)                      — translate to a native pointer
 //   Handle<T> Null()                       — null handle
-//   Result<Handle<T>> Alloc<T>(count)      — typed allocation
-//   Status Free(Handle<T>)
-//   Status Log(T* p) / LogRange(p, n)      — undo-log before modify
-//   Status TxRun(fn)                       — run fn failure-atomically
+//   using TxCtx = ...                      — typed transaction context
+//   Status TxRun(fn)                       — fn: Status(TxCtx&); commit iff
+//                                            the body returns OK, roll back
+//                                            otherwise
+//   ctx.Log(T* p) / ctx.LogRange(p, n)     — undo-log before modify
+//   ctx.LogField(p, &T::member)            — undo-log one member
+//   ctx.Set(ptr, value)                    — redo-logged deferred store
+//   Result<Handle<T>> ctx.Alloc<T>(count)  — typed allocation in this tx
+//   Status ctx.Free(Handle<T>)             — deferred-to-commit free
 //   Handle<T> Root<T>() / SetRoot(Handle)  — root object
-//   static void RegisterType<T>(offsets)   — pointer map (Puddles only)
-//   static void RegisterTypeArray<T>(offsets, array_offset, array_count)
-//                                          — pointer map with a homogeneous
-//                                            pointer-array region (wide nodes)
+//   static void RegisterType<T>(&T::m...)  — pointer map from member
+//       pointers (Puddles only; array members become repeat regions with
+//       the extent deduced from the member type — no hand-written offsets)
 //   static Handle<To> HandleCast<To>(Handle<From>) — reinterpret a handle
 //       (for variant node types sharing a common header, e.g. the ART)
+//
+// There is deliberately no way to log or allocate without a TxCtx: the
+// "undo-log outside a transaction" crash of the old thread-local surface is
+// unrepresentable.
 #ifndef SRC_WORKLOADS_ADAPTERS_H_
 #define SRC_WORKLOADS_ADAPTERS_H_
 
-#include <initializer_list>
+#include <utility>
 
 #include "src/baselines/atlas/atlas.h"
 #include "src/baselines/fatptr/fatptr.h"
@@ -39,6 +48,9 @@ class PuddlesAdapter {
   template <typename T>
   using Handle = T*;
 
+  // The real typed context: pool.Run hands the callback a puddles::Tx.
+  using TxCtx = puddles::Tx;
+
   explicit PuddlesAdapter(puddles::Pool* pool) : pool_(pool) {}
 
   template <typename T>
@@ -50,28 +62,9 @@ class PuddlesAdapter {
     return nullptr;
   }
 
-  template <typename T>
-  puddles::Result<T*> Alloc(size_t count = 1) {
-    return pool_->Malloc<T>(count);
-  }
-  template <typename T>
-  puddles::Status Free(T* handle) {
-    return pool_->Free(handle);
-  }
-
-  template <typename T>
-  puddles::Status Log(T* p) {
-    return puddles::Transaction::Current()->AddUndo(p, sizeof(T));
-  }
-  puddles::Status LogRange(void* p, size_t n) {
-    return puddles::Transaction::Current()->AddUndo(p, n);
-  }
-
   template <typename Fn>
   puddles::Status TxRun(Fn&& fn) {
-    ASSIGN_OR_RETURN(puddles::Transaction * tx, pool_->BeginTx());
-    fn();
-    return tx->Commit();
+    return pool_->Run(std::forward<Fn>(fn));
   }
 
   template <typename T>
@@ -84,15 +77,9 @@ class PuddlesAdapter {
     return pool_->SetRoot(handle);
   }
 
-  template <typename T>
-  static void RegisterType(std::initializer_list<size_t> offsets) {
-    (void)puddles::TypeRegistry::Instance().Register<T>(offsets);
-  }
-  template <typename T>
-  static void RegisterTypeArray(std::initializer_list<size_t> offsets, size_t array_offset,
-                                size_t array_count) {
-    (void)puddles::TypeRegistry::Instance().RegisterWithArray<T>(offsets, array_offset,
-                                                                 array_count);
+  template <typename T, typename... M>
+  static void RegisterType(M T::*... fields) {
+    (void)puddles::TypeRegistry::Instance().Register<T>(fields...);
   }
 
   template <typename To, typename From>
@@ -104,6 +91,63 @@ class PuddlesAdapter {
   puddles::Pool* pool_;
 };
 
+// Shared typed context over the baseline pools (fatptr/Romulus/Atlas/
+// go-pmem): the same call surface as puddles::Tx, implemented with each
+// library's TxAddRange/Alloc/Free. `Set` is emulated as undo-log + in-place
+// store — the baselines have no redo log, and their commit publishes
+// in-place stores anyway, so the semantics at commit/abort match.
+template <typename PoolT>
+class BaselineTxCtx {
+ public:
+  explicit BaselineTxCtx(PoolT* pool) : pool_(pool) {}
+
+  BaselineTxCtx(const BaselineTxCtx&) = delete;
+  BaselineTxCtx& operator=(const BaselineTxCtx&) = delete;
+
+  template <typename T>
+  puddles::Status Log(T* p) {
+    return pool_->TxAddRange(p, sizeof(T));
+  }
+  puddles::Status LogRange(void* p, size_t n) { return pool_->TxAddRange(p, n); }
+  template <typename T, typename M>
+  puddles::Status LogField(T* p, M T::*field) {
+    return pool_->TxAddRange(&(p->*field), sizeof(M));
+  }
+  template <typename T>
+  puddles::Status Set(T* dst, const T& value) {
+    RETURN_IF_ERROR(pool_->TxAddRange(dst, sizeof(T)));
+    *dst = value;
+    return puddles::OkStatus();
+  }
+
+  template <typename T>
+  auto Alloc(size_t count = 1) {
+    return pool_->template Alloc<T>(count);
+  }
+  template <typename Handle>
+  puddles::Status Free(Handle handle) {
+    return pool_->Free(handle);
+  }
+
+ private:
+  PoolT* pool_;
+};
+
+// Shared begin/body/abort-or-commit driver for the baseline adapters (the
+// Puddles adapter delegates to pool.Run instead): commit iff the body
+// returns OK, abort otherwise.
+template <typename PoolT, typename Fn>
+puddles::Status RunBaselineTx(PoolT* pool, Fn&& fn) {
+  BaselineTxCtx<PoolT> ctx(pool);
+  RETURN_IF_ERROR(pool->TxBegin());
+  puddles::Status body = fn(ctx);
+  if (!body.ok()) {
+    (void)pool->TxAbort();
+    return body;
+  }
+  return pool->TxCommit();
+}
+
 // ---- PMDK-like (fat pointers) ----
 class FatPtrAdapter {
  public:
@@ -111,6 +155,8 @@ class FatPtrAdapter {
 
   template <typename T>
   using Handle = fatptr::FatPtr<T>;
+
+  using TxCtx = BaselineTxCtx<fatptr::FatPool>;
 
   explicit FatPtrAdapter(fatptr::FatPool* pool) : pool_(pool) {}
 
@@ -123,24 +169,9 @@ class FatPtrAdapter {
     return fatptr::FatPtr<T>::Null();
   }
 
-  template <typename T>
-  puddles::Result<fatptr::FatPtr<T>> Alloc(size_t count = 1) {
-    return pool_->Alloc<T>(count);
-  }
-  template <typename T>
-  puddles::Status Free(fatptr::FatPtr<T> handle) {
-    return pool_->Free(handle);
-  }
-
-  template <typename T>
-  puddles::Status Log(T* p) {
-    return pool_->TxAddRange(p, sizeof(T));
-  }
-  puddles::Status LogRange(void* p, size_t n) { return pool_->TxAddRange(p, n); }
-
   template <typename Fn>
   puddles::Status TxRun(Fn&& fn) {
-    return pool_->TxRun(std::forward<Fn>(fn));
+    return RunBaselineTx(pool_, std::forward<Fn>(fn));
   }
 
   template <typename T>
@@ -153,10 +184,8 @@ class FatPtrAdapter {
     return puddles::OkStatus();
   }
 
-  template <typename T>
-  static void RegisterType(std::initializer_list<size_t>) {}
-  template <typename T>
-  static void RegisterTypeArray(std::initializer_list<size_t>, size_t, size_t) {}
+  template <typename T, typename... M>
+  static void RegisterType(M T::*...) {}
 
   template <typename To, typename From>
   static fatptr::FatPtr<To> HandleCast(fatptr::FatPtr<From> handle) {
@@ -176,6 +205,8 @@ class NativeAdapter {
   template <typename T>
   using Handle = T*;
 
+  using TxCtx = BaselineTxCtx<PoolT>;
+
   explicit NativeAdapter(PoolT* pool) : pool_(pool) {}
 
   template <typename T>
@@ -187,24 +218,9 @@ class NativeAdapter {
     return nullptr;
   }
 
-  template <typename T>
-  puddles::Result<T*> Alloc(size_t count = 1) {
-    return pool_->template Alloc<T>(count);
-  }
-  template <typename T>
-  puddles::Status Free(T* handle) {
-    return pool_->Free(handle);
-  }
-
-  template <typename T>
-  puddles::Status Log(T* p) {
-    return pool_->TxAddRange(p, sizeof(T));
-  }
-  puddles::Status LogRange(void* p, size_t n) { return pool_->TxAddRange(p, n); }
-
   template <typename Fn>
   puddles::Status TxRun(Fn&& fn) {
-    return pool_->TxRun(std::forward<Fn>(fn));
+    return RunBaselineTx(pool_, std::forward<Fn>(fn));
   }
 
   template <typename T>
@@ -217,10 +233,8 @@ class NativeAdapter {
     return puddles::OkStatus();
   }
 
-  template <typename T>
-  static void RegisterType(std::initializer_list<size_t>) {}
-  template <typename T>
-  static void RegisterTypeArray(std::initializer_list<size_t>, size_t, size_t) {}
+  template <typename T, typename... M>
+  static void RegisterType(M T::*...) {}
 
   template <typename To, typename From>
   static To* HandleCast(From* handle) {

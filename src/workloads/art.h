@@ -11,8 +11,9 @@
 // Allocation spread is deliberate: leaves, Node4 and Node16 fit the slab
 // classes; Node48 (~660 B) and Node256 (~2 KiB) go to the buddy allocator —
 // one index exercises both halves of the object heap. Node48/Node256 child
-// arrays exceed the pointer map's kMaxPtrFields, so they register through
-// RegisterTypeArray (PtrMapRecord repeat regions) and stay relocatable.
+// arrays exceed the pointer map's kMaxPtrFields, so they register as
+// PtrMapRecord repeat regions (array-member registration) and stay
+// relocatable.
 //
 // Crash protocol: every mutation runs inside one transaction. Structural
 // changes (leaf split, prefix split, node promotion/demotion, path collapse)
@@ -63,6 +64,7 @@ class ArtIndex {
   static_assert(sizeof(NodeBase) == 16, "node header must stay 16 bytes");
 
   using NodeHandle = typename Adapter::template Handle<NodeBase>;
+  using Ctx = typename Adapter::TxCtx;
 
   struct Node4 {
     NodeBase base;
@@ -97,15 +99,16 @@ class ArtIndex {
   static constexpr uint8_t kEmptySlot = 0xFF;
 
   static void RegisterTypes() {
-    Adapter::template RegisterType<Root>({offsetof(Root, root)});
-    Adapter::template RegisterType<Leaf>({});
+    Adapter::template RegisterType<Root>(&Root::root);
+    Adapter::template RegisterType<Leaf>();
     // Every variant's child array is a homogeneous pointer run, so they all
-    // register as repeat regions — for Node48/Node256 the explicit-field form
-    // is impossible anyway (fan-out past kMaxPtrFields).
-    Adapter::template RegisterTypeArray<Node4>({}, offsetof(Node4, children), 4);
-    Adapter::template RegisterTypeArray<Node16>({}, offsetof(Node16, children), 16);
-    Adapter::template RegisterTypeArray<Node48>({}, offsetof(Node48, children), 48);
-    Adapter::template RegisterTypeArray<Node256>({}, offsetof(Node256, children), 256);
+    // register as repeat regions (counts deduced from the array extents) —
+    // for Node48/Node256 the explicit-field form is impossible anyway
+    // (fan-out past kMaxPtrFields).
+    Adapter::template RegisterType<Node4>(&Node4::children);
+    Adapter::template RegisterType<Node16>(&Node16::children);
+    Adapter::template RegisterType<Node48>(&Node48::children);
+    Adapter::template RegisterType<Node256>(&Node256::children);
   }
 
   explicit ArtIndex(Adapter adapter) : adapter_(adapter) {}
@@ -117,19 +120,13 @@ class ArtIndex {
       root_ = adapter_.Get(existing);
       return puddles::OkStatus();
     }
-    puddles::Status status = puddles::OkStatus();
-    RETURN_IF_ERROR(adapter_.TxRun([&] {
-      auto allocated = adapter_.template Alloc<Root>();
-      if (!allocated.ok()) {
-        status = allocated.status();
-        return;
-      }
-      Root* root = adapter_.Get(*allocated);
+    RETURN_IF_ERROR(adapter_.TxRun([&](Ctx& tx) -> puddles::Status {
+      ASSIGN_OR_RETURN(RootHandle allocated, tx.template Alloc<Root>());
+      Root* root = adapter_.Get(allocated);
       root->root = NullNode();
       root->size = 0;
-      status = adapter_.SetRoot(*allocated);
+      return adapter_.SetRoot(allocated);
     }));
-    RETURN_IF_ERROR(status);
     root_ = adapter_.Get(adapter_.template Root<Root>());
     return puddles::OkStatus();
   }
@@ -164,15 +161,12 @@ class ArtIndex {
   }
 
   puddles::Status Insert(uint64_t key, uint64_t value) {
-    puddles::Status status = puddles::OkStatus();
-    RETURN_IF_ERROR(adapter_.TxRun([&] { status = InsertInTx(key, value); }));
-    return status;
+    return adapter_.TxRun(
+        [&](Ctx& tx) -> puddles::Status { return InsertInTx(tx, key, value); });
   }
 
   puddles::Status Erase(uint64_t key) {
-    puddles::Status status = puddles::OkStatus();
-    RETURN_IF_ERROR(adapter_.TxRun([&] { status = EraseInTx(key); }));
-    return status;
+    return adapter_.TxRun([&](Ctx& tx) -> puddles::Status { return EraseInTx(tx, key); });
   }
 
   uint64_t size() const { return root_->size; }
@@ -260,8 +254,8 @@ class ArtIndex {
     std::memset(base->reserved, 0, sizeof(base->reserved));
   }
 
-  puddles::Result<NodeHandle> NewLeaf(uint64_t key, uint64_t value) {
-    ASSIGN_OR_RETURN(auto handle, adapter_.template Alloc<Leaf>());
+  puddles::Result<NodeHandle> NewLeaf(Ctx& tx, uint64_t key, uint64_t value) {
+    ASSIGN_OR_RETURN(auto handle, tx.template Alloc<Leaf>());
     Leaf* leaf = adapter_.Get(handle);
     InitBase(&leaf->base, kArtLeaf, nullptr, 0);
     leaf->key = key;
@@ -269,8 +263,8 @@ class ArtIndex {
     return Adapter::template HandleCast<NodeBase>(handle);
   }
 
-  puddles::Result<NodeHandle> NewNode4(const uint8_t* prefix, uint32_t prefix_len) {
-    ASSIGN_OR_RETURN(auto handle, adapter_.template Alloc<Node4>());
+  puddles::Result<NodeHandle> NewNode4(Ctx& tx, const uint8_t* prefix, uint32_t prefix_len) {
+    ASSIGN_OR_RETURN(auto handle, tx.template Alloc<Node4>());
     Node4* node = adapter_.Get(handle);
     InitBase(&node->base, kArtNode4, prefix, prefix_len);
     std::memset(node->keys, 0, sizeof(node->keys));
@@ -285,9 +279,8 @@ class ArtIndex {
 
   // Frees a node already unlinked from the tree. A failure here can only
   // leak the node — never un-publish it — so it must not turn a completed
-  // mutation into an error after tree state was modified (the adapters'
-  // TxRun commits regardless of the body's status).
-  void FreeDetached(NodeHandle handle) { (void)adapter_.Free(handle); }
+  // mutation into an error after tree state was modified.
+  void FreeDetached(Ctx& tx, NodeHandle handle) { (void)tx.Free(handle); }
 
   // Slot holding the child for `byte`, or nullptr. Non-const twin below.
   const NodeHandle* FindChild(const NodeBase* node, uint8_t byte) const {
@@ -332,9 +325,9 @@ class ArtIndex {
 
   // Publishes `child` as the replacement for the edge `byte` under `parent`
   // (or as the new root when parent is null) with one undo-logged store.
-  puddles::Status ReplaceChild(NodeHandle parent, uint8_t byte, NodeHandle child) {
+  puddles::Status ReplaceChild(Ctx& tx, NodeHandle parent, uint8_t byte, NodeHandle child) {
     if (IsNull(parent)) {
-      (void)adapter_.LogRange(&root_->root, sizeof(NodeHandle));
+      RETURN_IF_ERROR(tx.LogField(root_, &Root::root));
       root_->root = child;
       return puddles::OkStatus();
     }
@@ -343,7 +336,7 @@ class ArtIndex {
     if (slot == nullptr) {
       return puddles::InternalError("art: parent slot vanished during replace");
     }
-    (void)adapter_.LogRange(slot, sizeof(NodeHandle));
+    RETURN_IF_ERROR(tx.LogRange(slot, sizeof(NodeHandle)));
     *slot = child;
     return puddles::OkStatus();
   }
@@ -368,18 +361,18 @@ class ArtIndex {
   // Adds `child` under edge `byte`, promoting the node to the next variant
   // when full (4 -> 16 -> 48 -> 256). The promoted copy is fresh; the old
   // node is published out via the parent slot and freed.
-  puddles::Status AddChild(NodeHandle node_handle, NodeHandle parent, uint8_t parent_byte,
-                           uint8_t byte, NodeHandle child) {
+  puddles::Status AddChild(Ctx& tx, NodeHandle node_handle, NodeHandle parent,
+                           uint8_t parent_byte, uint8_t byte, NodeHandle child) {
     NodeBase* node = Base(node_handle);
     switch (node->type) {
       case kArtNode4: {
         Node4* n = reinterpret_cast<Node4*>(node);
         if (node->num_children < 4) {
-          (void)adapter_.Log(n);
+          RETURN_IF_ERROR(tx.Log(n));
           InsertSorted(n, byte, child);
           return puddles::OkStatus();
         }
-        ASSIGN_OR_RETURN(auto grown, adapter_.template Alloc<Node16>());
+        ASSIGN_OR_RETURN(auto grown, tx.template Alloc<Node16>());
         Node16* g = adapter_.Get(grown);
         InitBase(&g->base, kArtNode16, node->prefix, node->prefix_len);
         std::memset(g->keys, 0, sizeof(g->keys));
@@ -392,19 +385,19 @@ class ArtIndex {
         }
         g->base.num_children = 4;
         InsertSorted(g, byte, child);
-        RETURN_IF_ERROR(ReplaceChild(parent, parent_byte,
+        RETURN_IF_ERROR(ReplaceChild(tx, parent, parent_byte,
                                      Adapter::template HandleCast<NodeBase>(grown)));
-        FreeDetached(node_handle);
+        FreeDetached(tx, node_handle);
         return puddles::OkStatus();
       }
       case kArtNode16: {
         Node16* n = reinterpret_cast<Node16*>(node);
         if (node->num_children < 16) {
-          (void)adapter_.Log(n);
+          RETURN_IF_ERROR(tx.Log(n));
           InsertSorted(n, byte, child);
           return puddles::OkStatus();
         }
-        ASSIGN_OR_RETURN(auto grown, adapter_.template Alloc<Node48>());
+        ASSIGN_OR_RETURN(auto grown, tx.template Alloc<Node48>());
         Node48* g = adapter_.Get(grown);
         InitBase(&g->base, kArtNode48, node->prefix, node->prefix_len);
         std::memset(g->child_index, kEmptySlot, sizeof(g->child_index));
@@ -418,23 +411,23 @@ class ArtIndex {
         g->child_index[byte] = 16;
         g->children[16] = child;
         g->base.num_children = 17;
-        RETURN_IF_ERROR(ReplaceChild(parent, parent_byte,
+        RETURN_IF_ERROR(ReplaceChild(tx, parent, parent_byte,
                                      Adapter::template HandleCast<NodeBase>(grown)));
-        FreeDetached(node_handle);
+        FreeDetached(tx, node_handle);
         return puddles::OkStatus();
       }
       case kArtNode48: {
         Node48* n = reinterpret_cast<Node48*>(node);
         if (node->num_children < 48) {
-          (void)adapter_.LogRange(&n->base, sizeof(NodeBase));
-          (void)adapter_.LogRange(&n->child_index[byte], 1);
-          (void)adapter_.LogRange(&n->children[node->num_children], sizeof(NodeHandle));
+          RETURN_IF_ERROR(tx.LogRange(&n->base, sizeof(NodeBase)));
+          RETURN_IF_ERROR(tx.LogRange(&n->child_index[byte], 1));
+          RETURN_IF_ERROR(tx.LogRange(&n->children[node->num_children], sizeof(NodeHandle)));
           n->children[node->num_children] = child;
           n->child_index[byte] = static_cast<uint8_t>(node->num_children);
           n->base.num_children++;
           return puddles::OkStatus();
         }
-        ASSIGN_OR_RETURN(auto grown, adapter_.template Alloc<Node256>());
+        ASSIGN_OR_RETURN(auto grown, tx.template Alloc<Node256>());
         Node256* g = adapter_.Get(grown);
         InitBase(&g->base, kArtNode256, node->prefix, node->prefix_len);
         for (auto& c : g->children) {
@@ -447,15 +440,15 @@ class ArtIndex {
         }
         g->children[byte] = child;
         g->base.num_children = 49;
-        RETURN_IF_ERROR(ReplaceChild(parent, parent_byte,
+        RETURN_IF_ERROR(ReplaceChild(tx, parent, parent_byte,
                                      Adapter::template HandleCast<NodeBase>(grown)));
-        FreeDetached(node_handle);
+        FreeDetached(tx, node_handle);
         return puddles::OkStatus();
       }
       case kArtNode256: {
         Node256* n = reinterpret_cast<Node256*>(node);
-        (void)adapter_.LogRange(&n->base, sizeof(NodeBase));
-        (void)adapter_.LogRange(&n->children[byte], sizeof(NodeHandle));
+        RETURN_IF_ERROR(tx.LogRange(&n->base, sizeof(NodeBase)));
+        RETURN_IF_ERROR(tx.LogRange(&n->children[byte], sizeof(NodeHandle)));
         n->children[byte] = child;
         n->base.num_children++;
         return puddles::OkStatus();
@@ -465,10 +458,10 @@ class ArtIndex {
     }
   }
 
-  puddles::Status InsertInTx(uint64_t key, uint64_t value) {
+  puddles::Status InsertInTx(Ctx& tx, uint64_t key, uint64_t value) {
     if (IsNull(root_->root)) {
-      ASSIGN_OR_RETURN(NodeHandle leaf, NewLeaf(key, value));
-      (void)adapter_.Log(root_);
+      ASSIGN_OR_RETURN(NodeHandle leaf, NewLeaf(tx, key, value));
+      RETURN_IF_ERROR(tx.Log(root_));
       root_->root = leaf;
       root_->size = 1;
       return puddles::OkStatus();
@@ -483,7 +476,7 @@ class ArtIndex {
       if (node->type == kArtLeaf) {
         Leaf* leaf = reinterpret_cast<Leaf*>(node);
         if (leaf->key == key) {
-          (void)adapter_.LogRange(&leaf->value, sizeof(uint64_t));
+          RETURN_IF_ERROR(tx.LogField(leaf, &Leaf::value));
           leaf->value = value;
           return puddles::OkStatus();
         }
@@ -497,13 +490,13 @@ class ArtIndex {
         for (uint32_t i = 0; i < common; ++i) {
           prefix[i] = KeyByte(key, depth + i);
         }
-        ASSIGN_OR_RETURN(NodeHandle split, NewNode4(prefix, common));
-        ASSIGN_OR_RETURN(NodeHandle new_leaf, NewLeaf(key, value));
+        ASSIGN_OR_RETURN(NodeHandle split, NewNode4(tx, prefix, common));
+        ASSIGN_OR_RETURN(NodeHandle new_leaf, NewLeaf(tx, key, value));
         Node4* s = reinterpret_cast<Node4*>(Base(split));
         InsertSorted(s, KeyByte(leaf->key, depth + common), cursor);
         InsertSorted(s, KeyByte(key, depth + common), new_leaf);
-        RETURN_IF_ERROR(ReplaceChild(parent, parent_byte, split));
-        (void)adapter_.LogRange(&root_->size, sizeof(uint64_t));
+        RETURN_IF_ERROR(ReplaceChild(tx, parent, parent_byte, split));
+        RETURN_IF_ERROR(tx.LogField(root_, &Root::size));
         root_->size++;
         return puddles::OkStatus();
       }
@@ -515,19 +508,19 @@ class ArtIndex {
         // Publish before shrinking the old node's prefix: every step that
         // can fail (allocation, slot lookup) runs before the first in-place
         // mutation, so an error never commits a half-split.
-        ASSIGN_OR_RETURN(NodeHandle split, NewNode4(node->prefix, mismatch));
-        ASSIGN_OR_RETURN(NodeHandle new_leaf, NewLeaf(key, value));
+        ASSIGN_OR_RETURN(NodeHandle split, NewNode4(tx, node->prefix, mismatch));
+        ASSIGN_OR_RETURN(NodeHandle new_leaf, NewLeaf(tx, key, value));
         const uint8_t edge = node->prefix[mismatch];
         Node4* s = reinterpret_cast<Node4*>(Base(split));
         InsertSorted(s, edge, cursor);
         InsertSorted(s, KeyByte(key, depth + mismatch), new_leaf);
-        RETURN_IF_ERROR(ReplaceChild(parent, parent_byte, split));
-        (void)adapter_.LogRange(node, sizeof(NodeBase));
+        RETURN_IF_ERROR(ReplaceChild(tx, parent, parent_byte, split));
+        RETURN_IF_ERROR(tx.LogRange(node, sizeof(NodeBase)));
         const uint32_t remainder = node->prefix_len - mismatch - 1;
         std::memmove(node->prefix, node->prefix + mismatch + 1, remainder);
         std::memset(node->prefix + remainder, 0, kArtMaxPrefixLen - remainder);
         node->prefix_len = static_cast<uint16_t>(remainder);
-        (void)adapter_.LogRange(&root_->size, sizeof(uint64_t));
+        RETURN_IF_ERROR(tx.LogField(root_, &Root::size));
         root_->size++;
         return puddles::OkStatus();
       }
@@ -542,9 +535,9 @@ class ArtIndex {
         ++depth;
         continue;
       }
-      ASSIGN_OR_RETURN(NodeHandle new_leaf, NewLeaf(key, value));
-      RETURN_IF_ERROR(AddChild(cursor, parent, parent_byte, byte, new_leaf));
-      (void)adapter_.LogRange(&root_->size, sizeof(uint64_t));
+      ASSIGN_OR_RETURN(NodeHandle new_leaf, NewLeaf(tx, key, value));
+      RETURN_IF_ERROR(AddChild(tx, cursor, parent, parent_byte, byte, new_leaf));
+      RETURN_IF_ERROR(tx.LogField(root_, &Root::size));
       root_->size++;
       return puddles::OkStatus();
     }
@@ -552,8 +545,7 @@ class ArtIndex {
 
   // Demotion fill helpers: copy the (post-removal) source into a target the
   // caller allocated *before* mutating the source, so an allocation failure
-  // can never strand a half-removed node (the adapters' TxRun commits the
-  // body regardless of its status).
+  // can never strand a half-removed node.
   void FillDemoted(Node4* d, const Node16* n) {
     InitBase(&d->base, kArtNode4, n->base.prefix, n->base.prefix_len);
     std::memset(d->keys, 0, sizeof(d->keys));
@@ -605,7 +597,7 @@ class ArtIndex {
   // Collapses a single-child Node4 into its child: a leaf is hoisted as-is;
   // an inner child absorbs (node prefix + edge byte) at the front of its own
   // prefix. Publishes the survivor under `parent` and frees the node.
-  puddles::Status CollapseNode4(NodeHandle node_handle, NodeHandle parent,
+  puddles::Status CollapseNode4(Ctx& tx, NodeHandle node_handle, NodeHandle parent,
                                 uint8_t parent_byte) {
     Node4* n = reinterpret_cast<Node4*>(Base(node_handle));
     const uint8_t edge = n->keys[0];
@@ -616,20 +608,20 @@ class ArtIndex {
       if (child->prefix_len + shift > kArtMaxPrefixLen) {
         return puddles::InternalError("art: merged prefix exceeds the key length");
       }
-      (void)adapter_.LogRange(child, sizeof(NodeBase));
+      RETURN_IF_ERROR(tx.LogRange(child, sizeof(NodeBase)));
       std::memmove(child->prefix + shift, child->prefix, child->prefix_len);
       std::memcpy(child->prefix, n->base.prefix, n->base.prefix_len);
       child->prefix[n->base.prefix_len] = edge;
       child->prefix_len = static_cast<uint16_t>(child->prefix_len + shift);
     }
-    RETURN_IF_ERROR(ReplaceChild(parent, parent_byte, survivor));
-    FreeDetached(node_handle);
+    RETURN_IF_ERROR(ReplaceChild(tx, parent, parent_byte, survivor));
+    FreeDetached(tx, node_handle);
     return puddles::OkStatus();
   }
 
   // Removes the child under `byte`, demoting when occupancy drops well below
   // the next smaller variant (hysteresis) and collapsing single-child Node4s.
-  puddles::Status RemoveChild(NodeHandle node_handle, NodeHandle parent,
+  puddles::Status RemoveChild(Ctx& tx, NodeHandle node_handle, NodeHandle parent,
                               uint8_t parent_byte, uint8_t byte) {
     NodeBase* node = Base(node_handle);
     switch (node->type) {
@@ -642,14 +634,14 @@ class ArtIndex {
         if (pos == node->num_children) {
           return puddles::InternalError("art: removed edge missing from Node4");
         }
-        (void)adapter_.Log(n);
+        RETURN_IF_ERROR(tx.Log(n));
         for (int i = pos; i + 1 < node->num_children; ++i) {
           n->keys[i] = n->keys[i + 1];
           n->children[i] = n->children[i + 1];
         }
         node->num_children--;
         if (node->num_children == 1) {
-          return CollapseNode4(node_handle, parent, parent_byte);
+          return CollapseNode4(tx, node_handle, parent, parent_byte);
         }
         return puddles::OkStatus();
       }
@@ -665,9 +657,9 @@ class ArtIndex {
         const bool demote = node->num_children == 4;  // 3 after removal.
         typename Adapter::template Handle<Node4> shrunk{};
         if (demote) {
-          ASSIGN_OR_RETURN(shrunk, adapter_.template Alloc<Node4>());
+          ASSIGN_OR_RETURN(shrunk, tx.template Alloc<Node4>());
         }
-        (void)adapter_.Log(n);
+        RETURN_IF_ERROR(tx.Log(n));
         for (int i = pos; i + 1 < node->num_children; ++i) {
           n->keys[i] = n->keys[i + 1];
           n->children[i] = n->children[i + 1];
@@ -675,9 +667,9 @@ class ArtIndex {
         node->num_children--;
         if (demote) {
           FillDemoted(adapter_.Get(shrunk), n);
-          RETURN_IF_ERROR(ReplaceChild(parent, parent_byte,
+          RETURN_IF_ERROR(ReplaceChild(tx, parent, parent_byte,
                                        Adapter::template HandleCast<NodeBase>(shrunk)));
-          FreeDetached(node_handle);
+          FreeDetached(tx, node_handle);
         }
         return puddles::OkStatus();
       }
@@ -689,9 +681,9 @@ class ArtIndex {
         const bool demote = node->num_children == 13;  // 12 after removal.
         typename Adapter::template Handle<Node16> shrunk{};
         if (demote) {
-          ASSIGN_OR_RETURN(shrunk, adapter_.template Alloc<Node16>());
+          ASSIGN_OR_RETURN(shrunk, tx.template Alloc<Node16>());
         }
-        (void)adapter_.Log(n);
+        RETURN_IF_ERROR(tx.Log(n));
         const uint8_t slot = n->child_index[byte];
         const uint8_t last = static_cast<uint8_t>(node->num_children - 1);
         if (slot != last) {
@@ -709,9 +701,9 @@ class ArtIndex {
         node->num_children--;
         if (demote) {
           FillDemoted(adapter_.Get(shrunk), n);
-          RETURN_IF_ERROR(ReplaceChild(parent, parent_byte,
+          RETURN_IF_ERROR(ReplaceChild(tx, parent, parent_byte,
                                        Adapter::template HandleCast<NodeBase>(shrunk)));
-          FreeDetached(node_handle);
+          FreeDetached(tx, node_handle);
         }
         return puddles::OkStatus();
       }
@@ -720,17 +712,17 @@ class ArtIndex {
         const bool demote = node->num_children == 41;  // 40 after removal.
         typename Adapter::template Handle<Node48> shrunk{};
         if (demote) {
-          ASSIGN_OR_RETURN(shrunk, adapter_.template Alloc<Node48>());
+          ASSIGN_OR_RETURN(shrunk, tx.template Alloc<Node48>());
         }
-        (void)adapter_.LogRange(&n->base, sizeof(NodeBase));
-        (void)adapter_.LogRange(&n->children[byte], sizeof(NodeHandle));
+        RETURN_IF_ERROR(tx.LogRange(&n->base, sizeof(NodeBase)));
+        RETURN_IF_ERROR(tx.LogRange(&n->children[byte], sizeof(NodeHandle)));
         n->children[byte] = NullNode();
         node->num_children--;
         if (demote) {
           FillDemoted(adapter_.Get(shrunk), n);
-          RETURN_IF_ERROR(ReplaceChild(parent, parent_byte,
+          RETURN_IF_ERROR(ReplaceChild(tx, parent, parent_byte,
                                        Adapter::template HandleCast<NodeBase>(shrunk)));
-          FreeDetached(node_handle);
+          FreeDetached(tx, node_handle);
         }
         return puddles::OkStatus();
       }
@@ -739,7 +731,7 @@ class ArtIndex {
     }
   }
 
-  puddles::Status EraseInTx(uint64_t key) {
+  puddles::Status EraseInTx(Ctx& tx, uint64_t key) {
     NodeHandle grand = NullNode();
     uint8_t grand_byte = 0;
     NodeHandle parent = NullNode();
@@ -754,16 +746,16 @@ class ArtIndex {
           return puddles::NotFoundError("key not in tree");
         }
         if (IsNull(parent)) {
-          (void)adapter_.Log(root_);
+          RETURN_IF_ERROR(tx.Log(root_));
           root_->root = NullNode();
           root_->size--;
-          FreeDetached(cursor);
+          FreeDetached(tx, cursor);
           return puddles::OkStatus();
         }
-        RETURN_IF_ERROR(RemoveChild(parent, grand, grand_byte, parent_byte));
-        (void)adapter_.LogRange(&root_->size, sizeof(uint64_t));
+        RETURN_IF_ERROR(RemoveChild(tx, parent, grand, grand_byte, parent_byte));
+        RETURN_IF_ERROR(tx.LogField(root_, &Root::size));
         root_->size--;
-        FreeDetached(cursor);
+        FreeDetached(tx, cursor);
         return puddles::OkStatus();
       }
       if (PrefixMismatch(node, key, depth) < node->prefix_len) {

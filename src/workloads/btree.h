@@ -25,6 +25,7 @@ class PersistentBTree {
  public:
   struct Node;
   using NodeHandle = typename Adapter::template Handle<Node>;
+  using Ctx = typename Adapter::TxCtx;
 
   struct Node {
     NodeHandle children[kBTreeOrder];  // Internal nodes only.
@@ -41,17 +42,11 @@ class PersistentBTree {
   };
 
   static void RegisterTypes() {
-    Adapter::template RegisterType<Node>({
-        offsetof(Node, children) + 0 * sizeof(NodeHandle),
-        offsetof(Node, children) + 1 * sizeof(NodeHandle),
-        offsetof(Node, children) + 2 * sizeof(NodeHandle),
-        offsetof(Node, children) + 3 * sizeof(NodeHandle),
-        offsetof(Node, children) + 4 * sizeof(NodeHandle),
-        offsetof(Node, children) + 5 * sizeof(NodeHandle),
-        offsetof(Node, children) + 6 * sizeof(NodeHandle),
-        offsetof(Node, children) + 7 * sizeof(NodeHandle),
-    });
-    Adapter::template RegisterType<Root>({offsetof(Root, root)});
+    // The child array registers as a repeat region with its extent deduced
+    // from the member type — the eight hand-counted offset entries this
+    // used to take cannot drift now.
+    Adapter::template RegisterType<Node>(&Node::children);
+    Adapter::template RegisterType<Root>(&Root::root);
   }
 
   explicit PersistentBTree(Adapter adapter) : adapter_(adapter) {}
@@ -63,19 +58,13 @@ class PersistentBTree {
       root_ = adapter_.Get(existing);
       return puddles::OkStatus();
     }
-    puddles::Status status = puddles::OkStatus();
-    RETURN_IF_ERROR(adapter_.TxRun([&] {
-      auto allocated = adapter_.template Alloc<Root>();
-      if (!allocated.ok()) {
-        status = allocated.status();
-        return;
-      }
-      Root* root = adapter_.Get(*allocated);
+    RETURN_IF_ERROR(adapter_.TxRun([&](Ctx& tx) -> puddles::Status {
+      ASSIGN_OR_RETURN(RootHandle allocated, tx.template Alloc<Root>());
+      Root* root = adapter_.Get(allocated);
       root->root = Adapter::template Null<Node>();
       root->size = 0;
-      status = adapter_.SetRoot(*allocated);
+      return adapter_.SetRoot(allocated);
     }));
-    RETURN_IF_ERROR(status);
     root_ = adapter_.Get(adapter_.template Root<Root>());
     return puddles::OkStatus();
   }
@@ -102,15 +91,12 @@ class PersistentBTree {
   }
 
   puddles::Status Insert(uint64_t key, uint64_t value) {
-    puddles::Status status = puddles::OkStatus();
-    RETURN_IF_ERROR(adapter_.TxRun([&] { status = InsertInTx(key, value); }));
-    return status;
+    return adapter_.TxRun(
+        [&](Ctx& tx) -> puddles::Status { return InsertInTx(tx, key, value); });
   }
 
   puddles::Status Delete(uint64_t key) {
-    puddles::Status status = puddles::OkStatus();
-    RETURN_IF_ERROR(adapter_.TxRun([&] { status = DeleteInTx(key); }));
-    return status;
+    return adapter_.TxRun([&](Ctx& tx) -> puddles::Status { return DeleteInTx(tx, key); });
   }
 
   uint64_t size() const { return root_->size; }
@@ -147,8 +133,8 @@ class PersistentBTree {
     return i;
   }
 
-  puddles::Result<NodeHandle> NewNode(bool leaf) {
-    ASSIGN_OR_RETURN(NodeHandle handle, adapter_.template Alloc<Node>());
+  puddles::Result<NodeHandle> NewNode(Ctx& tx, bool leaf) {
+    ASSIGN_OR_RETURN(NodeHandle handle, tx.template Alloc<Node>());
     Node* node = adapter_.Get(handle);
     node->num_keys = 0;
     node->is_leaf = leaf ? 1 : 0;
@@ -160,12 +146,12 @@ class PersistentBTree {
   }
 
   // Splits full child `index` of `parent` (caller logged the parent).
-  puddles::Status SplitChild(Node* parent, int index) {
+  puddles::Status SplitChild(Ctx& tx, Node* parent, int index) {
     NodeHandle left_handle = parent->children[index];
     Node* left = adapter_.Get(left_handle);
-    ASSIGN_OR_RETURN(NodeHandle right_handle, NewNode(left->is_leaf != 0));
+    ASSIGN_OR_RETURN(NodeHandle right_handle, NewNode(tx, left->is_leaf != 0));
     Node* right = adapter_.Get(right_handle);
-    (void)adapter_.Log(left);
+    RETURN_IF_ERROR(tx.Log(left));
 
     constexpr int kMid = kBTreeMaxKeys / 2;  // 3 for order 8.
     uint64_t separator;
@@ -201,10 +187,10 @@ class PersistentBTree {
     return puddles::OkStatus();
   }
 
-  puddles::Status InsertInTx(uint64_t key, uint64_t value) {
-    (void)adapter_.Log(root_);
+  puddles::Status InsertInTx(Ctx& tx, uint64_t key, uint64_t value) {
+    RETURN_IF_ERROR(tx.Log(root_));
     if (IsNull(root_->root)) {
-      ASSIGN_OR_RETURN(NodeHandle leaf, NewNode(true));
+      ASSIGN_OR_RETURN(NodeHandle leaf, NewNode(tx, true));
       Node* node = adapter_.Get(leaf);
       node->keys[0] = key;
       node->values[0] = value;
@@ -215,10 +201,10 @@ class PersistentBTree {
     }
 
     if (adapter_.Get(root_->root)->num_keys == kBTreeMaxKeys) {
-      ASSIGN_OR_RETURN(NodeHandle new_root_handle, NewNode(false));
+      ASSIGN_OR_RETURN(NodeHandle new_root_handle, NewNode(tx, false));
       Node* new_root = adapter_.Get(new_root_handle);
       new_root->children[0] = root_->root;
-      RETURN_IF_ERROR(SplitChild(new_root, 0));
+      RETURN_IF_ERROR(SplitChild(tx, new_root, 0));
       root_->root = new_root_handle;
     }
 
@@ -226,7 +212,7 @@ class PersistentBTree {
     while (true) {
       Node* node = adapter_.Get(cursor);
       if (node->is_leaf) {
-        (void)adapter_.Log(node);
+        RETURN_IF_ERROR(tx.Log(node));
         int i = 0;
         while (i < node->num_keys && key > node->keys[i]) {
           ++i;
@@ -247,8 +233,8 @@ class PersistentBTree {
       }
       int i = RouteIndex(node, key);
       if (adapter_.Get(node->children[i])->num_keys == kBTreeMaxKeys) {
-        (void)adapter_.Log(node);
-        RETURN_IF_ERROR(SplitChild(node, i));
+        RETURN_IF_ERROR(tx.Log(node));
+        RETURN_IF_ERROR(SplitChild(tx, node, i));
         if (key >= node->keys[i]) {
           ++i;
         }
@@ -257,20 +243,20 @@ class PersistentBTree {
     }
   }
 
-  puddles::Status DeleteInTx(uint64_t key) {
+  puddles::Status DeleteInTx(Ctx& tx, uint64_t key) {
     NodeHandle cursor = root_->root;
     while (!IsNull(cursor)) {
       Node* node = adapter_.Get(cursor);
       if (node->is_leaf) {
         for (int i = 0; i < node->num_keys; ++i) {
           if (node->keys[i] == key) {
-            (void)adapter_.Log(node);
+            RETURN_IF_ERROR(tx.Log(node));
             for (int j = i; j + 1 < node->num_keys; ++j) {
               node->keys[j] = node->keys[j + 1];
               node->values[j] = node->values[j + 1];
             }
             node->num_keys--;
-            (void)adapter_.Log(root_);
+            RETURN_IF_ERROR(tx.Log(root_));
             root_->size--;
             return puddles::OkStatus();
           }

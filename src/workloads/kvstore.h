@@ -23,6 +23,7 @@ class KvStore {
  public:
   struct Entry;
   using EntryHandle = typename Adapter::template Handle<Entry>;
+  using Ctx = typename Adapter::TxCtx;
 
   struct Entry {
     EntryHandle next;
@@ -43,11 +44,12 @@ class KvStore {
   };
 
   static void RegisterTypes() {
-    Adapter::template RegisterType<Entry>({offsetof(Entry, next)});
-    // Bucket arrays are arrays-of-handles; register as an array of one-handle
-    // elements so relocation strides correctly.
-    Adapter::template RegisterType<BucketArray>({0});
-    Adapter::template RegisterType<Table>({offsetof(Table, buckets)});
+    Adapter::template RegisterType<Entry>(&Entry::next);
+    // Bucket arrays are arrays-of-handles; the one-slot element registers as
+    // a (single-slot) repeat region so relocation strides correctly across
+    // the allocated num_buckets elements.
+    Adapter::template RegisterType<BucketArray>(&BucketArray::slots);
+    Adapter::template RegisterType<Table>(&Table::buckets);
   }
 
   explicit KvStore(Adapter adapter) : adapter_(adapter) {}
@@ -60,29 +62,20 @@ class KvStore {
       buckets_ = adapter_.Get(table_->buckets);
       return puddles::OkStatus();
     }
-    puddles::Status status = puddles::OkStatus();
-    RETURN_IF_ERROR(adapter_.TxRun([&] {
-      auto table = adapter_.template Alloc<Table>();
-      if (!table.ok()) {
-        status = table.status();
-        return;
-      }
-      auto buckets = adapter_.template Alloc<BucketArray>(num_buckets);
-      if (!buckets.ok()) {
-        status = buckets.status();
-        return;
-      }
-      Table* t = adapter_.Get(*table);
-      t->buckets = *buckets;
+    RETURN_IF_ERROR(adapter_.TxRun([&](Ctx& tx) -> puddles::Status {
+      ASSIGN_OR_RETURN(TableHandle table, tx.template Alloc<Table>());
+      ASSIGN_OR_RETURN(BucketArrayHandle buckets,
+                       tx.template Alloc<BucketArray>(num_buckets));
+      Table* t = adapter_.Get(table);
+      t->buckets = buckets;
       t->num_buckets = num_buckets;
       t->size = 0;
-      BucketArray* b = adapter_.Get(*buckets);
+      BucketArray* b = adapter_.Get(buckets);
       for (uint64_t i = 0; i < num_buckets; ++i) {
         b->slots[i] = Adapter::template Null<Entry>();
       }
-      status = adapter_.SetRoot(*table);
+      return adapter_.SetRoot(table);
     }));
-    RETURN_IF_ERROR(status);
     table_ = adapter_.Get(adapter_.template Root<Table>());
     buckets_ = adapter_.Get(table_->buckets);
     return puddles::OkStatus();
@@ -92,36 +85,31 @@ class KvStore {
   puddles::Status Put(std::string_view key, const char* value) {
     const uint64_t hash = puddles::Fnv1a64(key.data(), key.size());
     const uint64_t bucket = hash % table_->num_buckets;
-    puddles::Status status = puddles::OkStatus();
-    RETURN_IF_ERROR(adapter_.TxRun([&] {
+    return adapter_.TxRun([&](Ctx& tx) -> puddles::Status {
       // Update in place if present.
       for (EntryHandle cursor = buckets_->slots[bucket]; !IsNull(cursor);) {
         Entry* entry = adapter_.Get(cursor);
         if (entry->key_hash == hash && key == entry->key) {
-          (void)adapter_.LogRange(entry->value, kKvValueSize);
+          RETURN_IF_ERROR(tx.LogRange(entry->value, kKvValueSize));
           std::memcpy(entry->value, value, kKvValueSize);
-          return;
+          return puddles::OkStatus();
         }
         cursor = entry->next;
       }
       // Insert at the bucket head.
-      auto allocated = adapter_.template Alloc<Entry>();
-      if (!allocated.ok()) {
-        status = allocated.status();
-        return;
-      }
-      Entry* entry = adapter_.Get(*allocated);
+      ASSIGN_OR_RETURN(EntryHandle allocated, tx.template Alloc<Entry>());
+      Entry* entry = adapter_.Get(allocated);
       entry->key_hash = hash;
       std::memset(entry->key, 0, kKvKeyMax);
       std::memcpy(entry->key, key.data(), std::min(key.size(), kKvKeyMax - 1));
       std::memcpy(entry->value, value, kKvValueSize);
-      (void)adapter_.LogRange(&buckets_->slots[bucket], sizeof(EntryHandle));
+      RETURN_IF_ERROR(tx.LogRange(&buckets_->slots[bucket], sizeof(EntryHandle)));
       entry->next = buckets_->slots[bucket];
-      buckets_->slots[bucket] = *allocated;
-      (void)adapter_.LogRange(&table_->size, sizeof(uint64_t));
+      buckets_->slots[bucket] = allocated;
+      RETURN_IF_ERROR(tx.LogField(table_, &Table::size));
       table_->size++;
-    }));
-    return status;
+      return puddles::OkStatus();
+    });
   }
 
   bool Get(std::string_view key, char* value_out) const {
@@ -142,24 +130,22 @@ class KvStore {
   puddles::Status Delete(std::string_view key) {
     const uint64_t hash = puddles::Fnv1a64(key.data(), key.size());
     const uint64_t bucket = hash % table_->num_buckets;
-    puddles::Status status = puddles::NotFoundError("key absent");
-    RETURN_IF_ERROR(adapter_.TxRun([&] {
+    return adapter_.TxRun([&](Ctx& tx) -> puddles::Status {
       EntryHandle* link = &buckets_->slots[bucket];
       for (EntryHandle cursor = *link; !IsNull(cursor);) {
         Entry* entry = adapter_.Get(cursor);
         if (entry->key_hash == hash && key == entry->key) {
-          (void)adapter_.LogRange(link, sizeof(EntryHandle));
+          RETURN_IF_ERROR(tx.LogRange(link, sizeof(EntryHandle)));
           *link = entry->next;
-          (void)adapter_.LogRange(&table_->size, sizeof(uint64_t));
+          RETURN_IF_ERROR(tx.LogField(table_, &Table::size));
           table_->size--;
-          status = adapter_.Free(cursor);
-          return;
+          return tx.Free(cursor);
         }
         link = &entry->next;
         cursor = entry->next;
       }
-    }));
-    return status;
+      return puddles::NotFoundError("key absent");
+    });
   }
 
   // YCSB SCAN: read up to `count` entries starting at the key's bucket

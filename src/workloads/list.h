@@ -14,6 +14,7 @@ class PersistentList {
  public:
   struct Node;
   using NodeHandle = typename Adapter::template Handle<Node>;
+  using Ctx = typename Adapter::TxCtx;
 
   struct Node {
     NodeHandle next;
@@ -27,8 +28,8 @@ class PersistentList {
   };
 
   static void RegisterTypes() {
-    Adapter::template RegisterType<Node>({offsetof(Node, next)});
-    Adapter::template RegisterType<Head>({offsetof(Head, head), offsetof(Head, tail)});
+    Adapter::template RegisterType<Node>(&Node::next);
+    Adapter::template RegisterType<Head>(&Head::head, &Head::tail);
   }
 
   using HeadHandle = typename Adapter::template Handle<Head>;
@@ -42,49 +43,37 @@ class PersistentList {
       head_ = adapter_.Get(existing);
       return puddles::OkStatus();
     }
-    puddles::Status status = puddles::OkStatus();
-    RETURN_IF_ERROR(adapter_.TxRun([&] {
-      auto allocated = adapter_.template Alloc<Head>();
-      if (!allocated.ok()) {
-        status = allocated.status();
-        return;
-      }
-      Head* head = adapter_.Get(*allocated);
+    RETURN_IF_ERROR(adapter_.TxRun([&](Ctx& tx) -> puddles::Status {
+      ASSIGN_OR_RETURN(HeadHandle allocated, tx.template Alloc<Head>());
+      Head* head = adapter_.Get(allocated);
       head->head = Adapter::template Null<Node>();
       head->tail = Adapter::template Null<Node>();
       head->count = 0;
-      status = adapter_.SetRoot(*allocated);
+      return adapter_.SetRoot(allocated);
     }));
-    RETURN_IF_ERROR(status);
     head_ = adapter_.Get(adapter_.template Root<Head>());
     return puddles::OkStatus();
   }
 
   // Fig. 9 "Insert": append a new tail node.
   puddles::Status InsertTail(uint64_t value) {
-    puddles::Status status = puddles::OkStatus();
-    RETURN_IF_ERROR(adapter_.TxRun([&] {
-      auto allocated = adapter_.template Alloc<Node>();
-      if (!allocated.ok()) {
-        status = allocated.status();
-        return;
-      }
-      NodeHandle handle = *allocated;
+    return adapter_.TxRun([&](Ctx& tx) -> puddles::Status {
+      ASSIGN_OR_RETURN(NodeHandle handle, tx.template Alloc<Node>());
       Node* node = adapter_.Get(handle);
       node->value = value;
       node->next = Adapter::template Null<Node>();
-      (void)adapter_.Log(head_);
+      RETURN_IF_ERROR(tx.Log(head_));
       if (IsNull(head_->tail)) {
         head_->head = handle;
       } else {
         Node* tail = adapter_.Get(head_->tail);
-        (void)adapter_.LogRange(&tail->next, sizeof(NodeHandle));
+        RETURN_IF_ERROR(tx.LogField(tail, &Node::next));
         tail->next = handle;
       }
       head_->tail = handle;
       head_->count++;
-    }));
-    return status;
+      return puddles::OkStatus();
+    });
   }
 
   // Fig. 9 "Delete": remove the head node.
@@ -92,19 +81,17 @@ class PersistentList {
     if (IsNull(head_->head)) {
       return puddles::FailedPreconditionError("list empty");
     }
-    puddles::Status status = puddles::OkStatus();
-    RETURN_IF_ERROR(adapter_.TxRun([&] {
+    return adapter_.TxRun([&](Ctx& tx) -> puddles::Status {
       NodeHandle victim = head_->head;
       Node* node = adapter_.Get(victim);
-      (void)adapter_.Log(head_);
+      RETURN_IF_ERROR(tx.Log(head_));
       head_->head = node->next;
       if (IsNull(head_->head)) {
         head_->tail = Adapter::template Null<Node>();
       }
       head_->count--;
-      status = adapter_.Free(victim);
-    }));
-    return status;
+      return tx.Free(victim);
+    });
   }
 
   // Fig. 9 "Traversal": sum every node's value. Pure pointer chasing — where

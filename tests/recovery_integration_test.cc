@@ -81,13 +81,11 @@ std::pair<uint64_t, uint64_t> RunCrashScenario(const fs::path& root, const char*
     Transaction::SetStageHook(&CrashAtStage);
     bool crashed = false;
     try {
-      TX_BEGIN(**pool) {
-        // Shadow the thread's log puddle now that it exists.
-        TX_ADD(&account->balance);
+      EXPECT_TRUE((*pool)->Run([&](Tx& tx) -> puddles::Status {
+        RETURN_IF_ERROR(tx.LogField(account, &Account::balance));
         account->balance = 250;
-        TX_REDO_SET(&account->version, uint64_t{2});
-      }
-      TX_END;
+        return tx.Set(&account->version, uint64_t{2});
+      }).ok());
     } catch (const SimulatedCrash&) {
       crashed = true;
     }
@@ -187,11 +185,11 @@ TEST_F(RecoveryIntegrationTest, RecoveryConfinedByPermissions) {
     g_stage = "s1_flushed";
     Transaction::SetStageHook(&CrashAtStage);
     try {
-      TX_BEGIN(**pool) {
-        TX_ADD(&account->balance);
+      EXPECT_TRUE((*pool)->Run([&](Tx& tx) -> puddles::Status {
+        RETURN_IF_ERROR(tx.LogField(account, &Account::balance));
         account->balance = 2;
-      }
-      TX_END;
+        return puddles::OkStatus();
+      }).ok());
     } catch (const SimulatedCrash&) {
     }
     Transaction::SetStageHook(nullptr);
@@ -244,11 +242,11 @@ TEST_F(RecoveryIntegrationTest, RepeatedCrashesStayConsistent) {
     Transaction::SetStageHook(&CrashAtStage);
     bool crashed = false;
     try {
-      TX_BEGIN(**pool) {
-        TX_ADD(&account->balance);
+      EXPECT_TRUE((*pool)->Run([&](Tx& tx) -> puddles::Status {
+        RETURN_IF_ERROR(tx.LogField(account, &Account::balance));
         account->balance = before + 1000;
-      }
-      TX_END;
+        return puddles::OkStatus();
+      }).ok());
     } catch (const SimulatedCrash&) {
       crashed = true;
     }

@@ -32,8 +32,8 @@ namespace fs = std::filesystem;
 void RegisterTypes() {
   static bool done = [] {
     (void)TypeRegistry::Instance().Register<RelocNode>({offsetof(RelocNode, next)});
-    (void)TypeRegistry::Instance().Register<RelocHead>(
-        {offsetof(RelocHead, head), offsetof(RelocHead, tail)});
+    (void)TypeRegistry::Instance().Register<RelocHead>(&RelocHead::head,
+                                                       &RelocHead::tail);
     return true;
   }();
   (void)done;
@@ -68,31 +68,30 @@ class RelocationTest : public ::testing::Test {
     auto pool = runtime_->CreatePool(name);
     EXPECT_TRUE(pool.ok());
     Pool& p = **pool;
-    TX_BEGIN(p) {
-      RelocHead* head = *p.Malloc<RelocHead>();
+    EXPECT_TRUE(p.Run([&](Tx& tx) -> puddles::Status {
+      ASSIGN_OR_RETURN(RelocHead * head, tx.Alloc<RelocHead>());
       head->head = nullptr;
       head->tail = nullptr;
       head->count = 0;
-      EXPECT_TRUE(p.SetRoot(head).ok());
-    }
-    TX_END;
+      return p.SetRoot(head);
+    }).ok());
     for (uint64_t i = 0; i < n; ++i) {
-      TX_BEGIN(p) {
-        RelocHead* head = *p.Root<RelocHead>();
-        RelocNode* node = *p.Malloc<RelocNode>();
+      EXPECT_TRUE(p.Run([&](Tx& tx) -> puddles::Status {
+        ASSIGN_OR_RETURN(RelocHead * head, p.Root<RelocHead>());
+        ASSIGN_OR_RETURN(RelocNode * node, tx.Alloc<RelocNode>());
         node->value = i;
         node->next = nullptr;
-        TX_ADD(head);
+        RETURN_IF_ERROR(tx.Log(head));
         if (head->tail == nullptr) {
           head->head = node;
         } else {
-          TX_ADD(&head->tail->next);
+          RETURN_IF_ERROR(tx.LogField(head->tail, &RelocNode::next));
           head->tail->next = node;
         }
         head->tail = node;
         head->count++;
-      }
-      TX_END;
+        return OkStatus();
+      }).ok()) << i;
     }
     return &p;
   }
@@ -149,11 +148,11 @@ TEST_F(RelocationTest, ImportedCopyConflictsAndRelocates) {
   EXPECT_NE(source_head, copy_head);
 
   // Writes to the copy do not bleed into the source.
-  TX_BEGIN(**copy) {
-    TX_ADD(&copy_head->value);
+  ASSERT_TRUE((*copy)->Run([&](Tx& tx) -> puddles::Status {
+    RETURN_IF_ERROR(tx.LogField(copy_head, &RelocNode::value));
     copy_head->value += 5000;
-  }
-  TX_END;
+    return OkStatus();
+  }).ok());
   EXPECT_EQ(SumList(**copy), expected + 5000);
   EXPECT_EQ(SumList(*source), expected);
 

@@ -1,7 +1,7 @@
 // End-to-end tests of the Libpuddles runtime over an embedded daemon: pools,
-// typed allocation, roots, PMDK-style transactions (Fig. 4a / Fig. 8),
-// persistence across process "restarts", cross-pool transactions, and
-// on-demand fault mapping.
+// typed allocation, roots, typed transaction contexts (pool.Run + Tx,
+// DESIGN.md §9), persistence across process "restarts", cross-pool
+// transactions, on-demand fault mapping, and the deprecated macro shims.
 #include <gtest/gtest.h>
 #include <unistd.h>
 
@@ -26,9 +26,8 @@ struct ListHead {
 
 void RegisterListTypes() {
   static bool done = [] {
-    (void)TypeRegistry::Instance().Register<ListNode>({offsetof(ListNode, next)});
-    (void)TypeRegistry::Instance().Register<ListHead>(
-        {offsetof(ListHead, head), offsetof(ListHead, tail)});
+    PUDDLES_TYPE(ListNode, &ListNode::next);
+    PUDDLES_TYPE(ListHead, &ListHead::head, &ListHead::tail);
     return true;
   }();
   (void)done;
@@ -115,33 +114,32 @@ TEST_F(RuntimePoolTest, TransactionalListAppend) {
   ASSERT_TRUE(pool_result.ok());
   Pool& pool = **pool_result;
 
-  // Build the list head inside a transaction (Fig. 8 pattern).
-  TX_BEGIN(pool) {
-    ListHead* head = *pool.Malloc<ListHead>();
+  // Build the list head inside a transaction (Fig. 8 pattern, typed form).
+  ASSERT_TRUE(pool.Run([&](Tx& tx) -> puddles::Status {
+    ASSIGN_OR_RETURN(ListHead * head, tx.Alloc<ListHead>());
     head->head = nullptr;
     head->tail = nullptr;
     head->count = 0;
-    ASSERT_TRUE(pool.SetRoot(head).ok());
-  }
-  TX_END;
+    return pool.SetRoot(head);
+  }).ok());
 
   for (uint64_t i = 0; i < 100; ++i) {
-    TX_BEGIN(pool) {
-      ListHead* head = *pool.Root<ListHead>();
-      ListNode* node = *pool.Malloc<ListNode>();
+    ASSERT_TRUE(pool.Run([&](Tx& tx) -> puddles::Status {
+      ASSIGN_OR_RETURN(ListHead * head, pool.Root<ListHead>());
+      ASSIGN_OR_RETURN(ListNode * node, tx.Alloc<ListNode>());
       node->value = i;
       node->next = nullptr;
-      TX_ADD(head);
+      RETURN_IF_ERROR(tx.Log(head));
       if (head->tail == nullptr) {
         head->head = node;
       } else {
-        TX_ADD(&head->tail->next);
+        RETURN_IF_ERROR(tx.LogField(head->tail, &ListNode::next));
         head->tail->next = node;
       }
       head->tail = node;
       head->count++;
-    }
-    TX_END;
+      return OkStatus();
+    }).ok()) << i;
   }
 
   ListHead* head = *pool.Root<ListHead>();
@@ -163,22 +161,23 @@ TEST_F(RuntimePoolTest, AbortRollsBackListMutation) {
   ASSERT_TRUE(pool_result.ok());
   Pool& pool = **pool_result;
 
-  TX_BEGIN(pool) {
-    ListHead* head = *pool.Malloc<ListHead>();
+  ASSERT_TRUE(pool.Run([&](Tx& tx) -> puddles::Status {
+    ASSIGN_OR_RETURN(ListHead * head, tx.Alloc<ListHead>());
     head->head = nullptr;
     head->tail = nullptr;
     head->count = 5;
-    ASSERT_TRUE(pool.SetRoot(head).ok());
-  }
-  TX_END;
+    return pool.SetRoot(head);
+  }).ok());
 
-  TX_BEGIN(pool) {
-    ListHead* head = *pool.Root<ListHead>();
-    TX_ADD(head);
+  // A non-OK return aborts: the callback's status comes back verbatim and
+  // the undo log rolls the mutation back.
+  puddles::Status aborted = pool.Run([&](Tx& tx) -> puddles::Status {
+    ASSIGN_OR_RETURN(ListHead * head, pool.Root<ListHead>());
+    RETURN_IF_ERROR(tx.Log(head));
     head->count = 999;
-    TxAbort();
-  }
-  TX_END;
+    return AbortedError("caller changed its mind");
+  });
+  EXPECT_EQ(aborted.code(), StatusCode::kAborted);
 
   EXPECT_EQ((*pool.Root<ListHead>())->count, 5u);
 }
@@ -193,17 +192,16 @@ TEST_F(RuntimePoolTest, FreeInsideTxIsDeferredAndRollbackSafe) {
   pmem::FlushFence(node, sizeof(*node));
 
   // Aborted free: object must survive with contents intact.
-  TX_BEGIN(pool) {
-    ASSERT_TRUE(pool.Free(node).ok());
+  puddles::Status aborted = pool.Run([&](Tx& tx) -> puddles::Status {
+    RETURN_IF_ERROR(tx.Free(node));
     EXPECT_EQ(node->value, 123u) << "free is deferred: bytes untouched inside tx";
-    TxAbort();
-  }
-  TX_END;
+    return AbortedError("roll the free back");
+  });
+  EXPECT_EQ(aborted.code(), StatusCode::kAborted);
   EXPECT_EQ(node->value, 123u);
 
   // Committed free: object is gone; allocation can reuse the slot.
-  TX_BEGIN(pool) { ASSERT_TRUE(pool.Free(node).ok()); }
-  TX_END;
+  ASSERT_TRUE(pool.Run([&](Tx& tx) { return tx.Free(node); }).ok());
   ListNode* reused = *pool.Malloc<ListNode>();
   EXPECT_EQ(reused, node) << "slab slot should be reusable after committed free";
 }
@@ -278,30 +276,30 @@ TEST_F(RuntimePoolTest, CrossPoolTransaction) {
   pmem::FlushFence(in_a, sizeof(*in_a));
   pmem::FlushFence(in_b, sizeof(*in_b));
 
-  TX_BEGIN(**pool_a) {
-    TX_ADD(in_a);
-    TX_ADD(in_b);  // Data from a different pool, same transaction.
+  ASSERT_TRUE((*pool_a)->Run([&](Tx& tx) -> puddles::Status {
+    RETURN_IF_ERROR(tx.Log(in_a));
+    RETURN_IF_ERROR(tx.Log(in_b));  // Data from a different pool, same transaction.
     in_a->value = 10;
     in_b->value = 20;
     // Cross-pool pointer (§3.4: single persistent space makes this legal).
-    TX_ADD(&in_a->next);
+    RETURN_IF_ERROR(tx.LogField(in_a, &ListNode::next));
     in_a->next = in_b;
-  }
-  TX_END;
+    return OkStatus();
+  }).ok());
 
   EXPECT_EQ(in_a->value, 10u);
   EXPECT_EQ(in_b->value, 20u);
   EXPECT_EQ(in_a->next, in_b);
 
   // Abort path across pools.
-  TX_BEGIN(**pool_b) {
-    TX_ADD(in_a);
-    TX_ADD(in_b);
+  puddles::Status aborted = (*pool_b)->Run([&](Tx& tx) -> puddles::Status {
+    RETURN_IF_ERROR(tx.Log(in_a));
+    RETURN_IF_ERROR(tx.Log(in_b));
     in_a->value = 111;
     in_b->value = 222;
-    TxAbort();
-  }
-  TX_END;
+    return AbortedError("cross-pool abort");
+  });
+  EXPECT_EQ(aborted.code(), StatusCode::kAborted);
   EXPECT_EQ(in_a->value, 10u);
   EXPECT_EQ(in_b->value, 20u);
 }
@@ -334,13 +332,50 @@ TEST_F(RuntimePoolTest, RedoSetAppliesAtCommit) {
   head->count = 1;
   pmem::FlushFence(head, sizeof(*head));
 
-  TX_BEGIN(pool) {
-    TX_REDO_SET(&head->count, uint64_t{2});
+  ASSERT_TRUE(pool.Run([&](Tx& tx) -> puddles::Status {
+    RETURN_IF_ERROR(tx.Set(&head->count, uint64_t{2}));
     EXPECT_EQ(head->count, 1u) << "redo defers until commit (Fig. 7)";
-  }
-  TX_END;
+    return OkStatus();
+  }).ok());
   EXPECT_EQ(head->count, 2u);
 }
+
+#ifndef PUDDLES_STRICT_API
+// Legacy-compat: the deprecated macro surface keeps working over the same
+// core — implicit-join allocation inside TX_BEGIN, TX_ADD, TxAbort.
+TEST_F(RuntimePoolTest, LegacyMacroShimsStillWork) {
+  auto pool_result = runtime_->CreatePool("legacy");
+  ASSERT_TRUE(pool_result.ok());
+  Pool& pool = **pool_result;
+
+  TX_BEGIN(pool) {
+    ListHead* head = *pool.Malloc<ListHead>();
+    head->head = nullptr;
+    head->tail = nullptr;
+    head->count = 41;
+    ASSERT_TRUE(pool.SetRoot(head).ok());
+  }
+  TX_END;
+  ASSERT_TRUE(tx_internal::LastLegacyCommitStatus().ok());
+
+  TX_BEGIN(pool) {
+    ListHead* head = *pool.Root<ListHead>();
+    TX_ADD(head);
+    head->count++;
+  }
+  TX_END;
+  EXPECT_EQ((*pool.Root<ListHead>())->count, 42u);
+
+  TX_BEGIN(pool) {
+    ListHead* head = *pool.Root<ListHead>();
+    TX_ADD(head);
+    head->count = 999;
+    TxAbort();
+  }
+  TX_END;
+  EXPECT_EQ((*pool.Root<ListHead>())->count, 42u) << "TxAbort must roll back";
+}
+#endif  // !PUDDLES_STRICT_API
 
 }  // namespace
 }  // namespace puddles

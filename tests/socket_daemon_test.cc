@@ -112,11 +112,11 @@ TEST_F(SocketDaemonTest, FullRuntimeOverSocketTransport) {
   ASSERT_TRUE((*pool)->SetRootBytes(counter).ok());
 
   for (int i = 0; i < 10; ++i) {
-    TX_BEGIN(**pool) {
-      TX_ADD(&counter->value);
+    ASSERT_TRUE((*pool)->Run([&](Tx& tx) -> puddles::Status {
+      RETURN_IF_ERROR(tx.LogField(counter, &Counter::value));
       counter->value++;
-    }
-    TX_END;
+      return OkStatus();
+    }).ok());
   }
   EXPECT_EQ(counter->value, 10u);
 

@@ -74,9 +74,9 @@ class TransactionTest : public ::testing::Test {
   void TearDown() override {
     Transaction::SetStageHook(nullptr);
     pmem::ShadowRegistry::Instance().DetachAll();
-    if (Transaction* tx = Transaction::Current()) {
-      (void)tx->Abort();
-    }
+    // Drop any transaction a failed test left open. The TxEnv (and its log
+    // buffer) is already gone, so state is abandoned, not aborted.
+    Transaction::AbandonCurrentForTesting();
   }
 };
 
@@ -105,7 +105,7 @@ TEST_F(TransactionTest, AbortRollsBackUndoChanges) {
   slot = 2;
   ASSERT_TRUE((*tx)->Abort().ok());
   EXPECT_EQ(slot, 1u);
-  EXPECT_EQ(Transaction::Current(), nullptr);
+  EXPECT_FALSE((*tx)->active());
 }
 
 TEST_F(TransactionTest, RedoDefersUntilCommit) {
@@ -168,9 +168,9 @@ TEST_F(TransactionTest, FlatNesting) {
   slot = 3;
   ASSERT_TRUE((*inner)->Commit().ok());
   EXPECT_EQ(slot, 3u) << "inner commit must not publish yet";
-  EXPECT_NE(Transaction::Current(), nullptr);
+  EXPECT_TRUE((*outer)->active()) << "outer level still open";
   ASSERT_TRUE((*outer)->Commit().ok());
-  EXPECT_EQ(Transaction::Current(), nullptr);
+  EXPECT_FALSE((*outer)->active());
 }
 
 TEST_F(TransactionTest, DeferredFreeRunsAtCommitOnly) {
@@ -215,6 +215,13 @@ TEST_F(TransactionTest, LogGrowsIntoChain) {
   EXPECT_GT(env.released(), 0) << "grown regions returned after commit";
 }
 
+#ifndef PUDDLES_STRICT_API
+
+// ---- Legacy macro shims (deprecated TX_BEGIN surface). ----
+//
+// These stay as regression coverage for out-of-tree code; strict-API builds
+// poison the macros, so the whole section compiles away.
+
 TEST_F(TransactionTest, TxMacrosCommitAndAbort) {
   TxEnv env;
   alignas(64) uint64_t slot = 1;
@@ -233,6 +240,8 @@ TEST_F(TransactionTest, TxMacrosCommitAndAbort) {
   }
   TX_END;
   EXPECT_EQ(slot, 42u) << "TxAbort must roll back";
+  EXPECT_EQ(tx_internal::LastLegacyCommitStatus().code(), StatusCode::kAborted)
+      << "an unwound scope must not leave the previous commit status standing";
 
   // A user exception aborts and propagates.
   bool caught = false;
@@ -250,11 +259,73 @@ TEST_F(TransactionTest, TxMacrosCommitAndAbort) {
   EXPECT_EQ(slot, 42u);
 }
 
+// Regression (issue 4 satellite): the old macros dereferenced the null
+// thread-local when used outside TX_BEGIN — a guaranteed segfault. The shims
+// must return FailedPrecondition instead.
+TEST_F(TransactionTest, MacroTargetsOutsideTransactionFailCleanly) {
+  alignas(64) uint64_t slot = 7;
+  puddles::Status added = tx_internal::LegacyAddUndo(&slot, sizeof(slot));
+  EXPECT_EQ(added.code(), StatusCode::kFailedPrecondition);
+  const uint64_t next = 9;
+  puddles::Status redone = tx_internal::LegacyRedoSet(&slot, next);
+  EXPECT_EQ(redone.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(slot, 7u) << "failed logging must not touch the target";
+  // The statement forms are safe no-ops as well (this used to crash).
+  TX_ADD(&slot);
+  TX_ADD_RANGE(&slot, sizeof(slot));
+  TX_REDO_SET(&slot, next);
+  EXPECT_EQ(slot, 7u);
+}
+
+// Regression (issue 4 satellite): a commit failure in the macro path used to
+// throw std::runtime_error out of ~TxScope — terminate() territory when the
+// scope unwinds for any other reason. It must abort and record the status.
+TEST_F(TransactionTest, TxScopeCommitFailureDoesNotThrow) {
+  TxEnv env;
+  alignas(64) uint64_t slot = 1;
+  EXPECT_NO_THROW({
+    TX_BEGIN(env) {
+      if (Transaction* tx = tx_internal::ImplicitTransaction()) {
+        tx->DeferFree([] { return InternalError("deferred free exploded"); });
+      }
+      TX_ADD(&slot);
+      slot = 2;
+    }
+    TX_END;
+  });
+  EXPECT_EQ(tx_internal::LastLegacyCommitStatus().code(), StatusCode::kInternal);
+  EXPECT_EQ(slot, 1u) << "failed commit must roll back via the undo log";
+
+  // A clean commit resets the recorded status.
+  TX_BEGIN(env) {
+    TX_ADD(&slot);
+    slot = 3;
+  }
+  TX_END;
+  EXPECT_TRUE(tx_internal::LastLegacyCommitStatus().ok());
+  EXPECT_EQ(slot, 3u);
+}
+
+#endif  // !PUDDLES_STRICT_API
+
 TEST_F(TransactionTest, BeginRequiresArmedLog) {
   TxEnv env;
   env.log().SetSeqRange(2, 4);
   auto tx = env.BeginTx();
   EXPECT_FALSE(tx.ok());
+}
+
+TEST_F(TransactionTest, DoubleCommitRejected) {
+  TxEnv env;
+  alignas(64) uint64_t slot = 1;
+  auto tx = env.BeginTx();
+  ASSERT_TRUE(tx.ok());
+  ASSERT_TRUE((*tx)->AddUndo(&slot, sizeof(slot)).ok());
+  slot = 2;
+  ASSERT_TRUE((*tx)->Commit().ok());
+  EXPECT_EQ((*tx)->Commit().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ((*tx)->Abort().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(slot, 2u);
 }
 
 // ---- Crash injection at every commit stage (paper §5.1 correctness). ----
@@ -360,9 +431,7 @@ class CrashTortureTest : public ::testing::TestWithParam<uint64_t> {
   void TearDown() override {
     Transaction::SetStageHook(nullptr);
     pmem::ShadowRegistry::Instance().DetachAll();
-    if (Transaction* tx = Transaction::Current()) {
-      (void)tx->Abort();
-    }
+    Transaction::AbandonCurrentForTesting();
   }
 };
 

@@ -1,7 +1,7 @@
 // Multi-threaded transactions on a shared pool — the Fig. 12 shape promoted
 // from a benchmark to a correctness gate. N threads run many small
 // transactions concurrently against one pool (thread-local logs created
-// lazily on each thread's first TX_BEGIN, commits fully concurrent), then the
+// lazily on each thread's first pool.Run, commits fully concurrent), then the
 // daemon is shut down and restarted: recovery must land every committed
 // increment and none of the aborted ones, and the reopened pool must accept
 // new concurrent transactions from fresh threads.
@@ -40,12 +40,9 @@ class TxConcurrencyTest : public ::testing::Test {
             ::testing::UnitTest::GetInstance()->current_test_info()->name());
     fs::remove_all(dir_);
     fs::create_directories(dir_);
-    (void)TypeRegistry::Instance().Register<Shard>({
-        offsetof(Shard, cells) + 0 * sizeof(uint64_t*),
-        offsetof(Shard, cells) + 1 * sizeof(uint64_t*),
-        offsetof(Shard, cells) + 2 * sizeof(uint64_t*),
-        offsetof(Shard, cells) + 3 * sizeof(uint64_t*),
-    });
+    // The pointer array registers as one repeat region; its count comes
+    // from the member's extent (kThreads), not a hand-maintained list.
+    (void)TypeRegistry::Instance().Register<Shard>(&Shard::cells);
     Start(/*create=*/true);
   }
 
@@ -77,22 +74,17 @@ class TxConcurrencyTest : public ::testing::Test {
 
   Shard* InitShard() {
     Shard* shard = nullptr;
-    TX_BEGIN(*pool_) {
-      auto allocated = pool_->Malloc<Shard>();
-      EXPECT_TRUE(allocated.ok());
-      shard = *allocated;
+    EXPECT_TRUE(pool_->Run([&](Tx& tx) -> puddles::Status {
+      ASSIGN_OR_RETURN(shard, tx.Alloc<Shard>());
       for (int t = 0; t < kThreads; ++t) {
-        auto cells = pool_->Malloc<uint64_t>(kCellsPerThread);
-        EXPECT_TRUE(cells.ok());
-        shard->cells[t] = *cells;
+        ASSIGN_OR_RETURN(shard->cells[t], tx.Alloc<uint64_t>(kCellsPerThread));
         for (uint64_t i = 0; i < kCellsPerThread; ++i) {
           shard->cells[t][i] = 0;
         }
         shard->committed_rounds[t] = 0;
       }
-      EXPECT_TRUE(pool_->SetRoot(shard).ok());
-    }
-    TX_END;
+      return pool_->SetRoot(shard);
+    }).ok());
     return shard;
   }
 
@@ -107,33 +99,33 @@ class TxConcurrencyTest : public ::testing::Test {
 void RunRound(Pool& pool, Shard* shard, int t) {
   uint64_t* cells = shard->cells[t];
   for (uint64_t at = 0; at < kCellsPerThread; at += kChunk) {
-    TX_BEGIN(pool) {
-      TX_ADD_RANGE(&cells[at], kChunk * sizeof(uint64_t));
+    ASSERT_TRUE(pool.Run([&](Tx& tx) -> puddles::Status {
+      RETURN_IF_ERROR(tx.LogRange(&cells[at], kChunk * sizeof(uint64_t)));
       for (uint64_t i = at; i < at + kChunk; ++i) {
         cells[i] += static_cast<uint64_t>(t) + 1;
       }
-    }
-    TX_END;
+      return OkStatus();
+    }).ok());
   }
-  TX_BEGIN(pool) {
-    TX_ADD(&shard->committed_rounds[t]);
+  ASSERT_TRUE(pool.Run([&](Tx& tx) -> puddles::Status {
+    RETURN_IF_ERROR(tx.LogRange(&shard->committed_rounds[t], sizeof(uint64_t)));
     shard->committed_rounds[t]++;
-  }
-  TX_END;
+    return OkStatus();
+  }).ok());
 }
 
 // An aborted round: same stores, rolled back via the undo log. Nothing from
 // it may survive — neither in memory nor across recovery.
 void RunAbortedRound(Pool& pool, Shard* shard, int t) {
   uint64_t* cells = shard->cells[t];
-  TX_BEGIN(pool) {
-    TX_ADD_RANGE(&cells[0], kChunk * sizeof(uint64_t));
+  puddles::Status aborted = pool.Run([&](Tx& tx) -> puddles::Status {
+    RETURN_IF_ERROR(tx.LogRange(&cells[0], kChunk * sizeof(uint64_t)));
     for (uint64_t i = 0; i < kChunk; ++i) {
       cells[i] += 0xDEAD;
     }
-    TxAbort();
-  }
-  TX_END;
+    return AbortedError("aborted round");
+  });
+  ASSERT_EQ(aborted.code(), StatusCode::kAborted);
 }
 
 TEST_F(TxConcurrencyTest, ConcurrentCommitsSurviveReopen) {
