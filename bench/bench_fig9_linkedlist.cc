@@ -6,6 +6,7 @@
 // traversal advantage for Puddles over PMDK).
 #include "bench/bench_env.h"
 #include "bench/bench_util.h"
+#include "src/pmem/flush.h"
 #include "src/workloads/list.h"
 
 namespace {
@@ -17,6 +18,7 @@ struct Row {
   double insert_s;
   double delete_s;
   double traverse_s;
+  double insert_fences;  // Ordering points per insert (DESIGN.md §10).
 };
 
 template <typename Adapter>
@@ -27,12 +29,15 @@ Row RunList(const char* name, Adapter adapter, uint64_t ops) {
     std::abort();
   }
 
-  Row row{name, 0, 0, 0};
+  Row row{name, 0, 0, 0, 0};
+  const uint64_t fences_before = pmem::ReadPersistStats().fences;
   Timer timer;
   for (uint64_t i = 0; i < ops; ++i) {
     (void)list.InsertTail(i);
   }
   row.insert_s = timer.Seconds();
+  row.insert_fences = static_cast<double>(pmem::ReadPersistStats().fences - fences_before) /
+                      static_cast<double>(ops);
 
   // Traversal: repeated full-list sums totalling ~10M node visits (the
   // paper's per-op count), so the measurement is noise-free at any scale.
@@ -57,8 +62,8 @@ int main() {
   const uint64_t ops = bench::Scaled(200000);
   bench::PrintHeader("Figure 9: linked list (insert / delete / traverse)",
                      "paper Fig. 9, 10M ops each on Optane");
-  std::printf("%-12s %14s %14s %14s\n", "library", "insert (s)", "delete (s)",
-              "traverse (s)");
+  std::printf("%-12s %14s %14s %14s %16s\n", "library", "insert (s)", "delete (s)",
+              "traverse (s)", "fences/insert");
 
   auto dir = bench::ScratchDir("fig9");
   std::vector<Row> rows;
@@ -76,8 +81,8 @@ int main() {
   }
 
   for (const Row& row : rows) {
-    std::printf("%-12s %14.3f %14.3f %14.3f\n", row.lib, row.insert_s, row.delete_s,
-                row.traverse_s);
+    std::printf("%-12s %14.3f %14.3f %14.3f %16.2f\n", row.lib, row.insert_s, row.delete_s,
+                row.traverse_s, row.insert_fences);
   }
   const Row& pmdk = rows[0];
   const Row& puddles = rows[1];

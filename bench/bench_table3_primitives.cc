@@ -7,6 +7,7 @@
 // log/store/commit primitives. Strict-API builds drop the legacy column.
 #include "bench/bench_env.h"
 #include "bench/bench_util.h"
+#include "src/pmem/flush.h"
 #include "src/tx/tx.h"
 
 namespace {
@@ -100,6 +101,38 @@ Column RunPuddlesTyped(bench::PuddlesEnv& env, uint64_t iters) {
     });
   }
   col.malloc_free_4k = NsPerOp(alloc_iters, timer.Seconds());
+  return col;
+}
+
+// Persist-ordering cost of each typed primitive: fences per transaction,
+// measured on the real instruction stream. The batched-persistence protocol
+// (DESIGN.md §10) makes these constants — they no longer scale with the
+// number of logged ranges (BENCH_commit.json tracks the trajectory).
+struct FenceColumn {
+  double tx_nop;
+  double tx_add_8;
+  double tx_add_4k;
+  double malloc_free_8;
+};
+
+FenceColumn MeasureTypedFences(bench::PuddlesEnv& env) {
+  FenceColumn col{};
+  puddles::Pool& pool = *env.pool;
+  Scratch scratch = AllocScratch(pool);
+  col.tx_nop = bench::FencesPerOp(
+      [&] { (void)pool.Run([](puddles::Tx&) { return puddles::OkStatus(); }); });
+  col.tx_add_8 = bench::FencesPerOp([&] {
+    (void)pool.Run([&](puddles::Tx& tx) { return tx.LogRange(scratch.small, 8); });
+  });
+  col.tx_add_4k = bench::FencesPerOp([&] {
+    (void)pool.Run([&](puddles::Tx& tx) { return tx.LogRange(scratch.big, 4096); });
+  });
+  col.malloc_free_8 = bench::FencesPerOp([&] {
+    (void)pool.Run([&](puddles::Tx& tx) -> puddles::Status {
+      ASSIGN_OR_RETURN(void* p, tx.AllocBytes(8, puddles::kRawBytesTypeId));
+      return tx.FreeBytes(p);
+    });
+  });
   return col;
 }
 
@@ -253,9 +286,11 @@ int main() {
   // The two Puddles environments run sequentially (daemons share the global
   // puddle-space reservation).
   Column typed_col{};
+  FenceColumn typed_fences{};
   {
     bench::PuddlesEnv typed_env(dir / "typed");
     typed_col = RunPuddlesTyped(typed_env, iters);
+    typed_fences = MeasureTypedFences(typed_env);
   }
   Column legacy_col{};  // Stays zero when the legacy surface is disabled.
 #ifndef PUDDLES_STRICT_API
@@ -287,6 +322,12 @@ int main() {
       pmdk_col.malloc_free_8);
   row("malloc+free 4kB", typed_col.malloc_free_4k, legacy_col.malloc_free_4k,
       pmdk_col.malloc_free_4k);
+
+  std::printf("\npersist ordering (fences per transaction, typed API; DESIGN.md §10):\n");
+  std::printf("%-22s %10.2f\n", "TX NOP", typed_fences.tx_nop);
+  std::printf("%-22s %10.2f\n", "TX_ADD 8B", typed_fences.tx_add_8);
+  std::printf("%-22s %10.2f\n", "TX_ADD 4kB", typed_fences.tx_add_4k);
+  std::printf("%-22s %10.2f\n", "malloc+free 8B", typed_fences.malloc_free_8);
   std::filesystem::remove_all(dir);
   return 0;
 }

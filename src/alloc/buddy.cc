@@ -63,45 +63,64 @@ puddles::Result<BuddyAllocator> BuddyAllocator::Attach(void* meta, void* heap, s
   return BuddyAllocator(header, state, static_cast<uint8_t*>(heap), heap_size, sink);
 }
 
-void BuddyAllocator::SetState(size_t index, uint8_t value) {
-  sink_.WillWrite(&state_[index], 1);
+void BuddyAllocator::SetState(size_t index, uint8_t value, Phase phase) {
+  if (phase == Phase::kDeclare) {
+    sink_.WillWrite(&state_[index], 1);
+    return;
+  }
   state_[index] = value;
 }
 
-void BuddyAllocator::SetFreeBytes(uint64_t value) {
-  sink_.WillWrite(&header_->free_bytes, sizeof(header_->free_bytes));
+void BuddyAllocator::SetFreeBytes(uint64_t value, Phase phase) {
+  if (phase == Phase::kDeclare) {
+    sink_.WillWrite(&header_->free_bytes, sizeof(header_->free_bytes));
+    return;
+  }
   header_->free_bytes = value;
 }
 
-void BuddyAllocator::PushFree(int64_t offset, uint32_t order) {
+void BuddyAllocator::PushFree(int64_t offset, uint32_t order, Phase phase) {
   FreeNode* node = NodeAt(offset);
-  sink_.WillWrite(node, sizeof(FreeNode));
+  if (phase == Phase::kDeclare) {
+    sink_.WillWrite(node, sizeof(FreeNode));
+    if (header_->free_head[order] >= 0) {
+      sink_.WillWrite(&NodeAt(header_->free_head[order])->prev, sizeof(int64_t));
+    }
+    sink_.WillWrite(&header_->free_head[order], sizeof(int64_t));
+    return;
+  }
   node->next = header_->free_head[order];
   node->prev = -1;
   node->order = order;
   node->check = ~order;
   if (header_->free_head[order] >= 0) {
     FreeNode* head = NodeAt(header_->free_head[order]);
-    sink_.WillWrite(&head->prev, sizeof(head->prev));
     head->prev = offset;
   }
-  sink_.WillWrite(&header_->free_head[order], sizeof(int64_t));
   header_->free_head[order] = offset;
 }
 
-void BuddyAllocator::RemoveFree(int64_t offset, uint32_t order) {
+void BuddyAllocator::RemoveFree(int64_t offset, uint32_t order, Phase phase) {
   FreeNode* node = NodeAt(offset);
+  if (phase == Phase::kDeclare) {
+    if (node->prev >= 0) {
+      sink_.WillWrite(&NodeAt(node->prev)->next, sizeof(int64_t));
+    } else {
+      sink_.WillWrite(&header_->free_head[order], sizeof(int64_t));
+    }
+    if (node->next >= 0) {
+      sink_.WillWrite(&NodeAt(node->next)->prev, sizeof(int64_t));
+    }
+    return;
+  }
   if (node->prev >= 0) {
     FreeNode* prev = NodeAt(node->prev);
-    sink_.WillWrite(&prev->next, sizeof(prev->next));
     prev->next = node->next;
   } else {
-    sink_.WillWrite(&header_->free_head[order], sizeof(int64_t));
     header_->free_head[order] = node->next;
   }
   if (node->next >= 0) {
     FreeNode* next = NodeAt(node->next);
-    sink_.WillWrite(&next->prev, sizeof(next->prev));
     next->prev = node->prev;
   }
 }
@@ -111,27 +130,45 @@ puddles::Result<int64_t> BuddyAllocator::Allocate(size_t size) {
     return InvalidArgumentError("buddy allocation size out of range");
   }
   const uint32_t want = OrderForSize(size);
-  uint32_t order = want;
-  while (order < header_->num_orders && header_->free_head[order] < 0) {
-    ++order;
+  uint32_t start_order = want;
+  while (start_order < header_->num_orders && header_->free_head[start_order] < 0) {
+    ++start_order;
   }
-  if (order >= header_->num_orders) {
+  if (start_order >= header_->num_orders) {
     return OutOfMemoryError("buddy heap exhausted");
   }
 
-  int64_t offset = header_->free_head[order];
-  RemoveFree(offset, order);
+  const int64_t offset = header_->free_head[start_order];
 
-  // Split down to the requested order, pushing the upper buddy of each split.
-  while (order > want) {
-    --order;
-    int64_t buddy = offset + static_cast<int64_t>(OrderSize(order));
-    SetState(BlockIndex(buddy), kStateFreeStart);
-    PushFree(buddy, order);
+  // Two passes over the same sequence: declare every touched range, publish
+  // the whole group under one fence, then store. The splits push at strictly
+  // descending orders while the removal touched only start_order's list, so
+  // no apply-phase store changes a value a later step (in either phase)
+  // reads.
+  for (Phase phase : {Phase::kDeclare, Phase::kApply}) {
+    if (phase == Phase::kApply) {
+      sink_.Publish();
+    }
+    RemoveFree(offset, start_order, phase);
+    if (phase == Phase::kDeclare) {
+      // Protective capture of the returned block's free-list node: if the
+      // transaction rolls back, this block is free again and free_head points
+      // at these bytes — but the caller may legitimately overwrite them (a
+      // slab header or object header lands at the block start) with the
+      // overwrite elided as a fresh-range store. The node content is
+      // reachable-after-rollback state, so the allocator owns its capture.
+      sink_.WillWrite(NodeAt(offset), sizeof(FreeNode));
+    }
+    uint32_t order = start_order;
+    while (order > want) {
+      --order;
+      int64_t buddy = offset + static_cast<int64_t>(OrderSize(order));
+      SetState(BlockIndex(buddy), kStateFreeStart, phase);
+      PushFree(buddy, order, phase);
+    }
+    SetState(BlockIndex(offset), static_cast<uint8_t>(want), phase);
+    SetFreeBytes(header_->free_bytes - OrderSize(want), phase);
   }
-
-  SetState(BlockIndex(offset), static_cast<uint8_t>(want));
-  SetFreeBytes(header_->free_bytes - OrderSize(want));
   return offset;
 }
 
@@ -144,32 +181,42 @@ puddles::Status BuddyAllocator::Free(int64_t offset) {
   if (state >= kStateFreeStart) {
     return FailedPreconditionError("buddy free: not an allocated block start");
   }
-  uint32_t order = state;
-  const size_t freed = OrderSize(order);
+  const uint32_t start_order = state;
+  const int64_t start_offset = offset;
+  const size_t freed = OrderSize(start_order);
 
-  // Coalesce with free buddies as far up as possible.
-  while (order + 1 < header_->num_orders) {
-    int64_t buddy = offset ^ static_cast<int64_t>(OrderSize(order));
-    if (static_cast<size_t>(buddy) >= heap_size_) {
-      break;
+  // Coalesce with free buddies as far up as possible. The merge decisions
+  // read state bytes and free-node fields of blocks outside the growing
+  // block, which the apply pass never stores to before reading, so both
+  // passes walk the identical merge sequence.
+  for (Phase phase : {Phase::kDeclare, Phase::kApply}) {
+    if (phase == Phase::kApply) {
+      sink_.Publish();
     }
-    if (state_[BlockIndex(buddy)] != kStateFreeStart) {
-      break;
+    uint32_t order = start_order;
+    offset = start_offset;
+    while (order + 1 < header_->num_orders) {
+      int64_t buddy = offset ^ static_cast<int64_t>(OrderSize(order));
+      if (static_cast<size_t>(buddy) >= heap_size_) {
+        break;
+      }
+      if (state_[BlockIndex(buddy)] != kStateFreeStart) {
+        break;
+      }
+      FreeNode* buddy_node = NodeAt(buddy);
+      if (buddy_node->order != order || buddy_node->check != ~order) {
+        break;
+      }
+      RemoveFree(buddy, order, phase);
+      int64_t upper = offset > buddy ? offset : buddy;
+      SetState(BlockIndex(upper), kStateInterior, phase);
+      offset = offset < buddy ? offset : buddy;
+      ++order;
     }
-    FreeNode* buddy_node = NodeAt(buddy);
-    if (buddy_node->order != order || buddy_node->check != ~order) {
-      break;
-    }
-    RemoveFree(buddy, order);
-    int64_t upper = offset > buddy ? offset : buddy;
-    SetState(BlockIndex(upper), kStateInterior);
-    offset = offset < buddy ? offset : buddy;
-    ++order;
+    SetState(BlockIndex(offset), kStateFreeStart, phase);
+    PushFree(offset, order, phase);
+    SetFreeBytes(header_->free_bytes + freed, phase);
   }
-
-  SetState(BlockIndex(offset), kStateFreeStart);
-  PushFree(offset, order);
-  SetFreeBytes(header_->free_bytes + freed);
   return OkStatus();
 }
 

@@ -9,8 +9,13 @@
 //
 // Offsets, never pointers, are stored in the metadata, so the structure is
 // position-independent — a relocated puddle's allocator state needs no
-// translation. Every impending metadata write is announced through a LogSink
-// so transactions can undo-log it (src/alloc/log_sink.h).
+// translation. Every metadata write is announced through a LogSink so
+// transactions can undo-log it (src/alloc/log_sink.h). Each operation runs in
+// two passes over the same decision sequence: a declare pass that announces
+// every range it will touch (no stores), one sink Publish() — a single fence
+// covering the whole group — and an apply pass that performs the stores. The
+// two passes stay in lockstep because every branch decision reads state that
+// the apply pass has not yet modified at that point in the sequence.
 //
 // The state-byte array additionally makes allocated blocks *discoverable*:
 // ForEachAllocated() underpins the pointer-rewriting pass of §4.2 ("puddles
@@ -102,10 +107,15 @@ class BuddyAllocator {
   static size_t OrderSize(uint32_t order) { return kMinBlockSize << order; }
   static uint32_t OrderForSize(size_t size);
 
-  void PushFree(int64_t offset, uint32_t order);
-  void RemoveFree(int64_t offset, uint32_t order);
-  void SetState(size_t index, uint8_t value);
-  void SetFreeBytes(uint64_t value);
+  // Two-pass mutation protocol: kDeclare announces ranges via the sink and
+  // must be store-free; kApply performs the stores (after the group's
+  // Publish). Helpers take the phase so declare and apply cannot drift.
+  enum class Phase { kDeclare, kApply };
+
+  void PushFree(int64_t offset, uint32_t order, Phase phase);
+  void RemoveFree(int64_t offset, uint32_t order, Phase phase);
+  void SetState(size_t index, uint8_t value, Phase phase);
+  void SetFreeBytes(uint64_t value, Phase phase);
 
   Header* header_ = nullptr;
   uint8_t* state_ = nullptr;

@@ -3,8 +3,17 @@
 // Paper §4.1/§4.5: allocator metadata updates are crash-consistent because the
 // allocator undo-logs every metadata word it is about to modify ("This new
 // node is automatically undo-logged by the allocator", Fig. 8). The allocator
-// itself stays logging-agnostic: it announces each impending write through a
-// LogSink, and the transaction runtime (src/tx/) records the undo entry.
+// itself stays logging-agnostic: it announces impending writes through a
+// LogSink, and the transaction runtime (src/tx/) records the undo entries.
+//
+// Group contract (DESIGN.md §10): WillWrite only *declares* — it stages an
+// undo capture without any ordering guarantee. The allocator must declare
+// every range of a mutation group first, call Publish() once (a single fence
+// publishes the whole staged batch), and only then perform the stores. A
+// store to a declared-but-unpublished range is a crash-consistency bug.
+// Sinks that persist eagerly (the baselines fence inside WillWrite and leave
+// publish_fn null) satisfy the contract trivially — publication just happens
+// earlier than required.
 #ifndef SRC_ALLOC_LOG_SINK_H_
 #define SRC_ALLOC_LOG_SINK_H_
 
@@ -12,15 +21,35 @@
 
 namespace puddles {
 
-// Non-owning callback: `fn(ctx, addr, size)` is invoked before [addr,
-// addr+size) is modified, while it still holds the old value.
+// Non-owning callback bundle. All members may be null (no-op sink).
 struct LogSink {
   void* ctx = nullptr;
+  // Declares that [addr, addr+size) will be modified after the next
+  // Publish(); invoked while the range still holds the old value.
   void (*fn)(void* ctx, void* addr, size_t size) = nullptr;
+  // Publication point: makes every declaration since the previous
+  // publication durable under one fence.
+  void (*publish_fn)(void* ctx) = nullptr;
+  // Marks [addr, addr+size) as freshly carved by this transaction: its old
+  // bytes are meaningless, so undo captures inside it are elided and its new
+  // contents are flushed at commit stage 1.
+  void (*fresh_fn)(void* ctx, void* addr, size_t size) = nullptr;
 
   void WillWrite(void* addr, size_t size) const {
     if (fn != nullptr) {
       fn(ctx, addr, size);
+    }
+  }
+
+  void Publish() const {
+    if (publish_fn != nullptr) {
+      publish_fn(ctx);
+    }
+  }
+
+  void NoteFresh(void* addr, size_t size) const {
+    if (fresh_fn != nullptr) {
+      fresh_fn(ctx, addr, size);
     }
   }
 };

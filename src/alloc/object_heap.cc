@@ -44,7 +44,16 @@ puddles::Result<void*> ObjectHeap::Allocate(size_t payload_size, TypeId type_id)
     ASSIGN_OR_RETURN(offset, buddy_.Allocate(total));
   }
   auto* header = reinterpret_cast<ObjectHeader*>(static_cast<uint8_t*>(buddy_.heap()) + offset);
+  // The slot/block is fresh to this transaction: a rollback frees it via the
+  // allocator-metadata entries and the bytes become unreachable, and commit
+  // stage 1 persists the new contents. Noting the fresh range FIRST makes
+  // the header declaration below a free elision for the transaction sink —
+  // while sinks without a fresh channel (the baselines persist eagerly and
+  // flush their logged ranges at their own commit) still capture and persist
+  // the header through the ordinary WillWrite path.
+  sink_.NoteFresh(header, total);
   sink_.WillWrite(header, sizeof(ObjectHeader));
+  sink_.Publish();
   header->magic = kObjectMagic;
   header->size = static_cast<uint32_t>(payload_size);
   header->type_id = type_id;
@@ -83,7 +92,11 @@ puddles::Status ObjectHeap::Free(void* payload) {
     return FailedPreconditionError("free: not a live object");
   }
   const int64_t offset = OffsetOf(header);
+  // Own declare/publish/store group: the magic must be cleared before the
+  // block returns to the allocator (a buddy free overwrites the header area
+  // with its free-list node), so it cannot ride the allocator's group.
   sink_.WillWrite(&header->magic, sizeof(header->magic));
+  sink_.Publish();
   header->magic = 0;
   if (buddy_.IsAllocatedStart(offset)) {
     return buddy_.Free(offset);

@@ -22,33 +22,46 @@ int SlabAllocator::ClassForSize(size_t total) {
   return -1;
 }
 
-void SlabAllocator::PushPartial(int class_index, int64_t slab_offset) {
+void SlabAllocator::PushPartial(int class_index, int64_t slab_offset, Phase phase) {
   SlabHeader* slab = SlabAt(slab_offset);
-  sink_.WillWrite(&slab->next_partial, sizeof(int64_t) * 2);
+  if (phase == Phase::kDeclare) {
+    sink_.WillWrite(&slab->next_partial, sizeof(int64_t) * 2);
+    if (dir_->partial_head[class_index] >= 0) {
+      sink_.WillWrite(&SlabAt(dir_->partial_head[class_index])->prev_partial, sizeof(int64_t));
+    }
+    sink_.WillWrite(&dir_->partial_head[class_index], sizeof(int64_t));
+    return;
+  }
   slab->next_partial = dir_->partial_head[class_index];
   slab->prev_partial = -1;
   if (dir_->partial_head[class_index] >= 0) {
     SlabHeader* head = SlabAt(dir_->partial_head[class_index]);
-    sink_.WillWrite(&head->prev_partial, sizeof(int64_t));
     head->prev_partial = slab_offset;
   }
-  sink_.WillWrite(&dir_->partial_head[class_index], sizeof(int64_t));
   dir_->partial_head[class_index] = slab_offset;
 }
 
-void SlabAllocator::RemovePartial(int class_index, int64_t slab_offset) {
+void SlabAllocator::RemovePartial(int class_index, int64_t slab_offset, Phase phase) {
   SlabHeader* slab = SlabAt(slab_offset);
+  if (phase == Phase::kDeclare) {
+    if (slab->prev_partial >= 0) {
+      sink_.WillWrite(&SlabAt(slab->prev_partial)->next_partial, sizeof(int64_t));
+    } else {
+      sink_.WillWrite(&dir_->partial_head[class_index], sizeof(int64_t));
+    }
+    if (slab->next_partial >= 0) {
+      sink_.WillWrite(&SlabAt(slab->next_partial)->prev_partial, sizeof(int64_t));
+    }
+    return;
+  }
   if (slab->prev_partial >= 0) {
     SlabHeader* prev = SlabAt(slab->prev_partial);
-    sink_.WillWrite(&prev->next_partial, sizeof(int64_t));
     prev->next_partial = slab->next_partial;
   } else {
-    sink_.WillWrite(&dir_->partial_head[class_index], sizeof(int64_t));
     dir_->partial_head[class_index] = slab->next_partial;
   }
   if (slab->next_partial >= 0) {
     SlabHeader* next = SlabAt(slab->next_partial);
-    sink_.WillWrite(&next->prev_partial, sizeof(int64_t));
     next->prev_partial = slab->prev_partial;
   }
 }
@@ -60,30 +73,28 @@ puddles::Result<int64_t> SlabAllocator::Allocate(size_t total) {
   }
 
   int64_t slab_offset = dir_->partial_head[class_index];
-  if (slab_offset < 0) {
-    // No partial slab: carve a new one from the buddy allocator.
+  const bool carved = slab_offset < 0;
+  if (carved) {
+    // No partial slab: carve a new one from the buddy allocator (which runs
+    // its own declare/publish/apply group). The whole block is fresh to this
+    // transaction — its old bytes are dead — so undo captures inside it are
+    // elided and commit persists its new contents instead.
     ASSIGN_OR_RETURN(slab_offset, buddy_->Allocate(kSlabBlockSize));
-    SlabHeader* slab = SlabAt(slab_offset);
-    sink_.WillWrite(slab, sizeof(SlabHeader));
-    std::memset(slab, 0, sizeof(SlabHeader));
-    slab->magic = kSlabMagic;
-    slab->class_index = static_cast<uint16_t>(class_index);
-    slab->num_slots = static_cast<uint16_t>(SlotsPerSlab(class_index));
-    slab->used = 0;
-    slab->next_partial = -1;
-    slab->prev_partial = -1;
-    PushPartial(class_index, slab_offset);
+    sink_.NoteFresh(SlabAt(slab_offset), kSlabBlockSize);
   }
 
   SlabHeader* slab = SlabAt(slab_offset);
-  // Find the first clear bit.
-  int slot = -1;
+  const int num_slots = carved ? static_cast<int>(SlotsPerSlab(class_index)) : slab->num_slots;
+  // A carved slab always hands out slot 0; otherwise find the first clear
+  // bit. Decided before the mutation group, since a carved header is not
+  // readable until the apply pass initializes it.
+  int slot = carved ? 0 : -1;
   for (int word = 0; word < 2 && slot < 0; ++word) {
     uint64_t bits = slab->bitmap[word];
     if (bits != ~0ULL) {
       int bit = __builtin_ctzll(~bits);
       int candidate = word * 64 + bit;
-      if (candidate < slab->num_slots) {
+      if (candidate < num_slots) {
         slot = candidate;
       }
     }
@@ -91,16 +102,42 @@ puddles::Result<int64_t> SlabAllocator::Allocate(size_t total) {
   if (slot < 0) {
     return InternalError("partial slab with no free slot");
   }
+  const int used_after = (carved ? 0 : slab->used) + 1;
+  const bool fills = used_after == num_slots;  // Never true when carved.
 
-  sink_.WillWrite(&slab->bitmap[slot / 64], sizeof(uint64_t));
-  slab->bitmap[slot / 64] |= 1ULL << (slot % 64);
-  sink_.WillWrite(&slab->used, sizeof(slab->used));
-  slab->used++;
-  if (slab->used == slab->num_slots) {
-    RemovePartial(class_index, slab_offset);
-    sink_.WillWrite(&slab->next_partial, sizeof(int64_t) * 2);
-    slab->next_partial = -1;
-    slab->prev_partial = -1;
+  for (Phase phase : {Phase::kDeclare, Phase::kApply}) {
+    if (phase == Phase::kApply) {
+      sink_.Publish();
+    }
+    if (carved) {
+      if (phase == Phase::kDeclare) {
+        sink_.WillWrite(slab, sizeof(SlabHeader));  // Elided: fresh block.
+      } else {
+        std::memset(slab, 0, sizeof(SlabHeader));
+        slab->magic = kSlabMagic;
+        slab->class_index = static_cast<uint16_t>(class_index);
+        slab->num_slots = static_cast<uint16_t>(num_slots);
+        slab->next_partial = -1;
+        slab->prev_partial = -1;
+      }
+      PushPartial(class_index, slab_offset, phase);
+    }
+    if (phase == Phase::kDeclare) {
+      sink_.WillWrite(&slab->bitmap[slot / 64], sizeof(uint64_t));
+      sink_.WillWrite(&slab->used, sizeof(slab->used));
+    } else {
+      slab->bitmap[slot / 64] |= 1ULL << (slot % 64);
+      slab->used++;
+    }
+    if (fills) {
+      RemovePartial(class_index, slab_offset, phase);
+      if (phase == Phase::kDeclare) {
+        sink_.WillWrite(&slab->next_partial, sizeof(int64_t) * 2);
+      } else {
+        slab->next_partial = -1;
+        slab->prev_partial = -1;
+      }
+    }
   }
   return slab_offset + static_cast<int64_t>(sizeof(SlabHeader)) +
          static_cast<int64_t>(slot) * kSlabSlotSizes[class_index];
@@ -125,22 +162,35 @@ puddles::Status SlabAllocator::Free(int64_t slot_offset) {
   }
 
   const bool was_full = slab->used == slab->num_slots;
-  sink_.WillWrite(&slab->bitmap[slot / 64], sizeof(uint64_t));
-  slab->bitmap[slot / 64] &= ~(1ULL << (slot % 64));
-  sink_.WillWrite(&slab->used, sizeof(slab->used));
-  slab->used--;
+  const bool empties = slab->used == 1;
 
-  if (slab->used == 0) {
-    // Return the whole slab to the buddy allocator.
-    if (!was_full) {
-      RemovePartial(class_index, slab_offset);
+  for (Phase phase : {Phase::kDeclare, Phase::kApply}) {
+    if (phase == Phase::kApply) {
+      sink_.Publish();
     }
-    sink_.WillWrite(&slab->magic, sizeof(slab->magic));
-    slab->magic = 0;
-    return buddy_->Free(slab_offset);
+    if (phase == Phase::kDeclare) {
+      sink_.WillWrite(&slab->bitmap[slot / 64], sizeof(uint64_t));
+      sink_.WillWrite(&slab->used, sizeof(slab->used));
+    } else {
+      slab->bitmap[slot / 64] &= ~(1ULL << (slot % 64));
+      slab->used--;
+    }
+    if (empties) {
+      if (!was_full) {
+        RemovePartial(class_index, slab_offset, phase);
+      }
+      if (phase == Phase::kDeclare) {
+        sink_.WillWrite(&slab->magic, sizeof(slab->magic));
+      } else {
+        slab->magic = 0;
+      }
+    } else if (was_full) {
+      PushPartial(class_index, slab_offset, phase);
+    }
   }
-  if (was_full) {
-    PushPartial(class_index, slab_offset);
+  if (empties) {
+    // Return the whole slab to the buddy allocator (its own group).
+    return buddy_->Free(slab_offset);
   }
   return OkStatus();
 }

@@ -95,8 +95,13 @@ class SlabAllocator {
     return (kSlabBlockSize - sizeof(SlabHeader)) / kSlabSlotSizes[class_index];
   }
 
-  void PushPartial(int class_index, int64_t slab_offset);
-  void RemovePartial(int class_index, int64_t slab_offset);
+  // Two-pass mutation protocol (see buddy.h): declare announces ranges
+  // through the sink without storing; apply stores after the group's single
+  // Publish() fence.
+  enum class Phase { kDeclare, kApply };
+
+  void PushPartial(int class_index, int64_t slab_offset, Phase phase);
+  void RemovePartial(int class_index, int64_t slab_offset, Phase phase);
 
   SlabDirectory* dir_;
   BuddyAllocator* buddy_;

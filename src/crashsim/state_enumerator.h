@@ -31,7 +31,11 @@ struct EnumerationOptions {
   // Hard cap on generated states (deterministic stride down-sampling).
   uint64_t max_states = 512;
   // Seeded random eviction subsets generated per epoch with in-flight lines.
-  uint32_t eviction_subsets_per_epoch = 2;
+  // Batched commit persistence (DESIGN.md §10) collapsed the fence count, so
+  // each epoch is a wider window with more in-flight lines; five subsets per
+  // epoch keeps the explored-state budget (and scenario diversity per
+  // window) at least where it was under fence-per-append.
+  uint32_t eviction_subsets_per_epoch = 5;
   // Probability that a maybe-durable line is included in a subset.
   double eviction_probability = 0.5;
   uint64_t seed = 1;

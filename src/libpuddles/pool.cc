@@ -15,8 +15,13 @@ LogSink TxSink(Transaction* tx) {
   if (tx == nullptr) {
     return {};
   }
-  return LogSink{tx, [](void* ctx, void* addr, size_t size) {
-                   (void)static_cast<Transaction*>(ctx)->AddUndo(addr, size);
+  return LogSink{tx,
+                 [](void* ctx, void* addr, size_t size) {
+                   (void)static_cast<Transaction*>(ctx)->AddUndoDeferred(addr, size);
+                 },
+                 [](void* ctx) { static_cast<Transaction*>(ctx)->PublishStaged(); },
+                 [](void* ctx, void* addr, size_t size) {
+                   static_cast<Transaction*>(ctx)->NoteFreshRange(addr, size);
                  }};
 }
 
@@ -79,11 +84,10 @@ puddles::Result<void*> Pool::MallocBytes(size_t size, TypeId type_id, Transactio
         pmem::FlushFence(reinterpret_cast<uint8_t*>(entry->view.header()) +
                              entry->view.header()->meta_offset,
                          entry->view.header()->meta_size);
-      } else {
-        // Inside a transaction: the caller's stores into the fresh object are
-        // part of the transaction, so commit must flush them (stage 1).
-        tx->NoteFreshRange(*allocated, size);
       }
+      // Inside a transaction the allocator already announced the fresh block
+      // through the sink (NoteFresh), so the caller's stores into it are
+      // flushed at commit stage 1 — no extra bookkeeping here.
       return *allocated;
     }
     if (allocated.status().code() != StatusCode::kOutOfMemory) {

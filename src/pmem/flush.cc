@@ -4,6 +4,8 @@
 #include <cpuid.h>
 #endif
 
+#include <algorithm>
+
 #include "src/common/align.h"
 #include "src/pmem/shadow.h"
 
@@ -173,6 +175,52 @@ void FlushFence(const void* addr, size_t size) {
 void PersistStore64(uint64_t* dst, uint64_t value) {
   *dst = value;
   FlushFence(dst, sizeof(*dst));
+}
+
+void FlushBatch::Add(const void* addr, size_t size) {
+  if (size == 0) {
+    return;
+  }
+  const uintptr_t start = puddles::AlignDown(reinterpret_cast<uintptr_t>(addr),
+                                             puddles::kCacheLineSize);
+  const uintptr_t end = puddles::AlignUp(reinterpret_cast<uintptr_t>(addr) + size,
+                                         puddles::kCacheLineSize);
+  ranges_.push_back({start, end});
+}
+
+// Sorts by start and merges overlapping/adjacent ranges into maximal runs,
+// so each staged line is represented (and later flushed) exactly once.
+void FlushBatch::MergeRanges() {
+  std::sort(ranges_.begin(), ranges_.end());
+  size_t out = 0;
+  for (size_t i = 0; i < ranges_.size(); ++i) {
+    if (out > 0 && ranges_[i].first <= ranges_[out - 1].second) {
+      ranges_[out - 1].second = std::max(ranges_[out - 1].second, ranges_[i].second);
+    } else {
+      ranges_[out++] = ranges_[i];
+    }
+  }
+  ranges_.resize(out);
+}
+
+size_t FlushBatch::pending_lines() {
+  MergeRanges();
+  size_t lines = 0;
+  for (const auto& [start, end] : ranges_) {
+    lines += (end - start) / puddles::kCacheLineSize;
+  }
+  return lines;
+}
+
+void FlushBatch::FlushPending() {
+  if (ranges_.empty()) {
+    return;
+  }
+  MergeRanges();
+  for (const auto& [start, end] : ranges_) {
+    Flush(reinterpret_cast<const void*>(start), end - start);
+  }
+  ranges_.clear();
 }
 
 PersistStats ReadPersistStats() {

@@ -13,6 +13,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace pmem {
 
@@ -49,9 +50,19 @@ PersistStats ReadPersistStats();
 void ResetPersistStats();
 
 // Observer of the persistence instruction stream. The crashsim trace recorder
-// implements this to build epoch-delimited persist traces; callbacks run on
-// the persisting thread, after the flush/fence has taken effect (and after the
-// ShadowHeap update, so the observer sees the post-flush durable image).
+// implements this to build epoch-delimited persist traces.
+//
+// Callback-ordering contract (crashsim depends on it; see DESIGN.md §10):
+//   * Callbacks run on the persisting thread, after the flush/fence has taken
+//     effect (and after the ShadowHeap update, so the observer sees the
+//     post-flush durable image).
+//   * Every cache line written back through this module is reported by exactly
+//     one OnFlushRange before the OnFence that orders it — including lines
+//     flushed through a FlushBatch, whose deduplicated runs are reported as
+//     ordinary OnFlushRange calls at publication time. Batching coalesces
+//     flushes; it never bypasses or reorders them past their closing fence.
+//   * OnFence is invoked once per Fence(), after the sfence retires, so the
+//     interval between two OnFence callbacks is exactly one persist epoch.
 class PersistObserver {
  public:
   virtual ~PersistObserver() = default;
@@ -62,6 +73,44 @@ class PersistObserver {
 // Installs the process-wide observer (nullptr to clear). At most one observer
 // may be active; the caller must keep it alive until cleared.
 void SetPersistObserver(PersistObserver* observer);
+
+// Accumulates to-be-persisted ranges and writes them back in one batch with
+// cacheline deduplication — the building block of the transaction runtime's
+// group-persistence protocol (DESIGN.md §10). A range Add()ed here is NOT
+// durable (and not even write-back-scheduled) until FlushPending() runs, and
+// not ordered until the caller fences; the intended idiom is
+//
+//   batch.Add(a, la); batch.Add(b, lb); ...   // stage
+//   batch.FlushPending();                     // one write-back pass, deduped
+//   pmem::Fence();                            // one ordering point
+//
+// Lines staged twice are flushed once (with their latest content, since Flush
+// writes back whatever the line holds at flush time). Not thread-safe: each
+// transaction/thread owns its batch. Flushes are issued through pmem::Flush,
+// so counters, ShadowHeap, and the PersistObserver all see them normally.
+class FlushBatch {
+ public:
+  // Stages every cache line overlapping [addr, addr+size). O(1): the range
+  // is recorded whole (line-aligned), not expanded per line, so staging a
+  // multi-megabyte fresh range costs one entry.
+  void Add(const void* addr, size_t size);
+
+  // Write-back pass: flushes each staged line exactly once — overlapping and
+  // adjacent ranges are merged into maximal runs, one Flush() call per run —
+  // then clears the batch. Does not fence.
+  void FlushPending();
+
+  void Clear() { ranges_.clear(); }
+  bool empty() const { return ranges_.empty(); }
+
+  // Distinct staged lines (after dedup/merge). For tests/benches.
+  size_t pending_lines();
+
+ private:
+  void MergeRanges();
+  // Line-aligned [start, end) ranges; sorted and overlap-merged lazily.
+  std::vector<std::pair<uintptr_t, uintptr_t>> ranges_;
+};
 
 namespace internal {
 extern std::atomic<bool> g_shadow_active;  // Set by the ShadowHeap registry.

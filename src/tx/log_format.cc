@@ -57,8 +57,9 @@ puddles::Result<LogRegion> LogRegion::Attach(void* base, size_t capacity) {
   return LogRegion(header);
 }
 
-puddles::Status LogRegion::Append(uint64_t addr, const void* data, uint32_t size, uint32_t seq,
-                                  ReplayOrder order, uint8_t flags) {
+puddles::Status LogRegion::AppendStaged(uint64_t addr, const void* data, uint32_t size,
+                                        uint32_t seq, ReplayOrder order, uint8_t flags,
+                                        pmem::FlushBatch* batch) {
   const size_t span = EntrySpan(size);
   if (header_->next_free + span > header_->capacity) {
     return OutOfMemoryError("log region full");
@@ -74,14 +75,25 @@ puddles::Status LogRegion::Append(uint64_t addr, const void* data, uint32_t size
   entry->reserved = 0;
   std::memcpy(entry + 1, data, size);
   entry->checksum = EntryChecksum(*entry, data, header_->generation);
-  pmem::Flush(entry, sizeof(LogEntryHeader) + size);
-
-  // Publish: header update persists together with the entry under one fence;
-  // the caller may touch the target location only after we return.
   header_->next_free = offset + span;
   header_->last_entry = offset;
   header_->num_entries++;
-  pmem::Flush(header_, sizeof(LogHeader));
+  // No persistence here — only staging. Until the batch's publication fence,
+  // a crash sees either the old header (staged entries invisible) or, via
+  // eviction, a header that admits entries whose bytes are torn — which the
+  // generation-bound checksum discards at replay.
+  batch->Add(entry, sizeof(LogEntryHeader) + size);
+  batch->Add(header_, sizeof(LogHeader));
+  return OkStatus();
+}
+
+puddles::Status LogRegion::Append(uint64_t addr, const void* data, uint32_t size, uint32_t seq,
+                                  ReplayOrder order, uint8_t flags) {
+  // Standalone contract: stage, then publish under one fence before
+  // returning, so an undo-logging caller may modify the target immediately.
+  pmem::FlushBatch batch;
+  RETURN_IF_ERROR(AppendStaged(addr, data, size, seq, order, flags, &batch));
+  batch.FlushPending();
   pmem::Fence();
   return OkStatus();
 }
@@ -106,6 +118,37 @@ void LogRegion::Reset(uint32_t lo, uint32_t hi) {
   header_->next_log = Uuid::Nil();
   pmem::FlushFence(header_, sizeof(LogHeader));
   SetSeqRange(lo, hi);
+}
+
+bool LogRegion::Rearm() {
+  if (header_->seq_lo != 0 || header_->seq_hi != 2 || !header_->next_log.is_nil()) {
+    return false;
+  }
+  header_->next_free = sizeof(LogHeader);
+  header_->last_entry = 0;
+  header_->num_entries = 0;
+  // Partial-durability subsets of this one-line write (8-byte granularity on
+  // real PM): {num_entries=0} and {generation+1} each kill every entry;
+  // {next_free reset} truncates the walk; the empty set leaves the old
+  // entries valid, i.e. a clean pre-commit rollback. No subset can kill only
+  // SOME entries, so there is no torn middle ground.
+  header_->generation++;
+  pmem::FlushFence(header_, sizeof(LogHeader));
+  return true;
+}
+
+bool LogRegion::RetireCommitted() {
+  if (!header_->next_log.is_nil()) {
+    return false;
+  }
+  header_->seq_lo = 4;
+  header_->seq_hi = 4;
+  header_->next_free = sizeof(LogHeader);
+  header_->last_entry = 0;
+  header_->num_entries = 0;
+  header_->generation++;
+  pmem::FlushFence(header_, sizeof(LogHeader));
+  return true;
 }
 
 void LogRegion::SetNextLog(const Uuid& uuid) {

@@ -13,9 +13,22 @@
 // by post-crash recovery), and the data to copy. Applying an entry is always
 // a plain memcpy to the address — old data for undo, new data for redo.
 //
-// Append ordering contract: Append() persists the entry and the header and
-// fences before returning, so an undo-logging caller may modify the target
-// location immediately afterwards.
+// Append ordering contract (DESIGN.md §10): the hot path is AppendStaged(),
+// which writes the entry and updates the header but persists NOTHING — it only
+// stages the touched cache lines into the caller's pmem::FlushBatch. The
+// staged batch becomes durable at a publication point: FlushPending() plus one
+// pmem::Fence(), issued by the transaction runtime immediately before the
+// first in-place store that depends on the batch (or at commit, for entries
+// whose targets are never stored in place before commit — redo, volatile, and
+// fresh-object entries). Any number of staged appends share that single fence.
+// A batch torn by a crash is discarded at replay exactly like a torn single
+// append: an entry whose bytes never fully persisted fails its
+// generation-bound checksum, and a header update that never persisted leaves
+// the staged entries invisible (num_entries/next_free still exclude them).
+//
+// The legacy Append() wrapper keeps the old one-fence-per-append contract
+// (entry + header persisted, fence retired, before it returns) for callers
+// without a transaction-scoped batch — baselines, tools, and tests.
 #ifndef SRC_TX_LOG_FORMAT_H_
 #define SRC_TX_LOG_FORMAT_H_
 
@@ -26,6 +39,7 @@
 
 #include "src/common/status.h"
 #include "src/common/uuid.h"
+#include "src/pmem/flush.h"
 
 namespace puddles {
 
@@ -86,10 +100,20 @@ class LogRegion {
 
   LogRegion() = default;
 
-  // Appends an entry and persists it (entry bytes, then header, one fence).
-  // Returns kOutOfMemory when the entry does not fit.
+  // Appends an entry and persists it (entry bytes + header flushed, one
+  // fence) before returning — the legacy standalone contract. Returns
+  // kOutOfMemory when the entry does not fit.
   puddles::Status Append(uint64_t addr, const void* data, uint32_t size, uint32_t seq,
                          ReplayOrder order, uint8_t flags = 0);
+
+  // Batched hot path: writes the entry and updates the header in place, but
+  // issues NO flush and NO fence — every touched line (entry span + header)
+  // is staged into `batch` instead. The append is durable only after the
+  // caller runs batch->FlushPending() and fences (see the file header for the
+  // publication contract and why a torn batch is safe). This function must
+  // stay free of pmem::Flush/Fence calls — CI greps for it.
+  puddles::Status AppendStaged(uint64_t addr, const void* data, uint32_t size, uint32_t seq,
+                               ReplayOrder order, uint8_t flags, pmem::FlushBatch* batch);
 
   // Persistently updates the sequence range (flush + fence): the atomic
   // stage-switch primitive of the commit protocol.
@@ -100,7 +124,32 @@ class LogRegion {
 
   // Empties the log and re-opens the given range, ordered so a crash at any
   // point leaves either the old-but-invalidated or the new-and-empty state.
+  // Three ordering points; safe from any starting state.
   void Reset(uint32_t lo, uint32_t hi);
+
+  // One-fence log retirement for the undo-only commit path (DESIGN.md §10):
+  // clears allocation state and bumps the generation in a single header
+  // write + flush + fence, leaving the (0,2) range open. Callable only when
+  // the range is already (0,2) and the log has no continuation — under those
+  // preconditions every 8-byte-granular subset of the header update yields
+  // either "entries still valid" (clean rollback; the transaction aborts) or
+  // "entries all dead" (clean commit; targets were persisted by stage 1).
+  // The caller (commit) treats this write as the commit point. Returns false
+  // — without touching the header — if the preconditions do not hold, in
+  // which case the caller must use the general Reset().
+  bool Rearm();
+
+  // One-fence log retirement for the hybrid commit tail: merges the (4,4)
+  // "committed" flip with the clear + generation bump into a single header
+  // write + flush + fence. Safe because every partial-durability subset of
+  // that write either marks the log committed, empties it, or kills every
+  // entry's checksum — and post-stage-2 the remaining replay work (redo
+  // roll-forward) is idempotent, so "entries still valid under (2,4)" is
+  // also consistent. The caller reopens the range afterwards. Returns false
+  // — without touching the header — when a continuation log is linked (a
+  // partially-persisted chain cut is not crash-atomic); the caller must then
+  // use SetSeqRange(4,4) + Reset().
+  bool RetireCommitted();
 
   // Persistently links a continuation log.
   void SetNextLog(const Uuid& uuid);

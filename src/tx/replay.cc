@@ -31,8 +31,11 @@ puddles::Result<ReplayStats> ReplayLogChain(const std::vector<LogRegion>& chain,
   for (const LogRegion& region : chain) {
     bool intact = region.ForEachEntry([&](const LogRegion::EntryView& view) {
       if (!view.checksum_ok) {
-        // Torn append: the entry never finished persisting before the crash,
-        // so it was by construction never acted upon. Skip it.
+        // Torn append — single or batched (DESIGN.md §10): the entry never
+        // finished persisting before the crash. Either way it was by
+        // construction never acted upon: an undo entry publishes (fence)
+        // before its target's first in-place store, and a redo entry's
+        // target is untouched until after the commit flip is durable. Skip.
         ++stats.skipped_checksum;
         return;
       }

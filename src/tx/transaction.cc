@@ -11,6 +11,25 @@ thread_local Transaction* tls_transaction = nullptr;
 
 void (*g_stage_hook)(const char* stage) = nullptr;
 
+// True iff [addr, addr+size) lies entirely inside one recorded range.
+// Linear scan, like IntersectsFreedRange below: transactions log tens of
+// ranges, and even the degenerate case costs pointer compares where the
+// pre-batching protocol paid a fence per range. If a workload ever logs
+// thousands of distinct ranges per transaction, upgrade both lists to the
+// sorted interval-table shape relocation's Translator uses.
+bool RangeCovered(const std::vector<std::pair<void*, size_t>>& ranges, const void* addr,
+                  size_t size) {
+  const uintptr_t lo = reinterpret_cast<uintptr_t>(addr);
+  const uintptr_t hi = lo + size;
+  for (const auto& [base, extent] : ranges) {
+    const uintptr_t range_lo = reinterpret_cast<uintptr_t>(base);
+    if (lo >= range_lo && hi <= range_lo + extent) {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 void Transaction::SetStageHook(void (*hook)(const char* stage)) { g_stage_hook = hook; }
@@ -88,7 +107,7 @@ puddles::Status Transaction::AppendEntry(uint64_t addr, const void* data, uint32
     return FailedPreconditionError("no active transaction");
   }
   LogRegion* region = chain_.back();
-  puddles::Status status = region->Append(addr, data, size, seq, order, flags);
+  puddles::Status status = region->AppendStaged(addr, data, size, seq, order, flags, &batch_);
   if (status.code() == StatusCode::kOutOfMemory) {
     if (!target_->grow) {
       return status;
@@ -100,7 +119,7 @@ puddles::Status Transaction::AppendEntry(uint64_t addr, const void* data, uint32
     region->SetNextLog(uuid);
     chain_.push_back(new_region);
     region = new_region;
-    status = region->Append(addr, data, size, seq, order, flags);
+    status = region->AppendStaged(addr, data, size, seq, order, flags, &batch_);
   }
   RETURN_IF_ERROR(status);
   EntryRef ref;
@@ -114,14 +133,50 @@ puddles::Status Transaction::AppendEntry(uint64_t addr, const void* data, uint32
   return OkStatus();
 }
 
-puddles::Status Transaction::AddUndo(void* addr, size_t size) {
+puddles::Status Transaction::AddUndoInternal(void* addr, size_t size, bool publish) {
   // Entry sizes are 32-bit on media; a silent truncation here would return
   // OK while logging a fraction (or none) of the range.
   if (size > UINT32_MAX) {
     return InvalidArgumentError("undo range exceeds the 4 GiB log-entry limit");
   }
-  return AppendEntry(reinterpret_cast<uint64_t>(addr), addr, static_cast<uint32_t>(size),
-                     kUndoSeq, ReplayOrder::kReverse, 0);
+  if (!active()) {
+    return FailedPreconditionError("no active transaction");
+  }
+  // Coverage elision: no entry (and no fence) when rollback of this range is
+  // already guaranteed. A range inside a fresh allocation needs no old-value
+  // capture — abort/recovery rolls the allocation itself back and the bytes
+  // become unreachable. A range inside an earlier undo capture is restored by
+  // that entry; reverse replay applies the earliest (pre-transaction) capture
+  // last, so a later overlapping snapshot adds nothing.
+  if (RangeCovered(fresh_ranges_, addr, size) ||
+      RangeCovered(logged_undo_ranges_, addr, size)) {
+    return OkStatus();
+  }
+  RETURN_IF_ERROR(AppendEntry(reinterpret_cast<uint64_t>(addr), addr,
+                              static_cast<uint32_t>(size), kUndoSeq, ReplayOrder::kReverse, 0));
+  logged_undo_ranges_.emplace_back(addr, size);
+  if (publish) {
+    // Pre-mutation ordering point: the entry (and everything else pending)
+    // must be durable before the caller's first store to the range.
+    PublishStaged();
+  }
+  return OkStatus();
+}
+
+puddles::Status Transaction::AddUndo(void* addr, size_t size) {
+  return AddUndoInternal(addr, size, /*publish=*/true);
+}
+
+puddles::Status Transaction::AddUndoDeferred(void* addr, size_t size) {
+  return AddUndoInternal(addr, size, /*publish=*/false);
+}
+
+void Transaction::PublishStaged() {
+  if (batch_.empty()) {
+    return;
+  }
+  batch_.FlushPending();
+  pmem::Fence();
 }
 
 puddles::Status Transaction::AddVolatileUndo(void* addr, size_t size) {
@@ -180,31 +235,38 @@ puddles::Status Transaction::CommitOutermost() {
   }
 
   LogRegion* head = chain_.front();
-
-  // ---- Stage 1: make every undo-logged location durable (Fig. 7a). ----
-  // Undo entries hold the *old* values; the locations now hold new values
-  // that must be on PM before redo application starts.
   bool has_redo = false;
   for (const EntryRef& entry : entries_) {
-    if (entry.seq == kUndoSeq && (entry.flags & kLogEntryVolatile) == 0) {
-      pmem::Flush(reinterpret_cast<void*>(entry.addr), entry.size);
-    } else if (entry.seq == kRedoSeq) {
+    if (entry.seq == kRedoSeq) {
       has_redo = true;
+      break;
     }
   }
-  // Fresh allocations carry no undo entries but their contents are part of
-  // the transaction's writes; persist them under the same fence.
-  for (const auto& [addr, size] : fresh_ranges_) {
-    pmem::Flush(addr, size);
+
+  // ---- Stage 1: one fence makes the pre-commit image durable (Fig. 7a). ----
+  // Three kinds of lines share it: staged-but-unpublished appends (redo,
+  // volatile, and elided-coverage entries plus their headers — still in
+  // batch_), every undo-logged location (whose new value must be on PM before
+  // redo application starts; their entries were published pre-mutation), and
+  // fresh-allocation contents (no undo entries, but nothing else flushes
+  // them). Publishing redo entries here is safe: until the (2,4) flip below
+  // they are out of sequence range at replay.
+  for (const auto& [addr, size] : logged_undo_ranges_) {
+    batch_.Add(addr, size);
   }
+  for (const auto& [addr, size] : fresh_ranges_) {
+    batch_.Add(addr, size);
+  }
+  batch_.FlushPending();
   pmem::Fence();
   StageHook("s1_flushed");
 
   // Undo-only fast path: with no redo entries, stages 2/3 degenerate — the
-  // commit point is the log reset itself (a crash before it rolls back via
-  // the still-valid undo entries, which is correct for an uncommitted tx).
+  // commit point is the log retirement itself (a crash before it rolls back
+  // via the still-valid undo entries, which is correct for an uncommitted
+  // tx, and a crash after it finds the new values persisted by stage 1).
   if (!has_redo) {
-    head->Reset(0, 2);
+    RetireLog(head);
     StageHook("reset_done");
     for (size_t i = 1; i < chain_.size(); ++i) {
       if (target_->release) {
@@ -218,26 +280,35 @@ puddles::Status Transaction::CommitOutermost() {
   head->SetSeqRange(2, 4);  // Undo replay off, redo replay on.
   StageHook("range_24");
 
-  // ---- Stage 2: apply the redo log (Fig. 7b). ----
+  // ---- Stage 2: apply the redo log (Fig. 7b), one fence. ----
   for (const EntryRef& entry : entries_) {
     if (entry.seq != kRedoSeq) {
       continue;
     }
     std::memcpy(reinterpret_cast<void*>(entry.addr), EntryData(entry), entry.size);
     if ((entry.flags & kLogEntryVolatile) == 0) {
-      pmem::Flush(reinterpret_cast<void*>(entry.addr), entry.size);
+      batch_.Add(reinterpret_cast<void*>(entry.addr), entry.size);
     }
     StageHook("redo_applied_one");
   }
+  batch_.FlushPending();
   pmem::Fence();
   StageHook("s2_applied");
 
-  head->SetSeqRange(4, 4);  // Nothing replays: the transaction is committed.
-  StageHook("s3_marked");
-
-  // ---- Stage 3: drop the log. ----
-  head->Reset(0, 2);
-  StageHook("reset_done");
+  // ---- Stage 3: mark committed and drop the log. ----
+  // Common case: the (4,4) flip, clear, and generation bump merge into one
+  // header write + fence; reopening the range is the second and final fence.
+  // A chained log keeps the general, conservatively-ordered path.
+  if (chain_.size() == 1 && head->RetireCommitted()) {
+    StageHook("s3_marked");
+    head->SetSeqRange(0, 2);
+    StageHook("reset_done");
+  } else {
+    head->SetSeqRange(4, 4);  // Nothing replays: the transaction is committed.
+    StageHook("s3_marked");
+    head->Reset(0, 2);
+    StageHook("reset_done");
+  }
 
   for (size_t i = 1; i < chain_.size(); ++i) {
     if (target_->release) {
@@ -253,7 +324,9 @@ puddles::Status Transaction::Abort() {
     return FailedPreconditionError("no active transaction");
   }
   // Roll back by applying undo entries newest-first; volatile entries are
-  // included so DRAM state tracks the PM rollback (§4.1).
+  // included so DRAM state tracks the PM rollback (§4.1). Staged entries not
+  // yet published are applied too — they live in the mapped log bytes, and
+  // their restored targets are batched under the single fence below.
   for (size_t i = entries_.size(); i-- > 0;) {
     const EntryRef& entry = entries_[i];
     if (entry.seq != kUndoSeq) {
@@ -261,12 +334,13 @@ puddles::Status Transaction::Abort() {
     }
     std::memcpy(reinterpret_cast<void*>(entry.addr), EntryData(entry), entry.size);
     if ((entry.flags & kLogEntryVolatile) == 0) {
-      pmem::Flush(reinterpret_cast<void*>(entry.addr), entry.size);
+      batch_.Add(reinterpret_cast<void*>(entry.addr), entry.size);
     }
   }
+  batch_.FlushPending();
   pmem::Fence();
 
-  chain_.front()->Reset(0, 2);
+  RetireLog(chain_.front());
   for (size_t i = 1; i < chain_.size(); ++i) {
     if (target_->release) {
       target_->release(chain_[i]);
@@ -276,9 +350,24 @@ puddles::Status Transaction::Abort() {
   return OkStatus();
 }
 
+// Empties and re-arms the head log after an undo-only commit or an abort
+// (range still (0,2)): the one-fence Rearm when the log is unchained, the
+// general Reset otherwise.
+void Transaction::RetireLog(LogRegion* head) {
+  if (chain_.size() == 1 && head->Rearm()) {
+    return;
+  }
+  head->Reset(0, 2);
+}
+
 void Transaction::ResetState() {
   entries_.clear();
+  // Drop, never flush, still-staged lines: they may point into a log that is
+  // about to be unmapped (an abandoned test transaction), and nothing that
+  // was not published may linger into the next transaction's batch.
+  batch_.Clear();
   fresh_ranges_.clear();
+  logged_undo_ranges_.clear();
   freed_ranges_.clear();
   deferred_frees_.clear();
   chain_.clear();

@@ -9,6 +9,15 @@
 //   Stage 2  apply + flush every redo entry              [crash ⇒ roll forward]
 //   Stage 3  invalidate and reset the log                [crash ⇒ nothing to do]
 //
+// Persistence is batched (DESIGN.md §10): appends stage their cache lines
+// into a per-transaction FlushBatch and publication points — one
+// deduplicated write-back pass plus ONE fence — are placed only where
+// ordering is actually required: before an undo-logged live range can be
+// stored to, and once per commit stage. Redo, volatile, fresh-object, and
+// already-covered appends ride along to the next publication for free, so a
+// transaction's fence count is bounded by its ordering structure, not by its
+// logged-range count.
+//
 // "Puddles' transactions are thread-local ... they support writing to any
 // arbitrary PM data and are not limited to a single pool" — the transaction
 // only knows its log; targets may live in any mapped puddle.
@@ -20,6 +29,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/pmem/flush.h"
 #include "src/tx/log_format.h"
 
 namespace puddles {
@@ -63,15 +73,37 @@ class Transaction {
   static puddles::Result<Transaction*> BeginWith(const TxTarget* target);
 
   // Undo-logs [addr, addr+size): the current contents are captured and the
-  // caller may modify the range immediately after return (TX_ADD).
+  // caller may modify the range immediately after return (TX_ADD). Under the
+  // batched protocol (DESIGN.md §10) this stages the entry and then publishes
+  // every pending staged append with ONE fence before returning — the
+  // pre-mutation ordering point. The append (and its fence) is elided
+  // entirely when the range is already covered: inside a fresh allocation of
+  // this transaction (rollback deallocates it; old bytes are meaningless) or
+  // inside an earlier undo-logged range (reverse replay restores the earlier,
+  // pre-transaction capture last).
   puddles::Status AddUndo(void* addr, size_t size);
+
+  // Deferred-publication variant for runtime-controlled callers (the
+  // allocator LogSink): stages the entry without fencing. The caller MUST
+  // invoke PublishStaged() before its first store to any range declared this
+  // way — declare every range of the mutation group, publish once, then
+  // mutate. Misordering is a crash-consistency bug, not a crash.
+  puddles::Status AddUndoDeferred(void* addr, size_t size);
+
+  // Publishes all staged-but-unpublished log appends: one deduplicated
+  // write-back pass over the touched cache lines plus one fence. No-op when
+  // nothing is pending.
+  void PublishStaged();
 
   // Undo-logs a volatile (DRAM) range: restored on abort, ignored by
   // post-crash recovery.
   puddles::Status AddVolatileUndo(void* addr, size_t size);
 
   // Redo-logs a deferred write: `*dst` keeps its old value until commit
-  // stage 2 copies the new bytes in (TX_REDO_SET).
+  // stage 2 copies the new bytes in (TX_REDO_SET). Staged without any fence:
+  // a redo entry needs no ordering until commit, because its target is not
+  // touched before stage 2 and an unpublished entry is invalid at replay
+  // (out of sequence range, or torn and discarded by checksum).
   puddles::Status RedoWrite(void* dst, const void* src, uint32_t size);
 
   template <typename T>
@@ -139,8 +171,10 @@ class Transaction {
 
   puddles::Status AppendEntry(uint64_t addr, const void* data, uint32_t size, uint32_t seq,
                               ReplayOrder order, uint8_t flags);
+  puddles::Status AddUndoInternal(void* addr, size_t size, bool publish);
   const uint8_t* EntryData(const EntryRef& ref) const;
   puddles::Status CommitOutermost();
+  void RetireLog(LogRegion* head);
   void ResetState();
   static void StageHook(const char* stage);
 
@@ -148,7 +182,13 @@ class Transaction {
   const TxTarget* target_ = nullptr;  // Active target (owned or borrowed).
   std::vector<LogRegion*> chain_;  // chain_[0] == target_->log.
   std::vector<EntryRef> entries_;  // Append order.
+  // Staged-but-unpublished log lines (entries + headers); per-thread because
+  // the transaction itself is. Drained by PublishStaged() / commit stage 1.
+  pmem::FlushBatch batch_;
   std::vector<std::pair<void*, size_t>> fresh_ranges_;  // Flushed at commit stage 1.
+  // Non-volatile undo-logged target ranges, for coverage elision and the
+  // stage-1 target write-back.
+  std::vector<std::pair<void*, size_t>> logged_undo_ranges_;
   std::vector<std::pair<const void*, size_t>> freed_ranges_;  // Rejected from logging.
   std::vector<std::function<puddles::Status()>> deferred_frees_;
   int depth_ = 0;

@@ -81,5 +81,67 @@ TEST(FlushTest, PersistStore64WritesAndPersists) {
   EXPECT_EQ(stats.fences, 1u);
 }
 
+TEST(FlushBatchTest, DedupsOverlappingRangesAtLineGranularity) {
+  alignas(64) static char data[4 * 64];
+  FlushBatch batch;
+  EXPECT_TRUE(batch.empty());
+  batch.Add(data, 64);          // Line 0.
+  batch.Add(data + 16, 8);      // Line 0 again.
+  batch.Add(data + 60, 8);      // Lines 0 and 1.
+  batch.Add(data + 192, 1);     // Line 3.
+  EXPECT_EQ(batch.pending_lines(), 3u);
+  ResetPersistStats();
+  batch.FlushPending();
+  EXPECT_EQ(ReadPersistStats().flushed_lines, 3u)
+      << "each staged line must be written back exactly once";
+  EXPECT_EQ(ReadPersistStats().fences, 0u) << "FlushPending must not fence";
+  EXPECT_TRUE(batch.empty()) << "a flushed batch is cleared";
+}
+
+TEST(FlushBatchTest, MergesAdjacentLinesIntoSingleFlushCalls) {
+  alignas(64) static char data[8 * 64];
+  FlushBatch batch;
+  batch.Add(data + 64, 64);   // Lines 1..2 contiguous with the next add.
+  batch.Add(data + 128, 64);
+  batch.Add(data + 320, 64);  // Line 5, separate run.
+  ResetPersistStats();
+  batch.FlushPending();
+  PersistStats stats = ReadPersistStats();
+  EXPECT_EQ(stats.flushed_lines, 3u);
+  EXPECT_EQ(stats.flush_calls, 2u) << "contiguous lines coalesce into one Flush range";
+}
+
+// The observer contract under batching (documented in flush.h): every
+// published line is reported through OnFlushRange before the closing fence,
+// exactly once — batching coalesces flushes but never hides them from the
+// crashsim trace recorder.
+TEST(FlushBatchTest, PublicationReportsEveryLineToTheObserver) {
+  class Recorder : public PersistObserver {
+   public:
+    void OnFlushRange(const void* addr, size_t size) override {
+      flushed_bytes += size;
+      ++flush_ranges;
+      EXPECT_EQ(fences, 0) << "all lines must be reported before the batch's fence";
+    }
+    void OnFence() override { ++fences; }
+    size_t flushed_bytes = 0;
+    int flush_ranges = 0;
+    int fences = 0;
+  };
+  alignas(64) static char data[4 * 64];
+  Recorder recorder;
+  SetPersistObserver(&recorder);
+  FlushBatch batch;
+  batch.Add(data, 64);
+  batch.Add(data + 64, 64);
+  batch.Add(data, 64);  // Duplicate: must not be double-reported.
+  batch.FlushPending();
+  Fence();
+  SetPersistObserver(nullptr);
+  EXPECT_EQ(recorder.flushed_bytes, 128u);
+  EXPECT_EQ(recorder.flush_ranges, 1) << "one merged range for two adjacent lines";
+  EXPECT_EQ(recorder.fences, 1);
+}
+
 }  // namespace
 }  // namespace pmem

@@ -5,6 +5,9 @@
 #include <cstring>
 #include <vector>
 
+#include "src/pmem/flush.h"
+#include "src/pmem/shadow.h"
+
 namespace puddles {
 namespace {
 
@@ -156,6 +159,138 @@ TEST_F(LogFormatTest, EntrySpanAligns) {
   EXPECT_EQ(LogRegion::EntrySpan(1), sizeof(LogEntryHeader) + 8);
   EXPECT_EQ(LogRegion::EntrySpan(8), sizeof(LogEntryHeader) + 8);
   EXPECT_EQ(LogRegion::EntrySpan(9), sizeof(LogEntryHeader) + 16);
+}
+
+// ---- Batched (staged) appends: torn-batch crash semantics (DESIGN.md §10).
+//
+// Each test stages appends without publishing, persists some subset of the
+// batch's cache lines by hand (standing in for an arbitrary crash/eviction
+// interleaving), simulates power failure through the ShadowHeap, and checks
+// that replay-side validity degrades exactly like a torn single append:
+// entries are either intact-and-valid or checksum-discarded, never applied
+// torn. 48-byte payloads make every entry span exactly one 64-byte line, so
+// "persist entry k" is a single-line flush.
+
+class LogBatchTest : public LogFormatTest {
+ protected:
+  // 24-byte entry header + 40-byte payload = one 64-byte line per entry.
+  static constexpr uint32_t kLineSizedPayload = 40;
+
+  void TearDown() override { pmem::ShadowRegistry::Instance().DetachAll(); }
+
+  puddles::Status StageOne(uint64_t addr, uint8_t fill, pmem::FlushBatch* batch) {
+    std::vector<uint8_t> payload(kLineSizedPayload, fill);
+    return log_.AppendStaged(addr, payload.data(), kLineSizedPayload, kUndoSeq,
+                             ReplayOrder::kReverse, 0, batch);
+  }
+
+  uint8_t* EntryLine(int index) {
+    return buffer_.data() + sizeof(LogHeader) + static_cast<size_t>(index) * 64;
+  }
+};
+
+TEST_F(LogBatchTest, UnpublishedBatchInvisibleAfterCrash) {
+  pmem::ScopedShadow shadow(buffer_.data(), buffer_.size());
+  pmem::FlushBatch batch;
+  ASSERT_TRUE(StageOne(0xA000, 0x11, &batch).ok());
+  ASSERT_TRUE(StageOne(0xB000, 0x22, &batch).ok());
+  EXPECT_EQ(log_.num_entries(), 2u) << "staged appends are live in the mapped view";
+  // Crash with nothing published: neither FlushPending nor a fence ran.
+  pmem::ShadowRegistry::Instance().SimulateCrash();
+  auto recovered = LogRegion::Attach(buffer_.data(), kCapacity);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->num_entries(), 0u)
+      << "old header must hide the staged batch after a pre-publication crash";
+}
+
+TEST_F(LogBatchTest, HeaderEvictedWithTornEntriesIsFullyDiscarded) {
+  pmem::ScopedShadow shadow(buffer_.data(), buffer_.size());
+  pmem::FlushBatch batch;
+  ASSERT_TRUE(StageOne(0xA000, 0x11, &batch).ok());
+  ASSERT_TRUE(StageOne(0xB000, 0x22, &batch).ok());
+  // Adversarial eviction: the header line becomes durable (admitting both
+  // entries) while no entry byte does.
+  pmem::FlushFence(buffer_.data(), sizeof(LogHeader));
+  pmem::ShadowRegistry::Instance().SimulateCrash();
+  auto recovered = LogRegion::Attach(buffer_.data(), kCapacity);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->num_entries(), 2u);
+  int seen = 0;
+  recovered->ForEachEntry([&](const LogRegion::EntryView& view) {
+    ++seen;
+    EXPECT_FALSE(view.checksum_ok) << "torn entry " << seen << " must fail its checksum";
+    EXPECT_FALSE(view.valid);
+  });
+}
+
+TEST_F(LogBatchTest, PartiallyPersistedBatchKeepsOnlyIntactEntries) {
+  pmem::ScopedShadow shadow(buffer_.data(), buffer_.size());
+  pmem::FlushBatch batch;
+  ASSERT_TRUE(StageOne(0xA000, 0x11, &batch).ok());
+  ASSERT_TRUE(StageOne(0xB000, 0x22, &batch).ok());
+  ASSERT_TRUE(StageOne(0xC000, 0x33, &batch).ok());
+  // Eviction persisted the header and the FIRST entry's line only: the
+  // intact prefix replays, the torn tail is discarded — and a torn entry
+  // also severs framing for everything behind it (its size field is gone),
+  // so discard is conservative, never partial application.
+  pmem::Flush(buffer_.data(), sizeof(LogHeader));
+  pmem::Flush(EntryLine(0), 64);
+  pmem::Fence();
+  pmem::ShadowRegistry::Instance().SimulateCrash();
+  auto recovered = LogRegion::Attach(buffer_.data(), kCapacity);
+  ASSERT_TRUE(recovered.ok());
+  std::vector<bool> ok;
+  recovered->ForEachEntry([&](const LogRegion::EntryView& view) { ok.push_back(view.valid); });
+  ASSERT_GE(ok.size(), 1u);
+  EXPECT_TRUE(ok[0]) << "the fully persisted entry replays";
+  for (size_t i = 1; i < ok.size(); ++i) {
+    EXPECT_FALSE(ok[i]) << "torn entry " << i << " (and its tail) must be discarded";
+  }
+}
+
+TEST_F(LogBatchTest, PublishedBatchSurvivesCrashIntact) {
+  pmem::ScopedShadow shadow(buffer_.data(), buffer_.size());
+  pmem::FlushBatch batch;
+  ASSERT_TRUE(StageOne(0xA000, 0x11, &batch).ok());
+  ASSERT_TRUE(StageOne(0xB000, 0x22, &batch).ok());
+  batch.FlushPending();  // Publication: one deduplicated pass...
+  pmem::Fence();         // ...and one fence for the whole batch.
+  pmem::ShadowRegistry::Instance().SimulateCrash();
+  auto recovered = LogRegion::Attach(buffer_.data(), kCapacity);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->num_entries(), 2u);
+  recovered->ForEachEntry([&](const LogRegion::EntryView& view) {
+    EXPECT_TRUE(view.checksum_ok);
+    EXPECT_TRUE(view.valid);
+  });
+}
+
+TEST_F(LogFormatTest, RearmIsSingleWriteRetirement) {
+  uint64_t v = 7;
+  ASSERT_TRUE(log_.Append(0xA000, &v, 8, kUndoSeq, ReplayOrder::kReverse).ok());
+  ASSERT_TRUE(log_.Rearm());
+  EXPECT_TRUE(log_.empty());
+  EXPECT_EQ(log_.seq_range(), (std::pair<uint32_t, uint32_t>{0, 2}));
+  // Preconditions: refuses a non-(0,2) range or a chained log, leaving the
+  // header untouched for the general Reset path.
+  log_.SetSeqRange(2, 4);
+  EXPECT_FALSE(log_.Rearm());
+  log_.SetSeqRange(0, 2);
+  log_.SetNextLog(Uuid::Generate());
+  EXPECT_FALSE(log_.Rearm());
+  EXPECT_FALSE(log_.next_log().is_nil());
+}
+
+TEST_F(LogFormatTest, RetireCommittedClosesAndClears) {
+  uint64_t v = 7;
+  ASSERT_TRUE(log_.Append(0xA000, &v, 8, kUndoSeq, ReplayOrder::kReverse).ok());
+  log_.SetSeqRange(2, 4);
+  ASSERT_TRUE(log_.RetireCommitted());
+  EXPECT_TRUE(log_.empty());
+  EXPECT_EQ(log_.seq_range(), (std::pair<uint32_t, uint32_t>{4, 4}));
+  log_.SetSeqRange(0, 2);
+  log_.SetNextLog(Uuid::Generate());
+  EXPECT_FALSE(log_.RetireCommitted()) << "chained logs take the conservative Reset path";
 }
 
 }  // namespace

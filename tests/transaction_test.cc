@@ -73,11 +73,26 @@ class TransactionTest : public ::testing::Test {
  protected:
   void TearDown() override {
     Transaction::SetStageHook(nullptr);
+    pmem::SetPersistObserver(nullptr);
     pmem::ShadowRegistry::Instance().DetachAll();
     // Drop any transaction a failed test left open. The TxEnv (and its log
     // buffer) is already gone, so state is abandoned, not aborted.
     Transaction::AbandonCurrentForTesting();
   }
+};
+
+// Counts ordering points (fences) on the persistence instruction stream —
+// the observable the batched-persistence protocol (DESIGN.md §10) minimizes.
+class FenceCounter : public pmem::PersistObserver {
+ public:
+  void OnFlushRange(const void*, size_t) override { ++flush_ranges_; }
+  void OnFence() override { ++fences_; }
+  int fences() const { return fences_; }
+  int flush_ranges() const { return flush_ranges_; }
+
+ private:
+  int fences_ = 0;
+  int flush_ranges_ = 0;
 };
 
 TEST_F(TransactionTest, CommitMakesUndoChangesStick) {
@@ -307,6 +322,109 @@ TEST_F(TransactionTest, TxScopeCommitFailureDoesNotThrow) {
 }
 
 #endif  // !PUDDLES_STRICT_API
+
+// ---- Fence accounting under batched group persistence (DESIGN.md §10). ----
+
+// Acceptance gate: a transaction that undo-logs N=32 ranges inside a fresh
+// allocation commits with a CONSTANT number of fences (≤3) — the appends are
+// coverage-elided, the targets persist under the single stage-1 fence, and
+// the undo-only commit point is the one-line log rearm.
+TEST_F(TransactionTest, FreshRangeUndoTransactionCommitsInConstantFences) {
+  TxEnv env;
+  alignas(64) static uint8_t arena[32 * 64];
+  std::memset(arena, 0, sizeof(arena));
+
+  auto tx = env.BeginTx();
+  ASSERT_TRUE(tx.ok());
+  (*tx)->NoteFreshRange(arena, sizeof(arena));  // As Tx::Alloc would.
+
+  FenceCounter counter;
+  pmem::SetPersistObserver(&counter);
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE((*tx)->AddUndo(&arena[i * 64], 64).ok());
+    arena[i * 64] = static_cast<uint8_t>(i + 1);
+  }
+  EXPECT_EQ(counter.fences(), 0) << "fresh-covered undo logging must not fence";
+  ASSERT_TRUE((*tx)->Commit().ok());
+  pmem::SetPersistObserver(nullptr);
+
+  EXPECT_LE(counter.fences(), 3) << "N=32 logged ranges must commit in O(1) fences";
+  EXPECT_EQ(counter.fences(), 2) << "stage-1 group fence + one-line log rearm";
+}
+
+// Redo-heavy transactions: staged appends cost zero fences during the body;
+// the hybrid commit pays the same five ordering points whether it carries 4
+// or 32 entries.
+TEST_F(TransactionTest, RedoTransactionFenceCountIndependentOfEntryCount) {
+  alignas(64) static uint64_t slots[32];
+  auto run = [&](int n) {
+    TxEnv env;
+    std::memset(slots, 0, sizeof(slots));
+    auto tx = env.BeginTx();
+    EXPECT_TRUE(tx.ok());
+    FenceCounter counter;
+    pmem::SetPersistObserver(&counter);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_TRUE((*tx)->RedoSet(&slots[i], uint64_t{1000} + i).ok());
+    }
+    const int body_fences = counter.fences();
+    EXPECT_TRUE((*tx)->Commit().ok());
+    pmem::SetPersistObserver(nullptr);
+    EXPECT_EQ(body_fences, 0) << "redo staging must not fence";
+    return counter.fences();
+  };
+  const int small = run(4);
+  const int large = run(32);
+  EXPECT_EQ(small, large) << "commit fences must not scale with redo entry count";
+  EXPECT_EQ(large, 5) << "stage1 + (2,4) flip + stage2 + retire + reopen";
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(slots[i], 1000u + i);
+  }
+}
+
+// The pre-mutation publication coalesces: everything staged since the last
+// ordering point (redo entries here) rides the undo append's single fence.
+TEST_F(TransactionTest, UndoPublicationCoalescesPendingStagedAppends) {
+  TxEnv env;
+  alignas(64) static uint64_t redo_a, redo_b, undo_target;
+  redo_a = redo_b = 0;
+  undo_target = 7;
+
+  auto tx = env.BeginTx();
+  ASSERT_TRUE(tx.ok());
+  FenceCounter counter;
+  pmem::SetPersistObserver(&counter);
+  ASSERT_TRUE((*tx)->RedoSet(&redo_a, uint64_t{1}).ok());
+  ASSERT_TRUE((*tx)->RedoSet(&redo_b, uint64_t{2}).ok());
+  EXPECT_EQ(counter.fences(), 0);
+  // Live-target undo logging must fence before returning (the caller stores
+  // immediately) — and that one fence publishes the pending redo batch too.
+  ASSERT_TRUE((*tx)->AddUndo(&undo_target, sizeof(undo_target)).ok());
+  EXPECT_EQ(counter.fences(), 1);
+  undo_target = 8;
+  // A second log of the same range is coverage-elided: zero further fences.
+  ASSERT_TRUE((*tx)->AddUndo(&undo_target, sizeof(undo_target)).ok());
+  EXPECT_EQ(counter.fences(), 1);
+  pmem::SetPersistObserver(nullptr);
+  ASSERT_TRUE((*tx)->Commit().ok());
+  EXPECT_EQ(undo_target, 8u);
+  EXPECT_EQ(redo_a, 1u);
+  EXPECT_EQ(redo_b, 2u);
+}
+
+// The rollback paths must see staged-but-unpublished entries: an abort right
+// after staging still restores every logged range.
+TEST_F(TransactionTest, AbortAppliesStagedUnpublishedEntries) {
+  TxEnv env;
+  alignas(64) uint64_t fresh_backed = 5;
+  auto tx = env.BeginTx();
+  ASSERT_TRUE(tx.ok());
+  (*tx)->NoteFreshRange(&fresh_backed, sizeof(fresh_backed));
+  ASSERT_TRUE((*tx)->RedoSet(&fresh_backed, uint64_t{9}).ok());  // Staged only.
+  ASSERT_TRUE((*tx)->Abort().ok());
+  EXPECT_EQ(fresh_backed, 5u) << "unapplied redo must vanish on abort";
+  EXPECT_TRUE(env.log().empty());
+}
 
 TEST_F(TransactionTest, BeginRequiresArmedLog) {
   TxEnv env;

@@ -1,0 +1,229 @@
+// bench_runner — machine-readable perf trajectory for the commit path.
+//
+// Runs the Table-3 transaction/allocation primitives and the Fig-9 linked
+// list on the real Puddles stack (embedded daemon + typed Tx API) and emits
+// one JSON document, BENCH_commit.json, checked in at the repo root so the
+// perf trajectory of the batched-persistence protocol (DESIGN.md §10) is
+// recorded per PR. Every row carries two measurements:
+//   * ns_per_op   — wall-clock mean over the iteration count, and
+//   * fences_per_op — ordering points per operation, counted by a
+//     pmem::PersistObserver on the real persistence instruction stream (the
+//     protocol's primary figure of merit: O(N) → O(1) per transaction).
+//
+// Usage: bench_runner [--out=BENCH_commit.json] [--iters=N]
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_env.h"
+#include "bench/bench_util.h"
+#include "src/pmem/flush.h"
+#include "src/workloads/list.h"
+
+namespace {
+
+struct Row {
+  std::string section;
+  std::string name;
+  double ns_per_op = 0;
+  double fences_per_op = 0;
+  uint64_t iterations = 0;
+};
+
+// Counts fences on the real persistence instruction stream — deliberately
+// the same observer mechanism crashsim traces with, so the benched number is
+// the one the crash-state enumerator sees (ReadPersistStats would agree, but
+// the observer is the load-bearing contract under batching; see flush.h).
+class FenceCountingObserver : public pmem::PersistObserver {
+ public:
+  void OnFlushRange(const void*, size_t) override {}
+  void OnFence() override { ++fences_; }
+  uint64_t fences() const { return fences_; }
+
+ private:
+  uint64_t fences_ = 0;
+};
+
+class Runner {
+ public:
+  explicit Runner(bench::PuddlesEnv& env, uint64_t iters) : env_(env), iters_(iters) {}
+
+  template <typename Op>
+  void Measure(const std::string& section, const std::string& name, uint64_t iterations,
+               Op&& op) {
+    if (iterations == 0) {
+      iterations = 1;  // Tiny --iters values must not divide by zero (inf/nan JSON).
+    }
+    // Warm-up pass keeps one-time costs (puddle growth, log formatting, page
+    // faults) out of the steady-state numbers.
+    op();
+
+    FenceCountingObserver observer;
+    bench::Timer timer;
+    pmem::SetPersistObserver(&observer);
+    for (uint64_t i = 0; i < iterations; ++i) {
+      op();
+    }
+    pmem::SetPersistObserver(nullptr);
+    Row row;
+    row.section = section;
+    row.name = name;
+    row.iterations = iterations;
+    row.ns_per_op = timer.Nanos() / static_cast<double>(iterations);
+    row.fences_per_op =
+        static_cast<double>(observer.fences()) / static_cast<double>(iterations);
+    rows_.push_back(row);
+    std::printf("  %-28s %10.0f ns/op   %6.2f fences/op   (%" PRIu64 " iters)\n",
+                name.c_str(), row.ns_per_op, row.fences_per_op, iterations);
+  }
+
+  const std::vector<Row>& rows() const { return rows_; }
+  uint64_t iters() const { return iters_; }
+  bench::PuddlesEnv& env() { return env_; }
+
+ private:
+  bench::PuddlesEnv& env_;
+  uint64_t iters_;
+  std::vector<Row> rows_;
+};
+
+void RunTable3(Runner& runner) {
+  std::printf("table3 primitives (typed Tx API):\n");
+  puddles::Pool& pool = *runner.env().pool;
+  auto small_alloc = pool.MallocBytes(8, puddles::kRawBytesTypeId);
+  auto big_alloc = pool.MallocBytes(4096, puddles::kRawBytesTypeId);
+  if (!small_alloc.ok() || !big_alloc.ok()) {
+    std::fprintf(stderr, "scratch allocation failed\n");
+    std::abort();
+  }
+  uint8_t* small = static_cast<uint8_t*>(*small_alloc);
+  uint8_t* big = static_cast<uint8_t*>(*big_alloc);
+  const uint64_t iters = runner.iters();
+
+  runner.Measure("table3", "tx_nop", iters, [&] {
+    (void)pool.Run([](puddles::Tx&) { return puddles::OkStatus(); });
+  });
+  runner.Measure("table3", "tx_add_8B", iters, [&] {
+    (void)pool.Run([&](puddles::Tx& tx) {
+      RETURN_IF_ERROR(tx.LogRange(small, 8));
+      small[0]++;
+      return puddles::OkStatus();
+    });
+  });
+  runner.Measure("table3", "tx_add_4KiB", iters / 4, [&] {
+    (void)pool.Run([&](puddles::Tx& tx) {
+      RETURN_IF_ERROR(tx.LogRange(big, 4096));
+      big[0]++;
+      return puddles::OkStatus();
+    });
+  });
+  runner.Measure("table3", "tx_set_8B_redo", iters, [&] {
+    (void)pool.Run([&](puddles::Tx& tx) { return tx.Set(small, uint8_t{1}); });
+  });
+  // The acceptance shape: one transaction logging 32 ranges of an object it
+  // allocated — batched persistence commits it in a constant fence count.
+  runner.Measure("table3", "tx_alloc_log32_ranges", iters / 8, [&] {
+    (void)pool.Run([&](puddles::Tx& tx) {
+      ASSIGN_OR_RETURN(void* raw, tx.AllocBytes(32 * 64, puddles::kRawBytesTypeId));
+      uint8_t* arena = static_cast<uint8_t*>(raw);
+      for (int i = 0; i < 32; ++i) {
+        RETURN_IF_ERROR(tx.LogRange(arena + i * 64, 64));
+        arena[i * 64] = static_cast<uint8_t>(i);
+      }
+      return tx.FreeBytes(arena);
+    });
+  });
+  runner.Measure("table3", "tx_malloc_8B", iters / 8, [&] {
+    (void)pool.Run([&](puddles::Tx& tx) {
+      ASSIGN_OR_RETURN(void* p, tx.AllocBytes(8, puddles::kRawBytesTypeId));
+      return tx.FreeBytes(p);
+    });
+  });
+  runner.Measure("table3", "tx_malloc_4KiB", iters / 8, [&] {
+    (void)pool.Run([&](puddles::Tx& tx) {
+      ASSIGN_OR_RETURN(void* p, tx.AllocBytes(4096, puddles::kRawBytesTypeId));
+      return tx.FreeBytes(p);
+    });
+  });
+}
+
+void RunFig9(Runner& runner) {
+  std::printf("fig9 linked list (Puddles adapter):\n");
+  using List = workloads::PersistentList<workloads::PuddlesAdapter>;
+  List::RegisterTypes();
+  List list(runner.env().adapter());
+  if (!list.Init().ok()) {
+    std::fprintf(stderr, "list init failed\n");
+    std::abort();
+  }
+  const uint64_t iters = runner.iters() / 4;
+  uint64_t next_value = 0;
+  runner.Measure("fig9_list", "insert_tail", iters,
+                 [&] { (void)list.InsertTail(next_value++); });
+  runner.Measure("fig9_list", "delete_head", iters, [&] { (void)list.DeleteHead(); });
+  // Rebuild a fixed-size list for the traversal measurement.
+  while (list.count() > 0) {
+    (void)list.DeleteHead();
+  }
+  const uint64_t nodes = 4096;
+  for (uint64_t i = 0; i < nodes; ++i) {
+    (void)list.InsertTail(i);
+  }
+  runner.Measure("fig9_list", "sum_4096_nodes", 256, [&] { bench::DoNotOptimize(list.Sum()); });
+}
+
+void WriteJson(const Runner& runner, const std::string& path) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::abort();
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"commit-path batched persistence\",\n");
+  std::fprintf(out, "  \"generated_by\": \"tools/bench_runner.cc\",\n");
+  std::fprintf(out, "  \"protocol\": \"DESIGN.md section 10 (fence coalescing)\",\n");
+  std::fprintf(out, "  \"flush_instruction\": \"%s\",\n",
+               pmem::FlushInstructionName(pmem::ActiveFlushInstruction()));
+  std::fprintf(out, "  \"scale\": %.2f,\n", bench::ScaleFactor());
+  std::fprintf(out, "  \"results\": [\n");
+  const auto& rows = runner.rows();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"section\": \"%s\", \"name\": \"%s\", \"ns_per_op\": %.1f, "
+                 "\"fences_per_op\": %.3f, \"iterations\": %" PRIu64 "}%s\n",
+                 rows[i].section.c_str(), rows[i].name.c_str(), rows[i].ns_per_op,
+                 rows[i].fences_per_op, rows[i].iterations, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_commit.json";
+  uint64_t iters = bench::Scaled(20000);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--iters=", 0) == 0) {
+      iters = std::strtoull(arg.c_str() + 8, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "usage: bench_runner [--out=FILE] [--iters=N]\n");
+      return 2;
+    }
+  }
+  const auto scratch = bench::ScratchDir("bench_runner");
+  bench::PuddlesEnv env(scratch);
+  Runner runner(env, iters);
+  RunTable3(runner);
+  RunFig9(runner);
+  WriteJson(runner, out_path);
+  std::filesystem::remove_all(scratch);
+  return 0;
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI gate for the batched-persistence protocol (DESIGN.md §10): the per-entry
+# append hot path must stay free of persistence calls. LogRegion::AppendStaged
+# only stages cache lines into the caller's FlushBatch; publication (the one
+# flush pass + one fence) happens at the transaction's ordering points. A
+# Flush/Fence reappearing inside AppendStaged silently reverts transactions
+# to O(N) fences — this gate turns that regression into a CI failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+file=src/tx/log_format.cc
+body=$(awk '/^puddles::Status LogRegion::AppendStaged/,/^}/' "$file")
+if [ -z "$body" ]; then
+  echo "::error::$file: LogRegion::AppendStaged not found — gate needs updating"
+  exit 1
+fi
+if matches=$(echo "$body" | grep -nE 'pmem::(FlushFence|Flush|Fence|PersistStore64)\('); then
+  echo "$matches"
+  echo "::error::persistence call inside LogRegion::AppendStaged — the per-entry append path must stay fence-free (DESIGN.md §10)"
+  exit 1
+fi
+echo "append-path gate clean: AppendStaged stages only (no Flush/Fence)"

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's front-door docs.
+
+Verifies that every relative link in the given markdown files points at an
+existing file (relative to the linking file), and that fragment links
+(`file.md#anchor` or `#anchor`) resolve to a heading in the target using
+GitHub's slug algorithm. External (http/https/mailto) links are skipped —
+CI must not depend on the network.
+
+Usage: check_markdown_links.py FILE.md [FILE.md ...]
+Exit status: 0 iff every link resolves.
+"""
+
+import re
+import sys
+import unicodedata
+from pathlib import Path
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+IMAGE_RE = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces to dashes."""
+    text = unicodedata.normalize("NFKC", heading)
+    # Strip inline code/emphasis markers and links ([text](url) -> text).
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.replace("`", "").replace("*", "")
+    out = []
+    for ch in text.lower():
+        if ch.isalnum() or ch in ("-", "_"):
+            out.append(ch)
+        elif ch == " ":
+            out.append("-")
+        # Every other character (punctuation, §, …) is dropped.
+    return "".join(out)
+
+
+def anchors_of(path: Path) -> set:
+    anchors = set()
+    seen = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(2))
+        if slug in seen:
+            seen[slug] += 1
+            slug = f"{slug}-{seen[slug]}"
+        else:
+            seen[slug] = 0
+        anchors.add(slug)
+    return anchors
+
+
+def links_of(path: Path):
+    in_fence = False
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for regex in (LINK_RE, IMAGE_RE):
+            for m in regex.finditer(line):
+                yield lineno, m.group(1)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    errors = 0
+    checked = 0
+    for name in argv[1:]:
+        source = Path(name)
+        if not source.exists():
+            print(f"{name}: file not found")
+            errors += 1
+            continue
+        for lineno, target in links_of(source):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            checked += 1
+            if target.startswith("#"):
+                frag = target[1:]
+                if frag not in anchors_of(source):
+                    print(f"{name}:{lineno}: broken in-file anchor '#{frag}'")
+                    errors += 1
+                continue
+            file_part, _, frag = target.partition("#")
+            dest = (source.parent / file_part).resolve()
+            if not dest.exists():
+                print(f"{name}:{lineno}: broken link '{target}' (no such file)")
+                errors += 1
+                continue
+            if frag:
+                if dest.suffix.lower() not in (".md", ".markdown"):
+                    print(f"{name}:{lineno}: anchor on non-markdown target '{target}'")
+                    errors += 1
+                elif frag not in anchors_of(dest):
+                    print(f"{name}:{lineno}: broken anchor '{target}'")
+                    errors += 1
+    if errors:
+        print(f"link check FAILED: {errors} broken link(s) of {checked} checked")
+        return 1
+    print(f"link check OK: {checked} relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
