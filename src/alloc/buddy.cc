@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/common/align.h"
+#include "src/stats/stats.h"
 
 namespace puddles {
 
@@ -169,6 +170,7 @@ puddles::Result<int64_t> BuddyAllocator::Allocate(size_t size) {
     SetState(BlockIndex(offset), static_cast<uint8_t>(want), phase);
     SetFreeBytes(header_->free_bytes - OrderSize(want), phase);
   }
+  PUDDLES_COUNT(kBuddyAlloc);
   return offset;
 }
 
@@ -217,6 +219,7 @@ puddles::Status BuddyAllocator::Free(int64_t offset) {
     PushFree(offset, order, phase);
     SetFreeBytes(header_->free_bytes + freed, phase);
   }
+  PUDDLES_COUNT(kBuddyFree);
   return OkStatus();
 }
 

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/common/align.h"
+#include "src/stats/stats.h"
 
 namespace puddles {
 
@@ -57,6 +58,7 @@ puddles::Result<void*> ObjectHeap::Allocate(size_t payload_size, TypeId type_id)
   header->magic = kObjectMagic;
   header->size = static_cast<uint32_t>(payload_size);
   header->type_id = type_id;
+  PUDDLES_COUNT_N(kAllocBytes, total);
   return static_cast<void*>(header + 1);
 }
 
@@ -97,6 +99,7 @@ puddles::Status ObjectHeap::Free(void* payload) {
   // with its free-list node), so it cannot ride the allocator's group.
   sink_.WillWrite(&header->magic, sizeof(header->magic));
   sink_.Publish();
+  PUDDLES_COUNT_N(kFreeBytes, sizeof(ObjectHeader) + header->size);
   header->magic = 0;
   if (buddy_.IsAllocatedStart(offset)) {
     return buddy_.Free(offset);

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/common/align.h"
+#include "src/stats/stats.h"
 
 namespace puddles {
 
@@ -81,6 +82,7 @@ puddles::Result<int64_t> SlabAllocator::Allocate(size_t total) {
     // elided and commit persists its new contents instead.
     ASSIGN_OR_RETURN(slab_offset, buddy_->Allocate(kSlabBlockSize));
     sink_.NoteFresh(SlabAt(slab_offset), kSlabBlockSize);
+    PUDDLES_COUNT(kSlabCarve);
   }
 
   SlabHeader* slab = SlabAt(slab_offset);
@@ -139,6 +141,7 @@ puddles::Result<int64_t> SlabAllocator::Allocate(size_t total) {
       }
     }
   }
+  PUDDLES_COUNT(kSlabAlloc);
   return slab_offset + static_cast<int64_t>(sizeof(SlabHeader)) +
          static_cast<int64_t>(slot) * kSlabSlotSizes[class_index];
 }
@@ -188,8 +191,10 @@ puddles::Status SlabAllocator::Free(int64_t slot_offset) {
       PushPartial(class_index, slab_offset, phase);
     }
   }
+  PUDDLES_COUNT(kSlabFree);
   if (empties) {
     // Return the whole slab to the buddy allocator (its own group).
+    PUDDLES_COUNT(kSlabRetire);
     return buddy_->Free(slab_offset);
   }
   return OkStatus();

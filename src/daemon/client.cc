@@ -211,4 +211,21 @@ puddles::Result<ImportResult> SocketDaemonClient::ImportPool(const std::string& 
   return result;
 }
 
+// Embedded mode shares the process (and therefore the telemetry registry)
+// with the daemon, so the snapshot is taken directly — no dispatch, and no
+// kDaemonRequest bump, mirroring how EmbeddedDaemonClient::Ping never
+// touches the wire.
+puddles::Result<StatsReport> EmbeddedDaemonClient::FetchStats() { return BuildStatsReport(); }
+
+puddles::Result<StatsReport> SocketDaemonClient::FetchStats() {
+  WireWriter writer;
+  writer.PutU32(static_cast<uint32_t>(Op::kStats));
+  ASSIGN_OR_RETURN(auto message, RoundTrip(writer.bytes()));
+  WireReader reader(message.bytes);
+  RETURN_IF_ERROR(TakeStatus(message, reader));
+  StatsReport report;
+  RETURN_IF_ERROR(DecodeStatsReport(&reader, &report));
+  return report;
+}
+
 }  // namespace puddled

@@ -40,6 +40,10 @@ class DaemonClient {
   virtual puddles::Result<ImportResult> ImportPool(const std::string& src,
                                                    const std::string& new_name,
                                                    uint32_t mode = 0600) = 0;
+  // Telemetry snapshot of the serving process: counters, per-opcode request
+  // totals, and latency percentiles (the STATS opcode over the socket; the
+  // in-process snapshot when embedded).
+  virtual puddles::Result<StatsReport> FetchStats() = 0;
 };
 
 class EmbeddedDaemonClient : public DaemonClient {
@@ -91,6 +95,7 @@ class EmbeddedDaemonClient : public DaemonClient {
                                            uint32_t mode) override {
     return daemon_->ImportPool(src, new_name, creds_, mode);
   }
+  puddles::Result<StatsReport> FetchStats() override;  // client.cc (needs protocol.h).
 
  private:
   Daemon* daemon_;
@@ -119,6 +124,7 @@ class SocketDaemonClient : public DaemonClient {
   puddles::Status ExportPool(const std::string& name, const std::string& dest) override;
   puddles::Result<ImportResult> ImportPool(const std::string& src, const std::string& new_name,
                                            uint32_t mode) override;
+  puddles::Result<StatsReport> FetchStats() override;
 
  private:
   explicit SocketDaemonClient(puddles::UnixSocket socket) : socket_(std::move(socket)) {}

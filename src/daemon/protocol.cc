@@ -1,11 +1,51 @@
 #include "src/daemon/protocol.h"
 
+#include <cstdio>
 #include <cstring>
+
+#include "src/stats/stats.h"
+#include "src/stats/trace_ring.h"
 
 namespace puddled {
 
 using puddles::WireReader;
 using puddles::WireWriter;
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kPing:
+      return "ping";
+    case Op::kCreatePuddle:
+      return "create_puddle";
+    case Op::kGetPuddle:
+      return "get_puddle";
+    case Op::kStatPuddle:
+      return "stat_puddle";
+    case Op::kFindByAddr:
+      return "find_by_addr";
+    case Op::kDeletePuddle:
+      return "delete_puddle";
+    case Op::kCreatePool:
+      return "create_pool";
+    case Op::kOpenPool:
+      return "open_pool";
+    case Op::kRegisterLogSpace:
+      return "register_log_space";
+    case Op::kRegisterPtrMap:
+      return "register_ptr_map";
+    case Op::kGetPtrMap:
+      return "get_ptr_map";
+    case Op::kCompleteRewrite:
+      return "complete_rewrite";
+    case Op::kExportPool:
+      return "export_pool";
+    case Op::kImportPool:
+      return "import_pool";
+    case Op::kStats:
+      return "stats";
+  }
+  return "unknown";
+}
 
 void EncodePuddleInfo(WireWriter* writer, const PuddleInfo& info) {
   writer->PutUuid(info.uuid);
@@ -71,6 +111,112 @@ puddles::Status DecodeImportResult(WireReader* reader, ImportResult* result) {
   return reader->GetU32(&result->members_relocated);
 }
 
+StatsReport BuildStatsReport() {
+  namespace stats = puddles::stats;
+  const stats::Snapshot snap = stats::Aggregate();
+  StatsReport report;
+  report.live_threads = snap.live_threads;
+  report.retired_threads = snap.retired_threads;
+  report.counters.reserve(stats::kNumCounters);
+  for (size_t i = 0; i < stats::kNumCounters; ++i) {
+    report.counters.emplace_back(stats::CounterName(static_cast<stats::Counter>(i)),
+                                 snap.counters[i]);
+  }
+  for (size_t i = 0; i < stats::kMaxDaemonOps; ++i) {
+    if (snap.daemon_ops[i] == 0) {
+      continue;
+    }
+    const char* name = OpName(static_cast<Op>(i));
+    if (std::strcmp(name, "unknown") == 0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "op_%zu", i);
+      report.daemon_ops.emplace_back(buf, snap.daemon_ops[i]);
+    } else {
+      report.daemon_ops.emplace_back(name, snap.daemon_ops[i]);
+    }
+  }
+  report.hists.reserve(stats::kNumHists);
+  for (size_t i = 0; i < stats::kNumHists; ++i) {
+    const stats::Histogram& hist = snap.hists[i];
+    StatsHistRow row;
+    row.name = stats::HistName(static_cast<stats::Hist>(i));
+    row.count = hist.count();
+    row.sum_ns = stats::TicksToNanos(hist.sum());
+    row.p50_ns = stats::TicksToNanos(hist.p50());
+    row.p90_ns = stats::TicksToNanos(hist.p90());
+    row.p99_ns = stats::TicksToNanos(hist.p99());
+    row.p999_ns = stats::TicksToNanos(hist.p999());
+    row.max_ns = stats::TicksToNanos(hist.max());
+    report.hists.push_back(std::move(row));
+  }
+  return report;
+}
+
+void EncodeStatsReport(WireWriter* writer, const StatsReport& report) {
+  writer->PutU64(report.live_threads);
+  writer->PutU64(report.retired_threads);
+  writer->PutU32(static_cast<uint32_t>(report.counters.size()));
+  for (const auto& [name, value] : report.counters) {
+    writer->PutString(name);
+    writer->PutU64(value);
+  }
+  writer->PutU32(static_cast<uint32_t>(report.daemon_ops.size()));
+  for (const auto& [name, value] : report.daemon_ops) {
+    writer->PutString(name);
+    writer->PutU64(value);
+  }
+  writer->PutU32(static_cast<uint32_t>(report.hists.size()));
+  for (const StatsHistRow& row : report.hists) {
+    writer->PutString(row.name);
+    writer->PutU64(row.count);
+    writer->PutU64(row.sum_ns);
+    writer->PutU64(row.p50_ns);
+    writer->PutU64(row.p90_ns);
+    writer->PutU64(row.p99_ns);
+    writer->PutU64(row.p999_ns);
+    writer->PutU64(row.max_ns);
+  }
+}
+
+puddles::Status DecodeStatsReport(WireReader* reader, StatsReport* report) {
+  report->counters.clear();
+  report->daemon_ops.clear();
+  report->hists.clear();
+  RETURN_IF_ERROR(reader->GetU64(&report->live_threads));
+  RETURN_IF_ERROR(reader->GetU64(&report->retired_threads));
+  uint32_t n = 0;
+  RETURN_IF_ERROR(reader->GetU32(&n));
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    uint64_t value;
+    RETURN_IF_ERROR(reader->GetString(&name));
+    RETURN_IF_ERROR(reader->GetU64(&value));
+    report->counters.emplace_back(std::move(name), value);
+  }
+  RETURN_IF_ERROR(reader->GetU32(&n));
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    uint64_t value;
+    RETURN_IF_ERROR(reader->GetString(&name));
+    RETURN_IF_ERROR(reader->GetU64(&value));
+    report->daemon_ops.emplace_back(std::move(name), value);
+  }
+  RETURN_IF_ERROR(reader->GetU32(&n));
+  for (uint32_t i = 0; i < n; ++i) {
+    StatsHistRow row;
+    RETURN_IF_ERROR(reader->GetString(&row.name));
+    RETURN_IF_ERROR(reader->GetU64(&row.count));
+    RETURN_IF_ERROR(reader->GetU64(&row.sum_ns));
+    RETURN_IF_ERROR(reader->GetU64(&row.p50_ns));
+    RETURN_IF_ERROR(reader->GetU64(&row.p90_ns));
+    RETURN_IF_ERROR(reader->GetU64(&row.p99_ns));
+    RETURN_IF_ERROR(reader->GetU64(&row.p999_ns));
+    RETURN_IF_ERROR(reader->GetU64(&row.max_ns));
+    report->hists.push_back(std::move(row));
+  }
+  return puddles::OkStatus();
+}
+
 namespace {
 
 // Builds an error-only response.
@@ -91,6 +237,10 @@ DispatchResult DispatchRequest(Daemon& daemon, const Credentials& creds,
     out.response = ErrorResponse(s);
     return out;
   }
+  PUDDLES_TRACE_SPAN("daemon_request");
+  PUDDLES_SCOPED_TIMER(kDaemonServiceTicks);
+  PUDDLES_COUNT(kDaemonRequest);
+  PUDDLES_COUNT_DAEMON_OP(op_raw);
   WireWriter writer;
 
   switch (static_cast<Op>(op_raw)) {
@@ -267,6 +417,13 @@ DispatchResult DispatchRequest(Daemon& daemon, const Credentials& creds,
       if (result.ok()) {
         EncodeImportResult(&writer, *result);
       }
+      break;
+    }
+    case Op::kStats: {
+      // The bumps above run before the snapshot, so a STATS round trip always
+      // observes itself — a live daemon never reports all-zero counters.
+      writer.PutStatus(puddles::OkStatus());
+      EncodeStatsReport(&writer, BuildStatsReport());
       break;
     }
     default:

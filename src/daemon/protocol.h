@@ -27,7 +27,12 @@ enum class Op : uint32_t {
   kCompleteRewrite = 12,
   kExportPool = 13,
   kImportPool = 14,
+  kStats = 15,
 };
+
+// Stable lowercase wire/display name for an opcode ("ping", "stats", ...);
+// "unknown" for values outside the enum.
+const char* OpName(Op op);
 
 void EncodePuddleInfo(puddles::WireWriter* writer, const PuddleInfo& info);
 puddles::Status DecodePuddleInfo(puddles::WireReader* reader, PuddleInfo* info);
@@ -37,6 +42,14 @@ void EncodePtrMap(puddles::WireWriter* writer, const PtrMapRecord& record);
 puddles::Status DecodePtrMap(puddles::WireReader* reader, PtrMapRecord* record);
 void EncodeImportResult(puddles::WireWriter* writer, const ImportResult& result);
 puddles::Status DecodeImportResult(puddles::WireReader* reader, ImportResult* result);
+
+// Snapshots this process's telemetry (src/stats) into a wire-ready report:
+// counters and per-opcode totals by name, histogram ticks converted to
+// nanoseconds. Zero-valued counters are included (so dashboards see the full
+// catalog); all-zero builds (-DPUDDLES_STATS=0) produce an all-zero report.
+StatsReport BuildStatsReport();
+void EncodeStatsReport(puddles::WireWriter* writer, const StatsReport& report);
+puddles::Status DecodeStatsReport(puddles::WireReader* reader, StatsReport* report);
 
 // Server side: executes one decoded request against the daemon, producing the
 // response payload and (possibly) an fd to attach. Used by the socket server

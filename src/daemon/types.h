@@ -4,6 +4,9 @@
 
 #include <cstdint>
 #include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "src/common/uuid.h"
 #include "src/puddles/format.h"
@@ -100,6 +103,30 @@ struct PoolInfo {
   Uuid pool_uuid;
   Uuid meta_puddle;
   char name[64] = {};
+};
+
+// One latency histogram row of a STATS response; times in nanoseconds,
+// percentiles carry the log-bucket quantization (~3% relative error).
+struct StatsHistRow {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum_ns = 0;
+  uint64_t p50_ns = 0;
+  uint64_t p90_ns = 0;
+  uint64_t p99_ns = 0;
+  uint64_t p999_ns = 0;
+  uint64_t max_ns = 0;
+};
+
+// The STATS response: the serving process's telemetry snapshot. Name-keyed on
+// the wire so counter sets can evolve without breaking old readers — a client
+// renders whatever names arrive rather than indexing a shared enum.
+struct StatsReport {
+  uint64_t live_threads = 0;
+  uint64_t retired_threads = 0;
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, uint64_t>> daemon_ops;  // Nonzero ops only.
+  std::vector<StatsHistRow> hists;
 };
 
 }  // namespace puddled

@@ -3,6 +3,8 @@
 #include "src/libpuddles/runtime.h"
 #include "src/pmem/flush.h"
 #include "src/pmem/global_space.h"
+#include "src/stats/stats.h"
+#include "src/stats/trace_ring.h"
 
 namespace puddles {
 namespace {
@@ -28,6 +30,8 @@ LogSink TxSink(Transaction* tx) {
 }  // namespace
 
 puddles::Status Pool::AddDataPuddle() {
+  PUDDLES_TRACE_SPAN("pool_grow");
+  PUDDLES_COUNT(kPoolGrow);
   ASSIGN_OR_RETURN(auto created,
                    runtime_->client().CreatePuddle(PuddleKind::kData, kDefaultHeapSize,
                                                    info_.pool_uuid));

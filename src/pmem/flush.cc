@@ -8,6 +8,7 @@
 
 #include "src/common/align.h"
 #include "src/pmem/shadow.h"
+#include "src/stats/stats.h"
 
 namespace pmem {
 namespace {
@@ -141,6 +142,8 @@ void Flush(const void* addr, size_t size) {
 #endif
   g_flushed_lines.fetch_add(lines, std::memory_order_relaxed);
   g_flush_calls.fetch_add(1, std::memory_order_relaxed);
+  PUDDLES_COUNT(kFlushCalls);
+  PUDDLES_COUNT_N(kFlushLinesPublished, lines);
   if (internal::g_shadow_active.load(std::memory_order_acquire)) {
     ShadowRegistry::Instance().OnFlush(addr, size);
   }
@@ -154,6 +157,7 @@ void Fence() {
   std::atomic_thread_fence(std::memory_order_seq_cst);
 #endif
   g_fences.fetch_add(1, std::memory_order_relaxed);
+  PUDDLES_COUNT(kFences);
   NotifyObserver([](PersistObserver* observer) { observer->OnFence(); });
 }
 
@@ -185,6 +189,7 @@ void FlushBatch::Add(const void* addr, size_t size) {
                                              puddles::kCacheLineSize);
   const uintptr_t end = puddles::AlignUp(reinterpret_cast<uintptr_t>(addr) + size,
                                          puddles::kCacheLineSize);
+  PUDDLES_COUNT_N(kFlushLinesStaged, (end - start) / puddles::kCacheLineSize);
   ranges_.push_back({start, end});
 }
 
@@ -216,6 +221,7 @@ void FlushBatch::FlushPending() {
   if (ranges_.empty()) {
     return;
   }
+  PUDDLES_COUNT(kFlushBatchPublish);
   MergeRanges();
   for (const auto& [start, end] : ranges_) {
     Flush(reinterpret_cast<const void*>(start), end - start);

@@ -1,0 +1,210 @@
+// Runtime telemetry: per-thread lock-free counters, latency histograms, and
+// scoped trace spans, aggregated on demand into a process-wide snapshot.
+//
+// Design rules (DESIGN.md §11):
+//   * Stats writes are VOLATILE-ONLY. Nothing in this subsystem may flush,
+//     fence, or touch persistent memory — instrumentation must be invisible
+//     to the persistence ordering the rest of the tree is verified against
+//     (enforced by tools/check_stats_path.sh).
+//   * The fast path is wait-free and allocation-free: a TLS pointer load, a
+//     branch, and a relaxed load+store bump on a cacheline owned by the
+//     calling thread. Slots register once per thread (the only lock), live
+//     until thread exit, and retire their totals into a global accumulator so
+//     Aggregate() is exact over dead threads too.
+//   * Everything compiles to nothing under -DPUDDLES_STATS=0: call sites use
+//     the PUDDLES_* macros below, never the functions directly.
+//
+// Timers record raw TSC ticks (rdtsc — ~2 ns, vs ~20 ns for clock_gettime)
+// and convert to nanoseconds at report time via TicksToNanos().
+#ifndef SRC_STATS_STATS_H_
+#define SRC_STATS_STATS_H_
+
+#ifndef PUDDLES_STATS
+#define PUDDLES_STATS 1
+#endif
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "src/stats/histogram.h"
+
+namespace puddles {
+namespace stats {
+
+// ---- Counter catalog ----
+// One entry per always-on volatile counter. CounterName() must stay in sync
+// (stats.cc has a static_assert on the name table length).
+enum class Counter : uint32_t {
+  // Transactions (src/tx).
+  kTxBegin = 0,       // Outermost transactions begun.
+  kTxCommit,          // Outermost transactions committed.
+  kTxAbort,           // Outermost transactions aborted/rolled back.
+  kUndoAppend,        // Undo log entries appended.
+  kUndoElided,        // Undo captures skipped by coverage elision.
+  kRedoAppend,        // Redo log entries appended.
+  kVolatileAppend,    // Volatile (DRAM) undo entries appended.
+  kLogBytes,          // Log bytes staged (entry header + payload, aligned).
+  kLogChain,          // Continuation log puddles chained (Fig. 5 growth).
+  // Persistence primitives (src/pmem).
+  kFences,            // sfence ordering points issued.
+  kFlushCalls,        // pmem::Flush invocations (post-dedup runs).
+  kFlushLinesPublished,  // Cache lines actually written back.
+  kFlushLinesStaged,  // Cache lines staged into FlushBatches (pre-dedup).
+  kFlushBatchPublish, // FlushBatch::FlushPending passes that flushed work.
+  // Allocators (src/alloc).
+  kBuddyAlloc,        // Buddy blocks allocated.
+  kBuddyFree,         // Buddy blocks freed.
+  kSlabAlloc,         // Slab slots allocated.
+  kSlabFree,          // Slab slots freed.
+  kSlabCarve,         // Slab refills: 4 KiB blocks carved from the buddy.
+  kSlabRetire,        // Emptied slabs returned to the buddy.
+  kAllocBytes,        // Payload bytes handed out by ObjectHeap::Allocate.
+  kFreeBytes,         // Payload bytes released by ObjectHeap::Free.
+  // Pool / runtime (src/libpuddles).
+  kPoolGrow,          // Data puddles added to pools.
+  // Daemon (src/daemon) — totals; the per-opcode breakdown is separate.
+  kDaemonRequest,     // Requests dispatched (socket protocol path).
+  kNumCounters,       // Sentinel; keep last.
+};
+
+inline constexpr size_t kNumCounters = static_cast<size_t>(Counter::kNumCounters);
+
+// Stable short name for dashboards, the STATS wire payload, and puddlestat.
+const char* CounterName(Counter counter);
+
+// ---- Histogram catalog ----
+enum class Hist : uint32_t {
+  kTxCommitTicks = 0,   // Pool::Run / Transaction commit latency.
+  kFlushPublishTicks,   // FlushBatch publication (flush pass + fence).
+  kDaemonServiceTicks,  // Daemon request service time (DispatchRequest).
+  kNumHists,            // Sentinel; keep last.
+};
+
+inline constexpr size_t kNumHists = static_cast<size_t>(Hist::kNumHists);
+
+const char* HistName(Hist hist);
+
+// Daemon per-opcode request counters: indexed by the raw wire opcode,
+// clamped into the overflow slot when out of range (forward compatibility
+// with unknown ops).
+inline constexpr size_t kMaxDaemonOps = 32;
+
+// ---- Process-wide snapshot ----
+struct Snapshot {
+  uint64_t counters[kNumCounters] = {};
+  uint64_t daemon_ops[kMaxDaemonOps] = {};
+  Histogram hists[kNumHists];
+  uint64_t live_threads = 0;     // Slots still owned by running threads.
+  uint64_t retired_threads = 0;  // Threads whose totals were folded in.
+
+  uint64_t counter(Counter c) const { return counters[static_cast<size_t>(c)]; }
+  const Histogram& hist(Hist h) const { return hists[static_cast<size_t>(h)]; }
+};
+
+// Sums every live per-thread slot plus the retired accumulator. Exact once
+// writer threads have quiesced (joined); during concurrent updates it is a
+// monotonic, slightly-trailing monitoring view.
+Snapshot Aggregate();
+
+// Subtracts counters/ops bucket-wise (for before/after deltas in benches and
+// tests). Histograms are subtracted bucket-wise too; callers should only
+// diff quiesced snapshots.
+Snapshot Delta(const Snapshot& after, const Snapshot& before);
+
+// Test hook: folds every live slot and the retired accumulator to zero.
+// Not safe to run concurrently with writers mid-bump; tests quiesce first.
+void ResetForTesting();
+
+// ---- Clocks ----
+// Raw timestamp in TSC ticks (nanoseconds on non-x86 fallbacks).
+uint64_t NowTicks();
+// Converts a tick delta to nanoseconds using a ratio calibrated against
+// CLOCK_MONOTONIC since process start (self-correcting as uptime grows).
+uint64_t TicksToNanos(uint64_t ticks);
+
+// ---- Fast-path implementation ----
+// Cacheline-padded per-thread slot. Writers: owning thread only, relaxed
+// load+store (no lock-prefixed RMW). Readers: Aggregate(), relaxed loads.
+struct alignas(64) ThreadSlot {
+  std::atomic<uint64_t> counters[kNumCounters] = {};
+  std::atomic<uint64_t> daemon_ops[kMaxDaemonOps] = {};
+  AtomicHistogram hists[kNumHists];
+
+  void Bump(Counter c, uint64_t n) {
+    std::atomic<uint64_t>& slot = counters[static_cast<size_t>(c)];
+    slot.store(slot.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
+  }
+  void BumpDaemonOp(uint32_t op) {
+    const size_t i = op < kMaxDaemonOps ? op : kMaxDaemonOps - 1;
+    daemon_ops[i].store(daemon_ops[i].load(std::memory_order_relaxed) + 1,
+                        std::memory_order_relaxed);
+  }
+  void Record(Hist h, uint64_t ticks) { hists[static_cast<size_t>(h)].Record(ticks); }
+};
+
+namespace internal {
+// Registers (first call on a thread) and returns this thread's slot. The
+// slow path takes the registry lock exactly once per thread lifetime.
+ThreadSlot& Slot();
+extern thread_local ThreadSlot* tls_slot;
+}  // namespace internal
+
+inline ThreadSlot& LocalSlot() {
+  ThreadSlot* slot = internal::tls_slot;
+  return slot != nullptr ? *slot : internal::Slot();
+}
+
+inline void Add(Counter c, uint64_t n) { LocalSlot().Bump(c, n); }
+inline void AddDaemonOp(uint32_t op) { LocalSlot().BumpDaemonOp(op); }
+inline void Record(Hist h, uint64_t ticks) { LocalSlot().Record(h, ticks); }
+
+// RAII tick timer recording into a histogram on scope exit.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Hist hist) : hist_(hist), start_(NowTicks()) {}
+  ~ScopedTimer() { Record(hist_, NowTicks() - start_); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Hist hist_;
+  uint64_t start_;
+};
+
+}  // namespace stats
+}  // namespace puddles
+
+// ---- Instrumentation macros ----
+// The only sanctioned call-site surface: under -DPUDDLES_STATS=0 every macro
+// expands to nothing and the instrumented binaries carry zero telemetry code.
+#if PUDDLES_STATS
+
+#define PUDDLES_STATS_CONCAT2(a, b) a##b
+#define PUDDLES_STATS_CONCAT(a, b) PUDDLES_STATS_CONCAT2(a, b)
+
+// Bump a counter by 1 / by n.
+#define PUDDLES_COUNT(counter) ::puddles::stats::Add(::puddles::stats::Counter::counter, 1)
+#define PUDDLES_COUNT_N(counter, n) \
+  ::puddles::stats::Add(::puddles::stats::Counter::counter, (n))
+// Per-opcode daemon request accounting.
+#define PUDDLES_COUNT_DAEMON_OP(op) ::puddles::stats::AddDaemonOp((op))
+// Record a pre-measured tick delta.
+#define PUDDLES_RECORD_TICKS(hist, ticks) \
+  ::puddles::stats::Record(::puddles::stats::Hist::hist, (ticks))
+// Time the rest of the enclosing scope into a histogram.
+#define PUDDLES_SCOPED_TIMER(hist)                     \
+  ::puddles::stats::ScopedTimer PUDDLES_STATS_CONCAT( \
+      puddles_stats_timer_, __LINE__)(::puddles::stats::Hist::hist)
+
+#else  // !PUDDLES_STATS
+
+#define PUDDLES_COUNT(counter) ((void)0)
+#define PUDDLES_COUNT_N(counter, n) ((void)0)
+#define PUDDLES_COUNT_DAEMON_OP(op) ((void)0)
+#define PUDDLES_RECORD_TICKS(hist, ticks) ((void)0)
+#define PUDDLES_SCOPED_TIMER(hist) ((void)0)
+
+#endif  // PUDDLES_STATS
+
+#endif  // SRC_STATS_STATS_H_

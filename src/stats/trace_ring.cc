@@ -1,0 +1,163 @@
+#include "src/stats/trace_ring.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace puddles {
+namespace stats {
+namespace {
+
+// Events preserved from exited threads (FIFO-capped).
+constexpr size_t kMaxRetiredEvents = 16384;
+
+struct RetiredEvent {
+  const char* name;
+  uint64_t start_ticks;
+  uint64_t dur_ticks;
+  uint32_t tid;
+};
+
+// Ring registry: separate from the counter registry so the two subsystems
+// stay independently usable. Leaked on purpose (see stats.cc).
+class TraceRegistry {
+ public:
+  static TraceRegistry& Instance() {
+    static TraceRegistry* registry = new TraceRegistry();
+    return *registry;
+  }
+
+  std::pair<TraceRing*, uint32_t> Register() {
+    TraceRing* ring = new TraceRing();
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint32_t tid = next_tid_++;
+    rings_.push_back({ring, tid});
+    return {ring, tid};
+  }
+
+  void Retire(TraceRing* ring, uint32_t tid) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < rings_.size(); ++i) {
+      if (rings_[i].first == ring) {
+        rings_[i] = rings_.back();
+        rings_.pop_back();
+        break;
+      }
+    }
+    const size_t n = ring->size();
+    for (size_t i = 0; i < n; ++i) {
+      const TraceEvent& event = ring->at(i);
+      retired_.push_back({event.name.load(std::memory_order_relaxed),
+                          event.start_ticks.load(std::memory_order_relaxed),
+                          event.dur_ticks.load(std::memory_order_relaxed), tid});
+      if (retired_.size() > kMaxRetiredEvents) {
+        retired_.pop_front();
+      }
+    }
+    delete ring;
+  }
+
+  size_t Export(std::string* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    out->clear();
+    out->append("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    size_t written = 0;
+    char buf[256];
+    const int pid = static_cast<int>(::getpid());
+    auto emit = [&](const char* name, uint64_t start, uint64_t dur, uint32_t tid) {
+      if (name == nullptr) {
+        return;  // Slot never completed (export racing a writer).
+      }
+      const double ts_us = static_cast<double>(TicksToNanos(start)) / 1000.0;
+      const double dur_us = static_cast<double>(TicksToNanos(dur)) / 1000.0;
+      const int len = std::snprintf(
+          buf, sizeof(buf),
+          "%s{\"name\":\"%s\",\"ph\":\"X\",\"cat\":\"puddles\",\"ts\":%.3f,"
+          "\"dur\":%.3f,\"pid\":%d,\"tid\":%u}",
+          written == 0 ? "" : ",", name, ts_us, dur_us, pid, tid);
+      out->append(buf, static_cast<size_t>(len));
+      ++written;
+    };
+    for (const RetiredEvent& event : retired_) {
+      emit(event.name, event.start_ticks, event.dur_ticks, event.tid);
+    }
+    for (const auto& [ring, tid] : rings_) {
+      const size_t n = ring->size();
+      for (size_t i = 0; i < n; ++i) {
+        const TraceEvent& event = ring->at(i);
+        emit(event.name.load(std::memory_order_relaxed),
+             event.start_ticks.load(std::memory_order_relaxed),
+             event.dur_ticks.load(std::memory_order_relaxed), tid);
+      }
+    }
+    out->append("]}\n");
+    return written;
+  }
+
+  void ResetForTesting() {
+    std::lock_guard<std::mutex> lock(mu_);
+    retired_.clear();
+    for (auto& [ring, tid] : rings_) {
+      (void)tid;
+      ring->Reset();
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::pair<TraceRing*, uint32_t>> rings_;
+  std::deque<RetiredEvent> retired_;
+  uint32_t next_tid_ = 1;
+};
+
+struct RingOwner {
+  TraceRing* ring = nullptr;
+  uint32_t tid = 0;
+  ~RingOwner() {
+    if (ring != nullptr) {
+      internal::tls_ring = nullptr;
+      TraceRegistry::Instance().Retire(ring, tid);
+    }
+  }
+};
+
+thread_local RingOwner tls_ring_owner;
+
+}  // namespace
+
+namespace internal {
+
+thread_local TraceRing* tls_ring = nullptr;
+
+TraceRing& Ring() {
+  if (tls_ring == nullptr) {
+    auto [ring, tid] = TraceRegistry::Instance().Register();
+    tls_ring_owner.ring = ring;
+    tls_ring_owner.tid = tid;
+    tls_ring = ring;
+  }
+  return *tls_ring;
+}
+
+}  // namespace internal
+
+size_t WriteChromeTrace(std::string* out) { return TraceRegistry::Instance().Export(out); }
+
+bool WriteChromeTraceFile(const std::string& path) {
+  std::string json;
+  WriteChromeTrace(&json);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  return std::fclose(f) == 0 && written == json.size();
+}
+
+void ResetTraceForTesting() { TraceRegistry::Instance().ResetForTesting(); }
+
+}  // namespace stats
+}  // namespace puddles

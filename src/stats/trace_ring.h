@@ -1,0 +1,117 @@
+// Bounded per-thread trace-event ring with a chrome://tracing exporter.
+//
+// Each thread owns a fixed-size ring of completed spans (name, start, dur).
+// PUDDLES_TRACE_SPAN("name") opens a scoped span: construction stamps the
+// start, destruction pushes one event — two TSC reads and a few relaxed
+// stores, no allocation, no locks, and the ring overwrites its oldest entry
+// when full, so tracing can stay enabled in production without unbounded
+// memory. Span names must be string literals (the ring stores the pointer).
+//
+// WriteChromeTrace() serializes every thread's ring (live and exited) into
+// the Chrome Trace Event JSON format: load the file at chrome://tracing or
+// https://ui.perfetto.dev. Export is designed for quiesced or best-effort
+// use: event fields are relaxed atomics (data-race-free under TSan), but an
+// export racing a writer may see a ring slot mid-overwrite.
+//
+// Like all of src/stats, this is volatile-only instrumentation and compiles
+// to nothing under -DPUDDLES_STATS=0.
+#ifndef SRC_STATS_TRACE_RING_H_
+#define SRC_STATS_TRACE_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/stats/stats.h"
+
+// Events retained per thread; override with -DPUDDLES_TRACE_RING_CAP=N.
+#ifndef PUDDLES_TRACE_RING_CAP
+#define PUDDLES_TRACE_RING_CAP 4096
+#endif
+
+namespace puddles {
+namespace stats {
+
+inline constexpr size_t kTraceRingCap = PUDDLES_TRACE_RING_CAP;
+
+struct TraceEvent {
+  std::atomic<const char*> name{nullptr};  // Static string literal.
+  std::atomic<uint64_t> start_ticks{0};
+  std::atomic<uint64_t> dur_ticks{0};
+};
+
+class TraceRing {
+ public:
+  void Push(const char* name, uint64_t start_ticks, uint64_t dur_ticks) {
+    const uint64_t i = next_.load(std::memory_order_relaxed);
+    TraceEvent& event = events_[i % kTraceRingCap];
+    event.name.store(name, std::memory_order_relaxed);
+    event.start_ticks.store(start_ticks, std::memory_order_relaxed);
+    event.dur_ticks.store(dur_ticks, std::memory_order_relaxed);
+    next_.store(i + 1, std::memory_order_release);
+  }
+
+  // Logically empties the ring (stale slots are never re-read: size() is
+  // derived from the push cursor).
+  void Reset() { next_.store(0, std::memory_order_release); }
+
+  uint64_t pushed() const { return next_.load(std::memory_order_acquire); }
+  size_t size() const {
+    const uint64_t n = pushed();
+    return n < kTraceRingCap ? static_cast<size_t>(n) : kTraceRingCap;
+  }
+  const TraceEvent& at(size_t i) const { return events_[i]; }
+
+ private:
+  TraceEvent events_[kTraceRingCap];
+  std::atomic<uint64_t> next_{0};
+};
+
+namespace internal {
+// This thread's ring, registering it on first use (one lock per thread).
+TraceRing& Ring();
+extern thread_local TraceRing* tls_ring;
+}  // namespace internal
+
+inline void PushSpan(const char* name, uint64_t start_ticks, uint64_t dur_ticks) {
+  TraceRing* ring = internal::tls_ring;
+  (ring != nullptr ? *ring : internal::Ring()).Push(name, start_ticks, dur_ticks);
+}
+
+// RAII span: stamps start on entry, pushes the completed event on exit.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) : name_(name), start_(NowTicks()) {}
+  ~ScopedSpan() { PushSpan(name_, start_, NowTicks() - start_); }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  uint64_t start_;
+};
+
+// Serializes all rings as Chrome Trace Event JSON ("X" complete events,
+// timestamps in microseconds). Returns the number of events written.
+size_t WriteChromeTrace(std::string* out);
+
+// Convenience: WriteChromeTrace to a file. Returns false on I/O failure.
+bool WriteChromeTraceFile(const std::string& path);
+
+// Test hook: drops all live ring contents and retired events.
+void ResetTraceForTesting();
+
+}  // namespace stats
+}  // namespace puddles
+
+#if PUDDLES_STATS
+// Trace the rest of the enclosing scope as one named span.
+#define PUDDLES_TRACE_SPAN(name)                      \
+  ::puddles::stats::ScopedSpan PUDDLES_STATS_CONCAT( \
+      puddles_stats_span_, __LINE__)(name)
+#else
+#define PUDDLES_TRACE_SPAN(name) ((void)0)
+#endif
+
+#endif  // SRC_STATS_TRACE_RING_H_

@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "src/pmem/flush.h"
+#include "src/stats/stats.h"
+#include "src/stats/trace_ring.h"
 
 namespace puddles {
 namespace {
@@ -83,6 +85,7 @@ puddles::Result<Transaction*> Transaction::BeginWith(const TxTarget* target) {
   tx->chain_.push_back(target->log);
   tx->depth_ = 1;
   ++tx->epoch_;  // New outermost transaction: invalidate stale Tx handles.
+  PUDDLES_COUNT(kTxBegin);
   return tx;
 }
 
@@ -114,6 +117,7 @@ puddles::Status Transaction::AppendEntry(uint64_t addr, const void* data, uint32
     }
     // Chain a continuation log puddle (Fig. 5). The link persists before any
     // entry lands in the new region, so recovery can always follow it.
+    PUDDLES_COUNT(kLogChain);
     ASSIGN_OR_RETURN(auto grown, target_->grow());
     auto [new_region, uuid] = grown;
     region->SetNextLog(uuid);
@@ -122,6 +126,7 @@ puddles::Status Transaction::AppendEntry(uint64_t addr, const void* data, uint32
     status = region->AppendStaged(addr, data, size, seq, order, flags, &batch_);
   }
   RETURN_IF_ERROR(status);
+  PUDDLES_COUNT_N(kLogBytes, LogRegion::EntrySpan(size));
   EntryRef ref;
   ref.region = region;
   ref.offset = region->capacity() - region->free_bytes() - LogRegion::EntrySpan(size);
@@ -150,10 +155,12 @@ puddles::Status Transaction::AddUndoInternal(void* addr, size_t size, bool publi
   // last, so a later overlapping snapshot adds nothing.
   if (RangeCovered(fresh_ranges_, addr, size) ||
       RangeCovered(logged_undo_ranges_, addr, size)) {
+    PUDDLES_COUNT(kUndoElided);
     return OkStatus();
   }
   RETURN_IF_ERROR(AppendEntry(reinterpret_cast<uint64_t>(addr), addr,
                               static_cast<uint32_t>(size), kUndoSeq, ReplayOrder::kReverse, 0));
+  PUDDLES_COUNT(kUndoAppend);
   logged_undo_ranges_.emplace_back(addr, size);
   if (publish) {
     // Pre-mutation ordering point: the entry (and everything else pending)
@@ -175,6 +182,7 @@ void Transaction::PublishStaged() {
   if (batch_.empty()) {
     return;
   }
+  PUDDLES_SCOPED_TIMER(kFlushPublishTicks);
   batch_.FlushPending();
   pmem::Fence();
 }
@@ -183,13 +191,18 @@ puddles::Status Transaction::AddVolatileUndo(void* addr, size_t size) {
   if (size > UINT32_MAX) {
     return InvalidArgumentError("undo range exceeds the 4 GiB log-entry limit");
   }
-  return AppendEntry(reinterpret_cast<uint64_t>(addr), addr, static_cast<uint32_t>(size),
-                     kUndoSeq, ReplayOrder::kReverse, kLogEntryVolatile);
+  RETURN_IF_ERROR(AppendEntry(reinterpret_cast<uint64_t>(addr), addr,
+                              static_cast<uint32_t>(size), kUndoSeq, ReplayOrder::kReverse,
+                              kLogEntryVolatile));
+  PUDDLES_COUNT(kVolatileAppend);
+  return OkStatus();
 }
 
 puddles::Status Transaction::RedoWrite(void* dst, const void* src, uint32_t size) {
-  return AppendEntry(reinterpret_cast<uint64_t>(dst), src, size, kRedoSeq,
-                     ReplayOrder::kForward, 0);
+  RETURN_IF_ERROR(AppendEntry(reinterpret_cast<uint64_t>(dst), src, size, kRedoSeq,
+                              ReplayOrder::kForward, 0));
+  PUDDLES_COUNT(kRedoAppend);
+  return OkStatus();
 }
 
 void Transaction::DeferFree(std::function<puddles::Status()> op) {
@@ -228,6 +241,9 @@ puddles::Status Transaction::Commit() {
 }
 
 puddles::Status Transaction::CommitOutermost() {
+  PUDDLES_TRACE_SPAN("tx_commit");
+  PUDDLES_SCOPED_TIMER(kTxCommitTicks);
+  PUDDLES_COUNT(kTxCommit);
   // Deferred frees run first, while undo logging is live: their metadata
   // mutations become part of this transaction.
   for (auto& op : deferred_frees_) {
@@ -257,8 +273,11 @@ puddles::Status Transaction::CommitOutermost() {
   for (const auto& [addr, size] : fresh_ranges_) {
     batch_.Add(addr, size);
   }
-  batch_.FlushPending();
-  pmem::Fence();
+  {
+    PUDDLES_SCOPED_TIMER(kFlushPublishTicks);
+    batch_.FlushPending();
+    pmem::Fence();
+  }
   StageHook("s1_flushed");
 
   // Undo-only fast path: with no redo entries, stages 2/3 degenerate — the
@@ -291,8 +310,11 @@ puddles::Status Transaction::CommitOutermost() {
     }
     StageHook("redo_applied_one");
   }
-  batch_.FlushPending();
-  pmem::Fence();
+  {
+    PUDDLES_SCOPED_TIMER(kFlushPublishTicks);
+    batch_.FlushPending();
+    pmem::Fence();
+  }
   StageHook("s2_applied");
 
   // ---- Stage 3: mark committed and drop the log. ----
@@ -323,6 +345,7 @@ puddles::Status Transaction::Abort() {
   if (!active()) {
     return FailedPreconditionError("no active transaction");
   }
+  PUDDLES_COUNT(kTxAbort);
   // Roll back by applying undo entries newest-first; volatile entries are
   // included so DRAM state tracks the PM rollback (§4.1). Staged entries not
   // yet published are applied too — they live in the mapped log bytes, and

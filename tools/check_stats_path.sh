@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# CI gate for the telemetry subsystem (DESIGN.md §11). Two invariants:
+#
+#  1. Hot paths stay cheap. The per-entry append path (LogRegion::AppendStaged)
+#     must carry NO stats calls at all, and the FlushBatch staging/publish
+#     bodies may carry counter bumps only — no timers, spans, or anything that
+#     reads a clock or takes a lock per entry. A stray PUDDLES_SCOPED_TIMER in
+#     FlushBatch::Add would put two rdtsc reads on every logged range.
+#
+#  2. Telemetry is volatile-only. Nothing under src/stats may flush, fence, or
+#     otherwise touch persistent memory: instrumentation must be invisible to
+#     the persistence ordering that crashsim and the fence-count benches
+#     verify. A pmem:: call creeping into src/stats changes the crash-state
+#     space of every instrumented path.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1a. AppendStaged: zero stats calls (it runs per log entry). ---
+file=src/tx/log_format.cc
+body=$(awk '/^puddles::Status LogRegion::AppendStaged/,/^}/' "$file")
+if [ -z "$body" ]; then
+  echo "::error::$file: LogRegion::AppendStaged not found — gate needs updating"
+  exit 1
+fi
+if matches=$(echo "$body" | grep -nE 'PUDDLES_(COUNT|RECORD|SCOPED|TRACE)|stats::'); then
+  echo "$matches"
+  echo "::error::stats call inside LogRegion::AppendStaged — the per-entry append path carries no telemetry (counting happens once per entry in Transaction::AppendEntry)"
+  fail=1
+fi
+
+# --- 1b. FlushBatch bodies: counter macros only. ---
+file=src/pmem/flush.cc
+for fn in 'void FlushBatch::Add' 'void FlushBatch::FlushPending'; do
+  body=$(awk "/^${fn}/,/^}/" "$file")
+  if [ -z "$body" ]; then
+    echo "::error::$file: ${fn} not found — gate needs updating"
+    exit 1
+  fi
+  if matches=$(echo "$body" | grep -nE 'PUDDLES_(SCOPED_TIMER|RECORD_TICKS|TRACE_SPAN)|ScopedTimer|ScopedSpan|NowTicks'); then
+    echo "$matches"
+    echo "::error::timer/span inside ${fn} — FlushBatch hot paths allow counter bumps only (no per-call clock reads)"
+    fail=1
+  fi
+done
+
+# --- 2. src/stats is volatile-only: no persistence primitives, no PM. ---
+# Comments stripped first: counter documentation may legitimately NAME the
+# primitives it counts.
+if matches=$(find src/stats -type f \( -name '*.h' -o -name '*.cc' \) \
+    -exec sed 's://.*$::' {} + | grep -nE 'pmem::(Flush|Fence|FlushFence|PersistStore64|FlushBatch)|clwb|clflush|sfence'); then
+  echo "$matches"
+  echo "::error::persistence call inside src/stats — telemetry is volatile-only (DESIGN.md §11)"
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "stats-path gate clean: hot paths counter-only, src/stats volatile-only"
