@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/common/align.h"
+#include "src/common/bug_hooks.h"
 #include "src/stats/stats.h"
 
 namespace puddles {
@@ -141,6 +142,19 @@ puddles::Result<int64_t> BuddyAllocator::Allocate(size_t size) {
 
   const int64_t offset = header_->free_head[start_order];
 
+  // The popped head must look like a free node of this order before anything
+  // dereferences its links. A free list chained through caller data (the
+  // reachable-after-rollback hole the protective capture below closes) fails
+  // here as a contained DataLossError instead of a wild pointer chase.
+  const FreeNode* head = NodeAt(offset);
+  if (head->order != start_order || head->check != ~start_order || head->prev != -1 ||
+      head->next < -1 ||
+      (head->next >= 0 &&
+       (static_cast<size_t>(head->next) + sizeof(FreeNode) > heap_size_ ||
+        !IsAligned(static_cast<uint64_t>(head->next), kMinBlockSize)))) {
+    return DataLossError("buddy free list corrupt at head");
+  }
+
   // Two passes over the same sequence: declare every touched range, publish
   // the whole group under one fence, then store. The splits push at strictly
   // descending orders while the removal touched only start_order's list, so
@@ -151,7 +165,8 @@ puddles::Result<int64_t> BuddyAllocator::Allocate(size_t size) {
       sink_.Publish();
     }
     RemoveFree(offset, start_order, phase);
-    if (phase == Phase::kDeclare) {
+    if (phase == Phase::kDeclare &&
+        !bug_hooks::buddy_skip_protective_capture.load(std::memory_order_relaxed)) {
       // Protective capture of the returned block's free-list node: if the
       // transaction rolls back, this block is free again and free_head points
       // at these bytes — but the caller may legitimately overwrite them (a

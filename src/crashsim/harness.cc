@@ -6,6 +6,9 @@
 #include <cerrno>
 #include <cstdio>
 #include <filesystem>
+#include <map>
+#include <memory>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <utility>
@@ -68,11 +71,29 @@ std::string HarnessReport::Summary() const {
   std::ostringstream out;
   out << workload << ": " << states_enumerated << " crash states ("
       << fence_boundary_states << " fence-boundary, " << eviction_states
-      << " eviction-subset) from " << epochs << " epochs over " << ops << " ops; "
-      << recoveries_ok << " recovered ok, " << recovery_failures << " recovery failures, "
-      << invariant_failures << " invariant failures; " << distinct_outcomes
-      << " distinct recovered states; trace: " << flush_calls << " flushes / " << fences
-      << " fences / " << trace_bytes << " delta bytes";
+      << " eviction-subset";
+  if (thread_mask_states != 0) {
+    out << ", " << thread_mask_states << " thread-mask";
+  }
+  out << ") from " << epochs << " epochs over " << ops << " ops";
+  if (trace_threads > 1) {
+    out << " (" << trace_threads << " threads)";
+  }
+  out << "; " << recoveries_ok << " recovered ok, " << recovery_failures
+      << " recovery failures, " << invariant_failures << " invariant failures; "
+      << distinct_outcomes << " distinct recovered states; trace: " << flush_calls
+      << " flushes / " << fences << " fences / " << trace_bytes << " delta bytes";
+  if (graph_built) {
+    out << "; prune: " << states_explored << " explored / " << states_pruned << " pruned / "
+        << state_classes << " classes (" << fallback_unique << " unique-fallback)";
+    if (class_mismatches != 0) {
+      out << ", " << class_mismatches << " CLASS MISMATCHES";
+    }
+    out << "; graph: " << graph.nodes << " nodes, " << graph.ordering_edges << " ordering + "
+        << graph.overwrite_edges << " overwrite edges; lines: " << graph.lines_touched
+        << " touched / " << graph.lines_total << " total (" << graph.lines_never_exercised
+        << " never exercised, " << graph.log_lines << " log)";
+  }
   return out.str();
 }
 
@@ -130,14 +151,28 @@ puddles::Result<HarnessReport> Harness::Run() {
   report.flush_calls = trace.flush_calls;
   report.fences = trace.fences;
   report.trace_bytes = trace.TotalDeltaBytes();
+  report.trace_threads = trace.num_threads;
   report.persist.flushed_lines = persist_after.flushed_lines - persist_before.flushed_lines;
   report.persist.flush_calls = persist_after.flush_calls - persist_before.flush_calls;
   report.persist.fences = persist_after.fences - persist_before.fences;
 
-  // ---- Phase 2: enumerate and verify every crash state. ----
+  // ---- Phase 2: enumerate, classify, and verify crash states. ----
+  std::optional<PersistenceGraph> graph;
+  std::unique_ptr<StateClassifier> classifier;
+  if (options_.prune == PruneMode::kGraph || options_.verify_classes) {
+    ASSIGN_OR_RETURN(PersistenceGraph built, PersistenceGraph::Build(trace));
+    graph.emplace(std::move(built));
+    ASSIGN_OR_RETURN(classifier, StateClassifier::Create(trace, *graph));
+    report.graph_built = true;
+    report.graph = graph->stats();
+  }
+
   std::vector<CrashStateSpec> specs = EnumerateCrashStates(trace, options_.enumerate);
   report.states_enumerated = specs.size();
   std::set<std::string> outcomes;
+  std::set<std::pair<uint64_t, uint64_t>> seen_classes;
+  // verify_classes: first observed outcome per class.
+  std::map<std::pair<uint64_t, uint64_t>, std::string> class_outcome;
   for (const CrashStateSpec& spec : specs) {
     if (options_.log_each_state) {
       std::fprintf(stderr, "crashsim[%s]: exploring %s\n", report.workload.c_str(),
@@ -145,9 +180,30 @@ puddles::Result<HarnessReport> Harness::Run() {
     }
     if (spec.evict) {
       ++report.eviction_states;
+    } else if (spec.thread_mask != 0) {
+      ++report.thread_mask_states;
     } else {
       ++report.fence_boundary_states;
     }
+
+    ClassSignature sig;
+    bool have_class = false;
+    if (classifier) {
+      ASSIGN_OR_RETURN(sig, classifier->Classify(spec));
+      have_class = !sig.unique;
+    }
+    bool first_of_class = true;
+    if (have_class) {
+      first_of_class = seen_classes.insert({sig.a, sig.b}).second;
+    }
+    if (options_.prune == PruneMode::kGraph && !options_.verify_classes && !first_of_class) {
+      ++report.states_pruned;
+      if (options_.record_outcomes) {
+        report.outcomes.push_back({spec.ToString(), sig, /*explored=*/false, /*ok=*/true, ""});
+      }
+      continue;
+    }
+    ++report.states_explored;
 
     puddles::Status state_status = CopyTree(pristine, live);
     if (state_status.ok()) {
@@ -163,7 +219,10 @@ puddles::Result<HarnessReport> Harness::Run() {
     puddles::Result<std::string> recovered =
         state_status.ok() ? driver_.RecoverAndFingerprint(live.string())
                           : puddles::Result<std::string>(state_status);
+    std::string outcome_key;
+    bool state_ok = false;
     if (!recovered.ok()) {
+      outcome_key = "recovery-failure";
       ++report.recovery_failures;
       if (report.failures.size() < options_.max_failures_recorded) {
         report.failures.push_back(spec.ToString() + ": recovery failed: " +
@@ -171,6 +230,7 @@ puddles::Result<HarnessReport> Harness::Run() {
                                   driver_.LastRecoveryInfo() + "]");
       }
     } else if (legal_states.find(*recovered) == legal_states.end()) {
+      outcome_key = "invariant-failure:" + *recovered;
       ++report.invariant_failures;
       if (report.failures.size() < options_.max_failures_recorded) {
         report.failures.push_back(spec.ToString() +
@@ -178,14 +238,35 @@ puddles::Result<HarnessReport> Harness::Run() {
                                   " [" + driver_.LastRecoveryInfo() + "]");
       }
     } else {
+      outcome_key = "ok:" + *recovered;
+      state_ok = true;
       ++report.recoveries_ok;
       outcomes.insert(*recovered);
+    }
+    if (options_.verify_classes && have_class) {
+      auto [it, inserted] = class_outcome.emplace(std::make_pair(sig.a, sig.b), outcome_key);
+      if (!inserted && it->second != outcome_key) {
+        ++report.class_mismatches;
+        if (report.failures.size() < options_.max_failures_recorded) {
+          report.failures.push_back(spec.ToString() + ": class outcome mismatch: \"" +
+                                    outcome_key + "\" vs representative \"" + it->second +
+                                    "\"");
+        }
+      }
+    }
+    if (options_.record_outcomes) {
+      report.outcomes.push_back({spec.ToString(), sig, /*explored=*/true, state_ok,
+                                 std::move(outcome_key)});
     }
     if (options_.stop_on_failure && !report.ok()) {
       break;
     }
   }
   report.distinct_outcomes = outcomes.size();
+  if (classifier) {
+    report.state_classes = seen_classes.size() + classifier->stats().fallback_unique;
+    report.fallback_unique = classifier->stats().fallback_unique;
+  }
 
   fs::remove_all(scratch, ec);
   return report;

@@ -15,6 +15,13 @@
 // snapshot and pwrite()ing the enumerated deltas into the puddle files. The
 // "machine" (daemon + runtime) is torn down between states; every recovery
 // runs against cold on-disk state, exactly like a reboot.
+//
+// Pruning (DESIGN.md §12): with PruneMode::kGraph the harness classifies each
+// enumerated state through the persistence-graph StateClassifier and explores
+// only the first state of each equivalence class — states whose
+// recovery-relevant projected images are byte-identical share one verdict.
+// verify_classes instead explores EVERYTHING and checks that every state in a
+// class produces the same outcome (the soundness self-test).
 #ifndef SRC_CRASHSIM_HARNESS_H_
 #define SRC_CRASHSIM_HARNESS_H_
 
@@ -23,6 +30,8 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/crashsim/persistence_graph.h"
+#include "src/crashsim/pruner.h"
 #include "src/crashsim/state_enumerator.h"
 #include "src/crashsim/trace.h"
 #include "src/pmem/flush.h"
@@ -78,6 +87,16 @@ struct HarnessOptions {
   // Print each spec to stderr before exploring it (debugging aid: identifies
   // the state at fault when a corrupt recovery kills the process).
   bool log_each_state = false;
+  // kGraph: explore one representative per persistence-graph equivalence
+  // class. Defaults to brute force (every enumerated state explored), the
+  // historical behavior.
+  PruneMode prune = PruneMode::kNone;
+  // Soundness self-test: classify AND explore every state, asserting that all
+  // states of a class produce the same outcome (HarnessReport::class_mismatches
+  // counts violations). Overrides prune-skipping.
+  bool verify_classes = false;
+  // Record a per-state outcome row in HarnessReport::outcomes.
+  bool record_outcomes = false;
 };
 
 struct HarnessReport {
@@ -89,12 +108,24 @@ struct HarnessReport {
   uint64_t flush_calls = 0;
   uint64_t fences = 0;
   uint64_t trace_bytes = 0;
+  uint32_t trace_threads = 1;
   pmem::PersistStats persist;  // Persist traffic of the traced run.
 
   // Exploration coverage.
   uint64_t states_enumerated = 0;
   uint64_t fence_boundary_states = 0;
   uint64_t eviction_states = 0;
+  uint64_t thread_mask_states = 0;
+
+  // Pruning (populated when a classifier ran: prune == kGraph or
+  // verify_classes).
+  uint64_t states_explored = 0;  // Recoveries actually run (== enumerated when brute force).
+  uint64_t states_pruned = 0;    // Skipped as class-equivalent to an explored state.
+  uint64_t state_classes = 0;    // Distinct equivalence classes (incl. unique fallbacks).
+  uint64_t fallback_unique = 0;  // States the model refused to merge (always explored).
+  uint64_t class_mismatches = 0;  // verify_classes: outcome disagreements within a class.
+  bool graph_built = false;
+  GraphStats graph;
 
   // Verification results.
   uint64_t recoveries_ok = 0;
@@ -103,7 +134,19 @@ struct HarnessReport {
   uint64_t distinct_outcomes = 0;   // Distinct recovered fingerprints.
   std::vector<std::string> failures;
 
-  bool ok() const { return recovery_failures == 0 && invariant_failures == 0; }
+  // Per-state rows (HarnessOptions::record_outcomes).
+  struct StateOutcome {
+    std::string spec;
+    ClassSignature signature;
+    bool explored = false;
+    bool ok = false;
+    std::string outcome;  // "ok:<fp>", "recovery-failure", "invariant-failure:<fp>".
+  };
+  std::vector<StateOutcome> outcomes;
+
+  bool ok() const {
+    return recovery_failures == 0 && invariant_failures == 0 && class_mismatches == 0;
+  }
   std::string Summary() const;
 };
 

@@ -1,0 +1,150 @@
+#include "src/crashsim/persistence_graph.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "src/common/align.h"
+#include "src/puddles/format.h"
+
+namespace crashsim {
+namespace {
+
+// Classifies one region by parsing its baseline image with the production
+// puddle parser. A copy is parsed (not the live mapping): Puddle::Attach
+// validates magic/version/geometry only, never base_addr, so it works on any
+// byte-identical image.
+RegionInfo ClassifyRegion(const std::vector<uint8_t>& baseline, size_t region_size) {
+  RegionInfo info;
+  if (baseline.size() < puddles::kPuddleHeaderPage || baseline.size() != region_size) {
+    return info;  // kOpaque.
+  }
+  // Attach wants a mutable pointer but only reads during validation.
+  auto attached = puddles::Puddle::Attach(const_cast<uint8_t*>(baseline.data()), region_size);
+  if (!attached.ok()) {
+    return info;  // kOpaque (no / foreign header — e.g. pmhash's raw file).
+  }
+  const puddles::PuddleHeader* header = attached->header();
+  info.uuid = header->uuid;
+  info.base_addr = header->base_addr;
+  info.heap_offset = header->heap_offset;
+  info.heap_size = header->heap_size;
+  switch (header->kind) {
+    case puddles::PuddleKind::kLog:
+      info.role = RegionRole::kLogPuddle;
+      break;
+    case puddles::PuddleKind::kLogSpace:
+      info.role = RegionRole::kLogSpacePuddle;
+      break;
+    default:
+      info.role = RegionRole::kData;
+      break;
+  }
+  return info;
+}
+
+}  // namespace
+
+puddles::Result<PersistenceGraph> PersistenceGraph::Build(const Trace& trace) {
+  if (trace.baseline.size() != trace.regions.size()) {
+    return puddles::FailedPreconditionError(
+        "persistence graph requires a recorded baseline (Trace::baseline)");
+  }
+  PersistenceGraph graph;
+  graph.trace_ = &trace;
+  graph.regions_.reserve(trace.regions.size());
+  graph.region_sizes_.reserve(trace.regions.size());
+  for (uint32_t i = 0; i < trace.regions.size(); ++i) {
+    const TracedRegion& region = trace.regions[i];
+    graph.regions_.push_back(ClassifyRegion(trace.baseline[i], region.size));
+    graph.region_sizes_.push_back(region.size);
+    const uint64_t lines =
+        (region.size + puddles::kCacheLineSize - 1) / puddles::kCacheLineSize;
+    graph.stats_.lines_total += lines;
+    if (graph.regions_.back().role == RegionRole::kLogPuddle) {
+      const RegionInfo& info = graph.regions_.back();
+      graph.stats_.log_lines +=
+          (info.heap_size + puddles::kCacheLineSize - 1) / puddles::kCacheLineSize;
+    }
+  }
+
+  // Per-line write timelines. std::map gives the sorted (region, line) order
+  // TouchedLines() promises.
+  std::map<std::pair<uint32_t, uint64_t>, std::vector<LineWrite>> timelines;
+  uint64_t seq = 0;
+  for (uint64_t e = 0; e < trace.epochs.size(); ++e) {
+    const Epoch& epoch = trace.epochs[e];
+    const bool fenced = epoch.fencing_thread != Epoch::kNoFence;
+    for (const FlushDelta& delta : epoch.deltas) {
+      for (size_t off = 0; off < delta.bytes.size(); off += puddles::kCacheLineSize) {
+        const size_t line = std::min(puddles::kCacheLineSize, delta.bytes.size() - off);
+        LineWrite write;
+        write.epoch = e;
+        write.seq = seq++;
+        write.thread = delta.thread;
+        write.bytes = delta.bytes.data() + off;
+        write.size = static_cast<uint32_t>(line);
+        timelines[{delta.region, delta.offset + off}].push_back(write);
+        ++graph.stats_.nodes;
+        if (fenced) {
+          ++graph.stats_.ordering_edges;
+        }
+      }
+    }
+    for (const DirtyLine& dirty : epoch.dirty_at_close) {
+      LineWrite write;
+      write.epoch = e;
+      write.seq = seq++;
+      write.dirty = true;
+      write.bytes = dirty.live.data();
+      write.size = static_cast<uint32_t>(dirty.live.size());
+      timelines[{dirty.region, dirty.offset}].push_back(write);
+      ++graph.stats_.nodes;
+    }
+  }
+  graph.touched_lines_.reserve(timelines.size());
+  graph.timelines_.reserve(timelines.size());
+  for (auto& [key, timeline] : timelines) {
+    graph.stats_.overwrite_edges += timeline.size() - 1;
+    graph.touched_lines_.push_back(key);
+    graph.timelines_.push_back(std::move(timeline));
+  }
+  graph.stats_.lines_touched = graph.touched_lines_.size();
+  graph.stats_.lines_never_exercised = graph.stats_.lines_total - graph.stats_.lines_touched;
+  return graph;
+}
+
+bool PersistenceGraph::IsLogHeapRange(uint32_t region, uint64_t offset, uint64_t size) const {
+  if (region >= regions_.size() || regions_[region].role != RegionRole::kLogPuddle) {
+    return false;
+  }
+  const RegionInfo& info = regions_[region];
+  return offset < info.heap_offset + info.heap_size && offset + size > info.heap_offset;
+}
+
+const std::vector<LineWrite>* PersistenceGraph::Timeline(uint32_t region,
+                                                         uint64_t line_offset) const {
+  const std::pair<uint32_t, uint64_t> key{region, line_offset};
+  auto it = std::lower_bound(touched_lines_.begin(), touched_lines_.end(), key);
+  if (it == touched_lines_.end() || *it != key) {
+    return nullptr;
+  }
+  return &timelines_[static_cast<size_t>(it - touched_lines_.begin())];
+}
+
+int32_t PersistenceGraph::RegionForAddr(uint64_t addr, uint32_t size) const {
+  for (uint32_t i = 0; i < regions_.size(); ++i) {
+    const RegionInfo& info = regions_[i];
+    if (info.role == RegionRole::kOpaque || info.base_addr == 0) {
+      continue;
+    }
+    const uint64_t span = region_sizes_[i];
+    // Overflow-safe containment, same shape as RangeResolver.
+    if (addr >= info.base_addr && size <= span && addr - info.base_addr <= span - size) {
+      return static_cast<int32_t>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace crashsim

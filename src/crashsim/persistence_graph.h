@@ -1,0 +1,111 @@
+// Persistence dependency graph over a recorded persist trace (DESIGN.md §12).
+//
+// Nodes are cacheline-granular store groups: every line-sized slice of a
+// flush delta and every fence-time dirty line is one write event on its
+// (region, line) cell. Edges are the constraints that relate them:
+//   * ordering edges — each flushed group is ordered before its epoch's
+//     closing fence (the only hardware-guaranteed ordering),
+//   * overwrite edges — successive writes to the same line, where the later
+//     write supersedes the earlier one in any state where both persist.
+// The graph also classifies each traced region by parsing its trace-start
+// baseline image with the production on-PM parsers (PuddleHeader kinds): data
+// and pool-metadata puddles, log puddles, log-space directories, or opaque
+// raw regions (pmhash). Log-puddle *heap* lines are the recovery-dead set the
+// pruner (pruner.h) excludes from state signatures: after recovery the
+// runtime only ever creates fresh logs, so no post-crash read observes them
+// (the §12 soundness argument).
+//
+// Building the graph requires Trace::baseline (recorded traces have it;
+// hand-built test traces may not).
+#ifndef SRC_CRASHSIM_PERSISTENCE_GRAPH_H_
+#define SRC_CRASHSIM_PERSISTENCE_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/uuid.h"
+#include "src/crashsim/trace.h"
+
+namespace crashsim {
+
+enum class RegionRole : uint8_t {
+  kData = 0,      // Data / pool-metadata puddle: every line is signature-relevant.
+  kLogPuddle = 1,      // Crash-consistency log: heap lines are recovery-dead.
+  kLogSpacePuddle = 2,  // Log directory: read (never written) by recovery.
+  kOpaque = 3,    // No puddle header (raw region, e.g. pmhash): all relevant.
+};
+
+struct RegionInfo {
+  RegionRole role = RegionRole::kOpaque;
+  puddles::Uuid uuid;       // Nil for opaque regions.
+  uint64_t base_addr = 0;   // PuddleHeader::base_addr (0 for opaque).
+  uint64_t heap_offset = 0;
+  uint64_t heap_size = 0;
+};
+
+// One write event on a (region, line) cell, in trace order. `bytes` points
+// into the backing Trace (which must outlive the graph).
+struct LineWrite {
+  uint64_t epoch = 0;
+  // Global issue order within the trace (dense, across epochs); dirty lines
+  // order after every flush of their epoch.
+  uint64_t seq = 0;
+  uint32_t thread = 0;
+  bool dirty = false;  // Fence-time dirty capture, not a flush.
+  const uint8_t* bytes = nullptr;
+  uint32_t size = 0;  // <= kCacheLineSize (short only at a region tail).
+};
+
+struct GraphStats {
+  uint64_t nodes = 0;            // Store groups (line-granular write events).
+  uint64_t ordering_edges = 0;   // Flushed group -> its governing fence.
+  uint64_t overwrite_edges = 0;  // Same-line successive-write pairs.
+  uint64_t lines_total = 0;
+  uint64_t lines_touched = 0;
+  uint64_t lines_never_exercised = 0;
+  uint64_t log_lines = 0;  // Lines inside log-puddle heaps (signature-excluded).
+};
+
+class PersistenceGraph {
+ public:
+  // Requires trace.baseline (parallel to trace.regions). The trace must
+  // outlive the graph.
+  static puddles::Result<PersistenceGraph> Build(const Trace& trace);
+
+  const std::vector<RegionInfo>& regions() const { return regions_; }
+  const GraphStats& stats() const { return stats_; }
+
+  // True iff the byte range [offset, offset+size) intersects a log puddle's
+  // heap (a recovery-dead, signature-excluded span).
+  bool IsLogHeapRange(uint32_t region, uint64_t offset, uint64_t size) const;
+
+  // Per-line write timelines, keyed by (region, line_offset). Timelines are
+  // sorted by seq.
+  const std::vector<LineWrite>* Timeline(uint32_t region, uint64_t line_offset) const;
+
+  // Every (region, line_offset) cell with at least one write, sorted.
+  const std::vector<std::pair<uint32_t, uint64_t>>& TouchedLines() const {
+    return touched_lines_;
+  }
+
+  // Traced region whose [base_addr, base_addr + size) span contains
+  // [addr, addr+size), or -1. Only meaningful for puddle-backed regions
+  // (opaque regions have no global address).
+  int32_t RegionForAddr(uint64_t addr, uint32_t size) const;
+
+ private:
+  PersistenceGraph() = default;
+
+  const Trace* trace_ = nullptr;
+  std::vector<RegionInfo> regions_;
+  std::vector<uint64_t> region_sizes_;
+  GraphStats stats_;
+  // timelines_[i] belongs to touched_lines_[i].
+  std::vector<std::pair<uint32_t, uint64_t>> touched_lines_;
+  std::vector<std::vector<LineWrite>> timelines_;
+};
+
+}  // namespace crashsim
+
+#endif  // SRC_CRASHSIM_PERSISTENCE_GRAPH_H_

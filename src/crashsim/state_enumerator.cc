@@ -1,6 +1,8 @@
 #include "src/crashsim/state_enumerator.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <set>
 
 #include "src/common/align.h"
 #include "src/common/rng.h"
@@ -17,6 +19,25 @@ uint64_t DeriveSeed(uint64_t seed, uint64_t epoch, uint32_t subset) {
   return z ^ (z >> 31);
 }
 
+// Threads with maybe-durable write-backs at a crash just before epoch
+// `crash_epoch`'s closing fence: issuers of un-retired earlier flushes plus
+// issuers of the open epoch's flushes.
+std::set<uint32_t> ThreadsInFlight(const Trace& trace, const RetirementIndex& retirement,
+                                   uint64_t crash_epoch) {
+  std::set<uint32_t> threads;
+  for (uint64_t e = 0; e < crash_epoch; ++e) {
+    for (const FlushDelta& delta : trace.epochs[e].deltas) {
+      if (!retirement.Retired(delta.thread, e, crash_epoch)) {
+        threads.insert(delta.thread);
+      }
+    }
+  }
+  for (const FlushDelta& delta : trace.epochs[crash_epoch].deltas) {
+    threads.insert(delta.thread);
+  }
+  return threads;
+}
+
 }  // namespace
 
 std::string CrashStateSpec::ToString() const {
@@ -24,6 +45,11 @@ std::string CrashStateSpec::ToString() const {
   if (evict) {
     s += " evict(seed=" + std::to_string(eviction_seed) +
          ",p=" + std::to_string(eviction_probability) + ")";
+  } else if (thread_mask != 0) {
+    s += " thread-mask=0x";
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%llx", static_cast<unsigned long long>(thread_mask));
+    s += buf;
   } else {
     s += " fence-boundary";
   }
@@ -33,6 +59,7 @@ std::string CrashStateSpec::ToString() const {
 std::vector<CrashStateSpec> EnumerateCrashStates(const Trace& trace,
                                                  const EnumerationOptions& options) {
   std::vector<CrashStateSpec> specs;
+  const RetirementIndex retirement(trace);
   for (uint64_t epoch = 0; epoch <= trace.epochs.size(); ++epoch) {
     CrashStateSpec boundary;
     boundary.epoch = epoch;
@@ -41,8 +68,42 @@ std::vector<CrashStateSpec> EnumerateCrashStates(const Trace& trace,
       break;  // Complete run: nothing in flight to evict.
     }
     const Epoch& open = trace.epochs[epoch];
-    if (open.deltas.empty() && open.dirty_at_close.empty()) {
+    const bool any_unretired = retirement.AnyUnretired(trace, epoch);
+    if (open.deltas.empty() && open.dirty_at_close.empty() && !any_unretired) {
       continue;
+    }
+    // Representative interleaving selection at this epoch boundary: each
+    // thread's maybe-durable write-backs survive or vanish as a unit. Small
+    // in-flight sets get every non-empty mask; larger ones get singletons plus
+    // the all-threads mask (seeded eviction subsets cover the mixed cases).
+    if (options.thread_interleavings && trace.num_threads > 1) {
+      const std::set<uint32_t> threads = ThreadsInFlight(trace, retirement, epoch);
+      std::vector<uint64_t> masks;
+      if (threads.size() <= 3) {
+        const std::vector<uint32_t> list(threads.begin(), threads.end());
+        for (uint64_t bits = 1; bits < (uint64_t{1} << list.size()); ++bits) {
+          uint64_t mask = 0;
+          for (size_t i = 0; i < list.size(); ++i) {
+            if (bits & (uint64_t{1} << i)) {
+              mask |= uint64_t{1} << list[i];
+            }
+          }
+          masks.push_back(mask);
+        }
+      } else {
+        uint64_t full = 0;
+        for (uint32_t t : threads) {
+          masks.push_back(uint64_t{1} << t);
+          full |= uint64_t{1} << t;
+        }
+        masks.push_back(full);
+      }
+      for (uint64_t mask : masks) {
+        CrashStateSpec spec;
+        spec.epoch = epoch;
+        spec.thread_mask = mask;
+        specs.push_back(spec);
+      }
     }
     for (uint32_t subset = 0; subset < options.eviction_subsets_per_epoch; ++subset) {
       CrashStateSpec spec;
@@ -54,9 +115,10 @@ std::vector<CrashStateSpec> EnumerateCrashStates(const Trace& trace,
     }
   }
   if (options.max_states != 0 && specs.size() > options.max_states) {
-    // Deterministic stride sampling: keep coverage spread across the run. The
-    // final spec (the complete-run image, where recovery must be a no-op) is
-    // always retained.
+    // Deterministic stride sampling: keep coverage spread across the run (and
+    // the specs in non-decreasing epoch order, which the pruner relies on).
+    // The final spec (the complete-run image, where recovery must be a no-op)
+    // is always retained.
     std::vector<CrashStateSpec> sampled;
     sampled.reserve(options.max_states);
     for (uint64_t i = 0; i + 1 < options.max_states; ++i) {
@@ -69,33 +131,81 @@ std::vector<CrashStateSpec> EnumerateCrashStates(const Trace& trace,
 }
 
 void MaterializeCrashState(const Trace& trace, const CrashStateSpec& spec, const ApplyFn& apply) {
+  const RetirementIndex retirement(trace);
   const uint64_t closed = std::min<uint64_t>(spec.epoch, trace.epochs.size());
   for (uint64_t e = 0; e < closed; ++e) {
     for (const FlushDelta& delta : trace.epochs[e].deltas) {
-      apply(delta.region, delta.offset, delta.bytes.data(), delta.bytes.size());
-    }
-  }
-  if (!spec.evict || spec.epoch >= trace.epochs.size()) {
-    return;
-  }
-  // Open epoch: each in-flight flushed line and each dirty line survives
-  // independently. Deltas are walked in issue order, line by line, so a line
-  // flushed twice in the epoch can surface either write-back; dirty-line
-  // content (captured at the closing fence) is applied last and wins when
-  // both were chosen, modeling the later eviction.
-  puddles::Xoshiro256 rng(spec.eviction_seed);
-  const Epoch& open = trace.epochs[spec.epoch];
-  for (const FlushDelta& delta : open.deltas) {
-    for (size_t off = 0; off < delta.bytes.size(); off += puddles::kCacheLineSize) {
-      const size_t line = std::min(puddles::kCacheLineSize, delta.bytes.size() - off);
-      if (rng.NextDouble() < spec.eviction_probability) {
-        apply(delta.region, delta.offset + off, delta.bytes.data() + off, line);
+      if (retirement.Retired(delta.thread, e, spec.epoch)) {
+        apply(delta.region, delta.offset, delta.bytes.data(), delta.bytes.size());
       }
     }
   }
-  for (const DirtyLine& dirty : open.dirty_at_close) {
-    if (rng.NextDouble() < spec.eviction_probability) {
-      apply(dirty.region, dirty.offset, dirty.live.data(), dirty.live.size());
+  MaterializeInFlight(trace, spec, retirement, apply);
+}
+
+void MaterializeInFlight(const Trace& trace, const CrashStateSpec& spec,
+                         const RetirementIndex& retirement, const ApplyFn& apply) {
+  if (spec.epoch >= trace.epochs.size()) {
+    return;  // Complete run: everything was retired; nothing is in flight.
+  }
+  const uint64_t closed = spec.epoch;
+  const Epoch& open = trace.epochs[spec.epoch];
+  if (spec.evict) {
+    // Each maybe-durable line survives independently. Un-retired earlier
+    // flushes are drawn first (epoch order — in single-threaded traces there
+    // are none, keeping the seeded draw sequence identical to the historical
+    // one), then the open epoch's flushes in issue order line by line (a line
+    // flushed twice can surface either write-back), then dirty lines, whose
+    // fence-time content is applied last and wins when both were chosen,
+    // modeling the later eviction.
+    puddles::Xoshiro256 rng(spec.eviction_seed);
+    for (uint64_t e = 0; e < closed; ++e) {
+      for (const FlushDelta& delta : trace.epochs[e].deltas) {
+        if (retirement.Retired(delta.thread, e, spec.epoch)) {
+          continue;
+        }
+        for (size_t off = 0; off < delta.bytes.size(); off += puddles::kCacheLineSize) {
+          const size_t line = std::min(puddles::kCacheLineSize, delta.bytes.size() - off);
+          if (rng.NextDouble() < spec.eviction_probability) {
+            apply(delta.region, delta.offset + off, delta.bytes.data() + off, line);
+          }
+        }
+      }
+    }
+    for (const FlushDelta& delta : open.deltas) {
+      for (size_t off = 0; off < delta.bytes.size(); off += puddles::kCacheLineSize) {
+        const size_t line = std::min(puddles::kCacheLineSize, delta.bytes.size() - off);
+        if (rng.NextDouble() < spec.eviction_probability) {
+          apply(delta.region, delta.offset + off, delta.bytes.data() + off, line);
+        }
+      }
+    }
+    for (const DirtyLine& dirty : open.dirty_at_close) {
+      if (rng.NextDouble() < spec.eviction_probability) {
+        apply(dirty.region, dirty.offset, dirty.live.data(), dirty.live.size());
+      }
+    }
+    return;
+  }
+  if (spec.thread_mask == 0) {
+    return;  // Strict fence-boundary state.
+  }
+  // Thread-mask state: the selected threads' maybe-durable write-backs all
+  // complete (in issue order); everyone else's vanish. Dirty lines carry no
+  // thread attribution and are excluded — seeded eviction subsets cover them.
+  for (uint64_t e = 0; e < closed; ++e) {
+    for (const FlushDelta& delta : trace.epochs[e].deltas) {
+      if (retirement.Retired(delta.thread, e, spec.epoch)) {
+        continue;
+      }
+      if (delta.thread < 64 && (spec.thread_mask & (uint64_t{1} << delta.thread))) {
+        apply(delta.region, delta.offset, delta.bytes.data(), delta.bytes.size());
+      }
+    }
+  }
+  for (const FlushDelta& delta : open.deltas) {
+    if (delta.thread < 64 && (spec.thread_mask & (uint64_t{1} << delta.thread))) {
+      apply(delta.region, delta.offset, delta.bytes.data(), delta.bytes.size());
     }
   }
 }

@@ -4,17 +4,22 @@
 // The crash model (DESIGN.md §5, after the faulty-PM model of Ben-David et
 // al. and Pathfinder-style systematic testing): power may fail just before
 // any fence retires. At that point
-//   * every flush from an earlier, fence-closed epoch is durable,
-//   * each flush issued inside the open epoch is independently maybe-durable
-//     (write-back may have completed before the failure), at cache-line
-//     granularity, and
+//   * every flush from an earlier, fence-closed epoch whose issuing thread
+//     has since fenced is durable (a store fence orders only the issuing
+//     thread's flushes — in single-threaded traces this is simply "every
+//     closed epoch"),
+//   * every other already-issued flush — the open epoch's, plus any
+//     un-retired flush from a thread that has not fenced again — is
+//     independently maybe-durable at cache-line granularity, and
 //   * each stored-but-unflushed dirty line is independently maybe-durable
 //     (the cache may have evicted it).
-// A CrashStateSpec names one member of this space: a crash epoch plus an
-// optional seeded subset of the maybe-durable lines. Enumeration emits, per
-// epoch, the strictest state (nothing in flight survives) and a configurable
-// number of seeded eviction subsets, then down-samples deterministically to
-// the state budget.
+// A CrashStateSpec names one member of this space: a crash epoch plus either
+// a seeded subset of the maybe-durable lines or, for multi-threaded traces, a
+// thread mask selecting whole threads whose un-retired write-backs survive
+// (representative interleaving selection at epoch boundaries). Enumeration
+// emits, per epoch, the strictest state (nothing in flight survives), the
+// thread-mask states, and a configurable number of seeded eviction subsets,
+// then down-samples deterministically to the state budget.
 #ifndef SRC_CRASHSIM_STATE_ENUMERATOR_H_
 #define SRC_CRASHSIM_STATE_ENUMERATOR_H_
 
@@ -39,18 +44,29 @@ struct EnumerationOptions {
   // Probability that a maybe-durable line is included in a subset.
   double eviction_probability = 0.5;
   uint64_t seed = 1;
+  // Multi-threaded traces: emit thread-mask states (all non-empty masks when
+  // few threads are in flight, singletons + the full mask otherwise). No
+  // effect on single-threaded traces.
+  bool thread_interleavings = true;
 };
 
 struct CrashStateSpec {
   // Crash point: the closing fence of trace.epochs[epoch] has NOT retired;
-  // epochs [0, epoch) are fully durable. epoch == trace.epochs.size() is the
+  // all *retired* flushes from epochs [0, epoch) are durable (single-threaded
+  // traces: every closed epoch in full). epoch == trace.epochs.size() is the
   // complete run (everything durable) — recovery must be a no-op.
   uint64_t epoch = 0;
-  // If true, a seeded subset of the open epoch's in-flight flushes and dirty
-  // lines is additionally durable.
+  // If true, a seeded subset of the maybe-durable lines (un-retired earlier
+  // flushes, the open epoch's in-flight flushes, and dirty lines) is
+  // additionally durable.
   bool evict = false;
   uint64_t eviction_seed = 0;
   double eviction_probability = 0.5;
+  // For non-evict states: bitmask of threads whose maybe-durable write-backs
+  // (un-retired earlier flushes + open-epoch flushes) additionally survive,
+  // as a unit. 0 = the strict fence-boundary state. Ignored when evict is
+  // set (the seeded subset already spans all threads' in-flight lines).
+  uint64_t thread_mask = 0;
 
   std::string ToString() const;
 };
@@ -63,6 +79,16 @@ std::vector<CrashStateSpec> EnumerateCrashStates(const Trace& trace,
 using ApplyFn =
     std::function<void(uint32_t region, uint64_t offset, const uint8_t* data, size_t size)>;
 void MaterializeCrashState(const Trace& trace, const CrashStateSpec& spec, const ApplyFn& apply);
+
+// The non-guaranteed part of MaterializeCrashState: emits only the writes
+// whose durability is NOT implied by the crash epoch — chosen un-retired
+// flushes, chosen open-epoch flushes, and chosen dirty lines — in the same
+// deterministic order (and with the same seeded-RNG draw sequence)
+// MaterializeCrashState uses. The persistence-graph pruner applies these as a
+// patch on top of an incrementally maintained boundary image; keeping one
+// shared walk guarantees the model and the materializer can never diverge.
+void MaterializeInFlight(const Trace& trace, const CrashStateSpec& spec,
+                         const RetirementIndex& retirement, const ApplyFn& apply);
 
 }  // namespace crashsim
 

@@ -17,6 +17,42 @@ uint64_t Trace::TotalDeltaBytes() const {
   return total;
 }
 
+RetirementIndex::RetirementIndex(const Trace& trace) : num_epochs_(trace.epochs.size()) {
+  fence_epochs_.resize(trace.num_threads);
+  for (uint64_t e = 0; e < trace.epochs.size(); ++e) {
+    const int32_t t = trace.epochs[e].fencing_thread;
+    if (t >= 0 && static_cast<uint32_t>(t) < fence_epochs_.size()) {
+      fence_epochs_[static_cast<uint32_t>(t)].push_back(e);  // Already in order.
+    }
+  }
+}
+
+bool RetirementIndex::Retired(uint32_t thread, uint64_t delta_epoch,
+                              uint64_t crash_epoch) const {
+  if (crash_epoch >= num_epochs_) {
+    return true;  // Complete run: clean shutdown, everything durable.
+  }
+  if (thread >= fence_epochs_.size()) {
+    return false;
+  }
+  // Retired iff `thread` fenced some epoch in [delta_epoch, crash_epoch).
+  const std::vector<uint64_t>& fences = fence_epochs_[thread];
+  auto it = std::lower_bound(fences.begin(), fences.end(), delta_epoch);
+  return it != fences.end() && *it < crash_epoch;
+}
+
+bool RetirementIndex::AnyUnretired(const Trace& trace, uint64_t crash_epoch) const {
+  const uint64_t closed = std::min<uint64_t>(crash_epoch, trace.epochs.size());
+  for (uint64_t e = 0; e < closed; ++e) {
+    for (const FlushDelta& delta : trace.epochs[e].deltas) {
+      if (!Retired(delta.thread, e, crash_epoch)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
 TraceRecorder::~TraceRecorder() {
   if (active()) {
     (void)Stop();
@@ -28,11 +64,14 @@ void TraceRecorder::Start(std::vector<TracedRegion> regions) {
   trace_ = Trace{};
   trace_.regions = std::move(regions);
   open_ = Epoch{};
+  thread_ids_.clear();
   durable_.clear();
   durable_.reserve(trace_.regions.size());
+  trace_.baseline.reserve(trace_.regions.size());
   for (const TracedRegion& region : trace_.regions) {
     const uint8_t* live = reinterpret_cast<const uint8_t*>(region.base);
     durable_.emplace_back(live, live + region.size);
+    trace_.baseline.emplace_back(live, live + region.size);
   }
   active_ = true;
   pmem::SetPersistObserver(this);
@@ -42,16 +81,24 @@ Trace TraceRecorder::Stop() {
   pmem::SetPersistObserver(nullptr);
   std::lock_guard<std::mutex> lock(mu_);
   if (active_) {
-    CloseEpochLocked();
+    CloseEpochLocked(Epoch::kNoFence);
     active_ = false;
   }
   durable_.clear();
+  trace_.num_threads = std::max<uint32_t>(1, static_cast<uint32_t>(thread_ids_.size()));
   return std::move(trace_);
 }
 
 bool TraceRecorder::active() const {
   std::lock_guard<std::mutex> lock(mu_);
   return active_;
+}
+
+uint32_t TraceRecorder::ThreadIdLocked() {
+  const auto [it, inserted] =
+      thread_ids_.emplace(std::this_thread::get_id(), static_cast<uint32_t>(thread_ids_.size()));
+  (void)inserted;
+  return it->second;
 }
 
 void TraceRecorder::OnFlushRange(const void* addr, size_t size) {
@@ -62,6 +109,7 @@ void TraceRecorder::OnFlushRange(const void* addr, size_t size) {
     return;
   }
   ++trace_.flush_calls;
+  const uint32_t thread = ThreadIdLocked();
   for (uint32_t i = 0; i < trace_.regions.size(); ++i) {
     const TracedRegion& region = trace_.regions[i];
     // Expand to whole region-relative cache lines (the write-back unit), the
@@ -74,6 +122,7 @@ void TraceRecorder::OnFlushRange(const void* addr, size_t size) {
     FlushDelta delta;
     delta.region = i;
     delta.offset = span.offset;
+    delta.thread = thread;
     const uint8_t* live = reinterpret_cast<const uint8_t*>(region.base + span.offset);
     delta.bytes.assign(live, live + span.length);
     // The flushed lines are now (pending-)durable: fold them into the model so
@@ -89,10 +138,10 @@ void TraceRecorder::OnFence() {
     return;
   }
   ++trace_.fences;
-  CloseEpochLocked();
+  CloseEpochLocked(static_cast<int32_t>(ThreadIdLocked()));
 }
 
-void TraceRecorder::CloseEpochLocked() {
+void TraceRecorder::CloseEpochLocked(int32_t fencing_thread) {
   for (uint32_t i = 0; i < trace_.regions.size(); ++i) {
     const TracedRegion& region = trace_.regions[i];
     const uint8_t* live = reinterpret_cast<const uint8_t*>(region.base);
@@ -109,6 +158,7 @@ void TraceRecorder::CloseEpochLocked() {
       open_.dirty_at_close.push_back(std::move(dirty));
     }
   }
+  open_.fencing_thread = fencing_thread;
   trace_.epochs.push_back(std::move(open_));
   open_ = Epoch{};
 }

@@ -2,11 +2,14 @@
 
 #include <unistd.h>
 
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <sstream>
+#include <thread>
 
 #include "src/common/align.h"
 #include "src/common/rng.h"
@@ -367,7 +370,17 @@ class ArtCrashDriver : public PoolCrashDriver {
 
   puddles::Status ProbeOp() override {
     RETURN_IF_ERROR(art_->Insert(~uint64_t{0} - 1, 999'999'999));
-    return art_->Erase(~uint64_t{0} - 1);
+    RETURN_IF_ERROR(art_->Erase(~uint64_t{0} - 1));
+    // Large-object probe: Node48/Node256 come straight from the buddy
+    // allocator (the insert/erase above stays on the slab path), so this
+    // allocation walks the recovered buddy free list. Latent free-list damage
+    // — e.g. rollback re-linking a block whose node bytes were overwritten —
+    // surfaces here as an allocation error instead of going unnoticed.
+    return pool_->Run([&](puddles::Tx& tx) -> puddles::Status {
+      ASSIGN_OR_RETURN(auto* node, tx.Alloc<typename Art::Node48>());
+      (void)node;  // Unreferenced; the probed state is discarded afterwards.
+      return puddles::OkStatus();
+    });
   }
 
  private:
@@ -443,6 +456,216 @@ class KvstoreCrashDriver : public PoolCrashDriver {
 
  private:
   std::optional<Store> store_;
+};
+
+// ---- Multi-threaded sliced shard ("mt") ----
+//
+// The first multi-threaded crash workload: kThreads persistent worker
+// threads, each owning a disjoint slice of a pointer-free shard plus a
+// per-thread committed-round counter, mutate concurrently through their own
+// thread logs. Each RunOp is one *round*: every worker stamps its slice in
+// chunk-atomic transactions (each chunk is one tx), runs one deliberately
+// aborted transaction (tracing in-process rollback persists), then commits
+// its round counter. Workers are spawned in InitStructure and live across all
+// rounds — their thread-log puddles must exist before tracing starts, and a
+// fresh thread per round would create fresh log puddles mid-trace (tripping
+// the no-new-puddles guard).
+//
+// Because three threads commit independently, a crash can legally land
+// between any per-thread progress points — no single global op boundary
+// exists. The fingerprint therefore *normalizes*: it validates the per-thread
+// invariants (slice = a chunk-aligned prefix of stamp s+1 over a suffix of
+// stamp s; committed counter consistent with the slice) and returns a
+// constant on success, so the membership oracle accepts exactly the states
+// transaction recovery can legally produce and rejects everything else.
+class MtSlicesCrashDriver : public PoolCrashDriver {
+ public:
+  using PoolCrashDriver::PoolCrashDriver;
+
+  ~MtSlicesCrashDriver() override { StopWorkers(); }
+
+ protected:
+  static constexpr int kThreads = 3;
+  static constexpr int kCellsPerThread = 8;
+  static constexpr int kChunk = 4;  // Cells per chunk transaction.
+
+  struct MtShard {
+    uint64_t cells[kThreads * kCellsPerThread];
+    uint64_t committed[kThreads];
+    uint64_t probe_pad;  // Touched by the post-recovery probe; not fingerprinted.
+  };
+
+  puddles::Status InitStructure() override {
+    RETURN_IF_ERROR(puddles::TypeRegistry::Instance().Register<MtShard>());
+    RETURN_IF_ERROR(pool_->Run([&](puddles::Tx& tx) -> puddles::Status {
+      ASSIGN_OR_RETURN(MtShard * shard, tx.Alloc<MtShard>());
+      std::memset(shard, 0, sizeof(MtShard));
+      shard_ = shard;
+      return pool_->SetRoot(shard);
+    }));
+    StartWorkers();
+    // Warm-up round: every worker runs transactions now, so every thread-log
+    // puddle exists before the traced window opens.
+    return RunRound(1);
+  }
+
+  puddles::Status AttachStructure() override {
+    ASSIGN_OR_RETURN(shard_, pool_->Root<MtShard>());
+    return puddles::OkStatus();  // Recovery-side: no workers respawned.
+  }
+
+  void ReleaseStructure() override {
+    StopWorkers();
+    shard_ = nullptr;
+  }
+
+  puddles::Status DoOp(int i) override { return RunRound(2 + static_cast<uint64_t>(i)); }
+
+  puddles::Result<std::string> ComputeFingerprint() override {
+    for (int t = 0; t < kThreads; ++t) {
+      const uint64_t* slice = shard_->cells + t * kCellsPerThread;
+      const uint64_t v_hi = slice[0];
+      int split = kCellsPerThread;
+      for (int c = 1; c < kCellsPerThread; ++c) {
+        if (slice[c] != v_hi) {
+          split = c;
+          break;
+        }
+      }
+      const uint64_t v_lo = split == kCellsPerThread ? v_hi : slice[split];
+      if (split != kCellsPerThread && v_lo + 1 != v_hi) {
+        return puddles::DataLossError("mt slice mixes non-adjacent round stamps");
+      }
+      if (split % kChunk != 0) {
+        return puddles::DataLossError("mt slice split not chunk-aligned (torn chunk tx)");
+      }
+      for (int c = split; c < kCellsPerThread; ++c) {
+        if (slice[c] != v_lo) {
+          return puddles::DataLossError("mt slice is not a monotone stamp prefix");
+        }
+      }
+      const uint64_t committed = shard_->committed[t];
+      // The counter commits only after the whole slice is stamped: a mixed
+      // slice pins it at v_lo; a uniform slice allows v_hi or v_hi - 1 (0 only
+      // in the pre-stamp initial state).
+      const bool mixed = split != kCellsPerThread;
+      if (mixed ? committed != v_lo
+                : (committed != v_hi && committed + 1 != v_hi)) {
+        return puddles::DataLossError("mt committed-round counter disagrees with slice");
+      }
+    }
+    return std::string("mt:consistent");
+  }
+
+  puddles::Status ProbeOp() override {
+    return pool_->Run([&](puddles::Tx& tx) -> puddles::Status {
+      RETURN_IF_ERROR(tx.LogRange(&shard_->probe_pad, sizeof(shard_->probe_pad)));
+      shard_->probe_pad = 999'999'999;
+      return puddles::OkStatus();
+    });
+  }
+
+ private:
+  void StartWorkers() {
+    exit_ = false;
+    round_gen_ = 0;
+    for (int t = 0; t < kThreads; ++t) {
+      worker_status_[t] = puddles::OkStatus();
+      workers_.emplace_back([this, t] { WorkerMain(t); });
+    }
+  }
+
+  void StopWorkers() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      exit_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& worker : workers_) {
+      if (worker.joinable()) {
+        worker.join();
+      }
+    }
+    workers_.clear();
+  }
+
+  puddles::Status RunRound(uint64_t stamp) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      round_stamp_ = stamp;
+      done_count_ = 0;
+      ++round_gen_;
+    }
+    cv_.notify_all();
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return done_count_ == kThreads; });
+    for (int t = 0; t < kThreads; ++t) {
+      RETURN_IF_ERROR(worker_status_[t]);
+    }
+    return puddles::OkStatus();
+  }
+
+  void WorkerMain(int t) {
+    uint64_t seen_gen = 0;
+    while (true) {
+      uint64_t stamp;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return exit_ || round_gen_ > seen_gen; });
+        if (exit_) {
+          return;
+        }
+        seen_gen = round_gen_;
+        stamp = round_stamp_;
+      }
+      puddles::Status status = WorkerRound(t, stamp);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        worker_status_[t] = std::move(status);
+        ++done_count_;
+      }
+      cv_.notify_all();
+    }
+  }
+
+  puddles::Status WorkerRound(int t, uint64_t stamp) {
+    uint64_t* slice = shard_->cells + t * kCellsPerThread;
+    for (int chunk = 0; chunk < kCellsPerThread; chunk += kChunk) {
+      RETURN_IF_ERROR(pool_->Run([&](puddles::Tx& tx) -> puddles::Status {
+        RETURN_IF_ERROR(tx.LogRange(slice + chunk, kChunk * sizeof(uint64_t)));
+        for (int c = 0; c < kChunk; ++c) {
+          slice[chunk + c] = stamp;
+        }
+        return puddles::OkStatus();
+      }));
+    }
+    // Deterministic abort: exercises undo append + in-process rollback
+    // persists inside the traced window; must leave no durable change.
+    puddles::Status aborted = pool_->Run([&](puddles::Tx& tx) -> puddles::Status {
+      RETURN_IF_ERROR(tx.LogRange(slice, sizeof(uint64_t)));
+      slice[0] = stamp + 1'000'000;
+      return puddles::AbortedError("mt: deliberate abort");
+    });
+    if (aborted.code() != puddles::StatusCode::kAborted) {
+      return aborted.ok() ? puddles::InternalError("mt: abort tx committed") : aborted;
+    }
+    return pool_->Run([&](puddles::Tx& tx) -> puddles::Status {
+      RETURN_IF_ERROR(
+          tx.LogRange(&shard_->committed[t], sizeof(shard_->committed[t])));
+      shard_->committed[t] = stamp;
+      return puddles::OkStatus();
+    });
+  }
+
+  MtShard* shard_ = nullptr;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool exit_ = false;
+  uint64_t round_gen_ = 0;
+  uint64_t round_stamp_ = 0;
+  int done_count_ = 0;
+  puddles::Status worker_status_[kThreads];
 };
 
 // ---- PersistentHashMap (src/pmhash) ----
@@ -902,11 +1125,14 @@ std::unique_ptr<WorkloadDriver> MakeDriver(const std::string& name,
   if (name == "import") {
     return std::make_unique<ImportCrashDriver>(options);
   }
+  if (name == "mt") {
+    return std::make_unique<MtSlicesCrashDriver>("mt", options);
+  }
   return nullptr;
 }
 
 std::vector<std::string> DriverNames() {
-  return {"list", "btree", "art", "kvstore", "pmhash", "import"};
+  return {"list", "btree", "art", "kvstore", "pmhash", "import", "mt"};
 }
 
 }  // namespace crashsim

@@ -40,7 +40,11 @@ struct DriverOptions {
   uint32_t rewrite_batch_objects = 4;
 };
 
-// Supported names: "list", "btree", "art", "kvstore", "pmhash", "import".
+// Supported names: "list", "btree", "art", "kvstore", "pmhash", "import",
+// "mt" (three persistent worker threads stamping disjoint shard slices — the
+// multi-threaded trace workload; its fingerprint validates per-thread
+// invariants and normalizes, since concurrent commits have no single global
+// op boundary).
 std::unique_ptr<WorkloadDriver> MakeDriver(const std::string& name,
                                            const DriverOptions& options = {});
 std::vector<std::string> DriverNames();

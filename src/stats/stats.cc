@@ -156,7 +156,7 @@ const char* HistName(Hist hist) {
 
 namespace internal {
 
-thread_local ThreadSlot* tls_slot = nullptr;
+constinit thread_local ThreadSlot* tls_slot = nullptr;
 
 ThreadSlot& Slot() {
   if (tls_slot == nullptr) {

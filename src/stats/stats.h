@@ -147,7 +147,7 @@ namespace internal {
 // Registers (first call on a thread) and returns this thread's slot. The
 // slow path takes the registry lock exactly once per thread lifetime.
 ThreadSlot& Slot();
-extern thread_local ThreadSlot* tls_slot;
+extern constinit thread_local ThreadSlot* tls_slot;
 }  // namespace internal
 
 inline ThreadSlot& LocalSlot() {

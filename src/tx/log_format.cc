@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/common/align.h"
+#include "src/common/bug_hooks.h"
 #include "src/common/checksum.h"
 #include "src/pmem/flush.h"
 
@@ -18,6 +19,9 @@ uint32_t LogRegion::EntryChecksum(const LogEntryHeader& entry, const void* data,
   // then the data. Binding the generation means entries validate only in the
   // log incarnation that wrote them — a slot's stale previous-generation
   // content can never masquerade as a fresh append.
+  if (bug_hooks::torn_append_unbound_checksum.load(std::memory_order_relaxed)) {
+    generation = 0;  // Seeded bug (crashsim differential tests): unbound checksum.
+  }
   uint32_t crc = Crc32c(&generation, sizeof(generation));
   crc = Crc32c(reinterpret_cast<const uint8_t*>(&entry) + sizeof(uint32_t),
                sizeof(LogEntryHeader) - sizeof(uint32_t), crc);

@@ -9,7 +9,19 @@
 namespace puddles {
 namespace {
 
-thread_local Transaction* tls_transaction = nullptr;
+constinit thread_local Transaction* tls_transaction = nullptr;
+
+// Frees the thread's Transaction at thread exit. A separate owner object so
+// the fast-path pointer above stays a trivial (wrapper-free) thread_local; if
+// a later-destroyed TLS object begins a new transaction after this runs,
+// BeginWith simply re-allocates.
+struct TransactionOwner {
+  ~TransactionOwner() {
+    delete tls_transaction;
+    tls_transaction = nullptr;
+  }
+};
+thread_local TransactionOwner tls_transaction_owner;
 
 void (*g_stage_hook)(const char* stage) = nullptr;
 
@@ -62,6 +74,7 @@ void Transaction::AbandonCurrentForTesting() {
 
 puddles::Result<Transaction*> Transaction::BeginWith(const TxTarget* target) {
   if (tls_transaction == nullptr) {
+    (void)tls_transaction_owner;  // Register the thread-exit deleter.
     tls_transaction = new Transaction();  // Thread-lifetime singleton.
   }
   Transaction* tx = tls_transaction;
@@ -94,6 +107,7 @@ puddles::Result<Transaction*> Transaction::Begin(const TxTarget& target) {
     return BeginWith(&target);  // Nesting: target identity checked, not stored.
   }
   if (tls_transaction == nullptr) {
+    (void)tls_transaction_owner;  // Register the thread-exit deleter.
     tls_transaction = new Transaction();
   }
   tls_transaction->owned_target_ = target;

@@ -14,7 +14,13 @@
 // separately-timed pass over the same op (per-op rdtsc reads into a
 // stats::Histogram) so the mean above stays uncontaminated by clock reads.
 //
-// Usage: bench_runner [--out=BENCH_commit.json] [--iters=N]
+// It also emits a second document, BENCH_crashsim.json: the crash-state
+// exploration trajectory (states enumerated/explored, persistence-graph
+// prune ratio, wall time) for the linked-list workload in brute-force and
+// pruned mode — the per-PR record of what the §12 pruner buys.
+//
+// Usage: bench_runner [--out=BENCH_commit.json]
+//                     [--crashsim-out=BENCH_crashsim.json] [--iters=N]
 #include <unistd.h>
 
 #include <cinttypes>
@@ -27,6 +33,8 @@
 
 #include "bench/bench_env.h"
 #include "bench/bench_util.h"
+#include "src/crashsim/harness.h"
+#include "src/crashsim/workload_drivers.h"
 #include "src/pmem/flush.h"
 #include "src/stats/stats.h"
 #include "src/workloads/list.h"
@@ -245,12 +253,96 @@ void RunFig9(Runner& runner) {
   runner.Measure("fig9_list", "sum_4096_nodes", 256, [&] { bench::DoNotOptimize(list.Sum()); });
 }
 
+// ---- Crashsim trajectory: brute force vs persistence-graph pruning ----
+
+struct CrashsimRow {
+  std::string mode;
+  crashsim::HarnessReport report;
+  double wall_ms = 0;
+};
+
+// Small fixed workload: the point is the trajectory of the pruning machinery
+// (ratio and wall time per PR), not exhaustive coverage — the test suite owns
+// that. Run before PuddlesEnv exists: the harness drivers own their whole
+// daemon/runtime lifecycle.
+std::vector<CrashsimRow> RunCrashsimTrajectory() {
+  std::printf("crashsim trajectory (list workload, brute force vs graph-pruned):\n");
+  std::vector<CrashsimRow> rows;
+  for (const char* mode : {"none", "graph"}) {
+    crashsim::DriverOptions driver_options;
+    driver_options.ops = 10;
+    auto driver = crashsim::MakeDriver("list", driver_options);
+    if (driver == nullptr) {
+      std::fprintf(stderr, "crashsim list driver unavailable\n");
+      std::abort();
+    }
+    crashsim::HarnessOptions options;
+    options.prune = std::strcmp(mode, "graph") == 0 ? crashsim::PruneMode::kGraph
+                                                    : crashsim::PruneMode::kNone;
+    options.enumerate.max_states = 150;
+    crashsim::Harness harness(*driver, options);
+    bench::Timer timer;
+    auto report = harness.Run();
+    const double wall_ms = timer.Nanos() / 1e6;
+    if (!report.ok() || !report->ok()) {
+      std::fprintf(stderr, "crashsim trajectory run failed (%s): %s\n", mode,
+                   report.ok() ? report->Summary().c_str() : report.status().ToString().c_str());
+      std::abort();
+    }
+    std::printf("  %-8s %6" PRIu64 " enumerated  %6" PRIu64 " explored  %6" PRIu64
+                " classes   %8.1f ms\n",
+                mode, report->states_enumerated, report->states_explored,
+                report->state_classes, wall_ms);
+    rows.push_back({mode, *report, wall_ms});
+  }
+  return rows;
+}
+
 #ifndef PUDDLES_GIT_SHA
 #define PUDDLES_GIT_SHA "unknown"
 #endif
 #ifndef PUDDLES_BUILD_FLAGS
 #define PUDDLES_BUILD_FLAGS "unknown"
 #endif
+
+void WriteCrashsimJson(const std::vector<CrashsimRow>& rows, const std::string& path) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::abort();
+  }
+  char timestamp[32] = "unknown";
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  if (gmtime_r(&now, &utc) != nullptr) {
+    std::strftime(timestamp, sizeof(timestamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"crashsim persistence-graph pruning\",\n");
+  std::fprintf(out, "  \"generated_by\": \"tools/bench_runner.cc\",\n");
+  std::fprintf(out, "  \"protocol\": \"DESIGN.md section 12 (crash-state equivalence classes)\",\n");
+  std::fprintf(out, "  \"provenance\": {\"git_sha\": \"%s\", \"timestamp\": \"%s\", "
+               "\"build_flags\": \"%s\"},\n",
+               PUDDLES_GIT_SHA, timestamp, PUDDLES_BUILD_FLAGS);
+  std::fprintf(out, "  \"workload\": \"list\",\n");
+  std::fprintf(out, "  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const crashsim::HarnessReport& r = rows[i].report;
+    const double ratio = r.states_explored != 0
+                             ? static_cast<double>(r.states_enumerated) /
+                                   static_cast<double>(r.states_explored)
+                             : 0.0;
+    std::fprintf(out,
+                 "    {\"mode\": \"%s\", \"states_enumerated\": %" PRIu64
+                 ", \"states_explored\": %" PRIu64 ", \"state_classes\": %" PRIu64
+                 ", \"prune_ratio\": %.2f, \"wall_ms\": %.1f}%s\n",
+                 rows[i].mode.c_str(), r.states_enumerated, r.states_explored,
+                 r.state_classes, ratio, rows[i].wall_ms, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+}
 
 void WriteJson(const Runner& runner, const std::string& path) {
   std::FILE* out = std::fopen(path.c_str(), "w");
@@ -306,18 +398,25 @@ void WriteJson(const Runner& runner, const std::string& path) {
 
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_commit.json";
+  std::string crashsim_out_path = "BENCH_crashsim.json";
   uint64_t iters = bench::Scaled(20000);
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--out=", 0) == 0) {
       out_path = arg.substr(6);
+    } else if (arg.rfind("--crashsim-out=", 0) == 0) {
+      crashsim_out_path = arg.substr(15);
     } else if (arg.rfind("--iters=", 0) == 0) {
       iters = std::strtoull(arg.c_str() + 8, nullptr, 10);
     } else {
-      std::fprintf(stderr, "usage: bench_runner [--out=FILE] [--iters=N]\n");
+      std::fprintf(stderr,
+                   "usage: bench_runner [--out=FILE] [--crashsim-out=FILE] [--iters=N]\n");
       return 2;
     }
   }
+  // Crashsim first: its drivers build and tear down their own daemon/runtime,
+  // which must not interleave with the live PuddlesEnv below.
+  WriteCrashsimJson(RunCrashsimTrajectory(), crashsim_out_path);
   const auto scratch = bench::ScratchDir("bench_runner");
   bench::PuddlesEnv env(scratch);
   Runner runner(env, iters);

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# CI gate for persistence discipline (DESIGN.md §12): every cache-line flush
+# and store fence in the tree must go through the src/pmem wrappers. Raw
+# persistence instructions anywhere else bypass the ShadowHeap interposition
+# layer, so crashsim's trace recorder never sees them — the enumerated crash
+# states silently stop covering those stores and the recovery oracle weakens
+# without any test failing. Two rules:
+#
+#   1. No raw flush/fence intrinsics or mnemonics (clwb / clflushopt /
+#      clflush / sfence / mfence, as _mm_* intrinsics, __builtin_ia32_*, or
+#      inline asm) outside src/pmem/.
+#   2. No persistence calls (pmem::Flush / pmem::Fence / pmem::FlushFence /
+#      pmem::PersistStore64) inside src/stats/ — telemetry must never add
+#      persist traffic to the paths it observes, or the act of measuring
+#      changes the fence counts being measured.
+#
+# Comments are stripped before matching: prose ("one sfence per commit") is
+# documentation, not a violation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Strip // line comments and (single-line) /* */ comments. Block comments in
+# this tree do not span lines with code, so line-wise stripping is exact
+# enough for a grep gate.
+strip_comments() {
+  sed -e 's://.*$::' -e 's:/\*.*\*/::g' "$1"
+}
+
+fail=0
+
+intrinsics='_mm_(clflush|clflushopt|clwb|sfence|mfence)\b|__builtin_ia32_(clflush|clflushopt|clwb|sfence|mfence)|\basm\b.*\b(clwb|clflushopt|clflush|sfence|mfence)\b'
+while IFS= read -r file; do
+  if matches=$(strip_comments "$file" | grep -nE "$intrinsics"); then
+    echo "$file:"
+    echo "$matches"
+    echo "::error::$file: raw persistence intrinsic outside src/pmem/ — use the pmem:: wrappers so crashsim traces the store (DESIGN.md §12)"
+    fail=1
+  fi
+done < <(find src -name '*.h' -o -name '*.cc' | grep -v '^src/pmem/')
+
+while IFS= read -r file; do
+  if matches=$(strip_comments "$file" | grep -nE 'pmem::(FlushFence|Flush|Fence|PersistStore64)\('); then
+    echo "$file:"
+    echo "$matches"
+    echo "::error::$file: persistence call inside src/stats/ — telemetry must not add persist traffic to the paths it measures"
+    fail=1
+  fi
+done < <(find src/stats -name '*.h' -o -name '*.cc')
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "persist-discipline gate clean: raw intrinsics confined to src/pmem/, src/stats/ persist-free"

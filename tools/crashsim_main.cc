@@ -1,22 +1,39 @@
 // crashsim — systematic crash-state enumeration and recovery verification.
 //
 // Runs each selected workload once under the persist-trace recorder,
-// enumerates the legal post-crash durable images (every fence boundary plus
-// seeded eviction subsets of in-flight lines, within a budget), recovers each
-// image through the real application-independent recovery path, and prints a
+// enumerates the legal post-crash durable images (every fence boundary,
+// per-thread in-flight combinations for multi-threaded traces, and seeded
+// eviction subsets of in-flight lines, within a budget), recovers each image
+// through the real application-independent recovery path, and prints a
 // coverage report.
 //
+// By default exploration is pruned through the persistence graph
+// (--prune=graph, DESIGN.md §12): states whose recovery-relevant projected
+// images are byte-identical collapse into one equivalence class and only a
+// representative is recovered. --prune=none restores brute force;
+// --verify-classes explores everything AND checks that every member of a
+// class produces the same outcome (the soundness self-test).
+//
 // Usage:
-//   crashsim [--workloads=list,btree,art,kvstore,pmhash,import] [--ops=N] [--seed=N]
-//            [--max-states=N] [--subsets-per-epoch=N] [--evict-probability=P]
-//            [--rewrite-batch=N] [--scratch=DIR] [--log-states] [--verbose]
+//   crashsim [--workloads=list,btree,art,kvstore,pmhash,import,mt] [--ops=N]
+//            [--seed=N] [--max-states=N] [--subsets-per-epoch=N]
+//            [--evict-probability=P] [--rewrite-batch=N] [--scratch=DIR]
+//            [--prune=graph|none] [--verify-classes] [--json=FILE]
+//            [--log-states] [--verbose]
 //
 // For the "import" workload, --ops is the exported list's node count and
 // --rewrite-batch is the streaming rewrite's frontier batch size (smaller =
 // denser crash-state coverage of the relocation protocol).
+//
+// Exit status: 0 only when every workload ran, explored at least one crash
+// state, and every explored state recovered to a legal op boundary (and, with
+// --verify-classes, no class had mixed outcomes). Any failure, harness error,
+// or empty exploration exits nonzero, so CI can gate on it directly.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -29,6 +46,7 @@ struct CliOptions {
   std::vector<std::string> workloads = crashsim::DriverNames();
   crashsim::DriverOptions driver;
   crashsim::HarnessOptions harness;
+  std::string json_path;
   bool verbose = false;
 };
 
@@ -59,18 +77,92 @@ bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--workloads=list,btree,art,kvstore,pmhash,import] [--ops=N]\n"
+               "usage: %s [--workloads=list,btree,art,kvstore,pmhash,import,mt] [--ops=N]\n"
                "          [--seed=N] [--max-states=N] [--subsets-per-epoch=N]\n"
                "          [--evict-probability=P] [--rewrite-batch=N] [--scratch=DIR]\n"
+               "          [--prune=graph|none] [--verify-classes] [--json=FILE]\n"
                "          [--log-states] [--verbose]\n",
                argv0);
   return 2;
+}
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size() + 8);
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// One machine-readable object per workload; the file is a single JSON array.
+void AppendReportJson(std::ostringstream& out, const crashsim::HarnessReport& r) {
+  out << "  {\n";
+  out << "    \"workload\": \"" << JsonEscape(r.workload) << "\",\n";
+  out << "    \"ok\": " << (r.ok() ? "true" : "false") << ",\n";
+  out << "    \"ops\": " << r.ops << ",\n";
+  out << "    \"epochs\": " << r.epochs << ",\n";
+  out << "    \"threads\": " << r.trace_threads << ",\n";
+  out << "    \"flush_calls\": " << r.flush_calls << ",\n";
+  out << "    \"fences\": " << r.fences << ",\n";
+  out << "    \"trace_bytes\": " << r.trace_bytes << ",\n";
+  out << "    \"states_enumerated\": " << r.states_enumerated << ",\n";
+  out << "    \"fence_boundary_states\": " << r.fence_boundary_states << ",\n";
+  out << "    \"eviction_states\": " << r.eviction_states << ",\n";
+  out << "    \"thread_mask_states\": " << r.thread_mask_states << ",\n";
+  out << "    \"states_explored\": " << r.states_explored << ",\n";
+  out << "    \"states_pruned\": " << r.states_pruned << ",\n";
+  out << "    \"state_classes\": " << r.state_classes << ",\n";
+  out << "    \"fallback_unique\": " << r.fallback_unique << ",\n";
+  out << "    \"class_mismatches\": " << r.class_mismatches << ",\n";
+  out << "    \"recoveries_ok\": " << r.recoveries_ok << ",\n";
+  out << "    \"recovery_failures\": " << r.recovery_failures << ",\n";
+  out << "    \"invariant_failures\": " << r.invariant_failures << ",\n";
+  out << "    \"distinct_outcomes\": " << r.distinct_outcomes << ",\n";
+  out << "    \"graph\": {\n";
+  out << "      \"built\": " << (r.graph_built ? "true" : "false") << ",\n";
+  out << "      \"nodes\": " << r.graph.nodes << ",\n";
+  out << "      \"ordering_edges\": " << r.graph.ordering_edges << ",\n";
+  out << "      \"overwrite_edges\": " << r.graph.overwrite_edges << ",\n";
+  out << "      \"lines_total\": " << r.graph.lines_total << ",\n";
+  out << "      \"lines_touched\": " << r.graph.lines_touched << ",\n";
+  out << "      \"lines_never_exercised\": " << r.graph.lines_never_exercised << ",\n";
+  out << "      \"log_lines\": " << r.graph.log_lines << "\n";
+  out << "    },\n";
+  out << "    \"failures\": [";
+  for (size_t i = 0; i < r.failures.size(); ++i) {
+    out << (i ? ", " : "") << "\"" << JsonEscape(r.failures[i]) << "\"";
+  }
+  out << "]\n";
+  out << "  }";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   CliOptions options;
+  options.harness.prune = crashsim::PruneMode::kGraph;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     std::string value;
@@ -92,6 +184,19 @@ int main(int argc, char** argv) {
       options.driver.rewrite_batch_objects = static_cast<uint32_t>(std::atoi(value.c_str()));
     } else if (ParseFlag(arg, "scratch", &value)) {
       options.harness.scratch_dir = value;
+    } else if (ParseFlag(arg, "prune", &value)) {
+      if (value == "graph") {
+        options.harness.prune = crashsim::PruneMode::kGraph;
+      } else if (value == "none") {
+        options.harness.prune = crashsim::PruneMode::kNone;
+      } else {
+        std::fprintf(stderr, "crashsim: unknown prune mode '%s'\n", value.c_str());
+        return Usage(argv[0]);
+      }
+    } else if (ParseFlag(arg, "json", &value)) {
+      options.json_path = value;
+    } else if (arg == "--verify-classes") {
+      options.harness.verify_classes = true;
     } else if (arg == "--log-states") {
       options.harness.log_each_state = true;
     } else if (arg == "--verbose") {
@@ -103,12 +208,18 @@ int main(int argc, char** argv) {
 
   int failures = 0;
   std::printf("crashsim: exploring crash states (max %llu per workload, %u eviction "
-              "subsets/epoch, p=%.2f)\n",
+              "subsets/epoch, p=%.2f, prune=%s%s)\n",
               static_cast<unsigned long long>(options.harness.enumerate.max_states),
               options.harness.enumerate.eviction_subsets_per_epoch,
-              options.harness.enumerate.eviction_probability);
-  std::printf("%-8s %8s %8s %8s %8s %8s %8s %8s %10s\n", "workload", "states", "fence",
-              "evict", "ok", "recfail", "invfail", "epochs", "outcomes");
+              options.harness.enumerate.eviction_probability,
+              options.harness.prune == crashsim::PruneMode::kGraph ? "graph" : "none",
+              options.harness.verify_classes ? ", verify-classes" : "");
+  std::printf("%-8s %8s %8s %8s %8s %8s %8s %8s %8s %8s %10s\n", "workload", "states",
+              "explored", "pruned", "classes", "ok", "recfail", "invfail", "clsmis",
+              "epochs", "outcomes");
+  std::ostringstream json;
+  json << "[\n";
+  bool first_json = true;
   for (const std::string& name : options.workloads) {
     auto driver = crashsim::MakeDriver(name, options.driver);
     if (driver == nullptr) {
@@ -123,13 +234,15 @@ int main(int argc, char** argv) {
       ++failures;
       continue;
     }
-    std::printf("%-8s %8llu %8llu %8llu %8llu %8llu %8llu %8llu %10llu\n", name.c_str(),
-                static_cast<unsigned long long>(report->states_enumerated),
-                static_cast<unsigned long long>(report->fence_boundary_states),
-                static_cast<unsigned long long>(report->eviction_states),
+    std::printf("%-8s %8llu %8llu %8llu %8llu %8llu %8llu %8llu %8llu %8llu %10llu\n",
+                name.c_str(), static_cast<unsigned long long>(report->states_enumerated),
+                static_cast<unsigned long long>(report->states_explored),
+                static_cast<unsigned long long>(report->states_pruned),
+                static_cast<unsigned long long>(report->state_classes),
                 static_cast<unsigned long long>(report->recoveries_ok),
                 static_cast<unsigned long long>(report->recovery_failures),
                 static_cast<unsigned long long>(report->invariant_failures),
+                static_cast<unsigned long long>(report->class_mismatches),
                 static_cast<unsigned long long>(report->epochs),
                 static_cast<unsigned long long>(report->distinct_outcomes));
     if (options.verbose) {
@@ -142,9 +255,29 @@ int main(int argc, char** argv) {
     for (const std::string& failure : report->failures) {
       std::fprintf(stderr, "  FAILURE %s: %s\n", name.c_str(), failure.c_str());
     }
+    if (!first_json) {
+      json << ",\n";
+    }
+    AppendReportJson(json, *report);
+    first_json = false;
     if (!report->ok()) {
       ++failures;
+    } else if (report->states_explored == 0) {
+      // A run that verified nothing must not pass: misconfiguration (ops=0, a
+      // filter that matches no states) would otherwise look green.
+      std::fprintf(stderr, "crashsim: %s: explored zero crash states\n", name.c_str());
+      ++failures;
     }
+  }
+  json << "\n]\n";
+  if (!options.json_path.empty()) {
+    std::ofstream out(options.json_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "crashsim: cannot write %s\n", options.json_path.c_str());
+      return 1;
+    }
+    out << json.str();
+    std::printf("crashsim: wrote %s\n", options.json_path.c_str());
   }
   if (failures != 0) {
     std::fprintf(stderr, "crashsim: %d workload(s) failed\n", failures);
