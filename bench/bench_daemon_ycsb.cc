@@ -1,0 +1,547 @@
+// Socket-level YCSB against one live Puddled: N separate client PROCESSES
+// (fork+exec of this binary with --client) hammer a single daemon over its
+// UNIX domain socket with read (GetPtrMap) / update (RegisterPtrMap) mixes,
+// optionally pipelined. The run matrix compares the event-driven server
+// (src/daemon/server.cc, Mode::kEventLoop) against the thread-per-connection
+// baseline it replaced, and emits BENCH_daemon.json (repo root) with
+// throughput + p50/p99 per configuration, the event-vs-baseline speedups,
+// and the standard provenance block — same conventions as BENCH_commit.json.
+//
+// Workload letters follow YCSB: A = 50/50 read/update, B = 95/5, C = 100%
+// read, uniform key choice over a preloaded ptr-map keyspace. Latency is
+// measured per request at the client (send→matching response, so pipelined
+// configs report queue+service time) into mergeable log-bucket histograms
+// that children ship back over a pipe for exact cross-process percentiles.
+//
+// Usage: bench_daemon_ycsb [--out=BENCH_daemon.json] [--ops=N] [--keys=K]
+//        (--client + flags is the internal child-process mode)
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_provenance.h"
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/daemon/client.h"
+#include "src/daemon/protocol.h"
+#include "src/daemon/server.h"
+#include "src/ipc/wire.h"
+#include "src/stats/histogram.h"
+#include "src/stats/stats.h"
+
+extern char** environ;
+
+namespace {
+
+using puddles::stats::BucketScale;
+using puddles::stats::Histogram;
+
+constexpr uint64_t kResultMagic = 0x7075646479637362ULL;  // "puddycsb"
+
+// Fixed-size binary result a child ships back over its pipe: op totals, wall
+// time, and the full latency histogram state for exact bucket-wise merging.
+struct ChildResult {
+  uint64_t magic = kResultMagic;
+  uint64_t ops_done = 0;
+  uint64_t failures = 0;
+  uint64_t wall_ns = 0;
+  uint64_t hist_sum = 0;
+  uint64_t hist_max = 0;
+  uint64_t buckets[BucketScale::kNumBuckets] = {};
+};
+
+bool ReadFull(int fd, void* buf, size_t len) {
+  auto* p = static_cast<uint8_t*>(buf);
+  while (len > 0) {
+    const ssize_t n = ::read(fd, p, len);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool WriteFull(int fd, const void* buf, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(buf);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+puddled::PtrMapRecord RecordFor(uint64_t type_id) {
+  puddled::PtrMapRecord record{};
+  record.type_id = type_id;
+  record.num_fields = 2;
+  record.object_size = 64;
+  record.field_offsets[0] = 0;
+  record.field_offsets[1] = 8;
+  return record;
+}
+
+// ---------------------------------------------------------------------------
+// Child-process mode: one connection, a read/update stream, results by pipe.
+// ---------------------------------------------------------------------------
+
+struct ClientConfig {
+  std::string socket_path;
+  uint64_t ops = 0;
+  uint64_t keys = 0;
+  uint64_t depth = 1;      // Pipelining window (1 = synchronous RTTs).
+  uint64_t read_pct = 95;  // YCSB mix: % of ops that are reads.
+  uint64_t seed = 1;
+  int ready_fd = -1;
+  int go_fd = -1;
+  int result_fd = -1;
+};
+
+int RunClient(const ClientConfig& config) {
+  auto socket = puddles::UnixSocket::Connect(config.socket_path);
+  if (!socket.ok()) {
+    std::fprintf(stderr, "client: connect failed: %s\n", socket.status().ToString().c_str());
+    return 1;
+  }
+  puddles::Xoshiro256 rng(config.seed);
+  ChildResult result;
+  Histogram latency;
+  std::deque<uint64_t> send_ticks;  // In-order responses: FIFO matches.
+  uint64_t sent = 0, received = 0;
+
+  // Requests for the current window are framed into one buffer and written
+  // with one syscall — what a real pipelining client library would do (and
+  // the whole point of depth > 1; at depth 1 the batch is a single frame,
+  // i.e. the synchronous wire pattern).
+  std::vector<uint8_t> batch;
+  auto stage_one = [&] {
+    puddles::WireWriter writer;
+    if (rng.Below(100) < config.read_pct) {
+      writer.PutU32(static_cast<uint32_t>(puddled::Op::kGetPtrMap));
+      writer.PutU64(1 + rng.Below(config.keys));
+    } else {
+      writer.PutU32(static_cast<uint32_t>(puddled::Op::kRegisterPtrMap));
+      puddled::EncodePtrMap(&writer, RecordFor(1 + rng.Below(config.keys)));
+    }
+    const uint32_t length = static_cast<uint32_t>(writer.bytes().size());
+    const auto* header = reinterpret_cast<const uint8_t*>(&length);
+    batch.insert(batch.end(), header, header + 4);
+    batch.insert(batch.end(), writer.bytes().begin(), writer.bytes().end());
+    send_ticks.push_back(puddles::stats::NowTicks());
+    ++sent;
+  };
+  auto flush_batch = [&]() -> bool {
+    if (batch.empty()) {
+      return true;
+    }
+    if (!WriteFull(socket->fd(), batch.data(), batch.size())) {
+      return false;
+    }
+    batch.clear();
+    return true;
+  };
+
+  // Barrier: tell the parent we are connected, then block until every client
+  // is, so the timed window measures steady concurrent load.
+  uint8_t byte = 'R';
+  if (!WriteFull(config.ready_fd, &byte, 1) || !ReadFull(config.go_fd, &byte, 1)) {
+    std::fprintf(stderr, "client: start barrier failed\n");
+    return 1;
+  }
+
+  bench::Timer timer;
+  while (sent < config.ops && sent < config.depth) {
+    stage_one();
+  }
+  if (!flush_batch()) {
+    ++result.failures;
+  }
+  std::vector<uint8_t> inbuf;
+  size_t inbuf_off = 0;
+  uint8_t chunk[64 * 1024];
+  while (received < sent && result.failures == 0) {
+    const ssize_t n = ::read(socket->fd(), chunk, sizeof(chunk));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      ++result.failures;
+      break;
+    }
+    inbuf.insert(inbuf.end(), chunk, chunk + n);
+    uint64_t completed = 0;
+    while (inbuf.size() - inbuf_off >= 4) {
+      uint32_t length = 0;
+      std::memcpy(&length, inbuf.data() + inbuf_off, 4);
+      if (inbuf.size() - inbuf_off - 4 < length) {
+        break;
+      }
+      latency.Record(
+          puddles::stats::TicksToNanos(puddles::stats::NowTicks() - send_ticks.front()));
+      send_ticks.pop_front();
+      puddles::WireReader reader(inbuf.data() + inbuf_off + 4, length);
+      puddles::Status status = puddles::OkStatus();
+      if (!reader.GetStatus(&status).ok() || !status.ok()) {
+        ++result.failures;
+      } else {
+        ++result.ops_done;
+      }
+      inbuf_off += 4 + static_cast<size_t>(length);
+      ++received;
+      ++completed;
+    }
+    if (inbuf_off > 0) {
+      inbuf.erase(inbuf.begin(), inbuf.begin() + static_cast<ptrdiff_t>(inbuf_off));
+      inbuf_off = 0;
+    }
+    // Refill the window by as many requests as just completed.
+    while (completed-- > 0 && sent < config.ops) {
+      stage_one();
+    }
+    if (!flush_batch()) {
+      ++result.failures;
+    }
+  }
+  result.wall_ns = static_cast<uint64_t>(timer.Nanos());
+  result.hist_sum = latency.sum();
+  result.hist_max = latency.max();
+  for (size_t i = 0; i < BucketScale::kNumBuckets; ++i) {
+    result.buckets[i] = latency.bucket(i);
+  }
+  if (!WriteFull(config.result_fd, &result, sizeof(result))) {
+    return 1;
+  }
+  return result.failures == 0 ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// Parent mode: spawn the matrix, merge, gate, emit JSON.
+// ---------------------------------------------------------------------------
+
+struct Row {
+  std::string mode;  // "event" | "thread"
+  std::string workload;
+  uint64_t clients = 0;
+  uint64_t depth = 0;
+  uint64_t read_pct = 0;
+  uint64_t total_ops = 0;
+  double wall_s = 0;
+  double ops_per_sec = 0;
+  uint64_t p50_ns = 0;
+  uint64_t p99_ns = 0;
+};
+
+struct RunSpec {
+  puddled::Server::Mode mode;
+  const char* workload;
+  uint64_t clients;
+  uint64_t depth;
+  uint64_t read_pct;
+};
+
+std::string Flag(const char* name, uint64_t value) {
+  return std::string(name) + "=" + std::to_string(value);
+}
+
+Row RunOne(puddled::Daemon* daemon, const std::string& socket_path, const std::string& exe,
+           const RunSpec& spec, uint64_t ops_per_client, uint64_t keys) {
+  puddled::Server::Options options;
+  options.mode = spec.mode;
+  auto server = puddled::Server::Start(daemon, socket_path, options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", server.status().ToString().c_str());
+    std::abort();
+  }
+
+  int ready_pipe[2], go_pipe[2];
+  if (::pipe(ready_pipe) != 0 || ::pipe(go_pipe) != 0) {
+    std::perror("pipe");
+    std::abort();
+  }
+  std::vector<pid_t> pids;
+  std::vector<int> result_fds;
+  for (uint64_t c = 0; c < spec.clients; ++c) {
+    int result_pipe[2];
+    if (::pipe(result_pipe) != 0) {
+      std::perror("pipe");
+      std::abort();
+    }
+    std::vector<std::string> args = {
+        exe,
+        "--client",
+        "--socket=" + socket_path,
+        Flag("--ops", ops_per_client),
+        Flag("--keys", keys),
+        Flag("--depth", spec.depth),
+        Flag("--read-pct", spec.read_pct),
+        Flag("--seed", 0x5eed0000 + c),
+        Flag("--ready-fd", ready_pipe[1]),
+        Flag("--go-fd", go_pipe[0]),
+        Flag("--result-fd", result_pipe[1]),
+    };
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& arg : args) {
+      argv.push_back(arg.data());
+    }
+    argv.push_back(nullptr);
+    pid_t pid = 0;
+    const int rc = ::posix_spawn(&pid, exe.c_str(), nullptr, nullptr, argv.data(), environ);
+    if (rc != 0) {
+      std::fprintf(stderr, "posix_spawn failed: %s\n", std::strerror(rc));
+      std::abort();
+    }
+    ::close(result_pipe[1]);  // Child's copy stays open in the child.
+    pids.push_back(pid);
+    result_fds.push_back(result_pipe[0]);
+  }
+
+  // Start barrier: one ready byte per connected child, then one go byte each.
+  for (uint64_t c = 0; c < spec.clients; ++c) {
+    uint8_t byte;
+    if (!ReadFull(ready_pipe[0], &byte, 1)) {
+      std::fprintf(stderr, "a client died before the barrier\n");
+      std::abort();
+    }
+  }
+  bench::Timer wall;
+  std::vector<uint8_t> go(spec.clients, 'G');
+  if (!WriteFull(go_pipe[1], go.data(), go.size())) {
+    std::perror("go write");
+    std::abort();
+  }
+
+  Histogram latency;
+  uint64_t total_ops = 0, failures = 0, slowest_ns = 0;
+  for (int fd : result_fds) {
+    ChildResult result;
+    if (!ReadFull(fd, &result, sizeof(result)) || result.magic != kResultMagic) {
+      std::fprintf(stderr, "a client died mid-run\n");
+      std::abort();
+    }
+    ::close(fd);
+    total_ops += result.ops_done;
+    failures += result.failures;
+    slowest_ns = std::max(slowest_ns, result.wall_ns);
+    for (size_t i = 0; i < BucketScale::kNumBuckets; ++i) {
+      if (result.buckets[i] != 0) {
+        latency.AddBucket(i, result.buckets[i]);
+      }
+    }
+    latency.AddSumMax(result.hist_sum, result.hist_max);
+  }
+  const double wall_s = wall.Seconds();
+  for (pid_t pid : pids) {
+    int status = 0;
+    (void)::waitpid(pid, &status, 0);
+  }
+  ::close(ready_pipe[0]);
+  ::close(ready_pipe[1]);
+  ::close(go_pipe[0]);
+  ::close(go_pipe[1]);
+  (*server)->Stop();
+  if (failures != 0 || total_ops != spec.clients * ops_per_client) {
+    std::fprintf(stderr, "run failed: %" PRIu64 " failures, %" PRIu64 "/%" PRIu64 " ops\n",
+                 failures, total_ops, spec.clients * ops_per_client);
+    std::abort();
+  }
+
+  Row row;
+  row.mode = spec.mode == puddled::Server::Mode::kEventLoop ? "event" : "thread";
+  row.workload = spec.workload;
+  row.clients = spec.clients;
+  row.depth = spec.depth;
+  row.read_pct = spec.read_pct;
+  row.total_ops = total_ops;
+  // Throughput over the slowest client's window (all clients start together),
+  // which excludes the parent's result-collection time.
+  row.wall_s = static_cast<double>(slowest_ns) / 1e9;
+  (void)wall_s;
+  row.ops_per_sec = static_cast<double>(total_ops) / row.wall_s;
+  row.p50_ns = latency.p50();
+  row.p99_ns = latency.p99();
+  std::printf("  %-6s %-3s %3" PRIu64 " clients  depth %2" PRIu64 "   %10.0f ops/s   p50 %8" PRIu64
+              " ns   p99 %8" PRIu64 " ns\n",
+              row.mode.c_str(), row.workload.c_str(), row.clients, row.depth, row.ops_per_sec,
+              row.p50_ns, row.p99_ns);
+  return row;
+}
+
+#ifndef PUDDLES_GIT_SHA
+#define PUDDLES_GIT_SHA "unknown"
+#endif
+#ifndef PUDDLES_BUILD_FLAGS
+#define PUDDLES_BUILD_FLAGS "unknown"
+#endif
+
+void WriteJson(const std::vector<Row>& rows, double speedup16, double speedup64,
+               const std::string& path) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::abort();
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"daemon socket YCSB (multi-process clients)\",\n");
+  std::fprintf(out, "  \"generated_by\": \"bench/bench_daemon_ycsb.cc\",\n");
+  std::fprintf(out, "  \"protocol\": \"docs/daemon.md (event-driven server, pipelined wire)\",\n");
+  std::fprintf(out, "%s",
+               bench::ProvenanceJsonLine(PUDDLES_GIT_SHA, PUDDLES_BUILD_FLAGS).c_str());
+  std::fprintf(out, "  \"scale\": %.2f,\n", bench::ScaleFactor());
+  // Headline gate: pipelined event-mode vs the synchronous thread-per-
+  // connection baseline at matched client counts (acceptance: >= 3x at 16+).
+  std::fprintf(out, "  \"speedup_event_vs_thread\": {\"clients_16\": %.2f, \"clients_64\": %.2f},\n",
+               speedup16, speedup64);
+  std::fprintf(out, "  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(out,
+                 "    {\"mode\": \"%s\", \"workload\": \"%s\", \"clients\": %" PRIu64
+                 ", \"depth\": %" PRIu64 ", \"read_pct\": %" PRIu64 ", \"ops\": %" PRIu64
+                 ", \"wall_s\": %.4f, \"ops_per_sec\": %.0f, \"p50_ns\": %" PRIu64
+                 ", \"p99_ns\": %" PRIu64 "}%s\n",
+                 r.mode.c_str(), r.workload.c_str(), r.clients, r.depth, r.read_pct,
+                 r.total_ops, r.wall_s, r.ops_per_sec, r.p50_ns, r.p99_ns,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+uint64_t FlagValue(const std::string& arg) {
+  return std::strtoull(arg.c_str() + arg.find('=') + 1, nullptr, 10);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Child mode first: spawned copies of this binary re-enter here.
+  if (argc > 1 && std::string(argv[1]) == "--client") {
+    ClientConfig config;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--socket=", 0) == 0) {
+        config.socket_path = arg.substr(9);
+      } else if (arg.rfind("--ops=", 0) == 0) {
+        config.ops = FlagValue(arg);
+      } else if (arg.rfind("--keys=", 0) == 0) {
+        config.keys = FlagValue(arg);
+      } else if (arg.rfind("--depth=", 0) == 0) {
+        config.depth = FlagValue(arg);
+      } else if (arg.rfind("--read-pct=", 0) == 0) {
+        config.read_pct = FlagValue(arg);
+      } else if (arg.rfind("--seed=", 0) == 0) {
+        config.seed = FlagValue(arg);
+      } else if (arg.rfind("--ready-fd=", 0) == 0) {
+        config.ready_fd = static_cast<int>(FlagValue(arg));
+      } else if (arg.rfind("--go-fd=", 0) == 0) {
+        config.go_fd = static_cast<int>(FlagValue(arg));
+      } else if (arg.rfind("--result-fd=", 0) == 0) {
+        config.result_fd = static_cast<int>(FlagValue(arg));
+      }
+    }
+    return RunClient(config);
+  }
+
+  std::string out_path = "BENCH_daemon.json";
+  uint64_t ops_per_client = bench::Scaled(1000);
+  uint64_t keys = 1024;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--ops=", 0) == 0) {
+      ops_per_client = FlagValue(arg);
+    } else if (arg.rfind("--keys=", 0) == 0) {
+      keys = FlagValue(arg);
+    } else {
+      std::fprintf(stderr, "usage: bench_daemon_ycsb [--out=FILE] [--ops=N] [--keys=K]\n");
+      return 2;
+    }
+  }
+
+  bench::PrintHeader("Daemon socket YCSB (event loop vs thread-per-connection)",
+                     "multi-client daemon rebuild; acceptance: event >= 3x baseline at 16+ clients");
+  auto dir = bench::ScratchDir("daemonycsb");
+  puddled::Daemon::Options daemon_options;
+  daemon_options.root_dir = (dir / "root").string();
+  // Headroom for the preloaded keyspace (the default ptr-map table is sized
+  // for type registries, not a bench keyspace).
+  daemon_options.ptrmap_table_slots = 4 * keys;
+  auto daemon = puddled::Daemon::Start(daemon_options);
+  if (!daemon.ok()) {
+    std::fprintf(stderr, "daemon start failed: %s\n", daemon.status().ToString().c_str());
+    return 1;
+  }
+  const std::string socket_path = (dir / "puddled.sock").string();
+  const std::string exe = "/proc/self/exe";
+
+  // Preload the keyspace so reads always hit.
+  puddled::EmbeddedDaemonClient loader(daemon->get());
+  for (uint64_t k = 1; k <= keys; ++k) {
+    if (!loader.RegisterPtrMap(RecordFor(k)).ok()) {
+      std::fprintf(stderr, "keyspace preload failed\n");
+      return 1;
+    }
+  }
+
+  const std::vector<RunSpec> matrix = {
+      // Baseline: the synchronous thread-per-connection deployment (depth 1,
+      // the old client library never pipelined).
+      {puddled::Server::Mode::kThreadPerConnection, "B", 1, 1, 95},
+      {puddled::Server::Mode::kThreadPerConnection, "B", 16, 1, 95},
+      {puddled::Server::Mode::kThreadPerConnection, "B", 64, 1, 95},
+      // Event loop, synchronous clients (like-for-like RTT comparison).
+      {puddled::Server::Mode::kEventLoop, "B", 1, 1, 95},
+      {puddled::Server::Mode::kEventLoop, "B", 16, 1, 95},
+      {puddled::Server::Mode::kEventLoop, "B", 64, 1, 95},
+      // Event loop, pipelined (the headline configuration).
+      {puddled::Server::Mode::kEventLoop, "B", 16, 16, 95},
+      {puddled::Server::Mode::kEventLoop, "B", 64, 16, 95},
+      {puddled::Server::Mode::kEventLoop, "A", 64, 16, 50},
+      {puddled::Server::Mode::kEventLoop, "C", 64, 16, 100},
+  };
+  std::vector<Row> rows;
+  rows.reserve(matrix.size());
+  for (const RunSpec& spec : matrix) {
+    rows.push_back(RunOne(daemon->get(), socket_path, exe, spec, ops_per_client, keys));
+  }
+
+  auto throughput = [&](const char* mode, uint64_t clients, uint64_t depth) {
+    for (const Row& r : rows) {
+      if (r.mode == mode && r.clients == clients && r.depth == depth && r.workload == "B") {
+        return r.ops_per_sec;
+      }
+    }
+    return 0.0;
+  };
+  const double speedup16 = throughput("event", 16, 16) / throughput("thread", 16, 1);
+  const double speedup64 = throughput("event", 64, 16) / throughput("thread", 64, 1);
+  std::printf("speedup (pipelined event vs thread baseline): %.2fx @16 clients, %.2fx @64\n",
+              speedup16, speedup64);
+
+  WriteJson(rows, speedup16, speedup64, out_path);
+  daemon->reset();
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -63,6 +63,13 @@ puddles::Result<std::unique_ptr<Daemon>> Daemon::Start(const Options& options) {
   if (options.root_dir.empty()) {
     return puddles::InvalidArgumentError("daemon needs a root directory");
   }
+  if (options.shards == 0 || !puddles::IsPowerOfTwo(options.shards)) {
+    return puddles::InvalidArgumentError("daemon shard count must be a power of two");
+  }
+  if (options.puddle_table_slots % options.shards != 0 ||
+      options.ptrmap_table_slots % options.shards != 0) {
+    return puddles::InvalidArgumentError("table slots must divide evenly across shards");
+  }
   std::unique_ptr<Daemon> daemon(new Daemon(options));
   RETURN_IF_ERROR(daemon->Initialize());
   if (options.run_recovery) {
@@ -89,25 +96,73 @@ puddles::Status Daemon::Initialize() {
 
 puddles::Status Daemon::OpenTables() {
   const std::string root = options_.root_dir + "/";
-  RETURN_IF_ERROR(OpenTable(root + "puddles.tbl", options_.puddle_table_slots,
-                            &puddle_table_file_, &puddles_));
+  const uint64_t puddle_slots = options_.puddle_table_slots / options_.shards;
+  const uint64_t ptrmap_slots = options_.ptrmap_table_slots / options_.shards;
+  // Shard choice is part of the on-disk layout: hash routing and file naming
+  // both depend on it. A reopen with a different count must fail loudly —
+  // opening a subset (or expecting extra shards) would silently hide the
+  // records living in the other files.
+  if (fs::exists(root + "puddles.0.tbl")) {
+    const bool extra = fs::exists(root + "puddles." + std::to_string(options_.shards) + ".tbl");
+    const bool missing =
+        !fs::exists(root + "puddles." + std::to_string(options_.shards - 1) + ".tbl");
+    if (extra || missing) {
+      return puddles::FailedPreconditionError(
+          "daemon root was created with a different shard count");
+    }
+  }
+  shards_.clear();
+  for (uint32_t i = 0; i < options_.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    const std::string suffix = "." + std::to_string(i) + ".tbl";
+    RETURN_IF_ERROR(OpenTable(root + "puddles" + suffix, puddle_slots, &shard->puddle_file,
+                              &shard->puddles));
+    RETURN_IF_ERROR(OpenTable(root + "ptrmaps" + suffix, ptrmap_slots, &shard->ptrmap_file,
+                              &shard->ptrmaps));
+    shards_.push_back(std::move(shard));
+  }
   RETURN_IF_ERROR(
       OpenTable(root + "pools.tbl", options_.pool_table_slots, &pool_table_file_, &pools_));
-  RETURN_IF_ERROR(OpenTable(root + "ptrmaps.tbl", options_.ptrmap_table_slots,
-                            &ptrmap_table_file_, &ptrmaps_));
   RETURN_IF_ERROR(OpenTable(root + "logspaces.tbl", options_.logspace_table_slots,
                             &logspace_table_file_, &logspaces_));
   return puddles::OkStatus();
 }
 
+Daemon::Shard& Daemon::ShardFor(const Uuid& uuid) {
+  return *shards_[puddles::UuidHash{}(uuid) & (shards_.size() - 1)];
+}
+
+Daemon::Shard& Daemon::ShardForType(uint64_t type_id) {
+  // splitmix64 finalizer: type ids are often small sequential integers, so
+  // mix before masking. The result must stay stable across processes — the
+  // shard choice decides which table file holds the record.
+  uint64_t x = type_id + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return *shards_[x & (shards_.size() - 1)];
+}
+
+void Daemon::ForEachPuddle(bool exclusive,
+                           const std::function<void(const Uuid&, const PuddleRecord&)>& fn) {
+  for (auto& shard : shards_) {
+    std::unique_lock<std::mutex> lock;
+    if (!exclusive) {
+      lock = std::unique_lock<std::mutex>(shard->mu);
+    }
+    shard->puddles->ForEach(fn);
+  }
+}
+
 puddles::Status Daemon::RebuildAddressMap() {
+  // Startup only: single-threaded, so no locks (exclusive iteration).
   addr_alloc_ = puddles::RangeAllocator(pmem::ConfiguredSpaceBase(),
                                         pmem::ConfiguredSpaceSize());
   by_base_.clear();
   // Pass 1: real base assignments. These must all claim cleanly — an actual
   // overlap between two live puddles is registry corruption.
   puddles::Status status = puddles::OkStatus();
-  puddles_->ForEach([&](const Uuid& uuid, const PuddleRecord& record) {
+  ForEachPuddle(/*exclusive=*/true, [&](const Uuid& uuid, const PuddleRecord& record) {
     if (!status.ok()) {
       return;
     }
@@ -127,7 +182,7 @@ puddles::Status Daemon::RebuildAddressMap() {
   // covers the range — a hold claimed in hash order before that puddle's own
   // record would make pass 1 falsely report corruption, which is exactly the
   // restart-after-crashed-import bug crashsim found.
-  puddles_->ForEach([&](const Uuid&, const PuddleRecord& record) {
+  ForEachPuddle(/*exclusive=*/true, [&](const Uuid&, const PuddleRecord& record) {
     if (record.prev_base != 0 && record.prev_base != record.base_addr) {
       (void)addr_alloc_.Claim(record.prev_base, record.file_size);
     }
@@ -158,15 +213,42 @@ puddles::Status Daemon::CheckAccess(uint32_t owner_uid, uint32_t owner_gid, uint
 }
 
 puddles::Result<PuddleRecord> Daemon::LookupPuddle(const Uuid& uuid) {
-  auto record = puddles_->Get(uuid);
+  Shard& shard = ShardFor(uuid);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return LookupPuddleUnlocked(uuid);
+}
+
+puddles::Result<PuddleRecord> Daemon::LookupPuddleUnlocked(const Uuid& uuid) {
+  auto record = ShardFor(uuid).puddles->Get(uuid);
   if (!record.ok()) {
     return puddles::NotFoundError("unknown puddle " + uuid.ToString());
   }
   return *record;
 }
 
-puddles::Status Daemon::UpdatePuddleRecord(const PuddleRecord& record) {
-  return puddles_->Put(record.uuid, record);
+puddles::Status Daemon::UpdatePuddleRecordUnlocked(const PuddleRecord& record) {
+  return ShardFor(record.uuid).puddles->Put(record.uuid, record);
+}
+
+void Daemon::RollbackPuddle(const Uuid& uuid) {
+  std::shared_lock<std::shared_mutex> structure(structure_mu_);
+  Shard& shard = ShardFor(uuid);
+  PuddleRecord record{};
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto found = shard.puddles->Get(uuid);
+    if (!found.ok()) {
+      return;
+    }
+    record = *found;
+    (void)shard.puddles->Erase(uuid);
+  }
+  {
+    std::lock_guard<std::mutex> lock(addr_mu_);
+    (void)addr_alloc_.Free(record.base_addr);
+    by_base_.erase(record.base_addr);
+  }
+  ::unlink(PuddlePath(uuid).c_str());
 }
 
 puddles::Result<std::pair<PuddleInfo, int>> Daemon::CreatePuddle(PuddleKind kind,
@@ -174,22 +256,30 @@ puddles::Result<std::pair<PuddleInfo, int>> Daemon::CreatePuddle(PuddleKind kind
                                                                  const Credentials& creds,
                                                                  const Uuid& pool_uuid,
                                                                  uint32_t mode) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> structure(structure_mu_);
   if (!puddles::IsPowerOfTwo(heap_size)) {
     return puddles::InvalidArgumentError("puddle heap size must be a power of two");
   }
   const Uuid uuid = Uuid::Generate();
   const size_t file_size = puddles::Puddle::FileSizeFor(kind, heap_size);
 
-  ASSIGN_OR_RETURN(uint64_t base, addr_alloc_.Allocate(file_size));
+  uint64_t base = 0;
+  {
+    std::lock_guard<std::mutex> lock(addr_mu_);
+    ASSIGN_OR_RETURN(base, addr_alloc_.Allocate(file_size));
+  }
+  auto free_base = [&] {
+    std::lock_guard<std::mutex> lock(addr_mu_);
+    (void)addr_alloc_.Free(base);
+  };
   auto file = pmem::PmemFile::Create(PuddlePath(uuid), file_size);
   if (!file.ok()) {
-    (void)addr_alloc_.Free(base);
+    free_base();
     return file.status();
   }
   auto mapped = file->Map();
   if (!mapped.ok()) {
-    (void)addr_alloc_.Free(base);
+    free_base();
     return mapped.status();
   }
   puddles::PuddleParams params;
@@ -211,8 +301,20 @@ puddles::Result<std::pair<PuddleInfo, int>> Daemon::CreatePuddle(PuddleKind kind
   record.base_addr = base;
   record.file_size = file_size;
   record.heap_size = heap_size;
-  RETURN_IF_ERROR(puddles_->Put(uuid, record));
-  by_base_[base] = uuid;
+  {
+    Shard& shard = ShardFor(uuid);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    puddles::Status put = shard.puddles->Put(uuid, record);
+    if (!put.ok()) {
+      free_base();
+      ::unlink(PuddlePath(uuid).c_str());
+      return put;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(addr_mu_);
+    by_base_[base] = uuid;
+  }
 
   return std::make_pair(PuddleInfo::FromRecord(record), file->ReleaseFd());
 }
@@ -220,7 +322,7 @@ puddles::Result<std::pair<PuddleInfo, int>> Daemon::CreatePuddle(PuddleKind kind
 puddles::Result<std::pair<PuddleInfo, int>> Daemon::GetPuddle(const Uuid& uuid,
                                                               const Credentials& creds,
                                                               bool write) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> structure(structure_mu_);
   ASSIGN_OR_RETURN(PuddleRecord record, LookupPuddle(uuid));
   RETURN_IF_ERROR(CheckAccess(record.owner_uid, record.owner_gid, record.mode, creds, write));
   int fd = ::open(PuddlePath(uuid).c_str(), write ? O_RDWR : O_RDONLY);
@@ -231,7 +333,7 @@ puddles::Result<std::pair<PuddleInfo, int>> Daemon::GetPuddle(const Uuid& uuid,
 }
 
 puddles::Result<PuddleInfo> Daemon::StatPuddle(const Uuid& uuid, const Credentials& creds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> structure(structure_mu_);
   ASSIGN_OR_RETURN(PuddleRecord record, LookupPuddle(uuid));
   RETURN_IF_ERROR(
       CheckAccess(record.owner_uid, record.owner_gid, record.mode, creds, /*write=*/false));
@@ -239,29 +341,42 @@ puddles::Result<PuddleInfo> Daemon::StatPuddle(const Uuid& uuid, const Credentia
 }
 
 puddles::Result<PuddleInfo> Daemon::FindPuddleByAddr(uint64_t addr, const Credentials& creds) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto range = addr_alloc_.Containing(addr);
-  if (!range.ok()) {
-    return puddles::NotFoundError("address not in any puddle");
+  std::shared_lock<std::shared_mutex> structure(structure_mu_);
+  Uuid uuid;
+  {
+    std::lock_guard<std::mutex> lock(addr_mu_);
+    auto range = addr_alloc_.Containing(addr);
+    if (!range.ok()) {
+      return puddles::NotFoundError("address not in any puddle");
+    }
+    auto it = by_base_.find(range->first);
+    if (it == by_base_.end()) {
+      return puddles::NotFoundError("address in a frontier hold, not a live puddle");
+    }
+    uuid = it->second;
   }
-  auto it = by_base_.find(range->first);
-  if (it == by_base_.end()) {
-    return puddles::NotFoundError("address in a frontier hold, not a live puddle");
-  }
-  ASSIGN_OR_RETURN(PuddleRecord record, LookupPuddle(it->second));
+  ASSIGN_OR_RETURN(PuddleRecord record, LookupPuddle(uuid));
   RETURN_IF_ERROR(
       CheckAccess(record.owner_uid, record.owner_gid, record.mode, creds, /*write=*/false));
   return PuddleInfo::FromRecord(record);
 }
 
 puddles::Status Daemon::DeletePuddle(const Uuid& uuid, const Credentials& creds) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ASSIGN_OR_RETURN(PuddleRecord record, LookupPuddle(uuid));
-  RETURN_IF_ERROR(
-      CheckAccess(record.owner_uid, record.owner_gid, record.mode, creds, /*write=*/true));
-  RETURN_IF_ERROR(puddles_->Erase(uuid));
-  (void)addr_alloc_.Free(record.base_addr);
-  by_base_.erase(record.base_addr);
+  std::shared_lock<std::shared_mutex> structure(structure_mu_);
+  PuddleRecord record{};
+  {
+    Shard& shard = ShardFor(uuid);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ASSIGN_OR_RETURN(record, LookupPuddleUnlocked(uuid));
+    RETURN_IF_ERROR(
+        CheckAccess(record.owner_uid, record.owner_gid, record.mode, creds, /*write=*/true));
+    RETURN_IF_ERROR(shard.puddles->Erase(uuid));
+  }
+  {
+    std::lock_guard<std::mutex> lock(addr_mu_);
+    (void)addr_alloc_.Free(record.base_addr);
+    by_base_.erase(record.base_addr);
+  }
   ::unlink(PuddlePath(uuid).c_str());
   return puddles::OkStatus();
 }
@@ -269,7 +384,8 @@ puddles::Status Daemon::DeletePuddle(const Uuid& uuid, const Credentials& creds)
 puddles::Result<PoolInfo> Daemon::CreatePool(const std::string& name, const Credentials& creds,
                                              uint32_t mode) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_lock<std::shared_mutex> structure(structure_mu_);
+    std::lock_guard<std::mutex> lock(pools_mu_);
     if (pools_->Contains(NameKey(name))) {
       return puddles::AlreadyExistsError("pool exists: " + name);
     }
@@ -279,14 +395,19 @@ puddles::Result<PoolInfo> Daemon::CreatePool(const std::string& name, const Cred
   ASSIGN_OR_RETURN(auto created, CreatePuddle(PuddleKind::kPoolMeta, 1 << 20, creds, pool_uuid,
                                               mode));
   auto [meta_info, fd] = created;
-  auto file = pmem::PmemFile::FromFd(fd);
-  RETURN_IF_ERROR(file.status());
-  ASSIGN_OR_RETURN(void* base, file->Map());
-  ASSIGN_OR_RETURN(puddles::Puddle meta_puddle,
-                   puddles::Puddle::Attach(base, file->size()));
-  RETURN_IF_ERROR(puddles::PoolMetaView::Format(meta_puddle, pool_uuid, name.c_str()));
+  auto format_meta = [&]() -> puddles::Status {
+    auto file = pmem::PmemFile::FromFd(fd);
+    RETURN_IF_ERROR(file.status());
+    ASSIGN_OR_RETURN(void* base, file->Map());
+    ASSIGN_OR_RETURN(puddles::Puddle meta_puddle,
+                     puddles::Puddle::Attach(base, file->size()));
+    return puddles::PoolMetaView::Format(meta_puddle, pool_uuid, name.c_str());
+  };
+  if (puddles::Status formatted = format_meta(); !formatted.ok()) {
+    RollbackPuddle(meta_info.uuid);
+    return formatted;
+  }
 
-  std::lock_guard<std::mutex> lock(mu_);
   PoolRecord record{};
   record.pool_uuid = pool_uuid;
   record.meta_puddle = meta_info.uuid;
@@ -294,7 +415,23 @@ puddles::Result<PoolInfo> Daemon::CreatePool(const std::string& name, const Cred
   record.owner_uid = creds.uid;
   record.owner_gid = creds.gid;
   record.mode = mode;
-  RETURN_IF_ERROR(pools_->Put(NameKey(name), record));
+
+  bool lost_race = false;
+  {
+    std::shared_lock<std::shared_mutex> structure(structure_mu_);
+    std::lock_guard<std::mutex> lock(pools_mu_);
+    // Re-check under the lock: another CreatePool for the same name may have
+    // won between the pre-check above and here.
+    if (pools_->Contains(NameKey(name))) {
+      lost_race = true;
+    } else {
+      RETURN_IF_ERROR(pools_->Put(NameKey(name), record));
+    }
+  }
+  if (lost_race) {
+    RollbackPuddle(meta_info.uuid);
+    return puddles::AlreadyExistsError("pool exists: " + name);
+  }
 
   PoolInfo info;
   info.pool_uuid = pool_uuid;
@@ -304,7 +441,8 @@ puddles::Result<PoolInfo> Daemon::CreatePool(const std::string& name, const Cred
 }
 
 puddles::Result<PoolInfo> Daemon::OpenPool(const std::string& name, const Credentials& creds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> structure(structure_mu_);
+  std::lock_guard<std::mutex> lock(pools_mu_);
   auto record = pools_->Get(NameKey(name));
   if (!record.ok() || std::strncmp(record->name, name.c_str(), sizeof(record->name)) != 0) {
     return puddles::NotFoundError("unknown pool: " + name);
@@ -319,7 +457,7 @@ puddles::Result<PoolInfo> Daemon::OpenPool(const std::string& name, const Creden
 }
 
 puddles::Status Daemon::RegisterLogSpace(const Uuid& uuid, const Credentials& creds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> structure(structure_mu_);
   ASSIGN_OR_RETURN(PuddleRecord record, LookupPuddle(uuid));
   if (record.kind != static_cast<uint32_t>(PuddleKind::kLogSpace)) {
     return puddles::InvalidArgumentError("not a log space puddle");
@@ -330,11 +468,12 @@ puddles::Status Daemon::RegisterLogSpace(const Uuid& uuid, const Credentials& cr
   ls.uuid = uuid;
   ls.owner_uid = creds.uid;
   ls.owner_gid = creds.gid;
+  std::lock_guard<std::mutex> lock(logspaces_mu_);
   return logspaces_->Put(uuid, ls);
 }
 
 puddles::Status Daemon::RegisterPtrMap(const PtrMapRecord& record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> structure(structure_mu_);
   if (record.num_fields > kMaxPtrFields) {
     return puddles::InvalidArgumentError("too many pointer fields");
   }
@@ -343,12 +482,16 @@ puddles::Status Daemon::RegisterPtrMap(const PtrMapRecord& record) {
        record.object_size)) {
     return puddles::InvalidArgumentError("pointer-array region outside object");
   }
-  return ptrmaps_->Put(record.type_id, record);
+  Shard& shard = ShardForType(record.type_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.ptrmaps->Put(record.type_id, record);
 }
 
 puddles::Result<PtrMapRecord> Daemon::GetPtrMap(uint64_t type_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto record = ptrmaps_->Get(type_id);
+  std::shared_lock<std::shared_mutex> structure(structure_mu_);
+  Shard& shard = ShardForType(type_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto record = shard.ptrmaps->Get(type_id);
   if (!record.ok()) {
     return puddles::NotFoundError("no pointer map for type");
   }
@@ -356,13 +499,15 @@ puddles::Result<PtrMapRecord> Daemon::GetPtrMap(uint64_t type_id) {
 }
 
 puddles::Status Daemon::CompleteRewrite(const Uuid& uuid, const Credentials& creds) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ASSIGN_OR_RETURN(PuddleRecord record, LookupPuddle(uuid));
+  std::shared_lock<std::shared_mutex> structure(structure_mu_);
+  Shard& shard = ShardFor(uuid);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ASSIGN_OR_RETURN(PuddleRecord record, LookupPuddleUnlocked(uuid));
   RETURN_IF_ERROR(
       CheckAccess(record.owner_uid, record.owner_gid, record.mode, creds, /*write=*/true));
   record.flags &= ~puddles::kPuddleNeedsRewrite;
   record.prev_base = 0;
-  RETURN_IF_ERROR(UpdatePuddleRecord(record));
+  RETURN_IF_ERROR(UpdatePuddleRecordUnlocked(record));
   // Note: the old range is NOT freed here. In the conflict case it belongs to
   // the live puddle that caused the conflict; in the foreign-import case it
   // was never claimed. Still-flagged members translate pointers through the
@@ -371,8 +516,13 @@ puddles::Status Daemon::CompleteRewrite(const Uuid& uuid, const Credentials& cre
 }
 
 uint64_t Daemon::puddle_count() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return puddles_->size();
+  std::shared_lock<std::shared_mutex> structure(structure_mu_);
+  uint64_t total = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->puddles->size();
+  }
+  return total;
 }
 
 // ---------------------------------------------------------------------------
@@ -469,7 +619,9 @@ class RecoveryResolver : public puddles::AddressResolver {
 }  // namespace
 
 puddles::Result<RecoveryReport> Daemon::RunRecovery() {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Recovery rewrites client-visible state wholesale: take the structure lock
+  // exclusively and access every registry without fine-grained locks.
+  std::unique_lock<std::shared_mutex> structure(structure_mu_);
   return RunRecoveryLocked();
 }
 
@@ -482,7 +634,7 @@ puddles::Result<RecoveryReport> Daemon::RunRecoveryLocked() {
 
   for (const LogSpaceRecord& space_record : spaces) {
     ++report.log_spaces_scanned;
-    auto ls_record = LookupPuddle(space_record.uuid);
+    auto ls_record = LookupPuddleUnlocked(space_record.uuid);
     if (!ls_record.ok()) {
       continue;  // Log space puddle vanished; nothing to recover.
     }
@@ -513,7 +665,7 @@ puddles::Result<RecoveryReport> Daemon::RunRecoveryLocked() {
       Uuid cursor = ls_view->entry(i);
       bool chain_ok = true;
       while (!cursor.is_nil()) {
-        auto record = LookupPuddle(cursor);
+        auto record = LookupPuddleUnlocked(cursor);
         if (!record.ok() ||
             record->kind != static_cast<uint32_t>(PuddleKind::kLog)) {
           chain_ok = false;
@@ -549,7 +701,7 @@ puddles::Result<RecoveryReport> Daemon::RunRecoveryLocked() {
 
       RecoveryResolver resolver(
           &addr_alloc_, &by_base_,
-          [this](const Uuid& uuid) { return LookupPuddle(uuid); },
+          [this](const Uuid& uuid) { return LookupPuddleUnlocked(uuid); },
           [this](const Uuid& uuid) { return PuddlePath(uuid); }, owner);
       auto stats = puddles::ReplayLogChain(chain, resolver);
       if (!stats.ok()) {
@@ -576,7 +728,9 @@ puddles::Result<RecoveryReport> Daemon::RunRecoveryLocked() {
 
 puddles::Status Daemon::ExportPool(const std::string& pool_name, const std::string& dest_dir,
                                    const Credentials& creds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Exports read a consistent whole-pool snapshot: exclusive structure lock,
+  // registries accessed without fine-grained locks below.
+  std::unique_lock<std::shared_mutex> structure(structure_mu_);
   auto pool = pools_->Get(NameKey(pool_name));
   if (!pool.ok()) {
     return puddles::NotFoundError("unknown pool: " + pool_name);
@@ -624,7 +778,9 @@ puddles::Status Daemon::ExportPool(const std::string& pool_name, const std::stri
 
   // Pointer maps travel with the data (§4.2): export them all.
   std::vector<PtrMapRecord> maps;
-  ptrmaps_->ForEach([&](const uint64_t&, const PtrMapRecord& r) { maps.push_back(r); });
+  for (auto& shard : shards_) {
+    shard->ptrmaps->ForEach([&](const uint64_t&, const PtrMapRecord& r) { maps.push_back(r); });
+  }
   manifest.PutU32(static_cast<uint32_t>(maps.size()));
   for (const PtrMapRecord& r : maps) {
     manifest.PutBytes(&r, sizeof(r));
@@ -648,7 +804,9 @@ puddles::Status Daemon::ExportPool(const std::string& pool_name, const std::stri
 puddles::Result<ImportResult> Daemon::ImportPool(const std::string& src_dir,
                                                  const std::string& new_name,
                                                  const Credentials& creds, uint32_t mode) {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Imports mutate the address map, multiple shards, and the pool directory
+  // as one logical step: exclusive structure lock, no fine-grained locks.
+  std::unique_lock<std::shared_mutex> structure(structure_mu_);
   if (pools_->Contains(NameKey(new_name))) {
     return puddles::AlreadyExistsError("pool exists: " + new_name);
   }
@@ -781,7 +939,7 @@ puddles::Result<ImportResult> Daemon::ImportPool(const std::string& src_dir,
       entry.record.flags = puddle.header()->flags;
       entry.record.prev_base = puddle.header()->prev_base_addr;
     }
-    RETURN_IF_ERROR(puddles_->Put(entry.new_uuid, entry.record));
+    RETURN_IF_ERROR(UpdatePuddleRecordUnlocked(entry.record));
     by_base_[entry.record.base_addr] = entry.new_uuid;
   }
 
@@ -816,7 +974,7 @@ puddles::Result<ImportResult> Daemon::ImportPool(const std::string& src_dir,
   }
 
   for (const PtrMapRecord& map : maps) {
-    RETURN_IF_ERROR(ptrmaps_->Put(map.type_id, map));
+    RETURN_IF_ERROR(ShardForType(map.type_id).ptrmaps->Put(map.type_id, map));
   }
 
   PoolRecord pool_record{};

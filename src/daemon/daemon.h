@@ -25,8 +25,10 @@
 #ifndef SRC_DAEMON_DAEMON_H_
 #define SRC_DAEMON_DAEMON_H_
 
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -65,6 +67,11 @@ class Daemon {
     uint64_t pool_table_slots = 1 << 10;
     uint64_t ptrmap_table_slots = 1 << 10;
     uint64_t logspace_table_slots = 1 << 10;
+    // Lock/table shards for the hot per-key paths (puddle and pointer-map
+    // registries). Power of two; each shard owns slots/shards table slots in
+    // its own file, so the shard choice is part of the on-disk layout and the
+    // count must match across reopens of the same root.
+    uint32_t shards = 8;
   };
 
   static puddles::Result<std::unique_ptr<Daemon>> Start(const Options& options);
@@ -143,32 +150,67 @@ class Daemon {
   using PtrMapTable = puddles::PersistentHashMap<uint64_t, PtrMapRecord>;
   using LogSpaceTable = puddles::PersistentHashMap<Uuid, LogSpaceRecord, puddles::UuidHash>;
 
+  // One lock-and-table shard of the hot per-key registries. Each shard's
+  // tables live in their own files (puddles.<i>.tbl / ptrmaps.<i>.tbl) so two
+  // shards never serialize on one PersistentHashMap journal.
+  struct Shard {
+    std::mutex mu;
+    pmem::PmemFile puddle_file;
+    pmem::PmemFile ptrmap_file;
+    std::unique_ptr<PuddleTable> puddles;
+    std::unique_ptr<PtrMapTable> ptrmaps;
+  };
+
   explicit Daemon(Options options) : options_(std::move(options)) {}
 
   puddles::Status Initialize();
   puddles::Status OpenTables();
   puddles::Status RebuildAddressMap();
 
-  puddles::Result<PuddleRecord> LookupPuddle(const Uuid& uuid);
-  puddles::Status UpdatePuddleRecord(const PuddleRecord& record);
+  // Shard routing: stable functions of the key bits (the shard choice is part
+  // of the persistent layout, so nothing here may depend on process state).
+  Shard& ShardFor(const Uuid& uuid);
+  Shard& ShardForType(uint64_t type_id);
 
-  // Recovery helpers (mu_ held).
+  // Single-key record access. The *Unlocked variants take no shard lock: the
+  // caller must either hold the owning shard's mutex or hold structure_mu_
+  // exclusively (recovery/import/export).
+  puddles::Result<PuddleRecord> LookupPuddle(const Uuid& uuid);
+  puddles::Result<PuddleRecord> LookupPuddleUnlocked(const Uuid& uuid);
+  puddles::Status UpdatePuddleRecordUnlocked(const PuddleRecord& record);
+
+  // Whole-registry iteration; takes each shard lock in turn unless the caller
+  // holds structure_mu_ exclusively (exclusive = true).
+  void ForEachPuddle(bool exclusive,
+                     const std::function<void(const Uuid&, const PuddleRecord&)>& fn);
+
+  // Best-effort teardown of a puddle created earlier in a failed multi-step
+  // operation (erases the record, frees the range, unlinks the file).
+  void RollbackPuddle(const Uuid& uuid);
+
+  // Recovery helpers (structure_mu_ held exclusively).
   puddles::Result<RecoveryReport> RunRecoveryLocked();
 
   Options options_;
-  std::mutex mu_;
 
-  // Registry tables (mapped files under root_dir).
-  pmem::PmemFile puddle_table_file_;
+  // Lock order (see docs/daemon.md): structure_mu_ first, then at most one of
+  // {shard.mu, pools_mu_, logspaces_mu_, addr_mu_} at a time — the fine
+  // grained locks are never nested inside each other. Per-key ops take
+  // structure_mu_ shared; ImportPool/ExportPool/RunRecovery take it exclusive
+  // and then touch everything lock-free.
+  std::shared_mutex structure_mu_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Cold-path registries (pool directory, log-space registrations).
+  std::mutex pools_mu_;
+  std::mutex logspaces_mu_;
   pmem::PmemFile pool_table_file_;
-  pmem::PmemFile ptrmap_table_file_;
   pmem::PmemFile logspace_table_file_;
-  std::unique_ptr<PuddleTable> puddles_;
   std::unique_ptr<PoolTable> pools_;
-  std::unique_ptr<PtrMapTable> ptrmaps_;
   std::unique_ptr<LogSpaceTable> logspaces_;
 
   // Volatile assignment state, rebuilt from records at startup.
+  std::mutex addr_mu_;
   puddles::RangeAllocator addr_alloc_;
   // base_addr -> uuid, for address → puddle resolution.
   std::unordered_map<uint64_t, Uuid> by_base_;

@@ -1,0 +1,71 @@
+// Thin RAII wrappers over epoll(7) and eventfd(2) for the event-driven
+// socket server (src/daemon/server.cc). Level-triggered only: the server's
+// per-connection state machines re-check readiness on every wakeup, so
+// edge-triggered semantics would buy nothing and cost correctness hazards.
+#ifndef SRC_IPC_EPOLL_H_
+#define SRC_IPC_EPOLL_H_
+
+#include <sys/epoll.h>
+
+#include <cstdint>
+
+#include "src/common/status.h"
+
+namespace puddles {
+
+class EpollSet {
+ public:
+  EpollSet() = default;
+  ~EpollSet();
+
+  EpollSet(EpollSet&& other) noexcept;
+  EpollSet& operator=(EpollSet&& other) noexcept;
+  EpollSet(const EpollSet&) = delete;
+  EpollSet& operator=(const EpollSet&) = delete;
+
+  static puddles::Result<EpollSet> Create();
+
+  // `tag` comes back in epoll_event::data.u64; the server uses connection ids
+  // rather than fds so a recycled fd number can never alias a dead peer.
+  puddles::Status Add(int fd, uint32_t events, uint64_t tag);
+  puddles::Status Mod(int fd, uint32_t events, uint64_t tag);
+  puddles::Status Del(int fd);
+
+  // Blocks up to `timeout_ms` (-1 = indefinitely). Returns the number of
+  // ready events written to `events`; EINTR reports 0 ready events.
+  puddles::Result<int> Wait(epoll_event* events, int max_events, int timeout_ms);
+
+  bool valid() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+// Cross-thread wakeup channel: Signal() (any thread) makes the fd readable
+// until the owning loop calls Drain(). Plain (non-semaphore) eventfd, so any
+// number of signals coalesce into one wakeup.
+class EventFd {
+ public:
+  EventFd() = default;
+  ~EventFd();
+
+  EventFd(EventFd&& other) noexcept;
+  EventFd& operator=(EventFd&& other) noexcept;
+  EventFd(const EventFd&) = delete;
+  EventFd& operator=(const EventFd&) = delete;
+
+  static puddles::Result<EventFd> Create();
+
+  void Signal();
+  void Drain();
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace puddles
+
+#endif  // SRC_IPC_EPOLL_H_

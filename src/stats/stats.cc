@@ -34,6 +34,9 @@ constexpr const char* kCounterNames[] = {
     "free_bytes",
     "pool_grow",
     "daemon_request",
+    "daemon_conn_accepted",
+    "daemon_conn_closed",
+    "daemon_accept_retry",
 };
 static_assert(sizeof(kCounterNames) / sizeof(kCounterNames[0]) == kNumCounters,
               "counter name table out of sync with the Counter enum");

@@ -65,6 +65,9 @@ enum class Counter : uint32_t {
   kPoolGrow,          // Data puddles added to pools.
   // Daemon (src/daemon) — totals; the per-opcode breakdown is separate.
   kDaemonRequest,     // Requests dispatched (socket protocol path).
+  kDaemonConnAccepted,  // Client connections admitted by the socket server.
+  kDaemonConnClosed,    // Client connections torn down (any reason).
+  kDaemonAcceptRetry,   // Transient accept failures survived (EMFILE etc.).
   kNumCounters,       // Sentinel; keep last.
 };
 

@@ -1,11 +1,22 @@
 // The production transport: Puddled behind a UNIX domain socket, clients
 // authenticated via SO_PEERCRED, puddle fds delivered via SCM_RIGHTS.
+//
+// Also the lifecycle regression suite for the event-driven server rebuild
+// (docs/daemon.md): request pipelining, many-client concurrency with dirty
+// disconnects, shutdown under load, accept-loop survival of fd exhaustion,
+// and thread-per-connection registry reaping.
 #include <gtest/gtest.h>
+#include <sys/resource.h>
 #include <unistd.h>
 
+#include <fcntl.h>
+
+#include <chrono>
 #include <filesystem>
 
+#include "src/daemon/protocol.h"
 #include "src/daemon/server.h"
+#include "src/ipc/wire.h"
 #include "src/libpuddles/libpuddles.h"
 
 namespace puddles {
@@ -26,9 +37,29 @@ class SocketDaemonTest : public ::testing::Test {
     auto daemon = puddled::Daemon::Start({.root_dir = root_.string()});
     ASSERT_TRUE(daemon.ok());
     daemon_ = std::move(*daemon);
-    auto server = puddled::Server::Start(daemon_.get(), socket_path_);
+    RestartServer(puddled::Server::Options{});
+  }
+
+  // Replaces the running server (tests that exercise a specific mode).
+  void RestartServer(const puddled::Server::Options& options) {
+    server_.reset();
+    auto server = puddled::Server::Start(daemon_.get(), socket_path_, options);
     ASSERT_TRUE(server.ok()) << server.status().ToString();
     server_ = std::move(*server);
+  }
+
+  // Spins until `predicate` holds or ~5 s pass (lifecycle counters are
+  // updated by server threads, so assertions on them must tolerate a lag).
+  template <typename Predicate>
+  bool WaitFor(Predicate&& predicate) {
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (!predicate()) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        return false;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return true;
   }
 
   void TearDown() override {
@@ -42,6 +73,37 @@ class SocketDaemonTest : public ::testing::Test {
   std::unique_ptr<puddled::Daemon> daemon_;
   std::unique_ptr<puddled::Server> server_;
 };
+
+// One framed request: 4-byte little-endian length + payload.
+std::vector<uint8_t> Frame(const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> frame(4 + payload.size());
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  std::memcpy(frame.data(), &length, 4);
+  std::memcpy(frame.data() + 4, payload.data(), payload.size());
+  return frame;
+}
+
+std::vector<uint8_t> GetPtrMapRequest(uint64_t type_id) {
+  WireWriter writer;
+  writer.PutU32(static_cast<uint32_t>(puddled::Op::kGetPtrMap));
+  writer.PutU64(type_id);
+  return writer.Take();
+}
+
+bool WriteAll(int fd, const std::vector<uint8_t>& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
 
 TEST_F(SocketDaemonTest, PingRoundTrip) {
   auto client = puddled::SocketDaemonClient::Connect(socket_path_);
@@ -158,6 +220,271 @@ TEST_F(SocketDaemonTest, ConcurrentClients) {
   }
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(daemon_->puddle_count(), kClients * 20u);
+}
+
+TEST_F(SocketDaemonTest, PipelinedRequestsComeBackInOrder) {
+  // Pipelining contract (docs/daemon.md): any number of requests may be in
+  // flight on one connection; responses arrive in request order.
+  constexpr uint64_t kCount = 32;
+  auto setup = puddled::SocketDaemonClient::Connect(socket_path_);
+  ASSERT_TRUE(setup.ok());
+  for (uint64_t i = 0; i < kCount; ++i) {
+    puddled::PtrMapRecord record{};
+    record.type_id = 100 + i;
+    record.num_fields = 1;
+    record.object_size = 32;
+    record.field_offsets[0] = static_cast<uint32_t>(8 * i);
+    ASSERT_TRUE((*setup)->RegisterPtrMap(record).ok());
+  }
+
+  auto raw = UnixSocket::Connect(socket_path_);
+  ASSERT_TRUE(raw.ok());
+  // All requests in one write: the server must parse frame boundaries out of
+  // a single buffered read.
+  std::vector<uint8_t> burst;
+  for (uint64_t i = 0; i < kCount; ++i) {
+    const auto frame = Frame(GetPtrMapRequest(100 + (kCount - 1 - i)));  // Reverse order.
+    burst.insert(burst.end(), frame.begin(), frame.end());
+  }
+  ASSERT_TRUE(WriteAll(raw->fd(), burst));
+  for (uint64_t i = 0; i < kCount; ++i) {
+    auto response = raw->Recv();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    WireReader reader(response->bytes);
+    Status status = OkStatus();
+    ASSERT_TRUE(reader.GetStatus(&status).ok());
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    puddled::PtrMapRecord record{};
+    ASSERT_TRUE(puddled::DecodePtrMap(&reader, &record).ok());
+    EXPECT_EQ(record.type_id, 100 + (kCount - 1 - i));  // Request order, not id order.
+    EXPECT_EQ(record.field_offsets[0], 8 * (kCount - 1 - i));
+  }
+}
+
+TEST_F(SocketDaemonTest, FramesSplitAcrossArbitraryWriteBoundaries) {
+  // The parser must reassemble frames from any packetization: drip the same
+  // pipelined burst 7 bytes at a time.
+  auto setup = puddled::SocketDaemonClient::Connect(socket_path_);
+  ASSERT_TRUE(setup.ok());
+  puddled::PtrMapRecord record{};
+  record.type_id = 7;
+  record.num_fields = 1;
+  record.object_size = 16;
+  record.field_offsets[0] = 8;
+  ASSERT_TRUE((*setup)->RegisterPtrMap(record).ok());
+
+  auto raw = UnixSocket::Connect(socket_path_);
+  ASSERT_TRUE(raw.ok());
+  std::vector<uint8_t> burst;
+  constexpr int kCount = 8;
+  for (int i = 0; i < kCount; ++i) {
+    const auto frame = Frame(GetPtrMapRequest(7));
+    burst.insert(burst.end(), frame.begin(), frame.end());
+  }
+  for (size_t off = 0; off < burst.size(); off += 7) {
+    const size_t len = std::min<size_t>(7, burst.size() - off);
+    ASSERT_TRUE(WriteAll(raw->fd(),
+                         std::vector<uint8_t>(burst.begin() + off, burst.begin() + off + len)));
+  }
+  for (int i = 0; i < kCount; ++i) {
+    auto response = raw->Recv();
+    ASSERT_TRUE(response.ok());
+    WireReader reader(response->bytes);
+    Status status = OkStatus();
+    ASSERT_TRUE(reader.GetStatus(&status).ok());
+    EXPECT_TRUE(status.ok());
+  }
+}
+
+TEST_F(SocketDaemonTest, ManyClientsWithDirtyDisconnects) {
+  // 16 concurrent clients: evens run clean request/response traffic, odds
+  // pipeline a burst, abandon half their responses, and hang up mid-request
+  // (a truncated frame on the wire). The dirty halves must not perturb the
+  // clean halves, and every connection must be accounted closed afterwards.
+  constexpr int kThreads = 16;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, t, &failures] {
+      if (t % 2 == 0) {
+        auto client = puddled::SocketDaemonClient::Connect(socket_path_);
+        if (!client.ok()) {
+          ++failures;
+          return;
+        }
+        for (int i = 0; i < 25; ++i) {
+          puddled::PtrMapRecord record{};
+          record.type_id = 1000 + t;
+          record.num_fields = 1;
+          record.object_size = 8;
+          record.field_offsets[0] = 0;
+          if (!(*client)->Ping().ok() || !(*client)->RegisterPtrMap(record).ok() ||
+              !(*client)->GetPtrMap(1000 + t).ok()) {
+            ++failures;
+          }
+        }
+      } else {
+        auto raw = UnixSocket::Connect(socket_path_);
+        if (!raw.ok()) {
+          ++failures;
+          return;
+        }
+        std::vector<uint8_t> burst;
+        for (int i = 0; i < 8; ++i) {
+          const auto frame = Frame(GetPtrMapRequest(1));
+          burst.insert(burst.end(), frame.begin(), frame.end());
+        }
+        if (!WriteAll(raw->fd(), burst)) {
+          ++failures;
+          return;
+        }
+        for (int i = 0; i < 3; ++i) {
+          if (!raw->Recv().ok()) {
+            ++failures;
+          }
+        }
+        // Truncated trailing request: header promises 64 bytes, send 8.
+        std::vector<uint8_t> partial(12, 0);
+        const uint32_t lie = 64;
+        std::memcpy(partial.data(), &lie, 4);
+        (void)WriteAll(raw->fd(), partial);
+        // Destructor closes with 5 responses undelivered and a frame cut off.
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_TRUE(WaitFor([this] { return server_->stats().active == 0; }))
+      << "accepted=" << server_->stats().accepted << " closed=" << server_->stats().closed;
+  EXPECT_EQ(server_->stats().accepted, server_->stats().closed);
+}
+
+TEST_F(SocketDaemonTest, ShutdownUnderLoad) {
+  // Stop() while clients are mid-flight: every server thread must unwind
+  // without deadlock or crash, and the daemon must remain serviceable.
+  std::atomic<bool> go{true};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([this, &go] {
+      while (go.load()) {
+        auto client = puddled::SocketDaemonClient::Connect(socket_path_);
+        if (!client.ok()) {
+          break;  // Listener gone: shutdown won the race.
+        }
+        for (int i = 0; i < 50 && go.load(); ++i) {
+          if (!(*client)->Ping().ok()) {
+            break;  // Connection torn down mid-request — expected.
+          }
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  server_->Stop();
+  go.store(false);
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  const puddled::ServerStats stats = server_->stats();
+  EXPECT_EQ(stats.active, 0u) << "accepted=" << stats.accepted << " closed=" << stats.closed;
+
+  // The daemon itself survived: a fresh server on the same socket serves.
+  RestartServer(puddled::Server::Options{});
+  auto client = puddled::SocketDaemonClient::Connect(socket_path_);
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE((*client)->Ping().ok());
+}
+
+// Regression for the accept-loop lifecycle bug: one transient Accept()
+// failure (EMFILE here) used to end the loop permanently — the daemon ran
+// but never admitted another client. The loop must log, back off, retry,
+// and serve the queued connection once descriptors free up.
+void ExerciseFdExhaustion(puddled::Server* server, const std::string& socket_path) {
+  rlimit old_limit{};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &old_limit), 0);
+  size_t used = 0;
+  for ([[maybe_unused]] const auto& entry : fs::directory_iterator("/proc/self/fd")) {
+    ++used;
+  }
+  rlimit tight = old_limit;
+  tight.rlim_cur = used + 16;
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &tight), 0);
+
+  // Hog every remaining descriptor, then free exactly one: the client's
+  // socket() consumes it, so the server-side accept4() hits EMFILE.
+  std::vector<int> hogs;
+  while (true) {
+    const int fd = ::open("/dev/null", O_RDONLY);
+    if (fd < 0) {
+      break;
+    }
+    hogs.push_back(fd);
+  }
+  ASSERT_FALSE(hogs.empty());
+  ::close(hogs.back());
+  hogs.pop_back();
+
+  auto client = puddled::SocketDaemonClient::Connect(socket_path);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server->stats().accept_retries == 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GT(server->stats().accept_retries, 0u);
+
+  for (const int fd : hogs) {
+    ::close(fd);
+  }
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &old_limit), 0);
+  // The queued connection gets accepted on a retry tick and served.
+  EXPECT_TRUE((*client)->Ping().ok());
+}
+
+TEST_F(SocketDaemonTest, AcceptSurvivesFdExhaustion) {
+  ExerciseFdExhaustion(server_.get(), socket_path_);
+}
+
+TEST_F(SocketDaemonTest, ThreadModeAcceptSurvivesFdExhaustion) {
+  puddled::Server::Options options;
+  options.mode = puddled::Server::Mode::kThreadPerConnection;
+  RestartServer(options);
+  ExerciseFdExhaustion(server_.get(), socket_path_);
+}
+
+TEST_F(SocketDaemonTest, ThreadModeRegistryReapsFinishedConnections) {
+  // Regression for the two thread-mode lifecycle leaks: connection threads
+  // used to accumulate until Stop(), and Stop() used to shutdown() every fd
+  // ever accepted — including numbers long since closed and recycled. The
+  // finished-set protocol reaps threads as they complete and only touches
+  // live descriptors.
+  puddled::Server::Options options;
+  options.mode = puddled::Server::Mode::kThreadPerConnection;
+  RestartServer(options);
+
+  uint64_t total = 0;
+  for (int wave = 0; wave < 3; ++wave) {
+    for (int c = 0; c < 8; ++c) {
+      auto client = puddled::SocketDaemonClient::Connect(socket_path_);
+      ASSERT_TRUE(client.ok());
+      EXPECT_TRUE((*client)->Ping().ok());
+      ++total;
+    }  // All 8 disconnect here.
+    EXPECT_TRUE(WaitFor([this, total] { return server_->stats().closed == total; }))
+        << "wave " << wave << ": closed=" << server_->stats().closed;
+    EXPECT_EQ(server_->stats().active, 0u);
+  }
+
+  // Stop with a mix of live and long-finished connections: the live one gets
+  // shut down, the finished ones' recycled fd numbers are left alone.
+  auto live = puddled::SocketDaemonClient::Connect(socket_path_);
+  ASSERT_TRUE(live.ok());
+  EXPECT_TRUE((*live)->Ping().ok());
+  server_->Stop();
+  const puddled::ServerStats stats = server_->stats();
+  EXPECT_EQ(stats.accepted, total + 1);
+  EXPECT_EQ(stats.active, 0u);
 }
 
 }  // namespace

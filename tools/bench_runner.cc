@@ -19,8 +19,14 @@
 // prune ratio, wall time) for the linked-list workload in brute-force and
 // pruned mode — the per-PR record of what the §12 pruner buys.
 //
+// With --daemon-bench it additionally runs the socket-level daemon YCSB
+// bench (bench/bench_daemon_ycsb) as a subprocess, producing the third
+// artifact, BENCH_daemon.json — one entry point regenerates the full perf
+// record for a PR.
+//
 // Usage: bench_runner [--out=BENCH_commit.json]
 //                     [--crashsim-out=BENCH_crashsim.json] [--iters=N]
+//                     [--daemon-bench=PATH] [--daemon-out=BENCH_daemon.json]
 #include <unistd.h>
 
 #include <cinttypes>
@@ -32,6 +38,7 @@
 #include <vector>
 
 #include "bench/bench_env.h"
+#include "bench/bench_provenance.h"
 #include "bench/bench_util.h"
 #include "src/crashsim/harness.h"
 #include "src/crashsim/workload_drivers.h"
@@ -311,19 +318,14 @@ void WriteCrashsimJson(const std::vector<CrashsimRow>& rows, const std::string& 
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     std::abort();
   }
-  char timestamp[32] = "unknown";
-  const std::time_t now = std::time(nullptr);
-  std::tm utc{};
-  if (gmtime_r(&now, &utc) != nullptr) {
-    std::strftime(timestamp, sizeof(timestamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
-  }
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"bench\": \"crashsim persistence-graph pruning\",\n");
   std::fprintf(out, "  \"generated_by\": \"tools/bench_runner.cc\",\n");
   std::fprintf(out, "  \"protocol\": \"DESIGN.md section 12 (crash-state equivalence classes)\",\n");
-  std::fprintf(out, "  \"provenance\": {\"git_sha\": \"%s\", \"timestamp\": \"%s\", "
-               "\"build_flags\": \"%s\"},\n",
-               PUDDLES_GIT_SHA, timestamp, PUDDLES_BUILD_FLAGS);
+  std::fprintf(out, "%s",
+               bench::ProvenanceJsonLine(PUDDLES_GIT_SHA, PUDDLES_BUILD_FLAGS,
+                                         /*with_hostname=*/false)
+                   .c_str());
   std::fprintf(out, "  \"workload\": \"list\",\n");
   std::fprintf(out, "  \"results\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
@@ -350,25 +352,12 @@ void WriteJson(const Runner& runner, const std::string& path) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     std::abort();
   }
-  char timestamp[32] = "unknown";
-  const std::time_t now = std::time(nullptr);
-  std::tm utc{};
-  if (gmtime_r(&now, &utc) != nullptr) {
-    std::strftime(timestamp, sizeof(timestamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
-  }
-  char hostname[256] = "unknown";
-  if (::gethostname(hostname, sizeof(hostname)) != 0) {
-    std::strcpy(hostname, "unknown");
-  }
-  hostname[sizeof(hostname) - 1] = '\0';
-
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"bench\": \"commit-path batched persistence\",\n");
   std::fprintf(out, "  \"generated_by\": \"tools/bench_runner.cc\",\n");
   std::fprintf(out, "  \"protocol\": \"DESIGN.md section 10 (fence coalescing)\",\n");
-  std::fprintf(out, "  \"provenance\": {\"git_sha\": \"%s\", \"timestamp\": \"%s\", "
-               "\"hostname\": \"%s\", \"build_flags\": \"%s\"},\n",
-               PUDDLES_GIT_SHA, timestamp, hostname, PUDDLES_BUILD_FLAGS);
+  std::fprintf(out, "%s",
+               bench::ProvenanceJsonLine(PUDDLES_GIT_SHA, PUDDLES_BUILD_FLAGS).c_str());
   std::fprintf(out, "  \"flush_instruction\": \"%s\",\n",
                pmem::FlushInstructionName(pmem::ActiveFlushInstruction()));
   std::fprintf(out, "  \"scale\": %.2f,\n", bench::ScaleFactor());
@@ -399,6 +388,8 @@ void WriteJson(const Runner& runner, const std::string& path) {
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_commit.json";
   std::string crashsim_out_path = "BENCH_crashsim.json";
+  std::string daemon_bench;  // Path to bench_daemon_ycsb; empty = skip.
+  std::string daemon_out_path = "BENCH_daemon.json";
   uint64_t iters = bench::Scaled(20000);
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -406,11 +397,16 @@ int main(int argc, char** argv) {
       out_path = arg.substr(6);
     } else if (arg.rfind("--crashsim-out=", 0) == 0) {
       crashsim_out_path = arg.substr(15);
+    } else if (arg.rfind("--daemon-bench=", 0) == 0) {
+      daemon_bench = arg.substr(15);
+    } else if (arg.rfind("--daemon-out=", 0) == 0) {
+      daemon_out_path = arg.substr(13);
     } else if (arg.rfind("--iters=", 0) == 0) {
       iters = std::strtoull(arg.c_str() + 8, nullptr, 10);
     } else {
       std::fprintf(stderr,
-                   "usage: bench_runner [--out=FILE] [--crashsim-out=FILE] [--iters=N]\n");
+                   "usage: bench_runner [--out=FILE] [--crashsim-out=FILE] [--iters=N]\n"
+                   "                    [--daemon-bench=PATH] [--daemon-out=FILE]\n");
       return 2;
     }
   }
@@ -424,5 +420,15 @@ int main(int argc, char** argv) {
   RunFig9(runner);
   WriteJson(runner, out_path);
   std::filesystem::remove_all(scratch);
+  if (!daemon_bench.empty()) {
+    // The daemon YCSB bench forks client processes, so it runs as its own
+    // subprocess rather than in this (already puddle-mapped) one.
+    const std::string command = "'" + daemon_bench + "' --out='" + daemon_out_path + "'";
+    const int rc = std::system(command.c_str());
+    if (rc != 0) {
+      std::fprintf(stderr, "daemon bench failed (%d): %s\n", rc, command.c_str());
+      return 1;
+    }
+  }
   return 0;
 }
