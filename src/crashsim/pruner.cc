@@ -194,6 +194,15 @@ bool StateClassifier::ModelReplay() {
       if (!chain_ok || chain.empty()) {
         continue;
       }
+
+      // Mirror recovery's epoch gate (docs/epoch.md): a chain tagged at or
+      // below the log space's retirement record is reset without replay. If
+      // the classifier did not model this, it would merge crash states that
+      // real recovery treats differently (replayed vs. gated).
+      const uint64_t tag = chain.front().epoch_tag();
+      if (tag != 0 && tag <= view->retired_epoch()) {
+        continue;
+      }
       ++stats_.chains_modeled;
 
       // Mirror ReplayLogChain: the head's sequence range governs the chain;

@@ -668,6 +668,219 @@ class MtSlicesCrashDriver : public PoolCrashDriver {
   puddles::Status worker_status_[kThreads];
 };
 
+// ---- Epoch-based group commit ("epoch") ----
+//
+// Gates the all-or-nothing recovery contract of Durability::kEpoch
+// (docs/epoch.md): three persistent workers commit chunk transactions, a
+// deliberate abort, and a round counter — all buffered into the open epoch —
+// and each RunOp ends with Pool::Sync(). The epoch thresholds are set so high
+// that Sync is the ONLY thing that closes an epoch, which pins epoch
+// boundaries to op boundaries: the harness's fingerprint-membership oracle
+// then demands that every crash state recovers to a whole round, across all
+// three threads. A recovered prefix of an epoch — some threads' transactions
+// surviving, others rolled back, or a thread's chunks split — is exactly what
+// the retirement gate must make impossible, and shows up here as a
+// DataLossError fingerprint.
+class EpochCrashDriver : public PoolCrashDriver {
+ public:
+  using PoolCrashDriver::PoolCrashDriver;
+
+  ~EpochCrashDriver() override { StopWorkers(); }
+
+ protected:
+  static constexpr int kThreads = 3;
+  static constexpr int kCellsPerThread = 8;
+  static constexpr int kChunk = 4;  // Cells per chunk transaction.
+
+  struct EpochShard {
+    uint64_t cells[kThreads * kCellsPerThread];
+    uint64_t committed[kThreads];
+    uint64_t probe_pad;  // Touched by the post-recovery probe; not fingerprinted.
+  };
+
+  puddles::Status InitStructure() override {
+    RETURN_IF_ERROR(puddles::TypeRegistry::Instance().Register<EpochShard>());
+    RETURN_IF_ERROR(pool_->Run([&](puddles::Tx& tx) -> puddles::Status {
+      ASSIGN_OR_RETURN(EpochShard * shard, tx.Alloc<EpochShard>());
+      std::memset(shard, 0, sizeof(EpochShard));
+      shard_ = shard;
+      return pool_->SetRoot(shard);
+    }));
+    // Thresholds high enough that neither the timer nor the byte/tx counts
+    // ever close an epoch mid-round — only the Sync at the end of each op.
+    puddles::EpochOptions options;
+    options.max_epoch_age_us = 10'000'000;
+    options.max_staged_bytes = 1ULL << 30;
+    options.max_epoch_txs = 1ULL << 30;
+    RETURN_IF_ERROR(pool_->SetDurability(puddles::Durability::kEpoch, options));
+    StartWorkers();
+    // Warm-up round + sync: every worker's thread-log puddle exists (and its
+    // epoch port is created) before the traced window opens, and tracing
+    // starts exactly at an epoch boundary.
+    RETURN_IF_ERROR(RunRound(1));
+    pool_->Sync();
+    return puddles::OkStatus();
+  }
+
+  puddles::Status AttachStructure() override {
+    ASSIGN_OR_RETURN(shard_, pool_->Root<EpochShard>());
+    return puddles::OkStatus();  // Recovery-side: no workers, immediate mode.
+  }
+
+  void ReleaseStructure() override {
+    StopWorkers();
+    shard_ = nullptr;
+  }
+
+  puddles::Status DoOp(int i) override {
+    RETURN_IF_ERROR(RunRound(2 + static_cast<uint64_t>(i)));
+    pool_->Sync();  // Close + persistently retire the round's epoch.
+    return puddles::OkStatus();
+  }
+
+  puddles::Result<std::string> ComputeFingerprint() override {
+    // All-or-nothing across the whole epoch: every cell of every thread and
+    // every committed counter must carry the same round stamp. Any mixture —
+    // per-thread, per-chunk, or cells-vs-counter — is an epoch prefix that
+    // recovery must never produce.
+    const uint64_t v = shard_->cells[0];
+    auto dump = [&] {
+      std::ostringstream d;
+      d << " cells=";
+      for (int c = 0; c < kThreads * kCellsPerThread; ++c) {
+        d << shard_->cells[c] << (c % kCellsPerThread == kCellsPerThread - 1 ? "|" : ",");
+      }
+      d << " committed=" << shard_->committed[0] << "," << shard_->committed[1] << ","
+        << shard_->committed[2];
+      return d.str();
+    };
+    for (int c = 0; c < kThreads * kCellsPerThread; ++c) {
+      if (shard_->cells[c] != v) {
+        return puddles::DataLossError("epoch: cells mix round stamps (partial epoch)" + dump());
+      }
+    }
+    for (int t = 0; t < kThreads; ++t) {
+      if (shard_->committed[t] != v) {
+        return puddles::DataLossError("epoch: committed counter disagrees with cells" + dump());
+      }
+    }
+    std::ostringstream out;
+    out << "epoch:round=" << v;
+    return out.str();
+  }
+
+  puddles::Status ProbeOp() override {
+    return pool_->Run([&](puddles::Tx& tx) -> puddles::Status {
+      RETURN_IF_ERROR(tx.LogRange(&shard_->probe_pad, sizeof(shard_->probe_pad)));
+      shard_->probe_pad = 999'999'999;
+      return puddles::OkStatus();
+    });
+  }
+
+ private:
+  void StartWorkers() {
+    exit_ = false;
+    round_gen_ = 0;
+    for (int t = 0; t < kThreads; ++t) {
+      worker_status_[t] = puddles::OkStatus();
+      workers_.emplace_back([this, t] { WorkerMain(t); });
+    }
+  }
+
+  void StopWorkers() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      exit_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& worker : workers_) {
+      if (worker.joinable()) {
+        worker.join();
+      }
+    }
+    workers_.clear();
+  }
+
+  puddles::Status RunRound(uint64_t stamp) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      round_stamp_ = stamp;
+      done_count_ = 0;
+      ++round_gen_;
+    }
+    cv_.notify_all();
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return done_count_ == kThreads; });
+    for (int t = 0; t < kThreads; ++t) {
+      RETURN_IF_ERROR(worker_status_[t]);
+    }
+    return puddles::OkStatus();
+  }
+
+  void WorkerMain(int t) {
+    uint64_t seen_gen = 0;
+    while (true) {
+      uint64_t stamp;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return exit_ || round_gen_ > seen_gen; });
+        if (exit_) {
+          return;
+        }
+        seen_gen = round_gen_;
+        stamp = round_stamp_;
+      }
+      puddles::Status status = WorkerRound(t, stamp);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        worker_status_[t] = std::move(status);
+        ++done_count_;
+      }
+      cv_.notify_all();
+    }
+  }
+
+  puddles::Status WorkerRound(int t, uint64_t stamp) {
+    uint64_t* slice = shard_->cells + t * kCellsPerThread;
+    for (int chunk = 0; chunk < kCellsPerThread; chunk += kChunk) {
+      RETURN_IF_ERROR(pool_->Run([&](puddles::Tx& tx) -> puddles::Status {
+        RETURN_IF_ERROR(tx.LogRange(slice + chunk, kChunk * sizeof(uint64_t)));
+        for (int c = 0; c < kChunk; ++c) {
+          slice[chunk + c] = stamp;
+        }
+        return puddles::OkStatus();
+      }));
+    }
+    // Deliberate abort inside the epoch: its published undo entries stay in
+    // the log until the epoch retires, so replay of an unretired epoch walks
+    // over them too — rollback must stay idempotent.
+    puddles::Status aborted = pool_->Run([&](puddles::Tx& tx) -> puddles::Status {
+      RETURN_IF_ERROR(tx.LogRange(slice, sizeof(uint64_t)));
+      slice[0] = stamp + 1'000'000;
+      return puddles::AbortedError("epoch: deliberate abort");
+    });
+    if (aborted.code() != puddles::StatusCode::kAborted) {
+      return aborted.ok() ? puddles::InternalError("epoch: abort tx committed") : aborted;
+    }
+    return pool_->Run([&](puddles::Tx& tx) -> puddles::Status {
+      RETURN_IF_ERROR(
+          tx.LogRange(&shard_->committed[t], sizeof(shard_->committed[t])));
+      shard_->committed[t] = stamp;
+      return puddles::OkStatus();
+    });
+  }
+
+  EpochShard* shard_ = nullptr;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool exit_ = false;
+  uint64_t round_gen_ = 0;
+  uint64_t round_stamp_ = 0;
+  int done_count_ = 0;
+  puddles::Status worker_status_[kThreads];
+};
+
 // ---- PersistentHashMap (src/pmhash) ----
 //
 // No daemon, no transactions: pmhash carries its own slot-level protocol
@@ -1128,11 +1341,14 @@ std::unique_ptr<WorkloadDriver> MakeDriver(const std::string& name,
   if (name == "mt") {
     return std::make_unique<MtSlicesCrashDriver>("mt", options);
   }
+  if (name == "epoch") {
+    return std::make_unique<EpochCrashDriver>("epoch", options);
+  }
   return nullptr;
 }
 
 std::vector<std::string> DriverNames() {
-  return {"list", "btree", "art", "kvstore", "pmhash", "import", "mt"};
+  return {"list", "btree", "art", "kvstore", "pmhash", "import", "mt", "epoch"};
 }
 
 }  // namespace crashsim

@@ -699,6 +699,18 @@ puddles::Result<RecoveryReport> Daemon::RunRecoveryLocked() {
         continue;
       }
 
+      // Epoch gate (docs/epoch.md): a chain tagged with an epoch at or below
+      // the log space's retirement record belongs to an epoch whose drain
+      // fence completed — every mutation it would undo is already durable.
+      // Replaying it would roll back committed transactions, so reset it
+      // without replay. (Tag 0 = immediate mode, never gated.)
+      const uint64_t tag = chain.front().epoch_tag();
+      if (tag != 0 && tag <= ls_view->retired_epoch()) {
+        ++report.logs_gated_retired;
+        chain.front().Reset(0, 2);
+        continue;
+      }
+
       RecoveryResolver resolver(
           &addr_alloc_, &by_base_,
           [this](const Uuid& uuid) { return LookupPuddleUnlocked(uuid); },

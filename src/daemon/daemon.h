@@ -49,6 +49,8 @@ struct RecoveryReport {
   uint64_t entries_applied = 0;
   uint64_t logs_marked_invalid = 0;  // Poisoned logs (permission failures).
   uint64_t volatile_skipped = 0;
+  uint64_t logs_gated_retired = 0;  // Epoch-tagged logs gated out of replay
+                                    // by the retirement record (docs/epoch.md).
 };
 
 struct ImportResult {

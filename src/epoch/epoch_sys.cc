@@ -1,0 +1,311 @@
+#include "src/epoch/epoch_sys.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/stats/stats.h"
+
+namespace puddles {
+
+// ---------------------------------------------------------------------------
+// Per-thread port. All methods run on the owning thread; shared state is
+// touched under sys_->mu_ only. pending_epoch_/tail_ are owner-thread-only.
+// ---------------------------------------------------------------------------
+class EpochSys::Port : public EpochPort {
+ public:
+  Port(EpochSys* sys, ReleaseFn release_grown)
+      : sys_(sys), release_grown_(std::move(release_grown)) {}
+
+  puddles::Status JoinTx(LogRegion* head, std::vector<LogRegion*>* chain) override {
+    std::unique_lock<std::mutex> lock(sys_->mu_);
+    if (pending_epoch_ != 0 && pending_epoch_ != sys_->current_) {
+      // The log still holds entries of a closed (or closing) epoch. Entries
+      // from two epochs in one log would break the single-tag replay gate,
+      // so wait for that epoch's retirement, then recycle the log: the head
+      // volatile-only (its stale tag gates it out of replay either way), the
+      // continuation regions with a persistent reset (they have no gate of
+      // their own — a stale region re-linked by a later epoch would replay
+      // retired undo entries).
+      RETURN_IF_ERROR(sys_->WaitRetiredLocked(lock, pending_epoch_));
+      head->RearmVolatile();
+      for (LogRegion* region : tail_) {
+        if (release_grown_) {
+          release_grown_(region);
+        }
+      }
+      tail_.clear();
+      pending_epoch_ = 0;
+    }
+    if (sys_->stop_) {
+      return FailedPreconditionError("epoch system stopped");
+    }
+    if (pending_epoch_ == 0) {
+      pending_epoch_ = sys_->current_;
+      head->SetEpochTagVolatile(pending_epoch_);
+    }
+    ++sys_->active_open_;
+    ++sys_->open_txs_;
+    sys_->MarkOpenDirtyLocked();
+    if (sys_->open_txs_ >= sys_->options_.max_epoch_txs) {
+      sys_->advancer_cv_.notify_all();
+    }
+    PUDDLES_COUNT(kEpochTxs);
+    // Re-adopt continuation regions grown by this epoch's earlier
+    // transactions, so appends resume at the chain tail instead of
+    // clobbering the head's next_log link.
+    chain->insert(chain->end(), tail_.begin(), tail_.end());
+    return OkStatus();
+  }
+
+  void Publish(pmem::FlushBatch* batch) override { sys_->DelegatePublish(batch); }
+
+  void StageDeferred(pmem::FlushBatch* batch) override {
+    if (batch->empty()) {
+      return;
+    }
+    std::lock_guard<std::mutex> lock(sys_->mu_);
+    // Route by the transaction's epoch: it may have joined an epoch that is
+    // now closing (the advance happened mid-transaction), in which case its
+    // lines belong to the closing drain, not the new open epoch.
+    if (sys_->closing_ != 0 && pending_epoch_ == sys_->closing_) {
+      sys_->deferred_closing_.Splice(batch);
+      return;
+    }
+    sys_->deferred_open_.Splice(batch);
+    sys_->MarkOpenDirtyLocked();
+    if (sys_->deferred_open_.staged_bytes() >= sys_->options_.max_staged_bytes) {
+      sys_->advancer_cv_.notify_all();
+    }
+  }
+
+  void LeaveTx(const std::vector<LogRegion*>& chain) override {
+    std::lock_guard<std::mutex> lock(sys_->mu_);
+    tail_.assign(chain.begin() + 1, chain.end());
+    if (sys_->closing_ != 0 && pending_epoch_ == sys_->closing_) {
+      if (--sys_->active_closing_ == 0) {
+        sys_->advancer_cv_.notify_all();  // Unblock the drain wait.
+      }
+    } else {
+      --sys_->active_open_;
+    }
+  }
+
+  puddles::Status Quiesce(LogRegion* head) override {
+    if (pending_epoch_ == 0) {
+      return OkStatus();
+    }
+    std::unique_lock<std::mutex> lock(sys_->mu_);
+    RETURN_IF_ERROR(sys_->WaitRetiredLocked(lock, pending_epoch_));
+    head->RearmVolatile();
+    for (LogRegion* region : tail_) {
+      if (release_grown_) {
+        release_grown_(region);
+      }
+    }
+    tail_.clear();
+    pending_epoch_ = 0;
+    return OkStatus();
+  }
+
+ private:
+  EpochSys* sys_;
+  ReleaseFn release_grown_;
+  // Epoch whose entries occupy this thread's log; 0 = log is clean.
+  uint64_t pending_epoch_ = 0;
+  // Continuation regions grown during the pending epoch, in chain order.
+  std::vector<LogRegion*> tail_;
+};
+
+// ---------------------------------------------------------------------------
+// EpochSys
+// ---------------------------------------------------------------------------
+
+EpochSys::EpochSys(const EpochOptions& options, RetireFn retire)
+    : options_(options), retire_(std::move(retire)) {}
+
+EpochSys::~EpochSys() { Stop(); }
+
+puddles::Status EpochSys::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (advancer_.joinable()) {
+    return FailedPreconditionError("epoch advancer already running");
+  }
+  if (stop_) {
+    return FailedPreconditionError("epoch system stopped");
+  }
+  advancer_ = std::thread([this] { AdvancerMain(); });
+  return OkStatus();
+}
+
+void EpochSys::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    advancer_cv_.notify_all();
+  }
+  if (advancer_.joinable()) {
+    advancer_.join();
+  }
+  client_cv_.notify_all();
+}
+
+void EpochSys::Sync() {
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t target = 0;
+  if (open_dirty_) {
+    target = current_;  // WaitRetiredLocked will request the close.
+  } else if (closing_ != 0) {
+    target = closing_;  // A close is already in flight; just wait it out.
+  } else {
+    return;  // current_ == retired_ + 1 and the open epoch is idle.
+  }
+  (void)WaitRetiredLocked(lock, target);
+}
+
+std::unique_ptr<EpochPort> EpochSys::CreatePort(ReleaseFn release_grown) {
+  return std::make_unique<Port>(this, std::move(release_grown));
+}
+
+uint64_t EpochSys::retired_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retired_;
+}
+
+uint64_t EpochSys::current_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+void EpochSys::MarkOpenDirtyLocked() {
+  if (!open_dirty_) {
+    open_dirty_ = true;
+    open_deadline_ = std::chrono::steady_clock::now() +
+                     std::chrono::microseconds(options_.max_epoch_age_us);
+    advancer_cv_.notify_all();  // The advancer may be in an indefinite wait.
+  }
+}
+
+bool EpochSys::ShouldCloseLocked() const {
+  if (!open_dirty_) {
+    return false;
+  }
+  return stop_ || close_requested_ ||
+         std::chrono::steady_clock::now() >= open_deadline_ ||
+         deferred_open_.staged_bytes() >= options_.max_staged_bytes ||
+         open_txs_ >= options_.max_epoch_txs;
+}
+
+puddles::Status EpochSys::WaitRetiredLocked(std::unique_lock<std::mutex>& lock,
+                                            uint64_t epoch) {
+  if (retired_ >= epoch) {
+    return OkStatus();
+  }
+  if (epoch == current_) {
+    // The target epoch is still open; ask the advancer to close it now
+    // rather than waiting out the age bound.
+    close_requested_ = true;
+    advancer_cv_.notify_all();
+  }
+  PUDDLES_COUNT(kEpochSyncWaits);
+  PUDDLES_SCOPED_TIMER(kEpochSyncWaitTicks);
+  client_cv_.wait(lock, [&] { return retired_ >= epoch; });
+  return OkStatus();
+}
+
+void EpochSys::DelegatePublish(pmem::FlushBatch* batch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  publish_pending_.Splice(batch);
+  const uint64_t ticket = ++publish_seq_;
+  PUDDLES_COUNT(kEpochPublishWaits);
+  advancer_cv_.notify_all();
+  PUDDLES_SCOPED_TIMER(kEpochSyncWaitTicks);
+  client_cv_.wait(lock, [&] { return publish_done_ >= ticket; });
+}
+
+// One delegated-publication service cycle: flush everything spliced so far,
+// fence once, retire every waiting ticket. Runs on the advancer; drops the
+// lock around the flush work so publishers can keep splicing.
+void EpochSys::ServicePublishLocked(std::unique_lock<std::mutex>& lock) {
+  drain_batch_.Splice(&publish_pending_);
+  const uint64_t upto = publish_seq_;
+  lock.unlock();
+  drain_batch_.FlushPending();
+  pmem::Fence();
+  lock.lock();
+  publish_done_ = std::max(publish_done_, upto);
+  PUDDLES_COUNT(kEpochPublishCycles);
+  client_cv_.notify_all();
+}
+
+// Closes the open epoch: advance the clock, drain, fence once, retire.
+void EpochSys::CloseEpochLocked(std::unique_lock<std::mutex>& lock) {
+  const uint64_t closing = current_;
+  closing_ = closing;
+  ++current_;  // New transactions join the next epoch from here on.
+  active_closing_ = active_open_;
+  active_open_ = 0;
+  open_txs_ = 0;
+  open_dirty_ = false;
+  deferred_closing_.Splice(&deferred_open_);
+
+  // Wait for the closing epoch's in-flight transactions, servicing delegated
+  // publications meanwhile — a closing transaction may be blocked on exactly
+  // such a publication, so parking without servicing would deadlock.
+  while (active_closing_ > 0) {
+    if (!publish_pending_.empty()) {
+      ServicePublishLocked(lock);
+      continue;
+    }
+    advancer_cv_.wait(lock);
+  }
+
+  // Drain: the epoch's deferred lines, plus any publication spliced since
+  // the last service cycle (flushing next-epoch lines early is harmless —
+  // their tickets retire under this fence too).
+  const uint64_t upto = publish_seq_;
+  const uint64_t drained_bytes = deferred_closing_.staged_bytes();
+  drain_batch_.Splice(&publish_pending_);
+  drain_batch_.Splice(&deferred_closing_);
+  lock.unlock();
+  drain_batch_.FlushPending();
+  pmem::Fence();      // THE epoch fence: every line of the epoch is durable.
+  retire_(closing);   // Retirement record: the epoch's single commit point.
+  lock.lock();
+  publish_done_ = std::max(publish_done_, upto);
+  retired_ = closing;
+  closing_ = 0;
+  PUDDLES_COUNT(kEpochAdvanced);
+  PUDDLES_COUNT_N(kEpochStagedBytes, drained_bytes);
+  client_cv_.notify_all();
+}
+
+void EpochSys::AdvancerMain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (!publish_pending_.empty()) {
+      ServicePublishLocked(lock);
+      continue;
+    }
+    if (ShouldCloseLocked()) {
+      CloseEpochLocked(lock);
+      close_requested_ = false;
+      client_cv_.notify_all();
+      continue;
+    }
+    if (close_requested_ && !open_dirty_) {
+      // Sync() raced an already-idle epoch; nothing to close.
+      close_requested_ = false;
+      client_cv_.notify_all();
+    }
+    if (stop_) {
+      return;
+    }
+    if (open_dirty_) {
+      advancer_cv_.wait_until(lock, open_deadline_);
+    } else {
+      advancer_cv_.wait(lock);
+    }
+  }
+}
+
+}  // namespace puddles

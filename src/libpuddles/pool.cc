@@ -172,11 +172,41 @@ puddles::Status Pool::SetRootBytes(void* payload) {
   return OkStatus();
 }
 
+puddles::Status Pool::SetDurability(Durability mode, const EpochOptions& options) {
+  if (mode == Durability::kEpoch) {
+    if (!writable_) {
+      return FailedPreconditionError("read-only pool cannot enable epoch durability");
+    }
+    RETURN_IF_ERROR(runtime_->EnsureEpochSys(options));
+  }
+  durability_ = mode;
+  return OkStatus();
+}
+
+void Pool::Sync() { runtime_->Sync(); }
+
 puddles::Result<Transaction*> Pool::BeginTx() {
   if (!writable_) {
     return FailedPreconditionError("read-only pool cannot start transactions");
   }
   ASSIGN_OR_RETURN(TxTarget * target, runtime_->ThreadTxTarget());
+  // The durability mode is latched at the *outermost* begin; a flat-nested
+  // BeginTx must not disturb the target of the transaction already running
+  // (and must never quiesce a log its own open transaction occupies).
+  if (tx_internal::ImplicitTransaction() == nullptr) {
+    if (durability_ == Durability::kEpoch) {
+      ASSIGN_OR_RETURN(target->epoch, runtime_->EpochPortForThisThread());
+    } else if (target->epoch != nullptr) {
+      // Back to immediate mode on a thread that ran epoch transactions: the
+      // log may still hold un-retired epoch entries — wait them out and
+      // re-arm before an immediate transaction takes the log over.
+      EpochPort* port = runtime_->ExistingEpochPortForThisThread();
+      if (port != nullptr) {
+        RETURN_IF_ERROR(port->Quiesce(target->log));
+      }
+      target->epoch = nullptr;
+    }
+  }
   return Transaction::BeginWith(target);
 }
 

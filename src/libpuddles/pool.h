@@ -18,6 +18,7 @@
 #include "src/common/status.h"
 #include "src/common/type_name.h"
 #include "src/daemon/types.h"
+#include "src/epoch/epoch_sys.h"
 #include "src/libpuddles/relocation.h"
 #include "src/puddles/pool_meta.h"
 #include "src/tx/transaction.h"
@@ -26,6 +27,27 @@ namespace puddles {
 
 class Runtime;
 class Tx;
+
+// When a committed transaction's effects become durable (docs/epoch.md).
+enum class Durability {
+  // Every commit is durable before Run returns: stage-1 write-back + fence
+  // on the committing thread, log retired per transaction. The default.
+  kImmediate,
+  // Commits are buffered into the open epoch; the background advancer makes
+  // whole epochs durable with one fence, amortized across threads. A commit
+  // is durable once its epoch retires — within EpochOptions::max_epoch_age_us,
+  // on Pool::Sync(), or with RunOptions::sync. Recovery is all-or-nothing per
+  // epoch: a crash mid-epoch rolls back every transaction in it.
+  kEpoch,
+};
+
+// Per-Run knobs (the plain Run(fn) overload uses the defaults).
+struct RunOptions {
+  // Under Durability::kEpoch: block after a successful commit until the
+  // transaction's epoch is persistently retired (sync-on-demand). No effect
+  // in immediate mode, where every commit is already durable.
+  bool sync = false;
+};
 
 class Pool {
  public:
@@ -96,6 +118,26 @@ class Pool {
   template <typename Fn>
   puddles::Status Run(Fn&& fn);
 
+  // As above, with per-Run knobs: `Run({.sync = true}, fn)` blocks until the
+  // commit is persistently durable even under Durability::kEpoch.
+  template <typename Fn>
+  puddles::Status Run(const RunOptions& options, Fn&& fn);
+
+  // ---- Durability mode (docs/epoch.md) ----
+  //
+  // Switches how this pool's transactions become durable. kEpoch starts the
+  // runtime's epoch system on first use (the first caller's options win
+  // process-wide). Not thread-safe against concurrent Runs on this pool —
+  // switch during quiescent setup/teardown; transactions begun after the
+  // switch see the new mode, and the first immediate-mode transaction on a
+  // thread with buffered epoch state waits that state out (quiesce).
+  puddles::Status SetDurability(Durability mode, const EpochOptions& options = {});
+  Durability durability() const { return durability_; }
+
+  // Blocks until every epoch-mode transaction committed before this call is
+  // persistently durable. No-op in immediate mode.
+  void Sync();
+
   // Starts (or flat-nests into) the calling thread's transaction using its
   // cached log puddle. The legacy TX_BEGIN entry point; Run builds on it.
   puddles::Result<Transaction*> BeginTx();
@@ -123,6 +165,7 @@ class Pool {
   puddled::PoolInfo info_;
   std::string name_;
   bool writable_;
+  Durability durability_ = Durability::kImmediate;
 
   PoolMetaView meta_;
   Translator translator_;
@@ -283,6 +326,15 @@ puddles::Status Pool::Run(Fn&& fn) {
     (void)raw->Abort();
   }
   return committed;
+}
+
+template <typename Fn>
+puddles::Status Pool::Run(const RunOptions& options, Fn&& fn) {
+  puddles::Status status = Run(std::forward<Fn>(fn));
+  if (status.ok() && options.sync && durability_ == Durability::kEpoch) {
+    Sync();
+  }
+  return status;
 }
 
 }  // namespace puddles

@@ -11,6 +11,12 @@
 #include "src/pmem/global_space.h"
 
 namespace puddles {
+namespace {
+// One cached log per (runtime, thread), keyed by Runtime::generation_ so a
+// new Runtime at a recycled address can never alias stale thread state.
+// Values are Runtime::ThreadLog* (private nested type, hence void* here).
+thread_local std::unordered_map<uint64_t, void*> tls_logs;
+}  // namespace
 
 puddles::Result<std::unique_ptr<Runtime>> Runtime::Create(
     std::shared_ptr<puddled::DaemonClient> client) {
@@ -28,6 +34,9 @@ puddles::Result<std::unique_ptr<Runtime>> Runtime::Create(
 
 Runtime::~Runtime() {
   FaultRouter::Instance().RemoveResolver(resolver_id_);
+  // Stop the epoch advancer first: its final close/drain writes into mapped
+  // log and log-space puddles, which are unmapped just below.
+  epoch_sys_.reset();
   std::lock_guard<std::mutex> lock(mu_);
   auto& space = pmem::GlobalPuddleSpace();
   for (auto& [base, entry] : entries_by_base_) {
@@ -285,11 +294,10 @@ puddles::Status Runtime::EnsureLogSpace() {
 }
 
 puddles::Result<Runtime::ThreadLog*> Runtime::ThreadLogForThisThread() {
-  // One cached log per (runtime, thread): "every thread caches the log puddle
-  // used on the first transaction of that thread and reuses it."
-  thread_local std::unordered_map<uint64_t, ThreadLog*> tls_logs;
-  if (auto it = tls_logs.find(generation_); it != tls_logs.end()) {
-    return it->second;
+  // "Every thread caches the log puddle used on the first transaction of
+  // that thread and reuses it."
+  if (ThreadLog* cached = FindThreadLogForThisThread(); cached != nullptr) {
+    return cached;
   }
 
   {
@@ -319,6 +327,11 @@ puddles::Result<Runtime::ThreadLog*> Runtime::ThreadLogForThisThread() {
   }
   tls_logs[generation_] = raw;
   return raw;
+}
+
+Runtime::ThreadLog* Runtime::FindThreadLogForThisThread() {
+  auto it = tls_logs.find(generation_);
+  return it == tls_logs.end() ? nullptr : static_cast<ThreadLog*>(it->second);
 }
 
 puddles::Result<TxTarget*> Runtime::ThreadTxTarget() {
@@ -362,6 +375,60 @@ puddles::Result<TxTarget*> Runtime::ThreadTxTarget() {
   };
   state->cached_target = std::move(target);
   return &state->cached_target;
+}
+
+// ---------------------------------------------------------------------------
+// Epoch-based group commit (docs/epoch.md)
+// ---------------------------------------------------------------------------
+
+puddles::Status Runtime::EnsureEpochSys(const EpochOptions& options) {
+  std::lock_guard<std::mutex> lock(thread_logs_mu_);
+  if (epoch_sys_ != nullptr) {
+    return OkStatus();  // Already running; the first caller's options win.
+  }
+  // The retirement record lives on the log space header.
+  RETURN_IF_ERROR(EnsureLogSpace());
+  auto sys = std::make_unique<EpochSys>(
+      options, [this](uint64_t epoch) { log_space_.SetRetiredEpoch(epoch); });
+  RETURN_IF_ERROR(sys->Start());
+  epoch_sys_ = std::move(sys);
+  return OkStatus();
+}
+
+puddles::Result<EpochPort*> Runtime::EpochPortForThisThread() {
+  {
+    std::lock_guard<std::mutex> lock(thread_logs_mu_);
+    if (epoch_sys_ == nullptr) {
+      return FailedPreconditionError(
+          "epoch durability not enabled (call Pool::SetDurability first)");
+    }
+  }
+  // Build the cached target first: the port's release hook reuses its spare
+  // bookkeeping, and epoch-mode Begin needs the target anyway.
+  ASSIGN_OR_RETURN(TxTarget * target, ThreadTxTarget());
+  ThreadLog* state = FindThreadLogForThisThread();
+  if (state->port == nullptr) {
+    // Continuation regions of a retired epoch go back through the same
+    // persistent Reset + spare-return path grown logs always use.
+    state->port = epoch_sys_->CreatePort(target->release);
+  }
+  return state->port.get();
+}
+
+EpochPort* Runtime::ExistingEpochPortForThisThread() {
+  ThreadLog* state = FindThreadLogForThisThread();
+  return state == nullptr ? nullptr : state->port.get();
+}
+
+void Runtime::Sync() {
+  EpochSys* sys;
+  {
+    std::lock_guard<std::mutex> lock(thread_logs_mu_);
+    sys = epoch_sys_.get();
+  }
+  if (sys != nullptr) {
+    sys->Sync();
+  }
 }
 
 Runtime::Stats Runtime::stats() {

@@ -13,9 +13,11 @@
 #include <vector>
 
 #include "src/daemon/client.h"
+#include "src/epoch/epoch_sys.h"
 #include "src/libpuddles/relocation.h"
 #include "src/libpuddles/type_registry.h"
 #include "src/puddles/format.h"
+#include "src/tx/epoch_port.h"
 #include "src/tx/log_format.h"
 #include "src/tx/log_space.h"
 #include "src/tx/transaction.h"
@@ -85,6 +87,21 @@ class Runtime {
   // the legacy TX_BEGIN shim alike).
   puddles::Result<TxTarget*> ThreadTxTarget();
 
+  // ---- Epoch-based group commit (docs/epoch.md) ----
+  // Starts the process-wide epoch system (idempotent; the first call's
+  // options win). Requires the log space, which it creates on demand.
+  puddles::Status EnsureEpochSys(const EpochOptions& options);
+  // This thread's port into the epoch system, created on first use.
+  // Fails unless EnsureEpochSys ran.
+  puddles::Result<EpochPort*> EpochPortForThisThread();
+  // The port if this thread already created one, else nullptr (used by the
+  // immediate-mode Begin path to quiesce leftover epoch state).
+  EpochPort* ExistingEpochPortForThisThread();
+  // Blocks until every epoch-mode transaction begun before this call is
+  // persistently retired. No-op when the epoch system is not running.
+  void Sync();
+  EpochSys* epoch_sys() { return epoch_sys_.get(); }
+
   Stats stats();
 
   // Uploads the process type registry to the daemon (done automatically on
@@ -109,8 +126,10 @@ class Runtime {
     LogRegion region;
     std::vector<std::pair<Entry*, std::unique_ptr<LogRegion>>> spares;  // Grown logs.
     TxTarget cached_target;  // Built once; Pool::BeginTx must stay allocation-free.
+    std::unique_ptr<EpochPort> port;  // Epoch-mode port; created on first use.
   };
   puddles::Result<ThreadLog*> ThreadLogForThisThread();
+  ThreadLog* FindThreadLogForThisThread();
 
   std::shared_ptr<puddled::DaemonClient> client_;
   uint64_t resolver_id_ = 0;
@@ -126,6 +145,10 @@ class Runtime {
 
   std::mutex thread_logs_mu_;
   std::vector<std::unique_ptr<ThreadLog>> thread_logs_;
+
+  // Epoch system (created by EnsureEpochSys; stopped before unmap in ~Runtime
+  // — the advancer's final drain writes into mapped log/log-space puddles).
+  std::unique_ptr<EpochSys> epoch_sys_;
 
   Stats stats_;
 };

@@ -191,6 +191,21 @@ void FlushBatch::Add(const void* addr, size_t size) {
                                          puddles::kCacheLineSize);
   PUDDLES_COUNT_N(kFlushLinesStaged, (end - start) / puddles::kCacheLineSize);
   ranges_.push_back({start, end});
+  staged_bytes_ += end - start;
+}
+
+void FlushBatch::Splice(FlushBatch* from) {
+  if (from->ranges_.empty()) {
+    return;
+  }
+  if (ranges_.empty()) {
+    ranges_.swap(from->ranges_);
+  } else {
+    ranges_.insert(ranges_.end(), from->ranges_.begin(), from->ranges_.end());
+    from->ranges_.clear();
+  }
+  staged_bytes_ += from->staged_bytes_;
+  from->staged_bytes_ = 0;
 }
 
 // Sorts by start and merges overlapping/adjacent ranges into maximal runs,
@@ -227,6 +242,7 @@ void FlushBatch::FlushPending() {
     Flush(reinterpret_cast<const void*>(start), end - start);
   }
   ranges_.clear();
+  staged_bytes_ = 0;
 }
 
 PersistStats ReadPersistStats() {

@@ -100,16 +100,34 @@ class FlushBatch {
   // then clears the batch. Does not fence.
   void FlushPending();
 
-  void Clear() { ranges_.clear(); }
+  // Moves every staged range out of `from` and appends it here, leaving
+  // `from` empty. The cross-thread handoff primitive of epoch-based group
+  // commit: a committing thread splices its batch into the advancer's
+  // accumulation batch under the epoch lock, and the advancer later flushes
+  // the union in one deduplicated pass. Neither batch is thread-safe on its
+  // own — the caller serializes the handoff.
+  void Splice(FlushBatch* from);
+
+  void Clear() {
+    ranges_.clear();
+    staged_bytes_ = 0;
+  }
   bool empty() const { return ranges_.empty(); }
 
   // Distinct staged lines (after dedup/merge). For tests/benches.
   size_t pending_lines();
 
+  // Upper bound on staged bytes: the sum of line-aligned range sizes as
+  // staged, without dedup (duplicate lines double-count). Cheap enough for
+  // the epoch advancer's close-threshold accounting, where an overestimate
+  // only closes an epoch a little early.
+  size_t staged_bytes() const { return staged_bytes_; }
+
  private:
   void MergeRanges();
   // Line-aligned [start, end) ranges; sorted and overlap-merged lazily.
   std::vector<std::pair<uintptr_t, uintptr_t>> ranges_;
+  size_t staged_bytes_ = 0;
 };
 
 namespace internal {

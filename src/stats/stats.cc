@@ -33,6 +33,12 @@ constexpr const char* kCounterNames[] = {
     "alloc_bytes",
     "free_bytes",
     "pool_grow",
+    "epoch_advanced",
+    "epoch_txs",
+    "epoch_staged_bytes",
+    "epoch_publish_cycles",
+    "epoch_publish_waits",
+    "epoch_sync_waits",
     "daemon_request",
     "daemon_conn_accepted",
     "daemon_conn_closed",
@@ -45,6 +51,7 @@ constexpr const char* kHistNames[] = {
     "tx_commit_ns",
     "flush_publish_ns",
     "daemon_service_ns",
+    "epoch_sync_wait_ns",
 };
 static_assert(sizeof(kHistNames) / sizeof(kHistNames[0]) == kNumHists,
               "histogram name table out of sync with the Hist enum");

@@ -63,6 +63,13 @@ enum class Counter : uint32_t {
   kFreeBytes,         // Payload bytes released by ObjectHeap::Free.
   // Pool / runtime (src/libpuddles).
   kPoolGrow,          // Data puddles added to pools.
+  // Epoch-based group commit (src/epoch; docs/epoch.md).
+  kEpochAdvanced,        // Epochs closed and persistently retired.
+  kEpochTxs,             // Transactions that joined an epoch (txs/epoch = this / advanced).
+  kEpochStagedBytes,     // Deferred bytes drained at epoch close (pre-dedup).
+  kEpochPublishCycles,   // Advancer flush+fence cycles serving delegated publications.
+  kEpochPublishWaits,    // Blocking delegated publications (threads that waited).
+  kEpochSyncWaits,       // Explicit Sync()/retirement waits (incl. JoinTx rearm waits).
   // Daemon (src/daemon) — totals; the per-opcode breakdown is separate.
   kDaemonRequest,     // Requests dispatched (socket protocol path).
   kDaemonConnAccepted,  // Client connections admitted by the socket server.
@@ -81,6 +88,7 @@ enum class Hist : uint32_t {
   kTxCommitTicks = 0,   // Pool::Run / Transaction commit latency.
   kFlushPublishTicks,   // FlushBatch publication (flush pass + fence).
   kDaemonServiceTicks,  // Daemon request service time (DispatchRequest).
+  kEpochSyncWaitTicks,  // Time blocked waiting on the epoch advancer.
   kNumHists,            // Sentinel; keep last.
 };
 

@@ -14,15 +14,23 @@ size_t LogRegion::EntrySpan(uint32_t size) {
 }
 
 uint32_t LogRegion::EntryChecksum(const LogEntryHeader& entry, const void* data,
-                                  uint32_t generation) {
-  // Checksum covers the log generation, everything after the checksum field,
-  // then the data. Binding the generation means entries validate only in the
-  // log incarnation that wrote them — a slot's stale previous-generation
-  // content can never masquerade as a fresh append.
+                                  uint32_t generation, uint64_t epoch_tag) {
+  // Checksum covers the log generation and epoch tag, everything after the
+  // checksum field, then the data. Binding the generation means entries
+  // validate only in the log incarnation that wrote them — a slot's stale
+  // previous-generation content can never masquerade as a fresh append.
+  // Binding the epoch tag hardens the volatile epoch rearm (RearmVolatile):
+  // its generation bump and tag store live in different 8-byte pieces of the
+  // header, so a crash can land the new tag (defeating the retirement gate)
+  // while the durable header still carries the old generation and counts.
+  // With the tag in the checksum, the retired epoch's entries are invalid
+  // under the new tag no matter which rearm pieces persisted — found by the
+  // crashsim epoch workload's eviction-subset exploration.
   if (bug_hooks::torn_append_unbound_checksum.load(std::memory_order_relaxed)) {
     generation = 0;  // Seeded bug (crashsim differential tests): unbound checksum.
   }
   uint32_t crc = Crc32c(&generation, sizeof(generation));
+  crc = Crc32c(&epoch_tag, sizeof(epoch_tag), crc);
   crc = Crc32c(reinterpret_cast<const uint8_t*>(&entry) + sizeof(uint32_t),
                sizeof(LogEntryHeader) - sizeof(uint32_t), crc);
   return Crc32c(data, entry.size, crc);
@@ -43,6 +51,7 @@ puddles::Status LogRegion::Format(void* base, size_t capacity) {
   header->num_entries = 0;
   header->generation = 1;
   header->next_log = Uuid::Nil();
+  header->epoch_tag = 0;  // Immediate mode until an epoch-mode tx tags it.
   pmem::FlushFence(header, sizeof(LogHeader));
   return OkStatus();
 }
@@ -78,7 +87,7 @@ puddles::Status LogRegion::AppendStaged(uint64_t addr, const void* data, uint32_
   entry->flags = flags;
   entry->reserved = 0;
   std::memcpy(entry + 1, data, size);
-  entry->checksum = EntryChecksum(*entry, data, header_->generation);
+  entry->checksum = EntryChecksum(*entry, data, header_->generation, header_->epoch_tag);
   header_->next_free = offset + span;
   header_->last_entry = offset;
   header_->num_entries++;
@@ -141,6 +150,18 @@ bool LogRegion::Rearm() {
   return true;
 }
 
+void LogRegion::RearmVolatile() {
+  // Plain stores only — see the header comment for why no subset of them
+  // needs to be durable once the tagged epoch is retired. This must stay free
+  // of pmem::Flush/Fence calls (epoch-discipline CI gate).
+  header_->next_free = sizeof(LogHeader);
+  header_->last_entry = 0;
+  header_->num_entries = 0;
+  header_->generation++;
+  header_->next_log = Uuid::Nil();
+  header_->epoch_tag = 0;
+}
+
 bool LogRegion::RetireCommitted() {
   if (!header_->next_log.is_nil()) {
     return false;
@@ -180,7 +201,8 @@ bool LogRegion::ForEachEntry(const std::function<void(const EntryView&)>& fn) co
     view.header = entry;
     view.data = reinterpret_cast<const uint8_t*>(entry + 1);
     view.offset = offset;
-    view.checksum_ok = EntryChecksum(*entry, view.data, header_->generation) == entry->checksum;
+    view.checksum_ok = EntryChecksum(*entry, view.data, header_->generation,
+                                     header_->epoch_tag) == entry->checksum;
     view.valid = view.checksum_ok && IsValid(*entry);
     fn(view);
     offset += span;

@@ -43,10 +43,11 @@
 
 namespace puddles {
 
-// Format version 2: entry checksums are bound to LogHeader::generation.
-// Version-1 logs (whose entries checksum without the generation prefix) must
-// be rejected at Attach, not silently invalidated entry-by-entry at recovery.
-inline constexpr uint64_t kLogMagic = 0x32474f4c44555000ULL;  // "\0PUDLOG2"
+// Format version 3: entry checksums are bound to LogHeader::generation
+// (since v2), and the header carries an epoch tag for epoch-based group
+// commit (docs/epoch.md). Version-1/2 logs must be rejected at Attach, not
+// silently invalidated entry-by-entry at recovery.
+inline constexpr uint64_t kLogMagic = 0x33474f4c44555000ULL;  // "\0PUDLOG3"
 
 enum class ReplayOrder : uint8_t {
   kForward = 0,  // Redo semantics: replay in append order.
@@ -79,6 +80,15 @@ struct LogHeader {
   // exploration (DESIGN.md §3).
   uint32_t generation;
   Uuid next_log;  // Continuation log puddle; nil if none.
+  // Epoch-based group commit (docs/epoch.md): 0 in immediate mode; otherwise
+  // the persistence epoch whose transactions' entries this log holds. Replay
+  // of a tagged log chain is gated on the log space's retirement record — a
+  // chain whose head tag is already retired is reset without replay, so a
+  // retired epoch's rollback entries can never fire, and a crash inside an
+  // unretired epoch rolls back *every* transaction of that epoch. The tag is
+  // written volatile and rides to durability with the epoch's first delegated
+  // publication (the whole header is staged by every AppendStaged).
+  uint64_t epoch_tag;
 };
 
 struct LogEntryHeader {
@@ -151,9 +161,27 @@ class LogRegion {
   // use SetSeqRange(4,4) + Reset().
   bool RetireCommitted();
 
+  // Volatile-only log retirement for epoch mode (docs/epoch.md): clears
+  // allocation state, bumps the generation, unlinks any continuation, and
+  // zeroes the epoch tag with plain stores — NO flush, NO fence. Callable by
+  // the owning thread only after the epoch tagged on this log has been
+  // persistently retired: from then on the durable header (tag <= retirement
+  // record) gates the whole chain out of replay, so it does not matter which
+  // of these stores ever reach PM — a crash recovers either the stale gated
+  // header (reset without replay) or a later incarnation's published header.
+  // Requires the range to be (0,2) — epoch-mode commit never moves it.
+  void RearmVolatile();
+
   // Persistently links a continuation log.
   void SetNextLog(const Uuid& uuid);
   const Uuid& next_log() const { return header_->next_log; }
+
+  // Epoch tag (epoch-based group commit; see the LogHeader field comment).
+  // The setter is volatile on purpose: durability rides the next staged
+  // append's header publication, which is fenced by the epoch advancer
+  // before any of the epoch's in-place mutations can start.
+  uint64_t epoch_tag() const { return header_->epoch_tag; }
+  void SetEpochTagVolatile(uint64_t tag) { header_->epoch_tag = tag; }
 
   struct EntryView {
     const LogEntryHeader* header;
@@ -182,7 +210,7 @@ class LogRegion {
   explicit LogRegion(LogHeader* header) : header_(header) {}
 
   static uint32_t EntryChecksum(const LogEntryHeader& entry, const void* data,
-                                uint32_t generation);
+                                uint32_t generation, uint64_t epoch_tag);
 
   LogHeader* header_ = nullptr;
 };

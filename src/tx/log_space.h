@@ -18,12 +18,20 @@
 
 namespace puddles {
 
-inline constexpr uint64_t kLogSpaceMagic = 0x435053474f4c5000ULL;  // "\0PLOGSPC"
+// Format version 2: the header carries the epoch retirement record for
+// epoch-based group commit (docs/epoch.md).
+inline constexpr uint64_t kLogSpaceMagic = 0x325053474f4c5000ULL;  // "\0PLOGSP2"
 
 struct LogSpaceHeader {
   uint64_t magic;
   uint32_t num_entries;
   uint32_t reserved;
+  // Highest persistently retired epoch; 0 = none. Written by the epoch
+  // advancer with PersistStore64 AFTER every log entry, header update, and
+  // in-place mutation of the epoch is durable — the single commit point for
+  // all of the epoch's transactions. Recovery replays a tagged log chain iff
+  // its tag is above this watermark (docs/epoch.md).
+  uint64_t retired_epoch;
   // LogSpaceEntry[] follows.
 };
 
@@ -47,6 +55,14 @@ class LogSpaceView {
 
   bool Contains(const Uuid& log_puddle) const;
 
+  // Epoch retirement record (see the header field comment). Retirement is
+  // monotone; the store+flush+fence of PersistStore64 makes the new watermark
+  // durable before SetRetiredEpoch returns.
+  uint64_t retired_epoch() const { return header_->retired_epoch; }
+  void SetRetiredEpoch(uint64_t epoch) {
+    pmem::PersistStore64(&header_->retired_epoch, epoch);
+  }
+
  private:
   LogSpaceView(LogSpaceHeader* header, LogSpaceEntry* entries, uint32_t capacity)
       : header_(header), entries_(entries), capacity_(capacity) {}
@@ -64,6 +80,7 @@ inline puddles::Status LogSpaceView::Format(const Puddle& puddle) {
   header->magic = kLogSpaceMagic;
   header->num_entries = 0;
   header->reserved = 0;
+  header->retired_epoch = 0;
   pmem::FlushFence(header, sizeof(LogSpaceHeader));
   return OkStatus();
 }

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/pmem/flush.h"
+#include "src/tx/epoch_port.h"
 #include "src/stats/stats.h"
 #include "src/stats/trace_ring.h"
 
@@ -90,12 +91,31 @@ puddles::Result<Transaction*> Transaction::BeginWith(const TxTarget* target) {
     return InvalidArgumentError("transaction needs a log");
   }
   auto [lo, hi] = target->log->seq_range();
-  if (!target->log->empty() || lo != 0 || hi != 2) {
+  if (lo != 0 || hi != 2) {
     return FailedPreconditionError("transaction log not empty/armed");
   }
-  tx->target_ = target;
   tx->chain_.clear();
   tx->chain_.push_back(target->log);
+  if (target->epoch != nullptr) {
+    // Epoch mode: the log legitimately holds entries from earlier
+    // transactions of the open epoch (retirement is deferred to the epoch
+    // boundary), so only the armed range is required. JoinTx waits out an
+    // unretired previous epoch, rearms if needed, and re-adopts any
+    // continuation regions grown earlier in this epoch.
+    puddles::Status joined = target->epoch->JoinTx(target->log, &tx->chain_);
+    if (!joined.ok()) {
+      tx->chain_.clear();
+      return joined;
+    }
+    tx->epoch_mode_ = true;
+  } else {
+    if (!target->log->empty()) {
+      tx->chain_.clear();
+      return FailedPreconditionError("transaction log not empty/armed");
+    }
+    tx->epoch_mode_ = false;
+  }
+  tx->target_ = target;
   tx->depth_ = 1;
   ++tx->epoch_;  // New outermost transaction: invalidate stale Tx handles.
   PUDDLES_COUNT(kTxBegin);
@@ -196,10 +216,20 @@ void Transaction::PublishStaged() {
   if (batch_.empty()) {
     return;
   }
+  if (epoch_mode_) {
+    PublishStagedEpoch();
+    return;
+  }
   PUDDLES_SCOPED_TIMER(kFlushPublishTicks);
   batch_.FlushPending();
   pmem::Fence();
 }
+
+// Epoch-mode publication: the staged lines are spliced to the advancer, whose
+// flush + single fence retires every waiting thread's publication at once.
+// This function (and the whole epoch commit/abort path) must stay free of
+// pmem::Flush/Fence calls — CI greps for it (tools/check_epoch_discipline.sh).
+void Transaction::PublishStagedEpoch() { target_->epoch->Publish(&batch_); }
 
 puddles::Status Transaction::AddVolatileUndo(void* addr, size_t size) {
   if (size > UINT32_MAX) {
@@ -262,6 +292,10 @@ puddles::Status Transaction::CommitOutermost() {
   // mutations become part of this transaction.
   for (auto& op : deferred_frees_) {
     RETURN_IF_ERROR(op());
+  }
+
+  if (epoch_mode_) {
+    return CommitEpochMode();
   }
 
   LogRegion* head = chain_.front();
@@ -355,11 +389,76 @@ puddles::Status Transaction::CommitOutermost() {
   return OkStatus();
 }
 
+// Epoch-mode commit (docs/epoch.md): the log is NOT retired — its undo
+// entries stay live so a crash before the epoch's retirement record rolls
+// back every transaction of the epoch, never a prefix. The commit tail
+// (target write-back, log reset, sequence-range flips) is deferred to the
+// epoch boundary; this function issues zero flush/fence instructions itself
+// (CI-gated by tools/check_epoch_discipline.sh).
+puddles::Status Transaction::CommitEpochMode() {
+  // Redo entries become in-place mutations below, with the log still armed
+  // for undo replay — so each redo target needs a pre-image capture first,
+  // or a crash inside the epoch could not roll the mutation back. (Immediate
+  // mode avoids the capture by flipping the range to redo replay; epoch mode
+  // keeps (0,2) so the dead redo entries are simply out of range at replay.)
+  const size_t appended = entries_.size();
+  bool has_redo = false;
+  for (size_t i = 0; i < appended; ++i) {
+    const EntryRef entry = entries_[i];  // Copy: AddUndo below may reallocate.
+    if (entry.seq != kRedoSeq || (entry.flags & kLogEntryVolatile) != 0) {
+      continue;
+    }
+    has_redo = true;
+    RETURN_IF_ERROR(AddUndoInternal(reinterpret_cast<void*>(entry.addr), entry.size,
+                                    /*publish=*/false));
+  }
+
+  // One blocking delegated publication covers every staged-but-unpublished
+  // append: redo entries, the pre-image captures above, and volatile entries.
+  // Publishing even the replay-dead entries matters — an unpublished entry
+  // torn by eviction would truncate the recovery walk at its corrupt size
+  // field and hide later transactions' undo entries in the same epoch log.
+  PublishStaged();
+
+  // Apply the redo log in place; pre-images are durable, so this is
+  // crash-safe from here on. Targets only need durability by epoch close.
+  if (has_redo) {
+    for (size_t i = 0; i < appended; ++i) {
+      const EntryRef& entry = entries_[i];
+      if (entry.seq != kRedoSeq) {
+        continue;
+      }
+      std::memcpy(reinterpret_cast<void*>(entry.addr), EntryData(entry), entry.size);
+      if ((entry.flags & kLogEntryVolatile) == 0) {
+        batch_.Add(reinterpret_cast<void*>(entry.addr), entry.size);
+      }
+    }
+  }
+
+  // The immediate-mode stage-1 write-back set (new values of undo-logged
+  // ranges, fresh-object contents) plus the applied redo targets above are
+  // handed to the advancer without blocking: the epoch-close drain flushes
+  // them, fences once, and only then writes the retirement record.
+  for (const auto& [addr, size] : logged_undo_ranges_) {
+    batch_.Add(addr, size);
+  }
+  for (const auto& [addr, size] : fresh_ranges_) {
+    batch_.Add(addr, size);
+  }
+  target_->epoch->StageDeferred(&batch_);
+  target_->epoch->LeaveTx(chain_);
+  ResetState();
+  return OkStatus();
+}
+
 puddles::Status Transaction::Abort() {
   if (!active()) {
     return FailedPreconditionError("no active transaction");
   }
   PUDDLES_COUNT(kTxAbort);
+  if (epoch_mode_) {
+    return AbortEpochMode();
+  }
   // Roll back by applying undo entries newest-first; volatile entries are
   // included so DRAM state tracks the PM rollback (§4.1). Staged entries not
   // yet published are applied too — they live in the mapped log bytes, and
@@ -387,6 +486,34 @@ puddles::Status Transaction::Abort() {
   return OkStatus();
 }
 
+// Epoch-mode abort: in-memory rollback only, no flush/fence (CI-gated). The
+// log keeps this transaction's (published) undo entries — retiring them here
+// would need fences, and replaying them after a crash just re-applies the
+// same pre-images restored below, which is idempotent. The restored target
+// lines ride to durability with the epoch-close drain; until the epoch
+// retires, recovery rolls the whole epoch back anyway.
+puddles::Status Transaction::AbortEpochMode() {
+  // Unpublished staged appends (redo/volatile entries) are published first
+  // for the same torn-walk reason as in CommitEpochMode: a torn entry in the
+  // middle of the epoch's log would truncate replay and hide later
+  // transactions' undo entries.
+  PublishStaged();
+  for (size_t i = entries_.size(); i-- > 0;) {
+    const EntryRef& entry = entries_[i];
+    if (entry.seq != kUndoSeq) {
+      continue;  // Redo entries were never applied; nothing to undo.
+    }
+    std::memcpy(reinterpret_cast<void*>(entry.addr), EntryData(entry), entry.size);
+    if ((entry.flags & kLogEntryVolatile) == 0) {
+      batch_.Add(reinterpret_cast<void*>(entry.addr), entry.size);
+    }
+  }
+  target_->epoch->StageDeferred(&batch_);
+  target_->epoch->LeaveTx(chain_);
+  ResetState();
+  return OkStatus();
+}
+
 // Empties and re-arms the head log after an undo-only commit or an abort
 // (range still (0,2)): the one-fence Rearm when the log is unchained, the
 // general Reset otherwise.
@@ -410,6 +537,7 @@ void Transaction::ResetState() {
   chain_.clear();
   target_ = nullptr;
   depth_ = 0;
+  epoch_mode_ = false;
 }
 
 }  // namespace puddles

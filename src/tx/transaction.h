@@ -16,7 +16,13 @@
 // stored to, and once per commit stage. Redo, volatile, fresh-object, and
 // already-covered appends ride along to the next publication for free, so a
 // transaction's fence count is bounded by its ordering structure, not by its
-// logged-range count.
+// logged-range count. A constant number of fences per transaction is not the
+// floor, though: in epoch mode (DESIGN.md §13, docs/epoch.md) publication is
+// delegated through TxTarget::epoch to a background advancer whose single
+// fence retires every concurrently publishing thread's lines at once, and the
+// per-transaction commit tail (stage 1 write-back + log retirement) is
+// deferred to the epoch boundary — amortizing fences *across* threads to well
+// under one per transaction.
 //
 // "Puddles' transactions are thread-local ... they support writing to any
 // arbitrary PM data and are not limited to a single pool" — the transaction
@@ -34,6 +40,8 @@
 
 namespace puddles {
 
+class EpochPort;
+
 // Everything a transaction needs from its environment. Pools build one of
 // these from the thread's cached log puddle (§4.1: "every thread caches the
 // log puddle used on the first transaction of that thread").
@@ -46,6 +54,11 @@ struct TxTarget {
   std::function<puddles::Result<std::pair<LogRegion*, Uuid>>()> grow;
   // Returns a grown region after commit/abort (reuse/cleanup). May be null.
   std::function<void(LogRegion*)> release;
+  // Non-null selects epoch mode (docs/epoch.md): publication is delegated to
+  // the epoch advancer, the log accumulates entries across the epoch's
+  // transactions (so it need not be empty at Begin, only armed at (0,2)),
+  // and the commit tail is deferred to the epoch boundary.
+  EpochPort* epoch = nullptr;
 };
 
 // Thrown by stage hooks in crash-injection tests; never thrown in production.
@@ -174,6 +187,9 @@ class Transaction {
   puddles::Status AddUndoInternal(void* addr, size_t size, bool publish);
   const uint8_t* EntryData(const EntryRef& ref) const;
   puddles::Status CommitOutermost();
+  puddles::Status CommitEpochMode();
+  puddles::Status AbortEpochMode();
+  void PublishStagedEpoch();
   void RetireLog(LogRegion* head);
   void ResetState();
   static void StageHook(const char* stage);
@@ -193,6 +209,10 @@ class Transaction {
   std::vector<std::function<puddles::Status()>> deferred_frees_;
   int depth_ = 0;
   uint64_t epoch_ = 0;
+  // True while this outermost transaction runs under an EpochPort (the
+  // persistence-epoch sense of "epoch"; unrelated to the handle-staleness
+  // counter above).
+  bool epoch_mode_ = false;
 };
 
 namespace tx_internal {

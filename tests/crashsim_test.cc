@@ -71,6 +71,17 @@ TEST(CrashsimWorkloads, PmhashRecoversFromEveryEnumeratedState) {
   ExpectFullRecovery(RunWorkload("pmhash", 16), 40);
 }
 
+// Epoch-based group commit (docs/epoch.md): the driver pins epoch boundaries
+// to Sync points, so the membership oracle proves epoch atomicity — a crash
+// inside an epoch must roll back every thread's transactions of that epoch,
+// never a prefix (cells from round N with committed markers from N-1 is a
+// DATA_LOSS mixture). The acceptance bar for the subsystem is ≥300 explored
+// states, zero failures — this is what caught the stale-entry revalidation
+// bug that tied the epoch tag into the entry checksum (DESIGN.md §13).
+TEST(CrashsimWorkloads, EpochRecoversFromEveryEnumeratedState) {
+  ExpectFullRecovery(RunWorkload("epoch", 10), 300);
+}
+
 // Adaptive radix tree: the acceptance bar for the index subsystem is ≥300
 // explored states with zero recovery failures. The driver preloads to just
 // under the Node48 -> Node256 boundary and mixes dense inserts, sparse-stem

@@ -24,9 +24,15 @@
 // artifact, BENCH_daemon.json — one entry point regenerates the full perf
 // record for a PR.
 //
+// With --epoch-bench it runs the scaling bench (bench/bench_fig12_scaling)
+// as a subprocess, producing BENCH_epoch.json: immediate-vs-epoch durability
+// ns/op and fences/op per thread count — the record behind the fences/op < 1
+// group-commit CI gate (docs/epoch.md).
+//
 // Usage: bench_runner [--out=BENCH_commit.json]
 //                     [--crashsim-out=BENCH_crashsim.json] [--iters=N]
 //                     [--daemon-bench=PATH] [--daemon-out=BENCH_daemon.json]
+//                     [--epoch-bench=PATH] [--epoch-out=BENCH_epoch.json]
 #include <unistd.h>
 
 #include <cinttypes>
@@ -390,6 +396,8 @@ int main(int argc, char** argv) {
   std::string crashsim_out_path = "BENCH_crashsim.json";
   std::string daemon_bench;  // Path to bench_daemon_ycsb; empty = skip.
   std::string daemon_out_path = "BENCH_daemon.json";
+  std::string epoch_bench;  // Path to bench_fig12_scaling; empty = skip.
+  std::string epoch_out_path = "BENCH_epoch.json";
   uint64_t iters = bench::Scaled(20000);
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -401,12 +409,17 @@ int main(int argc, char** argv) {
       daemon_bench = arg.substr(15);
     } else if (arg.rfind("--daemon-out=", 0) == 0) {
       daemon_out_path = arg.substr(13);
+    } else if (arg.rfind("--epoch-bench=", 0) == 0) {
+      epoch_bench = arg.substr(14);
+    } else if (arg.rfind("--epoch-out=", 0) == 0) {
+      epoch_out_path = arg.substr(12);
     } else if (arg.rfind("--iters=", 0) == 0) {
       iters = std::strtoull(arg.c_str() + 8, nullptr, 10);
     } else {
       std::fprintf(stderr,
                    "usage: bench_runner [--out=FILE] [--crashsim-out=FILE] [--iters=N]\n"
-                   "                    [--daemon-bench=PATH] [--daemon-out=FILE]\n");
+                   "                    [--daemon-bench=PATH] [--daemon-out=FILE]\n"
+                   "                    [--epoch-bench=PATH] [--epoch-out=FILE]\n");
       return 2;
     }
   }
@@ -427,6 +440,16 @@ int main(int argc, char** argv) {
     const int rc = std::system(command.c_str());
     if (rc != 0) {
       std::fprintf(stderr, "daemon bench failed (%d): %s\n", rc, command.c_str());
+      return 1;
+    }
+  }
+  if (!epoch_bench.empty()) {
+    // The scaling bench maps its own pool and spins up the epoch advancer, so
+    // it too runs as a subprocess.
+    const std::string command = "'" + epoch_bench + "' --out='" + epoch_out_path + "'";
+    const int rc = std::system(command.c_str());
+    if (rc != 0) {
+      std::fprintf(stderr, "epoch bench failed (%d): %s\n", rc, command.c_str());
       return 1;
     }
   }

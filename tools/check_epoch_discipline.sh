@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# CI gate for epoch-commit fence discipline (docs/epoch.md): in epoch mode
+# every flush and fence is delegated to the epoch advancer, which amortizes
+# ONE fence across all threads' staged lines. A pmem::Flush/Fence sneaking
+# back onto the epoch commit path silently reverts group commit to
+# per-thread fencing — throughput degrades and the fences/op CI number
+# drifts, but no functional test fails. Three rules:
+#
+#   1. Transaction::CommitEpochMode / AbortEpochMode / PublishStagedEpoch
+#      (src/tx/transaction.cc) must be persist-call-free: they stage lines
+#      and hand them to the port, never flush or fence themselves.
+#   2. LogRegion::RearmVolatile (src/tx/log_format.cc) must be
+#      persist-call-free: the retired-epoch gate makes its plain stores safe
+#      precisely because they are NOT individually persisted.
+#   3. In src/epoch/epoch_sys.cc, persist calls may appear only inside
+#      ServicePublishLocked and CloseEpochLocked — the two advancer-side
+#      publication points that own the epoch's single fence.
+#
+# Comments are stripped before matching, same as check_persist_discipline.sh.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+strip_comments() {
+  sed -e 's://.*$::' -e 's:/\*.*\*/::g'
+}
+
+# Prints the body of the function whose definition line matches $2 in file
+# $1: from the signature to the first closing brace at column 0. Definitions
+# in this tree are never nested, so the column-0 brace is exact.
+extract_fn() {
+  awk -v sig="$2" '
+    index($0, sig) { in_fn = 1 }
+    in_fn { print }
+    in_fn && /^}/ { exit }
+  ' "$1"
+}
+
+persist_calls='pmem::(FlushFence|Flush|Fence|PersistStore64)\(|FlushPending\(\)'
+fail=0
+
+check_fn_clean() {
+  local file="$1" sig="$2"
+  local body
+  body=$(extract_fn "$file" "$sig")
+  if [ -z "$body" ]; then
+    echo "::error::$file: function '$sig' not found — update tools/check_epoch_discipline.sh"
+    fail=1
+    return
+  fi
+  if matches=$(printf '%s\n' "$body" | strip_comments | grep -nE "$persist_calls"); then
+    echo "$file: $sig"
+    echo "$matches"
+    echo "::error::$file: persist call on the epoch commit path ($sig) — fences belong to the epoch advancer only (docs/epoch.md)"
+    fail=1
+  fi
+}
+
+check_fn_clean src/tx/transaction.cc 'Transaction::CommitEpochMode('
+check_fn_clean src/tx/transaction.cc 'Transaction::AbortEpochMode('
+check_fn_clean src/tx/transaction.cc 'Transaction::PublishStagedEpoch('
+check_fn_clean src/tx/log_format.cc 'LogRegion::RearmVolatile('
+
+# Rule 3: whole-file scan of epoch_sys.cc, excluding the two advancer
+# publication functions that legitimately flush and fence.
+allowed=$(extract_fn src/epoch/epoch_sys.cc 'EpochSys::ServicePublishLocked(')
+allowed+=$'\n'$(extract_fn src/epoch/epoch_sys.cc 'EpochSys::CloseEpochLocked(')
+if [ -z "$allowed" ]; then
+  echo "::error::src/epoch/epoch_sys.cc: advancer publication functions not found"
+  fail=1
+fi
+outside=$(strip_comments < src/epoch/epoch_sys.cc | grep -E "$persist_calls" || true)
+while IFS= read -r line; do
+  [ -z "$line" ] && continue
+  if ! printf '%s\n' "$allowed" | strip_comments | grep -qF "$line"; then
+    echo "src/epoch/epoch_sys.cc: $line"
+    echo "::error::src/epoch/epoch_sys.cc: persist call outside ServicePublishLocked/CloseEpochLocked"
+    fail=1
+  fi
+done <<< "$outside"
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "epoch-discipline gate clean: epoch commit path persist-free, fences confined to the advancer"

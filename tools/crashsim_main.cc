@@ -15,7 +15,7 @@
 // class produces the same outcome (the soundness self-test).
 //
 // Usage:
-//   crashsim [--workloads=list,btree,art,kvstore,pmhash,import,mt] [--ops=N]
+//   crashsim [--workloads=list,btree,art,kvstore,pmhash,import,mt,epoch] [--ops=N]
 //            [--seed=N] [--max-states=N] [--subsets-per-epoch=N]
 //            [--evict-probability=P] [--rewrite-batch=N] [--scratch=DIR]
 //            [--prune=graph|none] [--verify-classes] [--json=FILE]
@@ -77,7 +77,7 @@ bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--workloads=list,btree,art,kvstore,pmhash,import,mt] [--ops=N]\n"
+               "usage: %s [--workloads=list,btree,art,kvstore,pmhash,import,mt,epoch] [--ops=N]\n"
                "          [--seed=N] [--max-states=N] [--subsets-per-epoch=N]\n"
                "          [--evict-probability=P] [--rewrite-batch=N] [--scratch=DIR]\n"
                "          [--prune=graph|none] [--verify-classes] [--json=FILE]\n"
