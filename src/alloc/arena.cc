@@ -1,0 +1,511 @@
+#include "src/alloc/arena.h"
+
+#include <algorithm>
+
+#include "src/common/align.h"
+#include "src/stats/stats.h"
+
+namespace puddles {
+
+void FormatArenaDirectory(ArenaDirectory* dir) {
+  dir->magic = ArenaDirectory::kMagic;
+  dir->reserved = 0;
+  for (auto& entry : dir->entries) {
+    entry.active = 0;
+    entry.slab_head = -1;
+  }
+}
+
+ArenaSlab* PuddleArena::FindSlab(int64_t slab_offset) {
+  for (auto& slab : slabs) {
+    if (slab.offset == slab_offset && !slab.retired) {
+      return &slab;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+inline void* SlotAddr(const PuddleArena* pa, const ArenaSlab* slab, int slot) {
+  return pa->heap_base + slab->offset + static_cast<int64_t>(sizeof(SlabHeader)) +
+         static_cast<int64_t>(slot) * kSlabSlotSizes[slab->class_index];
+}
+
+// Restores a popped slot without touching counters: shadow bit clear, object
+// magic clear, back on the free list.
+inline void RestoreSlot(PuddleArena* pa, ArenaSlab* slab, int slot, size_t* free_count) {
+  *static_cast<uint32_t*>(SlotAddr(pa, slab, slot)) = 0;  // ObjectHeader::magic
+  slab->shadow[slot / 64] &= ~(1ULL << (slot % 64));
+  slab->used--;
+  pa->free_lists[slab->class_index].push_back({slab, slot});
+  ++*free_count;
+}
+
+}  // namespace
+
+bool ThreadArena::TryAllocate(int class_index, AllocResult* out) {
+  for (auto& pa : puddles_) {
+    if (pa->dead) {
+      continue;
+    }
+    auto& list = pa->free_lists[class_index];
+    while (!list.empty()) {
+      PuddleArena::FreeSlot entry = list.back();
+      list.pop_back();
+      free_count_--;
+      if (entry.slab->retired) {
+        continue;  // Acquiring tx aborted or slab spilled; entry is stale.
+      }
+      entry.slab->shadow[entry.slot / 64] |= 1ULL << (entry.slot % 64);
+      entry.slab->used++;
+      out->pa = pa.get();
+      out->slab = entry.slab;
+      out->slot = entry.slot;
+      out->slot_offset = entry.slab->offset + static_cast<int64_t>(sizeof(SlabHeader)) +
+                         static_cast<int64_t>(entry.slot) *
+                             kSlabSlotSizes[entry.slab->class_index];
+      out->addr = pa->heap_base + out->slot_offset;
+      PUDDLES_COUNT(kArenaAlloc);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadArena::ReleaseSlot(PuddleArena* pa, ArenaSlab* slab, int slot) {
+  if ((slab->shadow[slot / 64] & (1ULL << (slot % 64))) == 0) {
+    return;  // Already free — a duplicate publish (double tx free) is inert.
+  }
+  // Dead slot: clearing the magic here (a plain volatile-speed store) is what
+  // keeps ForEachObject's magic check honest for arena slabs; the word is
+  // persisted later by the flush-back's logged occupancy write. A crash
+  // before then may resurrect the magic — recovery GC decides liveness by
+  // reachability, never by this word.
+  *static_cast<uint32_t*>(SlotAddr(pa, slab, slot)) = 0;
+  slab->shadow[slot / 64] &= ~(1ULL << (slot % 64));
+  slab->used--;
+  pa->free_lists[slab->class_index].push_back({slab, slot});
+  free_count_++;
+  if (free_count_ >= options_.flush_watermark) {
+    spill_hint_ = true;
+  }
+  PUDDLES_COUNT(kArenaFree);
+}
+
+bool ThreadArena::ResolveLocal(const void* header_addr, PuddleArena** pa_out,
+                               ArenaSlab** slab_out, int* slot_out) const {
+  const auto* addr = static_cast<const uint8_t*>(header_addr);
+  for (const auto& owned : puddles_) {
+    PuddleArena* pa = owned.get();
+    if (pa->dead || addr < pa->heap_base || addr >= pa->heap_base + pa->heap_size) {
+      continue;
+    }
+    // Unique puddle match: resolve here or not at all.
+    const int64_t header_off = addr - pa->heap_base;
+    ArenaSlab* slab =
+        pa->FindSlab(header_off & ~static_cast<int64_t>(kSlabBlockSize - 1));
+    if (slab == nullptr || slab->retired) {
+      return false;
+    }
+    const int64_t within =
+        header_off - slab->offset - static_cast<int64_t>(sizeof(SlabHeader));
+    const int64_t slot_size = static_cast<int64_t>(kSlabSlotSizes[slab->class_index]);
+    if (within < 0 || within % slot_size != 0) {
+      return false;
+    }
+    const int slot = static_cast<int>(within / slot_size);
+    if (slot >= slab->num_slots ||
+        (slab->shadow[slot / 64] & (1ULL << (slot % 64))) == 0) {
+      return false;
+    }
+    *pa_out = pa;
+    *slab_out = slab;
+    *slot_out = slot;
+    return true;
+  }
+  return false;
+}
+
+bool ThreadArena::OwnsLocally(const void* header_addr) const {
+  PuddleArena* pa;
+  ArenaSlab* slab;
+  int slot;
+  return ResolveLocal(header_addr, &pa, &slab, &slot);
+}
+
+bool ThreadArena::TryLocalFree(const void* header_addr, uint64_t epoch) {
+  PuddleArena* pa;
+  ArenaSlab* slab;
+  int slot;
+  if (!ResolveLocal(header_addr, &pa, &slab, &slot)) {
+    return false;
+  }
+  if (epoch != 0) {
+    AddPendingFree(pa, slab, slot, epoch);
+  } else {
+    ReleaseSlot(pa, slab, slot);
+  }
+  return true;
+}
+
+bool ThreadArena::NoteTxUse(void* tx) {
+  if (cur_tx_ == tx) {
+    return false;
+  }
+  // A different transaction identity with stale records means the previous
+  // transaction ended without running its hooks (possible only on abandoned
+  // test transactions); treat it as committed.
+  tx_pops_.clear();
+  tx_claims_.clear();
+  tx_acquires_.clear();
+  tx_spills_.clear();
+  cur_tx_ = tx;
+  return true;
+}
+
+void ThreadArena::RecordPop(PuddleArena* pa, ArenaSlab* slab, int slot) {
+  tx_pops_.push_back({pa, slab, slot});
+}
+
+void ThreadArena::RecordDirClaim(PuddleArena* pa) { tx_claims_.push_back(pa); }
+
+void ThreadArena::RecordSlabAcquired(PuddleArena* pa, ArenaSlab* slab,
+                                     int64_t prev_chain_head) {
+  tx_acquires_.push_back({pa, slab, prev_chain_head});
+}
+
+void ThreadArena::RecordSpill(PuddleArena* pa, ArenaSlab* slab,
+                              int64_t prev_chain_head) {
+  // The caller already released the slab persistently (staged in its tx).
+  // Volatile side: retire it now and scrub its free-list entries so the rest
+  // of the transaction cannot allocate from a slab that is leaving.
+  slab->retired = true;
+  auto& list = pa->free_lists[slab->class_index];
+  size_t removed = 0;
+  list.erase(std::remove_if(list.begin(), list.end(),
+                            [&](const PuddleArena::FreeSlot& e) {
+                              if (e.slab == slab) {
+                                ++removed;
+                                return true;
+                              }
+                              return false;
+                            }),
+             list.end());
+  free_count_ -= removed;
+  tx_spills_.push_back({pa, slab, prev_chain_head});
+}
+
+void ThreadArena::OnTxCommitted() {
+  tx_pops_.clear();
+  tx_claims_.clear();
+  tx_acquires_.clear();
+  tx_spills_.clear();
+  cur_tx_ = nullptr;
+}
+
+void ThreadArena::OnTxAborted() {
+  // The persistent side has already rolled back (refill/spill metadata was
+  // fully logged); mirror it in the volatile state, newest effect first.
+  for (auto it = tx_spills_.rbegin(); it != tx_spills_.rend(); ++it) {
+    // The slab is arena-owned again. Its entries were scrubbed at spill time
+    // (it was whole-empty), so rebuild them, and restore the chain head the
+    // persistent unlink rollback re-established.
+    it->slab->retired = false;
+    for (int slot = 0; slot < it->slab->num_slots; ++slot) {
+      it->pa->free_lists[it->slab->class_index].push_back({it->slab, slot});
+      free_count_++;
+    }
+    it->pa->chain_head = it->prev_chain_head;
+  }
+  for (auto it = tx_pops_.rbegin(); it != tx_pops_.rend(); ++it) {
+    if (it->slab->retired) {
+      continue;  // Slab acquisition also rolled back below; nothing to restore.
+    }
+    RestoreSlot(it->pa, it->slab, it->slot, &free_count_);
+  }
+  for (auto it = tx_acquires_.rbegin(); it != tx_acquires_.rend(); ++it) {
+    it->slab->retired = true;
+    it->pa->chain_head = it->prev_chain_head;
+  }
+  // Directory claims rolled back to active=0: the volatile PuddleArena must
+  // not keep writing through a slot it no longer owns.
+  for (auto it = tx_claims_.rbegin(); it != tx_claims_.rend(); ++it) {
+    (*it)->dead = true;
+  }
+  tx_pops_.clear();
+  tx_claims_.clear();
+  tx_acquires_.clear();
+  tx_spills_.clear();
+  cur_tx_ = nullptr;
+}
+
+void ThreadArena::AddPendingFree(PuddleArena* pa, ArenaSlab* slab, int slot,
+                                 uint64_t epoch) {
+  pending_.push_back({pa, slab, slot, epoch});
+}
+
+void ThreadArena::DrainPendingFrees(uint64_t retired_epoch) {
+  size_t kept = 0;
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    PendingFree& entry = pending_[i];
+    if (entry.slab->retired || entry.pa->dead) {
+      continue;  // The owning acquisition aborted; the slot never existed.
+    }
+    if (entry.epoch != 0 && entry.epoch > retired_epoch) {
+      pending_[kept++] = entry;
+      continue;
+    }
+    ReleaseSlot(entry.pa, entry.slab, entry.slot);
+  }
+  pending_.resize(kept);
+}
+
+bool ThreadArena::AcceptRemoteFree(const Uuid& uuid, uint16_t tag, int64_t slot_offset,
+                                   uint64_t epoch) {
+  for (auto& pa : puddles_) {
+    if (pa->dead || pa->tag() != tag || !(pa->uuid == uuid)) {
+      continue;
+    }
+    const int64_t slab_offset = static_cast<int64_t>(
+        AlignDown(static_cast<uint64_t>(slot_offset), kSlabBlockSize));
+    ArenaSlab* slab = pa->FindSlab(slab_offset);
+    if (slab == nullptr) {
+      return false;  // Spilled to global since the free was queued.
+    }
+    const int slot = static_cast<int>(
+        (slot_offset - slab_offset - static_cast<int64_t>(sizeof(SlabHeader))) /
+        kSlabSlotSizes[slab->class_index]);
+    if (epoch != 0) {
+      AddPendingFree(pa.get(), slab, slot, epoch);
+    } else {
+      ReleaseSlot(pa.get(), slab, slot);
+    }
+    return true;
+  }
+  return false;
+}
+
+PuddleArena* ThreadArena::FindPuddleArena(const Uuid& uuid) {
+  for (auto& pa : puddles_) {
+    if (!pa->dead && pa->uuid == uuid) {
+      return pa.get();
+    }
+  }
+  return nullptr;
+}
+
+PuddleArena* ThreadArena::AddPuddleArena(const Uuid& uuid, uint8_t* heap_base,
+                                         size_t heap_size, int dir_slot) {
+  puddles_.push_back(std::make_unique<PuddleArena>());
+  PuddleArena* pa = puddles_.back().get();
+  pa->uuid = uuid;
+  pa->heap_base = heap_base;
+  pa->heap_size = heap_size;
+  pa->dir_slot = dir_slot;
+  return pa;
+}
+
+std::vector<PuddleArena*> ThreadArena::LivePuddleArenas() {
+  std::vector<PuddleArena*> out;
+  for (auto& pa : puddles_) {
+    if (!pa->dead) {
+      out.push_back(pa.get());
+    }
+  }
+  return out;
+}
+
+ArenaSlab* ThreadArena::AddSlab(PuddleArena* pa, int64_t offset, int class_index,
+                                uint16_t num_slots, const uint64_t bitmap[2],
+                                uint16_t used, int64_t prev_chain_head) {
+  pa->slabs.push_back({});
+  ArenaSlab* slab = &pa->slabs.back();
+  slab->offset = offset;
+  slab->shadow[0] = bitmap[0];
+  slab->shadow[1] = bitmap[1];
+  slab->used = used;
+  slab->num_slots = num_slots;
+  slab->class_index = static_cast<uint8_t>(class_index);
+  for (int slot = 0; slot < num_slots; ++slot) {
+    if ((bitmap[slot / 64] & (1ULL << (slot % 64))) == 0) {
+      pa->free_lists[class_index].push_back({slab, slot});
+      free_count_++;
+    }
+  }
+  RecordSlabAcquired(pa, slab, prev_chain_head);
+  PUDDLES_COUNT(kArenaRefillSlabs);
+  return slab;
+}
+
+bool ThreadArena::HasFreeSlot(int class_index) const {
+  for (const auto& pa : puddles_) {
+    if (pa->dead) {
+      continue;
+    }
+    for (const auto& entry : pa->free_lists[class_index]) {
+      if (!entry.slab->retired) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void ThreadArena::DropPuddleArena(PuddleArena* pa) {
+  for (auto& list : pa->free_lists) {
+    free_count_ -= list.size();
+    list.clear();
+  }
+  for (auto& slab : pa->slabs) {
+    slab.retired = true;
+  }
+  pa->chain_head = -1;
+  pa->dead = true;
+}
+
+void ThreadArena::Adopt(ThreadArena&& other) {
+  for (auto& pa : other.puddles_) {
+    puddles_.push_back(std::move(pa));
+  }
+  other.puddles_.clear();
+  for (auto& pending : other.pending_) {
+    pending_.push_back(pending);
+  }
+  other.pending_.clear();
+  free_count_ += other.free_count_;
+  other.free_count_ = 0;
+  if (free_count_ >= options_.flush_watermark) {
+    spill_hint_ = true;
+  }
+}
+
+// ---- ArenaManager ----
+
+namespace {
+
+struct TlsEntry {
+  ArenaManager* key;
+  std::weak_ptr<ArenaManager> manager;
+  std::shared_ptr<ThreadArena> arena;
+};
+
+// Thread-exit handoff: when a thread dies, every arena it owns is handed to
+// its manager's orphan list (if the manager is still alive) so a surviving
+// thread can adopt and flush it.
+struct TlsArenaMap {
+  std::vector<TlsEntry> entries;
+  ~TlsArenaMap() {
+    for (auto& entry : entries) {
+      if (auto manager = entry.manager.lock()) {
+        manager->Orphan(std::move(entry.arena));
+      }
+    }
+  }
+};
+
+thread_local TlsArenaMap tls_arenas;
+
+}  // namespace
+
+ThreadArena* ArenaManager::Local() {
+  auto& entries = tls_arenas.entries;
+  for (size_t i = 0; i < entries.size();) {
+    auto locked = entries[i].manager.lock();
+    if (locked == nullptr) {
+      // Manager destroyed; its arenas are unreachable — drop the entry (the
+      // raw key may have been reallocated to a new manager).
+      entries.erase(entries.begin() + static_cast<ptrdiff_t>(i));
+      continue;
+    }
+    if (locked.get() == this) {
+      return entries[i].arena.get();
+    }
+    ++i;
+  }
+  auto arena = std::make_shared<ThreadArena>(options_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    registry_.push_back({arena, false});
+  }
+  entries.push_back({this, weak_from_this(), arena});
+  return arena.get();
+}
+
+void ArenaManager::PushRemoteFree(const Uuid& uuid, uint16_t tag, int64_t slot_offset,
+                                  uint64_t epoch) {
+  PUDDLES_COUNT(kArenaRemoteFree);
+  std::lock_guard<std::mutex> lock(mu_);
+  remote_.push_back({uuid, tag, slot_offset, epoch});
+}
+
+std::vector<ArenaManager::RemoteFree> ArenaManager::DrainRemoteInto(ThreadArena* ta) {
+  std::vector<RemoteFree> queued;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queued.swap(remote_);
+  }
+  std::vector<RemoteFree> unowned;
+  for (const RemoteFree& rf : queued) {
+    if (!ta->AcceptRemoteFree(rf.uuid, rf.tag, rf.slot_offset, rf.epoch)) {
+      unowned.push_back(rf);
+    }
+  }
+  return unowned;
+}
+
+void ArenaManager::Orphan(std::shared_ptr<ThreadArena> arena) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MarkOrphaned(arena.get());
+  if (arena->puddles_.empty() && arena->pending_.empty()) {
+    return;  // Nothing to hand over.
+  }
+  orphans_.push_back(std::move(arena));
+}
+
+void ArenaManager::AdoptOrphansInto(ThreadArena* ta) {
+  std::vector<std::shared_ptr<ThreadArena>> taken;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    taken.swap(orphans_);
+  }
+  for (auto& orphan : taken) {
+    PUDDLES_COUNT(kArenaOrphanAdopt);
+    ta->Adopt(std::move(*orphan));
+  }
+}
+
+bool ArenaManager::HasOtherLiveArenas(const ThreadArena* exclude) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& reg : registry_) {
+    if (reg.orphaned) {
+      continue;
+    }
+    auto locked = reg.arena.lock();
+    if (locked != nullptr && locked.get() != exclude) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t ArenaManager::orphan_count() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return orphans_.size();
+}
+
+size_t ArenaManager::queued_remote_frees() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return remote_.size();
+}
+
+void ArenaManager::MarkOrphaned(const ThreadArena* arena) {
+  for (auto& reg : registry_) {
+    auto locked = reg.arena.lock();
+    if (locked.get() == arena) {
+      reg.orphaned = true;
+    }
+  }
+}
+
+}  // namespace puddles

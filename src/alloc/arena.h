@@ -1,0 +1,322 @@
+// Per-thread slab arenas: lock-free small-object allocation with post-crash
+// GC recovery (docs/alloc.md; ROADMAP item 3).
+//
+// The global slab allocator undo-logs every metadata word and serializes all
+// threads behind the pool's allocation mutex. Arenas break both costs on the
+// hot path: each thread owns a set of slab pages whose occupancy lives in
+// VOLATILE shadow state (a DRAM bitmap per slab plus per-class free lists),
+// so arena malloc/free touch no lock, append no undo entry, and issue no
+// persistence call. Only the slow paths — batched refill from the shared
+// heap, spill/flush-back, cross-thread free handoff — take locks and run
+// under the allocator group protocol, fully logged.
+//
+// Persistence contract: while a slab is arena-owned (SlabHeader::arena_slot
+// != 0) its persistent bitmap/used are STALE. Crash-consistency comes from a
+// persistent per-thread arena directory (NVMMgr-style, one per puddle): every
+// arena-owned slab is chained from a directory entry via SlabHeader::
+// arena_next, so recovery can find every arena in O(threads) and reconstruct
+// true occupancy by walking roots through the pointer maps (Pool::
+// RecoverArenas) — frees of arena-owned objects therefore need no logging at
+// all.
+//
+// This header is allocator-layer only: volatile bookkeeping plus the
+// persistent directory layout. Orchestration (refill transactions, spill,
+// flush-back, GC) lives in Pool, which owns the Runtime/Transaction access.
+#ifndef SRC_ALLOC_ARENA_H_
+#define SRC_ALLOC_ARENA_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/alloc/slab.h"
+#include "src/common/status.h"
+#include "src/common/uuid.h"
+
+namespace puddles {
+
+// ---- Persistent arena directory (lives in ObjectHeap::Meta) ----
+
+// Directory slots per puddle. Arena tags are slot + 1, so they must fit the
+// 16-bit SlabHeader::arena_slot with 0 reserved for "global".
+inline constexpr size_t kMaxArenaSlots = 64;
+
+struct ArenaDirEntry {
+  uint64_t active;     // 0 = free slot; 1 = owned by a (possibly dead) arena.
+  int64_t slab_head;   // Heap offset of the first owned slab; -1 when none.
+};
+
+struct ArenaDirectory {
+  static constexpr uint64_t kMagic = 0x5044415245313644ULL;  // "PDARE16D"
+
+  uint64_t magic;
+  uint64_t reserved;
+  ArenaDirEntry entries[kMaxArenaSlots];
+};
+static_assert(sizeof(ArenaDirectory) == 16 + kMaxArenaSlots * sizeof(ArenaDirEntry),
+              "arena directory layout is persistent");
+
+void FormatArenaDirectory(ArenaDirectory* dir);
+
+// ---- Volatile per-thread state ----
+
+struct ArenaOptions {
+  // Slabs acquired per refill (adopt-partial first, then carve fresh).
+  int refill_slabs = 4;
+  // Free slots held across a thread's arenas before the next transactional
+  // slow path spills whole-empty slabs back to the shared heap.
+  size_t flush_watermark = 512;
+};
+
+// Volatile record of one arena-owned slab. Stable address (deque storage).
+struct ArenaSlab {
+  int64_t offset = -1;       // Heap offset of the slab block.
+  uint64_t shadow[2] = {};   // TRUE occupancy; the persistent bitmap is stale.
+  uint16_t used = 0;
+  uint16_t num_slots = 0;
+  uint8_t class_index = 0;
+  // Dropped from the arena: either its acquiring transaction aborted (the
+  // persistent side rolled back) or it was spilled/flushed to the global
+  // heap. Free-list entries pointing here are skipped and discarded lazily.
+  bool retired = false;
+};
+
+// One thread's slab holdings within one puddle, pinned to one directory slot.
+struct PuddleArena {
+  Uuid uuid;
+  uint8_t* heap_base = nullptr;
+  size_t heap_size = 0;  // Bounds the same-thread address probe.
+  int dir_slot = -1;  // 0-based; the persistent tag is dir_slot + 1.
+  // Volatile mirror of the directory entry's chain head.
+  int64_t chain_head = -1;
+  bool dead = false;  // Directory claim rolled back or released; skip.
+
+  std::deque<ArenaSlab> slabs;  // Stable ArenaSlab addresses.
+
+  struct FreeSlot {
+    ArenaSlab* slab;
+    int slot;
+  };
+  std::array<std::vector<FreeSlot>, kNumSlabClasses> free_lists;
+
+  uint16_t tag() const { return static_cast<uint16_t>(dir_slot + 1); }
+  ArenaSlab* FindSlab(int64_t slab_offset);
+};
+
+class ArenaManager;
+
+// All of one thread's arena state for one pool. Owned via shared_ptr: TLS
+// holds it while the thread lives, then hands it to the manager's orphan
+// list on thread exit so another thread can adopt and flush it.
+class ThreadArena {
+ public:
+  explicit ThreadArena(const ArenaOptions& options) : options_(options) {}
+  ThreadArena(const ThreadArena&) = delete;
+  ThreadArena& operator=(const ThreadArena&) = delete;
+
+  struct AllocResult {
+    PuddleArena* pa = nullptr;
+    ArenaSlab* slab = nullptr;
+    int slot = -1;
+    int64_t slot_offset = -1;  // Heap offset of the slot start.
+    void* addr = nullptr;      // slot start (the ObjectHeader position).
+  };
+
+  // FAST PATH (tools/check_alloc_discipline.sh): pops a free slot of
+  // `class_index` from any of this thread's arenas. No lock, no persistence
+  // call, no undo append. Returns false when every local free list is empty
+  // (caller refills under the pool's allocation lock and retries).
+  bool TryAllocate(int class_index, AllocResult* out);
+
+  // FAST PATH: returns a slot to its arena's free list. Clears the slot's
+  // object magic with a plain store (the slot is dead; the cleared word
+  // rides the next flush-back's logged occupancy write), clears the shadow
+  // bit, and raises the spill hint past the watermark. No lock, no
+  // persistence call, no undo append.
+  void ReleaseSlot(PuddleArena* pa, ArenaSlab* slab, int slot);
+
+  // FAST PATH: true when `header_addr` resolves to a live slot in one of
+  // this thread's own non-retired slabs. Lock-free by ownership: only the
+  // owning thread mutates its arenas while it is alive (spill, flush, and
+  // adoption all run on the owner; orphan handoff happens only after exit).
+  bool OwnsLocally(const void* header_addr) const;
+
+  // FAST PATH: OwnsLocally + the release itself — returns the slot to the
+  // local free list (or parks it epoch-pending when `epoch` != 0). Returns
+  // false when the address is not locally owned; the caller falls back to
+  // the locked cross-thread/global path.
+  bool TryLocalFree(const void* header_addr, uint64_t epoch);
+
+  // ---- Per-transaction tracking ----
+  // Hot-path effects are volatile, so transaction rollback cannot restore
+  // them; the pool registers commit/abort hooks that call back here. Returns
+  // true on the first use under `tx` (an opaque identity) — the caller must
+  // then register its hooks.
+  bool NoteTxUse(void* tx);
+
+  // Records a TryAllocate pop so OnTxAborted can restore it.
+  void RecordPop(PuddleArena* pa, ArenaSlab* slab, int slot);
+  // Records a directory slot claimed (active 0→1, logged) by the current
+  // transaction; abort marks the PuddleArena dead to mirror the rollback.
+  void RecordDirClaim(PuddleArena* pa);
+  // Records a slab acquired by refill under the current transaction;
+  // `prev_chain_head` is the chain head before the acquisition.
+  void RecordSlabAcquired(PuddleArena* pa, ArenaSlab* slab, int64_t prev_chain_head);
+  // Records a slab spilled back to the global heap under the current
+  // transaction (already marked retired; abort resurrects it and restores
+  // the chain head captured before the unlink).
+  void RecordSpill(PuddleArena* pa, ArenaSlab* slab, int64_t prev_chain_head);
+
+  void OnTxCommitted();
+  void OnTxAborted();
+
+  // ---- Epoch-gated reuse ----
+  // A slot freed under epoch durability may only re-enter a free list once
+  // its epoch has persistently retired: reusing it earlier would let the
+  // unlogged new contents corrupt the resurrected object if the crash rolls
+  // the freeing epoch back. `epoch` == 0 means immediately reusable.
+  void AddPendingFree(PuddleArena* pa, ArenaSlab* slab, int slot, uint64_t epoch);
+  // Releases every pending free whose epoch <= `retired_epoch`.
+  void DrainPendingFrees(uint64_t retired_epoch);
+  bool HasPendingFrees() const { return !pending_.empty(); }
+
+  // Accepts a free published by another thread for a slot this arena owns.
+  // Returns false when no live PuddleArena matches (the slab has since gone
+  // global; the caller falls back to a logged global free).
+  bool AcceptRemoteFree(const Uuid& uuid, uint16_t tag, int64_t slot_offset,
+                        uint64_t epoch);
+
+  // ---- Arena inventory (slow paths; caller holds the pool's alloc lock) ----
+  PuddleArena* FindPuddleArena(const Uuid& uuid);
+  PuddleArena* AddPuddleArena(const Uuid& uuid, uint8_t* heap_base, size_t heap_size,
+                              int dir_slot);
+  std::vector<PuddleArena*> LivePuddleArenas();
+  // Registers a freshly acquired slab: volatile record, free-list entries for
+  // every clear bit of `bitmap` (all clear for a carved slab), and the
+  // per-transaction acquire record. Counts kArenaRefillSlabs.
+  ArenaSlab* AddSlab(PuddleArena* pa, int64_t offset, int class_index,
+                     uint16_t num_slots, const uint64_t bitmap[2], uint16_t used,
+                     int64_t prev_chain_head);
+  // True when a live, non-retired free slot of `class_index` exists — lets
+  // refill skip acquisition when housekeeping alone replenished the lists.
+  bool HasFreeSlot(int class_index) const;
+  // Volatile teardown after a committed flush-back: retires every slab,
+  // scrubs the free lists, and marks the PuddleArena dead.
+  void DropPuddleArena(PuddleArena* pa);
+  // Moves every PuddleArena and pending free of `other` into this arena
+  // (thread-exit handoff; `other`'s dir slots stay claimed until flush).
+  void Adopt(ThreadArena&& other);
+
+  bool spill_hint() const { return spill_hint_; }
+  void clear_spill_hint() { spill_hint_ = false; }
+  size_t free_slot_count() const { return free_count_; }
+  const ArenaOptions& options() const { return options_; }
+
+ private:
+  friend class ArenaManager;
+
+  struct PopRecord {
+    PuddleArena* pa;
+    ArenaSlab* slab;
+    int slot;
+  };
+  struct AcquireRecord {
+    PuddleArena* pa;
+    ArenaSlab* slab;
+    int64_t prev_chain_head;
+  };
+  struct SpillRecord {
+    PuddleArena* pa;
+    ArenaSlab* slab;
+    int64_t prev_chain_head;
+  };
+  struct PendingFree {
+    PuddleArena* pa;
+    ArenaSlab* slab;
+    int slot;
+    uint64_t epoch;
+  };
+
+  // Shared resolver behind OwnsLocally/TryLocalFree: bounds-checks the
+  // address against each puddle's heap range (so an address in another
+  // puddle can never alias a slab record), then maps it to a live slot.
+  bool ResolveLocal(const void* header_addr, PuddleArena** pa_out,
+                    ArenaSlab** slab_out, int* slot_out) const;
+
+  ArenaOptions options_;
+  std::vector<std::unique_ptr<PuddleArena>> puddles_;
+  size_t free_count_ = 0;
+  bool spill_hint_ = false;
+
+  void* cur_tx_ = nullptr;
+  std::vector<PopRecord> tx_pops_;
+  std::vector<PuddleArena*> tx_claims_;
+  std::vector<AcquireRecord> tx_acquires_;
+  std::vector<SpillRecord> tx_spills_;
+  std::vector<PendingFree> pending_;
+};
+
+// Pool-scoped coordinator: hands each thread its ThreadArena, queues
+// cross-thread frees, and keeps orphaned arenas (exited threads) until a
+// live thread adopts them. The mutex guards only slow-path state — remote
+// queues, orphans, the registry — never the per-thread fast path.
+class ArenaManager : public std::enable_shared_from_this<ArenaManager> {
+ public:
+  explicit ArenaManager(const ArenaOptions& options) : options_(options) {}
+
+  const ArenaOptions& options() const { return options_; }
+
+  // This thread's arena for this manager, created on first use and
+  // registered with the thread-exit handoff hook.
+  ThreadArena* Local();
+
+  // Queues a free of an arena-owned slot for its owning thread to absorb on
+  // its next slow path. `tag` is the slab's persistent arena tag.
+  void PushRemoteFree(const Uuid& uuid, uint16_t tag, int64_t slot_offset,
+                      uint64_t epoch);
+
+  struct RemoteFree {
+    Uuid uuid;
+    uint16_t tag;
+    int64_t slot_offset;
+    uint64_t epoch;
+  };
+  // Delivers queued remote frees that `ta` owns; returns the ones nobody
+  // owns anymore (their slab went global — the caller must perform logged
+  // global frees for any whose object is still live).
+  std::vector<RemoteFree> DrainRemoteInto(ThreadArena* ta);
+
+  // Thread-exit handoff target (called from the TLS destructor).
+  void Orphan(std::shared_ptr<ThreadArena> arena);
+
+  // Moves every orphan's holdings into `ta`.
+  void AdoptOrphansInto(ThreadArena* ta);
+
+  // True when any thread other than `exclude` still holds a registered,
+  // non-orphaned arena — the guard that keeps RecoverArenas offline-only.
+  bool HasOtherLiveArenas(const ThreadArena* exclude);
+
+  size_t orphan_count();
+  size_t queued_remote_frees();
+
+ private:
+  ArenaOptions options_;
+  std::mutex mu_;
+  std::vector<RemoteFree> remote_;
+  std::vector<std::shared_ptr<ThreadArena>> orphans_;
+  struct Registered {
+    std::weak_ptr<ThreadArena> arena;
+    bool orphaned = false;
+  };
+  std::vector<Registered> registry_;
+
+  void MarkOrphaned(const ThreadArena* arena);
+};
+
+}  // namespace puddles
+
+#endif  // SRC_ALLOC_ARENA_H_

@@ -16,6 +16,7 @@ puddles::Status ObjectHeap::Format(void* meta, void* heap, size_t heap_size) {
   m->magic = kMetaMagic;
   m->heap_size = heap_size;
   SlabAllocator::FormatDirectory(&m->slab_dir);
+  FormatArenaDirectory(&m->arena_dir);
   return BuddyAllocator::Format(m + 1, heap, heap_size);
 }
 
@@ -88,10 +89,35 @@ bool ObjectHeap::IsLiveObject(const void* payload) const {
   return Slab().IsSlabBlock(slab_off);
 }
 
+uint16_t ObjectHeap::ArenaTagOf(const void* payload) const {
+  const auto* header = static_cast<const ObjectHeader*>(payload) - 1;
+  if (!InHeap(header)) {
+    return 0;
+  }
+  const int64_t header_off = OffsetOf(header);
+  if (buddy_.IsAllocatedStart(header_off)) {
+    return 0;  // Buddy-backed object (slab slots never start a block).
+  }
+  const int64_t slab_off =
+      static_cast<int64_t>(AlignDown(static_cast<uint64_t>(header_off), kSlabBlockSize));
+  if (!Slab().IsSlabBlock(slab_off)) {
+    return 0;
+  }
+  return reinterpret_cast<const SlabHeader*>(static_cast<uint8_t*>(buddy_.heap()) +
+                                             slab_off)
+      ->arena_slot;
+}
+
 puddles::Status ObjectHeap::Free(void* payload) {
   auto* header = static_cast<ObjectHeader*>(payload) - 1;
   if (!InHeap(header) || header->magic != kObjectMagic) {
     return FailedPreconditionError("free: not a live object");
+  }
+  if (ArenaTagOf(payload) != 0) {
+    // Checked before the magic-clear group: the arena slab's bitmap is stale,
+    // so a logged free here would corrupt it. The pool routes these through
+    // the owning thread's volatile free list instead.
+    return FailedPreconditionError("free: object belongs to a per-thread arena");
   }
   const int64_t offset = OffsetOf(header);
   // Own declare/publish/store group: the magic must be cleared before the

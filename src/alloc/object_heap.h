@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "src/alloc/arena.h"
 #include "src/alloc/buddy.h"
 #include "src/alloc/slab.h"
 #include "src/common/status.h"
@@ -80,6 +81,27 @@ class ObjectHeap {
   size_t heap_size() const { return buddy_.heap_size(); }
   void* heap_base() const { return buddy_.heap(); }
 
+  // ---- Per-thread arena support (src/alloc/arena.h, docs/alloc.md) ----
+
+  // The puddle's persistent arena directory (NVMMgr-style recovery root).
+  ArenaDirectory* arena_directory() const { return &meta_->arena_dir; }
+
+  // A slab-allocator view bound to this heap's current sink, for the arena
+  // refill/flush primitives (CarveArenaSlab & co).
+  SlabAllocator slab_view() const { return Slab(); }
+
+  // The arena tag (SlabHeader::arena_slot) of the slab holding `payload`, or
+  // 0 when the object is buddy-backed or its slab is globally owned. Arena
+  // frees must bypass Free() below — the slab's persistent bitmap is stale.
+  uint16_t ArenaTagOf(const void* payload) const;
+
+  int64_t OffsetOf(const void* addr) const {
+    return static_cast<const uint8_t*>(addr) - static_cast<uint8_t*>(buddy_.heap());
+  }
+  void* AtOffset(int64_t offset) const {
+    return static_cast<uint8_t*>(buddy_.heap()) + offset;
+  }
+
   puddles::Status Validate() const;
 
  private:
@@ -87,9 +109,10 @@ class ObjectHeap {
     uint64_t magic;
     uint64_t heap_size;
     SlabDirectory slab_dir;
+    ArenaDirectory arena_dir;
     // BuddyAllocator metadata follows.
   };
-  static constexpr uint64_t kMetaMagic = 0x5044484541503144ULL;  // "PDHEAP1D"
+  static constexpr uint64_t kMetaMagic = 0x5044484541503241ULL;  // "PDHEAP2A"
 
   ObjectHeap(Meta* meta, BuddyAllocator buddy, LogSink sink)
       : meta_(meta), buddy_(std::move(buddy)), sink_(sink) {
@@ -102,9 +125,6 @@ class ObjectHeap {
     return SlabAllocator(&meta_->slab_dir, const_cast<BuddyAllocator*>(&buddy_), sink_);
   }
 
-  int64_t OffsetOf(const void* addr) const {
-    return static_cast<const uint8_t*>(addr) - static_cast<uint8_t*>(buddy_.heap());
-  }
   bool InHeap(const void* addr) const {
     int64_t off = OffsetOf(addr);
     return off >= 0 && static_cast<size_t>(off) < buddy_.heap_size();

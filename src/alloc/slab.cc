@@ -153,6 +153,12 @@ puddles::Status SlabAllocator::Free(int64_t slot_offset) {
   if (slab->magic != kSlabMagic) {
     return FailedPreconditionError("slab free: offset not inside a slab");
   }
+  if (slab->arena_slot != 0) {
+    // Arena-owned slab: the persistent bitmap is stale shadow of the owning
+    // thread's volatile state — a logged bitmap free here would corrupt both
+    // views. Arena frees are volatile (docs/alloc.md); route through the pool.
+    return FailedPreconditionError("slab free: slot belongs to a per-thread arena");
+  }
   const int class_index = slab->class_index;
   const int64_t slot_area = slot_offset - slab_offset - static_cast<int64_t>(sizeof(SlabHeader));
   if (slot_area < 0 || slot_area % kSlabSlotSizes[class_index] != 0) {
@@ -200,6 +206,128 @@ puddles::Status SlabAllocator::Free(int64_t slot_offset) {
   return OkStatus();
 }
 
+puddles::Result<int64_t> SlabAllocator::CarveArenaSlab(int class_index, uint16_t arena_slot,
+                                                       int64_t arena_next) {
+  if (class_index < 0 || static_cast<size_t>(class_index) >= kNumSlabClasses) {
+    return InvalidArgumentError("arena carve: bad class index");
+  }
+  if (arena_slot == 0) {
+    return InvalidArgumentError("arena carve: arena tag must be nonzero");
+  }
+  ASSIGN_OR_RETURN(const int64_t slab_offset, buddy_->Allocate(kSlabBlockSize));
+  SlabHeader* slab = SlabAt(slab_offset);
+  // Fresh block: old bytes are dead, so the header write below is a declared
+  // range that commit persists as new contents rather than undo-capturing.
+  sink_.NoteFresh(slab, kSlabBlockSize);
+  PUDDLES_COUNT(kSlabCarve);
+
+  for (Phase phase : {Phase::kDeclare, Phase::kApply}) {
+    if (phase == Phase::kApply) {
+      sink_.Publish();
+    }
+    if (phase == Phase::kDeclare) {
+      sink_.WillWrite(slab, sizeof(SlabHeader));  // Elided: fresh block.
+    } else {
+      std::memset(slab, 0, sizeof(SlabHeader));
+      slab->magic = kSlabMagic;
+      slab->class_index = static_cast<uint16_t>(class_index);
+      slab->num_slots = static_cast<uint16_t>(SlotsPerSlab(class_index));
+      slab->arena_slot = arena_slot;
+      slab->next_partial = -1;
+      slab->prev_partial = -1;
+      slab->arena_next = arena_next;
+    }
+  }
+  return slab_offset;
+}
+
+puddles::Result<int64_t> SlabAllocator::AdoptPartialForArena(int class_index,
+                                                             uint16_t arena_slot,
+                                                             int64_t arena_next) {
+  if (class_index < 0 || static_cast<size_t>(class_index) >= kNumSlabClasses) {
+    return InvalidArgumentError("arena adopt: bad class index");
+  }
+  if (arena_slot == 0) {
+    return InvalidArgumentError("arena adopt: arena tag must be nonzero");
+  }
+  const int64_t slab_offset = dir_->partial_head[class_index];
+  if (slab_offset < 0) {
+    return static_cast<int64_t>(-1);
+  }
+  SlabHeader* slab = SlabAt(slab_offset);
+  if (slab->magic != kSlabMagic || slab->class_index != class_index) {
+    return DataLossError("arena adopt: partial head corrupt");
+  }
+
+  for (Phase phase : {Phase::kDeclare, Phase::kApply}) {
+    if (phase == Phase::kApply) {
+      sink_.Publish();
+    }
+    RemovePartial(class_index, slab_offset, phase);
+    if (phase == Phase::kDeclare) {
+      sink_.WillWrite(&slab->arena_slot, sizeof(slab->arena_slot));
+      sink_.WillWrite(&slab->next_partial, sizeof(int64_t) * 2);
+      sink_.WillWrite(&slab->arena_next, sizeof(slab->arena_next));
+    } else {
+      slab->arena_slot = arena_slot;
+      slab->next_partial = -1;
+      slab->prev_partial = -1;
+      slab->arena_next = arena_next;
+    }
+  }
+  return slab_offset;
+}
+
+puddles::Status SlabAllocator::ReleaseArenaSlab(int64_t slab_offset,
+                                                const uint64_t bitmap[2], uint16_t used) {
+  SlabHeader* slab = SlabAt(slab_offset);
+  if (slab->magic != kSlabMagic) {
+    return FailedPreconditionError("arena release: not a slab");
+  }
+  if (slab->arena_slot == 0) {
+    return FailedPreconditionError("arena release: slab not arena-owned");
+  }
+  const int class_index = slab->class_index;
+  const int popcount = __builtin_popcountll(bitmap[0]) + __builtin_popcountll(bitmap[1]);
+  if (popcount != used || used > slab->num_slots) {
+    return InvalidArgumentError("arena release: occupancy does not match bitmap");
+  }
+  const bool empties = used == 0;
+  const bool full = used == slab->num_slots;
+
+  for (Phase phase : {Phase::kDeclare, Phase::kApply}) {
+    if (phase == Phase::kApply) {
+      sink_.Publish();
+    }
+    if (phase == Phase::kDeclare) {
+      sink_.WillWrite(&slab->bitmap[0], sizeof(uint64_t) * 2);
+      sink_.WillWrite(&slab->used, sizeof(slab->used));
+      sink_.WillWrite(&slab->arena_slot, sizeof(slab->arena_slot));
+      sink_.WillWrite(&slab->arena_next, sizeof(slab->arena_next));
+    } else {
+      slab->bitmap[0] = bitmap[0];
+      slab->bitmap[1] = bitmap[1];
+      slab->used = used;
+      slab->arena_slot = 0;
+      slab->arena_next = 0;
+    }
+    if (empties) {
+      if (phase == Phase::kDeclare) {
+        sink_.WillWrite(&slab->magic, sizeof(slab->magic));
+      } else {
+        slab->magic = 0;
+      }
+    } else if (!full) {
+      PushPartial(class_index, slab_offset, phase);
+    }
+  }
+  if (empties) {
+    PUDDLES_COUNT(kSlabRetire);
+    return buddy_->Free(slab_offset);
+  }
+  return OkStatus();
+}
+
 bool SlabAllocator::IsSlabBlock(int64_t block_offset) const {
   if (buddy_->BlockSize(block_offset) != kSlabBlockSize) {
     return false;
@@ -211,8 +339,11 @@ void SlabAllocator::ForEachSlot(int64_t block_offset,
                                 const std::function<void(int64_t, size_t)>& fn) const {
   const SlabHeader* slab = SlabAt(block_offset);
   const size_t slot_size = kSlabSlotSizes[slab->class_index];
+  // Arena-owned slab: the persistent bitmap is stale, so every slot is a
+  // candidate and the caller's object-magic check decides liveness.
+  const bool enumerate_all = slab->arena_slot != 0;
   for (int slot = 0; slot < slab->num_slots; ++slot) {
-    if (slab->bitmap[slot / 64] & (1ULL << (slot % 64))) {
+    if (enumerate_all || (slab->bitmap[slot / 64] & (1ULL << (slot % 64)))) {
       fn(block_offset + static_cast<int64_t>(sizeof(SlabHeader)) +
              static_cast<int64_t>(slot) * static_cast<int64_t>(slot_size),
          slot_size);
@@ -234,6 +365,9 @@ puddles::Status SlabAllocator::Validate() const {
       const SlabHeader* slab = SlabAt(off);
       if (slab->magic != kSlabMagic || slab->class_index != cls) {
         return DataLossError("slab partial list node corrupt");
+      }
+      if (slab->arena_slot != 0) {
+        return DataLossError("arena-owned slab on global partial list");
       }
       if (slab->used >= slab->num_slots) {
         return DataLossError("full slab on partial list");

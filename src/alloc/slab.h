@@ -36,12 +36,20 @@ struct SlabHeader {
   uint16_t class_index;
   uint16_t num_slots;
   uint16_t used;
-  uint16_t reserved0;
+  // Arena ownership tag (docs/alloc.md): 0 = global slab (partial-list
+  // discipline, bitmap authoritative), else directory slot + 1 of the
+  // per-thread arena that owns the slab. While a slab is arena-owned, its
+  // bitmap and used count are STALE — the owning thread tracks occupancy in
+  // volatile shadow state and hot-path alloc/free never store here. Recovery
+  // reconstructs the bitmap by root reachability (GC) before untagging.
+  uint16_t arena_slot;
   uint32_t reserved1;
   int64_t next_partial;  // Heap offset of the next slab with free slots; -1.
   int64_t prev_partial;
   uint64_t bitmap[2];  // Bit i set = slot i allocated. ≤126 slots per slab.
-  uint64_t reserved2;
+  // Next slab in the owning arena's persistent chain (rooted at the arena
+  // directory entry); -1 terminates. Only meaningful when arena_slot != 0.
+  int64_t arena_next;
   uint64_t reserved3;
 };
 static_assert(sizeof(SlabHeader) == 64, "slab header must be exactly one cache line");
@@ -79,11 +87,43 @@ class SlabAllocator {
   bool IsSlabBlock(int64_t block_offset) const;
 
   // Invokes `fn(slot_offset, slot_size)` for every live slot in the slab at
-  // `block_offset`.
+  // `block_offset`. For an arena-owned slab the persistent bitmap is stale,
+  // so every slot is enumerated and the caller's object-magic check decides
+  // liveness (ObjectHeap::ForEachObject does exactly that).
   void ForEachSlot(int64_t block_offset, const std::function<void(int64_t, size_t)>& fn) const;
 
   // Cross-checks directory lists and slab bitmaps.
   puddles::Status Validate() const;
+
+  // ---- Per-thread arena refill/flush contract (docs/alloc.md) ----
+  //
+  // All three run under the allocator group protocol through the installed
+  // sink, so a transactional caller gets full undo coverage: a crash (or
+  // abort) mid-refill / mid-flush-back rolls the slab metadata back cleanly.
+
+  // Carves a fresh 4 KiB slab from the buddy for an arena: header formatted
+  // with an empty bitmap, tagged with `arena_slot` (directory slot + 1) and
+  // chained via `arena_next`, and NOT pushed onto the global partial list.
+  // Returns the slab's heap offset.
+  puddles::Result<int64_t> CarveArenaSlab(int class_index, uint16_t arena_slot,
+                                          int64_t arena_next);
+
+  // Pops the head of `class_index`'s global partial list and transfers it to
+  // an arena: tagged, chained, removed from the partial list; bitmap and used
+  // count keep describing the pre-existing live slots (the adopter seeds its
+  // shadow state from them). Returns the slab offset, or -1 when the partial
+  // list is empty.
+  puddles::Result<int64_t> AdoptPartialForArena(int class_index, uint16_t arena_slot,
+                                                int64_t arena_next);
+
+  // Returns an arena-owned slab to global ownership: persists the true
+  // occupancy (`bitmap`/`used`, from the owner's shadow state or from GC
+  // reachability), clears the arena tag and chain link, then re-enters the
+  // slab into the global discipline — partial list when partially full,
+  // nothing when full, retired to the buddy when empty. Used by flush-back
+  // and by post-crash GC recovery.
+  puddles::Status ReleaseArenaSlab(int64_t slab_offset, const uint64_t bitmap[2],
+                                   uint16_t used);
 
  private:
   uint8_t* heap() const { return static_cast<uint8_t*>(buddy_->heap()); }

@@ -881,6 +881,124 @@ class EpochCrashDriver : public PoolCrashDriver {
   puddles::Status worker_status_[kThreads];
 };
 
+// ---- Per-thread arena allocator with GC recovery ("allocgc") ----
+//
+// Drives the arena allocator through its crash-exposed windows: batched slab
+// refills (directory claim + chain-head moves), the free churn on the
+// lock-free local list, and full flush-backs that hand every slab to the
+// shared heap — every sixth op is a FlushThreadArena, so the immediately
+// following op re-claims the directory and refills, putting both the
+// mid-refill and the mid-flush-back persist sequences inside the traced
+// window over and over.
+//
+// Recovery runs the arena GC (Pool::RecoverArenas) with a differential
+// oracle: the reachable set (walked through the registered pointer maps)
+// must be byte-identical before and after GC — GC may only reclaim
+// unreachable slots, never touch a live object — and a second GC pass must
+// find nothing (idempotence). The fingerprint is the reachable signature,
+// so the membership oracle also proves no committed publication was lost.
+class AllocGcCrashDriver : public PoolCrashDriver {
+ public:
+  using PoolCrashDriver::PoolCrashDriver;
+
+ protected:
+  static constexpr int kSlots = 12;
+
+  // 256 bytes + 16-byte header = the 272-byte slab class (14 slots per
+  // slab): small slabs make refills frequent inside a short traced run.
+  struct GcObj {
+    uint64_t value;
+    uint64_t pad[31];
+  };
+  // The pointer array registers as one repeat region — the roots the GC
+  // walks.
+  struct GcRoot {
+    GcObj* slots[kSlots];
+  };
+
+  puddles::Status InitStructure() override {
+    (void)puddles::TypeRegistry::Instance().Register<GcRoot>(&GcRoot::slots);
+    RETURN_IF_ERROR(pool_->SetAllocMode(puddles::AllocMode::kArena,
+                                        {.refill_slabs = 1, .flush_watermark = 8}));
+    return pool_->Run([&](puddles::Tx& tx) -> puddles::Status {
+      ASSIGN_OR_RETURN(root_, tx.Alloc<GcRoot>());
+      for (auto& slot : root_->slots) {
+        slot = nullptr;
+      }
+      return pool_->SetRoot(root_);
+    });
+  }
+
+  puddles::Status AttachStructure() override {
+    (void)puddles::TypeRegistry::Instance().Register<GcRoot>(&GcRoot::slots);
+    ASSIGN_OR_RETURN(root_, pool_->Root<GcRoot>());
+    ASSIGN_OR_RETURN(std::string before, ReachableSignature());
+    ASSIGN_OR_RETURN(auto gc, pool_->RecoverArenas());
+    ASSIGN_OR_RETURN(std::string after, ReachableSignature());
+    if (before != after) {
+      return puddles::DataLossError("allocgc: GC changed the reachable set (pre=" +
+                                    before + " post=" + after + ")");
+    }
+    ASSIGN_OR_RETURN(auto again, pool_->RecoverArenas());
+    if (again.arenas_recovered != 0) {
+      return puddles::DataLossError("allocgc: arena GC is not idempotent");
+    }
+    return puddles::OkStatus();
+  }
+
+  void ReleaseStructure() override { root_ = nullptr; }
+
+  puddles::Status DoOp(int i) override {
+    if (i % 6 == 5) {
+      // Flush-back: every slab handed to the shared heap, directory entry
+      // cleared — the mid-flush crash window.
+      return pool_->FlushThreadArena();
+    }
+    const int slot = i % kSlots;
+    return pool_->Run([&](puddles::Tx& tx) -> puddles::Status {
+      // Transient pair: exercises the local free list (alloc + unlogged
+      // free in one transaction) without changing the reachable set.
+      ASSIGN_OR_RETURN(GcObj * scratch, tx.Alloc<GcObj>());
+      scratch->value = 0xA110C;
+      RETURN_IF_ERROR(tx.Free(scratch));
+      ASSIGN_OR_RETURN(GcObj * next, tx.Alloc<GcObj>());
+      next->value = 10'000 + static_cast<uint64_t>(i);
+      if (root_->slots[slot] != nullptr) {
+        RETURN_IF_ERROR(tx.Free(root_->slots[slot]));
+      }
+      RETURN_IF_ERROR(tx.LogRange(&root_->slots[slot], sizeof(GcObj*)));
+      root_->slots[slot] = next;
+      return puddles::OkStatus();
+    });
+  }
+
+  puddles::Result<std::string> ComputeFingerprint() override { return ReachableSignature(); }
+
+  puddles::Status ProbeOp() override {
+    return pool_->Run([&](puddles::Tx& tx) -> puddles::Status {
+      ASSIGN_OR_RETURN(GcObj * probe, tx.Alloc<GcObj>());
+      probe->value = 999'999'999;
+      return tx.Free(probe);
+    });
+  }
+
+ private:
+  // Reachable-object count plus the slot values in slot order: a function of
+  // the committed op prefix alone, whether the arena is live (traced run) or
+  // being recovered (post-crash), so it doubles as the membership oracle.
+  puddles::Result<std::string> ReachableSignature() {
+    ASSIGN_OR_RETURN(auto reachable, pool_->ReachableObjects());
+    std::ostringstream out;
+    out << "live=" << reachable.size();
+    for (int s = 0; s < kSlots; ++s) {
+      out << ";" << (root_->slots[s] == nullptr ? 0 : root_->slots[s]->value);
+    }
+    return out.str();
+  }
+
+  GcRoot* root_ = nullptr;
+};
+
 // ---- PersistentHashMap (src/pmhash) ----
 //
 // No daemon, no transactions: pmhash carries its own slot-level protocol
@@ -1344,11 +1462,14 @@ std::unique_ptr<WorkloadDriver> MakeDriver(const std::string& name,
   if (name == "epoch") {
     return std::make_unique<EpochCrashDriver>("epoch", options);
   }
+  if (name == "allocgc") {
+    return std::make_unique<AllocGcCrashDriver>("allocgc", options);
+  }
   return nullptr;
 }
 
 std::vector<std::string> DriverNames() {
-  return {"list", "btree", "art", "kvstore", "pmhash", "import", "mt", "epoch"};
+  return {"list", "btree", "art", "kvstore", "pmhash", "import", "mt", "epoch", "allocgc"};
 }
 
 }  // namespace crashsim

@@ -1,6 +1,11 @@
 #include "src/libpuddles/pool.h"
 
+#include <algorithm>
+#include <cstring>
+#include <unordered_set>
+
 #include "src/libpuddles/runtime.h"
+#include "src/libpuddles/type_registry.h"
 #include "src/pmem/flush.h"
 #include "src/pmem/global_space.h"
 #include "src/stats/stats.h"
@@ -69,6 +74,15 @@ puddles::Result<void*> Pool::MallocBytes(size_t size, TypeId type_id, Transactio
   if (!writable_) {
     return FailedPreconditionError("pool opened read-only");
   }
+  if (tx != nullptr && alloc_mode_ == AllocMode::kArena && size > 0 &&
+      size + sizeof(ObjectHeader) <= kMaxSlabSlot) {
+    auto served = ArenaMalloc(size, type_id, tx);
+    if (served.ok() || served.status().code() != StatusCode::kUnavailable) {
+      return served;
+    }
+    // Unavailable means the arena cannot serve even after refill (directory
+    // slots or slab space exhausted) — the global path below still can.
+  }
   std::lock_guard<std::mutex> lock(alloc_mu_);
   LogSink sink = TxSink(tx);
 
@@ -117,20 +131,63 @@ puddles::Status Pool::Free(void* payload, Transaction* tx) {
   }
   const Uuid uuid = entry->info.uuid;
 
+  if (arenas_ != nullptr) {
+    // FAST PATH: same-thread frees resolve against the calling thread's own
+    // arenas without any lock — only the owner mutates its arenas while it is
+    // alive (spill, flush, and adoption all run on the owner; orphan handoff
+    // happens only after thread exit), so the probe races with nothing.
+    const void* header_addr =
+        static_cast<const uint8_t*>(payload) - sizeof(ObjectHeader);
+    bool arena_owned = arenas_->Local()->OwnsLocally(header_addr);
+    if (!arena_owned) {
+      // Cross-thread or stale: fall back to the tagged-slab check under the
+      // allocation lock.
+      std::lock_guard<std::mutex> lock(alloc_mu_);
+      ASSIGN_OR_RETURN(ObjectHeap heap, entry->view.object_heap());
+      arena_owned = heap.ArenaTagOf(payload) != 0;
+    }
+    if (arena_owned) {
+      // Arena frees are unlogged by design (docs/alloc.md): the slab's
+      // persistent bitmap is stale, liveness is decided by reachability, so
+      // there is no metadata to undo-log. The volatile free-list push must
+      // still wait until the transaction can no longer roll back — hence the
+      // post-commit publication (which re-checks ownership; the slab may be
+      // flushed to the global heap in between).
+      if (tx != nullptr) {
+        tx->DeferPostCommit([this, payload]() { PublishArenaFree(payload); });
+        return OkStatus();
+      }
+      PublishArenaFree(payload);
+      return OkStatus();
+    }
+  }
+
   if (tx != nullptr) {
     // Deferred to commit: freed blocks must not be reused within this
     // transaction (rollback safety), and the allocator mutations become part
     // of the transaction's undo log.
-    Runtime* runtime = runtime_;
-    tx->DeferFree([runtime, uuid, payload, tx]() -> puddles::Status {
-      ASSIGN_OR_RETURN(Runtime::Entry * e, runtime->EnsureMapped(uuid));
+    Pool* pool = this;
+    tx->DeferFree([pool, uuid, payload, tx]() -> puddles::Status {
+      ASSIGN_OR_RETURN(Runtime::Entry * e, pool->runtime_->EnsureMapped(uuid));
+      std::lock_guard<std::mutex> lock(pool->alloc_mu_);
       ASSIGN_OR_RETURN(ObjectHeap heap, e->view.object_heap(TxSink(tx)));
+      if (pool->arenas_ != nullptr && heap.ArenaTagOf(payload) != 0) {
+        // The slab was adopted into an arena between Free() and commit:
+        // route through the arena publication once this commit succeeds.
+        tx->DeferPostCommit([pool, payload]() { pool->PublishArenaFree(payload); });
+        return puddles::OkStatus();
+      }
       return heap.Free(payload);
     });
     return OkStatus();
   }
 
   std::lock_guard<std::mutex> lock(alloc_mu_);
+  return FreeGlobalLocked(uuid, payload);
+}
+
+puddles::Status Pool::FreeGlobalLocked(const Uuid& uuid, void* payload) {
+  ASSIGN_OR_RETURN(Runtime::Entry * entry, runtime_->EnsureMapped(uuid));
   ASSIGN_OR_RETURN(ObjectHeap heap, entry->view.object_heap());
   RETURN_IF_ERROR(heap.Free(payload));
   pmem::FlushFence(reinterpret_cast<uint8_t*>(entry->view.header()) +
@@ -208,6 +265,541 @@ puddles::Result<Transaction*> Pool::BeginTx() {
     }
   }
   return Transaction::BeginWith(target);
+}
+
+// ---- Per-thread slab arenas (docs/alloc.md, DESIGN.md §14) ----
+
+puddles::Status Pool::SetAllocMode(AllocMode mode, const ArenaOptions& options) {
+  if (mode == AllocMode::kArena) {
+    if (!writable_) {
+      return FailedPreconditionError("read-only pool cannot enable arena allocation");
+    }
+    arena_options_ = options;
+    if (arenas_ == nullptr) {
+      arenas_ = std::make_shared<ArenaManager>(options);
+    }
+    alloc_mode_ = AllocMode::kArena;
+    return OkStatus();
+  }
+  alloc_mode_ = AllocMode::kGlobalLock;
+  if (arenas_ != nullptr) {
+    return FlushAllArenas();
+  }
+  return OkStatus();
+}
+
+uint64_t Pool::RetiredEpochForReuse() const {
+  EpochSys* es = runtime_->epoch_sys();
+  // With no epoch system every free is durable at commit: all tags mature.
+  return es == nullptr ? ~0ULL : es->retired_epoch();
+}
+
+uint64_t Pool::CurrentEpochTag() const {
+  if (durability_ != Durability::kEpoch) {
+    return 0;  // Immediate-mode commits are durable; the slot is reusable now.
+  }
+  EpochSys* es = runtime_->epoch_sys();
+  // The freeing transaction committed into some epoch <= the current one (the
+  // hook runs post-commit), so the current epoch is a conservative maturity
+  // bound: reuse waits at most one extra epoch, never too little.
+  return es == nullptr ? 0 : es->current_epoch();
+}
+
+void Pool::HookArenaTx(Transaction* tx, ThreadArena* ta) {
+  tx->DeferPostCommit([ta]() { ta->OnTxCommitted(); });
+  tx->DeferOnAbort([ta]() { ta->OnTxAborted(); });
+}
+
+// FAST PATH (tools/check_alloc_discipline.sh): no lock, no persistence call,
+// no undo append. The slot is fresh to this transaction — commit stage 1
+// flushes its contents, abort restores the shadow state via the arena hooks —
+// so the header stores below are plain stores.
+puddles::Result<void*> Pool::ArenaMalloc(size_t size, TypeId type_id, Transaction* tx) {
+  const size_t total = size + sizeof(ObjectHeader);
+  const int class_index = SlabAllocator::ClassForSize(total);
+  ThreadArena* ta = arenas_->Local();
+  if (ta->NoteTxUse(tx)) {
+    HookArenaTx(tx, ta);
+  }
+  ThreadArena::AllocResult res;
+  if (!ta->TryAllocate(class_index, &res)) {
+    RETURN_IF_ERROR(ArenaRefill(class_index, tx));
+    if (!ta->TryAllocate(class_index, &res)) {
+      return UnavailableError("arena has no free slot after refill");
+    }
+  }
+  ta->RecordPop(res.pa, res.slab, res.slot);
+  tx->NoteFreshRange(res.addr, total);
+  auto* header = static_cast<ObjectHeader*>(res.addr);
+  header->magic = kObjectMagic;
+  header->size = static_cast<uint32_t>(size);
+  header->type_id = type_id;
+  PUDDLES_COUNT_N(kAllocBytes, total);
+  if (ta->spill_hint()) {
+    RETURN_IF_ERROR(SpillExcess(tx));
+  }
+  return static_cast<void*>(header + 1);
+}
+
+puddles::Status Pool::ArenaRefill(int class_index, Transaction* tx) {
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  ThreadArena* ta = arenas_->Local();
+  arenas_->AdoptOrphansInto(ta);
+  RETURN_IF_ERROR(DrainArenaQueuesLocked(ta, tx));
+  if (ta->HasFreeSlot(class_index)) {
+    return OkStatus();  // Housekeeping alone replenished the class.
+  }
+  int acquired = 0;
+  for (size_t i = 0; i < data_members_.size() && acquired == 0; ++i) {
+    ASSIGN_OR_RETURN(acquired, AcquireIntoPuddle(ta, data_members_[i], class_index, tx));
+  }
+  if (acquired == 0) {
+    RETURN_IF_ERROR(AddDataPuddle());
+    ASSIGN_OR_RETURN(acquired,
+                     AcquireIntoPuddle(ta, data_members_.back(), class_index, tx));
+  }
+  if (acquired == 0) {
+    return UnavailableError("no arena capacity (directory or heap exhausted)");
+  }
+  return OkStatus();
+}
+
+puddles::Result<int> Pool::AcquireIntoPuddle(ThreadArena* ta, const Uuid& uuid,
+                                             int class_index, Transaction* tx) {
+  ASSIGN_OR_RETURN(Runtime::Entry * entry, runtime_->EnsureMapped(uuid));
+  LogSink sink = TxSink(tx);
+  ASSIGN_OR_RETURN(ObjectHeap heap, entry->view.object_heap(sink));
+  ArenaDirectory* dir = heap.arena_directory();
+  PuddleArena* pa = ta->FindPuddleArena(uuid);
+  if (pa == nullptr) {
+    int slot = -1;
+    for (size_t i = 0; i < kMaxArenaSlots; ++i) {
+      if (dir->entries[i].active == 0) {
+        slot = static_cast<int>(i);
+        break;
+      }
+    }
+    if (slot < 0) {
+      return 0;  // Directory full in this puddle; the caller tries the next.
+    }
+    // Logged claim (active 0→1, empty chain): abort rolls the entry back and
+    // the dir-claim record marks the volatile arena dead to match.
+    ArenaDirEntry* claim = &dir->entries[slot];
+    sink.WillWrite(claim, sizeof(*claim));
+    sink.Publish();
+    claim->active = 1;
+    claim->slab_head = -1;
+    pa = ta->AddPuddleArena(uuid, static_cast<uint8_t*>(heap.heap_base()),
+                            heap.heap_size(), slot);
+    ta->RecordDirClaim(pa);
+  }
+  SlabAllocator slab_alloc = heap.slab_view();
+  ArenaDirEntry* de = &dir->entries[pa->dir_slot];
+  int acquired = 0;
+  for (int n = 0; n < arena_options_.refill_slabs; ++n) {
+    const int64_t prev_head = pa->chain_head;
+    uint64_t bitmap[2] = {0, 0};
+    uint16_t used = 0;
+    ASSIGN_OR_RETURN(int64_t offset,
+                     slab_alloc.AdoptPartialForArena(class_index, pa->tag(), prev_head));
+    if (offset >= 0) {
+      const auto* adopted = reinterpret_cast<const SlabHeader*>(pa->heap_base + offset);
+      bitmap[0] = adopted->bitmap[0];
+      bitmap[1] = adopted->bitmap[1];
+      used = adopted->used;
+    } else {
+      auto carved = slab_alloc.CarveArenaSlab(class_index, pa->tag(), prev_head);
+      if (!carved.ok()) {
+        if (carved.status().code() == StatusCode::kOutOfMemory) {
+          break;
+        }
+        return carved.status();
+      }
+      offset = *carved;
+      // Zero every slot's object-magic word (plain stores inside the fresh
+      // block, flushed at commit): recycled heap bytes could alias the magic
+      // and surface ghost objects to the enumerate-all arena-slab walk.
+      const auto* carved_hdr = reinterpret_cast<const SlabHeader*>(pa->heap_base + offset);
+      for (uint16_t s = 0; s < carved_hdr->num_slots; ++s) {
+        *reinterpret_cast<uint32_t*>(pa->heap_base + offset +
+                                     static_cast<int64_t>(sizeof(SlabHeader)) +
+                                     static_cast<int64_t>(s) *
+                                         static_cast<int64_t>(kSlabSlotSizes[class_index])) = 0;
+      }
+    }
+    // The directory entry's chain head moves to the new slab (its arena_next
+    // already points at the previous head) — logged, so abort restores it.
+    sink.WillWrite(&de->slab_head, sizeof(de->slab_head));
+    sink.Publish();
+    de->slab_head = offset;
+    pa->chain_head = offset;
+    const auto* hdr = reinterpret_cast<const SlabHeader*>(pa->heap_base + offset);
+    ta->AddSlab(pa, offset, class_index, hdr->num_slots, bitmap, used, prev_head);
+    ++acquired;
+  }
+  return acquired;
+}
+
+puddles::Status Pool::DrainArenaQueuesLocked(ThreadArena* ta, Transaction* tx) {
+  const uint64_t retired = RetiredEpochForReuse();
+  ta->DrainPendingFrees(retired);
+  std::vector<ArenaManager::RemoteFree> unowned = arenas_->DrainRemoteInto(ta);
+  for (const auto& rf : unowned) {
+    if (rf.epoch != 0 && rf.epoch > retired) {
+      // The freeing epoch is not durable yet; keep it queued.
+      arenas_->PushRemoteFree(rf.uuid, rf.tag, rf.slot_offset, rf.epoch);
+      continue;
+    }
+    ASSIGN_OR_RETURN(Runtime::Entry * entry, runtime_->EnsureMapped(rf.uuid));
+    ASSIGN_OR_RETURN(ObjectHeap heap, entry->view.object_heap(TxSink(tx)));
+    void* payload =
+        static_cast<uint8_t*>(heap.AtOffset(rf.slot_offset)) + sizeof(ObjectHeader);
+    const uint16_t tag = heap.ArenaTagOf(payload);
+    if (tag != 0) {
+      // Another live thread owns the slab now (adopted after a flush);
+      // requeue under the current tag for that owner.
+      arenas_->PushRemoteFree(rf.uuid, tag, rf.slot_offset, rf.epoch);
+      continue;
+    }
+    if (heap.HeaderOf(payload) == nullptr) {
+      continue;  // The flush-back's occupancy write already freed it.
+    }
+    // The slab went global between free and drain: logged free, part of the
+    // caller's transaction.
+    RETURN_IF_ERROR(heap.Free(payload));
+  }
+  return OkStatus();
+}
+
+namespace {
+
+// Unlinks `target` from its arena chain with a logged predecessor (or
+// directory-head) write. The caller updates the volatile chain mirror.
+puddles::Status UnlinkArenaSlab(const ObjectHeap& heap, LogSink& sink,
+                                ArenaDirEntry* de, PuddleArena* pa, int64_t target) {
+  auto* base = static_cast<uint8_t*>(heap.heap_base());
+  auto* target_hdr = reinterpret_cast<SlabHeader*>(base + target);
+  const int64_t next = target_hdr->arena_next;
+  if (pa->chain_head == target) {
+    sink.WillWrite(&de->slab_head, sizeof(de->slab_head));
+    sink.Publish();
+    de->slab_head = next;
+    pa->chain_head = next;
+    return OkStatus();
+  }
+  int64_t cur = pa->chain_head;
+  while (cur >= 0) {
+    auto* hdr = reinterpret_cast<SlabHeader*>(base + cur);
+    if (hdr->arena_next == target) {
+      sink.WillWrite(&hdr->arena_next, sizeof(hdr->arena_next));
+      sink.Publish();
+      hdr->arena_next = next;
+      return OkStatus();
+    }
+    cur = hdr->arena_next;
+  }
+  return DataLossError("arena slab missing from its directory chain");
+}
+
+}  // namespace
+
+puddles::Status Pool::SpillExcess(Transaction* tx) {
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  ThreadArena* ta = arenas_->Local();
+  ta->clear_spill_hint();
+  ta->DrainPendingFrees(RetiredEpochForReuse());
+  LogSink sink = TxSink(tx);
+  const size_t floor = static_cast<size_t>(arena_options_.refill_slabs);
+  for (PuddleArena* pa : ta->LivePuddleArenas()) {
+    size_t live_slabs = 0;
+    for (const auto& slab : pa->slabs) {
+      if (!slab.retired) {
+        ++live_slabs;
+      }
+    }
+    if (live_slabs <= floor) {
+      continue;
+    }
+    ASSIGN_OR_RETURN(Runtime::Entry * entry, runtime_->EnsureMapped(pa->uuid));
+    ASSIGN_OR_RETURN(ObjectHeap heap, entry->view.object_heap(sink));
+    SlabAllocator slab_alloc = heap.slab_view();
+    ArenaDirEntry* de = &heap.arena_directory()->entries[pa->dir_slot];
+    // Only whole-empty slabs spill: they return to the buddy with no
+    // occupancy to reconcile, keeping the spill window in crashsim small.
+    for (auto& slab : pa->slabs) {
+      if (live_slabs <= floor) {
+        break;
+      }
+      if (slab.retired || slab.used != 0) {
+        continue;
+      }
+      const int64_t prev_head = pa->chain_head;
+      RETURN_IF_ERROR(UnlinkArenaSlab(heap, sink, de, pa, slab.offset));
+      const uint64_t empty[2] = {0, 0};
+      RETURN_IF_ERROR(slab_alloc.ReleaseArenaSlab(slab.offset, empty, 0));
+      ta->RecordSpill(pa, &slab, prev_head);
+      PUDDLES_COUNT(kArenaFlushSlabs);
+      --live_slabs;
+    }
+  }
+  return OkStatus();
+}
+
+void Pool::PublishArenaFree(void* payload) {
+  if (arenas_ != nullptr) {
+    // FAST PATH: if the slot still lives in one of THIS thread's slabs, the
+    // release is a volatile free-list push — no lock, no heap view, no
+    // persistence. Lock-free by ownership (see ThreadArena::TryLocalFree);
+    // the object size must be read before the release clears its magic.
+    uint8_t* header_addr = static_cast<uint8_t*>(payload) - sizeof(ObjectHeader);
+    const uint32_t size = reinterpret_cast<const ObjectHeader*>(header_addr)->size;
+    if (arenas_->Local()->TryLocalFree(header_addr, CurrentEpochTag())) {
+      PUDDLES_COUNT_N(kFreeBytes, sizeof(ObjectHeader) + size);
+      return;
+    }
+  }
+  Runtime::Entry* entry = runtime_->FindEntryByAddr(reinterpret_cast<uintptr_t>(payload));
+  if (entry == nullptr || !entry->mapped || arenas_ == nullptr) {
+    return;  // Unmapped since the free was issued; recovery GC reclaims it.
+  }
+  const Uuid uuid = entry->info.uuid;
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  auto heap_or = entry->view.object_heap();
+  if (!heap_or.ok()) {
+    return;
+  }
+  if (heap_or->ArenaTagOf(payload) == 0) {
+    // The slab was flushed to the global heap between free and publication:
+    // ordinary logged free. Failure means it is already gone — inert.
+    (void)FreeGlobalLocked(uuid, payload);
+    return;
+  }
+  const ObjectHeader* hdr = heap_or->HeaderOf(payload);
+  if (hdr == nullptr) {
+    return;  // Already freed (duplicate publication).
+  }
+  PUDDLES_COUNT_N(kFreeBytes, sizeof(ObjectHeader) + hdr->size);
+  const uint64_t epoch = CurrentEpochTag();
+  const int64_t slot_offset = heap_or->OffsetOf(hdr);
+  // Re-read the tag under the lock — flush/adopt transitions settle here.
+  const uint16_t tag = heap_or->ArenaTagOf(payload);
+  ThreadArena* ta = arenas_->Local();
+  if (!ta->AcceptRemoteFree(uuid, tag, slot_offset, epoch)) {
+    arenas_->PushRemoteFree(uuid, tag, slot_offset, epoch);
+  }
+  ta->DrainPendingFrees(RetiredEpochForReuse());
+}
+
+puddles::Status Pool::FlushThreadArena() {
+  if (arenas_ == nullptr) {
+    return OkStatus();
+  }
+  if (durability_ == Durability::kEpoch) {
+    Sync();  // Retire every open epoch so all pending frees mature below.
+  }
+  ThreadArena* ta = arenas_->Local();
+  std::vector<PuddleArena*> flushed;
+  puddles::Status status = Run([&](Tx& txh) -> puddles::Status {
+    Transaction* tx = txh.tx_;
+    LogSink sink = TxSink(tx);
+    std::lock_guard<std::mutex> lock(alloc_mu_);
+    RETURN_IF_ERROR(DrainArenaQueuesLocked(ta, tx));
+    for (PuddleArena* pa : ta->LivePuddleArenas()) {
+      ASSIGN_OR_RETURN(Runtime::Entry * entry, runtime_->EnsureMapped(pa->uuid));
+      ASSIGN_OR_RETURN(ObjectHeap heap, entry->view.object_heap(sink));
+      SlabAllocator slab_alloc = heap.slab_view();
+      for (auto& slab : pa->slabs) {
+        if (slab.retired) {
+          continue;
+        }
+        // The logged occupancy write makes the shadow bitmap authoritative
+        // persistently; free slots' cleared magic words need no extra logging
+        // because global slabs are enumerated by bitmap, never by magic.
+        RETURN_IF_ERROR(slab_alloc.ReleaseArenaSlab(slab.offset, slab.shadow, slab.used));
+        PUDDLES_COUNT(kArenaFlushSlabs);
+      }
+      ArenaDirEntry* de = &heap.arena_directory()->entries[pa->dir_slot];
+      sink.WillWrite(de, sizeof(*de));
+      sink.Publish();
+      de->active = 0;
+      de->slab_head = -1;
+      flushed.push_back(pa);
+    }
+    return puddles::OkStatus();
+  });
+  if (!status.ok()) {
+    return status;
+  }
+  // Volatile teardown strictly after commit success: on failure the rollback
+  // restored the persistent side and the untouched volatile state still
+  // matches it.
+  for (PuddleArena* pa : flushed) {
+    ta->DropPuddleArena(pa);
+  }
+  return OkStatus();
+}
+
+puddles::Status Pool::FlushAllArenas() {
+  if (arenas_ == nullptr) {
+    return OkStatus();
+  }
+  arenas_->AdoptOrphansInto(arenas_->Local());
+  return FlushThreadArena();
+}
+
+puddles::Result<std::vector<const void*>> Pool::ReachableObjects() {
+  std::vector<const void*> out;
+  if (!meta_.has_root()) {
+    return out;
+  }
+  ASSIGN_OR_RETURN(void* root, RootBytes());
+  std::vector<const void*> stack;
+  std::unordered_set<const void*> seen;
+  stack.push_back(root);
+  while (!stack.empty()) {
+    const void* payload = stack.back();
+    stack.pop_back();
+    if (payload == nullptr || !seen.insert(payload).second) {
+      continue;
+    }
+    Runtime::Entry* entry =
+        runtime_->FindEntryByAddr(reinterpret_cast<uintptr_t>(payload));
+    if (entry == nullptr || !entry->mapped) {
+      continue;
+    }
+    ASSIGN_OR_RETURN(ObjectHeap heap, entry->view.object_heap());
+    const ObjectHeader* header = heap.HeaderOf(payload);
+    if (header == nullptr) {
+      continue;  // Dangling edge (freed target); not reachable.
+    }
+    out.push_back(payload);
+    if (header->type_id == kRawBytesTypeId) {
+      continue;  // Raw byte buffers carry no pointers by contract.
+    }
+    auto map = TypeRegistry::Instance().Lookup(header->type_id);
+    if (!map.ok() || map->object_size == 0 ||
+        (map->num_fields == 0 && map->repeat_count == 0)) {
+      continue;
+    }
+    // Arrays of T stride by sizeof(T); same bounded walk as relocation.
+    const uint64_t count = header->size / map->object_size;
+    const auto* bytes = static_cast<const uint8_t*>(payload);
+    for (uint64_t element = 0; element < count; ++element) {
+      const uint8_t* element_bytes = bytes + element * map->object_size;
+      for (uint32_t field = 0; field < map->num_fields; ++field) {
+        if (map->field_offsets[field] + sizeof(uint64_t) > map->object_size) {
+          continue;
+        }
+        uint64_t target;
+        std::memcpy(&target, element_bytes + map->field_offsets[field], sizeof(target));
+        if (target != 0) {
+          stack.push_back(reinterpret_cast<const void*>(target));
+        }
+      }
+      if (map->repeat_count != 0 &&
+          map->repeat_offset +
+                  static_cast<uint64_t>(map->repeat_count) * sizeof(uint64_t) <=
+              map->object_size) {
+        for (uint32_t r = 0; r < map->repeat_count; ++r) {
+          uint64_t target;
+          std::memcpy(&target, element_bytes + map->repeat_offset + r * sizeof(uint64_t),
+                      sizeof(target));
+          if (target != 0) {
+            stack.push_back(reinterpret_cast<const void*>(target));
+          }
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+puddles::Result<Pool::ArenaRecoveryReport> Pool::RecoverArenas() {
+  if (!writable_) {
+    return FailedPreconditionError("read-only pool cannot recover arenas");
+  }
+  if (arenas_ != nullptr &&
+      (arenas_->HasOtherLiveArenas(nullptr) || arenas_->orphan_count() > 0)) {
+    return FailedPreconditionError(
+        "arena recovery is offline-only: flush live arenas first (FlushAllArenas)");
+  }
+  ArenaRecoveryReport report;
+  ASSIGN_OR_RETURN(std::vector<const void*> reachable, ReachableObjects());
+  report.objects_live = reachable.size();
+  for (const Uuid& uuid : data_members_) {
+    ASSIGN_OR_RETURN(Runtime::Entry * entry, runtime_->EnsureMapped(uuid));
+    for (size_t slot = 0; slot < kMaxArenaSlots; ++slot) {
+      {
+        ASSIGN_OR_RETURN(ObjectHeap peek, entry->view.object_heap());
+        if (peek.arena_directory()->entries[slot].active == 0) {
+          continue;
+        }
+      }
+      RETURN_IF_ERROR(RecoverArenaSlot(uuid, slot, reachable, &report));
+      ++report.arenas_recovered;
+    }
+  }
+  return report;
+}
+
+// One directory entry per transaction: a crash during recovery rolls the
+// half-recovered entry back, so re-running RecoverArenas is idempotent.
+puddles::Status Pool::RecoverArenaSlot(const Uuid& uuid, size_t slot,
+                                       const std::vector<const void*>& reachable,
+                                       ArenaRecoveryReport* report) {
+  return Run([&](Tx& txh) -> puddles::Status {
+    Transaction* tx = txh.tx_;
+    LogSink sink = TxSink(tx);
+    ASSIGN_OR_RETURN(Runtime::Entry * entry, runtime_->EnsureMapped(uuid));
+    ASSIGN_OR_RETURN(ObjectHeap heap, entry->view.object_heap(sink));
+    SlabAllocator slab_alloc = heap.slab_view();
+    ArenaDirEntry* de = &heap.arena_directory()->entries[slot];
+    int64_t cur = de->slab_head;
+    while (cur >= 0) {
+      auto* hdr = reinterpret_cast<SlabHeader*>(heap.AtOffset(cur));
+      if (hdr->magic != kSlabMagic ||
+          hdr->arena_slot != static_cast<uint16_t>(slot + 1)) {
+        return DataLossError("arena chain reaches a non-arena slab");
+      }
+      const int64_t next = hdr->arena_next;
+      const size_t slot_size = kSlabSlotSizes[hdr->class_index];
+      uint64_t bitmap[2] = {0, 0};
+      uint16_t used = 0;
+      for (uint16_t s = 0; s < hdr->num_slots; ++s) {
+        auto* obj = reinterpret_cast<ObjectHeader*>(
+            heap.AtOffset(cur + static_cast<int64_t>(sizeof(SlabHeader)) +
+                          static_cast<int64_t>(s) * static_cast<int64_t>(slot_size)));
+        if (obj->magic != kObjectMagic) {
+          continue;  // Never allocated, or freed with the clear persisted.
+        }
+        const void* payload = static_cast<const void*>(obj + 1);
+        if (std::binary_search(reachable.begin(), reachable.end(), payload)) {
+          bitmap[s / 64] |= 1ULL << (s % 64);
+          ++used;
+          continue;
+        }
+        // Leaked in-flight slot: allocated but never published (crash before
+        // its transaction's fresh flush), or freed with an unpersisted magic
+        // clear, or plain garbage aliasing the magic. Reclaim with a logged
+        // clear so a crash during GC replays to a consistent image.
+        sink.WillWrite(&obj->magic, sizeof(obj->magic));
+        sink.Publish();
+        obj->magic = 0;
+        ++report->slots_reclaimed;
+        PUDDLES_COUNT(kArenaGcReclaimed);
+      }
+      RETURN_IF_ERROR(slab_alloc.ReleaseArenaSlab(cur, bitmap, used));
+      ++report->slabs_scanned;
+      PUDDLES_COUNT(kArenaGcSlabs);
+      cur = next;
+    }
+    sink.WillWrite(de, sizeof(*de));
+    sink.Publish();
+    de->active = 0;
+    de->slab_head = -1;
+    return puddles::OkStatus();
+  });
 }
 
 }  // namespace puddles

@@ -9,12 +9,14 @@
 #ifndef SRC_LIBPUDDLES_POOL_H_
 #define SRC_LIBPUDDLES_POOL_H_
 
+#include <memory>
 #include <mutex>
 #include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "src/alloc/arena.h"
 #include "src/common/status.h"
 #include "src/common/type_name.h"
 #include "src/daemon/types.h"
@@ -39,6 +41,19 @@ enum class Durability {
   // on Pool::Sync(), or with RunOptions::sync. Recovery is all-or-nothing per
   // epoch: a crash mid-epoch rolls back every transaction in it.
   kEpoch,
+};
+
+// How small-object allocations are served (docs/alloc.md).
+enum class AllocMode {
+  // Every allocation runs under the pool's allocation mutex with fully
+  // undo-logged slab/buddy metadata. The default; matches pre-arena behavior.
+  kGlobalLock,
+  // Transactional small allocations (and their frees) go through the calling
+  // thread's slab arena: lock-free, no undo entries, no persistence calls on
+  // the hot path (CI-gated by tools/check_alloc_discipline.sh). Refill,
+  // spill, and flush-back remain fully logged slow paths. Large allocations
+  // and non-transactional calls still use the global path.
+  kArena,
 };
 
 // Per-Run knobs (the plain Run(fn) overload uses the defaults).
@@ -142,6 +157,47 @@ class Pool {
   // cached log puddle. The legacy TX_BEGIN entry point; Run builds on it.
   puddles::Result<Transaction*> BeginTx();
 
+  // ---- Per-thread slab arenas (docs/alloc.md, DESIGN.md §14) ----
+
+  // Switches the small-object allocation mode. Enabling kArena installs the
+  // pool's ArenaManager; switching back to kGlobalLock flushes the calling
+  // thread's arenas plus all orphans (other live threads must flush their
+  // own — switch during quiescent phases). Idempotent.
+  puddles::Status SetAllocMode(AllocMode mode, const ArenaOptions& options = {});
+  AllocMode alloc_mode() const { return alloc_mode_; }
+
+  // Flushes every arena owned by the calling thread back to the shared heap
+  // in its own transaction: persistent occupancy written from the shadow
+  // bitmaps, directory entries released. Under epoch durability it Syncs
+  // first so every pending free has matured. Must be called outside any
+  // open transaction.
+  puddles::Status FlushThreadArena();
+
+  // Adopts all orphaned arenas (exited threads) into the caller, then
+  // flushes. The clean-shutdown companion of RecoverArenas.
+  puddles::Status FlushAllArenas();
+
+  struct ArenaRecoveryReport {
+    size_t arenas_recovered = 0;  // Directory entries released.
+    size_t slabs_scanned = 0;
+    size_t slots_reclaimed = 0;   // Leaked in-flight blocks GC'd.
+    size_t objects_live = 0;      // Reachable set size.
+  };
+
+  // Post-crash arena GC: computes the reachable object set from the pool
+  // root through the registered pointer maps, then rebuilds every active
+  // directory entry's slabs from it — live slots keep their objects, leaked
+  // in-flight slots are reclaimed — and returns the slabs to the global
+  // allocator. Transactional per directory entry, so it is idempotent across
+  // a crash during recovery itself. Fails if any thread of this process
+  // still holds live arena state (recovery is offline-only).
+  puddles::Result<ArenaRecoveryReport> RecoverArenas();
+
+  // Payload addresses of every object reachable from the pool root via the
+  // type registry's pointer maps, sorted. The GC's view of liveness, exposed
+  // for tests and the crashsim differential oracle.
+  puddles::Result<std::vector<const void*>> ReachableObjects();
+
   // Number of member data puddles (diagnostics / tests).
   uint32_t member_count() const { return meta_.num_members(); }
 
@@ -154,6 +210,32 @@ class Pool {
 
   // Grows the pool by one data puddle.
   puddles::Status AddDataPuddle();
+
+  // ---- Arena plumbing (pool.cc; see docs/alloc.md for the contracts) ----
+  // Fast path: serves a small transactional allocation from the thread's
+  // arena. Returns kUnavailable when the arena cannot serve even after a
+  // refill (caller falls back to the global path).
+  puddles::Result<void*> ArenaMalloc(size_t size, TypeId type_id, Transaction* tx);
+  // Slow path: acquires slabs for `class_index` under alloc_mu_, fully
+  // logged into `tx`, after draining remote/pending/orphan housekeeping.
+  puddles::Status ArenaRefill(int class_index, Transaction* tx);
+  puddles::Result<int> AcquireIntoPuddle(ThreadArena* ta, const Uuid& uuid,
+                                         int class_index, Transaction* tx);
+  // Returns whole-empty slabs beyond the retention floor to the shared heap.
+  puddles::Status SpillExcess(Transaction* tx);
+  // Publishes a free of an arena-owned object once its transaction can no
+  // longer roll back (post-commit hook, or immediately outside transactions).
+  void PublishArenaFree(void* payload);
+  puddles::Status DrainArenaQueuesLocked(ThreadArena* ta, Transaction* tx);
+  puddles::Status FreeGlobalLocked(const Uuid& uuid, void* payload);
+  puddles::Status RecoverArenaSlot(const Uuid& uuid, size_t slot,
+                                   const std::vector<const void*>& reachable,
+                                   ArenaRecoveryReport* report);
+  void HookArenaTx(Transaction* tx, ThreadArena* ta);
+  // Epoch gate for slot reuse: pending frees mature once their epoch has
+  // persistently retired (everything matures when no epoch system runs).
+  uint64_t RetiredEpochForReuse() const;
+  uint64_t CurrentEpochTag() const;
 
   // True iff [addr, addr+size) lies inside a puddle this runtime has mapped
   // (any pool — cross-pool transactions are legal, §3.6). The typed Tx uses
@@ -173,6 +255,13 @@ class Pool {
   std::mutex alloc_mu_;
   std::vector<Uuid> data_members_;
   size_t alloc_cursor_ = 0;
+
+  AllocMode alloc_mode_ = AllocMode::kGlobalLock;
+  ArenaOptions arena_options_;
+  // Installed on first SetAllocMode(kArena); kept (for flush/adopt/free
+  // routing) even after switching back. shared_ptr so exiting threads can
+  // hand their arenas to the orphan list without racing pool teardown.
+  std::shared_ptr<ArenaManager> arenas_;
 };
 
 // The typed transaction context handed to Pool::Run callbacks — the only way

@@ -43,6 +43,14 @@ constexpr const char* kCounterNames[] = {
     "daemon_conn_accepted",
     "daemon_conn_closed",
     "daemon_accept_retry",
+    "arena_alloc",
+    "arena_free",
+    "arena_refill_slabs",
+    "arena_flush_slabs",
+    "arena_remote_free",
+    "arena_orphan_adopt",
+    "arena_gc_slabs",
+    "arena_gc_reclaimed",
 };
 static_assert(sizeof(kCounterNames) / sizeof(kCounterNames[0]) == kNumCounters,
               "counter name table out of sync with the Counter enum");

@@ -75,6 +75,15 @@ enum class Counter : uint32_t {
   kDaemonConnAccepted,  // Client connections admitted by the socket server.
   kDaemonConnClosed,    // Client connections torn down (any reason).
   kDaemonAcceptRetry,   // Transient accept failures survived (EMFILE etc.).
+  // Per-thread slab arenas (src/alloc/arena; docs/alloc.md).
+  kArenaAlloc,          // Slots handed out by the lock-free arena fast path.
+  kArenaFree,           // Slots returned to a local arena free list.
+  kArenaRefillSlabs,    // Slabs acquired from the shared heap by refills.
+  kArenaFlushSlabs,     // Slabs flushed back to the shared heap (spill/flush).
+  kArenaRemoteFree,     // Cross-thread frees absorbed by the owning arena.
+  kArenaOrphanAdopt,    // Dead threads' arenas adopted by a live thread.
+  kArenaGcSlabs,        // Arena slabs scanned by post-crash GC recovery.
+  kArenaGcReclaimed,    // Leaked in-flight slots reclaimed by GC.
   kNumCounters,       // Sentinel; keep last.
 };
 

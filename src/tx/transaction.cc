@@ -253,6 +253,14 @@ void Transaction::DeferFree(std::function<puddles::Status()> op) {
   deferred_frees_.push_back(std::move(op));
 }
 
+void Transaction::DeferPostCommit(std::function<void()> fn) {
+  post_commit_.push_back(std::move(fn));
+}
+
+void Transaction::DeferOnAbort(std::function<void()> fn) {
+  on_abort_.push_back(std::move(fn));
+}
+
 void Transaction::NoteFreshRange(void* addr, size_t size) {
   fresh_ranges_.emplace_back(addr, size);
 }
@@ -282,6 +290,21 @@ puddles::Status Transaction::Commit() {
     return OkStatus();
   }
   return CommitOutermost();
+}
+
+// Post-commit hooks run only once the outermost commit has fully succeeded:
+// they publish volatile effects (arena free-list pushes) that must not happen
+// while the transaction can still roll back. Captured at the success exits —
+// after the deferred frees have run, so hooks they register are included —
+// and dropped on failure (the caller's Abort() runs the on-abort hooks
+// instead).
+void Transaction::RunPostCommitHooks() {
+  std::vector<std::function<void()>> post_commit = std::move(post_commit_);
+  post_commit_.clear();
+  ResetState();
+  for (auto& fn : post_commit) {
+    fn();
+  }
 }
 
 puddles::Status Transaction::CommitOutermost() {
@@ -340,7 +363,7 @@ puddles::Status Transaction::CommitOutermost() {
         target_->release(chain_[i]);
       }
     }
-    ResetState();
+    RunPostCommitHooks();
     return OkStatus();
   }
 
@@ -385,7 +408,7 @@ puddles::Status Transaction::CommitOutermost() {
       target_->release(chain_[i]);
     }
   }
-  ResetState();
+  RunPostCommitHooks();
   return OkStatus();
 }
 
@@ -447,7 +470,7 @@ puddles::Status Transaction::CommitEpochMode() {
   }
   target_->epoch->StageDeferred(&batch_);
   target_->epoch->LeaveTx(chain_);
-  ResetState();
+  RunPostCommitHooks();
   return OkStatus();
 }
 
@@ -456,9 +479,21 @@ puddles::Status Transaction::Abort() {
     return FailedPreconditionError("no active transaction");
   }
   PUDDLES_COUNT(kTxAbort);
-  if (epoch_mode_) {
-    return AbortEpochMode();
+  // On-abort hooks run after the persistent rollback, so they can bring
+  // volatile bookkeeping (arena shadow state) back in line with the restored
+  // PM image.
+  std::vector<std::function<void()>> on_abort = std::move(on_abort_);
+  on_abort_.clear();
+  puddles::Status status = epoch_mode_ ? AbortEpochMode() : AbortImmediateMode();
+  if (status.ok()) {
+    for (auto& fn : on_abort) {
+      fn();
+    }
   }
+  return status;
+}
+
+puddles::Status Transaction::AbortImmediateMode() {
   // Roll back by applying undo entries newest-first; volatile entries are
   // included so DRAM state tracks the PM rollback (§4.1). Staged entries not
   // yet published are applied too — they live in the mapped log bytes, and
@@ -534,6 +569,8 @@ void Transaction::ResetState() {
   logged_undo_ranges_.clear();
   freed_ranges_.clear();
   deferred_frees_.clear();
+  post_commit_.clear();
+  on_abort_.clear();
   chain_.clear();
   target_ = nullptr;
   depth_ = 0;

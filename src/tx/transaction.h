@@ -130,6 +130,19 @@ class Transaction {
   // never resurrect an object whose bytes were recycled (DESIGN.md §3).
   void DeferFree(std::function<puddles::Status()> op);
 
+  // Registers a volatile side-effect to run once the outermost commit has
+  // fully succeeded (after the log is retired / handed to the epoch
+  // advancer). Used by the arena allocator to publish unlogged frees: the
+  // slot may only re-enter a free list when the freeing transaction can no
+  // longer roll back. Dropped if the commit fails (the subsequent Abort runs
+  // the on-abort hooks instead). The hook must not throw.
+  void DeferPostCommit(std::function<void()> fn);
+
+  // Registers a volatile side-effect to run after a successful Abort() has
+  // rolled back all persistent state — the hook restores volatile bookkeeping
+  // (arena shadow bitmaps, free lists) to match. The hook must not throw.
+  void DeferOnAbort(std::function<void()> fn);
+
   // Registers a freshly allocated payload range. Fresh objects need no undo
   // data (abort rolls the allocation itself back via the allocator-metadata
   // undo entries), but their contents are plain stores that nothing else
@@ -188,7 +201,9 @@ class Transaction {
   const uint8_t* EntryData(const EntryRef& ref) const;
   puddles::Status CommitOutermost();
   puddles::Status CommitEpochMode();
+  puddles::Status AbortImmediateMode();
   puddles::Status AbortEpochMode();
+  void RunPostCommitHooks();
   void PublishStagedEpoch();
   void RetireLog(LogRegion* head);
   void ResetState();
@@ -207,6 +222,8 @@ class Transaction {
   std::vector<std::pair<void*, size_t>> logged_undo_ranges_;
   std::vector<std::pair<const void*, size_t>> freed_ranges_;  // Rejected from logging.
   std::vector<std::function<puddles::Status()>> deferred_frees_;
+  std::vector<std::function<void()>> post_commit_;  // Run after commit success.
+  std::vector<std::function<void()>> on_abort_;     // Run after rollback.
   int depth_ = 0;
   uint64_t epoch_ = 0;
   // True while this outermost transaction runs under an EpochPort (the

@@ -151,6 +151,20 @@ TEST(CrashsimPruneBugFinding, BuddyCaptureElisionCaughtEqually) {
   ExpectPrunedMatchesBruteForce("art", driver_options);
 }
 
+// The PR 5 buddy capture-elision bug, re-opened against the arena refill
+// path: slab carves during ArenaRefill allocate whole blocks from the buddy,
+// so eliding the protective free-list capture corrupts crash states taken
+// mid-refill. Brute force must catch it (proving the new path still depends
+// on the capture), and pruned exploration must report the identical failure
+// set while exploring fewer states.
+TEST(CrashsimPruneBugFinding, BuddyCaptureElisionCaughtOnArenaRefill) {
+  BugHookGuard guard;
+  puddles::bug_hooks::buddy_skip_protective_capture = true;
+  DriverOptions driver_options;
+  driver_options.ops = 18;
+  ExpectPrunedMatchesBruteForce("allocgc", driver_options);
+}
+
 // ---- Pillar 3: differential state-class gate ----
 
 TEST(CrashsimPruneRatio, AggregateCollapseIsAtLeastFiveFold) {

@@ -111,6 +111,40 @@ TEST(CrashsimWorkloads, ArtRecoversFromEveryEnumeratedState) {
   EXPECT_GT(report->distinct_outcomes, 2u);
 }
 
+// Per-thread arena allocator with GC recovery ("allocgc", DESIGN.md §14):
+// batched slab refills, unlogged arena frees, and periodic full flush-backs,
+// crashed mid-refill and mid-flush-back. The acceptance bar for the arena
+// subsystem: ≥300 enumerated crash states, every one recovering through undo
+// replay + arena GC with zero failures, and the driver's differential oracle
+// (reachable set identical before and after GC, GC idempotent) holding in
+// every state.
+TEST(CrashsimWorkloads, AllocGcRecoversFromEveryEnumeratedState) {
+  ExpectFullRecovery(RunWorkload("allocgc", 18), 300);
+}
+
+// The same bar under persistence-graph pruning: the GC-recovery states the
+// pruner keeps must still all pass, with the enumerated set uncollapsed at
+// ≥300 so pruning is exercised against the full arena window.
+TEST(CrashsimWorkloads, AllocGcRecoversUnderGraphPruning) {
+  DriverOptions driver_options;
+  driver_options.ops = 18;
+  auto driver = MakeDriver("allocgc", driver_options);
+  ASSERT_NE(driver, nullptr);
+  HarnessOptions options;
+  options.prune = PruneMode::kGraph;
+  Harness harness(*driver, options);
+  auto report = harness.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GE(report->states_enumerated, 300u);
+  EXPECT_GT(report->states_explored, 0u);
+  EXPECT_LT(report->states_explored, report->states_enumerated);
+  EXPECT_EQ(report->recovery_failures, 0u);
+  for (const std::string& failure : report->failures) {
+    ADD_FAILURE() << report->workload << ": " << failure;
+  }
+  EXPECT_EQ(report->invariant_failures, 0u);
+}
+
 // Import/relocation path (§4.2, DESIGN.md §7): export → import with base
 // conflicts → streaming rewrite under the frontier/flag protocol, recovered
 // through the stock rewrite-on-map resume. The acceptance bar for the

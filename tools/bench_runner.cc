@@ -29,10 +29,17 @@
 // ns/op and fences/op per thread count — the record behind the fences/op < 1
 // group-commit CI gate (docs/epoch.md).
 //
+// With --alloc-bench it runs the allocator scaling bench
+// (bench/bench_alloc_scaling) as a subprocess, producing BENCH_alloc.json:
+// per-thread-arena vs. global-lock malloc/free ns and fences per pair at
+// 1-16 threads — the record behind the arena >= 4x-at-8-threads CI gate
+// (docs/alloc.md).
+//
 // Usage: bench_runner [--out=BENCH_commit.json]
 //                     [--crashsim-out=BENCH_crashsim.json] [--iters=N]
 //                     [--daemon-bench=PATH] [--daemon-out=BENCH_daemon.json]
 //                     [--epoch-bench=PATH] [--epoch-out=BENCH_epoch.json]
+//                     [--alloc-bench=PATH] [--alloc-out=BENCH_alloc.json]
 #include <unistd.h>
 
 #include <cinttypes>
@@ -398,6 +405,8 @@ int main(int argc, char** argv) {
   std::string daemon_out_path = "BENCH_daemon.json";
   std::string epoch_bench;  // Path to bench_fig12_scaling; empty = skip.
   std::string epoch_out_path = "BENCH_epoch.json";
+  std::string alloc_bench;  // Path to bench_alloc_scaling; empty = skip.
+  std::string alloc_out_path = "BENCH_alloc.json";
   uint64_t iters = bench::Scaled(20000);
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -413,13 +422,18 @@ int main(int argc, char** argv) {
       epoch_bench = arg.substr(14);
     } else if (arg.rfind("--epoch-out=", 0) == 0) {
       epoch_out_path = arg.substr(12);
+    } else if (arg.rfind("--alloc-bench=", 0) == 0) {
+      alloc_bench = arg.substr(14);
+    } else if (arg.rfind("--alloc-out=", 0) == 0) {
+      alloc_out_path = arg.substr(12);
     } else if (arg.rfind("--iters=", 0) == 0) {
       iters = std::strtoull(arg.c_str() + 8, nullptr, 10);
     } else {
       std::fprintf(stderr,
                    "usage: bench_runner [--out=FILE] [--crashsim-out=FILE] [--iters=N]\n"
                    "                    [--daemon-bench=PATH] [--daemon-out=FILE]\n"
-                   "                    [--epoch-bench=PATH] [--epoch-out=FILE]\n");
+                   "                    [--epoch-bench=PATH] [--epoch-out=FILE]\n"
+                   "                    [--alloc-bench=PATH] [--alloc-out=FILE]\n");
       return 2;
     }
   }
@@ -450,6 +464,16 @@ int main(int argc, char** argv) {
     const int rc = std::system(command.c_str());
     if (rc != 0) {
       std::fprintf(stderr, "epoch bench failed (%d): %s\n", rc, command.c_str());
+      return 1;
+    }
+  }
+  if (!alloc_bench.empty()) {
+    // The allocator bench maps its own pool and owns its arena lifecycle, so
+    // it runs as a subprocess as well.
+    const std::string command = "'" + alloc_bench + "' --out='" + alloc_out_path + "'";
+    const int rc = std::system(command.c_str());
+    if (rc != 0) {
+      std::fprintf(stderr, "alloc bench failed (%d): %s\n", rc, command.c_str());
       return 1;
     }
   }

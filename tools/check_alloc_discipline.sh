@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# CI gate for the arena allocator's fast-path discipline (docs/alloc.md,
+# DESIGN.md §14): the whole point of per-thread slab arenas is that the hot
+# malloc/free path takes NO lock, issues NO persistence, and writes NO undo
+# log — liveness is decided at recovery time by reachability, so there is no
+# metadata worth logging. Any of those sneaking back in silently erodes the
+# arena-vs-global-lock speedup (BENCH_alloc.json CI gate) without failing a
+# functional test. Two rules:
+#
+#   1. The fast-path functions must be lock-free, persist-free and
+#      undo-log-free:
+#        * ThreadArena::TryAllocate / ReleaseSlot / OwnsLocally /
+#          TryLocalFree (src/alloc/arena.cc) — the per-thread pop/push and
+#          the same-thread ownership probe behind Pool::Free;
+#        * Pool::ArenaMalloc (src/libpuddles/pool.cc) — the allocation entry
+#          point (its refill fallback ArenaRefill may lock and log; the
+#          fast path itself may not).
+#   2. src/alloc/arena.cc as a whole must contain no persistence calls: the
+#      slab shadow state is volatile by design, and the persistent bitmap is
+#      deliberately STALE while a slab is arena-owned.
+#
+# Comments are stripped before matching, same as check_persist_discipline.sh.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+strip_comments() {
+  sed -e 's://.*$::' -e 's:/\*.*\*/::g'
+}
+
+# Prints the body of the function whose definition line matches $2 in file
+# $1: from the signature to the first closing brace at column 0.
+extract_fn() {
+  awk -v sig="$2" '
+    index($0, sig) { in_fn = 1 }
+    in_fn { print }
+    in_fn && /^}/ { exit }
+  ' "$1"
+}
+
+persist_calls='pmem::(FlushFence|Flush|Fence|PersistStore64)\(|FlushPending\(\)'
+lock_calls='std::lock_guard|std::unique_lock|std::scoped_lock|std::mutex|\.lock\(\)|->lock\(\)'
+undo_calls='AddUndo|WillWrite\(|\.Publish\(\)|->Publish\(\)|PublishStaged'
+fail=0
+
+check_fn_clean() {
+  local file="$1" sig="$2" pattern="$3" what="$4"
+  local body
+  body=$(extract_fn "$file" "$sig")
+  if [ -z "$body" ]; then
+    echo "::error::$file: function '$sig' not found — update tools/check_alloc_discipline.sh"
+    fail=1
+    return
+  fi
+  if matches=$(printf '%s\n' "$body" | strip_comments | grep -nE "$pattern"); then
+    echo "$file: $sig"
+    echo "$matches"
+    echo "::error::$file: $what on the arena fast path ($sig) — the hot path must stay lock-free, persist-free and undo-log-free (docs/alloc.md)"
+    fail=1
+  fi
+}
+
+fast_path() {
+  local file="$1" sig="$2"
+  check_fn_clean "$file" "$sig" "$persist_calls" "persistence call"
+  check_fn_clean "$file" "$sig" "$lock_calls" "lock acquisition"
+  check_fn_clean "$file" "$sig" "$undo_calls" "undo-log write"
+}
+
+fast_path src/alloc/arena.cc 'ThreadArena::TryAllocate('
+fast_path src/alloc/arena.cc 'ThreadArena::ReleaseSlot('
+fast_path src/alloc/arena.cc 'ThreadArena::OwnsLocally('
+fast_path src/alloc/arena.cc 'ThreadArena::TryLocalFree('
+fast_path src/libpuddles/pool.cc 'Pool::ArenaMalloc('
+
+# Rule 2: the arena bookkeeping layer never persists anything itself.
+if matches=$(strip_comments < src/alloc/arena.cc | grep -nE "$persist_calls"); then
+  echo "src/alloc/arena.cc:"
+  echo "$matches"
+  echo "::error::src/alloc/arena.cc: persistence call in the volatile arena layer — slab shadow state is volatile by design (docs/alloc.md)"
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "alloc-discipline gate clean: arena fast path lock-free, persist-free, undo-log-free"
