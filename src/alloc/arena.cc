@@ -261,21 +261,40 @@ void ThreadArena::DrainPendingFrees(uint64_t retired_epoch) {
   pending_.resize(kept);
 }
 
-bool ThreadArena::AcceptRemoteFree(const Uuid& uuid, uint16_t tag, int64_t slot_offset,
-                                   uint64_t epoch) {
+bool ThreadArena::AcceptRemoteFree(const Uuid& uuid, uint16_t tag, uint64_t gen,
+                                   int64_t slot_offset, uint64_t epoch) {
   for (auto& pa : puddles_) {
     if (pa->dead || pa->tag() != tag || !(pa->uuid == uuid)) {
       continue;
     }
+    if (pa->claim_gen != gen) {
+      // The record was published under an earlier claim of this (uuid, tag):
+      // it must not touch the current claim's slabs. The caller's global-path
+      // recheck decides what the offset holds now.
+      return false;
+    }
+    // From here on the claim matches, so the record belongs to this arena.
+    // A record the current slab layout cannot resolve — slab gone, slot
+    // offset misaligned for the slab's class, slot index out of range — is a
+    // stale duplicate (the slot must have been freed already for its slab to
+    // have emptied and been re-carved within one claim): consume it inertly
+    // rather than let unvalidated arithmetic index past the shadow bitmap.
     const int64_t slab_offset = static_cast<int64_t>(
         AlignDown(static_cast<uint64_t>(slot_offset), kSlabBlockSize));
     ArenaSlab* slab = pa->FindSlab(slab_offset);
     if (slab == nullptr) {
-      return false;  // Spilled to global since the free was queued.
+      return true;
     }
-    const int slot = static_cast<int>(
-        (slot_offset - slab_offset - static_cast<int64_t>(sizeof(SlabHeader))) /
-        kSlabSlotSizes[slab->class_index]);
+    const int64_t within =
+        slot_offset - slab_offset - static_cast<int64_t>(sizeof(SlabHeader));
+    const int64_t slot_size = static_cast<int64_t>(kSlabSlotSizes[slab->class_index]);
+    if (within < 0 || within % slot_size != 0) {
+      return true;
+    }
+    const int slot = static_cast<int>(within / slot_size);
+    if (slot >= slab->num_slots) {
+      return true;
+    }
     if (epoch != 0) {
       AddPendingFree(pa.get(), slab, slot, epoch);
     } else {
@@ -436,7 +455,39 @@ void ArenaManager::PushRemoteFree(const Uuid& uuid, uint16_t tag, int64_t slot_o
                                   uint64_t epoch) {
   PUDDLES_COUNT(kArenaRemoteFree);
   std::lock_guard<std::mutex> lock(mu_);
-  remote_.push_back({uuid, tag, slot_offset, epoch});
+  remote_.push_back({uuid, tag, ClaimGenLocked(uuid, tag), slot_offset, epoch});
+}
+
+void ArenaManager::Requeue(const RemoteFree& rf) {
+  std::lock_guard<std::mutex> lock(mu_);
+  remote_.push_back(rf);
+}
+
+uint64_t ArenaManager::RegisterClaim(const Uuid& uuid, uint16_t tag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++next_gen_;
+  for (auto& claim : claims_) {
+    if (claim.tag == tag && claim.uuid == uuid) {
+      claim.gen = next_gen_;
+      return next_gen_;
+    }
+  }
+  claims_.push_back({uuid, tag, next_gen_});
+  return next_gen_;
+}
+
+uint64_t ArenaManager::ClaimGenOf(const Uuid& uuid, uint16_t tag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ClaimGenLocked(uuid, tag);
+}
+
+uint64_t ArenaManager::ClaimGenLocked(const Uuid& uuid, uint16_t tag) const {
+  for (const auto& claim : claims_) {
+    if (claim.tag == tag && claim.uuid == uuid) {
+      return claim.gen;
+    }
+  }
+  return 0;
 }
 
 std::vector<ArenaManager::RemoteFree> ArenaManager::DrainRemoteInto(ThreadArena* ta) {
@@ -447,7 +498,7 @@ std::vector<ArenaManager::RemoteFree> ArenaManager::DrainRemoteInto(ThreadArena*
   }
   std::vector<RemoteFree> unowned;
   for (const RemoteFree& rf : queued) {
-    if (!ta->AcceptRemoteFree(rf.uuid, rf.tag, rf.slot_offset, rf.epoch)) {
+    if (!ta->AcceptRemoteFree(rf.uuid, rf.tag, rf.gen, rf.slot_offset, rf.epoch)) {
       unowned.push_back(rf);
     }
   }

@@ -91,6 +91,12 @@ struct PuddleArena {
   uint8_t* heap_base = nullptr;
   size_t heap_size = 0;  // Bounds the same-thread address probe.
   int dir_slot = -1;  // 0-based; the persistent tag is dir_slot + 1.
+  // Generation of this directory claim (ArenaManager::RegisterClaim). A
+  // (uuid, tag) pair is recycled every time the slot is released and
+  // re-claimed; queued remote frees carry the generation they were published
+  // under so a record that outlives its claim is rejected instead of being
+  // applied to whatever slab the recycled tag owns now.
+  uint64_t claim_gen = 0;
   // Volatile mirror of the directory entry's chain head.
   int64_t chain_head = -1;
   bool dead = false;  // Directory claim rolled back or released; skip.
@@ -185,10 +191,16 @@ class ThreadArena {
   bool HasPendingFrees() const { return !pending_.empty(); }
 
   // Accepts a free published by another thread for a slot this arena owns.
-  // Returns false when no live PuddleArena matches (the slab has since gone
-  // global; the caller falls back to a logged global free).
-  bool AcceptRemoteFree(const Uuid& uuid, uint16_t tag, int64_t slot_offset,
-                        uint64_t epoch);
+  // Returns false when no live PuddleArena matches (uuid, tag, gen) — the
+  // slab has since gone global, or the claim was recycled; the caller falls
+  // back to a logged global free (which revalidates under the lock). When
+  // the claim matches, the slot offset is validated against the current slab
+  // (bounds + slot alignment) before any shadow state is touched; a record
+  // that fails validation under its own claim is provably stale (its slab
+  // was emptied and re-carved within the claim, which requires the free to
+  // have already been applied) and is consumed as an inert duplicate.
+  bool AcceptRemoteFree(const Uuid& uuid, uint16_t tag, uint64_t gen,
+                        int64_t slot_offset, uint64_t epoch);
 
   // ---- Arena inventory (slow paths; caller holds the pool's alloc lock) ----
   PuddleArena* FindPuddleArena(const Uuid& uuid);
@@ -275,16 +287,32 @@ class ArenaManager : public std::enable_shared_from_this<ArenaManager> {
   ThreadArena* Local();
 
   // Queues a free of an arena-owned slot for its owning thread to absorb on
-  // its next slow path. `tag` is the slab's persistent arena tag.
+  // its next slow path. `tag` is the slab's persistent arena tag; the record
+  // is stamped with the tag's current claim generation so it can never be
+  // applied through a later claim that recycled the same (uuid, tag).
   void PushRemoteFree(const Uuid& uuid, uint16_t tag, int64_t slot_offset,
                       uint64_t epoch);
 
   struct RemoteFree {
     Uuid uuid;
     uint16_t tag;
+    uint64_t gen;  // Claim generation at publication (0 = no claim known).
     int64_t slot_offset;
     uint64_t epoch;
   };
+
+  // Re-queues a drained record verbatim (generation preserved) — used when
+  // its epoch has not matured or its consuming transaction aborted.
+  void Requeue(const RemoteFree& rf);
+
+  // Registers a fresh claim of directory slot `tag - 1` in puddle `uuid` and
+  // returns its generation (monotonic, process-wide). Re-claiming a released
+  // (uuid, tag) bumps the generation, invalidating queued records that were
+  // published under the previous claim.
+  uint64_t RegisterClaim(const Uuid& uuid, uint16_t tag);
+
+  // Current generation of (uuid, tag), or 0 when it was never claimed.
+  uint64_t ClaimGenOf(const Uuid& uuid, uint16_t tag);
   // Delivers queued remote frees that `ta` owns; returns the ones nobody
   // owns anymore (their slab went global — the caller must perform logged
   // global frees for any whose object is still live).
@@ -313,7 +341,18 @@ class ArenaManager : public std::enable_shared_from_this<ArenaManager> {
     bool orphaned = false;
   };
   std::vector<Registered> registry_;
+  struct Claim {
+    Uuid uuid;
+    uint16_t tag;
+    uint64_t gen;
+  };
+  // One entry per (uuid, tag) ever claimed (≤ 64 per puddle); never erased,
+  // only bumped — a released claim keeps its last generation so stale queued
+  // records mismatch instead of matching a default.
+  std::vector<Claim> claims_;
+  uint64_t next_gen_ = 0;
 
+  uint64_t ClaimGenLocked(const Uuid& uuid, uint16_t tag) const;
   void MarkOrphaned(const ThreadArena* arena);
 };
 

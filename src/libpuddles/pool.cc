@@ -74,7 +74,7 @@ puddles::Result<void*> Pool::MallocBytes(size_t size, TypeId type_id, Transactio
   if (!writable_) {
     return FailedPreconditionError("pool opened read-only");
   }
-  if (tx != nullptr && alloc_mode_ == AllocMode::kArena && size > 0 &&
+  if (tx != nullptr && alloc_mode() == AllocMode::kArena && size > 0 &&
       size + sizeof(ObjectHeader) <= kMaxSlabSlot) {
     auto served = ArenaMalloc(size, type_id, tx);
     if (served.ok() || served.status().code() != StatusCode::kUnavailable) {
@@ -131,20 +131,29 @@ puddles::Status Pool::Free(void* payload, Transaction* tx) {
   }
   const Uuid uuid = entry->info.uuid;
 
-  if (arenas_ != nullptr) {
+  ArenaManager* arenas = arena_manager();
+  if (arenas != nullptr) {
     // FAST PATH: same-thread frees resolve against the calling thread's own
     // arenas without any lock — only the owner mutates its arenas while it is
     // alive (spill, flush, and adoption all run on the owner; orphan handoff
     // happens only after thread exit), so the probe races with nothing.
     const void* header_addr =
         static_cast<const uint8_t*>(payload) - sizeof(ObjectHeader);
-    bool arena_owned = arenas_->Local()->OwnsLocally(header_addr);
+    bool arena_owned = arenas->Local()->OwnsLocally(header_addr);
     if (!arena_owned) {
       // Cross-thread or stale: fall back to the tagged-slab check under the
       // allocation lock.
       std::lock_guard<std::mutex> lock(alloc_mu_);
       ASSIGN_OR_RETURN(ObjectHeap heap, entry->view.object_heap());
       arena_owned = heap.ArenaTagOf(payload) != 0;
+    }
+    if (arena_owned &&
+        reinterpret_cast<const ObjectHeader*>(header_addr)->magic != kObjectMagic) {
+      // Dead slot: its magic was cleared when the earlier free was applied.
+      // Same contract as the global path (ObjectHeap::Free), which rejects a
+      // duplicate free instead of silently corrupting whatever reuses the
+      // slot.
+      return FailedPreconditionError("free: arena object is not allocated (double free?)");
     }
     if (arena_owned) {
       // Arena frees are unlogged by design (docs/alloc.md): the slab's
@@ -274,15 +283,21 @@ puddles::Status Pool::SetAllocMode(AllocMode mode, const ArenaOptions& options) 
     if (!writable_) {
       return FailedPreconditionError("read-only pool cannot enable arena allocation");
     }
-    arena_options_ = options;
-    if (arenas_ == nullptr) {
-      arenas_ = std::make_shared<ArenaManager>(options);
+    {
+      // The manager installs exactly once, under the allocation lock; hot
+      // paths observe it through the arena_mgr_ atomic, never the shared_ptr.
+      std::lock_guard<std::mutex> lock(alloc_mu_);
+      arena_options_ = options;
+      if (arenas_ == nullptr) {
+        arenas_ = std::make_shared<ArenaManager>(options);
+        arena_mgr_.store(arenas_.get(), std::memory_order_release);
+      }
     }
-    alloc_mode_ = AllocMode::kArena;
+    alloc_mode_.store(AllocMode::kArena, std::memory_order_release);
     return OkStatus();
   }
-  alloc_mode_ = AllocMode::kGlobalLock;
-  if (arenas_ != nullptr) {
+  alloc_mode_.store(AllocMode::kGlobalLock, std::memory_order_release);
+  if (arena_manager() != nullptr) {
     return FlushAllArenas();
   }
   return OkStatus();
@@ -317,7 +332,7 @@ void Pool::HookArenaTx(Transaction* tx, ThreadArena* ta) {
 puddles::Result<void*> Pool::ArenaMalloc(size_t size, TypeId type_id, Transaction* tx) {
   const size_t total = size + sizeof(ObjectHeader);
   const int class_index = SlabAllocator::ClassForSize(total);
-  ThreadArena* ta = arenas_->Local();
+  ThreadArena* ta = arena_manager()->Local();
   if (ta->NoteTxUse(tx)) {
     HookArenaTx(tx, ta);
   }
@@ -391,6 +406,11 @@ puddles::Result<int> Pool::AcquireIntoPuddle(ThreadArena* ta, const Uuid& uuid,
     claim->slab_head = -1;
     pa = ta->AddPuddleArena(uuid, static_cast<uint8_t*>(heap.heap_base()),
                             heap.heap_size(), slot);
+    // Stamp the claim generation before any free of this claim can be
+    // published (we still hold alloc_mu_): queued records from an earlier
+    // claim of the same (uuid, tag) now mismatch instead of resolving
+    // against this claim's slabs.
+    pa->claim_gen = arenas_->RegisterClaim(uuid, pa->tag());
     ta->RecordDirClaim(pa);
   }
   SlabAllocator slab_alloc = heap.slab_view();
@@ -446,27 +466,62 @@ puddles::Status Pool::DrainArenaQueuesLocked(ThreadArena* ta, Transaction* tx) {
   std::vector<ArenaManager::RemoteFree> unowned = arenas_->DrainRemoteInto(ta);
   for (const auto& rf : unowned) {
     if (rf.epoch != 0 && rf.epoch > retired) {
-      // The freeing epoch is not durable yet; keep it queued.
-      arenas_->PushRemoteFree(rf.uuid, rf.tag, rf.slot_offset, rf.epoch);
+      // The freeing epoch is not durable yet; keep it queued verbatim
+      // (generation preserved — ownership resolves at the next mature drain).
+      arenas_->Requeue(rf);
       continue;
     }
     ASSIGN_OR_RETURN(Runtime::Entry * entry, runtime_->EnsureMapped(rf.uuid));
-    ASSIGN_OR_RETURN(ObjectHeap heap, entry->view.object_heap(TxSink(tx)));
+    ASSIGN_OR_RETURN(ObjectHeap heap, entry->view.object_heap());
     void* payload =
         static_cast<uint8_t*>(heap.AtOffset(rf.slot_offset)) + sizeof(ObjectHeader);
     const uint16_t tag = heap.ArenaTagOf(payload);
     if (tag != 0) {
       // Another live thread owns the slab now (adopted after a flush);
-      // requeue under the current tag for that owner.
+      // requeue under the current tag and its current claim generation.
       arenas_->PushRemoteFree(rf.uuid, tag, rf.slot_offset, rf.epoch);
       continue;
     }
     if (heap.HeaderOf(payload) == nullptr) {
       continue;  // The flush-back's occupancy write already freed it.
     }
-    // The slab went global between free and drain: logged free, part of the
-    // caller's transaction.
-    RETURN_IF_ERROR(heap.Free(payload));
+    if (tx == nullptr) {
+      RETURN_IF_ERROR(FreeGlobalLocked(rf.uuid, payload));
+      continue;
+    }
+    // The slab went global between free and drain. The record itself is a
+    // committed free — the object is garbage — but applying it with a logged
+    // heap.Free joins the CALLER's still-open transaction, so it must obey
+    // the same rules as Pool::Free: defer to commit head (the freed block
+    // must not be reused within this transaction, rollback safety), and
+    // because an abort rolls the free back after the queue record is gone,
+    // requeue the record on abort so the slot cannot leak.
+    auto consumed = std::make_shared<bool>(false);
+    Pool* pool = this;
+    tx->DeferFree([pool, rf, tx, consumed]() -> puddles::Status {
+      ASSIGN_OR_RETURN(Runtime::Entry * e, pool->runtime_->EnsureMapped(rf.uuid));
+      std::lock_guard<std::mutex> lock(pool->alloc_mu_);
+      ASSIGN_OR_RETURN(ObjectHeap h, e->view.object_heap(TxSink(tx)));
+      void* p =
+          static_cast<uint8_t*>(h.AtOffset(rf.slot_offset)) + sizeof(ObjectHeader);
+      const uint16_t now_tag = h.ArenaTagOf(p);
+      if (now_tag != 0) {
+        // Re-adopted between drain and commit: back to the owner's queue.
+        pool->arenas_->PushRemoteFree(rf.uuid, now_tag, rf.slot_offset, rf.epoch);
+        *consumed = true;
+        return puddles::OkStatus();
+      }
+      if (h.HeaderOf(p) == nullptr) {
+        *consumed = true;  // Freed by another path meanwhile; nothing to do.
+        return puddles::OkStatus();
+      }
+      return h.Free(p);
+    });
+    tx->DeferOnAbort([arenas = arenas_, rf, consumed]() {
+      if (!*consumed) {
+        arenas->Requeue(rf);
+      }
+    });
   }
   return OkStatus();
 }
@@ -522,7 +577,6 @@ puddles::Status Pool::SpillExcess(Transaction* tx) {
     }
     ASSIGN_OR_RETURN(Runtime::Entry * entry, runtime_->EnsureMapped(pa->uuid));
     ASSIGN_OR_RETURN(ObjectHeap heap, entry->view.object_heap(sink));
-    SlabAllocator slab_alloc = heap.slab_view();
     ArenaDirEntry* de = &heap.arena_directory()->entries[pa->dir_slot];
     // Only whole-empty slabs spill: they return to the buddy with no
     // occupancy to reconcile, keeping the spill window in crashsim small.
@@ -535,8 +589,24 @@ puddles::Status Pool::SpillExcess(Transaction* tx) {
       }
       const int64_t prev_head = pa->chain_head;
       RETURN_IF_ERROR(UnlinkArenaSlab(heap, sink, de, pa, slab.offset));
-      const uint64_t empty[2] = {0, 0};
-      RETURN_IF_ERROR(slab_alloc.ReleaseArenaSlab(slab.offset, empty, 0));
+      // The unlink is staged in the caller's transaction now, but the
+      // buddy release must NOT run here: SpillExcess is called from the
+      // arena hot path with the caller's transaction still open, and a
+      // block returned to the buddy before commit could be re-allocated by
+      // another thread (or this transaction's own refill) — an abort would
+      // then undo-restore the slab over the new owner. Deferring to commit
+      // head restores the same rule the global free path states: freed
+      // blocks are not reused within the freeing transaction.
+      const Uuid slab_uuid = pa->uuid;
+      const int64_t slab_offset = slab.offset;
+      Pool* pool = this;
+      tx->DeferFree([pool, slab_uuid, slab_offset, tx]() -> puddles::Status {
+        ASSIGN_OR_RETURN(Runtime::Entry * e, pool->runtime_->EnsureMapped(slab_uuid));
+        std::lock_guard<std::mutex> lock(pool->alloc_mu_);
+        ASSIGN_OR_RETURN(ObjectHeap h, e->view.object_heap(TxSink(tx)));
+        const uint64_t empty[2] = {0, 0};
+        return h.slab_view().ReleaseArenaSlab(slab_offset, empty, 0);
+      });
       ta->RecordSpill(pa, &slab, prev_head);
       PUDDLES_COUNT(kArenaFlushSlabs);
       --live_slabs;
@@ -546,20 +616,21 @@ puddles::Status Pool::SpillExcess(Transaction* tx) {
 }
 
 void Pool::PublishArenaFree(void* payload) {
-  if (arenas_ != nullptr) {
+  ArenaManager* arenas = arena_manager();
+  if (arenas != nullptr) {
     // FAST PATH: if the slot still lives in one of THIS thread's slabs, the
     // release is a volatile free-list push — no lock, no heap view, no
     // persistence. Lock-free by ownership (see ThreadArena::TryLocalFree);
     // the object size must be read before the release clears its magic.
     uint8_t* header_addr = static_cast<uint8_t*>(payload) - sizeof(ObjectHeader);
     const uint32_t size = reinterpret_cast<const ObjectHeader*>(header_addr)->size;
-    if (arenas_->Local()->TryLocalFree(header_addr, CurrentEpochTag())) {
+    if (arenas->Local()->TryLocalFree(header_addr, CurrentEpochTag())) {
       PUDDLES_COUNT_N(kFreeBytes, sizeof(ObjectHeader) + size);
       return;
     }
   }
   Runtime::Entry* entry = runtime_->FindEntryByAddr(reinterpret_cast<uintptr_t>(payload));
-  if (entry == nullptr || !entry->mapped || arenas_ == nullptr) {
+  if (entry == nullptr || !entry->mapped || arenas == nullptr) {
     return;  // Unmapped since the free was issued; recovery GC reclaims it.
   }
   const Uuid uuid = entry->info.uuid;
@@ -581,23 +652,27 @@ void Pool::PublishArenaFree(void* payload) {
   PUDDLES_COUNT_N(kFreeBytes, sizeof(ObjectHeader) + hdr->size);
   const uint64_t epoch = CurrentEpochTag();
   const int64_t slot_offset = heap_or->OffsetOf(hdr);
-  // Re-read the tag under the lock — flush/adopt transitions settle here.
+  // Re-read the tag under the lock — flush/adopt transitions settle here —
+  // and bind the free to the tag's current claim generation, so it can never
+  // be applied through a later claim that recycles the same (uuid, tag).
   const uint16_t tag = heap_or->ArenaTagOf(payload);
-  ThreadArena* ta = arenas_->Local();
-  if (!ta->AcceptRemoteFree(uuid, tag, slot_offset, epoch)) {
-    arenas_->PushRemoteFree(uuid, tag, slot_offset, epoch);
+  ThreadArena* ta = arenas->Local();
+  if (!ta->AcceptRemoteFree(uuid, tag, arenas->ClaimGenOf(uuid, tag), slot_offset,
+                            epoch)) {
+    arenas->PushRemoteFree(uuid, tag, slot_offset, epoch);
   }
   ta->DrainPendingFrees(RetiredEpochForReuse());
 }
 
 puddles::Status Pool::FlushThreadArena() {
-  if (arenas_ == nullptr) {
+  ArenaManager* arenas = arena_manager();
+  if (arenas == nullptr) {
     return OkStatus();
   }
   if (durability_ == Durability::kEpoch) {
     Sync();  // Retire every open epoch so all pending frees mature below.
   }
-  ThreadArena* ta = arenas_->Local();
+  ThreadArena* ta = arenas->Local();
   std::vector<PuddleArena*> flushed;
   puddles::Status status = Run([&](Tx& txh) -> puddles::Status {
     Transaction* tx = txh.tx_;
@@ -640,10 +715,11 @@ puddles::Status Pool::FlushThreadArena() {
 }
 
 puddles::Status Pool::FlushAllArenas() {
-  if (arenas_ == nullptr) {
+  ArenaManager* arenas = arena_manager();
+  if (arenas == nullptr) {
     return OkStatus();
   }
-  arenas_->AdoptOrphansInto(arenas_->Local());
+  arenas->AdoptOrphansInto(arenas->Local());
   return FlushThreadArena();
 }
 
@@ -719,8 +795,9 @@ puddles::Result<Pool::ArenaRecoveryReport> Pool::RecoverArenas() {
   if (!writable_) {
     return FailedPreconditionError("read-only pool cannot recover arenas");
   }
-  if (arenas_ != nullptr &&
-      (arenas_->HasOtherLiveArenas(nullptr) || arenas_->orphan_count() > 0)) {
+  ArenaManager* arenas = arena_manager();
+  if (arenas != nullptr &&
+      (arenas->HasOtherLiveArenas(nullptr) || arenas->orphan_count() > 0)) {
     return FailedPreconditionError(
         "arena recovery is offline-only: flush live arenas first (FlushAllArenas)");
   }

@@ -9,6 +9,7 @@
 #ifndef SRC_LIBPUDDLES_POOL_H_
 #define SRC_LIBPUDDLES_POOL_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -162,9 +163,14 @@ class Pool {
   // Switches the small-object allocation mode. Enabling kArena installs the
   // pool's ArenaManager; switching back to kGlobalLock flushes the calling
   // thread's arenas plus all orphans (other live threads must flush their
-  // own — switch during quiescent phases). Idempotent.
+  // own — switch during quiescent phases). Idempotent. The switch itself is
+  // safe against concurrent allocators (the mode and manager pointer are
+  // atomics; in-flight operations finish under whichever mode they sampled),
+  // but the flush-back semantics above still require quiescence.
   puddles::Status SetAllocMode(AllocMode mode, const ArenaOptions& options = {});
-  AllocMode alloc_mode() const { return alloc_mode_; }
+  AllocMode alloc_mode() const {
+    return alloc_mode_.load(std::memory_order_acquire);
+  }
 
   // Flushes every arena owned by the calling thread back to the shared heap
   // in its own transaction: persistent occupancy written from the shadow
@@ -256,12 +262,21 @@ class Pool {
   std::vector<Uuid> data_members_;
   size_t alloc_cursor_ = 0;
 
-  AllocMode alloc_mode_ = AllocMode::kGlobalLock;
+  // Read lock-free on every MallocBytes/Free; written by SetAllocMode, so it
+  // must be atomic even though mode switches are rare.
+  std::atomic<AllocMode> alloc_mode_{AllocMode::kGlobalLock};
   ArenaOptions arena_options_;
   // Installed on first SetAllocMode(kArena); kept (for flush/adopt/free
   // routing) even after switching back. shared_ptr so exiting threads can
   // hand their arenas to the orphan list without racing pool teardown.
+  // Written only under alloc_mu_; the hot paths read through arena_mgr_
+  // (write-once atomic mirror) so they never race the install.
   std::shared_ptr<ArenaManager> arenas_;
+  std::atomic<ArenaManager*> arena_mgr_{nullptr};
+
+  ArenaManager* arena_manager() const {
+    return arena_mgr_.load(std::memory_order_acquire);
+  }
 };
 
 // The typed transaction context handed to Pool::Run callbacks — the only way

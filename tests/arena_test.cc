@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/alloc/arena.h"
 #include "src/daemon/client.h"
 #include "src/daemon/daemon.h"
 #include "src/libpuddles/libpuddles.h"
@@ -520,6 +521,220 @@ TEST_F(ArenaTest, ArenaMatchesGlobalLockSemantics) {
   const size_t global_count = run_workload("diff_global", false, &global_values);
   EXPECT_EQ(arena_count, global_count);
   EXPECT_EQ(arena_values, global_values);
+}
+
+// A second free of an arena-owned slot whose first free has already been
+// applied (magic cleared at publication) must fail like the global path's
+// double-free check, not silently queue a release against whatever occupies
+// the slot next.
+TEST_F(ArenaTest, DoubleFreeOfArenaObjectRejected) {
+  InitRoot();
+  ASSERT_TRUE(pool_->SetAllocMode(AllocMode::kArena, {.refill_slabs = 1}).ok());
+
+  Node* node = nullptr;
+  ASSERT_TRUE(pool_->Run([&](Tx& tx) -> puddles::Status {
+    ASSIGN_OR_RETURN(node, tx.Alloc<Node>());
+    node->value = 11;
+    return OkStatus();
+  }).ok());
+  ASSERT_TRUE(pool_->Run([&](Tx& tx) -> puddles::Status {
+    return tx.Free(node);
+  }).ok());
+
+  // The first free's publication ran post-commit: the slot is dead but still
+  // in an arena-owned slab, so the stale pointer resolves through the locked
+  // tag check and must be rejected there.
+  puddles::Status dup = pool_->Run([&](Tx& tx) -> puddles::Status {
+    return tx.Free(node);
+  });
+  EXPECT_EQ(dup.code(), StatusCode::kFailedPrecondition) << dup.ToString();
+
+  // The rejection left the arena untouched: the slot is still on the free
+  // list exactly once, so reuse works and the pool flushes clean.
+  ASSERT_TRUE(pool_->Run([&](Tx& tx) -> puddles::Status {
+    ASSIGN_OR_RETURN(Node * n, tx.Alloc<Node>());
+    n->value = 12;
+    return tx.Free(n);
+  }).ok());
+  ASSERT_TRUE(pool_->FlushAllArenas().ok());
+}
+
+// Builds a two-slab 64-byte-class arena with every slot free and the spill
+// hint raised: the next small allocation's slow path will try to spill the
+// whole-empty slab back to the buddy.
+class ArenaSpillTest : public ArenaTest {
+ protected:
+  void PrimeSpill(ArenaRoot* root) {
+    (void)root;
+    ASSERT_TRUE(pool_
+                    ->SetAllocMode(AllocMode::kArena,
+                                   {.refill_slabs = 1, .flush_watermark = 64})
+                    .ok());
+    // 70 Nodes overflow one 63-slot slab, forcing a second refill.
+    nodes_.resize(70);
+    ASSERT_TRUE(pool_->Run([&](Tx& tx) -> puddles::Status {
+      for (auto& n : nodes_) {
+        ASSIGN_OR_RETURN(n, tx.Alloc<Node>());
+        n->value = 1;
+      }
+      return OkStatus();
+    }).ok());
+    // Freeing everything publishes 70 releases post-commit: both slabs end
+    // whole-empty and the free count crosses the watermark.
+    ASSERT_TRUE(pool_->Run([&](Tx& tx) -> puddles::Status {
+      for (Node* n : nodes_) {
+        RETURN_IF_ERROR(tx.Free(n));
+      }
+      return OkStatus();
+    }).ok());
+  }
+
+  std::vector<Node*> nodes_;
+};
+
+// Committed spill: the chain unlink is staged in the triggering transaction
+// and the buddy release runs at its commit head, so after commit the slab is
+// global again and the pool flushes and recovers clean.
+TEST_F(ArenaSpillTest, SpillCommitsBuddyReleaseAtCommitHead) {
+  ArenaRoot* root = InitRoot();
+  PrimeSpill(root);
+
+  const stats::Snapshot before = stats::Aggregate();
+  ASSERT_TRUE(pool_->Run([&](Tx& tx) -> puddles::Status {
+    ASSIGN_OR_RETURN(Node * n, tx.Alloc<Node>());
+    n->value = 77;
+    RETURN_IF_ERROR(tx.LogRange(&root->slots[0], sizeof(Node*)));
+    root->slots[0] = n;
+    return OkStatus();
+  }).ok());
+  const stats::Snapshot delta = stats::Delta(stats::Aggregate(), before);
+  EXPECT_GE(delta.counters[static_cast<size_t>(stats::Counter::kArenaFlushSlabs)], 1u);
+
+  EXPECT_EQ(root->slots[0]->value, 77u);
+  ASSERT_TRUE(pool_->FlushAllArenas().ok());
+  ReopenWithoutFlush();
+  auto report = pool_->RecoverArenas();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->arenas_recovered, 0u);
+  EXPECT_EQ(ReachableCount(), 1u + 1u);
+}
+
+// Aborted spill: the deferred buddy release never runs, the persistent
+// unlink rolls back with the transaction, and the abort hook resurrects the
+// slab with its free list rebuilt — so re-allocating both slabs' worth of
+// slots needs no fresh refill and the heap stays consistent.
+TEST_F(ArenaSpillTest, AbortedSpillResurrectsSlabWithoutBuddyRelease) {
+  ArenaRoot* root = InitRoot();
+  PrimeSpill(root);
+  const size_t baseline = ReachableCount();
+
+  puddles::Status aborted = pool_->Run([&](Tx& tx) -> puddles::Status {
+    ASSIGN_OR_RETURN(Node * n, tx.Alloc<Node>());
+    n->value = 88;
+    return InternalError("deliberate abort");
+  });
+  ASSERT_FALSE(aborted.ok());
+  EXPECT_EQ(ReachableCount(), baseline);
+
+  // Both slabs (126 slots) must still be arena-owned and fully free: if the
+  // spill had leaked — buddy release applied under an aborted unlink, or
+  // free-list entries lost — this would either refill or corrupt.
+  const stats::Snapshot before = stats::Aggregate();
+  ASSERT_TRUE(pool_->Run([&](Tx& tx) -> puddles::Status {
+    for (int i = 0; i < 70; ++i) {
+      ASSIGN_OR_RETURN(Node * n, tx.Alloc<Node>());
+      n->value = 100 + i;
+      if (i == 0) {
+        RETURN_IF_ERROR(tx.LogRange(&root->slots[0], sizeof(Node*)));
+        root->slots[0] = n;
+      } else {
+        RETURN_IF_ERROR(tx.Free(n));
+      }
+    }
+    return OkStatus();
+  }).ok());
+  const stats::Snapshot delta = stats::Delta(stats::Aggregate(), before);
+  EXPECT_EQ(delta.counters[static_cast<size_t>(stats::Counter::kArenaRefillSlabs)], 0u);
+
+  ASSERT_TRUE(pool_->FlushAllArenas().ok());
+  ReopenWithoutFlush();
+  auto report = pool_->RecoverArenas();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->arenas_recovered, 0u);
+  EXPECT_EQ(ReachableCount(), baseline + 1);
+  EXPECT_EQ(root->slots[0]->value, 100u);
+}
+
+// Unit-level check of the remote-free validation added for recycled-claim
+// safety: a record must be dropped on generation mismatch, consumed inertly
+// when its offset cannot resolve in the current slab layout, and applied
+// only when generation, bounds, and slot alignment all line up.
+TEST(ArenaRemoteFreeValidation, GenerationAndBoundsGateShadowWrites) {
+  ThreadArena ta{ArenaOptions{}};
+  std::vector<uint8_t> heap(kSlabBlockSize, 0);
+  const Uuid uuid{1, 2};
+  PuddleArena* pa = ta.AddPuddleArena(uuid, heap.data(), heap.size(), /*dir_slot=*/0);
+  pa->claim_gen = 7;
+
+  // One slab of the largest class (272 bytes → 14 slots) with slot 3 live.
+  const int class_index = static_cast<int>(kNumSlabClasses) - 1;
+  const int64_t slot_size = static_cast<int64_t>(kSlabSlotSizes[class_index]);
+  const uint16_t num_slots =
+      static_cast<uint16_t>((kSlabBlockSize - sizeof(SlabHeader)) / slot_size);
+  const uint64_t bitmap[2] = {1ULL << 3, 0};
+  ArenaSlab* slab = ta.AddSlab(pa, /*offset=*/0, class_index, num_slots, bitmap,
+                               /*used=*/1, /*prev_chain_head=*/-1);
+  const size_t free_before = ta.free_slot_count();
+  const int64_t slot3 =
+      static_cast<int64_t>(sizeof(SlabHeader)) + 3 * slot_size;
+
+  // Published under an earlier claim of this (uuid, tag): not ours to apply.
+  EXPECT_FALSE(ta.AcceptRemoteFree(uuid, pa->tag(), /*gen=*/6, slot3, /*epoch=*/0));
+  EXPECT_EQ(slab->used, 1);
+
+  // Matching claim but unresolvable offsets — misaligned, past the last
+  // slot, inside the slab header — are stale duplicates: consumed without
+  // touching shadow state (this is the shape that used to index past the
+  // shadow bitmap).
+  EXPECT_TRUE(ta.AcceptRemoteFree(uuid, pa->tag(), 7, slot3 + 5, 0));
+  EXPECT_TRUE(ta.AcceptRemoteFree(
+      uuid, pa->tag(), 7,
+      static_cast<int64_t>(sizeof(SlabHeader)) + num_slots * slot_size, 0));
+  EXPECT_TRUE(ta.AcceptRemoteFree(uuid, pa->tag(), 7, /*slot_offset=*/8, 0));
+  EXPECT_EQ(slab->used, 1);
+  EXPECT_EQ(slab->shadow[0], 1ULL << 3);
+  EXPECT_EQ(ta.free_slot_count(), free_before);
+
+  // The genuine record applies; a duplicate of it is inert.
+  EXPECT_TRUE(ta.AcceptRemoteFree(uuid, pa->tag(), 7, slot3, 0));
+  EXPECT_EQ(slab->used, 0);
+  EXPECT_EQ(slab->shadow[0], 0u);
+  EXPECT_EQ(ta.free_slot_count(), free_before + 1);
+  EXPECT_TRUE(ta.AcceptRemoteFree(uuid, pa->tag(), 7, slot3, 0));
+  EXPECT_EQ(ta.free_slot_count(), free_before + 1);
+}
+
+// Claim generations are monotonic per (uuid, tag): re-claiming a released
+// directory slot bumps the generation, which is what invalidates queued
+// remote frees published under the earlier claim.
+TEST(ArenaManagerClaims, ReclaimBumpsGeneration) {
+  auto mgr = std::make_shared<ArenaManager>(ArenaOptions{});
+  const Uuid uuid{3, 4};
+  EXPECT_EQ(mgr->ClaimGenOf(uuid, /*tag=*/1), 0u);
+
+  const uint64_t first = mgr->RegisterClaim(uuid, 1);
+  EXPECT_NE(first, 0u);
+  EXPECT_EQ(mgr->ClaimGenOf(uuid, 1), first);
+
+  const uint64_t second = mgr->RegisterClaim(uuid, 1);
+  EXPECT_GT(second, first);
+  EXPECT_EQ(mgr->ClaimGenOf(uuid, 1), second);
+
+  // Distinct tags and puddles track independently.
+  const uint64_t other_tag = mgr->RegisterClaim(uuid, 2);
+  EXPECT_GT(other_tag, second);
+  EXPECT_EQ(mgr->ClaimGenOf(uuid, 1), second);
+  EXPECT_EQ(mgr->ClaimGenOf(Uuid{5, 6}, 1), 0u);
 }
 
 }  // namespace
